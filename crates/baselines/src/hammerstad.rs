@@ -1,0 +1,158 @@
+//! The Morgan/Hammerstad empirical roughness-loss formula (paper eq. (1)).
+//!
+//! ```text
+//! Pr/Ps = 1 + (2/π)·arctan(1.4·(σ/δ)²)
+//! ```
+//!
+//! Fitted by Hammerstad & Bekkadal to Morgan's 1949 numerical study of periodic
+//! 2D grooves, it depends on the RMS height σ only, and therefore cannot
+//! distinguish surfaces with different correlation lengths (the point Fig. 3 of
+//! the paper makes); it also saturates at a factor of 2.
+
+use crate::RoughnessLossModel;
+use rough_em::material::Conductor;
+use rough_em::units::{Frequency, Length};
+use std::f64::consts::{FRAC_2_PI, PI};
+
+/// The Hammerstad empirical model.
+///
+/// # Example
+///
+/// ```
+/// use rough_baselines::hammerstad::HammerstadModel;
+/// use rough_baselines::RoughnessLossModel;
+/// use rough_em::material::Conductor;
+/// use rough_em::units::{GigaHertz, Micrometers};
+///
+/// let model = HammerstadModel::new(Micrometers::new(1.0).into(), Conductor::copper_foil());
+/// let k = model.enhancement_factor(GigaHertz::new(5.0).into());
+/// assert!(k > 1.0 && k < 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HammerstadModel {
+    sigma: Length,
+    conductor: Conductor,
+}
+
+impl HammerstadModel {
+    /// Creates the model for an RMS roughness σ over a given conductor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if σ is not positive.
+    pub fn new(sigma: Length, conductor: Conductor) -> Self {
+        assert!(sigma.value() > 0.0, "RMS roughness must be positive");
+        Self { sigma, conductor }
+    }
+
+    /// RMS roughness σ.
+    pub fn sigma(&self) -> Length {
+        self.sigma
+    }
+
+    /// The `σ/δ` ratio at a frequency.
+    pub fn roughness_to_skin_depth(&self, frequency: Frequency) -> f64 {
+        self.sigma.value() / self.conductor.skin_depth(frequency).value()
+    }
+}
+
+impl RoughnessLossModel for HammerstadModel {
+    fn name(&self) -> &str {
+        "Hammerstad (empirical)"
+    }
+
+    fn enhancement_factor(&self, frequency: Frequency) -> f64 {
+        let ratio = self.roughness_to_skin_depth(frequency);
+        1.0 + FRAC_2_PI * (1.4 * ratio * ratio).atan()
+    }
+}
+
+/// Frequency at which the Hammerstad factor reaches a given level
+/// (useful for "roughness knee" estimates in design-space sweeps).
+///
+/// Returns `None` if the requested level is outside `(1, 2)`.
+pub fn frequency_for_enhancement(
+    sigma: Length,
+    conductor: Conductor,
+    level: f64,
+) -> Option<Frequency> {
+    if level <= 1.0 || level >= 2.0 {
+        return None;
+    }
+    // level = 1 + 2/pi atan(1.4 (sigma/delta)^2)  =>  solve for delta, then f.
+    let target = ((level - 1.0) * PI / 2.0).tan() / 1.4;
+    let delta = sigma.value() / target.sqrt();
+    // delta = sqrt(rho / (pi f mu0))  =>  f = rho / (pi mu0 delta^2)
+    let f = conductor.resistivity().value()
+        / (PI * rough_em::constants::MU_0 * delta * delta);
+    Some(Frequency::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rough_em::units::{GigaHertz, Micrometers};
+
+    fn paper_model() -> HammerstadModel {
+        HammerstadModel::new(Micrometers::new(1.0).into(), Conductor::copper_foil())
+    }
+
+    #[test]
+    fn low_frequency_limit_is_unity() {
+        let model = paper_model();
+        let k = model.enhancement_factor(Frequency::new(1.0e3));
+        assert!((k - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn high_frequency_limit_saturates_at_two() {
+        let model = paper_model();
+        let k = model.enhancement_factor(GigaHertz::new(10_000.0).into());
+        assert!(k < 2.0);
+        assert!(k > 1.95);
+    }
+
+    #[test]
+    fn paper_fig3_magnitudes() {
+        // At 5 GHz with sigma = 1 µm, delta ≈ 0.92 µm: factor ≈ 1.66.
+        let model = paper_model();
+        let k = model.enhancement_factor(GigaHertz::new(5.0).into());
+        assert!((k - 1.66).abs() < 0.03, "k = {k}");
+        // At 1 GHz (delta ≈ 2.06 µm) the factor is modest.
+        let k1 = model.enhancement_factor(GigaHertz::new(1.0).into());
+        assert!(k1 > 1.15 && k1 < 1.35, "k1 = {k1}");
+    }
+
+    #[test]
+    fn independent_of_correlation_length_by_construction() {
+        // The formula only sees sigma — the limitation the paper highlights.
+        let a = HammerstadModel::new(Micrometers::new(1.0).into(), Conductor::copper_foil());
+        let b = HammerstadModel::new(Micrometers::new(1.0).into(), Conductor::copper_foil());
+        let f: Frequency = GigaHertz::new(7.0).into();
+        assert_eq!(a.enhancement_factor(f), b.enhancement_factor(f));
+    }
+
+    #[test]
+    fn monotone_in_frequency_and_sigma() {
+        let model = paper_model();
+        let mut prev = 1.0;
+        for g in 1..40 {
+            let k = model.enhancement_factor(GigaHertz::new(g as f64 * 0.5).into());
+            assert!(k >= prev);
+            prev = k;
+        }
+        let rougher = HammerstadModel::new(Micrometers::new(2.0).into(), Conductor::copper_foil());
+        let f: Frequency = GigaHertz::new(3.0).into();
+        assert!(rougher.enhancement_factor(f) > model.enhancement_factor(f));
+    }
+
+    #[test]
+    fn knee_frequency_roundtrip() {
+        let sigma: Length = Micrometers::new(1.0).into();
+        let f = frequency_for_enhancement(sigma, Conductor::copper_foil(), 1.5).unwrap();
+        let model = HammerstadModel::new(sigma, Conductor::copper_foil());
+        assert!((model.enhancement_factor(f) - 1.5).abs() < 1e-9);
+        assert!(frequency_for_enhancement(sigma, Conductor::copper_foil(), 2.5).is_none());
+        assert!(frequency_for_enhancement(sigma, Conductor::copper_foil(), 0.9).is_none());
+    }
+}

@@ -1,0 +1,293 @@
+//! Hemispherical-boss model (HBM) of rough-surface loss.
+//!
+//! Hall et al. (paper ref. [5]) model surface protrusions as conducting
+//! hemispherical bosses sitting on a flat plane and use the analytic
+//! eddy-current absorption of a conducting sphere in the quasi-uniform magnetic
+//! field of the quasi-TEM wave. The paper uses this model as the *large
+//! roughness / high frequency* benchmark (Fig. 5, a single conducting
+//! half-spheroid with h = 5.8 µm, d = 9.4 µm, b = 2.45 µm).
+//!
+//! The building block is the complex magnetic polarizability of a conducting
+//! sphere of radius `a` (Landau & Lifshitz, *Electrodynamics of Continuous
+//! Media*, §59):
+//!
+//! ```text
+//! α(x) = −(a³/2)·[1 − 3/x² + (3/x)·cot x],     x = k₂ a = (1 + j)·a/δ
+//! ```
+//!
+//! whose imaginary part gives the power dissipated inside the sphere,
+//! `P_sphere = ½ ω µ₀ |H|² · 4π·Im{−α}`, while the real part describes the
+//! scattered (inductive) response. The loss-enhancement factor of a tile of
+//! area `A_tile` carrying one boss follows by replacing the Joule loss of the
+//! flat area shaded by the boss with the boss absorption:
+//!
+//! ```text
+//! Pr/Ps = 1 + [P_boss − P_flat(shadow)] / P_flat(tile)
+//! ```
+//!
+//! A half-spheroid of height `h` and base radius `r_b` is mapped onto an
+//! equivalent hemisphere of equal surface area, the standard engineering
+//! approximation when only RMS dimensions are known (see `DESIGN.md`).
+
+use crate::RoughnessLossModel;
+use rough_em::constants::MU_0;
+use rough_em::material::Conductor;
+use rough_em::units::{Frequency, Length};
+use rough_numerics::complex::c64;
+use std::f64::consts::PI;
+
+/// Complex magnetic polarizability (normalized to `a³`) of a conducting sphere
+/// with `x = k₂·a`.
+///
+/// The low-frequency limit (`|x| → 0`) vanishes (the field fully penetrates,
+/// no induced moment); the high-frequency limit is `−1/2` (perfect diamagnetic
+/// exclusion).
+pub fn sphere_polarizability(x: c64) -> c64 {
+    if x.abs() < 1e-3 {
+        // Series expansion to avoid catastrophic cancellation: α/a³ → +x²/30.
+        return (x * x) / 30.0;
+    }
+    let cot = x.cos() / x.sin();
+    -(c64::one() - 3.0 / (x * x) + (3.0 / x) * cot) * 0.5
+}
+
+/// Power absorbed by a conducting sphere of radius `a` in a uniform AC
+/// magnetic field of RMS amplitude `h_field` (A/m) at angular frequency
+/// `omega`.
+pub fn sphere_absorbed_power(a: f64, skin_depth: f64, omega: f64, h_field: f64) -> f64 {
+    let x = c64::new(a / skin_depth, a / skin_depth);
+    let alpha = sphere_polarizability(x) * (a * a * a);
+    // P = (1/2) ω µ0 Im{m·H*} with m = 4π α H; in the e^{−jωt} convention the
+    // dissipative part of the polarizability has a positive imaginary part.
+    2.0 * PI * omega * MU_0 * h_field * h_field * alpha.im
+}
+
+/// Hemispherical-boss roughness-loss model.
+///
+/// # Example
+///
+/// ```
+/// use rough_baselines::hbm::HemisphericalBossModel;
+/// use rough_baselines::RoughnessLossModel;
+/// use rough_em::material::Conductor;
+/// use rough_em::units::{GigaHertz, Micrometers};
+///
+/// // The Fig. 5 half-spheroid: h = 5.8 µm, base diameter 9.4 µm, tile from
+/// // the paper's base RMS value b = 2.45 µm.
+/// let model = HemisphericalBossModel::half_spheroid(
+///     Micrometers::new(5.8).into(),
+///     Micrometers::new(4.7).into(),
+///     Micrometers::new(9.4).into(),
+///     Conductor::copper_foil(),
+/// );
+/// let k = model.enhancement_factor(GigaHertz::new(10.0).into());
+/// assert!(k > 1.5 && k < 3.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HemisphericalBossModel {
+    /// Equivalent hemisphere radius (m).
+    radius: f64,
+    /// Tile area associated with one boss (m²).
+    tile_area: f64,
+    conductor: Conductor,
+}
+
+impl HemisphericalBossModel {
+    /// Creates the model from an equivalent hemisphere radius and the tile
+    /// side length associated with one boss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the radius or tile side is not positive.
+    pub fn new(radius: Length, tile_side: Length, conductor: Conductor) -> Self {
+        assert!(radius.value() > 0.0, "boss radius must be positive");
+        assert!(tile_side.value() > 0.0, "tile side must be positive");
+        Self {
+            radius: radius.value(),
+            tile_area: tile_side.value() * tile_side.value(),
+            conductor,
+        }
+    }
+
+    /// Creates the model for a half-spheroid protrusion of height `h` and base
+    /// radius `base_radius`, mapped to an equal-surface-area hemisphere, on a
+    /// square tile of side `tile_side`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is not positive.
+    pub fn half_spheroid(
+        height: Length,
+        base_radius: Length,
+        tile_side: Length,
+        conductor: Conductor,
+    ) -> Self {
+        let h = height.value();
+        let b = base_radius.value();
+        assert!(h > 0.0 && b > 0.0, "spheroid dimensions must be positive");
+        // Lateral surface area of a (prolate for h > b) half-spheroid.
+        let area = half_spheroid_lateral_area(h, b);
+        // Equal-area hemisphere: 2π a² = area.
+        let radius = (area / (2.0 * PI)).sqrt();
+        Self::new(
+            Length::new(radius),
+            tile_side,
+            conductor,
+        )
+    }
+
+    /// Equivalent hemisphere radius (m).
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// Tile area per boss (m²).
+    pub fn tile_area(&self) -> f64 {
+        self.tile_area
+    }
+}
+
+/// Lateral (curved) surface area of a half-spheroid of height `h` and base
+/// radius `b` (rotationally symmetric about the vertical axis).
+pub fn half_spheroid_lateral_area(h: f64, b: f64) -> f64 {
+    if (h - b).abs() < 1e-12 * b {
+        return 2.0 * PI * b * b; // hemisphere
+    }
+    if h > b {
+        // Prolate: half of the full-spheroid area with semi-axes (b, b, h).
+        let e = (1.0 - (b * b) / (h * h)).sqrt();
+        PI * b * b + PI * b * h * e.asin() / e
+    } else {
+        // Oblate: semi-axes (b, b, h), h < b.
+        let e = (1.0 - (h * h) / (b * b)).sqrt();
+        PI * b * b + PI * (h * h) * (((1.0 + e) / (1.0 - e)).ln()) / (2.0 * e)
+    }
+}
+
+impl RoughnessLossModel for HemisphericalBossModel {
+    fn name(&self) -> &str {
+        "HBM (hemispherical boss)"
+    }
+
+    fn enhancement_factor(&self, frequency: Frequency) -> f64 {
+        let delta = self.conductor.skin_depth(frequency).value();
+        let omega = frequency.angular();
+        let rs = self.conductor.surface_resistance(frequency);
+        // Unit tangential magnetic field.
+        let h_field = 1.0;
+        // Image theory: a hemispherical boss on the ground plane together with
+        // its image forms a full sphere in the uniform tangential field, so the
+        // power dissipated in the physical (upper) half is one half of the
+        // full-sphere absorption.
+        let p_boss = 0.5 * sphere_absorbed_power(self.radius, delta, omega, h_field);
+        // Flat-surface Joule loss densities.
+        let p_flat_density = 0.5 * rs * h_field * h_field;
+        let shadow = PI * self.radius * self.radius;
+        let p_tile = p_flat_density * self.tile_area;
+        let p_shadow = p_flat_density * shadow.min(self.tile_area);
+        ((p_tile - p_shadow + p_boss) / p_tile).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rough_em::units::{GigaHertz, Micrometers};
+
+    #[test]
+    fn polarizability_limits() {
+        // Low frequency: no induced moment.
+        let low = sphere_polarizability(c64::new(1e-4, 1e-4));
+        assert!(low.abs() < 1e-6);
+        // Continuity across the series/exact switch.
+        let just_below = sphere_polarizability(c64::new(7e-4, 7e-4));
+        let just_above = sphere_polarizability(c64::new(1.1e-3, 1.1e-3));
+        assert!((just_below.im > 0.0) == (just_above.im > 0.0));
+        // High frequency: perfect diamagnetic sphere, α/a³ → −1/2.
+        let high = sphere_polarizability(c64::new(60.0, 60.0));
+        assert!((high.re + 0.5).abs() < 0.02, "{high}");
+        assert!(high.im.abs() < 0.03);
+        // Absorption (+Im α) is significant at intermediate x.
+        let mid = sphere_polarizability(c64::new(2.5, 2.5));
+        assert!(mid.im > 0.05);
+    }
+
+    #[test]
+    fn absorbed_power_is_positive_and_peaks_with_skin_depth() {
+        let a = 5e-6;
+        let omega = 2.0 * PI * 10e9;
+        let p_small_delta = sphere_absorbed_power(a, a / 20.0, omega, 1.0);
+        let p_mid_delta = sphere_absorbed_power(a, a / 2.0, omega, 1.0);
+        let p_large_delta = sphere_absorbed_power(a, a * 20.0, omega, 1.0);
+        assert!(p_small_delta > 0.0 && p_mid_delta > 0.0 && p_large_delta > 0.0);
+        assert!(p_mid_delta > p_large_delta);
+    }
+
+    #[test]
+    fn spheroid_area_reduces_to_hemisphere() {
+        let b = 3e-6;
+        assert!((half_spheroid_lateral_area(b, b) - 2.0 * PI * b * b).abs() < 1e-18);
+        // Taller spheroid has more area than the hemisphere on the same base.
+        assert!(half_spheroid_lateral_area(2.0 * b, b) > 2.0 * PI * b * b);
+        // Flatter spheroid has less.
+        assert!(half_spheroid_lateral_area(0.5 * b, b) < 2.0 * PI * b * b);
+    }
+
+    fn fig5_model() -> HemisphericalBossModel {
+        HemisphericalBossModel::half_spheroid(
+            Micrometers::new(5.8).into(),
+            Micrometers::new(4.7).into(),
+            Micrometers::new(9.4).into(),
+            Conductor::copper_foil(),
+        )
+    }
+
+    #[test]
+    fn fig5_shape_monotone_rise_and_saturation() {
+        // Fig. 5: Pr/Ps rises from ≈1.8 at low GHz towards ≈2.8 at 20 GHz.
+        let m = fig5_model();
+        let k1 = m.enhancement_factor(GigaHertz::new(1.0).into());
+        let k10 = m.enhancement_factor(GigaHertz::new(10.0).into());
+        let k20 = m.enhancement_factor(GigaHertz::new(20.0).into());
+        assert!(k1 < k10 && k10 < k20, "{k1} {k10} {k20}");
+        assert!(k20 > 1.8 && k20 < 3.5, "k20 = {k20}");
+        assert!(k1 > 1.0);
+        // Saturating: the 10→20 GHz increment is smaller than the 1→10 one.
+        assert!(k20 - k10 < k10 - k1);
+    }
+
+    #[test]
+    fn larger_tile_dilutes_the_enhancement() {
+        let dense = HemisphericalBossModel::new(
+            Micrometers::new(3.0).into(),
+            Micrometers::new(8.0).into(),
+            Conductor::copper_foil(),
+        );
+        let sparse = HemisphericalBossModel::new(
+            Micrometers::new(3.0).into(),
+            Micrometers::new(20.0).into(),
+            Conductor::copper_foil(),
+        );
+        let f: Frequency = GigaHertz::new(10.0).into();
+        assert!(dense.enhancement_factor(f) > sparse.enhancement_factor(f));
+        assert!(sparse.enhancement_factor(f) > 1.0);
+    }
+
+    #[test]
+    fn enhancement_never_drops_below_flat_loss_minus_shadow() {
+        let m = fig5_model();
+        for g in [0.5, 1.0, 2.0, 5.0, 20.0, 50.0] {
+            assert!(m.enhancement_factor(GigaHertz::new(g).into()) > 0.5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn invalid_dimensions_panic() {
+        let _ = HemisphericalBossModel::new(
+            Micrometers::new(0.0).into(),
+            Micrometers::new(1.0).into(),
+            Conductor::copper_foil(),
+        );
+    }
+}

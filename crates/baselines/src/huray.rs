@@ -1,0 +1,196 @@
+//! The Huray "snowball" roughness model.
+//!
+//! The modern descendant of the hemispherical-boss idea (Huray et al., and the
+//! causal transmission-line methodology of paper ref. [5]): the treated foil
+//! surface is modelled as clusters of conducting spheres ("snowballs") sitting
+//! on square tiles, and the extra loss is the sum of the spheres' scattering /
+//! absorption cross-sections relative to the tile's flat Joule loss:
+//!
+//! ```text
+//! Pr/Ps = 1 + (3/2)·Σ_i N_i·(4π a_i²/A_tile) / (1 + δ/a_i + δ²/(2a_i²))
+//! ```
+//!
+//! It is provided both as an extension baseline (it is what field solvers such
+//! as Ansys/Simbeor expose) and as a sanity check of the HBM implementation:
+//! at high frequency both approaches saturate at a geometry-determined value.
+
+use crate::RoughnessLossModel;
+use rough_em::material::Conductor;
+use rough_em::units::{Frequency, Length};
+use std::f64::consts::PI;
+
+/// One family of equal-radius snowballs on the tile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SnowballFamily {
+    /// Number of spheres of this radius on the tile.
+    pub count: f64,
+    /// Sphere radius (m).
+    pub radius: f64,
+}
+
+/// The Huray snowball roughness model.
+///
+/// # Example
+///
+/// ```
+/// use rough_baselines::huray::HurayModel;
+/// use rough_baselines::RoughnessLossModel;
+/// use rough_em::material::Conductor;
+/// use rough_em::units::{GigaHertz, Micrometers};
+///
+/// // The "cannonball" configuration: 14 spheres of 0.33 µm radius on a
+/// // 9.4 µm × 9.4 µm tile.
+/// let model = HurayModel::cannonball(
+///     Micrometers::new(0.33).into(),
+///     Micrometers::new(9.4).into(),
+///     Conductor::copper_foil(),
+/// );
+/// let k = model.enhancement_factor(GigaHertz::new(10.0).into());
+/// assert!(k > 1.0 && k < 1.5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct HurayModel {
+    families: Vec<SnowballFamily>,
+    tile_area: f64,
+    conductor: Conductor,
+}
+
+impl HurayModel {
+    /// Creates a model from explicit snowball families on a square tile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile side is not positive, no families are given, or any
+    /// family has a non-positive radius or count.
+    pub fn new(families: Vec<SnowballFamily>, tile_side: Length, conductor: Conductor) -> Self {
+        assert!(tile_side.value() > 0.0, "tile side must be positive");
+        assert!(!families.is_empty(), "at least one snowball family is required");
+        assert!(
+            families.iter().all(|f| f.count > 0.0 && f.radius > 0.0),
+            "snowball counts and radii must be positive"
+        );
+        Self {
+            families,
+            tile_area: tile_side.value() * tile_side.value(),
+            conductor,
+        }
+    }
+
+    /// The classic "cannonball" stack: 14 equal spheres per tile (9 + 4 + 1
+    /// close packing), the configuration Huray proposed for matching measured
+    /// foil profiles.
+    pub fn cannonball(radius: Length, tile_side: Length, conductor: Conductor) -> Self {
+        Self::new(
+            vec![SnowballFamily {
+                count: 14.0,
+                radius: radius.value(),
+            }],
+            tile_side,
+            conductor,
+        )
+    }
+
+    /// Total snowball surface area divided by the tile area — the quantity that
+    /// fixes the high-frequency saturation level `1 + (3/2)·ratio`.
+    pub fn area_ratio(&self) -> f64 {
+        self.families
+            .iter()
+            .map(|f| f.count * 4.0 * PI * f.radius * f.radius)
+            .sum::<f64>()
+            / self.tile_area
+    }
+
+    /// High-frequency saturation value of the model.
+    pub fn saturation(&self) -> f64 {
+        1.0 + 1.5 * self.area_ratio()
+    }
+}
+
+impl RoughnessLossModel for HurayModel {
+    fn name(&self) -> &str {
+        "Huray (snowball)"
+    }
+
+    fn enhancement_factor(&self, frequency: Frequency) -> f64 {
+        let delta = self.conductor.skin_depth(frequency).value();
+        let mut extra = 0.0;
+        for fam in &self.families {
+            let a = fam.radius;
+            let geometric = fam.count * 4.0 * PI * a * a / self.tile_area;
+            extra += 1.5 * geometric / (1.0 + delta / a + (delta * delta) / (2.0 * a * a));
+        }
+        1.0 + extra
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rough_em::units::{GigaHertz, Micrometers};
+
+    fn model() -> HurayModel {
+        HurayModel::cannonball(
+            Micrometers::new(0.5).into(),
+            Micrometers::new(9.4).into(),
+            Conductor::copper_foil(),
+        )
+    }
+
+    #[test]
+    fn limits_and_monotonicity() {
+        let m = model();
+        let low = m.enhancement_factor(Frequency::new(1e6));
+        assert!((low - 1.0).abs() < 1e-2);
+        let mut prev = low;
+        for g in [1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0] {
+            let k = m.enhancement_factor(GigaHertz::new(g).into());
+            assert!(k >= prev);
+            prev = k;
+        }
+        assert!(prev < m.saturation());
+        // At very high frequency approaches saturation.
+        let k = m.enhancement_factor(GigaHertz::new(100_000.0).into());
+        assert!((k - m.saturation()).abs() < 0.02 * m.saturation());
+    }
+
+    #[test]
+    fn saturation_depends_on_sphere_area_only() {
+        let m = model();
+        assert!((m.saturation() - (1.0 + 1.5 * m.area_ratio())).abs() < 1e-12);
+        assert!(m.area_ratio() > 0.0);
+    }
+
+    #[test]
+    fn more_snowballs_more_loss() {
+        let sparse = HurayModel::new(
+            vec![SnowballFamily {
+                count: 5.0,
+                radius: 0.5e-6,
+            }],
+            Micrometers::new(9.4).into(),
+            Conductor::copper_foil(),
+        );
+        let dense = HurayModel::new(
+            vec![
+                SnowballFamily {
+                    count: 9.0,
+                    radius: 0.5e-6,
+                },
+                SnowballFamily {
+                    count: 5.0,
+                    radius: 0.25e-6,
+                },
+            ],
+            Micrometers::new(9.4).into(),
+            Conductor::copper_foil(),
+        );
+        let f: Frequency = GigaHertz::new(20.0).into();
+        assert!(dense.enhancement_factor(f) > sparse.enhancement_factor(f));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one snowball family")]
+    fn empty_families_panic() {
+        let _ = HurayModel::new(vec![], Micrometers::new(9.4).into(), Conductor::copper_foil());
+    }
+}

@@ -1,0 +1,66 @@
+//! # rough-baselines
+//!
+//! Analytic surface-roughness loss models used as comparison baselines in
+//! Chen & Wong (DATE 2009):
+//!
+//! * [`hammerstad`] — the Morgan/Hammerstad empirical formula (paper eq. (1)),
+//!   the industry default that only knows the RMS height σ and saturates at 2×.
+//! * [`spm2`] — a second-order small-perturbation (SPM2-style) spectral model,
+//!   valid for gentle roughness (Figs. 3 and 4).
+//! * [`hbm`] — the hemispherical-boss model of Hall et al. built on the exact
+//!   eddy-current absorption of a conducting sphere, valid for pronounced
+//!   roughness at high frequency (Fig. 5).
+//! * [`huray`] — the Huray "snowball" model, the modern industry-standard
+//!   descendant of HBM, provided as an extension baseline.
+//!
+//! All models implement the common [`RoughnessLossModel`] trait so sweeps and
+//! benches can treat them interchangeably with the numerical SWM solver.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod hammerstad;
+pub mod hbm;
+pub mod huray;
+pub mod spm2;
+
+use rough_em::units::Frequency;
+
+/// A model that predicts the conductor-loss enhancement factor `Pr/Ps` of a
+/// rough surface at a given frequency.
+pub trait RoughnessLossModel {
+    /// Human-readable model name (used in experiment tables).
+    fn name(&self) -> &str;
+
+    /// Loss-enhancement factor `Pr/Ps ≥ 1` at the given frequency.
+    fn enhancement_factor(&self, frequency: Frequency) -> f64;
+
+    /// Convenience: evaluates the model over a frequency sweep.
+    fn sweep(&self, frequencies: &[Frequency]) -> Vec<f64> {
+        frequencies
+            .iter()
+            .map(|&f| self.enhancement_factor(f))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hammerstad::HammerstadModel;
+    use rough_em::material::Conductor;
+    use rough_em::units::{GigaHertz, Micrometers};
+
+    #[test]
+    fn trait_objects_and_sweeps_work() {
+        let model: Box<dyn RoughnessLossModel> = Box::new(HammerstadModel::new(
+            Micrometers::new(1.0).into(),
+            Conductor::copper_foil(),
+        ));
+        let freqs: Vec<_> = (1..=5).map(|g| GigaHertz::new(g as f64).into()).collect();
+        let sweep = model.sweep(&freqs);
+        assert_eq!(sweep.len(), 5);
+        assert!(sweep.windows(2).all(|w| w[1] >= w[0]));
+        assert!(!model.name().is_empty());
+    }
+}

@@ -1,0 +1,204 @@
+//! Second-order small-perturbation (SPM2-style) roughness-loss model.
+//!
+//! The paper compares SWM against the closed-form SPM2 result of Gu, Tsang &
+//! Braunisch (ref. [8]), which is accurate for *small* roughness (gentle RMS
+//! slope, skin depth not much smaller than the roughness height) and — unlike
+//! the Hammerstad formula — is sensitive to the full roughness spectrum, not
+//! just σ.
+//!
+//! The exact closed form of ref. [8] is not reprinted in the paper, so this
+//! module re-derives a second-order spectral model with the same structure and
+//! the same documented limits (see `DESIGN.md`, substitution table):
+//!
+//! ```text
+//! Pr/Ps = 1 + ½ ∫ d²k/(2π)² · W(k) · k² · T(kδ),      T(x) = 1/(1 + x²/2)
+//! ```
+//!
+//! * as `f → 0` (δ → ∞) the enhancement goes to 1 — roughness far below the
+//!   skin depth does not perturb the current distribution;
+//! * as `f → ∞` (δ → 0) it approaches `1 + ⟨|∇f|²⟩/2`, the surface-area ratio
+//!   a perfectly surface-following current would see;
+//! * the enhancement scales with the *slope* spectrum `k²W(k)`, so at equal σ a
+//!   shorter correlation length produces more loss (the effect Fig. 3 of the
+//!   paper demonstrates and the Hammerstad formula misses);
+//! * being a perturbation result it keeps growing for large roughness, where it
+//!   loses validity (the Fig. 5 scenario in which "SPM2 completely loses its
+//!   accuracy").
+
+use crate::RoughnessLossModel;
+use rough_em::material::Conductor;
+use rough_em::units::Frequency;
+use rough_numerics::quadrature::gauss_legendre_on;
+use rough_surface::correlation::CorrelationFunction;
+use rough_surface::spectrum::SurfaceSpectrum;
+use std::f64::consts::PI;
+
+/// Second-order small-perturbation loss model driven by the roughness
+/// spectrum.
+///
+/// # Example
+///
+/// ```
+/// use rough_baselines::spm2::Spm2Model;
+/// use rough_baselines::RoughnessLossModel;
+/// use rough_em::material::Conductor;
+/// use rough_em::units::GigaHertz;
+/// use rough_surface::correlation::CorrelationFunction;
+///
+/// let cf = CorrelationFunction::gaussian(1.0e-6, 3.0e-6);
+/// let model = Spm2Model::new(cf, Conductor::copper_foil());
+/// let k = model.enhancement_factor(GigaHertz::new(5.0).into());
+/// assert!(k > 1.0 && k < 1.5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Spm2Model {
+    spectrum: SurfaceSpectrum,
+    conductor: Conductor,
+}
+
+impl Spm2Model {
+    /// Creates the model for a surface correlation function over a conductor.
+    pub fn new(cf: CorrelationFunction, conductor: Conductor) -> Self {
+        Self {
+            spectrum: SurfaceSpectrum::new(cf),
+            conductor,
+        }
+    }
+
+    /// The underlying correlation function.
+    pub fn correlation(&self) -> &CorrelationFunction {
+        self.spectrum.correlation()
+    }
+
+    /// The transition kernel `T(kδ)` interpolating between the unperturbed
+    /// (`δ ≫` feature size) and surface-following (`δ ≪` feature size) limits.
+    pub fn transition_kernel(k_delta: f64) -> f64 {
+        1.0 / (1.0 + 0.5 * k_delta * k_delta)
+    }
+
+    /// The high-frequency asymptote `1 + ⟨|∇f|²⟩/2` of the model.
+    pub fn high_frequency_limit(&self) -> f64 {
+        1.0 + 0.5 * self.spectrum.mean_square_slope()
+    }
+
+    /// The spectral integral `½ (2π)⁻¹ ∫ k³ W(k) T(kδ) dk`.
+    fn slope_weighted_integral(&self, skin_depth: f64) -> f64 {
+        let eta = self.correlation().correlation_length();
+        // The integrand decays on the scale of a few 1/η (spectrum) and is
+        // damped beyond 1/δ by the kernel; integrate far enough to cover both.
+        let k_max = 40.0 / eta + 10.0 / skin_depth;
+        let segments = 160;
+        let seg = k_max / segments as f64;
+        let mut total = 0.0;
+        for s in 0..segments {
+            let rule = gauss_legendre_on(10, s as f64 * seg, (s + 1) as f64 * seg);
+            total += rule.integrate(|k| {
+                k.powi(3) * self.spectrum.evaluate(k) * Self::transition_kernel(k * skin_depth)
+            });
+        }
+        0.5 * total / (2.0 * PI)
+    }
+}
+
+impl RoughnessLossModel for Spm2Model {
+    fn name(&self) -> &str {
+        "SPM2 (small perturbation)"
+    }
+
+    fn enhancement_factor(&self, frequency: Frequency) -> f64 {
+        let delta = self.conductor.skin_depth(frequency).value();
+        1.0 + self.slope_weighted_integral(delta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rough_em::units::GigaHertz;
+
+    fn model(sigma_um: f64, eta_um: f64) -> Spm2Model {
+        Spm2Model::new(
+            CorrelationFunction::gaussian(sigma_um * 1e-6, eta_um * 1e-6),
+            Conductor::copper_foil(),
+        )
+    }
+
+    #[test]
+    fn low_frequency_limit_is_unity() {
+        let m = model(1.0, 1.0);
+        let k = m.enhancement_factor(Frequency::new(1.0e5));
+        assert!((k - 1.0).abs() < 1e-3, "k = {k}");
+    }
+
+    #[test]
+    fn high_frequency_limit_is_the_area_ratio() {
+        let m = model(1.0, 3.0);
+        // <|∇f|²> = 4 σ²/η² = 4/9 → limit 1.222.
+        let expected = m.high_frequency_limit();
+        assert!((expected - (1.0 + 2.0 / 9.0)).abs() < 2e-3);
+        let k = m.enhancement_factor(GigaHertz::new(2000.0).into());
+        assert!((k - expected).abs() < 0.02 * expected, "k = {k} vs {expected}");
+    }
+
+    #[test]
+    fn shorter_correlation_length_gives_more_loss_at_equal_sigma() {
+        // The Fig. 3 ordering: σ fixed at 1 µm, η = 1, 2, 3 µm.
+        let f: Frequency = GigaHertz::new(5.0).into();
+        let k1 = model(1.0, 1.0).enhancement_factor(f);
+        let k2 = model(1.0, 2.0).enhancement_factor(f);
+        let k3 = model(1.0, 3.0).enhancement_factor(f);
+        assert!(k1 > k2 && k2 > k3, "{k1} {k2} {k3}");
+        assert!(k3 > 1.0);
+    }
+
+    #[test]
+    fn paper_fig3_magnitude_range() {
+        // For σ = η = 1 µm at 5 GHz the paper's SWM/SPM2 curves sit around
+        // 1.5–1.9; the re-derived SPM2 should land in the same band.
+        let k = model(1.0, 1.0).enhancement_factor(GigaHertz::new(5.0).into());
+        assert!(k > 1.3 && k < 2.3, "k = {k}");
+        // The smooth case η = 3 µm stays modest at 9 GHz (Fig. 3 shows ~1.2-1.4).
+        let k = model(1.0, 3.0).enhancement_factor(GigaHertz::new(9.0).into());
+        assert!(k > 1.05 && k < 1.45, "k = {k}");
+    }
+
+    #[test]
+    fn grows_without_bound_for_large_roughness() {
+        // A perturbation model applied far outside its validity (the Fig. 5
+        // situation) produces implausibly large factors — exactly the failure
+        // mode the paper points out.
+        let rough = model(5.8, 2.45);
+        let k = rough.enhancement_factor(GigaHertz::new(20.0).into());
+        assert!(k > 3.0, "k = {k}");
+    }
+
+    #[test]
+    fn monotone_in_frequency() {
+        let m = model(1.0, 2.0);
+        let mut prev = 0.0;
+        for g in [0.5, 1.0, 2.0, 4.0, 8.0, 16.0] {
+            let k = m.enhancement_factor(GigaHertz::new(g).into());
+            assert!(k >= prev);
+            prev = k;
+        }
+    }
+
+    #[test]
+    fn transition_kernel_limits() {
+        assert!((Spm2Model::transition_kernel(0.0) - 1.0).abs() < 1e-15);
+        assert!(Spm2Model::transition_kernel(10.0) < 0.02);
+        assert!(Spm2Model::transition_kernel(1.0) < 1.0);
+    }
+
+    #[test]
+    fn works_with_the_measured_cf_of_fig4() {
+        let m = Spm2Model::new(
+            CorrelationFunction::paper_extracted(),
+            Conductor::copper_foil(),
+        );
+        let k_low = m.enhancement_factor(GigaHertz::new(0.1).into());
+        let k_high = m.enhancement_factor(GigaHertz::new(10.0).into());
+        assert!(k_low < 1.1, "k_low = {k_low}");
+        assert!(k_high > 1.3 && k_high < 2.6, "k_high = {k_high}");
+    }
+}

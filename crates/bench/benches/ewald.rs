@@ -1,0 +1,28 @@
+//! Ewald-summed periodic Green's function: evaluation cost versus the direct
+//! lattice sum (the paper's "requires very few terms to converge" claim).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rough_em::green::PeriodicGreen3d;
+use rough_numerics::complex::c64;
+use std::hint::black_box;
+
+fn bench_ewald(c: &mut Criterion) {
+    let lossy = PeriodicGreen3d::new(c64::new(1.0e6, 1.0e6), 5.0e-6);
+    let quasi_static = PeriodicGreen3d::new(c64::new(2.0e2, 0.0), 5.0e-6);
+
+    let mut group = c.benchmark_group("periodic_green");
+    group.sample_size(30);
+    group.bench_function("ewald_lossy_value", |b| {
+        b.iter(|| black_box(lossy.value(1.3e-6, 0.4e-6, 0.2e-6)))
+    });
+    group.bench_function("ewald_quasistatic_value_and_gradient", |b| {
+        b.iter(|| black_box(quasi_static.sample(1.3e-6, 0.4e-6, 0.2e-6)))
+    });
+    group.bench_function("direct_lattice_sum_range20_lossy", |b| {
+        b.iter(|| black_box(lossy.direct_spatial_sum(1.3e-6, 0.4e-6, 0.2e-6, 20)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ewald);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Linear-solver comparison: dense LU versus Krylov iterations, and the paper's
+//! §III-C claim that SWM's 2N unknowns beat a 6N vector-EM discretization.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rough_core::solver::{solve_system, SolverKind};
+use rough_numerics::complex::c64;
+use rough_numerics::linalg::CMatrix;
+use std::hint::black_box;
+
+fn model_matrix(n: usize) -> (CMatrix, Vec<c64>) {
+    let a = CMatrix::from_fn(n, n, |i, j| {
+        if i == j {
+            c64::new(2.5, 0.4)
+        } else {
+            let d = (i as f64 - j as f64).abs();
+            c64::new(0.4 / (1.0 + d), -0.1 / (1.0 + d * d))
+        }
+    });
+    let b: Vec<c64> = (0..n).map(|i| c64::new(1.0, 0.1 * i as f64)).collect();
+    (a, b)
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solvers");
+    group.sample_size(10);
+    // 2N system (SWM with N = 64 cells) vs an emulated 6N vector-EM system.
+    let (a_2n, b_2n) = model_matrix(128);
+    let (a_6n, b_6n) = model_matrix(384);
+    group.bench_function("direct_lu_2n", |b| {
+        b.iter(|| black_box(solve_system(&a_2n, &b_2n, SolverKind::DirectLu).unwrap()))
+    });
+    group.bench_function("direct_lu_6n_vector_em_equivalent", |b| {
+        b.iter(|| black_box(solve_system(&a_6n, &b_6n, SolverKind::DirectLu).unwrap()))
+    });
+    group.bench_function("bicgstab_2n", |b| {
+        b.iter(|| {
+            black_box(
+                solve_system(&a_2n, &b_2n, SolverKind::Bicgstab { tolerance: 1e-9 }).unwrap(),
+            )
+        })
+    });
+    group.bench_function("gmres_2n", |b| {
+        b.iter(|| {
+            black_box(
+                solve_system(
+                    &a_2n,
+                    &b_2n,
+                    SolverKind::Gmres {
+                        tolerance: 1e-9,
+                        restart: 40,
+                    },
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

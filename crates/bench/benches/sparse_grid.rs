@@ -1,0 +1,46 @@
+//! Stochastic machinery: sparse-grid construction and SSCM projection versus
+//! Monte-Carlo sampling for a cheap synthetic model (Table I in spirit).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rough_stochastic::collocation::{run_sscm, SscmConfig};
+use rough_stochastic::monte_carlo::{run_monte_carlo, MonteCarloConfig};
+use rough_stochastic::sparse_grid::SparseGrid;
+use std::hint::black_box;
+
+fn bench_sparse_grid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stochastic");
+    group.sample_size(20);
+    group.bench_function("sparse_grid_construction_m16_level2", |b| {
+        b.iter(|| black_box(SparseGrid::new(16, 2)))
+    });
+    let model = |x: &[f64]| 1.5 + 0.3 * x[0] + 0.1 * x.iter().map(|v| v * v).sum::<f64>();
+    group.bench_function("sscm_order2_m8_cheap_model", |b| {
+        b.iter(|| {
+            black_box(run_sscm(
+                8,
+                &SscmConfig {
+                    order: 2,
+                    surrogate_samples: 2000,
+                    seed: 1,
+                },
+                model,
+            ))
+        })
+    });
+    group.bench_function("monte_carlo_5000_cheap_model", |b| {
+        b.iter(|| {
+            black_box(run_monte_carlo(
+                8,
+                &MonteCarloConfig {
+                    samples: 5000,
+                    seed: 1,
+                },
+                model,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sparse_grid);
+criterion_main!(benches);

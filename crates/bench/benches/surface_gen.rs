@@ -1,0 +1,32 @@
+//! Surface synthesis cost: FFT spectral method versus the Karhunen–Loève setup.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rough_surface::correlation::CorrelationFunction;
+use rough_surface::generation::kl::KarhunenLoeve;
+use rough_surface::generation::spectral::SpectralSurfaceGenerator;
+use std::hint::black_box;
+
+fn bench_surface_gen(c: &mut Criterion) {
+    let cf = CorrelationFunction::gaussian(1.0e-6, 1.0e-6);
+    let mut group = c.benchmark_group("surface_generation");
+    group.sample_size(20);
+    group.bench_function("spectral_64x64", |b| {
+        let generator = SpectralSurfaceGenerator::new(cf, 64, 5.0e-6).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| black_box(generator.generate(&mut rng)))
+    });
+    group.bench_function("kl_setup_10x10", |b| {
+        b.iter(|| black_box(KarhunenLoeve::new(cf, 10, 5.0e-6, 0.95).unwrap()))
+    });
+    group.bench_function("kl_synthesis_10x10", |b| {
+        let kl = KarhunenLoeve::new(cf, 10, 5.0e-6, 0.95).unwrap();
+        let xi: Vec<f64> = (0..kl.modes()).map(|i| (i as f64 * 0.7).sin()).collect();
+        b.iter(|| black_box(kl.synthesize(&xi)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_surface_gen);
+criterion_main!(benches);

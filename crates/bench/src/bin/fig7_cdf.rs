@@ -1,0 +1,92 @@
+//! Fig. 7 — CDF of Pr/Ps at 5 GHz for σ = η = 1 µm: Monte-Carlo versus the
+//! 1st- and 2nd-order SSCM surrogates.
+
+use rough_bench::{write_csv, Fidelity};
+use rough_core::{RoughnessSpec, SwmProblem};
+use rough_em::material::Stackup;
+use rough_em::units::GigaHertz;
+use rough_stochastic::collocation::{run_sscm, SscmConfig};
+use rough_stochastic::monte_carlo::{run_monte_carlo, MonteCarloConfig};
+use rough_surface::correlation::CorrelationFunction;
+use rough_surface::generation::kl::KarhunenLoeve;
+
+fn main() {
+    let fidelity = Fidelity::from_args();
+    let stack = Stackup::paper_baseline();
+    let cf = CorrelationFunction::gaussian(1.0e-6, 1.0e-6);
+    let cells = fidelity.cells_per_side();
+    let problem = SwmProblem::builder(
+        stack,
+        RoughnessSpec::from_correlation(cf),
+    )
+    .frequency(GigaHertz::new(5.0).into())
+    .cells_per_side(cells)
+    .build()
+    .expect("valid configuration");
+
+    let kl = KarhunenLoeve::new(cf, cells, problem.patch_length(), 0.95).expect("valid KL");
+    let capped = kl.modes().min(fidelity.max_kl_modes());
+    let kl = kl.with_modes(capped);
+    let modes = kl.modes();
+    let reference = problem.flat_reference_power().expect("flat reference");
+    let variance_restore = (1.0 / kl.captured_energy().max(1e-12)).sqrt();
+    let model = |xi: &[f64]| {
+        let mut surface = kl.synthesize(xi);
+        surface.scale_heights(variance_restore);
+        problem
+            .solve_with_reference(&surface, reference)
+            .expect("SWM solve")
+            .enhancement_factor()
+    };
+
+    println!("Fig. 7 — CDF of Pr/Ps at 5 GHz, sigma = eta = 1 um ({fidelity:?}, {modes} KL modes)");
+    let mc = run_monte_carlo(
+        modes,
+        &MonteCarloConfig {
+            samples: fidelity.monte_carlo_samples(),
+            seed: 42,
+        },
+        model,
+    );
+    let sscm1 = run_sscm(modes, &SscmConfig { order: 1, ..Default::default() }, model);
+    let sscm2 = run_sscm(modes, &SscmConfig { order: 2, ..Default::default() }, model);
+
+    println!(
+        "  MC   : mean {:.4}  std {:.4}  ({} solves)",
+        mc.mean(),
+        mc.std_dev(),
+        mc.evaluations()
+    );
+    println!(
+        "  SSCM1: mean {:.4}  std {:.4}  ({} solves)",
+        sscm1.mean(),
+        sscm1.std_dev(),
+        sscm1.evaluations()
+    );
+    println!(
+        "  SSCM2: mean {:.4}  std {:.4}  ({} solves)",
+        sscm2.mean(),
+        sscm2.std_dev(),
+        sscm2.evaluations()
+    );
+    println!(
+        "  KS distance SSCM2 vs MC: {:.4}",
+        sscm2.cdf().ks_distance(mc.cdf())
+    );
+
+    let mut rows = Vec::new();
+    let lo = mc.cdf().quantile(0.0) - 0.05;
+    let hi = mc.cdf().quantile(1.0) + 0.05;
+    let points = 60;
+    for i in 0..=points {
+        let x = lo + (hi - lo) * i as f64 / points as f64;
+        rows.push(format!(
+            "{x:.5},{:.5},{:.5},{:.5}",
+            mc.cdf().evaluate(x),
+            sscm1.cdf().evaluate(x),
+            sscm2.cdf().evaluate(x)
+        ));
+    }
+    let path = write_csv("fig7_cdf.csv", "pr_ps,cdf_mc,cdf_sscm1,cdf_sscm2", &rows);
+    println!("CDF series written to {}", path.display());
+}

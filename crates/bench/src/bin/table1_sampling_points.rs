@@ -1,0 +1,47 @@
+//! Table I — number of sampling points (deterministic solves) needed by
+//! Monte-Carlo versus 1st- and 2nd-order SSCM, for the Gaussian CF and the
+//! measurement-extracted CF of eq. (12).
+
+use rough_bench::{write_csv, Fidelity};
+use rough_stochastic::sparse_grid::SparseGrid;
+use rough_surface::correlation::CorrelationFunction;
+use rough_surface::generation::kl::KarhunenLoeve;
+
+fn main() {
+    let fidelity = Fidelity::from_args();
+    // The stochastic dimension is set by the KL truncation of each CF on the
+    // paper's 5η patch (95 % captured height variance).
+    let grid_n = if fidelity == Fidelity::Paper { 12 } else { 8 };
+    let mc_samples = 5000usize; // the paper's reference column
+
+    println!("Table I — number of sampling points ({fidelity:?}, KL grid {grid_n}x{grid_n})");
+    println!(
+        "{:<14} {:>10} {:>10} {:>10} {:>10}",
+        "CF", "KL modes", "MC", "1st-SSCM", "2nd-SSCM"
+    );
+    let cases = [
+        ("Gaussian", CorrelationFunction::gaussian(1.0e-6, 1.0e-6)),
+        ("CF (12)", CorrelationFunction::paper_extracted()),
+    ];
+    let mut rows = Vec::new();
+    for (name, cf) in cases {
+        let kl = KarhunenLoeve::new(cf, grid_n, 5.0 * cf.correlation_length(), 0.93)
+            .expect("valid KL grid");
+        let modes = kl.modes();
+        let first = SparseGrid::new(modes, 1).len();
+        let second = SparseGrid::new(modes, 2).len();
+        println!(
+            "{name:<14} {modes:>10} {mc_samples:>10} {first:>10} {second:>10}"
+        );
+        rows.push(format!("{name},{modes},{mc_samples},{first},{second}"));
+    }
+    let path = write_csv(
+        "table1_sampling_points.csv",
+        "cf,kl_modes,monte_carlo,sscm_order1,sscm_order2",
+        &rows,
+    );
+    println!("table written to {}", path.display());
+    println!(
+        "(paper values: Gaussian 5000 / 33 / 345, CF(12) 5000 / 39 / 462 — the\n ratio MC ≫ SSCM2 > SSCM1 is the reproduced claim; exact counts depend on\n the KL truncation level)"
+    );
+}

@@ -1,0 +1,129 @@
+//! Experiment presets shared by the figure/table drivers.
+
+use rough_em::units::{Frequency, GigaHertz};
+
+/// Fidelity preset of an experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fidelity {
+    /// Reduced preset: coarser grid, fewer frequencies, truncated KL basis and
+    /// smaller Monte-Carlo ensembles. Preserves the qualitative shape of every
+    /// figure while finishing quickly on a single core.
+    Fast,
+    /// The paper's settings (grid interval η/8, 2nd-order SSCM, 5000-sample
+    /// Monte-Carlo). Expect hours of single-core runtime.
+    Paper,
+}
+
+impl Fidelity {
+    /// Chooses the preset from the process arguments (`--full` ⇒ [`Fidelity::Paper`]).
+    pub fn from_args() -> Self {
+        if crate::full_fidelity_requested() {
+            Fidelity::Paper
+        } else {
+            Fidelity::Fast
+        }
+    }
+
+    /// MOM cells per patch side.
+    pub fn cells_per_side(self) -> usize {
+        match self {
+            Fidelity::Fast => 12,
+            Fidelity::Paper => 40,
+        }
+    }
+
+    /// Maximum number of Karhunen–Loève modes retained for the SSCM.
+    pub fn max_kl_modes(self) -> usize {
+        match self {
+            Fidelity::Fast => 8,
+            Fidelity::Paper => 16,
+        }
+    }
+
+    /// Monte-Carlo sample count (Fig. 7).
+    pub fn monte_carlo_samples(self) -> usize {
+        match self {
+            Fidelity::Fast => 48,
+            Fidelity::Paper => 5000,
+        }
+    }
+
+    /// Number of frequency points in a sweep.
+    pub fn sweep_points(self) -> usize {
+        match self {
+            Fidelity::Fast => 5,
+            Fidelity::Paper => 10,
+        }
+    }
+}
+
+/// A linearly spaced frequency sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrequencySweep {
+    points: Vec<Frequency>,
+}
+
+impl FrequencySweep {
+    /// Builds a sweep from `start_ghz` to `stop_ghz` (inclusive) with `count`
+    /// points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count < 2` or the bounds are not increasing and positive.
+    pub fn linear_ghz(start_ghz: f64, stop_ghz: f64, count: usize) -> Self {
+        assert!(count >= 2, "a sweep needs at least two points");
+        assert!(
+            start_ghz > 0.0 && stop_ghz > start_ghz,
+            "sweep bounds must be positive and increasing"
+        );
+        let step = (stop_ghz - start_ghz) / (count - 1) as f64;
+        let points = (0..count)
+            .map(|i| GigaHertz::new(start_ghz + i as f64 * step).into())
+            .collect();
+        Self { points }
+    }
+
+    /// The frequency points.
+    pub fn points(&self) -> &[Frequency] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` if the sweep is empty (cannot occur for constructed
+    /// sweeps).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ() {
+        assert!(Fidelity::Paper.cells_per_side() > Fidelity::Fast.cells_per_side());
+        assert!(Fidelity::Paper.monte_carlo_samples() > Fidelity::Fast.monte_carlo_samples());
+        assert!(Fidelity::Paper.max_kl_modes() >= Fidelity::Fast.max_kl_modes());
+        assert!(Fidelity::Paper.sweep_points() > Fidelity::Fast.sweep_points());
+    }
+
+    #[test]
+    fn sweep_endpoints_and_spacing() {
+        let sweep = FrequencySweep::linear_ghz(1.0, 9.0, 5);
+        assert_eq!(sweep.len(), 5);
+        assert!((sweep.points()[0].as_gigahertz() - 1.0).abs() < 1e-12);
+        assert!((sweep.points()[4].as_gigahertz() - 9.0).abs() < 1e-12);
+        assert!((sweep.points()[2].as_gigahertz() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn degenerate_sweep_panics() {
+        let _ = FrequencySweep::linear_ghz(1.0, 2.0, 1);
+    }
+}

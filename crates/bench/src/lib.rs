@@ -1,0 +1,68 @@
+//! # rough-bench
+//!
+//! Experiment harness reproducing every table and figure of Chen & Wong
+//! (DATE 2009). Each `src/bin/*` binary regenerates one experiment and prints
+//! the same series/rows the paper reports (aligned table on stdout plus a CSV
+//! file under `results/`); the Criterion benches under `benches/` measure the
+//! performance claims (Ewald cost, assembly scaling, 2N-vs-6N solve cost,
+//! sparse-grid vs Monte-Carlo sampling).
+//!
+//! Every binary accepts `--full` to run at the paper's fidelity (η/8 grid,
+//! 2nd-order SSCM, 5000-sample Monte-Carlo). The default is a reduced *fast*
+//! preset sized to finish on a laptop-class single core in minutes while
+//! preserving the qualitative shape of every result.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod experiment;
+pub mod sweep;
+
+pub use experiment::{Fidelity, FrequencySweep};
+pub use sweep::{sscm_mean_enhancement, SscmSweepConfig, SweepOutcome};
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Writes a CSV file under `results/`, creating the directory when needed, and
+/// returns the path written.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written (experiment drivers treat that as
+/// fatal).
+pub fn write_csv(name: &str, header: &str, rows: &[String]) -> PathBuf {
+    let dir = PathBuf::from("results");
+    fs::create_dir_all(&dir).expect("create results directory");
+    let path = dir.join(name);
+    let mut file = fs::File::create(&path).expect("create CSV file");
+    writeln!(file, "{header}").expect("write CSV header");
+    for row in rows {
+        writeln!(file, "{row}").expect("write CSV row");
+    }
+    path
+}
+
+/// Returns `true` when the process arguments request the full-fidelity run.
+pub fn full_fidelity_requested() -> bool {
+    std::env::args().any(|a| a == "--full")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_writer_creates_files() {
+        let path = write_csv(
+            "unit_test_output.csv",
+            "a,b",
+            &["1,2".to_string(), "3,4".to_string()],
+        );
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("a,b"));
+        assert!(content.contains("3,4"));
+        std::fs::remove_file(path).ok();
+    }
+}

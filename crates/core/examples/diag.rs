@@ -1,0 +1,35 @@
+use rough_core::{RoughnessSpec, SwmProblem};
+use rough_em::material::Stackup;
+use rough_em::units::{GigaHertz, Micrometers};
+use rough_surface::RoughSurface;
+
+fn main() {
+    for ghz in [1.0, 5.0] {
+        for n in [8usize, 12, 16, 20] {
+            let problem = SwmProblem::builder(
+                Stackup::paper_baseline(),
+                RoughnessSpec::gaussian(Micrometers::new(1.0), Micrometers::new(1.0)),
+            )
+            .frequency(GigaHertz::new(ghz).into())
+            .cells_per_side(n)
+            .build()
+            .unwrap();
+            let l = problem.patch_length();
+            let amp = 0.5e-6;
+            let surface = RoughSurface::from_fn(n, l, |x, y| {
+                amp * ((2.0 * std::f64::consts::PI * x / l).cos()
+                    + (2.0 * std::f64::consts::PI * y / l).sin())
+            });
+            let area_ratio = surface.area_ratio();
+            let res = problem.solve(&surface).unwrap();
+            let flat_num = problem.flat_reference_power().unwrap();
+            let flat_ana = problem.analytic_smooth_power();
+            println!(
+                "f={ghz} GHz n={n:2}  Pr/Ps={:.4}  area_ratio={:.4}  flat_num/ana={:.4}",
+                res.enhancement_factor(),
+                area_ratio,
+                flat_num / flat_ana
+            );
+        }
+    }
+}

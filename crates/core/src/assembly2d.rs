@@ -1,0 +1,219 @@
+//! Assembly of the simplified 2D SWM system (surface uniform along y).
+//!
+//! Fig. 6 of the paper compares the full 3D SWM with a 2D formulation in which
+//! the surface height varies along `x` only. The problem then reduces to a
+//! periodic contour integral equation in the `(x, z)` plane with the 2D scalar
+//! kernel; the block structure is identical to the 3D case:
+//!
+//! ```text
+//! [ ½I − D₁    β·S₁ ] [Ψ]   [Ψ_inc]
+//! [ ½I + D₂   −S₂   ] [U] = [  0  ]
+//! ```
+//!
+//! with `S_ij ≈ Δ·G_p(x_i − x_j, z_i − z_j)` and
+//! `D_ij ≈ Δ·J_j·n̂_j·∇'G_p`. The self term integrates the logarithmic
+//! singularity `−ln R/(2π)` analytically over the segment.
+
+use crate::mesh::{ContourMesh, Segment2d};
+use rough_em::green::free_space::ln_integral_over_segment;
+use rough_em::green::PeriodicGreen2d;
+use rough_numerics::complex::c64;
+use rough_numerics::linalg::CMatrix;
+use rough_numerics::quadrature::gauss_legendre_on;
+use std::f64::consts::PI;
+
+/// Assembled single-layer and double-layer blocks for one medium (2D).
+#[derive(Debug, Clone)]
+pub struct MediumBlocks2d {
+    /// Single-layer matrix `S` (N × N).
+    pub single_layer: CMatrix,
+    /// Double-layer matrix `D` (N × N).
+    pub double_layer: CMatrix,
+}
+
+/// Assembles the 2D blocks for one medium.
+///
+/// # Panics
+///
+/// Panics if the kernel period does not match the contour period.
+pub fn assemble_medium_2d(mesh: &ContourMesh, green: &PeriodicGreen2d) -> MediumBlocks2d {
+    assert!(
+        (green.period() - mesh.period()).abs() < 1e-9 * mesh.period(),
+        "Green's function period must match the contour period"
+    );
+    let n = mesh.len();
+    let segments = mesh.segments();
+    let width = mesh.segment_width();
+    let mut single = CMatrix::zeros(n, n);
+    let mut double = CMatrix::zeros(n, n);
+
+    // Self term: ∫_seg −ln|x'|/(2π) dx' analytically plus the regular
+    // (constant-at-the-origin) part of the periodic kernel times the width.
+    let log_part = -ln_integral_over_segment(width) / (2.0 * PI);
+    let self_single = c64::from_real(log_part) + green.regularized_at_origin() * width;
+
+    for i in 0..n {
+        single[(i, i)] = self_single;
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let si = segments[i];
+            let sj = segments[j];
+            let dx = si.x - sj.x;
+            let dz = si.z - sj.z;
+
+            // Near interactions get a proper quadrature over the source
+            // segment (tangent-line surface representation) instead of a
+            // single midpoint sample.
+            let near_radius = 2.2 * width;
+            if dx * dx + dz * dz < near_radius * near_radius {
+                let (sij, dij) = integrate_source_segment(green, &si, &sj, width);
+                single[(i, j)] = sij;
+                double[(i, j)] = dij;
+                continue;
+            }
+
+            let sample = green.sample(dx, dz);
+            single[(i, j)] = sample.value * width;
+            // ∇'G = −∇_Δ G
+            let dij = -(sample.gradient[0] * sj.normal[0] + sample.gradient[1] * sj.normal[1])
+                * (sj.jacobian * width);
+            double[(i, j)] = dij;
+        }
+    }
+
+    MediumBlocks2d {
+        single_layer: single,
+        double_layer: double,
+    }
+}
+
+/// Integrates the single- and double-layer kernels over one *near* source
+/// segment with a 4-point Gauss rule (tangent-line surface representation).
+fn integrate_source_segment(
+    green: &PeriodicGreen2d,
+    observation: &Segment2d,
+    source: &Segment2d,
+    width: f64,
+) -> (c64, c64) {
+    let rule = gauss_legendre_on(4, -0.5 * width, 0.5 * width);
+    let mut s = c64::zero();
+    let mut d = c64::zero();
+    for (q, w) in rule.iter() {
+        let xs = source.x + q;
+        let zs = source.z + source.fx * q;
+        let dx = observation.x - xs;
+        let dz = observation.z - zs;
+        let sample = green.sample(dx, dz);
+        s += sample.value * w;
+        d += -(sample.gradient[0] * source.normal[0] + sample.gradient[1] * source.normal[1])
+            * (source.jacobian * w);
+    }
+    (s, d)
+}
+
+/// The assembled 2D SWM system.
+#[derive(Debug, Clone)]
+pub struct SwmSystem2d {
+    /// System matrix (2N × 2N).
+    pub matrix: CMatrix,
+    /// Right-hand side.
+    pub rhs: Vec<c64>,
+    /// Number of surface unknowns N.
+    pub surface_unknowns: usize,
+}
+
+/// Assembles the full coupled 2D system.
+pub fn assemble_system_2d(
+    mesh: &ContourMesh,
+    g1: &PeriodicGreen2d,
+    g2: &PeriodicGreen2d,
+    beta: c64,
+    k1: c64,
+) -> SwmSystem2d {
+    let n = mesh.len();
+    let m1 = assemble_medium_2d(mesh, g1);
+    let m2 = assemble_medium_2d(mesh, g2);
+
+    let mut matrix = CMatrix::zeros(2 * n, 2 * n);
+    let half = c64::from_real(0.5);
+    for i in 0..n {
+        for j in 0..n {
+            let delta_ij = if i == j { c64::one() } else { c64::zero() };
+            matrix[(i, j)] = half * delta_ij - m1.double_layer[(i, j)];
+            matrix[(i, n + j)] = beta * m1.single_layer[(i, j)];
+            matrix[(n + i, j)] = half * delta_ij + m2.double_layer[(i, j)];
+            matrix[(n + i, n + j)] = -m2.single_layer[(i, j)];
+        }
+    }
+
+    let mut rhs = vec![c64::zero(); 2 * n];
+    for (i, seg) in mesh.segments().iter().enumerate() {
+        rhs[i] = (c64::new(0.0, -1.0) * k1 * seg.z).exp();
+    }
+
+    SwmSystem2d {
+        matrix,
+        rhs,
+        surface_unknowns: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rough_surface::Profile1d;
+
+    #[test]
+    fn flat_contour_double_layer_vanishes() {
+        let mesh = ContourMesh::from_profile(&Profile1d::flat(8, 5e-6));
+        let g = PeriodicGreen2d::new(c64::new(1.0e6, 1.0e6), 5e-6);
+        let blocks = assemble_medium_2d(&mesh, &g);
+        // The exact double layer vanishes on a flat contour; the truncated
+        // Kummer series leaves a residue far below anything that could compete
+        // with the ½ free term of the integral equation.
+        let scale = blocks.single_layer[(0, 0)].abs();
+        for i in 0..8 {
+            for j in 0..8 {
+                assert!(
+                    blocks.double_layer[(i, j)].abs() < 1e-5 * scale,
+                    "D[{i}][{j}] = {}",
+                    blocks.double_layer[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_layer_self_term_dominates_neighbours() {
+        let profile = Profile1d::new(
+            5e-6,
+            (0..8)
+                .map(|i| 0.3e-6 * (2.0 * std::f64::consts::PI * i as f64 / 8.0).sin())
+                .collect(),
+        )
+        .unwrap();
+        let mesh = ContourMesh::from_profile(&profile);
+        let g = PeriodicGreen2d::new(c64::new(1.0e6, 1.0e6), 5e-6);
+        let blocks = assemble_medium_2d(&mesh, &g);
+        for i in 0..8 {
+            assert!(blocks.single_layer[(i, i)].abs() > blocks.single_layer[(i, (i + 1) % 8)].abs());
+        }
+    }
+
+    #[test]
+    fn system_shape_and_rhs() {
+        let mesh = ContourMesh::from_profile(&Profile1d::flat(6, 5e-6));
+        let g1 = PeriodicGreen2d::new(c64::new(200.0, 0.0), 5e-6);
+        let g2 = PeriodicGreen2d::new(c64::new(1.0e6, 1.0e6), 5e-6);
+        let sys = assemble_system_2d(&mesh, &g1, &g2, c64::new(0.0, -1e-8), c64::new(200.0, 0.0));
+        assert_eq!(sys.matrix.rows(), 12);
+        assert_eq!(sys.rhs.len(), 12);
+        assert_eq!(sys.surface_unknowns, 6);
+        for i in 0..6 {
+            assert!((sys.rhs[i] - c64::one()).abs() < 1e-9);
+            assert_eq!(sys.rhs[6 + i], c64::zero());
+        }
+    }
+}

@@ -1,0 +1,318 @@
+//! Assembly of the 3D SWM method-of-moments system.
+//!
+//! Discretizing the coupled surface integral equations (paper eq. (7)) with
+//! pulse basis functions on the projected cells and point matching at the cell
+//! centres gives the block system of paper eq. (9):
+//!
+//! ```text
+//! [ ½I − D₁    β·S₁ ] [Ψ]   [Ψ_inc]
+//! [ ½I + D₂   −S₂   ] [U] = [  0  ]
+//! ```
+//!
+//! with the single-layer and double-layer interaction blocks
+//!
+//! ```text
+//! S_ij = ∫_cell_j G_p(r_i, r') dx'dy'           ≈ Δ²·G_p(r_i − r_j)
+//! D_ij = ∫_cell_j ∂G_p/∂n'(r_i, r')·J(r') dx'dy' ≈ Δ²·J_j·n̂_j·∇'G_p(r_i − r_j)
+//! ```
+//!
+//! The free terms are `½` (the standard double-layer jump for a smooth
+//! surface); the paper absorbs them differently but the flat-patch validation
+//! in `swm3d.rs` pins the convention against the analytic Fresnel solution.
+//! Self terms integrate the `1/(4πR)` singularity analytically over the cell
+//! and evaluate the remaining smooth (periodic-image) part with the
+//! regularized kernel.
+
+use crate::mesh::{Cell3d, PatchMesh};
+use rough_em::green::free_space::{inverse_r_integral_over_rectangle, smooth_part_at_origin};
+use rough_em::green::PeriodicGreen3d;
+use rough_numerics::complex::c64;
+use rough_numerics::linalg::CMatrix;
+use rough_numerics::quadrature::gauss_legendre_on;
+
+/// The assembled MOM operator blocks for one medium.
+#[derive(Debug, Clone)]
+pub struct MediumBlocks {
+    /// Single-layer interaction matrix `S` (N × N).
+    pub single_layer: CMatrix,
+    /// Double-layer interaction matrix `D` (N × N).
+    pub double_layer: CMatrix,
+}
+
+/// Assembles the single- and double-layer blocks for one medium.
+///
+/// `green` must be the doubly-periodic kernel of that medium with the same
+/// period as the mesh patch.
+///
+/// # Panics
+///
+/// Panics if the kernel period does not match the mesh patch length.
+pub fn assemble_medium(mesh: &PatchMesh, green: &PeriodicGreen3d) -> MediumBlocks {
+    assert!(
+        (green.period() - mesh.patch_length()).abs() < 1e-9 * mesh.patch_length(),
+        "Green's function period must match the mesh patch length"
+    );
+    let n = mesh.len();
+    let cells = mesh.cells();
+    let area = mesh.cell_area();
+    let delta = mesh.cell_size();
+    let mut single = CMatrix::zeros(n, n);
+    let mut double = CMatrix::zeros(n, n);
+
+    // Self term: ∫_cell 1/(4πR) dx'dy' handled analytically, the smooth
+    // remainder (e^{jkR}−1)/(4πR) with its midpoint value jk/4π, and the
+    // periodic-image contribution through the regularized kernel.
+    let regular_at_zero = green.regularized(0.0, 0.0, 0.0).value;
+    let smooth_at_zero = smooth_part_at_origin(green.wavenumber());
+
+    for i in 0..n {
+        // The distance between two points of the same *tilted* cell is larger
+        // than their projected separation: R² = ρᵀ(I + ∇f ∇fᵀ)ρ. Diagonalizing
+        // the metric stretches the cell by the Jacobian J = √(1+|∇f|²) along
+        // the gradient direction, so the analytic static integral becomes the
+        // one over a Δ × JΔ rectangle divided by J. Neglecting this tilt makes
+        // the self term too large by O(|∇f|²), which would systematically bias
+        // the loss-enhancement factor low.
+        let stretch = cells[i].jacobian;
+        let static_part = inverse_r_integral_over_rectangle(delta, delta * stretch)
+            / (4.0 * std::f64::consts::PI * stretch);
+        single[(i, i)] =
+            c64::from_real(static_part) + (smooth_at_zero + regular_at_zero) * area;
+        // The principal value of the double layer over the (locally flat) self
+        // cell vanishes, as does the gradient of the regularized kernel at the
+        // origin, so D_ii = 0.
+        for j in (i + 1)..n {
+            let ci = cells[i];
+            let cj = cells[j];
+            let dx = ci.x - cj.x;
+            let dy = ci.y - cj.y;
+            let dz = ci.z - cj.z;
+            let r2 = dx * dx + dy * dy + dz * dz;
+
+            // Near interactions: the 1/R kernel varies strongly across the
+            // source cell, so a single midpoint sample biases the absorbed
+            // power low on rough surfaces. Integrate over the source cell with
+            // a tensor Gauss rule (tangent-plane surface representation).
+            let near_radius = 2.5 * delta;
+            if r2 < near_radius * near_radius {
+                let (sij, dij) = integrate_source_cell(green, &ci, &cj, delta);
+                let (sji, dji) = integrate_source_cell(green, &cj, &ci, delta);
+                single[(i, j)] = sij;
+                single[(j, i)] = sji;
+                double[(i, j)] = dij;
+                double[(j, i)] = dji;
+                continue;
+            }
+
+            let sample = green.sample(dx, dy, dz);
+            let s = sample.value * area;
+            single[(i, j)] = s;
+            single[(j, i)] = s;
+
+            // ∇'G = −∇_Δ G. D_ij tests the source-cell normal n̂_j; D_ji the
+            // normal n̂_i with the opposite separation (∇_Δ G is odd).
+            let grad = sample.gradient;
+            let dij = -(grad[0] * cj.normal[0] + grad[1] * cj.normal[1] + grad[2] * cj.normal[2])
+                * (cj.jacobian * area);
+            let dji = (grad[0] * ci.normal[0] + grad[1] * ci.normal[1] + grad[2] * ci.normal[2])
+                * (ci.jacobian * area);
+            double[(i, j)] = dij;
+            double[(j, i)] = dji;
+        }
+    }
+
+    MediumBlocks {
+        single_layer: single,
+        double_layer: double,
+    }
+}
+
+/// Integrates the single- and double-layer kernels over one *near* source cell
+/// with a 3 × 3 tensor Gauss rule, representing the surface inside the cell by
+/// its tangent plane (height and slopes of the cell centre).
+fn integrate_source_cell(
+    green: &PeriodicGreen3d,
+    observation: &Cell3d,
+    source: &Cell3d,
+    delta: f64,
+) -> (c64, c64) {
+    let rule = gauss_legendre_on(3, -0.5 * delta, 0.5 * delta);
+    let mut s = c64::zero();
+    let mut d = c64::zero();
+    for (qx, wx) in rule.iter() {
+        for (qy, wy) in rule.iter() {
+            let xs = source.x + qx;
+            let ys = source.y + qy;
+            let zs = source.z + source.fx * qx + source.fy * qy;
+            let dx = observation.x - xs;
+            let dy = observation.y - ys;
+            let dz = observation.z - zs;
+            let sample = green.sample(dx, dy, dz);
+            let w = wx * wy;
+            s += sample.value * w;
+            let grad = sample.gradient;
+            d += -(grad[0] * source.normal[0]
+                + grad[1] * source.normal[1]
+                + grad[2] * source.normal[2])
+                * (source.jacobian * w);
+        }
+    }
+    (s, d)
+}
+
+/// The full `2N × 2N` SWM system matrix and the incident-field right-hand side.
+#[derive(Debug, Clone)]
+pub struct SwmSystem {
+    /// System matrix of paper eq. (9).
+    pub matrix: CMatrix,
+    /// Right-hand side (incident field on the upper block, zeros below).
+    pub rhs: Vec<c64>,
+    /// Number of surface unknowns N (the system order is 2N).
+    pub surface_unknowns: usize,
+}
+
+/// Assembles the full coupled system.
+///
+/// * `g1`, `g2` — periodic kernels of the dielectric (medium 1) and conductor
+///   (medium 2);
+/// * `beta` — the boundary-condition contrast `β = ε₁/ε₂`;
+/// * `k1` — dielectric wavenumber used for the normally incident plane wave
+///   `ψ_inc = e^{−j k₁ z}` evaluated on the surface.
+pub fn assemble_system(
+    mesh: &PatchMesh,
+    g1: &PeriodicGreen3d,
+    g2: &PeriodicGreen3d,
+    beta: c64,
+    k1: c64,
+) -> SwmSystem {
+    let n = mesh.len();
+    let m1 = assemble_medium(mesh, g1);
+    let m2 = assemble_medium(mesh, g2);
+
+    let mut matrix = CMatrix::zeros(2 * n, 2 * n);
+    let half = c64::from_real(0.5);
+    for i in 0..n {
+        for j in 0..n {
+            let delta_ij = if i == j { c64::one() } else { c64::zero() };
+            // Row block 1: (½I − D₁)Ψ + β S₁ U = Ψ_inc
+            matrix[(i, j)] = half * delta_ij - m1.double_layer[(i, j)];
+            matrix[(i, n + j)] = beta * m1.single_layer[(i, j)];
+            // Row block 2: (½I + D₂)Ψ − S₂ U = 0
+            matrix[(n + i, j)] = half * delta_ij + m2.double_layer[(i, j)];
+            matrix[(n + i, n + j)] = -m2.single_layer[(i, j)];
+        }
+    }
+
+    let mut rhs = vec![c64::zero(); 2 * n];
+    for (i, cell) in mesh.cells().iter().enumerate() {
+        rhs[i] = (c64::new(0.0, -1.0) * k1 * cell.z).exp();
+    }
+
+    SwmSystem {
+        matrix,
+        rhs,
+        surface_unknowns: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rough_surface::RoughSurface;
+
+    fn small_mesh() -> PatchMesh {
+        PatchMesh::from_surface(&RoughSurface::from_fn(4, 5e-6, |x, y| {
+            0.2e-6 * ((2.0 * std::f64::consts::PI * x / 5e-6).sin()
+                + (2.0 * std::f64::consts::PI * y / 5e-6).cos())
+        }))
+    }
+
+    #[test]
+    fn single_layer_is_symmetric_and_diagonally_dominant_in_magnitude() {
+        let mesh = small_mesh();
+        let g2 = PeriodicGreen3d::new(c64::new(1.0e6, 1.0e6), 5e-6);
+        let blocks = assemble_medium(&mesh, &g2);
+        let n = mesh.len();
+        for i in 0..n {
+            for j in 0..n {
+                // Far pairs share one midpoint sample and are exactly
+                // symmetric; near pairs are integrated from each side over the
+                // tangent plane of their own source cell and may differ by a
+                // few percent on a curved surface.
+                let a = blocks.single_layer[(i, j)];
+                let b = blocks.single_layer[(j, i)];
+                assert!(
+                    (a - b).abs() <= 0.15 * a.abs().max(b.abs()),
+                    "S[{i}][{j}] vs S[{j}][{i}]: {a} vs {b}"
+                );
+            }
+            // The singular self integral dominates neighbouring interactions.
+            assert!(
+                blocks.single_layer[(i, i)].abs() > blocks.single_layer[(i, (i + 1) % n)].abs()
+            );
+        }
+    }
+
+    #[test]
+    fn double_layer_vanishes_for_flat_surface() {
+        // On a flat patch every separation is horizontal and every normal is
+        // vertical; the z-gradient of the periodic kernel at Δz = 0 vanishes
+        // by symmetry, so the whole double-layer block must be ~0.
+        let mesh = PatchMesh::from_surface(&RoughSurface::flat(4, 5e-6));
+        let g = PeriodicGreen3d::new(c64::new(1.0e6, 1.0e6), 5e-6);
+        let blocks = assemble_medium(&mesh, &g);
+        let scale = blocks.single_layer[(0, 0)].abs();
+        for i in 0..mesh.len() {
+            for j in 0..mesh.len() {
+                assert!(
+                    blocks.double_layer[(i, j)].abs() < 1e-10 * scale,
+                    "D[{i}][{j}] = {}",
+                    blocks.double_layer[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn self_term_scales_roughly_linearly_with_cell_size() {
+        // The dominant static self integral is proportional to Δ (not Δ²).
+        let g = PeriodicGreen3d::new(c64::new(1.0e6, 1.0e6), 5e-6);
+        let coarse = assemble_medium(
+            &PatchMesh::from_surface(&RoughSurface::flat(4, 5e-6)),
+            &g,
+        );
+        let fine = assemble_medium(
+            &PatchMesh::from_surface(&RoughSurface::flat(8, 5e-6)),
+            &g,
+        );
+        let ratio = coarse.single_layer[(0, 0)].abs() / fine.single_layer[(0, 0)].abs();
+        assert!(ratio > 1.7 && ratio < 2.4, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn system_dimensions_and_rhs() {
+        let mesh = small_mesh();
+        let g1 = PeriodicGreen3d::new(c64::new(200.0, 0.0), 5e-6);
+        let g2 = PeriodicGreen3d::new(c64::new(1.0e6, 1.0e6), 5e-6);
+        let system = assemble_system(&mesh, &g1, &g2, c64::new(0.0, -1e-8), c64::new(200.0, 0.0));
+        assert_eq!(system.surface_unknowns, 16);
+        assert_eq!(system.matrix.rows(), 32);
+        assert_eq!(system.matrix.cols(), 32);
+        assert_eq!(system.rhs.len(), 32);
+        // Incident field is ~1 on the (sub-wavelength-height) surface cells.
+        for i in 0..16 {
+            assert!((system.rhs[i].abs() - 1.0).abs() < 1e-3);
+        }
+        for i in 16..32 {
+            assert_eq!(system.rhs[i], c64::zero());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "period must match")]
+    fn mismatched_period_panics() {
+        let mesh = small_mesh();
+        let g = PeriodicGreen3d::new(c64::new(1.0e6, 1.0e6), 7e-6);
+        let _ = assemble_medium(&mesh, &g);
+    }
+}

@@ -1,0 +1,72 @@
+//! Error type of the SWM solvers.
+
+use rough_surface::SurfaceError;
+use std::fmt;
+
+/// Errors produced while configuring or running an SWM simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SwmError {
+    /// The problem configuration is inconsistent (bad grid, bad frequency, …).
+    InvalidConfiguration(String),
+    /// The supplied surface does not match the configured patch.
+    SurfaceMismatch {
+        /// What was expected.
+        expected: String,
+        /// What was supplied.
+        found: String,
+    },
+    /// Propagated surface-construction error.
+    Surface(SurfaceError),
+    /// The linear solver failed (singular matrix, no convergence, …).
+    LinearSolver(String),
+}
+
+impl fmt::Display for SwmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SwmError::InvalidConfiguration(msg) => write!(f, "invalid SWM configuration: {msg}"),
+            SwmError::SurfaceMismatch { expected, found } => {
+                write!(f, "surface does not match the problem grid: expected {expected}, found {found}")
+            }
+            SwmError::Surface(e) => write!(f, "surface error: {e}"),
+            SwmError::LinearSolver(msg) => write!(f, "linear solver failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SwmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SwmError::Surface(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SurfaceError> for SwmError {
+    fn from(e: SurfaceError) -> Self {
+        SwmError::Surface(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SwmError::InvalidConfiguration("zero cells".into());
+        assert!(e.to_string().contains("zero cells"));
+        let e = SwmError::SurfaceMismatch {
+            expected: "16 cells".into(),
+            found: "8 cells".into(),
+        };
+        assert!(e.to_string().contains("16 cells") && e.to_string().contains("8 cells"));
+        let e: SwmError = SurfaceError::InvalidGrid {
+            reason: "bad".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("bad"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,65 @@
+//! # rough-core
+//!
+//! The scalar wave modeling (SWM) solver — the primary contribution of
+//! *Chen & Wong, "New Simulation Methodology of 3D Surface Roughness Loss for
+//! Interconnects Modeling", DATE 2009*.
+//!
+//! The solver computes the conductor-loss enhancement factor `Pr/Ps` of a rough
+//! dielectric/conductor interface by:
+//!
+//! 1. restricting the problem to a doubly-periodic `L × L` patch
+//!    ([`mesh::PatchMesh`]),
+//! 2. formulating the coupled two-medium scalar integral equations with the
+//!    continuous boundary condition `ψ₁ = ψ₂`, `∂ₙψ₁ = β ∂ₙψ₂`
+//!    ([`assembly3d`]),
+//! 3. evaluating the doubly-periodic kernels with the Ewald method
+//!    (`rough-em`),
+//! 4. solving the `2N × 2N` dense system directly or iteratively
+//!    ([`solver`]), and
+//! 5. integrating the absorbed power `Pr = ∮ ½ Re{ψ* u}` and normalizing by the
+//!    smooth-surface reference ([`power`], [`loss::LossResult`]).
+//!
+//! The [`SwmProblem`] builder is the main entry point; [`swm2d::Swm2dProblem`]
+//! provides the simplified 2D formulation used for the 3D-vs-2D comparison of
+//! the paper's Fig. 6.
+//!
+//! # Example
+//!
+//! ```
+//! use rough_core::{RoughnessSpec, SwmProblem};
+//! use rough_em::material::Stackup;
+//! use rough_em::units::{GigaHertz, Micrometers};
+//!
+//! # fn main() -> Result<(), rough_core::SwmError> {
+//! let problem = SwmProblem::builder(
+//!     Stackup::paper_baseline(),
+//!     RoughnessSpec::gaussian(Micrometers::new(1.0), Micrometers::new(1.0)),
+//! )
+//! .frequency(GigaHertz::new(5.0).into())
+//! .cells_per_side(6)
+//! .build()?;
+//! let surface = problem.sample_surface(42);
+//! let loss = problem.solve(&surface)?;
+//! println!("Pr/Ps = {:.3}", loss.enhancement_factor());
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod assembly2d;
+pub mod assembly3d;
+mod error;
+pub mod loss;
+pub mod mesh;
+pub mod power;
+pub mod solver;
+mod spec;
+pub mod swm2d;
+pub mod swm3d;
+
+pub use error::SwmError;
+pub use solver::SolverKind;
+pub use spec::RoughnessSpec;
+pub use swm3d::{SwmProblem, SwmProblemBuilder};

@@ -1,0 +1,102 @@
+//! Result type of one SWM solve: absorbed powers and the loss-enhancement
+//! factor `Pr/Ps`.
+
+use rough_em::units::Frequency;
+
+/// Outcome of solving the SWM problem on one surface realization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LossResult {
+    frequency: Frequency,
+    absorbed_power: f64,
+    flat_absorbed_power: f64,
+    analytic_smooth_power: f64,
+    relative_residual: f64,
+    unknowns: usize,
+}
+
+impl LossResult {
+    /// Creates a result record (used by the solvers; not usually constructed
+    /// by downstream users).
+    pub fn new(
+        frequency: Frequency,
+        absorbed_power: f64,
+        flat_absorbed_power: f64,
+        analytic_smooth_power: f64,
+        relative_residual: f64,
+        unknowns: usize,
+    ) -> Self {
+        Self {
+            frequency,
+            absorbed_power,
+            flat_absorbed_power,
+            analytic_smooth_power,
+            relative_residual,
+            unknowns,
+        }
+    }
+
+    /// Frequency of the solve.
+    pub fn frequency(&self) -> Frequency {
+        self.frequency
+    }
+
+    /// Absorbed power of the rough patch, `Pr` (paper eq. (10), in the
+    /// unit-incident-wave normalization).
+    pub fn absorbed_power(&self) -> f64 {
+        self.absorbed_power
+    }
+
+    /// Absorbed power of the numerically solved *flat* patch (same grid, same
+    /// solver), used as the `Ps` reference so discretization bias cancels.
+    pub fn flat_absorbed_power(&self) -> f64 {
+        self.flat_absorbed_power
+    }
+
+    /// Analytic smooth-surface power `|T|²·L²/(2δ)` (paper eq. (11) scaled by
+    /// the incident-wave transmission), reported as a cross-check of the
+    /// numerical flat reference.
+    pub fn analytic_smooth_power(&self) -> f64 {
+        self.analytic_smooth_power
+    }
+
+    /// Loss-enhancement factor `Pr/Ps` — the quantity every figure of the
+    /// paper reports.
+    pub fn enhancement_factor(&self) -> f64 {
+        self.absorbed_power / self.flat_absorbed_power
+    }
+
+    /// Loss-enhancement factor referenced to the *analytic* smooth power
+    /// instead of the numerically solved flat patch.
+    pub fn enhancement_factor_analytic_reference(&self) -> f64 {
+        self.absorbed_power / self.analytic_smooth_power
+    }
+
+    /// Relative residual of the linear solve (solution quality indicator).
+    pub fn relative_residual(&self) -> f64 {
+        self.relative_residual
+    }
+
+    /// Number of surface unknowns N (system order was 2N).
+    pub fn unknowns(&self) -> usize {
+        self.unknowns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rough_em::units::GigaHertz;
+
+    #[test]
+    fn enhancement_factors() {
+        let r = LossResult::new(GigaHertz::new(5.0).into(), 3.0, 2.0, 1.9, 1e-12, 64);
+        assert!((r.enhancement_factor() - 1.5).abs() < 1e-15);
+        assert!((r.enhancement_factor_analytic_reference() - 3.0 / 1.9).abs() < 1e-15);
+        assert_eq!(r.unknowns(), 64);
+        assert_eq!(r.frequency().as_gigahertz(), 5.0);
+        assert!(r.relative_residual() < 1e-10);
+        assert_eq!(r.absorbed_power(), 3.0);
+        assert_eq!(r.flat_absorbed_power(), 2.0);
+        assert_eq!(r.analytic_smooth_power(), 1.9);
+    }
+}

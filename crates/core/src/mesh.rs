@@ -1,0 +1,240 @@
+//! Discretization of the doubly-periodic surface patch.
+//!
+//! The MOM formulation (paper §III-B) integrates over the projected `L × L`
+//! plane: each square cell of side `Δ = L/n` carries one pulse basis function
+//! for `ψ` and one for `u = √(1+f_x²+f_y²)·∂ψ/∂n`, with point matching at the
+//! cell centre lifted onto the surface `z = f(x, y)`.
+
+use rough_surface::{Profile1d, RoughSurface};
+
+/// One square cell of the projected patch, lifted onto the rough surface.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cell3d {
+    /// Cell-centre x coordinate (m).
+    pub x: f64,
+    /// Cell-centre y coordinate (m).
+    pub y: f64,
+    /// Surface height at the cell centre (m).
+    pub z: f64,
+    /// Surface slope ∂f/∂x at the cell centre.
+    pub fx: f64,
+    /// Surface slope ∂f/∂y at the cell centre.
+    pub fy: f64,
+    /// Area stretch factor `√(1 + f_x² + f_y²)`.
+    pub jacobian: f64,
+    /// Unit normal (pointing up, out of the conductor into the dielectric).
+    pub normal: [f64; 3],
+}
+
+/// The discretized doubly-periodic patch used by the 3D SWM solver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatchMesh {
+    cells: Vec<Cell3d>,
+    n: usize,
+    length: f64,
+}
+
+impl PatchMesh {
+    /// Builds the mesh from a sampled surface (one cell per surface sample).
+    pub fn from_surface(surface: &RoughSurface) -> Self {
+        let n = surface.samples_per_side();
+        let delta = surface.spacing();
+        let mut cells = Vec::with_capacity(n * n);
+        for iy in 0..n {
+            for ix in 0..n {
+                let (x, y) = surface.coordinates(ix, iy);
+                let z = surface.height(ix as isize, iy as isize);
+                let fx = surface.slope_x(ix as isize, iy as isize);
+                let fy = surface.slope_y(ix as isize, iy as isize);
+                let jacobian = (1.0 + fx * fx + fy * fy).sqrt();
+                let normal = [-fx / jacobian, -fy / jacobian, 1.0 / jacobian];
+                cells.push(Cell3d {
+                    x: x + 0.5 * delta,
+                    y: y + 0.5 * delta,
+                    z,
+                    fx,
+                    fy,
+                    jacobian,
+                    normal,
+                });
+            }
+        }
+        Self {
+            cells,
+            n,
+            length: surface.patch_length(),
+        }
+    }
+
+    /// Cells in row-major order.
+    pub fn cells(&self) -> &[Cell3d] {
+        &self.cells
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Returns `true` if the mesh has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Cells per side.
+    pub fn cells_per_side(&self) -> usize {
+        self.n
+    }
+
+    /// Patch side length (m).
+    pub fn patch_length(&self) -> f64 {
+        self.length
+    }
+
+    /// Cell side length Δ (m).
+    pub fn cell_size(&self) -> f64 {
+        self.length / self.n as f64
+    }
+
+    /// Projected area of one cell, Δ² (m²).
+    pub fn cell_area(&self) -> f64 {
+        let d = self.cell_size();
+        d * d
+    }
+
+    /// Total projected patch area L² (m²).
+    pub fn patch_area(&self) -> f64 {
+        self.length * self.length
+    }
+}
+
+/// One segment of a discretized 1D profile (2D SWM).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment2d {
+    /// Segment-centre x coordinate (m).
+    pub x: f64,
+    /// Surface height at the segment centre (m).
+    pub z: f64,
+    /// Surface slope df/dx at the segment centre.
+    pub fx: f64,
+    /// Arc-length stretch factor `√(1 + f_x²)`.
+    pub jacobian: f64,
+    /// Unit normal (pointing up).
+    pub normal: [f64; 2],
+}
+
+/// The discretized periodic contour used by the 2D SWM solver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContourMesh {
+    segments: Vec<Segment2d>,
+    length: f64,
+}
+
+impl ContourMesh {
+    /// Builds the contour mesh from a 1D profile (one segment per sample).
+    pub fn from_profile(profile: &Profile1d) -> Self {
+        let n = profile.len();
+        let delta = profile.spacing();
+        let mut segments = Vec::with_capacity(n);
+        for i in 0..n {
+            let x = (i as f64 + 0.5) * delta;
+            let z = profile.height(i as isize);
+            let fx = profile.slope(i as isize);
+            let jacobian = (1.0 + fx * fx).sqrt();
+            segments.push(Segment2d {
+                x,
+                z,
+                fx,
+                jacobian,
+                normal: [-fx / jacobian, 1.0 / jacobian],
+            });
+        }
+        Self {
+            segments,
+            length: profile.period(),
+        }
+    }
+
+    /// Segments in order of increasing x.
+    pub fn segments(&self) -> &[Segment2d] {
+        &self.segments
+    }
+
+    /// Number of segments.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Returns `true` if the contour has no segments.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Period along x (m).
+    pub fn period(&self) -> f64 {
+        self.length
+    }
+
+    /// Segment width Δ (m).
+    pub fn segment_width(&self) -> f64 {
+        self.length / self.segments.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_surface_mesh_geometry() {
+        let mesh = PatchMesh::from_surface(&RoughSurface::flat(4, 4e-6));
+        assert_eq!(mesh.len(), 16);
+        assert_eq!(mesh.cells_per_side(), 4);
+        assert!((mesh.cell_size() - 1e-6).abs() < 1e-18);
+        assert!((mesh.cell_area() - 1e-12).abs() < 1e-24);
+        assert!((mesh.patch_area() - 16e-12).abs() < 1e-24);
+        for c in mesh.cells() {
+            assert_eq!(c.z, 0.0);
+            assert_eq!(c.jacobian, 1.0);
+            assert_eq!(c.normal, [0.0, 0.0, 1.0]);
+        }
+        // Cell centres are offset by half a cell.
+        assert!((mesh.cells()[0].x - 0.5e-6).abs() < 1e-18);
+        assert!((mesh.cells()[5].y - 1.5e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn tilted_plane_normals() {
+        // f = a x: normal should be (-a, 0, 1)/sqrt(1+a^2). Avoid the periodic
+        // seam by checking an interior cell.
+        let a = 0.5;
+        let surf = RoughSurface::from_fn(8, 8.0, |x, _| a * x);
+        let mesh = PatchMesh::from_surface(&surf);
+        let c = &mesh.cells()[3 + 3 * 8];
+        let expected_j = (1.0 + a * a).sqrt();
+        assert!((c.fx - a).abs() < 1e-12);
+        assert!((c.jacobian - expected_j).abs() < 1e-12);
+        assert!((c.normal[0] + a / expected_j).abs() < 1e-12);
+        assert!((c.normal[2] - 1.0 / expected_j).abs() < 1e-12);
+        // Normal is unit length.
+        let norm: f64 = c.normal.iter().map(|v| v * v).sum::<f64>();
+        assert!((norm - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contour_mesh_from_profile() {
+        let profile = Profile1d::new(4.0, vec![0.0, 1.0, 0.0, -1.0]).unwrap();
+        let mesh = ContourMesh::from_profile(&profile);
+        assert_eq!(mesh.len(), 4);
+        assert!((mesh.segment_width() - 1.0).abs() < 1e-15);
+        for s in mesh.segments() {
+            let norm: f64 = s.normal.iter().map(|v| v * v).sum::<f64>();
+            assert!((norm - 1.0).abs() < 1e-12);
+            assert!(s.jacobian >= 1.0);
+        }
+        // slope at index 1 is (f(2)-f(0))/(2Δ) = 0
+        assert!((mesh.segments()[1].fx).abs() < 1e-12);
+        // slope at index 0 is (f(1)-f(-1))/(2Δ) = (1-(-1))/2 = 1
+        assert!((mesh.segments()[0].fx - 1.0).abs() < 1e-12);
+    }
+}

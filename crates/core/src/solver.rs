@@ -1,0 +1,180 @@
+//! Linear-system solution strategies for the assembled MOM system.
+//!
+//! The paper points out that eq. (9) can be attacked either directly or with
+//! iterative solvers of `O(N log N)` flavour. Both paths are provided: a dense
+//! LU with partial pivoting (robust default for the patch sizes of the
+//! experiments) and the Krylov solvers of `rough-numerics` (BiCGSTAB /
+//! restarted GMRES), which only need matrix–vector products and therefore also
+//! serve the matrix-free ablation benches.
+
+use crate::error::SwmError;
+use rough_numerics::complex::c64;
+use rough_numerics::iterative::{bicgstab, gmres, IterativeConfig, IterativeError};
+use rough_numerics::linalg::CMatrix;
+
+/// Strategy used to solve the assembled `2N × 2N` system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SolverKind {
+    /// Dense LU factorization with partial pivoting (default).
+    DirectLu,
+    /// BiCGSTAB Krylov iteration.
+    Bicgstab {
+        /// Relative residual tolerance.
+        tolerance: f64,
+    },
+    /// Restarted GMRES(m) Krylov iteration.
+    Gmres {
+        /// Relative residual tolerance.
+        tolerance: f64,
+        /// Restart length.
+        restart: usize,
+    },
+}
+
+impl Default for SolverKind {
+    fn default() -> Self {
+        SolverKind::DirectLu
+    }
+}
+
+/// Diagnostics of one linear solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveStats {
+    /// Relative residual `‖b − A·x‖ / ‖b‖` of the returned solution.
+    pub relative_residual: f64,
+    /// Iterations used (0 for the direct solver).
+    pub iterations: usize,
+}
+
+/// Solves `A·x = b` with the requested strategy.
+///
+/// # Errors
+///
+/// Returns [`SwmError::LinearSolver`] if the factorization detects a singular
+/// matrix or the iteration fails to converge.
+pub fn solve_system(
+    matrix: &CMatrix,
+    rhs: &[c64],
+    kind: SolverKind,
+) -> Result<(Vec<c64>, SolveStats), SwmError> {
+    match kind {
+        SolverKind::DirectLu => {
+            let x = matrix
+                .solve(rhs)
+                .map_err(|e| SwmError::LinearSolver(e.to_string()))?;
+            let stats = SolveStats {
+                relative_residual: relative_residual(matrix, rhs, &x),
+                iterations: 0,
+            };
+            Ok((x, stats))
+        }
+        SolverKind::Bicgstab { tolerance } => {
+            let config = IterativeConfig {
+                tolerance,
+                ..Default::default()
+            };
+            match bicgstab(matrix, rhs, &config) {
+                Ok(sol) => Ok((
+                    sol.x,
+                    SolveStats {
+                        relative_residual: sol.residual,
+                        iterations: sol.iterations,
+                    },
+                )),
+                Err(e) => Err(map_iterative_error(e)),
+            }
+        }
+        SolverKind::Gmres { tolerance, restart } => {
+            let config = IterativeConfig {
+                tolerance,
+                restart,
+                ..Default::default()
+            };
+            match gmres(matrix, rhs, &config) {
+                Ok(sol) => Ok((
+                    sol.x,
+                    SolveStats {
+                        relative_residual: sol.residual,
+                        iterations: sol.iterations,
+                    },
+                )),
+                Err(e) => Err(map_iterative_error(e)),
+            }
+        }
+    }
+}
+
+fn map_iterative_error(e: IterativeError) -> SwmError {
+    SwmError::LinearSolver(e.to_string())
+}
+
+fn relative_residual(matrix: &CMatrix, rhs: &[c64], x: &[c64]) -> f64 {
+    let ax = matrix.matvec(x);
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (a, b) in ax.iter().zip(rhs) {
+        num += (*a - *b).norm_sqr();
+        den += b.norm_sqr();
+    }
+    if den == 0.0 {
+        0.0
+    } else {
+        (num / den).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_system(n: usize) -> (CMatrix, Vec<c64>) {
+        let a = CMatrix::from_fn(n, n, |i, j| {
+            if i == j {
+                c64::new(3.0, 0.5)
+            } else {
+                c64::new(0.2 / (1.0 + (i as f64 - j as f64).abs()), -0.05)
+            }
+        });
+        let b: Vec<c64> = (0..n).map(|i| c64::new(1.0 + i as f64 * 0.1, -0.3)).collect();
+        (a, b)
+    }
+
+    #[test]
+    fn all_solvers_agree() {
+        let (a, b) = test_system(30);
+        let (x_lu, s_lu) = solve_system(&a, &b, SolverKind::DirectLu).unwrap();
+        let (x_bi, s_bi) =
+            solve_system(&a, &b, SolverKind::Bicgstab { tolerance: 1e-11 }).unwrap();
+        let (x_gm, s_gm) = solve_system(
+            &a,
+            &b,
+            SolverKind::Gmres {
+                tolerance: 1e-11,
+                restart: 25,
+            },
+        )
+        .unwrap();
+        assert!(s_lu.relative_residual < 1e-12);
+        assert!(s_bi.iterations > 0 && s_bi.relative_residual < 1e-10);
+        assert!(s_gm.iterations > 0 && s_gm.relative_residual < 1e-10);
+        for i in 0..30 {
+            assert!((x_lu[i] - x_bi[i]).abs() < 1e-8);
+            assert!((x_lu[i] - x_gm[i]).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn singular_matrix_is_an_error() {
+        let a = CMatrix::zeros(4, 4);
+        let b = vec![c64::one(); 4];
+        match solve_system(&a, &b, SolverKind::DirectLu) {
+            Err(SwmError::LinearSolver(msg)) => assert!(msg.contains("singular")),
+            other => panic!("expected solver error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn default_solver_is_direct() {
+        assert_eq!(SolverKind::default(), SolverKind::DirectLu);
+    }
+}

@@ -1,0 +1,188 @@
+//! Roughness specification: what kind of surface the SWM problem simulates.
+//!
+//! Mirrors paper §II: the surface is either a parameterized stochastic process
+//! (Gaussian PDF with a chosen correlation function — Figs. 2–4, 6, 7) or a
+//! deterministic protrusion supplied explicitly (the half-spheroid of Fig. 5).
+
+use rough_em::units::Length;
+use rough_surface::correlation::CorrelationFunction;
+
+/// Specification of the rough interface.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoughnessSpec {
+    cf: Option<CorrelationFunction>,
+    patch_factor: f64,
+    explicit_patch_length: Option<f64>,
+}
+
+impl RoughnessSpec {
+    /// Stochastic roughness with a Gaussian correlation function
+    /// (σ, η in any length unit convertible to [`Length`]).
+    ///
+    /// The default patch is `L = 5η`, the value used throughout the paper's
+    /// experiments.
+    pub fn gaussian(sigma: impl Into<Length>, eta: impl Into<Length>) -> Self {
+        let cf = CorrelationFunction::gaussian(sigma.into().value(), eta.into().value());
+        Self {
+            cf: Some(cf),
+            patch_factor: 5.0,
+            explicit_patch_length: None,
+        }
+    }
+
+    /// Stochastic roughness with an exponential correlation function.
+    pub fn exponential(sigma: impl Into<Length>, eta: impl Into<Length>) -> Self {
+        let cf = CorrelationFunction::exponential(sigma.into().value(), eta.into().value());
+        Self {
+            cf: Some(cf),
+            patch_factor: 5.0,
+            explicit_patch_length: None,
+        }
+    }
+
+    /// Stochastic roughness with the measurement-extracted correlation function
+    /// of paper eq. (12).
+    pub fn measured(
+        sigma: impl Into<Length>,
+        eta1: impl Into<Length>,
+        eta2: impl Into<Length>,
+    ) -> Self {
+        let cf = CorrelationFunction::measured(
+            sigma.into().value(),
+            eta1.into().value(),
+            eta2.into().value(),
+        );
+        Self {
+            cf: Some(cf),
+            patch_factor: 5.0,
+            explicit_patch_length: None,
+        }
+    }
+
+    /// Stochastic roughness described by an arbitrary correlation function.
+    pub fn from_correlation(cf: CorrelationFunction) -> Self {
+        Self {
+            cf: Some(cf),
+            patch_factor: 5.0,
+            explicit_patch_length: None,
+        }
+    }
+
+    /// Deterministic roughness: the caller supplies the surface realization
+    /// explicitly (e.g. the conducting half-spheroid of Fig. 5); only the patch
+    /// length needs to be declared here.
+    pub fn deterministic(patch_length: impl Into<Length>) -> Self {
+        Self {
+            cf: None,
+            patch_factor: 5.0,
+            explicit_patch_length: Some(patch_length.into().value()),
+        }
+    }
+
+    /// Overrides the patch-length-to-correlation-length ratio (default 5, the
+    /// paper's `L = 5η`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the factor is not positive.
+    pub fn with_patch_factor(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0, "patch factor must be positive");
+        self.patch_factor = factor;
+        self
+    }
+
+    /// Overrides the patch length explicitly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not positive.
+    pub fn with_patch_length(mut self, length: impl Into<Length>) -> Self {
+        let l = length.into().value();
+        assert!(l > 0.0, "patch length must be positive");
+        self.explicit_patch_length = Some(l);
+        self
+    }
+
+    /// The correlation function, if this is a stochastic specification.
+    pub fn correlation(&self) -> Option<&CorrelationFunction> {
+        self.cf.as_ref()
+    }
+
+    /// Returns `true` when the surface is a stochastic process (rather than a
+    /// user-supplied deterministic profile).
+    pub fn is_stochastic(&self) -> bool {
+        self.cf.is_some()
+    }
+
+    /// The side length of the doubly-periodic patch (m).
+    ///
+    /// # Panics
+    ///
+    /// Panics for a deterministic specification without an explicit length
+    /// (cannot happen through the public constructors).
+    pub fn patch_length(&self) -> f64 {
+        if let Some(l) = self.explicit_patch_length {
+            return l;
+        }
+        let cf = self
+            .cf
+            .as_ref()
+            .expect("deterministic specs always carry an explicit patch length");
+        self.patch_factor * cf.correlation_length()
+    }
+
+    /// RMS height of the specification, if stochastic.
+    pub fn sigma(&self) -> Option<f64> {
+        self.cf.as_ref().map(|c| c.sigma())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rough_em::units::Micrometers;
+
+    #[test]
+    fn gaussian_spec_defaults_to_paper_patch() {
+        let spec = RoughnessSpec::gaussian(Micrometers::new(1.0), Micrometers::new(2.0));
+        assert!(spec.is_stochastic());
+        assert!((spec.patch_length() - 10e-6).abs() < 1e-18);
+        assert!((spec.sigma().unwrap() - 1e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn patch_overrides() {
+        let spec = RoughnessSpec::gaussian(Micrometers::new(1.0), Micrometers::new(1.0))
+            .with_patch_factor(8.0);
+        assert!((spec.patch_length() - 8e-6).abs() < 1e-18);
+        let spec = spec.with_patch_length(Micrometers::new(3.0));
+        assert!((spec.patch_length() - 3e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn measured_spec_uses_effective_correlation_length() {
+        let spec = RoughnessSpec::measured(
+            Micrometers::new(1.0),
+            Micrometers::new(1.4),
+            Micrometers::new(0.53),
+        );
+        let expected = 5.0 * (1.4e-6f64 * 0.53e-6).sqrt();
+        assert!((spec.patch_length() - expected).abs() < 1e-12 * expected);
+    }
+
+    #[test]
+    fn deterministic_spec() {
+        let spec = RoughnessSpec::deterministic(Micrometers::new(20.0));
+        assert!(!spec.is_stochastic());
+        assert!(spec.correlation().is_none());
+        assert!(spec.sigma().is_none());
+        assert!((spec.patch_length() - 20e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    #[should_panic(expected = "patch factor must be positive")]
+    fn bad_patch_factor_panics() {
+        let _ = RoughnessSpec::gaussian(Micrometers::new(1.0), Micrometers::new(1.0))
+            .with_patch_factor(0.0);
+    }
+}

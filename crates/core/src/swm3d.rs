@@ -1,0 +1,482 @@
+//! High-level 3D SWM problem: configuration, surface sampling and solution.
+//!
+//! [`SwmProblem`] bundles the material stack, the roughness specification, the
+//! frequency and the discretization, and produces the loss-enhancement factor
+//! `Pr/Ps` for individual surface realizations. The stochastic drivers
+//! (Monte-Carlo, SSCM) call [`SwmProblem::solve_with_reference`] repeatedly
+//! with surfaces synthesized from the same specification.
+
+use crate::assembly3d::assemble_system;
+use crate::error::SwmError;
+use crate::loss::LossResult;
+use crate::mesh::PatchMesh;
+use crate::power::{absorbed_power_3d, smooth_surface_power};
+use crate::solver::{solve_system, SolveStats, SolverKind};
+use crate::spec::RoughnessSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rough_em::fresnel::flat_interface;
+use rough_em::green::PeriodicGreen3d;
+use rough_em::material::Stackup;
+use rough_em::units::Frequency;
+use rough_surface::generation::kl::KarhunenLoeve;
+use rough_surface::generation::spectral::SpectralSurfaceGenerator;
+use rough_surface::RoughSurface;
+
+/// A fully configured 3D scalar-wave-modeling problem.
+///
+/// # Example
+///
+/// ```
+/// use rough_core::{RoughnessSpec, SwmProblem};
+/// use rough_em::material::Stackup;
+/// use rough_em::units::{GigaHertz, Micrometers};
+///
+/// # fn main() -> Result<(), rough_core::SwmError> {
+/// let problem = SwmProblem::builder(
+///     Stackup::paper_baseline(),
+///     RoughnessSpec::gaussian(Micrometers::new(1.0), Micrometers::new(1.0)),
+/// )
+/// .frequency(GigaHertz::new(5.0).into())
+/// .cells_per_side(6)
+/// .build()?;
+/// let surface = problem.sample_surface(1);
+/// let result = problem.solve(&surface)?;
+/// assert!(result.enhancement_factor() > 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SwmProblem {
+    stack: Stackup,
+    roughness: RoughnessSpec,
+    frequency: Frequency,
+    cells_per_side: usize,
+    solver: SolverKind,
+}
+
+/// Builder for [`SwmProblem`].
+#[derive(Debug, Clone)]
+pub struct SwmProblemBuilder {
+    stack: Stackup,
+    roughness: RoughnessSpec,
+    frequency: Option<Frequency>,
+    cells_per_side: usize,
+    solver: SolverKind,
+}
+
+impl SwmProblem {
+    /// Starts building a problem for a material stack and roughness
+    /// specification.
+    pub fn builder(stack: Stackup, roughness: RoughnessSpec) -> SwmProblemBuilder {
+        SwmProblemBuilder {
+            stack,
+            roughness,
+            frequency: None,
+            cells_per_side: 16,
+            solver: SolverKind::DirectLu,
+        }
+    }
+
+    /// Material stack (dielectric over conductor).
+    pub fn stack(&self) -> &Stackup {
+        &self.stack
+    }
+
+    /// Roughness specification.
+    pub fn roughness(&self) -> &RoughnessSpec {
+        &self.roughness
+    }
+
+    /// Simulation frequency.
+    pub fn frequency(&self) -> Frequency {
+        self.frequency
+    }
+
+    /// Cells per side of the periodic patch.
+    pub fn cells_per_side(&self) -> usize {
+        self.cells_per_side
+    }
+
+    /// Side length of the periodic patch (m).
+    pub fn patch_length(&self) -> f64 {
+        self.roughness.patch_length()
+    }
+
+    /// Returns a problem identical to this one at a different frequency
+    /// (used by frequency sweeps).
+    pub fn at_frequency(&self, frequency: Frequency) -> Self {
+        let mut p = self.clone();
+        p.frequency = frequency;
+        p
+    }
+
+    /// Samples one surface realization from the stochastic specification.
+    ///
+    /// Power-of-two grids use the FFT spectral synthesis; other grid sizes fall
+    /// back to the (slower to set up) Karhunen–Loève expansion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the roughness specification is deterministic (supply your own
+    /// [`RoughSurface`] to [`SwmProblem::solve`] in that case).
+    pub fn sample_surface(&self, seed: u64) -> RoughSurface {
+        let cf = *self
+            .roughness
+            .correlation()
+            .expect("sample_surface requires a stochastic roughness specification");
+        let n = self.cells_per_side;
+        let length = self.patch_length();
+        let mut rng = StdRng::seed_from_u64(seed);
+        if n.is_power_of_two() && n >= 4 {
+            let generator = SpectralSurfaceGenerator::new(cf, n, length)
+                .expect("validated power-of-two grid");
+            generator.generate(&mut rng)
+        } else {
+            let kl = KarhunenLoeve::new(cf, n, length, 0.995).expect("validated grid");
+            kl.sample(&mut rng).1
+        }
+    }
+
+    /// Samples a ridged (y-uniform) surface realization with the same 1D
+    /// statistics — the "2D roughness" comparison case of Fig. 6.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the specification is deterministic or the grid is not a power
+    /// of two.
+    pub fn sample_ridged_surface(&self, seed: u64) -> RoughSurface {
+        let cf = *self
+            .roughness
+            .correlation()
+            .expect("sample_ridged_surface requires a stochastic roughness specification");
+        let generator = SpectralSurfaceGenerator::new(cf, self.cells_per_side, self.patch_length())
+            .expect("ridged sampling requires a power-of-two grid");
+        let mut rng = StdRng::seed_from_u64(seed);
+        generator.generate_ridged(&mut rng)
+    }
+
+    /// Absorbed power `Pr` of one surface realization (paper eq. (10)) together
+    /// with the linear-solve diagnostics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwmError::SurfaceMismatch`] if the surface grid does not match
+    /// the problem configuration, or a solver error.
+    pub fn absorbed_power(&self, surface: &RoughSurface) -> Result<(f64, SolveStats), SwmError> {
+        self.check_surface(surface)?;
+        let mesh = PatchMesh::from_surface(surface);
+        let g1 = PeriodicGreen3d::new(self.stack.k1(self.frequency), mesh.patch_length());
+        let g2 = PeriodicGreen3d::new(self.stack.k2(self.frequency), mesh.patch_length());
+        let system = assemble_system(
+            &mesh,
+            &g1,
+            &g2,
+            self.stack.beta(self.frequency),
+            self.stack.k1(self.frequency),
+        );
+        let (solution, stats) = solve_system(&system.matrix, &system.rhs, self.solver)?;
+        let n = system.surface_unknowns;
+        let power = absorbed_power_3d(&mesh, &solution[..n], &solution[n..]);
+        Ok((power, stats))
+    }
+
+    /// Absorbed power of the flat (smooth) patch solved with the same grid and
+    /// solver — the `Ps` reference of the enhancement factor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures.
+    pub fn flat_reference_power(&self) -> Result<f64, SwmError> {
+        let flat = RoughSurface::flat(self.cells_per_side, self.patch_length());
+        let (power, _) = self.absorbed_power(&flat)?;
+        Ok(power)
+    }
+
+    /// Analytic smooth-surface power `|T|²·L²/(2δ)` for cross-checking the
+    /// numerical flat reference.
+    pub fn analytic_smooth_power(&self) -> f64 {
+        let sol = flat_interface(&self.stack, self.frequency);
+        smooth_surface_power(
+            self.patch_length() * self.patch_length(),
+            self.stack.skin_depth(self.frequency).value(),
+            sol.transmission.abs(),
+        )
+    }
+
+    /// Solves the problem for one surface realization, computing the flat
+    /// reference on the fly.
+    ///
+    /// When evaluating many realizations (Monte-Carlo, SSCM) compute the flat
+    /// reference once with [`SwmProblem::flat_reference_power`] and use
+    /// [`SwmProblem::solve_with_reference`] instead.
+    ///
+    /// # Errors
+    ///
+    /// Propagates surface-mismatch and solver errors.
+    pub fn solve(&self, surface: &RoughSurface) -> Result<LossResult, SwmError> {
+        let reference = self.flat_reference_power()?;
+        self.solve_with_reference(surface, reference)
+    }
+
+    /// Solves the problem for one surface realization against a pre-computed
+    /// flat reference power.
+    ///
+    /// # Errors
+    ///
+    /// Propagates surface-mismatch and solver errors.
+    pub fn solve_with_reference(
+        &self,
+        surface: &RoughSurface,
+        flat_reference: f64,
+    ) -> Result<LossResult, SwmError> {
+        let (power, stats) = self.absorbed_power(surface)?;
+        Ok(LossResult::new(
+            self.frequency,
+            power,
+            flat_reference,
+            self.analytic_smooth_power(),
+            stats.relative_residual,
+            self.cells_per_side * self.cells_per_side,
+        ))
+    }
+
+    fn check_surface(&self, surface: &RoughSurface) -> Result<(), SwmError> {
+        if surface.samples_per_side() != self.cells_per_side {
+            return Err(SwmError::SurfaceMismatch {
+                expected: format!("{} samples per side", self.cells_per_side),
+                found: format!("{} samples per side", surface.samples_per_side()),
+            });
+        }
+        let expected_l = self.patch_length();
+        if (surface.patch_length() - expected_l).abs() > 1e-9 * expected_l {
+            return Err(SwmError::SurfaceMismatch {
+                expected: format!("patch length {expected_l:.3e} m"),
+                found: format!("patch length {:.3e} m", surface.patch_length()),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl SwmProblemBuilder {
+    /// Sets the simulation frequency (required).
+    pub fn frequency(mut self, frequency: Frequency) -> Self {
+        self.frequency = Some(frequency);
+        self
+    }
+
+    /// Sets the number of cells per side of the patch directly.
+    pub fn cells_per_side(mut self, n: usize) -> Self {
+        self.cells_per_side = n;
+        self
+    }
+
+    /// Sets the resolution as cells per correlation length (the paper uses 8,
+    /// i.e. a grid interval of η/8). Only meaningful for stochastic
+    /// specifications; the resulting cell count is `patch length / η × cells`.
+    pub fn cells_per_correlation_length(mut self, cells: usize) -> Self {
+        if let Some(cf) = self.roughness.correlation() {
+            let eta = cf.correlation_length();
+            let l = self.roughness.patch_length();
+            self.cells_per_side = ((l / eta) * cells as f64).round().max(4.0) as usize;
+        }
+        self
+    }
+
+    /// Selects the linear-solver strategy.
+    pub fn solver(mut self, solver: SolverKind) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// Finalizes the problem.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwmError::InvalidConfiguration`] if the frequency is missing
+    /// or not positive, or the grid is too coarse.
+    pub fn build(self) -> Result<SwmProblem, SwmError> {
+        let frequency = self.frequency.ok_or_else(|| {
+            SwmError::InvalidConfiguration("a simulation frequency must be specified".into())
+        })?;
+        if frequency.value() <= 0.0 {
+            return Err(SwmError::InvalidConfiguration(
+                "the simulation frequency must be positive".into(),
+            ));
+        }
+        if self.cells_per_side < 4 {
+            return Err(SwmError::InvalidConfiguration(format!(
+                "at least 4 cells per side are required, got {}",
+                self.cells_per_side
+            )));
+        }
+        if self.cells_per_side > 128 {
+            return Err(SwmError::InvalidConfiguration(format!(
+                "{} cells per side would create a dense system of order {}; keep the patch below 128 cells per side",
+                self.cells_per_side,
+                2 * self.cells_per_side * self.cells_per_side
+            )));
+        }
+        Ok(SwmProblem {
+            stack: self.stack,
+            roughness: self.roughness,
+            frequency,
+            cells_per_side: self.cells_per_side,
+            solver: self.solver,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rough_em::units::{GigaHertz, Micrometers};
+
+    fn paper_problem(cells: usize, ghz: f64) -> SwmProblem {
+        SwmProblem::builder(
+            Stackup::paper_baseline(),
+            RoughnessSpec::gaussian(Micrometers::new(1.0), Micrometers::new(1.0)),
+        )
+        .frequency(GigaHertz::new(ghz).into())
+        .cells_per_side(cells)
+        .build()
+        .expect("valid configuration")
+    }
+
+    #[test]
+    fn flat_patch_reproduces_the_analytic_smooth_power() {
+        // The normalization anchor: the numerically solved flat patch must
+        // match |T|^2 L^2/(2 delta) to within the discretization error.
+        for ghz in [1.0, 5.0] {
+            let problem = paper_problem(8, ghz);
+            let numeric = problem.flat_reference_power().unwrap();
+            let analytic = problem.analytic_smooth_power();
+            let rel = (numeric - analytic).abs() / analytic;
+            assert!(
+                rel < 0.08,
+                "f = {ghz} GHz: numeric {numeric:.4e} vs analytic {analytic:.4e} (rel {rel:.3})"
+            );
+        }
+    }
+
+    #[test]
+    fn flat_surface_enhancement_is_unity() {
+        let problem = paper_problem(6, 5.0);
+        let flat = RoughSurface::flat(6, problem.patch_length());
+        let result = problem.solve(&flat).unwrap();
+        assert!((result.enhancement_factor() - 1.0).abs() < 1e-10);
+        assert!(result.relative_residual() < 1e-8);
+    }
+
+    #[test]
+    fn rough_surface_increases_the_loss_and_scales_with_roughness() {
+        let problem = paper_problem(8, 5.0);
+        let l = problem.patch_length();
+        let bumpy = |amp: f64| {
+            RoughSurface::from_fn(8, l, |x, y| {
+                amp * ((2.0 * std::f64::consts::PI * x / l).cos()
+                    + (2.0 * std::f64::consts::PI * y / l).sin())
+            })
+        };
+        let reference = problem.flat_reference_power().unwrap();
+        let small = problem
+            .solve_with_reference(&bumpy(0.2e-6), reference)
+            .unwrap();
+        let large = problem
+            .solve_with_reference(&bumpy(0.6e-6), reference)
+            .unwrap();
+        assert!(small.enhancement_factor() > 1.0);
+        assert!(large.enhancement_factor() > small.enhancement_factor());
+        assert!(large.enhancement_factor() < 4.0, "implausibly large factor");
+    }
+
+    #[test]
+    fn enhancement_grows_with_frequency() {
+        let l = 5e-6;
+        let surface = RoughSurface::from_fn(8, l, |x, y| {
+            0.5e-6
+                * ((2.0 * std::f64::consts::PI * x / l).cos()
+                    + (2.0 * std::f64::consts::PI * y / l).sin())
+        });
+        let low = paper_problem(8, 2.0).solve(&surface).unwrap();
+        let high = paper_problem(8, 8.0).solve(&surface).unwrap();
+        assert!(high.enhancement_factor() > low.enhancement_factor());
+        // At this coarse 8×8 validation grid the enhancement carries a small
+        // (documented) low bias; the physical trend is what is asserted here,
+        // finer grids are exercised by the experiment harness.
+        assert!(low.enhancement_factor() > 0.95);
+        assert!(high.enhancement_factor() > 1.0);
+    }
+
+    #[test]
+    fn sampled_surfaces_are_reproducible_and_match_the_grid() {
+        let problem = paper_problem(8, 5.0);
+        let a = problem.sample_surface(3);
+        let b = problem.sample_surface(3);
+        let c = problem.sample_surface(4);
+        assert_eq!(a.heights(), b.heights());
+        assert_ne!(a.heights(), c.heights());
+        assert_eq!(a.samples_per_side(), 8);
+        assert!((a.patch_length() - problem.patch_length()).abs() < 1e-18);
+        // Non-power-of-two grids fall back to the KL sampler.
+        let kl_problem = paper_problem(6, 5.0);
+        let s = kl_problem.sample_surface(1);
+        assert_eq!(s.samples_per_side(), 6);
+        assert!(s.rms_height() > 0.1e-6);
+    }
+
+    #[test]
+    fn surface_mismatch_is_detected() {
+        let problem = paper_problem(8, 5.0);
+        let wrong_n = RoughSurface::flat(6, problem.patch_length());
+        assert!(matches!(
+            problem.solve(&wrong_n),
+            Err(SwmError::SurfaceMismatch { .. })
+        ));
+        let wrong_l = RoughSurface::flat(8, 2.0 * problem.patch_length());
+        assert!(matches!(
+            problem.solve(&wrong_l),
+            Err(SwmError::SurfaceMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn builder_validation() {
+        let stack = Stackup::paper_baseline();
+        let spec = RoughnessSpec::gaussian(Micrometers::new(1.0), Micrometers::new(1.0));
+        assert!(matches!(
+            SwmProblem::builder(stack, spec.clone()).build(),
+            Err(SwmError::InvalidConfiguration(_))
+        ));
+        assert!(matches!(
+            SwmProblem::builder(stack, spec.clone())
+                .frequency(GigaHertz::new(5.0).into())
+                .cells_per_side(2)
+                .build(),
+            Err(SwmError::InvalidConfiguration(_))
+        ));
+        assert!(matches!(
+            SwmProblem::builder(stack, spec.clone())
+                .frequency(GigaHertz::new(5.0).into())
+                .cells_per_side(500)
+                .build(),
+            Err(SwmError::InvalidConfiguration(_))
+        ));
+        let p = SwmProblem::builder(stack, spec)
+            .frequency(GigaHertz::new(5.0).into())
+            .cells_per_correlation_length(2)
+            .build()
+            .unwrap();
+        assert_eq!(p.cells_per_side(), 10);
+    }
+
+    #[test]
+    fn at_frequency_preserves_everything_else() {
+        let p = paper_problem(8, 5.0);
+        let q = p.at_frequency(GigaHertz::new(9.0).into());
+        assert_eq!(q.cells_per_side(), 8);
+        assert!((q.frequency().as_gigahertz() - 9.0).abs() < 1e-12);
+        assert!((q.patch_length() - p.patch_length()).abs() < 1e-18);
+    }
+}

@@ -1,0 +1,28 @@
+//! Physical constants (SI).
+
+/// Vacuum permeability `µ₀` in H/m.
+pub const MU_0: f64 = 1.2566370614359173e-6; // 4π × 10⁻⁷
+
+/// Vacuum permittivity `ε₀` in F/m.
+pub const EPSILON_0: f64 = 8.8541878128e-12;
+
+/// Speed of light in vacuum in m/s.
+pub const C_0: f64 = 2.99792458e8;
+
+/// Free-space wave impedance `η₀ = √(µ₀/ε₀)` in Ω.
+pub const ETA_0: f64 = 376.730313668;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_consistent() {
+        // c = 1/sqrt(mu0 eps0)
+        let c = 1.0 / (MU_0 * EPSILON_0).sqrt();
+        assert!((c - C_0).abs() / C_0 < 1e-9);
+        // eta0 = sqrt(mu0/eps0)
+        let eta = (MU_0 / EPSILON_0).sqrt();
+        assert!((eta - ETA_0).abs() / ETA_0 < 1e-9);
+    }
+}

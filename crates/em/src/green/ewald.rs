@@ -1,0 +1,482 @@
+//! Doubly-periodic scalar Green's function evaluated with the Ewald method.
+//!
+//! The SWM formulation restricts the surface-roughness problem to an `L × L`
+//! patch with doubly-periodic boundary conditions (paper §III-B). The kernel of
+//! the resulting integral equations is the periodic Green's function
+//!
+//! ```text
+//! G_p(Δ) = Σ_{p,q} exp(jk·R_pq) / (4π R_pq),   R_pq = |Δ − p·L·x̂ − q·L·ŷ|
+//! ```
+//!
+//! which converges hopelessly slowly (or not at all) when summed directly for a
+//! nearly real wavenumber. The Ewald method splits it into a *spatial* part
+//! whose terms decay like a Gaussian in `R` and a *spectral* (Floquet) part
+//! whose terms decay like a Gaussian in the transverse mode index — "very few
+//! terms" of each are needed (paper §III-B, ref. [16]).
+//!
+//! Derivation sketch (see `DESIGN.md` §6 for the validation anchors): starting
+//! from the identity
+//! `e^{jkR}/(4πR) = (1/(2π^{3/2})) ∫₀^∞ exp(−R²s² + k²/(4s²)) ds`
+//! and splitting the integral at `s = E`,
+//!
+//! * the `s ∈ (E, ∞)` piece gives, per lattice image,
+//!   `(1/(8πR))·[e^{jkR}·erfc(RE + jk/2E) + e^{−jkR}·erfc(RE − jk/2E)]`,
+//! * the `s ∈ (0, E)` piece is Poisson-summed over the lattice giving, per
+//!   Floquet mode `(m, n)` with `k_t = 2π(m, n)/L` and
+//!   `c = −j·√(k² − |k_t|²)` (principal branch),
+//!   `(e^{j k_t·ρ}/(4L²c))·[e^{c|Δz|}·erfc(c/2E + |Δz|E) + e^{−c|Δz|}·erfc(c/2E − |Δz|E)]`.
+//!
+//! The value is independent of the splitting parameter `E`; the default
+//! `E = √π / L` balances the two sums.
+
+use crate::green::free_space::scalar_green_3d;
+use rough_numerics::complex::c64;
+use rough_numerics::special::erfc_complex;
+use std::f64::consts::PI;
+
+/// Value and gradient of the periodic Green's function at one separation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GreenSample {
+    /// Kernel value `G_p(Δ)`.
+    pub value: c64,
+    /// Gradient with respect to the separation `Δ = r − r'` (the gradient with
+    /// respect to the source point is the negative of this).
+    pub gradient: [c64; 3],
+}
+
+/// Doubly-periodic (period `L` along x and y) scalar Green's function of the
+/// 3D Helmholtz operator, evaluated by Ewald summation.
+///
+/// # Example
+///
+/// ```
+/// use rough_em::green::PeriodicGreen3d;
+/// use rough_numerics::complex::c64;
+///
+/// // A lossy medium: the direct lattice sum converges and must agree.
+/// let k = c64::new(1.0, 1.0);
+/// let g = PeriodicGreen3d::new(k, 5.0);
+/// let ewald = g.value(1.0, 0.5, 0.3);
+/// let direct = g.direct_spatial_sum(1.0, 0.5, 0.3, 40);
+/// assert!((ewald - direct).abs() < 1e-8 * direct.abs());
+/// ```
+#[derive(Debug, Clone)]
+pub struct PeriodicGreen3d {
+    k: c64,
+    period: f64,
+    splitting: f64,
+    /// Spatial images with `|p|, |q| ≤ spatial_range` are considered (subject
+    /// to the Gaussian-window cutoff).
+    spatial_range: i32,
+    /// Floquet modes with `|m|, |n| ≤ spectral_range` are considered.
+    spectral_range: i32,
+}
+
+impl PeriodicGreen3d {
+    /// Creates the kernel for wavenumber `k` and period `L`, using the default
+    /// splitting parameter `E = √π/L` and ranges giving ≈ 1e-11 absolute
+    /// accuracy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is not positive or if `Im(k) < 0` (gain media are not
+    /// supported).
+    pub fn new(k: c64, period: f64) -> Self {
+        Self::with_splitting(k, period, PI.sqrt() / period)
+    }
+
+    /// Creates the kernel with an explicit Ewald splitting parameter.
+    ///
+    /// Exposed mainly so tests can verify that results do not depend on the
+    /// splitting; use [`PeriodicGreen3d::new`] otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` or `splitting` is not positive, or if `Im(k) < 0`.
+    pub fn with_splitting(k: c64, period: f64, splitting: f64) -> Self {
+        assert!(period > 0.0, "period must be positive");
+        assert!(splitting > 0.0, "splitting parameter must be positive");
+        assert!(k.im >= 0.0, "gain media (Im k < 0) are not supported");
+        // erfc(x) < 1e-11 for x > 4.8: choose ranges so the skipped terms are
+        // below that threshold.
+        let cutoff = 4.8;
+        let spatial_range = ((cutoff / (splitting * period)).ceil() as i32 + 1).max(2);
+        // Spectral terms decay like erfc(c/2E) with c ≈ 2π√(m²+n²)/L.
+        let spectral_range = ((cutoff * 2.0 * splitting * period / (2.0 * PI)).ceil() as i32 + 1).max(2);
+        Self {
+            k,
+            period,
+            splitting,
+            spatial_range,
+            spectral_range,
+        }
+    }
+
+    /// Wavenumber of the homogeneous medium.
+    pub fn wavenumber(&self) -> c64 {
+        self.k
+    }
+
+    /// Period `L` of the square lattice.
+    pub fn period(&self) -> f64 {
+        self.period
+    }
+
+    /// Ewald splitting parameter `E`.
+    pub fn splitting(&self) -> f64 {
+        self.splitting
+    }
+
+    /// Kernel value at separation `Δ = (dx, dy, dz)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the separation coincides with a lattice point (the kernel is
+    /// singular there); use [`PeriodicGreen3d::regularized`] for self terms.
+    pub fn value(&self, dx: f64, dy: f64, dz: f64) -> c64 {
+        self.sample(dx, dy, dz).value
+    }
+
+    /// Kernel value and gradient at separation `Δ = (dx, dy, dz)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the separation coincides with a lattice point.
+    pub fn sample(&self, dx: f64, dy: f64, dz: f64) -> GreenSample {
+        let (spatial, spatial_grad) = self.spatial_sum(dx, dy, dz, false);
+        let (spectral, spectral_grad) = self.spectral_sum_internal(dx, dy, dz);
+        GreenSample {
+            value: spatial + spectral,
+            gradient: [
+                spatial_grad[0] + spectral_grad[0],
+                spatial_grad[1] + spectral_grad[1],
+                spatial_grad[2] + spectral_grad[2],
+            ],
+        }
+    }
+
+    /// The regularized kernel `G_p(Δ) − e^{jkR}/(4πR)` (primary image removed),
+    /// which stays finite as `Δ → 0`.
+    ///
+    /// At exactly zero separation the analytic limit
+    /// `−jk(1 + erf(jk/2E))/(4π) − E·e^{k²/4E²}/(2π^{3/2}) + spectral + images`
+    /// is used; elsewhere the primary free-space image is subtracted
+    /// explicitly. The gradient of the regularized kernel vanishes at the
+    /// origin by symmetry.
+    pub fn regularized(&self, dx: f64, dy: f64, dz: f64) -> GreenSample {
+        let r = (dx * dx + dy * dy + dz * dz).sqrt();
+        if r < 1e-9 * self.period {
+            let (spatial, _) = self.spatial_sum(0.0, 0.0, 0.0, true);
+            let (spectral, _) = self.spectral_sum_internal(0.0, 0.0, 0.0);
+            let value = spatial + spectral + self.primary_image_self_limit();
+            GreenSample {
+                value,
+                gradient: [c64::zero(); 3],
+            }
+        } else {
+            let full = self.sample(dx, dy, dz);
+            let free = scalar_green_3d(self.k, r);
+            let dfree_dr = free * (c64::i() * self.k - c64::from_real(1.0 / r));
+            GreenSample {
+                value: full.value - free,
+                gradient: [
+                    full.gradient[0] - dfree_dr * (dx / r),
+                    full.gradient[1] - dfree_dr * (dy / r),
+                    full.gradient[2] - dfree_dr * (dz / r),
+                ],
+            }
+        }
+    }
+
+    /// Brute-force spatial lattice sum (no Ewald splitting) over images with
+    /// `|p|, |q| ≤ range`.
+    ///
+    /// Only converges usefully for lossy media (`Im(k)·L ≳ 1`); provided as an
+    /// independent cross-check of the Ewald machinery.
+    pub fn direct_spatial_sum(&self, dx: f64, dy: f64, dz: f64, range: i32) -> c64 {
+        let mut sum = c64::zero();
+        for p in -range..=range {
+            for q in -range..=range {
+                let rx = dx - p as f64 * self.period;
+                let ry = dy - q as f64 * self.period;
+                let r = (rx * rx + ry * ry + dz * dz).sqrt();
+                sum += scalar_green_3d(self.k, r);
+            }
+        }
+        sum
+    }
+
+    /// Pure Floquet (spectral) sum without Ewald acceleration, truncated at
+    /// `|m|, |n| ≤ range`.
+    ///
+    /// Converges quickly only for `|Δz|` comparable to the period; provided as
+    /// an independent cross-check of the Ewald machinery.
+    pub fn direct_spectral_sum(&self, dx: f64, dy: f64, dz: f64, range: i32) -> c64 {
+        let mut sum = c64::zero();
+        let l = self.period;
+        for m in -range..=range {
+            for n in -range..=range {
+                let ktx = 2.0 * PI * m as f64 / l;
+                let kty = 2.0 * PI * n as f64 / l;
+                let kz = (self.k * self.k - c64::from_real(ktx * ktx + kty * kty)).sqrt();
+                // e^{j k_t·ρ} e^{j k_z |Δz|} / (2 L² (−j k_z))
+                let phase = c64::from_polar(1.0, ktx * dx + kty * dy);
+                let vert = (c64::i() * kz * dz.abs()).exp();
+                sum += phase * vert / (c64::new(0.0, -1.0) * kz * (2.0 * l * l));
+            }
+        }
+        sum
+    }
+
+    /// Ewald spatial sum. When `skip_primary` is set the `(0,0)` image is
+    /// replaced by its *regular* part only (the free-space singularity is
+    /// excluded analytically via [`Self::primary_image_self_limit`]).
+    fn spatial_sum(&self, dx: f64, dy: f64, dz: f64, skip_primary: bool) -> (c64, [c64; 3]) {
+        let e = self.splitting;
+        let k = self.k;
+        let jk_2e = c64::i() * k / (2.0 * e);
+        let mut sum = c64::zero();
+        let mut grad = [c64::zero(); 3];
+        let cutoff = 5.5 / e; // beyond this distance erfc(RE) < 1e-13
+
+        for p in -self.spatial_range..=self.spatial_range {
+            for q in -self.spatial_range..=self.spatial_range {
+                if skip_primary && p == 0 && q == 0 {
+                    continue;
+                }
+                let rx = dx - p as f64 * self.period;
+                let ry = dy - q as f64 * self.period;
+                let r = (rx * rx + ry * ry + dz * dz).sqrt();
+                if r > cutoff {
+                    continue;
+                }
+                assert!(
+                    r > 0.0,
+                    "periodic Green's function evaluated at a lattice point; use regularized()"
+                );
+                let re = r * e;
+                let plus = (c64::i() * k * r).exp() * erfc_complex(c64::from_real(re) + jk_2e);
+                let minus = (-(c64::i() * k * r)).exp() * erfc_complex(c64::from_real(re) - jk_2e);
+                let term = (plus + minus) / (8.0 * PI * r);
+                sum += term;
+
+                // d/dR of the bracketed sum: jk(plus − minus) − (4E/√π)·e^{−R²E² + k²/4E²}
+                let gauss = (c64::from_real(-re * re) + k * k / (4.0 * e * e)).exp();
+                let dbracket =
+                    c64::i() * k * (plus - minus) - gauss.scale(4.0 * e / PI.sqrt());
+                let dterm_dr = dbracket / (8.0 * PI * r) - term / r;
+                grad[0] += dterm_dr * (rx / r);
+                grad[1] += dterm_dr * (ry / r);
+                grad[2] += dterm_dr * (dz / r);
+            }
+        }
+        (sum, grad)
+    }
+
+    /// Ewald spectral (Floquet) sum and its gradient.
+    fn spectral_sum_internal(&self, dx: f64, dy: f64, dz: f64) -> (c64, [c64; 3]) {
+        let e = self.splitting;
+        let l = self.period;
+        let s = dz.abs();
+        let sign_z = if dz >= 0.0 { 1.0 } else { -1.0 };
+        let mut sum = c64::zero();
+        let mut grad = [c64::zero(); 3];
+
+        for m in -self.spectral_range..=self.spectral_range {
+            for n in -self.spectral_range..=self.spectral_range {
+                let ktx = 2.0 * PI * m as f64 / l;
+                let kty = 2.0 * PI * n as f64 / l;
+                let kt2 = ktx * ktx + kty * kty;
+                // c = −j·kz with kz the principal square root (Im ≥ 0), so that
+                // Re(c) ≥ 0 and the evanescent modes decay.
+                let kz = (self.k * self.k - c64::from_real(kt2)).sqrt();
+                let c = c64::new(0.0, -1.0) * kz;
+                // Skip modes whose contribution is below the accuracy target.
+                if c.re / (2.0 * e) > 6.0 {
+                    continue;
+                }
+                let arg_plus = c / (2.0 * e) + c64::from_real(s * e);
+                let arg_minus = c / (2.0 * e) - c64::from_real(s * e);
+                let term_plus = (c * s).exp() * erfc_complex(arg_plus);
+                let term_minus = (-(c * s)).exp() * erfc_complex(arg_minus);
+                let phase = c64::from_polar(1.0, ktx * dx + kty * dy);
+                let h = (term_plus + term_minus) / (c * (4.0 * l * l));
+                let contribution = phase * h;
+                sum += contribution;
+
+                grad[0] += c64::i() * contribution * ktx;
+                grad[1] += c64::i() * contribution * kty;
+                // dh/ds = (term_plus − term_minus) / (4 L²)  (the Gaussian
+                // pieces of the two erfc derivatives cancel exactly).
+                let dh_ds = (term_plus - term_minus) / (4.0 * l * l);
+                grad[2] += phase * dh_ds * sign_z;
+            }
+        }
+        (sum, grad)
+    }
+
+    /// The finite limit of `spatial(0,0)-image − e^{jkR}/(4πR)` as `R → 0`:
+    /// `−(jk/4π)(1 + erf(jk/2E)) − E·e^{k²/4E²}/(2π^{3/2})`.
+    fn primary_image_self_limit(&self) -> c64 {
+        let e = self.splitting;
+        let k = self.k;
+        let jk_2e = c64::i() * k / (2.0 * e);
+        let erf_term = c64::one() - erfc_complex(jk_2e);
+        let first = -(c64::i() * k / (4.0 * PI)) * (c64::one() + erf_term);
+        let second = (k * k / (4.0 * e * e)).exp().scale(e / (2.0 * PI.powf(1.5)));
+        first - second
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Lossy wavenumber typical of the conductor side (k₂ = (1+j)/δ with δ
+    /// comparable to the period / 5).
+    fn lossy_k() -> c64 {
+        c64::new(1.2, 1.2)
+    }
+
+    /// Nearly static wavenumber typical of the dielectric side.
+    fn quasi_static_k() -> c64 {
+        c64::new(2.0e-4, 0.0)
+    }
+
+    #[test]
+    fn matches_direct_sum_for_lossy_medium() {
+        let g = PeriodicGreen3d::new(lossy_k(), 5.0);
+        for &(dx, dy, dz) in &[
+            (0.5, 0.0, 0.1),
+            (1.0, 2.0, -0.4),
+            (2.5, 2.5, 0.0),
+            (0.1, 0.1, 0.05),
+            (-1.7, 0.8, 0.6),
+        ] {
+            let ewald = g.value(dx, dy, dz);
+            let direct = g.direct_spatial_sum(dx, dy, dz, 40);
+            assert!(
+                (ewald - direct).abs() < 1e-9 * (1.0 + direct.abs()),
+                "Δ = ({dx},{dy},{dz}): {ewald} vs {direct}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_spectral_sum_for_large_separation() {
+        // For |dz| ~ L the Floquet series converges quickly and provides an
+        // independent check that also exercises the quasi-static wavenumber.
+        let l = 5.0;
+        for &k in &[quasi_static_k(), c64::new(0.3, 0.05)] {
+            let g = PeriodicGreen3d::new(k, l);
+            let (dx, dy, dz) = (1.2, -0.7, 4.0);
+            let ewald = g.value(dx, dy, dz);
+            let spectral = g.direct_spectral_sum(dx, dy, dz, 60);
+            assert!(
+                (ewald - spectral).abs() < 1e-8 * (1.0 + spectral.abs()),
+                "k = {k}: {ewald} vs {spectral}"
+            );
+        }
+    }
+
+    #[test]
+    fn independent_of_splitting_parameter() {
+        let l = 5.0;
+        for &k in &[quasi_static_k(), lossy_k(), c64::new(0.5, 0.2)] {
+            let reference = PeriodicGreen3d::with_splitting(k, l, PI.sqrt() / l);
+            let narrow = PeriodicGreen3d::with_splitting(k, l, 0.6 * PI.sqrt() / l);
+            let wide = PeriodicGreen3d::with_splitting(k, l, 1.7 * PI.sqrt() / l);
+            for &(dx, dy, dz) in &[(0.3, 0.3, 0.2), (2.0, 1.0, -0.8), (0.05, 0.0, 0.02)] {
+                let a = reference.value(dx, dy, dz);
+                let b = narrow.value(dx, dy, dz);
+                let c = wide.value(dx, dy, dz);
+                assert!((a - b).abs() < 1e-8 * (1.0 + a.abs()), "k={k} narrow");
+                assert!((a - c).abs() < 1e-8 * (1.0 + a.abs()), "k={k} wide");
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let g = PeriodicGreen3d::new(c64::new(0.8, 0.3), 5.0);
+        let (dx, dy, dz) = (0.9, -1.3, 0.4);
+        let h = 1e-6;
+        let sample = g.sample(dx, dy, dz);
+        let num = [
+            (g.value(dx + h, dy, dz) - g.value(dx - h, dy, dz)) / (2.0 * h),
+            (g.value(dx, dy + h, dz) - g.value(dx, dy - h, dz)) / (2.0 * h),
+            (g.value(dx, dy, dz + h) - g.value(dx, dy, dz - h)) / (2.0 * h),
+        ];
+        for i in 0..3 {
+            assert!(
+                (sample.gradient[i] - num[i]).abs() < 1e-5 * (1.0 + num[i].abs()),
+                "component {i}: {} vs {}",
+                sample.gradient[i],
+                num[i]
+            );
+        }
+    }
+
+    #[test]
+    fn periodicity_in_both_transverse_directions() {
+        let g = PeriodicGreen3d::new(c64::new(0.4, 0.1), 5.0);
+        let a = g.value(1.3, 0.4, 0.7);
+        let b = g.value(1.3 + 5.0, 0.4, 0.7);
+        let c = g.value(1.3, 0.4 - 5.0, 0.7);
+        assert!((a - b).abs() < 1e-9 * a.abs());
+        assert!((a - c).abs() < 1e-9 * a.abs());
+    }
+
+    #[test]
+    fn even_symmetry_in_separation() {
+        let g = PeriodicGreen3d::new(c64::new(0.6, 0.2), 5.0);
+        let a = g.value(0.8, -0.3, 0.5);
+        let b = g.value(-0.8, 0.3, -0.5);
+        assert!((a - b).abs() < 1e-10 * a.abs());
+    }
+
+    #[test]
+    fn regularized_value_is_finite_and_consistent() {
+        let g = PeriodicGreen3d::new(lossy_k(), 5.0);
+        // As Δ → 0 the regularized kernel approaches the analytic limit.
+        let at_zero = g.regularized(0.0, 0.0, 0.0).value;
+        assert!(at_zero.is_finite());
+        let small = g.regularized(1e-4, 0.5e-4, -0.3e-4).value;
+        assert!(
+            (small - at_zero).abs() < 1e-3 * (1.0 + at_zero.abs()),
+            "{small} vs {at_zero}"
+        );
+        // Away from the origin, regularized + free-space == full value.
+        let (dx, dy, dz) = (0.6, 0.2, 0.1);
+        let r = f64::sqrt(dx * dx + dy * dy + dz * dz);
+        let rebuilt = g.regularized(dx, dy, dz).value + scalar_green_3d(g.wavenumber(), r);
+        let full = g.value(dx, dy, dz);
+        assert!((rebuilt - full).abs() < 1e-10 * full.abs());
+    }
+
+    #[test]
+    fn regularized_limit_independent_of_splitting() {
+        for &k in &[quasi_static_k(), lossy_k()] {
+            let a = PeriodicGreen3d::with_splitting(k, 5.0, PI.sqrt() / 5.0)
+                .regularized(0.0, 0.0, 0.0)
+                .value;
+            let b = PeriodicGreen3d::with_splitting(k, 5.0, 1.5 * PI.sqrt() / 5.0)
+                .regularized(0.0, 0.0, 0.0)
+                .value;
+            assert!((a - b).abs() < 1e-8 * (1.0 + a.abs()), "k = {k}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lattice point")]
+    fn evaluation_at_lattice_point_panics() {
+        let g = PeriodicGreen3d::new(lossy_k(), 5.0);
+        let _ = g.value(0.0, 0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn negative_period_rejected() {
+        let _ = PeriodicGreen3d::new(c64::one(), -1.0);
+    }
+}

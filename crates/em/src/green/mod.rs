@@ -1,0 +1,22 @@
+//! Scalar Green's functions for the SWM integral equations.
+//!
+//! Three kernels are provided:
+//!
+//! * [`free_space`] — the 3D free-space kernel `e^{jkR}/(4πR)` together with the
+//!   analytic cell integrals needed for the MOM self terms.
+//! * [`ewald`] — the doubly-periodic kernel (period `L` in both transverse
+//!   directions) evaluated with the Ewald method (paper §III-B, eq. (8) and
+//!   ref. [16]). This is what makes the small-patch, doubly-periodic surface
+//!   assumption computationally viable: both the spatial and the spectral Ewald
+//!   sums converge with a handful of terms.
+//! * [`periodic2d`] — the singly-periodic 2D kernel used by the simplified 2D
+//!   SWM formulation of Fig. 6, evaluated with a Kummer-accelerated Floquet
+//!   series.
+
+pub mod ewald;
+pub mod free_space;
+pub mod periodic2d;
+
+pub use ewald::PeriodicGreen3d;
+pub use free_space::{inverse_r_integral_over_rectangle, scalar_green_3d, scalar_green_3d_gradient};
+pub use periodic2d::PeriodicGreen2d;

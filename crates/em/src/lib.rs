@@ -1,0 +1,43 @@
+//! # rough-em
+//!
+//! Electromagnetic substrate for the `roughsim` workspace: everything the
+//! scalar-wave-modeling (SWM) solver of Chen & Wong (DATE 2009) needs to know
+//! about fields, materials and Green's functions.
+//!
+//! * [`units`] — strongly typed physical quantities (lengths, frequencies,
+//!   resistivities) so that µm/m and GHz/Hz mix-ups are compile errors.
+//! * [`constants`] — vacuum permittivity/permeability and the speed of light.
+//! * [`material`] — conductors (resistivity, skin depth, complex wavenumber
+//!   `k₂ = (1+j)/δ`), dielectrics (`k₁ = ω√(µε)`), and the [`material::Stackup`]
+//!   pairing that yields the continuous-boundary-condition contrast
+//!   `β = ε₁/ε₂ = −jωε₁ρ` of paper eq. (6).
+//! * [`green`] — scalar Green's functions: the free-space 3D kernel
+//!   `e^{jkR}/(4πR)`, the **doubly-periodic kernel accelerated with the Ewald
+//!   method** (paper §III-B, ref. [16]), and the singly-periodic 2D kernel used
+//!   by the 2D SWM comparison (Fig. 6).
+//! * [`fresnel`] — the analytic flat-interface transmission solution used to
+//!   normalize the absorbed power and to validate the MOM machinery.
+//!
+//! # Example
+//!
+//! ```
+//! use rough_em::material::{Conductor, Dielectric, Stackup};
+//! use rough_em::units::{GigaHertz, Micrometers};
+//!
+//! let stack = Stackup::new(Conductor::copper_foil(), Dielectric::silicon_dioxide());
+//! let delta = stack.conductor().skin_depth(GigaHertz::new(1.0).into());
+//! // Copper-like foil at 1 GHz has a skin depth close to 2 µm.
+//! assert!(delta > Micrometers::new(1.8).into() && delta < Micrometers::new(2.3).into());
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod constants;
+pub mod fresnel;
+pub mod green;
+pub mod material;
+pub mod units;
+
+pub use material::{Conductor, Dielectric, Stackup};
+pub use units::{Frequency, GigaHertz, Hertz, Length, Meters, Micrometers, OhmMeters};

@@ -1,0 +1,300 @@
+//! Conductor and dielectric material models.
+//!
+//! The SWM formulation (paper §III) needs three material-derived quantities at
+//! each frequency:
+//!
+//! * the dielectric wavenumber `k₁ = ω√(µ ε₁)`,
+//! * the conductor wavenumber `k₂ = (1 + j)/δ` with skin depth
+//!   `δ = √(ρ / (π f µ))`,
+//! * the boundary-condition contrast `β = ε₁/ε₂ = −j ω ε₁ ρ` (eq. 6).
+//!
+//! All values follow the `e^{−jωt}` time convention, so decaying waves carry
+//! wavenumbers with non-negative imaginary part.
+
+use crate::constants::{EPSILON_0, MU_0};
+use crate::units::{Frequency, Length, Resistivity};
+use rough_numerics::complex::c64;
+
+/// A non-magnetic conductor characterized by its DC resistivity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Conductor {
+    resistivity: Resistivity,
+}
+
+impl Conductor {
+    /// Creates a conductor from its resistivity.
+    pub fn new(resistivity: Resistivity) -> Self {
+        Self { resistivity }
+    }
+
+    /// The copper foil used throughout the paper's experiments
+    /// (ρ = 1.67 µΩ·cm).
+    pub fn copper_foil() -> Self {
+        Self::new(Resistivity::from_micro_ohm_cm(1.67))
+    }
+
+    /// Annealed bulk copper (ρ = 1.724 µΩ·cm), for comparison studies.
+    pub fn annealed_copper() -> Self {
+        Self::new(Resistivity::from_micro_ohm_cm(1.724))
+    }
+
+    /// Resistivity ρ.
+    pub fn resistivity(&self) -> Resistivity {
+        self.resistivity
+    }
+
+    /// Conductivity σ = 1/ρ in S/m.
+    pub fn conductivity(&self) -> f64 {
+        1.0 / self.resistivity.value()
+    }
+
+    /// Skin depth `δ = √(ρ/(π f µ₀))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is not positive.
+    pub fn skin_depth(&self, frequency: Frequency) -> Length {
+        assert!(frequency.value() > 0.0, "frequency must be positive");
+        Length::new((self.resistivity.value() / (std::f64::consts::PI * frequency.value() * MU_0)).sqrt())
+    }
+
+    /// Complex wavenumber inside the conductor, `k₂ = (1 + j)/δ` (in rad/m).
+    pub fn wavenumber(&self, frequency: Frequency) -> c64 {
+        let delta = self.skin_depth(frequency).value();
+        c64::new(1.0 / delta, 1.0 / delta)
+    }
+
+    /// Surface resistance of a smooth surface, `R_s = ρ/δ` in Ω/square.
+    pub fn surface_resistance(&self, frequency: Frequency) -> f64 {
+        self.resistivity.value() / self.skin_depth(frequency).value()
+    }
+}
+
+/// A lossless, non-magnetic dielectric characterized by its relative
+/// permittivity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Dielectric {
+    relative_permittivity: f64,
+}
+
+impl Dielectric {
+    /// Creates a dielectric from its relative permittivity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eps_r < 1`.
+    pub fn new(eps_r: f64) -> Self {
+        assert!(eps_r >= 1.0, "relative permittivity must be at least 1");
+        Self {
+            relative_permittivity: eps_r,
+        }
+    }
+
+    /// Silicon dioxide with the paper's value ε_r = 3.7.
+    pub fn silicon_dioxide() -> Self {
+        Self::new(3.7)
+    }
+
+    /// Typical FR-4 board material (ε_r ≈ 4.3).
+    pub fn fr4() -> Self {
+        Self::new(4.3)
+    }
+
+    /// Vacuum / air.
+    pub fn vacuum() -> Self {
+        Self::new(1.0)
+    }
+
+    /// Relative permittivity ε_r.
+    pub fn relative_permittivity(&self) -> f64 {
+        self.relative_permittivity
+    }
+
+    /// Absolute permittivity ε₁ = ε₀ ε_r in F/m.
+    pub fn permittivity(&self) -> f64 {
+        EPSILON_0 * self.relative_permittivity
+    }
+
+    /// Real wavenumber in the dielectric, `k₁ = ω √(µ₀ ε₁)` in rad/m.
+    pub fn wavenumber(&self, frequency: Frequency) -> f64 {
+        frequency.angular() * (MU_0 * self.permittivity()).sqrt()
+    }
+
+    /// Wavelength in the dielectric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is not positive.
+    pub fn wavelength(&self, frequency: Frequency) -> Length {
+        assert!(frequency.value() > 0.0, "frequency must be positive");
+        Length::new(2.0 * std::f64::consts::PI / self.wavenumber(frequency))
+    }
+}
+
+/// A dielectric-over-conductor material stack — the two-medium configuration
+/// of the SWM formulation (medium 1 above the rough interface, medium 2 below).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stackup {
+    conductor: Conductor,
+    dielectric: Dielectric,
+}
+
+impl Stackup {
+    /// Creates a stackup from a conductor and the dielectric above it.
+    pub fn new(conductor: Conductor, dielectric: Dielectric) -> Self {
+        Self {
+            conductor,
+            dielectric,
+        }
+    }
+
+    /// The configuration used in every experiment of the paper:
+    /// ρ = 1.67 µΩ·cm copper foil under ε_r = 3.7 silicon dioxide.
+    pub fn paper_baseline() -> Self {
+        Self::new(Conductor::copper_foil(), Dielectric::silicon_dioxide())
+    }
+
+    /// The conductor (medium 2).
+    pub fn conductor(&self) -> &Conductor {
+        &self.conductor
+    }
+
+    /// The dielectric (medium 1).
+    pub fn dielectric(&self) -> &Dielectric {
+        &self.dielectric
+    }
+
+    /// Dielectric wavenumber `k₁` (rad/m, real) wrapped as a complex number.
+    pub fn k1(&self, frequency: Frequency) -> c64 {
+        c64::from_real(self.dielectric.wavenumber(frequency))
+    }
+
+    /// Conductor wavenumber `k₂ = (1+j)/δ` (rad/m).
+    pub fn k2(&self, frequency: Frequency) -> c64 {
+        self.conductor.wavenumber(frequency)
+    }
+
+    /// Boundary-condition contrast `β = ε₁/ε₂ = −j ω ε₁ ρ` (paper eq. 6).
+    ///
+    /// `|β| ≪ 1` for any good conductor at microwave frequencies, which is why
+    /// the tangential-field continuity is such a gentle perturbation of the
+    /// perfectly conducting case.
+    pub fn beta(&self, frequency: Frequency) -> c64 {
+        let value = frequency.angular()
+            * self.dielectric.permittivity()
+            * self.conductor.resistivity().value();
+        c64::new(0.0, -value)
+    }
+
+    /// Skin depth of the conductor at the given frequency.
+    pub fn skin_depth(&self, frequency: Frequency) -> Length {
+        self.conductor.skin_depth(frequency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::GigaHertz;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_skin_depth_values() {
+        // delta = sqrt(rho / (pi f mu0)); for rho = 1.67e-8 at 1 GHz this is
+        // about 2.06 µm, at 5 GHz about 0.92 µm, at 10 GHz about 0.65 µm.
+        let cu = Conductor::copper_foil();
+        let d1 = cu.skin_depth(GigaHertz::new(1.0).into()).as_micrometers();
+        let d5 = cu.skin_depth(GigaHertz::new(5.0).into()).as_micrometers();
+        let d10 = cu.skin_depth(GigaHertz::new(10.0).into()).as_micrometers();
+        assert!((d1 - 2.057).abs() < 0.02, "d1 = {d1}");
+        assert!((d5 - 0.920).abs() < 0.01, "d5 = {d5}");
+        assert!((d10 - 0.650).abs() < 0.01, "d10 = {d10}");
+    }
+
+    #[test]
+    fn skin_depth_scales_as_inverse_sqrt_frequency() {
+        let cu = Conductor::copper_foil();
+        let d1 = cu.skin_depth(GigaHertz::new(1.0).into()).value();
+        let d4 = cu.skin_depth(GigaHertz::new(4.0).into()).value();
+        assert!((d1 / d4 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conductor_wavenumber_matches_skin_depth() {
+        let cu = Conductor::copper_foil();
+        let f: Frequency = GigaHertz::new(3.0).into();
+        let k2 = cu.wavenumber(f);
+        let delta = cu.skin_depth(f).value();
+        assert!((k2.re - 1.0 / delta).abs() < 1e-6);
+        assert!((k2.im - 1.0 / delta).abs() < 1e-6);
+        // A wave exp(jk2 d) decays by e^{-1} per skin depth.
+        let decay = (c64::i() * k2 * delta).exp().abs();
+        assert!((decay - (-1.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dielectric_wavenumber_and_wavelength() {
+        let ox = Dielectric::silicon_dioxide();
+        let f: Frequency = GigaHertz::new(5.0).into();
+        let k1 = ox.wavenumber(f);
+        // lambda = c / (f sqrt(eps_r)) = 3e8/(5e9*1.9235) = 31.2 mm
+        let lambda = ox.wavelength(f).value();
+        assert!((lambda - 0.0312).abs() < 2e-4, "lambda = {lambda}");
+        assert!((k1 * lambda - 2.0 * std::f64::consts::PI).abs() < 1e-9);
+        // The paper's premise: wavelength (cm) >> roughness scale (µm).
+        assert!(lambda > 1e-2);
+    }
+
+    #[test]
+    fn beta_is_small_and_negative_imaginary() {
+        let stack = Stackup::paper_baseline();
+        let beta = stack.beta(GigaHertz::new(5.0).into());
+        assert_eq!(beta.re, 0.0);
+        assert!(beta.im < 0.0);
+        assert!(beta.abs() < 1e-6, "beta = {beta}");
+        // beta = -j w eps1 rho = -j * 2pi*5e9 * 3.7*8.854e-12 * 1.67e-8
+        let expected = 2.0 * std::f64::consts::PI * 5e9 * 3.7 * EPSILON_0 * 1.67e-8;
+        assert!((beta.im + expected).abs() < 1e-12 * expected);
+    }
+
+    #[test]
+    fn surface_resistance_scales_as_sqrt_frequency() {
+        let cu = Conductor::copper_foil();
+        let r1 = cu.surface_resistance(GigaHertz::new(1.0).into());
+        let r4 = cu.surface_resistance(GigaHertz::new(4.0).into());
+        assert!((r4 / r1 - 2.0).abs() < 1e-12);
+        // Rs ≈ 8.1 mΩ at 1 GHz for 1.67 µΩ·cm.
+        assert!((r1 - 0.00812).abs() < 2e-4, "r1 = {r1}");
+    }
+
+    #[test]
+    #[should_panic(expected = "frequency must be positive")]
+    fn zero_frequency_rejected() {
+        Conductor::copper_foil().skin_depth(Frequency::new(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "relative permittivity")]
+    fn sub_unity_permittivity_rejected() {
+        Dielectric::new(0.5);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_skin_depth_positive_and_decreasing(f1 in 1e8f64..1e10, ratio in 1.01f64..10.0) {
+            let cu = Conductor::copper_foil();
+            let d1 = cu.skin_depth(Frequency::new(f1)).value();
+            let d2 = cu.skin_depth(Frequency::new(f1 * ratio)).value();
+            prop_assert!(d1 > 0.0 && d2 > 0.0);
+            prop_assert!(d2 < d1);
+        }
+
+        #[test]
+        fn prop_k1_much_smaller_than_k2(f_ghz in 0.1f64..20.0) {
+            // The scale separation the SWM formulation relies on.
+            let stack = Stackup::paper_baseline();
+            let f: Frequency = GigaHertz::new(f_ghz).into();
+            prop_assert!(stack.k1(f).abs() * 100.0 < stack.k2(f).abs());
+        }
+    }
+}

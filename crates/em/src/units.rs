@@ -1,0 +1,320 @@
+//! Strongly typed physical quantities.
+//!
+//! The experiments of the paper mix quantities that differ by six orders of
+//! magnitude (µm-scale roughness, GHz-scale frequencies, µΩ·cm resistivities).
+//! Newtypes keep the unit conversions explicit and let the compiler catch
+//! mismatches; every quantity is stored internally in SI base units.
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+macro_rules! quantity {
+    ($(#[$meta:meta])* $name:ident, $unit:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// Creates a value expressed in the base SI unit.
+            #[inline]
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// Raw value in the base SI unit.
+            #[inline]
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Absolute value.
+            #[inline]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{} {}", self.0, $unit)
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            #[inline]
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            #[inline]
+            fn sub(self, rhs: $name) -> $name {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl Neg for $name {
+            type Output = $name;
+            #[inline]
+            fn neg(self) -> $name {
+                $name(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: f64) -> $name {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = $name;
+            #[inline]
+            fn div(self, rhs: f64) -> $name {
+                $name(self.0 / rhs)
+            }
+        }
+
+        impl Div<$name> for $name {
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+    };
+}
+
+quantity!(
+    /// A length stored in metres.
+    ///
+    /// ```
+    /// use rough_em::units::{Length, Micrometers};
+    /// let l: Length = Micrometers::new(2.5).into();
+    /// assert!((l.value() - 2.5e-6).abs() < 1e-18);
+    /// assert!((l.as_micrometers() - 2.5).abs() < 1e-12);
+    /// ```
+    Length,
+    "m"
+);
+
+quantity!(
+    /// A frequency stored in hertz.
+    ///
+    /// ```
+    /// use rough_em::units::{Frequency, GigaHertz};
+    /// let f: Frequency = GigaHertz::new(5.0).into();
+    /// assert_eq!(f.value(), 5.0e9);
+    /// assert!((f.as_gigahertz() - 5.0).abs() < 1e-12);
+    /// ```
+    Frequency,
+    "Hz"
+);
+
+quantity!(
+    /// A resistivity stored in ohm-metres.
+    ///
+    /// ```
+    /// use rough_em::units::Resistivity;
+    /// let rho = Resistivity::from_micro_ohm_cm(1.67);
+    /// assert!((rho.value() - 1.67e-8).abs() < 1e-20);
+    /// ```
+    Resistivity,
+    "Ω·m"
+);
+
+impl Length {
+    /// Length expressed in micrometres.
+    #[inline]
+    pub fn as_micrometers(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// Creates a length from a value in micrometres.
+    #[inline]
+    pub fn from_micrometers(um: f64) -> Self {
+        Self(um * 1e-6)
+    }
+}
+
+impl Frequency {
+    /// Frequency expressed in gigahertz.
+    #[inline]
+    pub fn as_gigahertz(self) -> f64 {
+        self.0 * 1e-9
+    }
+
+    /// Creates a frequency from a value in gigahertz.
+    #[inline]
+    pub fn from_gigahertz(ghz: f64) -> Self {
+        Self(ghz * 1e9)
+    }
+
+    /// Angular frequency `ω = 2πf` in rad/s.
+    #[inline]
+    pub fn angular(self) -> f64 {
+        2.0 * std::f64::consts::PI * self.0
+    }
+}
+
+impl Resistivity {
+    /// Creates a resistivity from a value in µΩ·cm (the unit the paper uses:
+    /// "resistivity of 1.67 µΩ·cm").
+    #[inline]
+    pub fn from_micro_ohm_cm(value: f64) -> Self {
+        // 1 µΩ·cm = 1e-6 Ω · 1e-2 m = 1e-8 Ω·m
+        Self(value * 1e-8)
+    }
+}
+
+/// Convenience constructor newtype: metres.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Meters(pub f64);
+
+impl Meters {
+    /// Creates a value in metres.
+    pub const fn new(v: f64) -> Self {
+        Self(v)
+    }
+}
+
+impl From<Meters> for Length {
+    fn from(m: Meters) -> Length {
+        Length::new(m.0)
+    }
+}
+
+/// Convenience constructor newtype: micrometres.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Micrometers(pub f64);
+
+impl Micrometers {
+    /// Creates a value in micrometres.
+    pub const fn new(v: f64) -> Self {
+        Self(v)
+    }
+}
+
+impl From<Micrometers> for Length {
+    fn from(um: Micrometers) -> Length {
+        Length::from_micrometers(um.0)
+    }
+}
+
+/// Convenience constructor newtype: hertz.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Hertz(pub f64);
+
+impl Hertz {
+    /// Creates a value in hertz.
+    pub const fn new(v: f64) -> Self {
+        Self(v)
+    }
+}
+
+impl From<Hertz> for Frequency {
+    fn from(h: Hertz) -> Frequency {
+        Frequency::new(h.0)
+    }
+}
+
+/// Convenience constructor newtype: gigahertz.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct GigaHertz(pub f64);
+
+impl GigaHertz {
+    /// Creates a value in gigahertz.
+    pub const fn new(v: f64) -> Self {
+        Self(v)
+    }
+}
+
+impl From<GigaHertz> for Frequency {
+    fn from(g: GigaHertz) -> Frequency {
+        Frequency::from_gigahertz(g.0)
+    }
+}
+
+/// Convenience constructor newtype: ohm-metres.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct OhmMeters(pub f64);
+
+impl OhmMeters {
+    /// Creates a value in ohm-metres.
+    pub const fn new(v: f64) -> Self {
+        Self(v)
+    }
+}
+
+impl From<OhmMeters> for Resistivity {
+    fn from(o: OhmMeters) -> Resistivity {
+        Resistivity::new(o.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_conversions_roundtrip() {
+        let l = Length::from_micrometers(3.25);
+        assert!((l.value() - 3.25e-6).abs() < 1e-20);
+        assert!((l.as_micrometers() - 3.25).abs() < 1e-12);
+        let l2: Length = Micrometers::new(3.25).into();
+        assert_eq!(l, l2);
+        let l3: Length = Meters::new(3.25e-6).into();
+        assert!((l3.value() - l.value()).abs() < 1e-20);
+    }
+
+    #[test]
+    fn frequency_conversions() {
+        let f: Frequency = GigaHertz::new(2.5).into();
+        assert_eq!(f.value(), 2.5e9);
+        assert!((f.as_gigahertz() - 2.5).abs() < 1e-12);
+        assert!((f.angular() - 2.0 * std::f64::consts::PI * 2.5e9).abs() < 1.0);
+        let f2: Frequency = Hertz::new(2.5e9).into();
+        assert_eq!(f, f2);
+    }
+
+    #[test]
+    fn resistivity_from_micro_ohm_cm() {
+        // The paper's copper foil: 1.67 µΩ·cm = 1.67e-8 Ω·m.
+        let rho = Resistivity::from_micro_ohm_cm(1.67);
+        assert!((rho.value() - 1.67e-8).abs() < 1e-20);
+        let rho2: Resistivity = OhmMeters::new(1.67e-8).into();
+        assert!((rho.value() - rho2.value()).abs() < 1e-22);
+    }
+
+    #[test]
+    fn arithmetic_on_quantities() {
+        let a = Length::from_micrometers(1.0);
+        let b = Length::from_micrometers(2.0);
+        assert!(((a + b).as_micrometers() - 3.0).abs() < 1e-12);
+        assert!(((b - a).as_micrometers() - 1.0).abs() < 1e-12);
+        assert!(((2.0 * a).as_micrometers() - 2.0).abs() < 1e-12);
+        assert!(((b / 2.0).as_micrometers() - 1.0).abs() < 1e-12);
+        assert!((b / a - 2.0).abs() < 1e-12);
+        assert!(((-a).as_micrometers() + 1.0).abs() < 1e-12);
+        assert_eq!(a.abs(), a);
+    }
+
+    #[test]
+    fn ordering_and_display() {
+        assert!(Length::from_micrometers(1.0) < Length::from_micrometers(2.0));
+        assert_eq!(format!("{}", Frequency::new(5.0)), "5 Hz");
+    }
+}

@@ -1,0 +1,593 @@
+//! Double-precision complex arithmetic.
+//!
+//! The type is deliberately named [`c64`] (lower-case, mirroring `f64`) because
+//! it is used pervasively as if it were a primitive scalar throughout the MOM
+//! assembly and the Green's-function evaluations.
+
+use std::fmt;
+use std::iter::{Product, Sum};
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A double-precision complex number `re + j·im`.
+///
+/// The electrical-engineering time convention `e^{-jωt}` is used throughout the
+/// workspace, so an outgoing/decaying wave is written `e^{+jkR}` with
+/// `Im(k) ≥ 0`.
+///
+/// # Example
+///
+/// ```
+/// use rough_numerics::complex::c64;
+///
+/// let z = c64::new(3.0, 4.0);
+/// assert_eq!(z.abs(), 5.0);
+/// assert_eq!(z * z.conj(), c64::new(25.0, 0.0));
+/// ```
+#[allow(non_camel_case_types)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct c64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+/// The imaginary unit `j`.
+pub const J: c64 = c64 { re: 0.0, im: 1.0 };
+
+/// Complex zero.
+pub const ZERO: c64 = c64 { re: 0.0, im: 0.0 };
+
+/// Complex one.
+pub const ONE: c64 = c64 { re: 1.0, im: 0.0 };
+
+impl c64 {
+    /// Creates a complex number from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// The additive identity `0 + 0j`.
+    #[inline]
+    pub const fn zero() -> Self {
+        ZERO
+    }
+
+    /// The multiplicative identity `1 + 0j`.
+    #[inline]
+    pub const fn one() -> Self {
+        ONE
+    }
+
+    /// The imaginary unit `j`.
+    #[inline]
+    pub const fn i() -> Self {
+        J
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn from_real(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+
+    /// Creates a purely imaginary complex number.
+    #[inline]
+    pub const fn from_imag(im: f64) -> Self {
+        Self { re: 0.0, im }
+    }
+
+    /// Creates a complex number from polar form `r·e^{jθ}`.
+    ///
+    /// ```
+    /// use rough_numerics::complex::c64;
+    /// let z = c64::from_polar(2.0, std::f64::consts::FRAC_PI_2);
+    /// assert!((z - c64::new(0.0, 2.0)).abs() < 1e-15);
+    /// ```
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Self::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self::new(self.re, -self.im)
+    }
+
+    /// Magnitude (modulus) `|z|`, computed without overflow via `hypot`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude `|z|²`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Argument (phase angle) in radians, in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse `1/z`.
+    ///
+    /// Returns a non-finite value when `z == 0`.
+    #[inline]
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        Self::new(self.re / d, -self.im / d)
+    }
+
+    /// Multiplies by a real scalar.
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        Self::new(self.re * s, self.im * s)
+    }
+
+    /// Complex exponential `e^z`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        let r = self.re.exp();
+        Self::new(r * self.im.cos(), r * self.im.sin())
+    }
+
+    /// Principal natural logarithm.
+    #[inline]
+    pub fn ln(self) -> Self {
+        Self::new(self.abs().ln(), self.arg())
+    }
+
+    /// Principal square root (branch cut along the negative real axis).
+    ///
+    /// The result always has a non-negative real part, which matches the
+    /// physical convention used for propagation constants (decaying waves).
+    pub fn sqrt(self) -> Self {
+        if self.re == 0.0 && self.im == 0.0 {
+            return ZERO;
+        }
+        let r = self.abs();
+        // Stable half-angle formulation.
+        let re = ((r + self.re) * 0.5).sqrt();
+        let im_mag = ((r - self.re) * 0.5).sqrt();
+        let im = if self.im >= 0.0 { im_mag } else { -im_mag };
+        Self::new(re, im)
+    }
+
+    /// Raises to a real power using the principal branch.
+    pub fn powf(self, p: f64) -> Self {
+        if self.re == 0.0 && self.im == 0.0 {
+            return if p == 0.0 { ONE } else { ZERO };
+        }
+        let r = self.abs().powf(p);
+        let theta = self.arg() * p;
+        Self::from_polar(r, theta)
+    }
+
+    /// Raises to a small non-negative integer power by repeated squaring.
+    pub fn powi(self, mut n: u32) -> Self {
+        let mut base = self;
+        let mut acc = ONE;
+        while n > 0 {
+            if n & 1 == 1 {
+                acc *= base;
+            }
+            base *= base;
+            n >>= 1;
+        }
+        acc
+    }
+
+    /// Complex sine.
+    pub fn sin(self) -> Self {
+        Self::new(
+            self.re.sin() * self.im.cosh(),
+            self.re.cos() * self.im.sinh(),
+        )
+    }
+
+    /// Complex cosine.
+    pub fn cos(self) -> Self {
+        Self::new(
+            self.re.cos() * self.im.cosh(),
+            -self.re.sin() * self.im.sinh(),
+        )
+    }
+
+    /// Complex tangent.
+    pub fn tan(self) -> Self {
+        self.sin() / self.cos()
+    }
+
+    /// Complex hyperbolic sine.
+    pub fn sinh(self) -> Self {
+        Self::new(
+            self.re.sinh() * self.im.cos(),
+            self.re.cosh() * self.im.sin(),
+        )
+    }
+
+    /// Complex hyperbolic cosine.
+    pub fn cosh(self) -> Self {
+        Self::new(
+            self.re.cosh() * self.im.cos(),
+            self.re.sinh() * self.im.sin(),
+        )
+    }
+
+    /// Complex hyperbolic tangent.
+    pub fn tanh(self) -> Self {
+        self.sinh() / self.cosh()
+    }
+
+    /// Complex cotangent `cos(z)/sin(z)`.
+    pub fn cot(self) -> Self {
+        self.cos() / self.sin()
+    }
+
+    /// Returns `true` if both parts are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Returns `true` if either part is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+}
+
+impl fmt::Display for c64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}j", self.re, self.im)
+        } else {
+            write!(f, "{}{}j", self.re, self.im)
+        }
+    }
+}
+
+impl From<f64> for c64 {
+    #[inline]
+    fn from(re: f64) -> Self {
+        Self::from_real(re)
+    }
+}
+
+impl From<(f64, f64)> for c64 {
+    #[inline]
+    fn from((re, im): (f64, f64)) -> Self {
+        Self::new(re, im)
+    }
+}
+
+impl Neg for c64 {
+    type Output = c64;
+    #[inline]
+    fn neg(self) -> c64 {
+        c64::new(-self.re, -self.im)
+    }
+}
+
+impl Add for c64 {
+    type Output = c64;
+    #[inline]
+    fn add(self, rhs: c64) -> c64 {
+        c64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for c64 {
+    type Output = c64;
+    #[inline]
+    fn sub(self, rhs: c64) -> c64 {
+        c64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for c64 {
+    type Output = c64;
+    #[inline]
+    fn mul(self, rhs: c64) -> c64 {
+        c64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for c64 {
+    type Output = c64;
+    #[inline]
+    fn div(self, rhs: c64) -> c64 {
+        // Smith's algorithm for robustness against overflow/underflow.
+        if rhs.re.abs() >= rhs.im.abs() {
+            let r = rhs.im / rhs.re;
+            let d = rhs.re + rhs.im * r;
+            c64::new((self.re + self.im * r) / d, (self.im - self.re * r) / d)
+        } else {
+            let r = rhs.re / rhs.im;
+            let d = rhs.re * r + rhs.im;
+            c64::new((self.re * r + self.im) / d, (self.im * r - self.re) / d)
+        }
+    }
+}
+
+macro_rules! scalar_ops {
+    ($($t:ty),*) => {$(
+        impl Add<$t> for c64 {
+            type Output = c64;
+            #[inline]
+            fn add(self, rhs: $t) -> c64 { c64::new(self.re + rhs as f64, self.im) }
+        }
+        impl Sub<$t> for c64 {
+            type Output = c64;
+            #[inline]
+            fn sub(self, rhs: $t) -> c64 { c64::new(self.re - rhs as f64, self.im) }
+        }
+        impl Mul<$t> for c64 {
+            type Output = c64;
+            #[inline]
+            fn mul(self, rhs: $t) -> c64 { self.scale(rhs as f64) }
+        }
+        impl Div<$t> for c64 {
+            type Output = c64;
+            #[inline]
+            fn div(self, rhs: $t) -> c64 { self.scale(1.0 / rhs as f64) }
+        }
+        impl Add<c64> for $t {
+            type Output = c64;
+            #[inline]
+            fn add(self, rhs: c64) -> c64 { c64::new(self as f64 + rhs.re, rhs.im) }
+        }
+        impl Sub<c64> for $t {
+            type Output = c64;
+            #[inline]
+            fn sub(self, rhs: c64) -> c64 { c64::new(self as f64 - rhs.re, -rhs.im) }
+        }
+        impl Mul<c64> for $t {
+            type Output = c64;
+            #[inline]
+            fn mul(self, rhs: c64) -> c64 { rhs.scale(self as f64) }
+        }
+        impl Div<c64> for $t {
+            type Output = c64;
+            #[inline]
+            fn div(self, rhs: c64) -> c64 { c64::from_real(self as f64) / rhs }
+        }
+    )*};
+}
+scalar_ops!(f64);
+
+impl AddAssign for c64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: c64) {
+        *self = *self + rhs;
+    }
+}
+impl SubAssign for c64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: c64) {
+        *self = *self - rhs;
+    }
+}
+impl MulAssign for c64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: c64) {
+        *self = *self * rhs;
+    }
+}
+impl DivAssign for c64 {
+    #[inline]
+    fn div_assign(&mut self, rhs: c64) {
+        *self = *self / rhs;
+    }
+}
+impl MulAssign<f64> for c64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: f64) {
+        *self = self.scale(rhs);
+    }
+}
+
+impl Sum for c64 {
+    fn sum<I: Iterator<Item = c64>>(iter: I) -> c64 {
+        iter.fold(ZERO, |a, b| a + b)
+    }
+}
+
+impl<'a> Sum<&'a c64> for c64 {
+    fn sum<I: Iterator<Item = &'a c64>>(iter: I) -> c64 {
+        iter.fold(ZERO, |a, b| a + *b)
+    }
+}
+
+impl Product for c64 {
+    fn product<I: Iterator<Item = c64>>(iter: I) -> c64 {
+        iter.fold(ONE, |a, b| a * b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn close(a: c64, b: c64, tol: f64) -> bool {
+        (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn basic_arithmetic() {
+        let a = c64::new(1.0, 2.0);
+        let b = c64::new(3.0, -4.0);
+        assert_eq!(a + b, c64::new(4.0, -2.0));
+        assert_eq!(a - b, c64::new(-2.0, 6.0));
+        assert_eq!(a * b, c64::new(11.0, 2.0));
+        let q = a / b;
+        assert!(close(q * b, a, 1e-15));
+    }
+
+    #[test]
+    fn division_by_tiny_and_huge_is_stable() {
+        let a = c64::new(1e-300, 1e-300);
+        let b = c64::new(1e-300, -1e-300);
+        let q = a / b;
+        assert!(q.is_finite());
+        let a = c64::new(1e300, 1e300);
+        let b = c64::new(1e300, -1e300);
+        assert!((a / b).is_finite());
+    }
+
+    #[test]
+    fn conjugate_and_modulus() {
+        let z = c64::new(3.0, 4.0);
+        assert_eq!(z.abs(), 5.0);
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert_eq!(z.conj(), c64::new(3.0, -4.0));
+        assert!((z * z.conj() - c64::from_real(25.0)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let z = c64::new(-2.5, 1.3);
+        let w = c64::from_polar(z.abs(), z.arg());
+        assert!(close(z, w, 1e-15));
+    }
+
+    #[test]
+    fn exp_and_ln_are_inverse() {
+        let z = c64::new(0.3, -1.2);
+        assert!(close(z.exp().ln(), z, 1e-14));
+        assert!(close(z.ln().exp(), z, 1e-14));
+    }
+
+    #[test]
+    fn euler_identity() {
+        let z = c64::from_imag(std::f64::consts::PI);
+        assert!(close(z.exp(), c64::from_real(-1.0), 1e-15));
+    }
+
+    #[test]
+    fn sqrt_principal_branch() {
+        let z = c64::new(-4.0, 0.0);
+        let s = z.sqrt();
+        assert!(close(s, c64::new(0.0, 2.0), 1e-15));
+        // sqrt of z just below the branch cut has negative imaginary part
+        let s2 = c64::new(-4.0, -1e-12).sqrt();
+        assert!(s2.im < 0.0);
+        // sqrt(z)^2 == z for a spread of values
+        for &z in &[
+            c64::new(2.0, 3.0),
+            c64::new(-2.0, 3.0),
+            c64::new(-2.0, -3.0),
+            c64::new(1e-8, -1e8),
+        ] {
+            assert!(close(z.sqrt() * z.sqrt(), z, 1e-12));
+        }
+    }
+
+    #[test]
+    fn skin_depth_wavenumber_convention() {
+        // k2 = (1+j)/delta ; exp(j*k2*(-z)) must decay for z < 0 going into
+        // the conductor, i.e. |exp(-j k2 d)| < 1 for d > 0 is false, check the
+        // actual convention used by the solver: psi_t = T exp(-j k2 z), z < 0.
+        let delta = 1.0;
+        let k2 = c64::new(1.0, 1.0) / delta;
+        let z = -3.0; // three skin depths into the conductor
+        let field = (-(J * k2 * z)).exp();
+        assert!(field.abs() < (-2.9f64).exp() * 1.1);
+        assert!(field.abs() > (-3.1f64).exp() * 0.9);
+    }
+
+    #[test]
+    fn trig_identities() {
+        let z = c64::new(0.7, -0.4);
+        assert!(close(
+            z.sin() * z.sin() + z.cos() * z.cos(),
+            c64::one(),
+            1e-14
+        ));
+        assert!(close(
+            z.cosh() * z.cosh() - z.sinh() * z.sinh(),
+            c64::one(),
+            1e-14
+        ));
+        assert!(close(z.tan(), z.sin() / z.cos(), 1e-14));
+        assert!(close(z.cot(), c64::one() / z.tan(), 1e-13));
+    }
+
+    #[test]
+    fn powi_matches_repeated_multiplication() {
+        let z = c64::new(1.1, -0.3);
+        let mut acc = c64::one();
+        for n in 0..8u32 {
+            assert!(close(z.powi(n), acc, 1e-13));
+            acc *= z;
+        }
+    }
+
+    #[test]
+    fn powf_matches_powi_for_integer_exponent() {
+        let z = c64::new(0.8, 0.9);
+        assert!(close(z.powf(3.0), z.powi(3), 1e-13));
+    }
+
+    #[test]
+    fn sum_and_product_impls() {
+        let v = vec![c64::new(1.0, 1.0), c64::new(2.0, -1.0), c64::new(-0.5, 0.25)];
+        let s: c64 = v.iter().sum();
+        assert!(close(s, c64::new(2.5, 0.25), 1e-15));
+        let p: c64 = v.clone().into_iter().product();
+        assert!(close(p, c64::new(1.0, 1.0) * c64::new(2.0, -1.0) * c64::new(-0.5, 0.25), 1e-15));
+    }
+
+    #[test]
+    fn display_formatting() {
+        assert_eq!(c64::new(1.0, 2.0).to_string(), "1+2j");
+        assert_eq!(c64::new(1.0, -2.0).to_string(), "1-2j");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mul_div_roundtrip(ar in -1e3f64..1e3, ai in -1e3f64..1e3,
+                                  br in -1e3f64..1e3, bi in -1e3f64..1e3) {
+            prop_assume!(br.abs() + bi.abs() > 1e-6);
+            let a = c64::new(ar, ai);
+            let b = c64::new(br, bi);
+            let r = (a / b) * b;
+            prop_assert!((r - a).abs() < 1e-9 * (1.0 + a.abs()));
+        }
+
+        #[test]
+        fn prop_sqrt_squares_back(re in -1e6f64..1e6, im in -1e6f64..1e6) {
+            let z = c64::new(re, im);
+            let s = z.sqrt();
+            prop_assert!(s.re >= 0.0);
+            prop_assert!((s * s - z).abs() <= 1e-9 * (1.0 + z.abs()));
+        }
+
+        #[test]
+        fn prop_exp_adds(ar in -5.0f64..5.0, ai in -5.0f64..5.0,
+                         br in -5.0f64..5.0, bi in -5.0f64..5.0) {
+            let a = c64::new(ar, ai);
+            let b = c64::new(br, bi);
+            let lhs = (a + b).exp();
+            let rhs = a.exp() * b.exp();
+            prop_assert!((lhs - rhs).abs() <= 1e-9 * (1.0 + lhs.abs()));
+        }
+
+        #[test]
+        fn prop_abs_triangle_inequality(ar in -1e3f64..1e3, ai in -1e3f64..1e3,
+                                        br in -1e3f64..1e3, bi in -1e3f64..1e3) {
+            let a = c64::new(ar, ai);
+            let b = c64::new(br, bi);
+            prop_assert!((a + b).abs() <= a.abs() + b.abs() + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,410 @@
+//! Eigen-decomposition of real symmetric matrices.
+//!
+//! Two classic kernels are provided:
+//!
+//! * [`symmetric_eigen`] — cyclic Jacobi rotations for dense symmetric matrices.
+//!   Used by the Karhunen–Loève expansion of the surface covariance matrix
+//!   (paper §III-D: the "set of independent random variables obtained from the
+//!   original N surface heights").
+//! * [`tridiagonal_eigen`] — implicit-shift QL for symmetric tridiagonal
+//!   matrices. Used by the Golub–Welsch construction of the Gauss quadrature
+//!   rules in [`crate::quadrature`].
+
+use crate::linalg::RMatrix;
+
+/// Result of a symmetric eigen-decomposition: `A = V·diag(λ)·Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues sorted in descending order.
+    pub eigenvalues: Vec<f64>,
+    /// Eigenvectors stored as columns of an orthogonal matrix, in the same
+    /// order as [`SymmetricEigen::eigenvalues`].
+    pub eigenvectors: RMatrix,
+}
+
+impl SymmetricEigen {
+    /// Returns the `k`-th eigenvector as an owned vector.
+    pub fn eigenvector(&self, k: usize) -> Vec<f64> {
+        (0..self.eigenvectors.rows())
+            .map(|i| self.eigenvectors[(i, k)])
+            .collect()
+    }
+
+    /// Number of eigenpairs.
+    pub fn len(&self) -> usize {
+        self.eigenvalues.len()
+    }
+
+    /// Returns `true` if the decomposition is empty.
+    pub fn is_empty(&self) -> bool {
+        self.eigenvalues.is_empty()
+    }
+
+    /// Smallest number of leading eigenpairs whose eigenvalue sum reaches
+    /// `fraction` of the total positive spectrum.
+    ///
+    /// This is the truncation rule used by the Karhunen–Loève expansion: keep
+    /// the modes that capture e.g. 95 % of the surface height variance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not within `(0, 1]`.
+    pub fn modes_for_energy_fraction(&self, fraction: f64) -> usize {
+        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
+        let total: f64 = self.eigenvalues.iter().filter(|&&l| l > 0.0).sum();
+        if total <= 0.0 {
+            return 0;
+        }
+        let mut acc = 0.0;
+        for (k, &l) in self.eigenvalues.iter().enumerate() {
+            if l <= 0.0 {
+                return k;
+            }
+            acc += l;
+            if acc >= fraction * total {
+                return k + 1;
+            }
+        }
+        self.eigenvalues.len()
+    }
+}
+
+/// Computes all eigenvalues and eigenvectors of a real symmetric matrix using
+/// the cyclic Jacobi method.
+///
+/// The input is symmetrized (`(A + Aᵀ)/2`) before processing so small
+/// asymmetries from floating-point covariance assembly are tolerated.
+///
+/// # Panics
+///
+/// Panics if the matrix is not square.
+pub fn symmetric_eigen(matrix: &RMatrix) -> SymmetricEigen {
+    assert_eq!(matrix.rows(), matrix.cols(), "matrix must be square");
+    let n = matrix.rows();
+    // Work on a symmetrized copy.
+    let mut a = RMatrix::from_fn(n, n, |i, j| 0.5 * (matrix[(i, j)] + matrix[(j, i)]));
+    let mut v = RMatrix::identity(n);
+
+    let max_sweeps = 100;
+    for _sweep in 0..max_sweeps {
+        // Off-diagonal Frobenius norm.
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += a[(i, j)] * a[(i, j)];
+            }
+        }
+        if off.sqrt() < 1e-14 * (1.0 + frobenius(&a)) {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = a[(p, q)];
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = a[(p, p)];
+                let aqq = a[(q, q)];
+                let theta = (aqq - app) / (2.0 * apq);
+                // Stable computation of tan(phi).
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                // Apply rotation to A: A <- Jᵀ A J.
+                for k in 0..n {
+                    let akp = a[(k, p)];
+                    let akq = a[(k, q)];
+                    a[(k, p)] = c * akp - s * akq;
+                    a[(k, q)] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = a[(p, k)];
+                    let aqk = a[(q, k)];
+                    a[(p, k)] = c * apk - s * aqk;
+                    a[(q, k)] = s * apk + c * aqk;
+                }
+                // Accumulate eigenvectors: V <- V J.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (a[(i, i)], i)).collect();
+    pairs.sort_by(|x, y| y.0.partial_cmp(&x.0).unwrap_or(std::cmp::Ordering::Equal));
+    let eigenvalues: Vec<f64> = pairs.iter().map(|(l, _)| *l).collect();
+    let eigenvectors = RMatrix::from_fn(n, n, |i, k| v[(i, pairs[k].1)]);
+    SymmetricEigen {
+        eigenvalues,
+        eigenvectors,
+    }
+}
+
+fn frobenius(a: &RMatrix) -> f64 {
+    let mut s = 0.0;
+    for i in 0..a.rows() {
+        for j in 0..a.cols() {
+            s += a[(i, j)] * a[(i, j)];
+        }
+    }
+    s.sqrt()
+}
+
+/// Eigen-decomposition of a symmetric tridiagonal matrix via the implicit QL
+/// algorithm with Wilkinson shifts (the classic `tqli` routine).
+///
+/// `diag` holds the diagonal entries and `off` the sub-diagonal (`off.len()`
+/// must be `diag.len() - 1`, or both empty). Returns eigenvalues in ascending
+/// order together with the **first component of every eigenvector**, which is
+/// exactly what the Golub–Welsch quadrature construction needs (the weights are
+/// `w_k = μ₀ · v₀ₖ²`).
+///
+/// # Panics
+///
+/// Panics if the slice lengths are inconsistent or the iteration fails to
+/// converge (which does not happen for well-formed Jacobi matrices).
+pub fn tridiagonal_eigen(diag: &[f64], off: &[f64]) -> Vec<(f64, f64)> {
+    let n = diag.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    assert_eq!(off.len(), n.saturating_sub(1), "off-diagonal length mismatch");
+
+    let mut d = diag.to_vec();
+    // e is padded so e[i] couples i and i+1; e[n-1] unused.
+    let mut e = vec![0.0; n];
+    e[..(n - 1)].copy_from_slice(off);
+
+    // z holds only the first row of the eigenvector matrix.
+    let mut z = vec![0.0; n];
+    z[0] = 1.0;
+    let mut zmat: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            let mut row = vec![0.0; n];
+            row[i] = 1.0;
+            row
+        })
+        .collect();
+
+    for l in 0..n {
+        let mut iter = 0;
+        loop {
+            // Find a small off-diagonal element to split the problem.
+            let mut m = l;
+            while m + 1 < n {
+                let dd = d[m].abs() + d[m + 1].abs();
+                if e[m].abs() <= f64::EPSILON * dd {
+                    break;
+                }
+                m += 1;
+            }
+            if m == l {
+                break;
+            }
+            iter += 1;
+            assert!(iter <= 50, "tridiagonal QL failed to converge");
+            let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+            let mut r = g.hypot(1.0);
+            g = d[m] - d[l] + e[l] / (g + if g >= 0.0 { r.abs() } else { -r.abs() });
+            let mut s = 1.0;
+            let mut c = 1.0;
+            let mut p = 0.0;
+            for i in (l..m).rev() {
+                let mut f = s * e[i];
+                let b = c * e[i];
+                r = f.hypot(g);
+                e[i + 1] = r;
+                if r == 0.0 {
+                    d[i + 1] -= p;
+                    e[m] = 0.0;
+                    break;
+                }
+                s = f / r;
+                c = g / r;
+                g = d[i + 1] - p;
+                r = (d[i] - g) * s + 2.0 * c * b;
+                p = s * r;
+                d[i + 1] = g + p;
+                g = c * r - b;
+                // Update the eigenvector first-row accumulator.
+                for row in zmat.iter_mut() {
+                    f = row[i + 1];
+                    row[i + 1] = s * row[i] + c * f;
+                    row[i] = c * row[i] - s * f;
+                }
+            }
+            if r == 0.0 && m > l + 1 {
+                continue;
+            }
+            d[l] -= p;
+            e[l] = g;
+            e[m] = 0.0;
+        }
+    }
+    z.copy_from_slice(&zmat[0]);
+
+    let mut pairs: Vec<(f64, f64)> = d.into_iter().zip(z).collect();
+    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn diagonal_matrix_eigen() {
+        let a = RMatrix::from_fn(3, 3, |i, j| if i == j { (i + 1) as f64 } else { 0.0 });
+        let e = symmetric_eigen(&a);
+        assert!((e.eigenvalues[0] - 3.0).abs() < 1e-12);
+        assert!((e.eigenvalues[1] - 2.0).abs() < 1e-12);
+        assert!((e.eigenvalues[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2, 1], [1, 2]] -> eigenvalues 3 and 1.
+        let a = RMatrix::from_fn(2, 2, |i, j| if i == j { 2.0 } else { 1.0 });
+        let e = symmetric_eigen(&a);
+        assert!((e.eigenvalues[0] - 3.0).abs() < 1e-12);
+        assert!((e.eigenvalues[1] - 1.0).abs() < 1e-12);
+        // eigenvector of 3 is (1,1)/sqrt(2)
+        let v0 = e.eigenvector(0);
+        assert!((v0[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-10);
+        assert!((v0[0] - v0[1]).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reconstruction_and_orthogonality() {
+        // Gaussian-covariance-like symmetric matrix.
+        let n = 12;
+        let a = RMatrix::from_fn(n, n, |i, j| {
+            let d = (i as f64 - j as f64).abs();
+            (-d * d / 9.0).exp()
+        });
+        let e = symmetric_eigen(&a);
+        // A v_k == lambda_k v_k
+        for k in 0..n {
+            let vk = e.eigenvector(k);
+            let av = a.matvec(&vk);
+            for i in 0..n {
+                assert!(
+                    (av[i] - e.eigenvalues[k] * vk[i]).abs() < 1e-8,
+                    "residual too large for eigenpair {k}"
+                );
+            }
+        }
+        // V^T V == I
+        for p in 0..n {
+            for q in 0..n {
+                let dot: f64 = (0..n)
+                    .map(|i| e.eigenvectors[(i, p)] * e.eigenvectors[(i, q)])
+                    .sum();
+                let expected = if p == q { 1.0 } else { 0.0 };
+                assert!((dot - expected).abs() < 1e-9);
+            }
+        }
+        // Covariance matrices are PSD: all eigenvalues >= -tol.
+        assert!(e.eigenvalues.iter().all(|&l| l > -1e-9));
+    }
+
+    #[test]
+    fn trace_is_preserved() {
+        let n = 9;
+        let a = RMatrix::from_fn(n, n, |i, j| 1.0 / (1.0 + (i as f64 - j as f64).abs()));
+        let e = symmetric_eigen(&a);
+        let trace: f64 = (0..n).map(|i| a[(i, i)]).sum();
+        let sum: f64 = e.eigenvalues.iter().sum();
+        assert!((trace - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_fraction_truncation() {
+        let a = RMatrix::from_fn(4, 4, |i, j| if i == j { [8.0, 1.0, 0.5, 0.5][i] } else { 0.0 });
+        let e = symmetric_eigen(&a);
+        assert_eq!(e.modes_for_energy_fraction(0.79), 1);
+        assert_eq!(e.modes_for_energy_fraction(0.9), 2);
+        assert_eq!(e.modes_for_energy_fraction(1.0), 4);
+    }
+
+    #[test]
+    fn tridiagonal_matches_dense_jacobi() {
+        // Jacobi matrix of Gauss-Legendre n=5.
+        let n = 5;
+        let diag = vec![0.0; n];
+        let off: Vec<f64> = (1..n)
+            .map(|k| {
+                let k = k as f64;
+                k / ((2.0 * k - 1.0) * (2.0 * k + 1.0)).sqrt()
+            })
+            .collect();
+        let tri = tridiagonal_eigen(&diag, &off);
+        let dense = {
+            let a = RMatrix::from_fn(n, n, |i, j| {
+                if i == j {
+                    diag[i]
+                } else if i + 1 == j {
+                    off[i]
+                } else if j + 1 == i {
+                    off[j]
+                } else {
+                    0.0
+                }
+            });
+            let mut e = symmetric_eigen(&a).eigenvalues;
+            e.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            e
+        };
+        for (t, d) in tri.iter().zip(&dense) {
+            assert!((t.0 - d).abs() < 1e-10);
+        }
+        // Legendre nodes are symmetric about zero and include 0 for odd n.
+        assert!(tri.iter().any(|(x, _)| x.abs() < 1e-12));
+    }
+
+    #[test]
+    fn tridiagonal_first_components_are_normalized() {
+        let diag = vec![1.0, 2.0, 3.0, 4.0];
+        let off = vec![0.5, 0.5, 0.5];
+        let pairs = tridiagonal_eigen(&diag, &off);
+        let sum: f64 = pairs.iter().map(|(_, z)| z * z).sum();
+        assert!((sum - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn empty_and_single_entry() {
+        assert!(tridiagonal_eigen(&[], &[]).is_empty());
+        let single = tridiagonal_eigen(&[7.0], &[]);
+        assert_eq!(single.len(), 1);
+        assert!((single[0].0 - 7.0).abs() < 1e-15);
+        assert!((single[0].1 - 1.0).abs() < 1e-15);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_eigenvalue_sum_equals_trace(n in 2usize..10, seed in 0u64..1000) {
+            let mut state = seed | 1;
+            let mut next = move || {
+                state ^= state << 13; state ^= state >> 7; state ^= state << 17;
+                (state as f64 / u64::MAX as f64) * 2.0 - 1.0
+            };
+            let raw = RMatrix::from_fn(n, n, |_, _| next());
+            let a = RMatrix::from_fn(n, n, |i, j| 0.5 * (raw[(i, j)] + raw[(j, i)]));
+            let e = symmetric_eigen(&a);
+            let trace: f64 = (0..n).map(|i| a[(i, i)]).sum();
+            let sum: f64 = e.eigenvalues.iter().sum();
+            prop_assert!((trace - sum).abs() < 1e-8 * (1.0 + trace.abs()));
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! Radix-2 complex fast Fourier transforms in one and two dimensions.
+//!
+//! The FFT is used by the spectral rough-surface synthesis (generating a
+//! stationary Gaussian surface with a prescribed power spectral density, paper
+//! §II / Fig. 2) and is available for the canonical-grid acceleration of the
+//! MOM matrix–vector product.
+
+use crate::complex::c64;
+use std::f64::consts::PI;
+
+/// Error returned for transform sizes that are not supported.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FftError {
+    /// The input length is not a power of two.
+    NotPowerOfTwo {
+        /// Offending length.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for FftError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FftError::NotPowerOfTwo { len } => {
+                write!(f, "fft length {len} is not a power of two")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FftError {}
+
+/// Transform direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Forward transform `X_k = Σ x_n e^{-2πj nk/N}` (no scaling).
+    Forward,
+    /// Inverse transform, scaled by `1/N` so that `ifft(fft(x)) == x`.
+    Inverse,
+}
+
+/// In-place 1-D FFT of a power-of-two-length complex buffer.
+///
+/// # Errors
+///
+/// Returns [`FftError::NotPowerOfTwo`] if the length is not a power of two
+/// (zero-length buffers are accepted as a no-op).
+pub fn fft_in_place(data: &mut [c64], direction: Direction) -> Result<(), FftError> {
+    let n = data.len();
+    if n == 0 || n == 1 {
+        return Ok(());
+    }
+    if !n.is_power_of_two() {
+        return Err(FftError::NotPowerOfTwo { len: n });
+    }
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) as usize;
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+
+    let sign = match direction {
+        Direction::Forward => -1.0,
+        Direction::Inverse => 1.0,
+    };
+
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * PI / len as f64;
+        let wlen = c64::from_polar(1.0, ang);
+        let mut start = 0;
+        while start < n {
+            let mut w = c64::one();
+            for k in 0..len / 2 {
+                let u = data[start + k];
+                let v = data[start + k + len / 2] * w;
+                data[start + k] = u + v;
+                data[start + k + len / 2] = u - v;
+                w *= wlen;
+            }
+            start += len;
+        }
+        len <<= 1;
+    }
+
+    if direction == Direction::Inverse {
+        let scale = 1.0 / n as f64;
+        for z in data.iter_mut() {
+            *z = z.scale(scale);
+        }
+    }
+    Ok(())
+}
+
+/// Out-of-place 1-D forward FFT.
+///
+/// # Errors
+///
+/// See [`fft_in_place`].
+pub fn fft(input: &[c64]) -> Result<Vec<c64>, FftError> {
+    let mut data = input.to_vec();
+    fft_in_place(&mut data, Direction::Forward)?;
+    Ok(data)
+}
+
+/// Out-of-place 1-D inverse FFT (scaled by `1/N`).
+///
+/// # Errors
+///
+/// See [`fft_in_place`].
+pub fn ifft(input: &[c64]) -> Result<Vec<c64>, FftError> {
+    let mut data = input.to_vec();
+    fft_in_place(&mut data, Direction::Inverse)?;
+    Ok(data)
+}
+
+/// In-place 2-D FFT of a row-major `rows × cols` buffer.
+///
+/// Both dimensions must be powers of two.
+///
+/// # Errors
+///
+/// Returns [`FftError::NotPowerOfTwo`] if either dimension is unsupported.
+///
+/// # Panics
+///
+/// Panics if `data.len() != rows * cols`.
+pub fn fft2_in_place(
+    data: &mut [c64],
+    rows: usize,
+    cols: usize,
+    direction: Direction,
+) -> Result<(), FftError> {
+    assert_eq!(data.len(), rows * cols, "buffer size mismatch");
+    if rows == 0 || cols == 0 {
+        return Ok(());
+    }
+    // Transform rows.
+    for r in 0..rows {
+        fft_in_place(&mut data[r * cols..(r + 1) * cols], direction)?;
+    }
+    // Transform columns through a scratch buffer.
+    let mut col = vec![c64::zero(); rows];
+    for c in 0..cols {
+        for r in 0..rows {
+            col[r] = data[r * cols + c];
+        }
+        fft_in_place(&mut col, direction)?;
+        for r in 0..rows {
+            data[r * cols + c] = col[r];
+        }
+    }
+    Ok(())
+}
+
+/// Frequency-sample ordering helper: the physical frequency (in cycles per
+/// sample) corresponding to FFT bin `k` of an `n`-point transform.
+///
+/// Bins above `n/2` map to negative frequencies, matching the usual
+/// `fftfreq` convention.
+pub fn fft_frequency(k: usize, n: usize) -> f64 {
+    let k = k as isize;
+    let n_i = n as isize;
+    let shifted = if k <= n_i / 2 { k } else { k - n_i };
+    shifted as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: c64, b: c64, tol: f64) -> bool {
+        (a - b).abs() < tol
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        let mut d = vec![c64::zero(); 6];
+        assert!(matches!(
+            fft_in_place(&mut d, Direction::Forward),
+            Err(FftError::NotPowerOfTwo { len: 6 })
+        ));
+    }
+
+    #[test]
+    fn impulse_transforms_to_flat_spectrum() {
+        let mut x = vec![c64::zero(); 8];
+        x[0] = c64::one();
+        let spec = fft(&x).unwrap();
+        assert!(spec.iter().all(|z| close(*z, c64::one(), 1e-14)));
+    }
+
+    #[test]
+    fn single_tone_lands_in_one_bin() {
+        let n = 32;
+        let k0 = 5;
+        let x: Vec<c64> = (0..n)
+            .map(|i| c64::from_polar(1.0, 2.0 * PI * k0 as f64 * i as f64 / n as f64))
+            .collect();
+        let spec = fft(&x).unwrap();
+        for (k, z) in spec.iter().enumerate() {
+            if k == k0 {
+                assert!(close(*z, c64::from_real(n as f64), 1e-10));
+            } else {
+                assert!(z.abs() < 1e-10, "leakage at bin {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        let n = 64;
+        let x: Vec<c64> = (0..n)
+            .map(|i| c64::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+            .collect();
+        let y = ifft(&fft(&x).unwrap()).unwrap();
+        for (a, b) in x.iter().zip(&y) {
+            assert!(close(*a, *b, 1e-12));
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        let n = 16;
+        let x: Vec<c64> = (0..n)
+            .map(|i| c64::new((i as f64).sin(), (i as f64 * 0.5).cos()))
+            .collect();
+        let fast = fft(&x).unwrap();
+        for k in 0..n {
+            let mut acc = c64::zero();
+            for (i, xi) in x.iter().enumerate() {
+                acc += *xi * c64::from_polar(1.0, -2.0 * PI * (k * i) as f64 / n as f64);
+            }
+            assert!(close(fast[k], acc, 1e-10), "bin {k}");
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_conserved() {
+        let n = 128;
+        let x: Vec<c64> = (0..n)
+            .map(|i| c64::new((i as f64 * 1.7).sin(), (i as f64 * 0.3).cos() * 0.5))
+            .collect();
+        let spec = fft(&x).unwrap();
+        let e_time: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let e_freq: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((e_time - e_freq).abs() < 1e-9 * e_time);
+    }
+
+    #[test]
+    fn fft2_roundtrip() {
+        let rows = 8;
+        let cols = 16;
+        let orig: Vec<c64> = (0..rows * cols)
+            .map(|i| c64::new((i as f64 * 0.13).sin(), (i as f64 * 0.07).cos()))
+            .collect();
+        let mut work = orig.clone();
+        fft2_in_place(&mut work, rows, cols, Direction::Forward).unwrap();
+        fft2_in_place(&mut work, rows, cols, Direction::Inverse).unwrap();
+        for (a, b) in orig.iter().zip(&work) {
+            assert!(close(*a, *b, 1e-11));
+        }
+    }
+
+    #[test]
+    fn fft2_of_constant_is_dc_only() {
+        let rows = 4;
+        let cols = 8;
+        let mut data = vec![c64::from_real(2.5); rows * cols];
+        fft2_in_place(&mut data, rows, cols, Direction::Forward).unwrap();
+        assert!(close(data[0], c64::from_real(2.5 * (rows * cols) as f64), 1e-10));
+        for (i, z) in data.iter().enumerate().skip(1) {
+            assert!(z.abs() < 1e-10, "bin {i}");
+        }
+    }
+
+    #[test]
+    fn fft_frequency_convention() {
+        assert_eq!(fft_frequency(0, 8), 0.0);
+        assert_eq!(fft_frequency(1, 8), 0.125);
+        assert_eq!(fft_frequency(4, 8), 0.5);
+        assert_eq!(fft_frequency(5, 8), -0.375);
+        assert_eq!(fft_frequency(7, 8), -0.125);
+    }
+
+    #[test]
+    fn length_one_and_zero_are_no_ops() {
+        let mut empty: Vec<c64> = Vec::new();
+        assert!(fft_in_place(&mut empty, Direction::Forward).is_ok());
+        let mut one = vec![c64::new(3.0, -1.0)];
+        assert!(fft_in_place(&mut one, Direction::Inverse).is_ok());
+        assert_eq!(one[0], c64::new(3.0, -1.0));
+    }
+}

@@ -1,0 +1,130 @@
+//! Piecewise-linear interpolation of sampled curves.
+//!
+//! Used by the experiment harness to compare series sampled at slightly
+//! different frequency points (e.g. overlaying SWM sweeps on baseline curves)
+//! and by the PCE surrogate when mapping quantiles.
+
+/// A piecewise-linear interpolant through strictly increasing abscissae.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearInterpolator {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+}
+
+/// Error returned when an interpolator cannot be constructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// Fewer than two points were supplied.
+    TooFewPoints,
+    /// The abscissae are not strictly increasing.
+    NotStrictlyIncreasing {
+        /// Index of the offending point.
+        index: usize,
+    },
+    /// The x/y slices have different lengths.
+    LengthMismatch,
+}
+
+impl std::fmt::Display for InterpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InterpError::TooFewPoints => write!(f, "need at least two points"),
+            InterpError::NotStrictlyIncreasing { index } => {
+                write!(f, "abscissae must be strictly increasing (violated at index {index})")
+            }
+            InterpError::LengthMismatch => write!(f, "x and y slices have different lengths"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+impl LinearInterpolator {
+    /// Builds an interpolator from matching x/y samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InterpError`] if fewer than two points are provided, the
+    /// lengths differ, or the abscissae are not strictly increasing.
+    pub fn new(xs: &[f64], ys: &[f64]) -> Result<Self, InterpError> {
+        if xs.len() != ys.len() {
+            return Err(InterpError::LengthMismatch);
+        }
+        if xs.len() < 2 {
+            return Err(InterpError::TooFewPoints);
+        }
+        for (i, w) in xs.windows(2).enumerate() {
+            if w[1] <= w[0] {
+                return Err(InterpError::NotStrictlyIncreasing { index: i + 1 });
+            }
+        }
+        Ok(Self {
+            xs: xs.to_vec(),
+            ys: ys.to_vec(),
+        })
+    }
+
+    /// Evaluates the interpolant, clamping to the end values outside the range.
+    pub fn evaluate(&self, x: f64) -> f64 {
+        if x <= self.xs[0] {
+            return self.ys[0];
+        }
+        if x >= *self.xs.last().expect("non-empty") {
+            return *self.ys.last().expect("non-empty");
+        }
+        let idx = self.xs.partition_point(|&v| v <= x);
+        let (x0, x1) = (self.xs[idx - 1], self.xs[idx]);
+        let (y0, y1) = (self.ys[idx - 1], self.ys[idx]);
+        y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+    }
+
+    /// Domain of the interpolant.
+    pub fn domain(&self) -> (f64, f64) {
+        (self.xs[0], *self.xs.last().expect("non-empty"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpolates_linear_function_exactly() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+        let interp = LinearInterpolator::new(&xs, &ys).unwrap();
+        for x in [0.0, 0.5, 3.7, 8.99, 9.0] {
+            assert!((interp.evaluate(x) - (2.0 * x + 1.0)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn clamps_outside_domain() {
+        let interp = LinearInterpolator::new(&[0.0, 1.0], &[5.0, 7.0]).unwrap();
+        assert_eq!(interp.evaluate(-3.0), 5.0);
+        assert_eq!(interp.evaluate(42.0), 7.0);
+        assert_eq!(interp.domain(), (0.0, 1.0));
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert_eq!(
+            LinearInterpolator::new(&[0.0], &[1.0]),
+            Err(InterpError::TooFewPoints)
+        );
+        assert_eq!(
+            LinearInterpolator::new(&[0.0, 1.0], &[1.0]),
+            Err(InterpError::LengthMismatch)
+        );
+        assert_eq!(
+            LinearInterpolator::new(&[0.0, 0.0, 1.0], &[1.0, 2.0, 3.0]),
+            Err(InterpError::NotStrictlyIncreasing { index: 1 })
+        );
+    }
+
+    #[test]
+    fn midpoint_value() {
+        let interp = LinearInterpolator::new(&[1.0, 3.0], &[10.0, 20.0]).unwrap();
+        assert!((interp.evaluate(2.0) - 15.0).abs() < 1e-14);
+    }
+}

@@ -1,0 +1,374 @@
+//! Gaussian quadrature rules.
+//!
+//! Two families are needed by the workspace:
+//!
+//! * **Gauss–Legendre** — integration of the (smooth part of the) Green's
+//!   function over the rectangular MOM cells.
+//! * **Gauss–Hermite** — the 1-D building block of the Smolyak sparse grid used
+//!   by the SSCM stochastic collocation (paper §III-D): the surface heights are
+//!   Gaussian random variables, so expectations are integrals against the
+//!   standard normal weight.
+//!
+//! Both rules are constructed with the Golub–Welsch algorithm from the Jacobi
+//! (three-term recurrence) matrix, using the symmetric tridiagonal eigensolver
+//! in [`crate::eigen`].
+
+use crate::eigen::tridiagonal_eigen;
+use std::f64::consts::PI;
+
+/// A one-dimensional quadrature rule: nodes and weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuadratureRule {
+    nodes: Vec<f64>,
+    weights: Vec<f64>,
+}
+
+impl QuadratureRule {
+    /// Creates a rule from explicit nodes and weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn new(nodes: Vec<f64>, weights: Vec<f64>) -> Self {
+        assert_eq!(nodes.len(), weights.len(), "nodes/weights length mismatch");
+        Self { nodes, weights }
+    }
+
+    /// Quadrature nodes.
+    pub fn nodes(&self) -> &[f64] {
+        &self.nodes
+    }
+
+    /// Quadrature weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Number of points in the rule.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if the rule has no points.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Applies the rule to a function.
+    pub fn integrate(&self, mut f: impl FnMut(f64) -> f64) -> f64 {
+        self.nodes
+            .iter()
+            .zip(&self.weights)
+            .map(|(&x, &w)| w * f(x))
+            .sum()
+    }
+
+    /// Iterates over `(node, weight)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.nodes.iter().copied().zip(self.weights.iter().copied())
+    }
+}
+
+/// Gauss–Legendre rule with `n` points on `[-1, 1]` (weight function 1).
+///
+/// Exact for polynomials of degree `2n − 1`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Example
+///
+/// ```
+/// use rough_numerics::quadrature::gauss_legendre;
+/// let rule = gauss_legendre(5);
+/// let integral = rule.integrate(|x| x * x);
+/// assert!((integral - 2.0 / 3.0).abs() < 1e-14);
+/// ```
+pub fn gauss_legendre(n: usize) -> QuadratureRule {
+    assert!(n > 0, "rule order must be positive");
+    // Jacobi matrix for Legendre polynomials: diag = 0,
+    // off(k) = k / sqrt((2k-1)(2k+1)).
+    let diag = vec![0.0; n];
+    let off: Vec<f64> = (1..n)
+        .map(|k| {
+            let k = k as f64;
+            k / ((2.0 * k - 1.0) * (2.0 * k + 1.0)).sqrt()
+        })
+        .collect();
+    let pairs = tridiagonal_eigen(&diag, &off);
+    let mu0 = 2.0; // integral of the weight function over [-1, 1]
+    let nodes: Vec<f64> = pairs.iter().map(|(x, _)| *x).collect();
+    let weights: Vec<f64> = pairs.iter().map(|(_, z)| mu0 * z * z).collect();
+    QuadratureRule::new(nodes, weights)
+}
+
+/// Gauss–Legendre rule mapped to an arbitrary interval `[a, b]`.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `b < a`.
+pub fn gauss_legendre_on(n: usize, a: f64, b: f64) -> QuadratureRule {
+    assert!(b >= a, "interval must be ordered");
+    let base = gauss_legendre(n);
+    let half = 0.5 * (b - a);
+    let mid = 0.5 * (a + b);
+    let nodes = base.nodes().iter().map(|&x| mid + half * x).collect();
+    let weights = base.weights().iter().map(|&w| w * half).collect();
+    QuadratureRule::new(nodes, weights)
+}
+
+/// *Probabilists'* Gauss–Hermite rule with `n` points: nodes `x_k` and weights
+/// `w_k` such that `Σ w_k f(x_k) ≈ ∫ f(x) φ(x) dx` where `φ` is the standard
+/// normal density. The weights sum to one.
+///
+/// This is the natural normalization for stochastic collocation over Gaussian
+/// germs (the KL coefficients of the rough surface).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Example
+///
+/// ```
+/// use rough_numerics::quadrature::gauss_hermite_probabilists;
+/// let rule = gauss_hermite_probabilists(6);
+/// // E[x^2] = 1 and E[x^4] = 3 for a standard normal variable.
+/// assert!((rule.integrate(|x| x * x) - 1.0).abs() < 1e-13);
+/// assert!((rule.integrate(|x| x.powi(4)) - 3.0).abs() < 1e-12);
+/// ```
+pub fn gauss_hermite_probabilists(n: usize) -> QuadratureRule {
+    assert!(n > 0, "rule order must be positive");
+    // Three-term recurrence for probabilists' Hermite polynomials He_n:
+    // He_{n+1}(x) = x He_n(x) - n He_{n-1}(x)  => Jacobi off-diag = sqrt(k).
+    let diag = vec![0.0; n];
+    let off: Vec<f64> = (1..n).map(|k| (k as f64).sqrt()).collect();
+    let pairs = tridiagonal_eigen(&diag, &off);
+    let mu0 = 1.0; // the normal density integrates to one
+    let nodes: Vec<f64> = pairs.iter().map(|(x, _)| *x).collect();
+    let weights: Vec<f64> = pairs.iter().map(|(_, z)| mu0 * z * z).collect();
+    QuadratureRule::new(nodes, weights)
+}
+
+/// *Physicists'* Gauss–Hermite rule: `Σ w_k f(x_k) ≈ ∫ f(x) e^{-x²} dx`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn gauss_hermite_physicists(n: usize) -> QuadratureRule {
+    assert!(n > 0, "rule order must be positive");
+    let prob = gauss_hermite_probabilists(n);
+    // Change of variables x = sqrt(2) t maps between the two conventions.
+    let nodes: Vec<f64> = prob
+        .nodes()
+        .iter()
+        .map(|&x| x / std::f64::consts::SQRT_2)
+        .collect();
+    let weights: Vec<f64> = prob.weights().iter().map(|&w| w * PI.sqrt()).collect();
+    QuadratureRule::new(nodes, weights)
+}
+
+/// A two-dimensional tensor-product rule on a rectangle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TensorRule2d {
+    points: Vec<(f64, f64)>,
+    weights: Vec<f64>,
+}
+
+impl TensorRule2d {
+    /// Builds the tensor product of two 1-D rules.
+    pub fn new(rule_x: &QuadratureRule, rule_y: &QuadratureRule) -> Self {
+        let mut points = Vec::with_capacity(rule_x.len() * rule_y.len());
+        let mut weights = Vec::with_capacity(rule_x.len() * rule_y.len());
+        for (x, wx) in rule_x.iter() {
+            for (y, wy) in rule_y.iter() {
+                points.push((x, y));
+                weights.push(wx * wy);
+            }
+        }
+        Self { points, weights }
+    }
+
+    /// Tensor Gauss–Legendre rule over the rectangle `[ax, bx] × [ay, by]`.
+    pub fn gauss_legendre_on(n: usize, ax: f64, bx: f64, ay: f64, by: f64) -> Self {
+        Self::new(&gauss_legendre_on(n, ax, bx), &gauss_legendre_on(n, ay, by))
+    }
+
+    /// Quadrature points.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Quadrature weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` if the rule has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Applies the rule to a function of two variables.
+    pub fn integrate(&self, mut f: impl FnMut(f64, f64) -> f64) -> f64 {
+        self.points
+            .iter()
+            .zip(&self.weights)
+            .map(|(&(x, y), &w)| w * f(x, y))
+            .sum()
+    }
+}
+
+/// Adaptive-free composite trapezoid rule on `[a, b]` with `n` intervals,
+/// handy for quick validation integrals in tests and benches.
+pub fn trapezoid(mut f: impl FnMut(f64) -> f64, a: f64, b: f64, n: usize) -> f64 {
+    assert!(n > 0, "need at least one interval");
+    let h = (b - a) / n as f64;
+    let mut sum = 0.5 * (f(a) + f(b));
+    for i in 1..n {
+        sum += f(a + i as f64 * h);
+    }
+    sum * h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn legendre_weights_sum_to_interval_length() {
+        for n in [1, 2, 3, 5, 10, 20, 40] {
+            let r = gauss_legendre(n);
+            let sum: f64 = r.weights().iter().sum();
+            assert!((sum - 2.0).abs() < 1e-12, "n = {n}");
+            // nodes inside (-1, 1), sorted ascending
+            assert!(r.nodes().windows(2).all(|w| w[0] < w[1]));
+            assert!(r.nodes().iter().all(|x| x.abs() < 1.0));
+        }
+    }
+
+    #[test]
+    fn legendre_matches_known_5point_rule() {
+        let r = gauss_legendre(5);
+        // Classic 5-point nodes.
+        let expected = [
+            -0.906179845938664,
+            -0.5384693101056831,
+            0.0,
+            0.5384693101056831,
+            0.906179845938664,
+        ];
+        for (x, e) in r.nodes().iter().zip(expected) {
+            assert!((x - e).abs() < 1e-12);
+        }
+        let expected_w = [
+            0.23692688505618908,
+            0.47862867049936647,
+            0.5688888888888889,
+            0.47862867049936647,
+            0.23692688505618908,
+        ];
+        for (w, e) in r.weights().iter().zip(expected_w) {
+            assert!((w - e).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn legendre_exact_for_polynomials() {
+        let r = gauss_legendre(6);
+        // Exact up to degree 11.
+        for p in 0..=11u32 {
+            let integral = r.integrate(|x| x.powi(p as i32));
+            let exact = if p % 2 == 1 { 0.0 } else { 2.0 / (p as f64 + 1.0) };
+            assert!((integral - exact).abs() < 1e-12, "degree {p}");
+        }
+    }
+
+    #[test]
+    fn legendre_on_interval() {
+        let r = gauss_legendre_on(8, 0.0, 3.0);
+        let integral = r.integrate(|x| x.exp());
+        assert!((integral - (3.0f64.exp() - 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hermite_probabilists_moments() {
+        let r = gauss_hermite_probabilists(8);
+        let moments = [1.0, 0.0, 1.0, 0.0, 3.0, 0.0, 15.0, 0.0, 105.0];
+        for (p, want) in moments.iter().enumerate() {
+            let got = r.integrate(|x| x.powi(p as i32));
+            assert!((got - want).abs() < 1e-10, "moment {p}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn hermite_physicists_normalization() {
+        let r = gauss_hermite_physicists(10);
+        // ∫ e^{-x²} dx = sqrt(pi)
+        assert!((r.integrate(|_| 1.0) - PI.sqrt()).abs() < 1e-12);
+        // ∫ x² e^{-x²} dx = sqrt(pi)/2
+        assert!((r.integrate(|x| x * x) - PI.sqrt() / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hermite_integrates_gaussian_expectation() {
+        // E[cos(x)] for x ~ N(0,1) equals exp(-1/2).
+        let r = gauss_hermite_probabilists(20);
+        let got = r.integrate(|x| x.cos());
+        assert!((got - (-0.5f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tensor_rule_integrates_separable_function() {
+        let rule = TensorRule2d::gauss_legendre_on(6, 0.0, 1.0, -1.0, 2.0);
+        let got = rule.integrate(|x, y| x * x * y);
+        // ∫0^1 x² dx ∫_{-1}^{2} y dy = (1/3)(3/2) = 0.5
+        assert!((got - 0.5).abs() < 1e-12);
+        assert_eq!(rule.len(), 36);
+    }
+
+    #[test]
+    fn trapezoid_converges() {
+        let got = trapezoid(|x| x.sin(), 0.0, PI, 2000);
+        assert!((got - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "rule order must be positive")]
+    fn zero_point_rule_rejected() {
+        gauss_legendre(0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_legendre_positive_weights(n in 1usize..30) {
+            let r = gauss_legendre(n);
+            prop_assert!(r.weights().iter().all(|&w| w > 0.0));
+        }
+
+        #[test]
+        fn prop_hermite_weights_sum_to_one(n in 1usize..25) {
+            let r = gauss_hermite_probabilists(n);
+            let s: f64 = r.weights().iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-11);
+        }
+
+        #[test]
+        fn prop_hermite_nodes_symmetric(n in 1usize..20) {
+            let r = gauss_hermite_probabilists(n);
+            let nodes = r.nodes();
+            for i in 0..nodes.len() {
+                let mirrored = -nodes[nodes.len() - 1 - i];
+                prop_assert!((nodes[i] - mirrored).abs() < 1e-9);
+            }
+        }
+    }
+}

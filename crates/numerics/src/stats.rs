@@ -1,0 +1,416 @@
+//! Descriptive statistics, empirical distributions and histograms.
+//!
+//! Used by the Monte-Carlo / SSCM comparison (paper Fig. 7 and Table I): the
+//! quantity of interest is the loss-enhancement factor `Pr/Ps`, whose mean and
+//! cumulative distribution function are compared across solvers.
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Unbiased sample variance (n − 1 denominator); zero for n < 2.
+    pub variance: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// Maximum observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_error(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.count as f64).sqrt()
+        }
+    }
+}
+
+/// Computes summary statistics of a slice using a numerically stable
+/// (Welford) one-pass accumulation.
+///
+/// # Panics
+///
+/// Panics if the slice is empty.
+pub fn summarize(data: &[f64]) -> Summary {
+    assert!(!data.is_empty(), "cannot summarize an empty sample");
+    let mut mean = 0.0;
+    let mut m2 = 0.0;
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for (i, &x) in data.iter().enumerate() {
+        let delta = x - mean;
+        mean += delta / (i as f64 + 1.0);
+        m2 += delta * (x - mean);
+        min = min.min(x);
+        max = max.max(x);
+    }
+    let variance = if data.len() > 1 {
+        m2 / (data.len() as f64 - 1.0)
+    } else {
+        0.0
+    };
+    Summary {
+        count: data.len(),
+        mean,
+        variance,
+        min,
+        max,
+    }
+}
+
+/// Sample mean.
+///
+/// # Panics
+///
+/// Panics if the slice is empty.
+pub fn mean(data: &[f64]) -> f64 {
+    summarize(data).mean
+}
+
+/// Unbiased sample variance.
+///
+/// # Panics
+///
+/// Panics if the slice is empty.
+pub fn variance(data: &[f64]) -> f64 {
+    summarize(data).variance
+}
+
+/// Root-mean-square of a sample (about zero, not about the mean).
+///
+/// # Panics
+///
+/// Panics if the slice is empty.
+pub fn rms(data: &[f64]) -> f64 {
+    assert!(!data.is_empty(), "cannot take the RMS of an empty sample");
+    (data.iter().map(|x| x * x).sum::<f64>() / data.len() as f64).sqrt()
+}
+
+/// An empirical cumulative distribution function built from a sample.
+///
+/// # Example
+///
+/// ```
+/// use rough_numerics::stats::EmpiricalCdf;
+/// let cdf = EmpiricalCdf::from_samples(&[3.0, 1.0, 2.0, 4.0]);
+/// assert_eq!(cdf.evaluate(2.5), 0.5);
+/// assert_eq!(cdf.quantile(0.75), 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmpiricalCdf {
+    sorted: Vec<f64>,
+}
+
+impl EmpiricalCdf {
+    /// Builds the CDF from (unordered) samples. NaN values are rejected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample is empty or contains NaN.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "empty sample");
+        assert!(
+            samples.iter().all(|x| !x.is_nan()),
+            "sample contains NaN values"
+        );
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        Self { sorted }
+    }
+
+    /// Number of underlying samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Returns `true` if the CDF holds no samples (never true for constructed
+    /// values; kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Evaluates `F(x)`: the fraction of samples `≤ x`.
+    pub fn evaluate(&self, x: f64) -> f64 {
+        let count = self.sorted.partition_point(|&s| s <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// The `p`-quantile (inverse CDF) using the nearest-rank definition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "quantile level must be in [0, 1]");
+        if p <= 0.0 {
+            return self.sorted[0];
+        }
+        let n = self.sorted.len();
+        let rank = ((p * n as f64).ceil() as usize).clamp(1, n);
+        self.sorted[rank - 1]
+    }
+
+    /// Underlying sorted samples.
+    pub fn sorted_samples(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Maximum absolute difference between this CDF and another, evaluated at
+    /// the union of both sample sets (the two-sample Kolmogorov–Smirnov
+    /// statistic).
+    pub fn ks_distance(&self, other: &EmpiricalCdf) -> f64 {
+        let mut worst: f64 = 0.0;
+        for &x in self.sorted.iter().chain(other.sorted.iter()) {
+            worst = worst.max((self.evaluate(x) - other.evaluate(x)).abs());
+        }
+        worst
+    }
+}
+
+/// A fixed-width histogram over `[lo, hi)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<usize>,
+    total: usize,
+    underflow: usize,
+    overflow: usize,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins spanning `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty");
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Adds an observation.
+    pub fn add(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.counts.len() as f64;
+            let idx = ((x - self.lo) / w) as usize;
+            let idx = idx.min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Adds every observation of a slice.
+    pub fn add_all(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.add(x);
+        }
+    }
+
+    /// Raw bin counts.
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Total number of observations added (including under/overflow).
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> usize {
+        self.underflow
+    }
+
+    /// Observations at or above the upper edge.
+    pub fn overflow(&self) -> usize {
+        self.overflow
+    }
+
+    /// Bin centres.
+    pub fn centres(&self) -> Vec<f64> {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        (0..self.counts.len())
+            .map(|i| self.lo + (i as f64 + 0.5) * w)
+            .collect()
+    }
+
+    /// Normalized bin densities (integrate to 1 over the covered range when
+    /// there is no under/overflow).
+    pub fn densities(&self) -> Vec<f64> {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        let n = self.total.max(1) as f64;
+        self.counts.iter().map(|&c| c as f64 / (n * w)).collect()
+    }
+}
+
+/// Pearson correlation coefficient of two equally long samples.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or fewer than two elements.
+pub fn correlation(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "samples must have equal length");
+    assert!(a.len() >= 2, "need at least two observations");
+    let ma = mean(a);
+    let mb = mean(b);
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = summarize(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count, 8);
+        assert!((s.mean - 5.0).abs() < 1e-14);
+        assert!((s.variance - 32.0 / 7.0).abs() < 1e-13);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert!((s.std_error() - s.std_dev() / 8f64.sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn single_observation_has_zero_variance() {
+        let s = summarize(&[3.5]);
+        assert_eq!(s.variance, 0.0);
+        assert_eq!(s.mean, 3.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn summarize_rejects_empty() {
+        summarize(&[]);
+    }
+
+    #[test]
+    fn rms_of_constant() {
+        assert!((rms(&[2.0, -2.0, 2.0, -2.0]) - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cdf_evaluation_and_quantiles() {
+        let cdf = EmpiricalCdf::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(cdf.evaluate(0.0), 0.0);
+        assert_eq!(cdf.evaluate(3.0), 0.6);
+        assert_eq!(cdf.evaluate(10.0), 1.0);
+        assert_eq!(cdf.quantile(0.0), 1.0);
+        assert_eq!(cdf.quantile(0.2), 1.0);
+        assert_eq!(cdf.quantile(0.21), 2.0);
+        assert_eq!(cdf.quantile(1.0), 5.0);
+        assert_eq!(cdf.len(), 5);
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let cdf = EmpiricalCdf::from_samples(&[0.3, -1.2, 4.5, 2.2, 2.2, 0.0]);
+        let xs: Vec<f64> = (-20..=50).map(|i| i as f64 * 0.1).collect();
+        for w in xs.windows(2) {
+            assert!(cdf.evaluate(w[0]) <= cdf.evaluate(w[1]));
+        }
+    }
+
+    #[test]
+    fn ks_distance_of_identical_samples_is_zero() {
+        let a = EmpiricalCdf::from_samples(&[1.0, 2.0, 3.0]);
+        let b = EmpiricalCdf::from_samples(&[1.0, 2.0, 3.0]);
+        assert_eq!(a.ks_distance(&b), 0.0);
+    }
+
+    #[test]
+    fn ks_distance_of_disjoint_samples_is_one() {
+        let a = EmpiricalCdf::from_samples(&[0.0, 1.0]);
+        let b = EmpiricalCdf::from_samples(&[10.0, 11.0]);
+        assert_eq!(a.ks_distance(&b), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn cdf_rejects_nan() {
+        EmpiricalCdf::from_samples(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn histogram_counts_and_overflow() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.add_all(&[-1.0, 0.5, 1.5, 2.5, 9.99, 10.0, 25.0]);
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.counts(), &[2, 1, 0, 0, 1]);
+        assert_eq!(h.centres()[0], 1.0);
+    }
+
+    #[test]
+    fn histogram_densities_normalize() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.add_all(&[0.1, 0.3, 0.6, 0.9]);
+        let total: f64 = h.densities().iter().map(|d| d * 0.25).sum();
+        assert!((total - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn correlation_of_linear_relationship() {
+        let a: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let b: Vec<f64> = a.iter().map(|x| 3.0 * x - 7.0).collect();
+        assert!((correlation(&a, &b) - 1.0).abs() < 1e-12);
+        let c: Vec<f64> = a.iter().map(|x| -0.5 * x + 2.0).collect();
+        assert!((correlation(&a, &c) + 1.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mean_within_bounds(data in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+            let s = summarize(&data);
+            prop_assert!(s.mean >= s.min - 1e-9 && s.mean <= s.max + 1e-9);
+            prop_assert!(s.variance >= 0.0);
+        }
+
+        #[test]
+        fn prop_cdf_bounds(data in proptest::collection::vec(-100.0f64..100.0, 1..100), x in -200.0f64..200.0) {
+            let cdf = EmpiricalCdf::from_samples(&data);
+            let v = cdf.evaluate(x);
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+
+        #[test]
+        fn prop_quantile_is_a_sample(data in proptest::collection::vec(-50.0f64..50.0, 1..60), p in 0.0f64..1.0) {
+            let cdf = EmpiricalCdf::from_samples(&data);
+            let q = cdf.quantile(p);
+            prop_assert!(data.iter().any(|&d| (d - q).abs() < 1e-12));
+        }
+    }
+}

@@ -1,0 +1,25 @@
+use rough_numerics::quadrature::{gauss_legendre, gauss_legendre_on};
+
+#[test]
+fn high_order_rules_integrate_polynomials_exactly() {
+    for n in [8usize, 16, 24, 32, 48, 64] {
+        let r = gauss_legendre(n);
+        for p in [0u32, 2, 5, 9, 13] {
+            let integral = r.integrate(|x| x.powi(p as i32));
+            let exact = if p % 2 == 1 { 0.0 } else { 2.0 / (p as f64 + 1.0) };
+            assert!((integral - exact).abs() < 1e-12, "n = {n}, degree {p}: {integral} vs {exact}");
+        }
+        let integral = r.integrate(|x| (3.0 * x).cos());
+        let exact = 2.0 * (3.0f64).sin() / 3.0;
+        assert!((integral - exact).abs() < 1e-9, "n = {n} cos: {integral} vs {exact}");
+    }
+}
+
+#[test]
+fn gaussian_bump_on_small_interval() {
+    let eta = 1.5e-6;
+    let r = gauss_legendre_on(24, 0.0, 5.0 * eta);
+    let got = r.integrate(|d| (-(d * d) / (eta * eta)).exp() * d);
+    let exact = eta * eta / 2.0 * (1.0 - (-25.0f64).exp());
+    assert!((got - exact).abs() < 1e-6 * exact, "{got} vs {exact}");
+}

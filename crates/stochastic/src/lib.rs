@@ -1,0 +1,27 @@
+//! # rough-stochastic
+//!
+//! Stochastic solvers for the rough-surface loss problem (paper §III-D):
+//!
+//! * [`monte_carlo`] — the brute-force reference: sample surfaces, run the
+//!   deterministic model on each, accumulate statistics. Robust but needs
+//!   thousands of samples to converge (paper Table I: 5000).
+//! * [`pce`] — multivariate Hermite polynomial chaos: the machinery behind the
+//!   Homogeneous-Chaos expansion of the solution.
+//! * [`sparse_grid`] — Smolyak sparse quadrature built from nested 1D
+//!   Gauss–Hermite rules; the collocation nodes whose counts Table I reports.
+//! * [`collocation`] — the **spectral stochastic collocation method (SSCM)**:
+//!   evaluate the deterministic model at the sparse-grid nodes of the KL germ
+//!   space, project onto the Hermite chaos, and read statistics (mean,
+//!   variance, CDF) off the resulting surrogate.
+//!
+//! The drivers are generic over a `Fn(&[f64]) -> f64` model — in this workspace
+//! that closure wraps the SWM solve of a surface synthesized from the KL germs,
+//! but the machinery is reusable for any quantity of interest.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod collocation;
+pub mod monte_carlo;
+pub mod pce;
+pub mod sparse_grid;

@@ -1,0 +1,188 @@
+//! Monte-Carlo estimation of the loss-enhancement statistics.
+//!
+//! The reference the paper compares SSCM against: draw independent realizations
+//! of the KL germ vector, evaluate the deterministic model (one full SWM solve
+//! per sample) and accumulate the mean and the empirical CDF. Convergence needs
+//! thousands of samples (paper Table I quotes 5000 for 1 % accuracy), which is
+//! exactly the cost SSCM avoids.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use rough_numerics::stats::{summarize, EmpiricalCdf, Summary};
+
+/// Configuration of a Monte-Carlo run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonteCarloConfig {
+    /// Number of samples to draw.
+    pub samples: usize,
+    /// RNG seed (runs are fully reproducible).
+    pub seed: u64,
+}
+
+impl Default for MonteCarloConfig {
+    fn default() -> Self {
+        Self {
+            samples: 200,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Result of a Monte-Carlo run.
+#[derive(Debug, Clone)]
+pub struct MonteCarloResult {
+    summary: Summary,
+    cdf: EmpiricalCdf,
+    evaluations: usize,
+}
+
+impl MonteCarloResult {
+    /// Summary statistics of the sampled quantity of interest.
+    pub fn summary(&self) -> Summary {
+        self.summary
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        self.summary.mean
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.summary.std_dev()
+    }
+
+    /// Empirical cumulative distribution function of the samples.
+    pub fn cdf(&self) -> &EmpiricalCdf {
+        &self.cdf
+    }
+
+    /// Number of model evaluations performed (equals the sample count).
+    pub fn evaluations(&self) -> usize {
+        self.evaluations
+    }
+}
+
+/// Runs a Monte-Carlo estimation of `E[model(ξ)]` for a model driven by
+/// `dimension` independent standard-normal germs.
+///
+/// The model closure receives one germ vector per call and returns the scalar
+/// quantity of interest (here: the loss-enhancement factor of the surface
+/// realization synthesized from those germs).
+///
+/// # Panics
+///
+/// Panics if `config.samples == 0` or `dimension == 0`.
+pub fn run_monte_carlo(
+    dimension: usize,
+    config: &MonteCarloConfig,
+    mut model: impl FnMut(&[f64]) -> f64,
+) -> MonteCarloResult {
+    assert!(config.samples > 0, "at least one sample is required");
+    assert!(dimension > 0, "germ dimension must be positive");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut values = Vec::with_capacity(config.samples);
+    let mut xi = vec![0.0; dimension];
+    for _ in 0..config.samples {
+        for x in xi.iter_mut() {
+            *x = standard_normal(&mut rng);
+        }
+        values.push(model(&xi));
+    }
+    MonteCarloResult {
+        summary: summarize(&values),
+        cdf: EmpiricalCdf::from_samples(&values),
+        evaluations: config.samples,
+    }
+}
+
+/// Draws one standard-normal variate via Box–Muller.
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(1e-300);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproducible_and_correct_count() {
+        let config = MonteCarloConfig {
+            samples: 500,
+            seed: 7,
+        };
+        let a = run_monte_carlo(3, &config, |x| x.iter().sum::<f64>());
+        let b = run_monte_carlo(3, &config, |x| x.iter().sum::<f64>());
+        assert_eq!(a.mean(), b.mean());
+        assert_eq!(a.evaluations(), 500);
+    }
+
+    #[test]
+    fn estimates_mean_and_variance_of_linear_model() {
+        // Q = 2 + 3 ξ0 − ξ1: mean 2, variance 10.
+        let config = MonteCarloConfig {
+            samples: 20_000,
+            seed: 11,
+        };
+        let result = run_monte_carlo(2, &config, |x| 2.0 + 3.0 * x[0] - x[1]);
+        assert!((result.mean() - 2.0).abs() < 0.05, "mean = {}", result.mean());
+        assert!(
+            (result.summary().variance - 10.0).abs() < 0.4,
+            "var = {}",
+            result.summary().variance
+        );
+        // CDF median is close to the mean for a symmetric distribution.
+        assert!((result.cdf().quantile(0.5) - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn cdf_of_nonlinear_model_is_monotone_and_bounded() {
+        let config = MonteCarloConfig {
+            samples: 2_000,
+            seed: 3,
+        };
+        let result = run_monte_carlo(4, &config, |x| 1.0 + x.iter().map(|v| v * v).sum::<f64>());
+        let cdf = result.cdf();
+        assert_eq!(cdf.evaluate(0.99), 0.0); // Q >= 1 always
+        assert_eq!(cdf.evaluate(1e9), 1.0);
+        assert!(result.mean() > 4.5 && result.mean() < 5.5); // E[Q] = 1 + 4
+    }
+
+    #[test]
+    fn error_shrinks_with_sample_count() {
+        let small = run_monte_carlo(
+            1,
+            &MonteCarloConfig {
+                samples: 100,
+                seed: 1,
+            },
+            |x| x[0],
+        );
+        let large = run_monte_carlo(
+            1,
+            &MonteCarloConfig {
+                samples: 40_000,
+                seed: 1,
+            },
+            |x| x[0],
+        );
+        assert!(large.mean().abs() < small.mean().abs() + 0.05);
+        assert!(large.summary().std_error() < small.summary().std_error());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_samples_panics() {
+        run_monte_carlo(
+            1,
+            &MonteCarloConfig {
+                samples: 0,
+                seed: 0,
+            },
+            |_| 0.0,
+        );
+    }
+}

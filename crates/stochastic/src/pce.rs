@@ -1,0 +1,249 @@
+//! Multivariate Hermite polynomial chaos (the Homogeneous Chaos of Wiener).
+//!
+//! For independent standard-normal germs `ξ = (ξ₁, …, ξ_M)` the solution is
+//! expanded as `Q(ξ) = Σ_α c_α Ψ_α(ξ)` where `Ψ_α(ξ) = Π_i He_{α_i}(ξ_i)` are
+//! products of *probabilists'* Hermite polynomials and the multi-indices α run
+//! over `|α| ≤ p` (total order `p`; the paper's 1st- and 2nd-order SSCM are
+//! `p = 1` and `p = 2`). The `Ψ_α` are orthogonal under the Gaussian measure
+//! with `E[Ψ_α²] = Π_i α_i!`, which makes both the projection and the moment
+//! extraction trivial.
+
+/// Evaluates the probabilists' Hermite polynomial `He_n(x)`.
+///
+/// # Example
+///
+/// ```
+/// use rough_stochastic::pce::hermite;
+/// assert_eq!(hermite(0, 1.7), 1.0);
+/// assert_eq!(hermite(1, 1.7), 1.7);
+/// assert!((hermite(2, 2.0) - 3.0).abs() < 1e-12); // x² − 1
+/// assert!((hermite(3, 2.0) - 2.0).abs() < 1e-12); // x³ − 3x
+/// ```
+pub fn hermite(order: usize, x: f64) -> f64 {
+    match order {
+        0 => 1.0,
+        1 => x,
+        _ => {
+            let mut h_prev = 1.0;
+            let mut h = x;
+            for n in 1..order {
+                let next = x * h - n as f64 * h_prev;
+                h_prev = h;
+                h = next;
+            }
+            h
+        }
+    }
+}
+
+/// A multi-index `α` labelling one multivariate Hermite basis function.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MultiIndex(pub Vec<usize>);
+
+impl MultiIndex {
+    /// Total order `|α| = Σ α_i`.
+    pub fn total_order(&self) -> usize {
+        self.0.iter().sum()
+    }
+
+    /// Evaluates the basis function `Ψ_α(ξ) = Π He_{α_i}(ξ_i)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xi.len()` differs from the index dimension.
+    pub fn evaluate(&self, xi: &[f64]) -> f64 {
+        assert_eq!(xi.len(), self.0.len(), "germ dimension mismatch");
+        self.0
+            .iter()
+            .zip(xi)
+            .map(|(&order, &x)| hermite(order, x))
+            .product()
+    }
+
+    /// Norm squared `E[Ψ_α²] = Π α_i!`.
+    pub fn norm_squared(&self) -> f64 {
+        self.0.iter().map(|&a| factorial(a)).product()
+    }
+}
+
+fn factorial(n: usize) -> f64 {
+    (1..=n).map(|k| k as f64).product()
+}
+
+/// Generates all multi-indices of dimension `dim` with total order `≤ order`,
+/// sorted by total order (constant term first).
+pub fn multi_indices(dim: usize, order: usize) -> Vec<MultiIndex> {
+    let mut out = Vec::new();
+    let mut current = vec![0usize; dim];
+    collect_indices(dim, order, 0, order, &mut current, &mut out);
+    out.sort_by_key(|a| a.total_order());
+    out
+}
+
+fn collect_indices(
+    dim: usize,
+    order: usize,
+    position: usize,
+    remaining: usize,
+    current: &mut Vec<usize>,
+    out: &mut Vec<MultiIndex>,
+) {
+    if position == dim {
+        out.push(MultiIndex(current.clone()));
+        return;
+    }
+    for value in 0..=remaining {
+        current[position] = value;
+        collect_indices(dim, order, position + 1, remaining - value, current, out);
+    }
+    current[position] = 0;
+}
+
+/// Number of polynomial-chaos terms for `dim` germs and total order `order`:
+/// `(dim + order)! / (dim!·order!)`.
+pub fn basis_size(dim: usize, order: usize) -> usize {
+    let mut numerator = 1.0;
+    for k in 1..=order {
+        numerator *= (dim + k) as f64 / k as f64;
+    }
+    numerator.round() as usize
+}
+
+/// A polynomial-chaos surrogate `Q(ξ) ≈ Σ c_α Ψ_α(ξ)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PceSurrogate {
+    indices: Vec<MultiIndex>,
+    coefficients: Vec<f64>,
+}
+
+impl PceSurrogate {
+    /// Creates a surrogate from basis indices and matching coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ or the basis is empty.
+    pub fn new(indices: Vec<MultiIndex>, coefficients: Vec<f64>) -> Self {
+        assert_eq!(indices.len(), coefficients.len(), "basis/coefficient mismatch");
+        assert!(!indices.is_empty(), "surrogate needs at least the constant term");
+        Self {
+            indices,
+            coefficients,
+        }
+    }
+
+    /// Evaluates the surrogate at a germ vector.
+    pub fn evaluate(&self, xi: &[f64]) -> f64 {
+        self.indices
+            .iter()
+            .zip(&self.coefficients)
+            .map(|(a, &c)| c * a.evaluate(xi))
+            .sum()
+    }
+
+    /// Mean of the surrogate (the coefficient of the constant term).
+    pub fn mean(&self) -> f64 {
+        self.indices
+            .iter()
+            .zip(&self.coefficients)
+            .find(|(a, _)| a.total_order() == 0)
+            .map(|(_, &c)| c)
+            .unwrap_or(0.0)
+    }
+
+    /// Variance of the surrogate: `Σ_{|α|>0} c_α² E[Ψ_α²]`.
+    pub fn variance(&self) -> f64 {
+        self.indices
+            .iter()
+            .zip(&self.coefficients)
+            .filter(|(a, _)| a.total_order() > 0)
+            .map(|(a, &c)| c * c * a.norm_squared())
+            .sum()
+    }
+
+    /// The basis multi-indices.
+    pub fn indices(&self) -> &[MultiIndex] {
+        &self.indices
+    }
+
+    /// The chaos coefficients.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rough_numerics::quadrature::gauss_hermite_probabilists;
+
+    #[test]
+    fn hermite_recurrence_matches_known_polynomials() {
+        let x = 1.3;
+        assert!((hermite(2, x) - (x * x - 1.0)).abs() < 1e-12);
+        assert!((hermite(3, x) - (x * x * x - 3.0 * x)).abs() < 1e-12);
+        assert!((hermite(4, x) - (x.powi(4) - 6.0 * x * x + 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hermite_orthogonality_under_gaussian_weight() {
+        let rule = gauss_hermite_probabilists(12);
+        for m in 0..5usize {
+            for n in 0..5usize {
+                let inner = rule.integrate(|x| hermite(m, x) * hermite(n, x));
+                let expected = if m == n { factorial(m) } else { 0.0 };
+                assert!(
+                    (inner - expected).abs() < 1e-8,
+                    "<He{m}, He{n}> = {inner}, expected {expected}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multi_index_enumeration_counts() {
+        assert_eq!(multi_indices(3, 0).len(), 1);
+        assert_eq!(multi_indices(3, 1).len(), 4); // 1 + 3
+        assert_eq!(multi_indices(3, 2).len(), 10); // (3+2)!/(3!2!)
+        assert_eq!(multi_indices(5, 2).len(), basis_size(5, 2));
+        assert_eq!(basis_size(10, 2), 66);
+        // Sorted by total order, constant first.
+        let idx = multi_indices(2, 2);
+        assert_eq!(idx[0].total_order(), 0);
+        assert!(idx.windows(2).all(|w| w[0].total_order() <= w[1].total_order()));
+    }
+
+    #[test]
+    fn multi_index_evaluation_and_norm() {
+        let a = MultiIndex(vec![2, 0, 1]);
+        let xi = [1.5, -0.3, 0.7];
+        let expected = hermite(2, 1.5) * hermite(0, -0.3) * hermite(1, 0.7);
+        assert!((a.evaluate(&xi) - expected).abs() < 1e-13);
+        assert!((a.norm_squared() - 2.0).abs() < 1e-13);
+    }
+
+    #[test]
+    fn surrogate_moments_of_known_expansion() {
+        // Q = 3 + 2 ξ1 + 0.5 (ξ2² − 1): mean 3, variance 4 + 0.25·2 = 4.5.
+        let indices = vec![
+            MultiIndex(vec![0, 0]),
+            MultiIndex(vec![1, 0]),
+            MultiIndex(vec![0, 2]),
+        ];
+        let surrogate = PceSurrogate::new(indices, vec![3.0, 2.0, 0.5]);
+        assert!((surrogate.mean() - 3.0).abs() < 1e-14);
+        assert!((surrogate.variance() - 4.5).abs() < 1e-14);
+        let q = surrogate.evaluate(&[1.0, 2.0]);
+        assert!((q - (3.0 + 2.0 + 0.5 * 3.0)).abs() < 1e-13);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_hermite_parity(order in 0usize..8, x in -3.0f64..3.0) {
+            let direct = hermite(order, x);
+            let mirrored = hermite(order, -x);
+            let sign = if order % 2 == 0 { 1.0 } else { -1.0 };
+            prop_assert!((direct - sign * mirrored).abs() < 1e-9 * (1.0 + direct.abs()));
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! Surface-height correlation functions.
+//!
+//! A stationary, isotropic, zero-mean Gaussian process is fully described by
+//! its standard deviation σ and its spatial correlation function `C(d)` with
+//! `C(0) = σ²` (paper §II, eq. (2)). Three families cover the paper's
+//! experiments:
+//!
+//! * **Gaussian** `C(d) = σ² exp(−d²/η²)` — Figs. 2, 3, 6, 7;
+//! * **Exponential** `C(d) = σ² exp(−d/η)` — a common alternative for etched
+//!   foils (not differentiable at the origin, so its RMS slope diverges);
+//! * **Measured** `C(d) = σ² exp{−(d/η₁)[1 − exp(−d/η₂)]}` — paper eq. (12),
+//!   extracted from the measurements of ref. [4] and used in Fig. 4.
+//!
+//! All lengths are SI metres.
+
+use std::fmt;
+
+/// An isotropic surface-height correlation function.
+///
+/// # Example
+///
+/// ```
+/// use rough_surface::correlation::CorrelationFunction;
+///
+/// let cf = CorrelationFunction::gaussian(1.0e-6, 2.0e-6);
+/// assert!((cf.evaluate(0.0) - 1.0e-12).abs() < 1e-24);     // C(0) = σ²
+/// assert!(cf.evaluate(5.0e-6) < cf.evaluate(1.0e-6));       // decaying
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CorrelationFunction {
+    /// Gaussian correlation `σ² exp(−d²/η²)`.
+    Gaussian {
+        /// RMS height σ (m).
+        sigma: f64,
+        /// Correlation length η (m).
+        eta: f64,
+    },
+    /// Exponential correlation `σ² exp(−d/η)`.
+    Exponential {
+        /// RMS height σ (m).
+        sigma: f64,
+        /// Correlation length η (m).
+        eta: f64,
+    },
+    /// The measurement-extracted correlation of paper eq. (12):
+    /// `σ² exp{−(d/η₁)[1 − exp(−d/η₂)]}`.
+    Measured {
+        /// RMS height σ (m).
+        sigma: f64,
+        /// Outer correlation length η₁ (m).
+        eta1: f64,
+        /// Inner correlation length η₂ (m).
+        eta2: f64,
+    },
+}
+
+impl CorrelationFunction {
+    /// Gaussian correlation function with RMS height `sigma` and correlation
+    /// length `eta` (both in metres).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is not positive.
+    pub fn gaussian(sigma: f64, eta: f64) -> Self {
+        assert!(sigma > 0.0 && eta > 0.0, "σ and η must be positive");
+        Self::Gaussian { sigma, eta }
+    }
+
+    /// Exponential correlation function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is not positive.
+    pub fn exponential(sigma: f64, eta: f64) -> Self {
+        assert!(sigma > 0.0 && eta > 0.0, "σ and η must be positive");
+        Self::Exponential { sigma, eta }
+    }
+
+    /// The measured correlation function of paper eq. (12).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is not positive.
+    pub fn measured(sigma: f64, eta1: f64, eta2: f64) -> Self {
+        assert!(
+            sigma > 0.0 && eta1 > 0.0 && eta2 > 0.0,
+            "σ, η₁ and η₂ must be positive"
+        );
+        Self::Measured { sigma, eta1, eta2 }
+    }
+
+    /// The paper's Fig. 4 configuration: σ = 1 µm, η₁ = 1.4 µm, η₂ = 0.53 µm.
+    pub fn paper_extracted() -> Self {
+        Self::measured(1.0e-6, 1.4e-6, 0.53e-6)
+    }
+
+    /// RMS height σ (m).
+    pub fn sigma(&self) -> f64 {
+        match *self {
+            Self::Gaussian { sigma, .. }
+            | Self::Exponential { sigma, .. }
+            | Self::Measured { sigma, .. } => sigma,
+        }
+    }
+
+    /// Height variance `σ² = C(0)`.
+    pub fn variance(&self) -> f64 {
+        let s = self.sigma();
+        s * s
+    }
+
+    /// A representative correlation length: η for the analytic families, the
+    /// small-distance effective length `√(η₁ η₂)` for the measured CF.
+    pub fn correlation_length(&self) -> f64 {
+        match *self {
+            Self::Gaussian { eta, .. } | Self::Exponential { eta, .. } => eta,
+            Self::Measured { eta1, eta2, .. } => (eta1 * eta2).sqrt(),
+        }
+    }
+
+    /// Evaluates `C(d)` at lag distance `d ≥ 0` (m).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d < 0`.
+    pub fn evaluate(&self, d: f64) -> f64 {
+        assert!(d >= 0.0, "lag distance must be non-negative");
+        match *self {
+            Self::Gaussian { sigma, eta } => sigma * sigma * (-(d * d) / (eta * eta)).exp(),
+            Self::Exponential { sigma, eta } => sigma * sigma * (-d / eta).exp(),
+            Self::Measured { sigma, eta1, eta2 } => {
+                sigma * sigma * (-(d / eta1) * (1.0 - (-d / eta2).exp())).exp()
+            }
+        }
+    }
+
+    /// Normalized correlation `C(d)/σ²`.
+    pub fn normalized(&self, d: f64) -> f64 {
+        self.evaluate(d) / self.variance()
+    }
+
+    /// Mean-square surface slope `⟨|∇f|²⟩ = −2 C''(0)`, when it exists.
+    ///
+    /// Returns `None` for the exponential family, whose sample paths are not
+    /// differentiable (the slope variance diverges and the roughness spectrum
+    /// must be band-limited before a slope can be quoted).
+    pub fn mean_square_slope(&self) -> Option<f64> {
+        match *self {
+            Self::Gaussian { sigma, eta } => Some(4.0 * sigma * sigma / (eta * eta)),
+            Self::Exponential { .. } => None,
+            Self::Measured { sigma, eta1, eta2 } => Some(4.0 * sigma * sigma / (eta1 * eta2)),
+        }
+    }
+
+    /// RMS surface slope `√⟨|∇f|²⟩` when it exists.
+    pub fn rms_slope(&self) -> Option<f64> {
+        self.mean_square_slope().map(f64::sqrt)
+    }
+}
+
+impl fmt::Display for CorrelationFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Self::Gaussian { sigma, eta } => write!(
+                f,
+                "Gaussian CF (σ = {:.3} µm, η = {:.3} µm)",
+                sigma * 1e6,
+                eta * 1e6
+            ),
+            Self::Exponential { sigma, eta } => write!(
+                f,
+                "Exponential CF (σ = {:.3} µm, η = {:.3} µm)",
+                sigma * 1e6,
+                eta * 1e6
+            ),
+            Self::Measured { sigma, eta1, eta2 } => write!(
+                f,
+                "Measured CF (σ = {:.3} µm, η₁ = {:.3} µm, η₂ = {:.3} µm)",
+                sigma * 1e6,
+                eta1 * 1e6,
+                eta2 * 1e6
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn gaussian_basic_properties() {
+        let cf = CorrelationFunction::gaussian(1e-6, 2e-6);
+        assert!((cf.evaluate(0.0) - 1e-12).abs() < 1e-26);
+        assert!((cf.normalized(2e-6) - (-1.0f64).exp()).abs() < 1e-12);
+        assert_eq!(cf.correlation_length(), 2e-6);
+        assert_eq!(cf.sigma(), 1e-6);
+    }
+
+    #[test]
+    fn exponential_decays_slower_at_large_lag() {
+        let g = CorrelationFunction::gaussian(1e-6, 1e-6);
+        let e = CorrelationFunction::exponential(1e-6, 1e-6);
+        assert!(e.evaluate(3e-6) > g.evaluate(3e-6));
+        assert!(e.mean_square_slope().is_none());
+        assert!(e.rms_slope().is_none());
+    }
+
+    #[test]
+    fn measured_cf_matches_paper_small_and_large_lag_behaviour() {
+        // Small d: C ≈ σ²(1 − d²/(η₁η₂)); large d: C ≈ σ² exp(−d/η₁).
+        let cf = CorrelationFunction::paper_extracted();
+        let (eta1, eta2) = (1.4e-6, 0.53e-6);
+        let d_small = 0.02e-6;
+        let expected_small = 1e-12 * (1.0 - d_small * d_small / (eta1 * eta2));
+        assert!((cf.evaluate(d_small) - expected_small).abs() < 1e-16);
+        let d_large = 10e-6;
+        let expected_large = 1e-12 * (-d_large / eta1).exp();
+        assert!((cf.evaluate(d_large) - expected_large).abs() < 0.02 * expected_large);
+    }
+
+    #[test]
+    fn mean_square_slope_matches_numerical_second_derivative() {
+        for cf in [
+            CorrelationFunction::gaussian(1e-6, 1e-6),
+            CorrelationFunction::gaussian(0.5e-6, 3e-6),
+            CorrelationFunction::paper_extracted(),
+        ] {
+            let h = 1e-9;
+            let c0 = cf.evaluate(0.0);
+            let ch = cf.evaluate(h);
+            let c2h = cf.evaluate(2.0 * h);
+            // one-sided second difference (C is even so this equals C''(0))
+            let second = (2.0 * c0 - 5.0 * ch + 4.0 * c2h - cf.evaluate(3.0 * h)) / (h * h);
+            let expected = -0.5 * cf.mean_square_slope().unwrap();
+            assert!(
+                (second - expected).abs() < 0.05 * expected.abs(),
+                "{cf}: {second} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn display_mentions_parameters() {
+        let s = CorrelationFunction::paper_extracted().to_string();
+        assert!(s.contains("1.400"));
+        assert!(s.contains("0.530"));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_sigma_rejected() {
+        CorrelationFunction::gaussian(0.0, 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_lag_rejected() {
+        CorrelationFunction::gaussian(1e-6, 1e-6).evaluate(-1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_correlation_bounded_by_variance(d in 0.0f64..1e-4) {
+            for cf in [
+                CorrelationFunction::gaussian(1e-6, 1e-6),
+                CorrelationFunction::exponential(2e-6, 0.5e-6),
+                CorrelationFunction::paper_extracted(),
+            ] {
+                prop_assert!(cf.evaluate(d) <= cf.variance() + 1e-30);
+                prop_assert!(cf.evaluate(d) >= 0.0);
+            }
+        }
+
+        #[test]
+        fn prop_correlation_monotone_decreasing(d1 in 0.0f64..5e-6, d2 in 0.0f64..5e-6) {
+            let (lo, hi) = if d1 < d2 { (d1, d2) } else { (d2, d1) };
+            for cf in [
+                CorrelationFunction::gaussian(1e-6, 1e-6),
+                CorrelationFunction::exponential(1e-6, 1e-6),
+                CorrelationFunction::paper_extracted(),
+            ] {
+                prop_assert!(cf.evaluate(hi) <= cf.evaluate(lo) + 1e-30);
+            }
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! Karhunen–Loève (KL) expansion of the rough surface.
+//!
+//! The SSCM (paper §III-D) needs the random surface expressed through a *small
+//! number of independent* standard-normal random variables — the original `N`
+//! correlated grid heights are far too many dimensions for any collocation
+//! grid. The KL expansion provides exactly this reduction:
+//!
+//! ```text
+//! f(r_i) = Σ_{k=1}^{M} √λ_k · φ_k(r_i) · ξ_k,    ξ_k ~ N(0, 1) i.i.d.
+//! ```
+//!
+//! where `(λ_k, φ_k)` are the eigenpairs of the grid covariance matrix
+//! `C_ij = C(|r_i − r_j|)` and `M` is chosen to capture a prescribed fraction
+//! of the height variance. The number of retained modes `M` is what determines
+//! the sparse-grid sizes reported in Table I.
+
+use crate::correlation::CorrelationFunction;
+use crate::surface::{RoughSurface, SurfaceError};
+use rand::Rng;
+use rough_numerics::eigen::{symmetric_eigen, SymmetricEigen};
+use rough_numerics::linalg::RMatrix;
+
+/// Karhunen–Loève expansion of a stationary Gaussian surface on a periodic
+/// `n × n` grid.
+///
+/// # Example
+///
+/// ```
+/// use rough_surface::correlation::CorrelationFunction;
+/// use rough_surface::generation::kl::KarhunenLoeve;
+///
+/// let cf = CorrelationFunction::gaussian(1.0e-6, 1.0e-6);
+/// let kl = KarhunenLoeve::new(cf, 8, 5.0e-6, 0.95)?;
+/// // A 5η patch of a Gaussian surface needs only a handful of modes to
+/// // capture 95 % of the height variance.
+/// assert!(kl.modes() >= 3 && kl.modes() < 64);
+/// # Ok::<(), rough_surface::SurfaceError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct KarhunenLoeve {
+    cf: CorrelationFunction,
+    n: usize,
+    length: f64,
+    eigen: SymmetricEigen,
+    modes: usize,
+}
+
+impl KarhunenLoeve {
+    /// Builds the expansion on an `n × n` grid over a periodic patch of side
+    /// `length`, retaining enough modes to capture `energy_fraction` of the
+    /// height variance.
+    ///
+    /// The covariance uses the *periodic* (minimum-image) distance so the
+    /// expansion is consistent with the doubly-periodic SWM patch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SurfaceError::InvalidGrid`] for an empty grid or non-positive
+    /// length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `energy_fraction` is outside `(0, 1]`.
+    pub fn new(
+        cf: CorrelationFunction,
+        n: usize,
+        length: f64,
+        energy_fraction: f64,
+    ) -> Result<Self, SurfaceError> {
+        if n == 0 {
+            return Err(SurfaceError::InvalidGrid {
+                reason: "grid must contain at least one sample per side".into(),
+            });
+        }
+        if !(length > 0.0) {
+            return Err(SurfaceError::InvalidGrid {
+                reason: "patch length must be positive".into(),
+            });
+        }
+        assert!(
+            energy_fraction > 0.0 && energy_fraction <= 1.0,
+            "energy fraction must be in (0, 1]"
+        );
+
+        let total = n * n;
+        let delta = length / n as f64;
+        let covariance = RMatrix::from_fn(total, total, |a, b| {
+            let (ax, ay) = (a % n, a / n);
+            let (bx, by) = (b % n, b / n);
+            let dx = periodic_distance(ax as f64 - bx as f64, n as f64) * delta;
+            let dy = periodic_distance(ay as f64 - by as f64, n as f64) * delta;
+            cf.evaluate((dx * dx + dy * dy).sqrt())
+        });
+        let eigen = symmetric_eigen(&covariance);
+        let modes = eigen.modes_for_energy_fraction(energy_fraction).max(1);
+        Ok(Self {
+            cf,
+            n,
+            length,
+            eigen,
+            modes,
+        })
+    }
+
+    /// Number of retained KL modes `M` (the stochastic dimension handed to the
+    /// sparse-grid collocation).
+    pub fn modes(&self) -> usize {
+        self.modes
+    }
+
+    /// Overrides the number of retained modes (clamped to the available
+    /// spectrum). Useful for convergence studies.
+    pub fn with_modes(mut self, modes: usize) -> Self {
+        self.modes = modes.clamp(1, self.eigen.len());
+        self
+    }
+
+    /// Grid size per side.
+    pub fn samples_per_side(&self) -> usize {
+        self.n
+    }
+
+    /// Patch side length (m).
+    pub fn patch_length(&self) -> f64 {
+        self.length
+    }
+
+    /// The correlation function being expanded.
+    pub fn correlation(&self) -> &CorrelationFunction {
+        &self.cf
+    }
+
+    /// Eigenvalues of the covariance matrix (descending).
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.eigen.eigenvalues
+    }
+
+    /// Fraction of the total height variance captured by the retained modes.
+    pub fn captured_energy(&self) -> f64 {
+        let total: f64 = self.eigen.eigenvalues.iter().filter(|&&l| l > 0.0).sum();
+        let kept: f64 = self.eigen.eigenvalues[..self.modes]
+            .iter()
+            .filter(|&&l| l > 0.0)
+            .sum();
+        if total > 0.0 {
+            kept / total
+        } else {
+            0.0
+        }
+    }
+
+    /// Synthesizes the surface corresponding to a vector of independent
+    /// standard-normal germs `ξ` (one entry per retained mode).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xi.len() != self.modes()`.
+    pub fn synthesize(&self, xi: &[f64]) -> RoughSurface {
+        assert_eq!(xi.len(), self.modes, "germ vector length must equal modes()");
+        let total = self.n * self.n;
+        let mut heights = vec![0.0; total];
+        for (k, &g) in xi.iter().enumerate() {
+            let lambda = self.eigen.eigenvalues[k].max(0.0);
+            let scale = lambda.sqrt() * g;
+            if scale == 0.0 {
+                continue;
+            }
+            for i in 0..total {
+                heights[i] += scale * self.eigen.eigenvectors[(i, k)];
+            }
+        }
+        // Eigenvectors are normalized to unit Euclidean norm; rescale so the
+        // *pointwise* variance matches: Var[f_i] = Σ λ_k φ_k(i)², which is the
+        // diagonal of the truncated covariance. No global rescaling is applied
+        // here — truncation loss is reported via `captured_energy` instead.
+        RoughSurface::new(self.n, self.length, heights).expect("validated dimensions")
+    }
+
+    /// Draws the germs from `rng` and synthesizes one realization.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> (Vec<f64>, RoughSurface) {
+        let xi: Vec<f64> = (0..self.modes)
+            .map(|_| {
+                // Box–Muller using two uniforms.
+                let u1: f64 = rng.gen::<f64>().max(1e-300);
+                let u2: f64 = rng.gen();
+                (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+            })
+            .collect();
+        let surface = self.synthesize(&xi);
+        (xi, surface)
+    }
+}
+
+/// Minimum-image signed distance on a periodic axis measured in grid units.
+fn periodic_distance(raw: f64, n: f64) -> f64 {
+    let mut d = raw.abs() % n;
+    if d > n / 2.0 {
+        d = n - d;
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn paper_kl(n: usize, fraction: f64) -> KarhunenLoeve {
+        KarhunenLoeve::new(CorrelationFunction::gaussian(1e-6, 1e-6), n, 5e-6, fraction).unwrap()
+    }
+
+    #[test]
+    fn eigenvalues_are_nonnegative_and_sum_to_total_variance() {
+        let kl = paper_kl(8, 0.95);
+        assert!(kl.eigenvalues().iter().all(|&l| l > -1e-15));
+        let trace: f64 = kl.eigenvalues().iter().sum();
+        // Trace of the covariance = N² σ².
+        let expected = 64.0 * 1e-12;
+        assert!((trace - expected).abs() < 1e-3 * expected, "trace = {trace}");
+    }
+
+    #[test]
+    fn mode_count_grows_with_energy_fraction() {
+        let low = paper_kl(8, 0.8).modes();
+        let high = paper_kl(8, 0.99).modes();
+        assert!(high >= low);
+        assert!(low >= 1);
+        assert!(paper_kl(8, 0.95).captured_energy() >= 0.95);
+    }
+
+    #[test]
+    fn smoother_surfaces_need_fewer_modes() {
+        let rough =
+            KarhunenLoeve::new(CorrelationFunction::gaussian(1e-6, 1e-6), 8, 5e-6, 0.95).unwrap();
+        let smooth =
+            KarhunenLoeve::new(CorrelationFunction::gaussian(1e-6, 3e-6), 8, 5e-6, 0.95).unwrap();
+        assert!(
+            smooth.modes() < rough.modes(),
+            "smooth {} vs rough {}",
+            smooth.modes(),
+            rough.modes()
+        );
+    }
+
+    #[test]
+    fn measured_cf_needs_more_modes_than_gaussian() {
+        // Table I of the paper: the extracted CF (stronger spatial correlation
+        // structure / slower spectral decay) requires more sampling points.
+        let gaussian = paper_kl(8, 0.95);
+        let measured =
+            KarhunenLoeve::new(CorrelationFunction::paper_extracted(), 8, 5e-6, 0.95).unwrap();
+        assert!(
+            measured.modes() >= gaussian.modes(),
+            "measured {} vs gaussian {}",
+            measured.modes(),
+            gaussian.modes()
+        );
+    }
+
+    #[test]
+    fn zero_germs_give_flat_surface() {
+        let kl = paper_kl(8, 0.9);
+        let s = kl.synthesize(&vec![0.0; kl.modes()]);
+        assert!(s.rms_height() < 1e-20);
+    }
+
+    #[test]
+    fn synthesis_reproduces_height_variance_in_ensemble() {
+        let kl = paper_kl(8, 0.98);
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut acc = 0.0;
+        let samples = 300;
+        for _ in 0..samples {
+            let (_, s) = kl.sample(&mut rng);
+            let h = s.heights();
+            acc += h.iter().map(|v| v * v).sum::<f64>() / h.len() as f64;
+        }
+        let variance = acc / samples as f64;
+        // 98% of σ² = 1e-12 retained, with Monte-Carlo noise on top.
+        assert!(
+            (variance - 0.98e-12).abs() < 0.12e-12,
+            "ensemble variance = {variance}"
+        );
+    }
+
+    #[test]
+    fn synthesis_is_linear_in_the_germs() {
+        let kl = paper_kl(8, 0.9);
+        let m = kl.modes();
+        let xi1: Vec<f64> = (0..m).map(|i| (i as f64 * 0.37).sin()).collect();
+        let xi2: Vec<f64> = xi1.iter().map(|x| 2.0 * x).collect();
+        let s1 = kl.synthesize(&xi1);
+        let s2 = kl.synthesize(&xi2);
+        for (a, b) in s1.heights().iter().zip(s2.heights()) {
+            assert!((2.0 * a - b).abs() < 1e-18);
+        }
+    }
+
+    #[test]
+    fn with_modes_clamps() {
+        let kl = paper_kl(6, 0.9).with_modes(10_000);
+        assert_eq!(kl.modes(), 36);
+        let kl = paper_kl(6, 0.9).with_modes(0);
+        assert_eq!(kl.modes(), 1);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(KarhunenLoeve::new(CorrelationFunction::gaussian(1e-6, 1e-6), 0, 5e-6, 0.9).is_err());
+        assert!(
+            KarhunenLoeve::new(CorrelationFunction::gaussian(1e-6, 1e-6), 4, -5e-6, 0.9).is_err()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "energy fraction")]
+    fn invalid_energy_fraction_panics() {
+        let _ = KarhunenLoeve::new(CorrelationFunction::gaussian(1e-6, 1e-6), 4, 5e-6, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "germ vector length")]
+    fn wrong_germ_length_panics() {
+        let kl = paper_kl(4, 0.9);
+        kl.synthesize(&[0.0]);
+    }
+}

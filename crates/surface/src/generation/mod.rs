@@ -1,0 +1,19 @@
+//! Random rough-surface synthesis.
+//!
+//! Two complementary paths generate realizations of the stationary Gaussian
+//! process of paper §II:
+//!
+//! * [`spectral`] — FFT-based synthesis from the roughness power spectrum.
+//!   Fast (`O(N² log N)`), used for Fig. 2 style visualizations and for the
+//!   Monte-Carlo reference solution.
+//! * [`kl`] — the Karhunen–Loève expansion of the height covariance matrix.
+//!   Slower to set up but it is exactly the dimension-reduction step the SSCM
+//!   needs (paper §III-D): the surface is expressed through a small number of
+//!   *independent* standard-normal germs, which become the axes of the sparse
+//!   grid.
+
+pub mod kl;
+pub mod spectral;
+
+pub use kl::KarhunenLoeve;
+pub use spectral::SpectralSurfaceGenerator;

@@ -1,0 +1,50 @@
+//! # rough-surface
+//!
+//! Stationary 3D random rough-surface modeling for the `roughsim` workspace
+//! (paper §II): the conductor surface height `f(x, y)` is described as a
+//! zero-mean stationary Gaussian stochastic process characterized by its
+//! correlation function, and every experiment of the paper is parameterized by
+//! that process.
+//!
+//! * [`correlation`] — the correlation-function family: the Gaussian CF used in
+//!   Figs. 2, 3, 6 and 7, the exponential CF, and the measurement-extracted CF
+//!   of paper eq. (12) used in Fig. 4.
+//! * [`spectrum`] — isotropic roughness power spectra (analytic where available,
+//!   numerical Hankel transform otherwise) and the spectral moments the SPM2
+//!   baseline integrates over.
+//! * [`generation`] — two synthesis paths: FFT-based spectral synthesis
+//!   (Fig. 2, Monte-Carlo sampling) and the Karhunen–Loève expansion that feeds
+//!   the SSCM stochastic collocation with a small set of independent Gaussian
+//!   germs.
+//! * [`statistics`] — estimation of σ, correlation length, RMS slope and the
+//!   empirical autocorrelation from a sampled surface (the "parameters can be
+//!   extracted from real interconnect surfaces" workflow of §II).
+//! * [`RoughSurface`] / [`Profile1d`] — the sampled-surface containers consumed
+//!   by the SWM solvers.
+//!
+//! # Example
+//!
+//! ```
+//! use rough_surface::correlation::CorrelationFunction;
+//! use rough_surface::generation::spectral::SpectralSurfaceGenerator;
+//! use rand::SeedableRng;
+//!
+//! let cf = CorrelationFunction::gaussian(1.0e-6, 1.0e-6);
+//! let generator = SpectralSurfaceGenerator::new(cf, 64, 5.0e-6)?;
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+//! let surface = generator.generate(&mut rng);
+//! assert_eq!(surface.samples_per_side(), 64);
+//! # Ok::<(), rough_surface::SurfaceError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod correlation;
+pub mod generation;
+pub mod spectrum;
+pub mod statistics;
+mod surface;
+
+pub use correlation::CorrelationFunction;
+pub use surface::{Profile1d, RoughSurface, SurfaceError};

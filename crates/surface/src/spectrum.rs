@@ -1,0 +1,207 @@
+//! Isotropic roughness power spectra and their moments.
+//!
+//! The small-perturbation (SPM2) baseline and the spectral surface synthesis
+//! both work with the 2D power spectral density `W(k)` of the surface height,
+//! defined as the 2D Fourier transform of the correlation function:
+//!
+//! ```text
+//! W(k) = ∫∫ C(|r|) e^{−j k·r} d²r = 2π ∫₀^∞ C(d) J₀(k d) d dd
+//! ```
+//!
+//! so that `σ² = (2π)⁻² ∫∫ W(k) d²k`. Closed forms exist for the Gaussian and
+//! exponential families; the measured CF of paper eq. (12) is transformed
+//! numerically with a Gauss–Legendre Hankel quadrature.
+
+use crate::correlation::CorrelationFunction;
+use rough_numerics::quadrature::gauss_legendre_on;
+use rough_numerics::special::bessel_j0;
+use std::f64::consts::PI;
+
+/// Isotropic power spectral density of a surface described by a correlation
+/// function.
+///
+/// # Example
+///
+/// ```
+/// use rough_surface::correlation::CorrelationFunction;
+/// use rough_surface::spectrum::SurfaceSpectrum;
+///
+/// let spec = SurfaceSpectrum::new(CorrelationFunction::gaussian(1.0e-6, 1.0e-6));
+/// // Recovering σ² from the spectrum.
+/// let sigma2 = spec.integrate_moment(0);
+/// assert!((sigma2 - 1.0e-12).abs() < 1e-14);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SurfaceSpectrum {
+    cf: CorrelationFunction,
+    hankel_points: usize,
+}
+
+impl SurfaceSpectrum {
+    /// Creates the spectrum view of a correlation function.
+    pub fn new(cf: CorrelationFunction) -> Self {
+        Self {
+            cf,
+            hankel_points: 160,
+        }
+    }
+
+    /// The underlying correlation function.
+    pub fn correlation(&self) -> &CorrelationFunction {
+        &self.cf
+    }
+
+    /// Evaluates the isotropic spectrum `W(k)` at radial wavenumber `k`
+    /// (rad/m).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 0`.
+    pub fn evaluate(&self, k: f64) -> f64 {
+        assert!(k >= 0.0, "radial wavenumber must be non-negative");
+        match *self.correlation() {
+            CorrelationFunction::Gaussian { sigma, eta } => {
+                sigma * sigma * PI * eta * eta * (-(k * k * eta * eta) / 4.0).exp()
+            }
+            CorrelationFunction::Exponential { sigma, eta } => {
+                sigma * sigma * 2.0 * PI * eta * eta / (1.0 + k * k * eta * eta).powf(1.5)
+            }
+            CorrelationFunction::Measured { .. } => self.hankel_transform(k),
+        }
+    }
+
+    /// Numerical Hankel transform `2π ∫₀^∞ C(d) J₀(kd) d dd`, truncated where
+    /// the correlation has decayed to a negligible level.
+    fn hankel_transform(&self, k: f64) -> f64 {
+        let eta = self.cf.correlation_length();
+        // The measured CF decays like exp(-d/η₁); 40 effective correlation
+        // lengths bound the truncation error far below the quadrature error.
+        let d_max = 40.0 * eta.max(self.cf.correlation_length());
+        // Integrate piecewise so the oscillations of J0 are resolved.
+        let segments = (1.0 + k * d_max / PI).ceil() as usize;
+        let segments = segments.clamp(8, 4000);
+        let mut total = 0.0;
+        let seg_width = d_max / segments as f64;
+        for s in 0..segments {
+            let a = s as f64 * seg_width;
+            let b = a + seg_width;
+            let rule = gauss_legendre_on(self.hankel_points.min(24), a, b);
+            total += rule.integrate(|d| self.cf.evaluate(d) * bessel_j0(k * d) * d);
+        }
+        2.0 * PI * total
+    }
+
+    /// Radial spectral moment `(2π)⁻² ∫∫ k^(2m) W(k) d²k`
+    /// `= (2π)⁻¹ ∫₀^∞ k^(2m) W(k) k dk`.
+    ///
+    /// Moment 0 is the height variance σ²; moment 1 is the mean-square slope
+    /// (when it converges).
+    pub fn integrate_moment(&self, order: u32) -> f64 {
+        // Upper integration limit: the spectra decay on the scale 1/η, so a
+        // few tens of 1/η capture everything for the differentiable families.
+        let eta = self.cf.correlation_length();
+        let k_max = match self.correlation() {
+            CorrelationFunction::Exponential { .. } => 400.0 / eta,
+            _ => 40.0 / eta,
+        };
+        let segments = 200;
+        let seg = k_max / segments as f64;
+        let mut total = 0.0;
+        for s in 0..segments {
+            let rule = gauss_legendre_on(16, s as f64 * seg, (s + 1) as f64 * seg);
+            total += rule.integrate(|k| k.powi(2 * order as i32) * self.evaluate(k) * k);
+        }
+        total / (2.0 * PI)
+    }
+
+    /// Convenience accessor: the mean-square slope computed from the spectrum,
+    /// `(2π)⁻¹ ∫ k³ W(k) dk`.
+    pub fn mean_square_slope(&self) -> f64 {
+        self.integrate_moment(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian_spectrum_closed_form_consistency() {
+        let spec = SurfaceSpectrum::new(CorrelationFunction::gaussian(1e-6, 2e-6));
+        // W(0) = sigma^2 pi eta^2
+        let w0 = spec.evaluate(0.0);
+        assert!((w0 - 1e-12 * PI * 4e-12).abs() < 1e-30);
+        // Moment 0 recovers sigma^2.
+        assert!((spec.integrate_moment(0) - 1e-12).abs() < 1e-15);
+        // Moment 1 recovers the analytic mean-square slope 4 sigma^2/eta^2.
+        let mss = spec.mean_square_slope();
+        let expected = spec.correlation().mean_square_slope().unwrap();
+        assert!((mss - expected).abs() < 1e-3 * expected, "{mss} vs {expected}");
+    }
+
+    #[test]
+    fn exponential_spectrum_recovers_variance() {
+        let spec = SurfaceSpectrum::new(CorrelationFunction::exponential(0.8e-6, 1.3e-6));
+        let sigma2 = spec.integrate_moment(0);
+        assert!((sigma2 - 0.64e-12).abs() < 2e-14, "sigma2 = {sigma2}");
+    }
+
+    #[test]
+    fn measured_spectrum_recovers_variance_and_slope() {
+        let cf = CorrelationFunction::paper_extracted();
+        let spec = SurfaceSpectrum::new(cf);
+        let sigma2 = spec.integrate_moment(0);
+        assert!((sigma2 - 1e-12).abs() < 0.03e-12, "sigma2 = {sigma2}");
+        // The numerical slope moment should be within ~15% of the analytic
+        // small-d expansion 4σ²/(η₁η₂) (the spectrum tail converges slowly).
+        let mss = spec.mean_square_slope();
+        let approx = cf.mean_square_slope().unwrap();
+        assert!(
+            (mss - approx).abs() < 0.3 * approx,
+            "numerical {mss} vs analytic {approx}"
+        );
+    }
+
+    #[test]
+    fn hankel_transform_matches_closed_form_for_gaussian() {
+        // Force the numerical path by comparing against the closed form at a
+        // few wavenumbers using a measured CF constructed to mimic a Gaussian?
+        // Instead, check the numerical machinery directly: transform the
+        // Gaussian CF numerically and compare with its closed form.
+        let cf = CorrelationFunction::gaussian(1e-6, 1.5e-6);
+        let spec = SurfaceSpectrum::new(cf);
+        for &k in &[0.0f64, 0.3e6, 1.0e6, 2.5e6] {
+            let numerical = spec.hankel_transform(k);
+            let closed = spec.evaluate(k);
+            assert!(
+                (numerical - closed).abs() < 2e-3 * closed.max(1e-30) + 1e-32,
+                "k = {k}: {numerical} vs {closed}"
+            );
+        }
+    }
+
+    #[test]
+    fn spectrum_decreases_with_wavenumber() {
+        for cf in [
+            CorrelationFunction::gaussian(1e-6, 1e-6),
+            CorrelationFunction::exponential(1e-6, 1e-6),
+            CorrelationFunction::paper_extracted(),
+        ] {
+            let spec = SurfaceSpectrum::new(cf);
+            let w1 = spec.evaluate(0.5e6);
+            let w2 = spec.evaluate(2.0e6);
+            let w3 = spec.evaluate(6.0e6);
+            assert!(w1 > w2 && w2 > w3, "{cf}");
+        }
+    }
+
+    #[test]
+    fn longer_correlation_concentrates_spectrum_at_low_k() {
+        let narrow = SurfaceSpectrum::new(CorrelationFunction::gaussian(1e-6, 1e-6));
+        let wide = SurfaceSpectrum::new(CorrelationFunction::gaussian(1e-6, 3e-6));
+        // At high wavenumber the smoother surface has far less content.
+        assert!(wide.evaluate(3e6) < narrow.evaluate(3e6));
+        // But both integrate to the same variance.
+        assert!((narrow.integrate_moment(0) - wide.integrate_moment(0)).abs() < 1e-14);
+    }
+}

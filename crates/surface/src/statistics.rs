@@ -1,0 +1,208 @@
+//! Estimation of roughness parameters from sampled surfaces.
+//!
+//! Paper §II highlights that "the parameters of the stochastic process, e.g. σ
+//! and C, can be quantitatively extracted from real interconnect surfaces by
+//! measuring surface height as a function of position". This module implements
+//! that workflow for gridded height maps: RMS height, radially averaged
+//! autocorrelation, correlation length (1/e crossing) and RMS slope.
+
+use crate::surface::RoughSurface;
+
+/// Summary of the roughness statistics estimated from one height map.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoughnessEstimate {
+    /// RMS height about the mean plane (m).
+    pub rms_height: f64,
+    /// Correlation length from the 1/e crossing of the radial ACF (m); `None`
+    /// if the ACF never drops below 1/e inside the half-patch.
+    pub correlation_length: Option<f64>,
+    /// RMS surface slope (dimensionless).
+    pub rms_slope: f64,
+    /// Ratio of true to projected surface area.
+    pub area_ratio: f64,
+}
+
+/// Radially averaged, normalized autocorrelation of a periodic height map.
+///
+/// Returns `(lag distance, ACF)` pairs for lags from zero to half the patch,
+/// with the zero-lag value normalized to one.
+///
+/// # Panics
+///
+/// Panics if the surface has zero variance (a perfectly flat sample).
+pub fn radial_autocorrelation(surface: &RoughSurface) -> Vec<(f64, f64)> {
+    let n = surface.samples_per_side();
+    let spacing = surface.spacing();
+    let mean = surface.mean();
+    let variance = {
+        let v: f64 = surface
+            .heights()
+            .iter()
+            .map(|h| (h - mean) * (h - mean))
+            .sum::<f64>()
+            / (n * n) as f64;
+        assert!(v > 0.0, "cannot compute the ACF of a flat surface");
+        v
+    };
+
+    let max_lag = n / 2;
+    let mut acf = Vec::with_capacity(max_lag + 1);
+    for lag in 0..=max_lag {
+        // Average the x- and y-direction correlations at this lag (isotropic
+        // surfaces make them statistically identical).
+        let mut acc = 0.0;
+        for iy in 0..n {
+            for ix in 0..n {
+                let a = surface.height(ix as isize, iy as isize) - mean;
+                let bx = surface.height(ix as isize + lag as isize, iy as isize) - mean;
+                let by = surface.height(ix as isize, iy as isize + lag as isize) - mean;
+                acc += a * (bx + by) * 0.5;
+            }
+        }
+        acf.push((lag as f64 * spacing, acc / ((n * n) as f64 * variance)));
+    }
+    acf
+}
+
+/// Estimates the roughness parameters of a height map.
+///
+/// # Panics
+///
+/// Panics if the surface is perfectly flat (zero variance).
+pub fn estimate(surface: &RoughSurface) -> RoughnessEstimate {
+    let acf = radial_autocorrelation(surface);
+    let target = (-1.0f64).exp();
+    let mut correlation_length = None;
+    for window in acf.windows(2) {
+        let (d0, c0) = window[0];
+        let (d1, c1) = window[1];
+        if c0 >= target && c1 < target {
+            // Linear interpolation of the crossing.
+            let t = (c0 - target) / (c0 - c1);
+            correlation_length = Some(d0 + t * (d1 - d0));
+            break;
+        }
+    }
+
+    let n = surface.samples_per_side() as isize;
+    let mut slope_sq = 0.0;
+    for iy in 0..n {
+        for ix in 0..n {
+            let sx = surface.slope_x(ix, iy);
+            let sy = surface.slope_y(ix, iy);
+            slope_sq += sx * sx + sy * sy;
+        }
+    }
+    let rms_slope = (slope_sq / (n * n) as f64).sqrt();
+
+    RoughnessEstimate {
+        rms_height: surface.rms_height(),
+        correlation_length,
+        rms_slope,
+        area_ratio: surface.area_ratio(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correlation::CorrelationFunction;
+    use crate::generation::spectral::SpectralSurfaceGenerator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn acf_of_synthesized_gaussian_surface_matches_target() {
+        let sigma = 1e-6;
+        let eta = 1.5e-6;
+        let cf = CorrelationFunction::gaussian(sigma, eta);
+        let gen = SpectralSurfaceGenerator::new(cf, 64, 12e-6).unwrap();
+        let mut rng = StdRng::seed_from_u64(2024);
+        // Average the ACF over an ensemble to beat sampling noise.
+        let mut acc: Vec<f64> = vec![0.0; 33];
+        let samples = 30;
+        let mut lags = Vec::new();
+        for _ in 0..samples {
+            let s = gen.generate(&mut rng);
+            let acf = radial_autocorrelation(&s);
+            if lags.is_empty() {
+                lags = acf.iter().map(|&(d, _)| d).collect();
+            }
+            for (i, &(_, c)) in acf.iter().enumerate() {
+                acc[i] += c / samples as f64;
+            }
+        }
+        for (i, &d) in lags.iter().enumerate().take(12) {
+            let expected = cf.normalized(d);
+            assert!(
+                (acc[i] - expected).abs() < 0.12,
+                "lag {d:.2e}: acf {} vs {}",
+                acc[i],
+                expected
+            );
+        }
+    }
+
+    #[test]
+    fn estimate_recovers_parameters_of_known_surface() {
+        let sigma = 1e-6;
+        let eta = 1.5e-6;
+        let cf = CorrelationFunction::gaussian(sigma, eta);
+        let gen = SpectralSurfaceGenerator::new(cf, 64, 15e-6).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut rms_acc = 0.0;
+        let mut eta_acc = 0.0;
+        let mut eta_count = 0usize;
+        let samples = 25;
+        for _ in 0..samples {
+            let est = estimate(&gen.generate(&mut rng));
+            rms_acc += est.rms_height;
+            if let Some(e) = est.correlation_length {
+                eta_acc += e;
+                eta_count += 1;
+            }
+        }
+        let rms = rms_acc / samples as f64;
+        assert!((rms - sigma).abs() < 0.15 * sigma, "rms = {rms}");
+        assert!(eta_count > samples / 2);
+        let eta_est = eta_acc / eta_count as f64;
+        assert!(
+            (eta_est - eta).abs() < 0.3 * eta,
+            "estimated correlation length = {eta_est}"
+        );
+    }
+
+    #[test]
+    fn deterministic_cosine_statistics() {
+        // f = a cos(2π x / L): rms = a/√2, ACF crosses 1/e near where the
+        // cosine does, slope rms = (2π a / L)/√2.
+        let n = 64;
+        let l = 10e-6;
+        let a = 0.5e-6;
+        let s = RoughSurface::from_fn(n, l, |x, _| a * (2.0 * std::f64::consts::PI * x / l).cos());
+        let est = estimate(&s);
+        assert!((est.rms_height - a / 2f64.sqrt()).abs() < 1e-9);
+        let expected_slope = 2.0 * std::f64::consts::PI * a / l / 2f64.sqrt();
+        assert!(
+            (est.rms_slope - expected_slope).abs() < 0.02 * expected_slope,
+            "slope {} vs {}",
+            est.rms_slope,
+            expected_slope
+        );
+        assert!(est.area_ratio > 1.0);
+        // The radial ACF averages the x- and y-direction correlations; for this
+        // (anisotropic) ridged cosine the y-direction ACF is identically one,
+        // so the averaged ACF is (cos(2π d/L) + 1)/2 and crosses 1/e where
+        // cos(2π d/L) = 2/e − 1.
+        let expected_eta =
+            l * (2.0 / std::f64::consts::E - 1.0f64).acos() / (2.0 * std::f64::consts::PI);
+        let eta = est.correlation_length.expect("crossing exists");
+        assert!((eta - expected_eta).abs() < 0.05 * expected_eta, "eta = {eta}");
+    }
+
+    #[test]
+    #[should_panic(expected = "flat surface")]
+    fn flat_surface_acf_panics() {
+        radial_autocorrelation(&RoughSurface::flat(8, 1.0));
+    }
+}

@@ -1,0 +1,375 @@
+//! Sampled-surface containers.
+//!
+//! [`RoughSurface`] holds the height samples of one realization of the random
+//! surface on a regular `n × n` grid covering the doubly-periodic `L × L`
+//! patch; [`Profile1d`] is its 1D counterpart for the 2D SWM formulation.
+
+use std::fmt;
+
+/// Error type for surface construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SurfaceError {
+    /// The requested grid resolution is not supported.
+    InvalidGrid {
+        /// Human readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SurfaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SurfaceError::InvalidGrid { reason } => write!(f, "invalid surface grid: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SurfaceError {}
+
+/// One realization of a rough surface sampled on a regular `n × n` grid over a
+/// periodic square patch of side `length`.
+///
+/// Heights are stored row-major (`index = iy * n + ix`); the sample at
+/// `(ix, iy)` sits at coordinates `(ix·Δ, iy·Δ)` with `Δ = length / n`
+/// (periodic continuation beyond the patch).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoughSurface {
+    n: usize,
+    length: f64,
+    heights: Vec<f64>,
+}
+
+impl RoughSurface {
+    /// Creates a surface from raw height samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SurfaceError::InvalidGrid`] if `n == 0`, `length ≤ 0` or the
+    /// sample count is not `n²`.
+    pub fn new(n: usize, length: f64, heights: Vec<f64>) -> Result<Self, SurfaceError> {
+        if n == 0 {
+            return Err(SurfaceError::InvalidGrid {
+                reason: "grid must contain at least one sample per side".into(),
+            });
+        }
+        if !(length > 0.0) {
+            return Err(SurfaceError::InvalidGrid {
+                reason: "patch length must be positive".into(),
+            });
+        }
+        if heights.len() != n * n {
+            return Err(SurfaceError::InvalidGrid {
+                reason: format!("expected {} samples, got {}", n * n, heights.len()),
+            });
+        }
+        Ok(Self { n, length, heights })
+    }
+
+    /// Creates a perfectly flat surface (all heights zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `length ≤ 0`.
+    pub fn flat(n: usize, length: f64) -> Self {
+        Self::new(n, length, vec![0.0; n * n]).expect("valid flat surface parameters")
+    }
+
+    /// Builds a surface by evaluating `f(x, y)` at every grid node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `length ≤ 0`.
+    pub fn from_fn(n: usize, length: f64, mut f: impl FnMut(f64, f64) -> f64) -> Self {
+        let delta = length / n as f64;
+        let mut heights = Vec::with_capacity(n * n);
+        for iy in 0..n {
+            for ix in 0..n {
+                heights.push(f(ix as f64 * delta, iy as f64 * delta));
+            }
+        }
+        Self::new(n, length, heights).expect("valid surface parameters")
+    }
+
+    /// Number of samples per side.
+    pub fn samples_per_side(&self) -> usize {
+        self.n
+    }
+
+    /// Side length of the periodic patch (m).
+    pub fn patch_length(&self) -> f64 {
+        self.length
+    }
+
+    /// Grid spacing Δ (m).
+    pub fn spacing(&self) -> f64 {
+        self.length / self.n as f64
+    }
+
+    /// Height at grid index `(ix, iy)` with periodic wrap-around.
+    pub fn height(&self, ix: isize, iy: isize) -> f64 {
+        let n = self.n as isize;
+        let ix = ix.rem_euclid(n) as usize;
+        let iy = iy.rem_euclid(n) as usize;
+        self.heights[iy * self.n + ix]
+    }
+
+    /// All height samples (row-major).
+    pub fn heights(&self) -> &[f64] {
+        &self.heights
+    }
+
+    /// Coordinates of the grid node `(ix, iy)`.
+    pub fn coordinates(&self, ix: usize, iy: usize) -> (f64, f64) {
+        let d = self.spacing();
+        (ix as f64 * d, iy as f64 * d)
+    }
+
+    /// Central-difference slope `∂f/∂x` at a node (periodic).
+    pub fn slope_x(&self, ix: isize, iy: isize) -> f64 {
+        let d = self.spacing();
+        (self.height(ix + 1, iy) - self.height(ix - 1, iy)) / (2.0 * d)
+    }
+
+    /// Central-difference slope `∂f/∂y` at a node (periodic).
+    pub fn slope_y(&self, ix: isize, iy: isize) -> f64 {
+        let d = self.spacing();
+        (self.height(ix, iy + 1) - self.height(ix, iy - 1)) / (2.0 * d)
+    }
+
+    /// Mean height (should be close to zero for a synthesized surface).
+    pub fn mean(&self) -> f64 {
+        self.heights.iter().sum::<f64>() / self.heights.len() as f64
+    }
+
+    /// RMS height about the mean plane.
+    pub fn rms_height(&self) -> f64 {
+        let mean = self.mean();
+        (self
+            .heights
+            .iter()
+            .map(|h| (h - mean) * (h - mean))
+            .sum::<f64>()
+            / self.heights.len() as f64)
+            .sqrt()
+    }
+
+    /// Removes the mean so the surface sits on the `f = 0` mean plane.
+    pub fn remove_mean(&mut self) {
+        let mean = self.mean();
+        for h in &mut self.heights {
+            *h -= mean;
+        }
+    }
+
+    /// Ratio of true surface area to projected (flat) area,
+    /// `⟨√(1 + f_x² + f_y²)⟩`.
+    pub fn area_ratio(&self) -> f64 {
+        let n = self.n as isize;
+        let mut acc = 0.0;
+        for iy in 0..n {
+            for ix in 0..n {
+                let sx = self.slope_x(ix, iy);
+                let sy = self.slope_y(ix, iy);
+                acc += (1.0 + sx * sx + sy * sy).sqrt();
+            }
+        }
+        acc / (self.n * self.n) as f64
+    }
+
+    /// Extracts the 1D profile along `x` at row `iy` (used to build matched 2D
+    /// SWM comparisons, Fig. 6).
+    pub fn profile_along_x(&self, iy: usize) -> Profile1d {
+        let row: Vec<f64> = (0..self.n)
+            .map(|ix| self.height(ix as isize, iy as isize))
+            .collect();
+        Profile1d::new(self.length, row).expect("row taken from a valid surface")
+    }
+
+    /// Scales every height by a constant factor (useful for sensitivity and
+    /// ablation studies).
+    pub fn scale_heights(&mut self, factor: f64) {
+        for h in &mut self.heights {
+            *h *= factor;
+        }
+    }
+}
+
+/// A 1D periodic surface profile `z = f(x)` (heights uniform along `y`),
+/// consumed by the 2D SWM formulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Profile1d {
+    length: f64,
+    heights: Vec<f64>,
+}
+
+impl Profile1d {
+    /// Creates a profile from raw samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SurfaceError::InvalidGrid`] if fewer than two samples are
+    /// provided or the length is not positive.
+    pub fn new(length: f64, heights: Vec<f64>) -> Result<Self, SurfaceError> {
+        if heights.len() < 2 {
+            return Err(SurfaceError::InvalidGrid {
+                reason: "a profile needs at least two samples".into(),
+            });
+        }
+        if !(length > 0.0) {
+            return Err(SurfaceError::InvalidGrid {
+                reason: "profile length must be positive".into(),
+            });
+        }
+        Ok(Self { length, heights })
+    }
+
+    /// Creates a flat profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `length ≤ 0`.
+    pub fn flat(n: usize, length: f64) -> Self {
+        Self::new(length, vec![0.0; n]).expect("valid flat profile parameters")
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.heights.len()
+    }
+
+    /// Returns `true` if the profile holds no samples (cannot occur for a
+    /// constructed profile).
+    pub fn is_empty(&self) -> bool {
+        self.heights.is_empty()
+    }
+
+    /// Period along x (m).
+    pub fn period(&self) -> f64 {
+        self.length
+    }
+
+    /// Sample spacing (m).
+    pub fn spacing(&self) -> f64 {
+        self.length / self.heights.len() as f64
+    }
+
+    /// Height at index `i` (periodic).
+    pub fn height(&self, i: isize) -> f64 {
+        let n = self.heights.len() as isize;
+        self.heights[i.rem_euclid(n) as usize]
+    }
+
+    /// All samples.
+    pub fn heights(&self) -> &[f64] {
+        &self.heights
+    }
+
+    /// Central-difference slope at index `i` (periodic).
+    pub fn slope(&self, i: isize) -> f64 {
+        (self.height(i + 1) - self.height(i - 1)) / (2.0 * self.spacing())
+    }
+
+    /// RMS height about the mean.
+    pub fn rms_height(&self) -> f64 {
+        let mean = self.heights.iter().sum::<f64>() / self.heights.len() as f64;
+        (self
+            .heights
+            .iter()
+            .map(|h| (h - mean) * (h - mean))
+            .sum::<f64>()
+            / self.heights.len() as f64)
+            .sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validation() {
+        assert!(RoughSurface::new(0, 1.0, vec![]).is_err());
+        assert!(RoughSurface::new(2, -1.0, vec![0.0; 4]).is_err());
+        assert!(RoughSurface::new(2, 1.0, vec![0.0; 3]).is_err());
+        assert!(RoughSurface::new(2, 1.0, vec![0.0; 4]).is_ok());
+        assert!(Profile1d::new(1.0, vec![0.0]).is_err());
+        assert!(Profile1d::new(0.0, vec![0.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn flat_surface_properties() {
+        let s = RoughSurface::flat(8, 5e-6);
+        assert_eq!(s.samples_per_side(), 8);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.rms_height(), 0.0);
+        assert!((s.area_ratio() - 1.0).abs() < 1e-15);
+        assert!((s.spacing() - 0.625e-6).abs() < 1e-20);
+    }
+
+    #[test]
+    fn periodic_indexing_wraps() {
+        let s = RoughSurface::from_fn(4, 4.0, |x, y| x + 10.0 * y);
+        assert_eq!(s.height(0, 0), s.height(4, 0));
+        assert_eq!(s.height(-1, 0), s.height(3, 0));
+        assert_eq!(s.height(2, -1), s.height(2, 3));
+    }
+
+    #[test]
+    fn slopes_of_linear_ramp_with_periodic_jump() {
+        // f = x: interior nodes see slope 1; nodes adjacent to the periodic
+        // seam see the wrap-around discontinuity instead.
+        let s = RoughSurface::from_fn(8, 8.0, |x, _| x);
+        assert!((s.slope_x(3, 2) - 1.0).abs() < 1e-12);
+        assert!((s.slope_y(3, 2)).abs() < 1e-12);
+        assert!(s.slope_x(0, 0) < 0.0); // seam
+    }
+
+    #[test]
+    fn sinusoid_area_ratio_matches_analytic_value() {
+        // f = a sin(2π x / L): <sqrt(1 + a'^2 cos^2)> with a' = 2π a/L.
+        let n = 128;
+        let l = 1.0;
+        let a = 0.05;
+        let s = RoughSurface::from_fn(n, l, |x, _| a * (2.0 * std::f64::consts::PI * x / l).sin());
+        let aprime = 2.0 * std::f64::consts::PI * a / l;
+        // small-slope expansion: 1 + a'^2/4
+        let expected = 1.0 + aprime * aprime / 4.0;
+        assert!((s.area_ratio() - expected).abs() < 1e-3, "{}", s.area_ratio());
+    }
+
+    #[test]
+    fn mean_removal_and_scaling() {
+        let mut s = RoughSurface::from_fn(16, 1.0, |x, y| 3.0 + x * 0.0 + y * 0.0 + (x * 7.0).sin());
+        assert!(s.mean() > 2.5);
+        s.remove_mean();
+        assert!(s.mean().abs() < 1e-12);
+        let rms_before = s.rms_height();
+        s.scale_heights(2.0);
+        assert!((s.rms_height() - 2.0 * rms_before).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profile_extraction_matches_rows() {
+        let s = RoughSurface::from_fn(8, 2.0, |x, y| x + 100.0 * y);
+        let p = s.profile_along_x(3);
+        assert_eq!(p.len(), 8);
+        assert_eq!(p.period(), 2.0);
+        for ix in 0..8 {
+            assert_eq!(p.height(ix as isize), s.height(ix as isize, 3));
+        }
+        assert!((p.slope(4) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profile_rms_of_cosine() {
+        let n = 256;
+        let p = Profile1d::new(
+            1.0,
+            (0..n)
+                .map(|i| (2.0 * std::f64::consts::PI * i as f64 / n as f64).cos())
+                .collect(),
+        )
+        .unwrap();
+        assert!((p.rms_height() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,83 @@
+//! Domain scenario: how surface roughness degrades the insertion loss of a
+//! PCB stripline channel.
+//!
+//! The paper's motivation is exactly this design question: at multi-GHz rates
+//! the conductor loss of an off-chip channel is under-predicted unless the
+//! roughness enhancement `Pr/Ps(f)` multiplies the smooth-conductor
+//! attenuation. This example builds a simple stripline attenuation model,
+//! applies three roughness treatments (smooth, mildly treated foil, heavily
+//! treated foil) and prints the insertion loss of a 10 cm channel across
+//! frequency.
+//!
+//! Run with `cargo run --release --example pcb_insertion_loss`.
+
+use roughsim::baselines::huray::HurayModel;
+use roughsim::baselines::spm2::Spm2Model;
+use roughsim::baselines::RoughnessLossModel;
+use roughsim::em::constants::ETA_0;
+use roughsim::prelude::*;
+use roughsim::surface::correlation::CorrelationFunction;
+
+/// Smooth-conductor attenuation (dB/m) of a stripline of width `w` and
+/// characteristic impedance `z0` — the textbook `α_c = R_s/(Z₀·w)` estimate
+/// with both conductors counted.
+fn smooth_conductor_loss_db_per_m(stack: &Stackup, frequency: Hertz, width: f64, z0: f64) -> f64 {
+    let rs = stack.conductor().surface_resistance(Hertz::new(frequency.0).into());
+    let alpha_np = rs / (z0 * width);
+    8.686 * alpha_np
+}
+
+/// Dielectric loss (dB/m) for a loss tangent `tan_d`.
+fn dielectric_loss_db_per_m(stack: &Stackup, frequency: Hertz, tan_d: f64) -> f64 {
+    let f: roughsim::em::units::Frequency = Hertz::new(frequency.0).into();
+    let k1 = stack.dielectric().wavenumber(f);
+    8.686 * 0.5 * k1 * tan_d
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let stack = Stackup::new(Conductor::copper_foil(), Dielectric::fr4());
+    let width = 150e-6; // 150 µm trace
+    let z0 = 50.0;
+    let tan_d = 0.015;
+    let length = 0.10; // 10 cm channel
+    let _ = ETA_0; // free-space impedance available for further modelling
+
+    // Roughness treatments.
+    let mild = Spm2Model::new(
+        CorrelationFunction::gaussian(0.5e-6, 1.5e-6),
+        Conductor::copper_foil(),
+    );
+    let heavy = HurayModel::cannonball(
+        Micrometers::new(0.6).into(),
+        Micrometers::new(9.4).into(),
+        Conductor::copper_foil(),
+    );
+
+    println!("Insertion loss of a 10 cm stripline channel (FR-4, 150 µm trace)");
+    println!(
+        "{:>8} | {:>12} | {:>12} | {:>12} | {:>12}",
+        "f (GHz)", "dielectric", "smooth Cu", "mild foil", "heavy foil"
+    );
+    println!("{}", "-".repeat(72));
+    for ghz in [1.0, 2.0, 5.0, 10.0, 15.0, 20.0, 25.0] {
+        let f = Hertz::new(ghz * 1e9);
+        let freq: roughsim::em::units::Frequency = f.into();
+        let a_d = dielectric_loss_db_per_m(&stack, f, tan_d) * length;
+        let a_c = smooth_conductor_loss_db_per_m(&stack, f, width, z0) * length;
+        let a_mild = a_c * mild.enhancement_factor(freq);
+        let a_heavy = a_c * heavy.enhancement_factor(freq);
+        println!(
+            "{:>8.1} | {:>9.3} dB | {:>9.3} dB | {:>9.3} dB | {:>9.3} dB",
+            ghz,
+            a_d,
+            a_d + a_c,
+            a_d + a_mild,
+            a_d + a_heavy
+        );
+    }
+    println!();
+    println!("The roughness columns multiply the conductor term by Pr/Ps(f); at 20+ GHz");
+    println!("heavily treated foil costs more than an extra dB over 10 cm — the signal-");
+    println!("integrity margin the paper's methodology is designed to predict.");
+    Ok(())
+}

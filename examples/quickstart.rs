@@ -1,0 +1,50 @@
+//! Quickstart: compute the loss-enhancement factor `Pr/Ps` of one rough
+//! copper/SiO₂ interface realization at 5 GHz and compare it with the
+//! analytic baselines.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use roughsim::baselines::hammerstad::HammerstadModel;
+use roughsim::baselines::spm2::Spm2Model;
+use roughsim::baselines::RoughnessLossModel;
+use roughsim::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Materials: the paper's copper foil (1.67 µΩ·cm) under SiO₂ (ε_r = 3.7).
+    let stack = Stackup::new(Conductor::copper_foil(), Dielectric::silicon_dioxide());
+
+    // 2. Roughness: a Gaussian-correlated surface with σ = η = 1 µm on the
+    //    paper's 5η doubly-periodic patch.
+    let roughness = RoughnessSpec::gaussian(Micrometers::new(1.0), Micrometers::new(1.0));
+
+    // 3. The SWM problem at 5 GHz on a small demonstration grid.
+    let frequency = GigaHertz::new(5.0);
+    let problem = SwmProblem::builder(stack, roughness)
+        .frequency(frequency.into())
+        .cells_per_side(10)
+        .build()?;
+
+    // 4. One surface realization, solved.
+    let surface = problem.sample_surface(7);
+    let result = problem.solve(&surface)?;
+
+    println!("SWM quickstart (σ = η = 1 µm, f = {} GHz)", frequency.0);
+    println!("  surface RMS height    : {:.3} µm", surface.rms_height() * 1e6);
+    println!("  surface area ratio    : {:.3}", surface.area_ratio());
+    println!("  absorbed power  Pr    : {:.4e} (arb. units)", result.absorbed_power());
+    println!("  smooth power    Ps    : {:.4e}", result.flat_absorbed_power());
+    println!("  loss enhancement Pr/Ps: {:.4}", result.enhancement_factor());
+
+    // 5. Analytic baselines for context.
+    let hammerstad = HammerstadModel::new(Micrometers::new(1.0).into(), Conductor::copper_foil());
+    let spm2 = Spm2Model::new(
+        CorrelationFunction::gaussian(1.0e-6, 1.0e-6),
+        Conductor::copper_foil(),
+    );
+    println!("  Hammerstad (σ only)   : {:.4}", hammerstad.enhancement_factor(frequency.into()));
+    println!("  SPM2 (spectral)       : {:.4}", spm2.enhancement_factor(frequency.into()));
+    println!();
+    println!("Note: one realization of a random surface — the paper's figures report");
+    println!("the SSCM ensemble mean (see crates/bench/src/bin/fig3_gaussian_cf.rs).");
+    Ok(())
+}

@@ -1,0 +1,77 @@
+//! # roughsim
+//!
+//! A pure-Rust reproduction of *Chen & Wong, "New Simulation Methodology of 3D
+//! Surface Roughness Loss for Interconnects Modeling", DATE 2009*.
+//!
+//! `roughsim` predicts the extra conductor loss caused by surface roughness in
+//! high-speed interconnects and packaging. It implements the paper's **scalar
+//! wave modeling (SWM)** methodology — a method-of-moments solution of a
+//! two-medium scalar transmission problem on a doubly-periodic rough patch —
+//! together with the **SSCM** stochastic collocation machinery and the classical
+//! analytic baselines (Hammerstad, SPM2, hemispherical-boss, Huray).
+//!
+//! This crate is a thin facade that re-exports the workspace crates:
+//!
+//! * [`numerics`] — complex arithmetic, dense/iterative linear algebra, FFT,
+//!   special functions, quadrature and statistics.
+//! * [`em`] — units, materials, Green's functions (including the Ewald-summed
+//!   doubly-periodic kernel) and the flat-interface analytic solution.
+//! * [`surface`] — stationary Gaussian rough-surface models: correlation
+//!   functions, spectral synthesis, Karhunen–Loève expansion and statistics.
+//! * [`core`] — the SWM solver itself (3D and 2D) and the loss-enhancement
+//!   factor computation.
+//! * [`baselines`] — Hammerstad/Morgan, SPM2, HBM and Huray analytic models.
+//! * [`stochastic`] — Monte-Carlo and sparse-grid stochastic collocation (SSCM).
+//!
+//! # Quickstart
+//!
+//! Compute the loss-enhancement factor `Pr/Ps` of a copper/SiO₂ interface with a
+//! Gaussian-correlated roughness of σ = η = 1 µm at 5 GHz:
+//!
+//! ```
+//! use roughsim::prelude::*;
+//!
+//! # fn main() -> Result<(), roughsim::core::SwmError> {
+//! let stack = Stackup::new(Conductor::copper_foil(), Dielectric::silicon_dioxide());
+//! let roughness = RoughnessSpec::gaussian(Micrometers::new(1.0), Micrometers::new(1.0));
+//! let problem = SwmProblem::builder(stack, roughness)
+//!     .frequency(GigaHertz::new(5.0).into())
+//!     .cells_per_side(6) // small demonstration grid; the paper uses η/8
+//!     .build()?;
+//! let surface = problem.sample_surface(7);
+//! let result = problem.solve(&surface)?;
+//! assert!(result.enhancement_factor() > 0.9);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use rough_baselines as baselines;
+pub use rough_core as core;
+pub use rough_em as em;
+pub use rough_numerics as numerics;
+pub use rough_stochastic as stochastic;
+pub use rough_surface as surface;
+
+/// Commonly used items, re-exported for convenient glob import.
+pub mod prelude {
+    pub use rough_baselines::{
+        hammerstad::HammerstadModel, hbm::HemisphericalBossModel, huray::HurayModel,
+        spm2::Spm2Model, RoughnessLossModel,
+    };
+    pub use rough_core::{
+        loss::LossResult, swm2d::Swm2dProblem, RoughnessSpec, SwmError, SwmProblem,
+    };
+    pub use rough_em::{
+        material::{Conductor, Dielectric, Stackup},
+        units::{GigaHertz, Hertz, Meters, Micrometers, OhmMeters},
+    };
+    pub use rough_numerics::complex::c64;
+    pub use rough_stochastic::{
+        collocation::{SscmConfig, SscmResult},
+        monte_carlo::{MonteCarloConfig, MonteCarloResult},
+    };
+    pub use rough_surface::{
+        correlation::CorrelationFunction, generation::spectral::SpectralSurfaceGenerator,
+        RoughSurface,
+    };
+}

@@ -1,0 +1,118 @@
+//! Cross-crate integration tests of the analytic baselines against each other
+//! and against the material substrate — the consistency relations the paper
+//! relies on when it uses each model as a benchmark "in its valid region".
+
+use roughsim::baselines::hammerstad::HammerstadModel;
+use roughsim::baselines::hbm::HemisphericalBossModel;
+use roughsim::baselines::huray::HurayModel;
+use roughsim::baselines::spm2::Spm2Model;
+use roughsim::baselines::RoughnessLossModel;
+use roughsim::prelude::*;
+use roughsim::surface::correlation::CorrelationFunction;
+use roughsim::surface::spectrum::SurfaceSpectrum;
+
+#[test]
+fn all_models_approach_unity_at_low_frequency() {
+    let f = Hertz::new(1.0e6);
+    let models: Vec<Box<dyn RoughnessLossModel>> = vec![
+        Box::new(HammerstadModel::new(
+            Micrometers::new(1.0).into(),
+            Conductor::copper_foil(),
+        )),
+        Box::new(Spm2Model::new(
+            CorrelationFunction::gaussian(1.0e-6, 1.0e-6),
+            Conductor::copper_foil(),
+        )),
+        Box::new(HurayModel::cannonball(
+            Micrometers::new(0.5).into(),
+            Micrometers::new(9.4).into(),
+            Conductor::copper_foil(),
+        )),
+    ];
+    for model in models {
+        let k = model.enhancement_factor(f.into());
+        assert!((k - 1.0).abs() < 0.02, "{} gives {k} at 1 MHz", model.name());
+    }
+}
+
+#[test]
+fn hammerstad_cannot_distinguish_correlation_lengths_but_spm2_can() {
+    let f = GigaHertz::new(5.0);
+    let hammerstad = HammerstadModel::new(Micrometers::new(1.0).into(), Conductor::copper_foil());
+    let narrow = Spm2Model::new(
+        CorrelationFunction::gaussian(1.0e-6, 1.0e-6),
+        Conductor::copper_foil(),
+    );
+    let wide = Spm2Model::new(
+        CorrelationFunction::gaussian(1.0e-6, 3.0e-6),
+        Conductor::copper_foil(),
+    );
+    // One number from Hammerstad...
+    let h = hammerstad.enhancement_factor(f.into());
+    // ...two clearly different numbers from the spectral model.
+    let a = narrow.enhancement_factor(f.into());
+    let b = wide.enhancement_factor(f.into());
+    assert!(a > b + 0.1, "SPM2 should separate η = 1 µm from η = 3 µm");
+    assert!(h > 1.0 && h < 2.0);
+}
+
+#[test]
+fn spm2_diverges_where_hbm_stays_physical_for_large_roughness() {
+    // Fig. 5's message: for the tall half-spheroid at high frequency the
+    // perturbation model explodes while the boss model saturates.
+    let f = GigaHertz::new(20.0);
+    let hbm = HemisphericalBossModel::half_spheroid(
+        Micrometers::new(5.8).into(),
+        Micrometers::new(4.7).into(),
+        Micrometers::new(18.8).into(),
+        Conductor::copper_foil(),
+    );
+    let spm2 = Spm2Model::new(
+        CorrelationFunction::gaussian(2.45e-6, 2.45e-6),
+        Conductor::copper_foil(),
+    );
+    let k_hbm = hbm.enhancement_factor(f.into());
+    let k_spm2 = spm2.enhancement_factor(f.into());
+    assert!(k_hbm > 1.2 && k_hbm < 4.0, "HBM {k_hbm}");
+    assert!(k_spm2 > k_hbm, "SPM2 {k_spm2} should overshoot HBM {k_hbm}");
+}
+
+#[test]
+fn spectrum_moments_are_consistent_with_the_correlation_functions() {
+    for cf in [
+        CorrelationFunction::gaussian(1.0e-6, 1.0e-6),
+        CorrelationFunction::gaussian(0.5e-6, 2.0e-6),
+        CorrelationFunction::paper_extracted(),
+    ] {
+        let spectrum = SurfaceSpectrum::new(cf);
+        let sigma2 = spectrum.integrate_moment(0);
+        assert!(
+            (sigma2 - cf.variance()).abs() < 0.05 * cf.variance(),
+            "{cf}: σ² from spectrum {sigma2:.3e}"
+        );
+    }
+}
+
+#[test]
+fn huray_and_hbm_agree_on_the_order_of_magnitude_for_matched_geometry() {
+    // A hemisphere of radius a on a tile: Huray with one snowball of the same
+    // radius and the HBM boss describe the same physical object; at high
+    // frequency both give an enhancement set by the same area ratio, within a
+    // geometric factor of order one.
+    let radius = Micrometers::new(2.0);
+    let tile = Micrometers::new(8.0);
+    let f = GigaHertz::new(40.0);
+    let hbm = HemisphericalBossModel::new(radius.into(), tile.into(), Conductor::copper_foil());
+    let huray = HurayModel::new(
+        vec![roughsim::baselines::huray::SnowballFamily {
+            count: 1.0,
+            radius: 2.0e-6,
+        }],
+        tile.into(),
+        Conductor::copper_foil(),
+    );
+    let a = hbm.enhancement_factor(f.into());
+    let b = huray.enhancement_factor(f.into());
+    assert!(a > 1.0 && b > 1.0);
+    assert!(a / b < 3.0 && b / a < 3.0, "HBM {a} vs Huray {b}");
+}

@@ -1,0 +1,99 @@
+//! Cross-crate integration tests of the stochastic pipeline: KL expansion →
+//! sparse-grid collocation → statistics, wrapped around the SWM solver.
+
+use roughsim::prelude::*;
+use roughsim::stochastic::collocation::run_sscm;
+use roughsim::stochastic::monte_carlo::run_monte_carlo;
+use roughsim::stochastic::sparse_grid::SparseGrid;
+use roughsim::surface::correlation::CorrelationFunction;
+use roughsim::surface::generation::kl::KarhunenLoeve;
+
+#[test]
+fn sscm_and_monte_carlo_agree_on_the_swm_quantity_of_interest() {
+    let stack = Stackup::new(Conductor::copper_foil(), Dielectric::silicon_dioxide());
+    let cf = CorrelationFunction::gaussian(1.0e-6, 1.0e-6);
+    let cells = 8;
+    let problem = SwmProblem::builder(
+        stack,
+        RoughnessSpec::gaussian(Micrometers::new(1.0), Micrometers::new(1.0)),
+    )
+    .frequency(GigaHertz::new(5.0).into())
+    .cells_per_side(cells)
+    .build()
+    .unwrap();
+
+    let kl = KarhunenLoeve::new(cf, cells, problem.patch_length(), 0.9).unwrap();
+    let kl = kl.with_modes(4);
+    let reference = problem.flat_reference_power().unwrap();
+    let model = |xi: &[f64]| {
+        problem
+            .solve_with_reference(&kl.synthesize(xi), reference)
+            .unwrap()
+            .enhancement_factor()
+    };
+
+    let sscm = run_sscm(
+        kl.modes(),
+        &SscmConfig {
+            order: 2,
+            surrogate_samples: 5000,
+            seed: 3,
+        },
+        model,
+    );
+    let mc = run_monte_carlo(
+        kl.modes(),
+        &MonteCarloConfig {
+            samples: 30,
+            seed: 4,
+        },
+        model,
+    );
+
+    // Both estimate the same mean enhancement; the MC error bar at 30 samples
+    // is generous, so a loose band is appropriate.
+    assert!(sscm.mean() > 1.0 && sscm.mean() < 2.5, "sscm mean {}", sscm.mean());
+    assert!(
+        (sscm.mean() - mc.mean()).abs() < 4.0 * mc.summary().std_error() + 0.05,
+        "SSCM {} vs MC {} ± {}",
+        sscm.mean(),
+        mc.mean(),
+        mc.summary().std_error()
+    );
+    // And SSCM used far fewer solves than a converged MC would.
+    assert!(sscm.evaluations() < 60);
+}
+
+#[test]
+fn table1_structure_sparse_grids_beat_monte_carlo_sampling_counts() {
+    // The structural claim of Table I, independent of the solver: for the KL
+    // dimensions of both correlation functions the sparse grids need an order
+    // of magnitude fewer nodes than the 5000-sample Monte-Carlo reference.
+    for cf in [
+        CorrelationFunction::gaussian(1.0e-6, 1.0e-6),
+        CorrelationFunction::paper_extracted(),
+    ] {
+        let kl = KarhunenLoeve::new(cf, 10, 5.0 * cf.correlation_length(), 0.95).unwrap();
+        let modes = kl.modes();
+        let first = SparseGrid::new(modes, 1).len();
+        let second = SparseGrid::new(modes, 2).len();
+        assert!(first < second);
+        assert!(second * 5 < 5000, "{cf}: second-order grid {second}");
+        assert!(kl.captured_energy() >= 0.95);
+    }
+}
+
+#[test]
+fn kl_truncation_error_shows_up_as_reduced_variance_not_bias() {
+    // Sanity check of the dimension-reduction step itself.
+    let cf = CorrelationFunction::gaussian(1.0e-6, 1.0e-6);
+    let full = KarhunenLoeve::new(cf, 8, 5.0e-6, 0.999).unwrap();
+    let truncated = KarhunenLoeve::new(cf, 8, 5.0e-6, 0.9).unwrap();
+    assert!(truncated.modes() < full.modes());
+    assert!(truncated.captured_energy() < full.captured_energy());
+    // Means of synthesized surfaces stay at zero either way.
+    let xi_full: Vec<f64> = (0..full.modes()).map(|i| ((i * 7) % 3) as f64 - 1.0).collect();
+    let xi_trunc: Vec<f64> = (0..truncated.modes()).map(|i| ((i * 7) % 3) as f64 - 1.0).collect();
+    assert!(full.synthesize(&xi_full).mean().abs() < 1e-7);
+    assert!(truncated.synthesize(&xi_trunc).mean().abs() < 1e-7);
+}

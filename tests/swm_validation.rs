@@ -1,0 +1,144 @@
+//! Cross-crate integration tests: the SWM solver against its analytic anchors
+//! and against the closed-form baselines in their regions of validity.
+
+use roughsim::baselines::spm2::Spm2Model;
+use roughsim::baselines::RoughnessLossModel;
+use roughsim::em::fresnel::flat_interface;
+use roughsim::prelude::*;
+use roughsim::surface::correlation::CorrelationFunction;
+use roughsim::surface::RoughSurface;
+
+fn paper_stack() -> Stackup {
+    Stackup::new(Conductor::copper_foil(), Dielectric::silicon_dioxide())
+}
+
+#[test]
+fn flat_patch_matches_the_fresnel_anchor_across_frequencies() {
+    for ghz in [1.0, 4.0, 9.0] {
+        let problem = SwmProblem::builder(
+            paper_stack(),
+            RoughnessSpec::gaussian(Micrometers::new(1.0), Micrometers::new(1.0)),
+        )
+        .frequency(GigaHertz::new(ghz).into())
+        .cells_per_side(8)
+        .build()
+        .unwrap();
+        let numeric = problem.flat_reference_power().unwrap();
+        let analytic = problem.analytic_smooth_power();
+        let rel = (numeric - analytic).abs() / analytic;
+        assert!(rel < 0.08, "f = {ghz} GHz: relative error {rel:.3}");
+
+        // And the underlying transmission coefficient is the good-conductor
+        // field doubling.
+        let fresnel = flat_interface(&paper_stack(), GigaHertz::new(ghz).into());
+        assert!((fresnel.transmission.abs() - 2.0).abs() < 0.05);
+    }
+}
+
+#[test]
+fn swm_tracks_spm2_for_gentle_roughness() {
+    // Fig. 3's smooth case (σ = 1 µm, η = 3 µm): SWM and SPM2 agree within a
+    // band that our coarse integration-test grid can resolve.
+    let cf = CorrelationFunction::gaussian(1.0e-6, 3.0e-6);
+    let spm2 = Spm2Model::new(cf, Conductor::copper_foil());
+    let frequency = GigaHertz::new(5.0);
+
+    let problem = SwmProblem::builder(
+        paper_stack(),
+        RoughnessSpec::gaussian(Micrometers::new(1.0), Micrometers::new(3.0)),
+    )
+    .frequency(frequency.into())
+    .cells_per_side(10)
+    .build()
+    .unwrap();
+    let reference = problem.flat_reference_power().unwrap();
+    // Small seeded ensemble of realizations.
+    let mut mean = 0.0;
+    let samples = 4;
+    for seed in 0..samples {
+        let surface = problem.sample_surface(100 + seed);
+        mean += problem
+            .solve_with_reference(&surface, reference)
+            .unwrap()
+            .enhancement_factor();
+    }
+    mean /= samples as f64;
+    let analytic = spm2.enhancement_factor(frequency.into());
+    assert!(
+        (mean - analytic).abs() < 0.12 * analytic,
+        "SWM ensemble mean {mean:.3} vs SPM2 {analytic:.3}"
+    );
+    assert!(mean > 1.0);
+}
+
+#[test]
+fn deterministic_protrusion_increases_loss_monotonically_with_frequency() {
+    // A miniature of the Fig. 5 workflow: a deterministic bump, loss rising
+    // with frequency as the skin depth shrinks below the protrusion size.
+    let tile = 10.0e-6;
+    let cells = 10;
+    let surface = RoughSurface::from_fn(cells, tile, |x, y| {
+        let dx = (x - 0.5 * tile) / (2.5e-6);
+        let dy = (y - 0.5 * tile) / (2.5e-6);
+        let r2: f64 = dx * dx + dy * dy;
+        if r2 < 1.0 {
+            2.0e-6 * (1.0 - r2).sqrt()
+        } else {
+            0.0
+        }
+    });
+    let mut previous = 0.0;
+    for ghz in [2.0, 8.0, 16.0] {
+        let problem = SwmProblem::builder(
+            paper_stack(),
+            RoughnessSpec::deterministic(Meters::new(tile)),
+        )
+        .frequency(GigaHertz::new(ghz).into())
+        .cells_per_side(cells)
+        .build()
+        .unwrap();
+        let k = problem.solve(&surface).unwrap().enhancement_factor();
+        assert!(k > previous, "f = {ghz} GHz: {k:.3} not above {previous:.3}");
+        previous = k;
+    }
+    assert!(previous > 1.05, "high-frequency enhancement {previous:.3}");
+}
+
+#[test]
+fn three_dimensional_roughness_loses_more_than_ridged_roughness() {
+    // Fig. 6's key qualitative claim, checked on matched surfaces.
+    use roughsim::core::swm2d::Swm2dProblem;
+    let frequency = GigaHertz::new(6.0);
+    let problem = SwmProblem::builder(
+        paper_stack(),
+        RoughnessSpec::gaussian(Micrometers::new(1.0), Micrometers::new(1.0)),
+    )
+    .frequency(frequency.into())
+    .cells_per_side(8)
+    .build()
+    .unwrap();
+    let reference = problem.flat_reference_power().unwrap();
+    let problem_2d = Swm2dProblem::new(paper_stack(), frequency.into()).unwrap();
+
+    let mut mean_3d = 0.0;
+    let mut mean_2d = 0.0;
+    let samples = 3;
+    for seed in 0..samples {
+        let surface = problem.sample_surface(seed + 1);
+        mean_3d += problem
+            .solve_with_reference(&surface, reference)
+            .unwrap()
+            .enhancement_factor();
+        let ridged = problem.sample_ridged_surface(seed + 1);
+        mean_2d += problem_2d
+            .solve(&ridged.profile_along_x(0))
+            .unwrap()
+            .enhancement_factor();
+    }
+    mean_3d /= samples as f64;
+    mean_2d /= samples as f64;
+    assert!(
+        mean_3d > mean_2d,
+        "3D mean {mean_3d:.3} should exceed 2D mean {mean_2d:.3}"
+    );
+}
