@@ -83,8 +83,7 @@ pub fn frequency_for_enhancement(
     let target = ((level - 1.0) * PI / 2.0).tan() / 1.4;
     let delta = sigma.value() / target.sqrt();
     // delta = sqrt(rho / (pi f mu0))  =>  f = rho / (pi mu0 delta^2)
-    let f = conductor.resistivity().value()
-        / (PI * rough_em::constants::MU_0 * delta * delta);
+    let f = conductor.resistivity().value() / (PI * rough_em::constants::MU_0 * delta * delta);
     Some(Frequency::new(f))
 }
 

@@ -129,11 +129,7 @@ impl HemisphericalBossModel {
         let area = half_spheroid_lateral_area(h, b);
         // Equal-area hemisphere: 2π a² = area.
         let radius = (area / (2.0 * PI)).sqrt();
-        Self::new(
-            Length::new(radius),
-            tile_side,
-            conductor,
-        )
+        Self::new(Length::new(radius), tile_side, conductor)
     }
 
     /// Equivalent hemisphere radius (m).

@@ -64,7 +64,10 @@ impl HurayModel {
     /// family has a non-positive radius or count.
     pub fn new(families: Vec<SnowballFamily>, tile_side: Length, conductor: Conductor) -> Self {
         assert!(tile_side.value() > 0.0, "tile side must be positive");
-        assert!(!families.is_empty(), "at least one snowball family is required");
+        assert!(
+            !families.is_empty(),
+            "at least one snowball family is required"
+        );
         assert!(
             families.iter().all(|f| f.count > 0.0 && f.radius > 0.0),
             "snowball counts and radii must be positive"
@@ -191,6 +194,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one snowball family")]
     fn empty_families_panic() {
-        let _ = HurayModel::new(vec![], Micrometers::new(9.4).into(), Conductor::copper_foil());
+        let _ = HurayModel::new(
+            vec![],
+            Micrometers::new(9.4).into(),
+            Conductor::copper_foil(),
+        );
     }
 }

@@ -137,7 +137,10 @@ mod tests {
         let expected = m.high_frequency_limit();
         assert!((expected - (1.0 + 2.0 / 9.0)).abs() < 2e-3);
         let k = m.enhancement_factor(GigaHertz::new(2000.0).into());
-        assert!((k - expected).abs() < 0.02 * expected, "k = {k} vs {expected}");
+        assert!(
+            (k - expected).abs() < 0.02 * expected,
+            "k = {k} vs {expected}"
+        );
     }
 
     #[test]

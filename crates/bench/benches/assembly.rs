@@ -17,7 +17,9 @@ fn bench_assembly(c: &mut Criterion) {
     for n in [6usize, 8, 10] {
         let l = 5.0e-6;
         let surface = RoughSurface::from_fn(n, l, |x, y| {
-            0.5e-6 * ((2.0 * std::f64::consts::PI * x / l).cos() + (2.0 * std::f64::consts::PI * y / l).sin())
+            0.5e-6
+                * ((2.0 * std::f64::consts::PI * x / l).cos()
+                    + (2.0 * std::f64::consts::PI * y / l).sin())
         });
         let mesh = PatchMesh::from_surface(&surface);
         let g1 = PeriodicGreen3d::new(stack.k1(f), l);

@@ -34,9 +34,7 @@ fn bench_solvers(c: &mut Criterion) {
     });
     group.bench_function("bicgstab_2n", |b| {
         b.iter(|| {
-            black_box(
-                solve_system(&a_2n, &b_2n, SolverKind::Bicgstab { tolerance: 1e-9 }).unwrap(),
-            )
+            black_box(solve_system(&a_2n, &b_2n, SolverKind::Bicgstab { tolerance: 1e-9 }).unwrap())
         })
     });
     group.bench_function("gmres_2n", |b| {

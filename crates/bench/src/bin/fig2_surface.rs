@@ -17,7 +17,10 @@ fn main() {
 
     println!("Fig. 2 — simulated 3D Gaussian rough surface (sigma = eta = 1 um)");
     println!("  grid                : 64 x 64 over a 10 um patch");
-    println!("  RMS height          : {:.3} um (target 1.0)", stats.rms_height * 1e6);
+    println!(
+        "  RMS height          : {:.3} um (target 1.0)",
+        stats.rms_height * 1e6
+    );
     println!(
         "  correlation length  : {} um (target ~1.0)",
         stats
@@ -25,7 +28,10 @@ fn main() {
             .map(|e| format!("{:.3}", e * 1e6))
             .unwrap_or_else(|| "n/a".into())
     );
-    println!("  RMS slope           : {:.3} (target 2σ/η = 2.0)", stats.rms_slope);
+    println!(
+        "  RMS slope           : {:.3} (target 2σ/η = 2.0)",
+        stats.rms_slope
+    );
     println!("  area ratio          : {:.3}", stats.area_ratio);
 
     let mut rows: Vec<String> = Vec::new();
@@ -42,6 +48,10 @@ fn main() {
             .collect();
         height_rows.push(row.join(","));
     }
-    let path = write_csv("fig2_heights_um.csv", "height map (um), one grid row per line", &height_rows);
+    let path = write_csv(
+        "fig2_heights_um.csv",
+        "height map (um), one grid row per line",
+        &height_rows,
+    );
     println!("  height map written to {}", path.display());
 }

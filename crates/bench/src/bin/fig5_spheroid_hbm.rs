@@ -1,19 +1,27 @@
 //! Fig. 5 — SWM vs HBM (and SPM2, which fails here) for a single deterministic
 //! conducting half-spheroid: h = 5.8 µm, base diameter 9.4 µm, 1–20 GHz.
+//!
+//! The frequency sweep of the explicit protrusion is one deterministic-mode
+//! [`rough_engine::Scenario`]; the engine solves every frequency in parallel.
 
 use rough_baselines::hbm::HemisphericalBossModel;
 use rough_baselines::spm2::Spm2Model;
 use rough_baselines::RoughnessLossModel;
 use rough_bench::{write_csv, Fidelity, FrequencySweep};
-use rough_core::{RoughnessSpec, SwmProblem};
+use rough_core::RoughnessSpec;
 use rough_em::material::{Conductor, Stackup};
 use rough_em::units::Micrometers;
+use rough_engine::{Engine, Scenario};
 use rough_surface::correlation::CorrelationFunction;
 use rough_surface::RoughSurface;
 
 fn main() {
     let fidelity = Fidelity::from_args();
-    let max_ghz = if fidelity == Fidelity::Paper { 20.0 } else { 10.0 };
+    let max_ghz = if fidelity == Fidelity::Paper {
+        20.0
+    } else {
+        10.0
+    };
     let sweep = FrequencySweep::linear_ghz(1.0, max_ghz, fidelity.sweep_points());
     let stack = Stackup::paper_baseline();
 
@@ -48,19 +56,29 @@ fn main() {
         }
     });
 
-    println!("Fig. 5 — SWM vs HBM, conducting half-spheroid ({fidelity:?}, {cells}x{cells} cells)");
-    println!("{:>8} {:>10} {:>10} {:>12}", "f (GHz)", "SWM", "HBM", "SPM2 (invalid)");
-    let mut rows = Vec::new();
-    for &f in sweep.points() {
-        let problem = SwmProblem::builder(
-            stack,
-            RoughnessSpec::deterministic(Micrometers::new(tile * 1e6)),
-        )
-        .frequency(f)
+    let scenario = Scenario::builder(stack)
+        .name("fig5-half-spheroid")
+        .roughness(RoughnessSpec::deterministic(Micrometers::new(tile * 1e6)))
+        .frequencies(sweep.points().iter().copied())
         .cells_per_side(cells)
+        .deterministic(surface)
         .build()
-        .expect("valid configuration");
-        let swm = problem.solve(&surface).expect("SWM solve").enhancement_factor();
+        .expect("valid Fig. 5 scenario");
+    let engine = Engine::new();
+    let report = engine.run(&scenario).expect("Fig. 5 campaign");
+
+    println!(
+        "Fig. 5 — SWM vs HBM, conducting half-spheroid ({fidelity:?}, {cells}x{cells} cells, {} solves in {:.1} s)",
+        report.total_solves,
+        report.wall_time.as_secs_f64()
+    );
+    println!(
+        "{:>8} {:>10} {:>10} {:>12}",
+        "f (GHz)", "SWM", "HBM", "SPM2 (invalid)"
+    );
+    let mut rows = Vec::new();
+    for (fi, &f) in sweep.points().iter().enumerate() {
+        let swm = report.case(0, fi).expect("planned case").mean;
         let boss = hbm.enhancement_factor(f);
         let spm = spm2.enhancement_factor(f);
         println!(
@@ -70,8 +88,15 @@ fn main() {
             boss,
             spm
         );
-        rows.push(format!("{:.3},{swm:.5},{boss:.5},{spm:.5}", f.as_gigahertz()));
+        rows.push(format!(
+            "{:.3},{swm:.5},{boss:.5},{spm:.5}",
+            f.as_gigahertz()
+        ));
     }
-    let path = write_csv("fig5_spheroid.csv", "f_ghz,swm_pr_ps,hbm_pr_ps,spm2_pr_ps", &rows);
+    let path = write_csv(
+        "fig5_spheroid.csv",
+        "f_ghz,swm_pr_ps,hbm_pr_ps,spm2_pr_ps",
+        &rows,
+    );
     println!("series written to {}", path.display());
 }

@@ -1,90 +1,89 @@
 //! Fig. 7 — CDF of Pr/Ps at 5 GHz for σ = η = 1 µm: Monte-Carlo versus the
 //! 1st- and 2nd-order SSCM surrogates.
+//!
+//! All three ensembles are thin [`Scenario`] definitions executed by one
+//! `rough-engine` instance, so the Ewald kernels, the KL basis and the flat
+//! reference solve are computed once and shared across every realization and
+//! every collocation node of all three campaigns.
 
 use rough_bench::{write_csv, Fidelity};
-use rough_core::{RoughnessSpec, SwmProblem};
+use rough_core::RoughnessSpec;
 use rough_em::material::Stackup;
 use rough_em::units::GigaHertz;
-use rough_stochastic::collocation::{run_sscm, SscmConfig};
-use rough_stochastic::monte_carlo::{run_monte_carlo, MonteCarloConfig};
+use rough_engine::{CampaignReport, Engine, Scenario, ScenarioBuilder};
 use rough_surface::correlation::CorrelationFunction;
-use rough_surface::generation::kl::KarhunenLoeve;
 
 fn main() {
     let fidelity = Fidelity::from_args();
-    let stack = Stackup::paper_baseline();
     let cf = CorrelationFunction::gaussian(1.0e-6, 1.0e-6);
     let cells = fidelity.cells_per_side();
-    let problem = SwmProblem::builder(
-        stack,
-        RoughnessSpec::from_correlation(cf),
-    )
-    .frequency(GigaHertz::new(5.0).into())
-    .cells_per_side(cells)
-    .build()
-    .expect("valid configuration");
-
-    let kl = KarhunenLoeve::new(cf, cells, problem.patch_length(), 0.95).expect("valid KL");
-    let capped = kl.modes().min(fidelity.max_kl_modes());
-    let kl = kl.with_modes(capped);
-    let modes = kl.modes();
-    let reference = problem.flat_reference_power().expect("flat reference");
-    let variance_restore = (1.0 / kl.captured_energy().max(1e-12)).sqrt();
-    let model = |xi: &[f64]| {
-        let mut surface = kl.synthesize(xi);
-        surface.scale_heights(variance_restore);
-        problem
-            .solve_with_reference(&surface, reference)
-            .expect("SWM solve")
-            .enhancement_factor()
+    let base = |name: &str| -> ScenarioBuilder {
+        Scenario::builder(Stackup::paper_baseline())
+            .name(name)
+            .roughness(RoughnessSpec::from_correlation(cf))
+            .frequencies([GigaHertz::new(5.0).into()])
+            .cells_per_side(cells)
+            .max_kl_modes(fidelity.max_kl_modes())
+            .master_seed(42)
     };
+    let mc_scenario = base("fig7-monte-carlo")
+        .monte_carlo(fidelity.monte_carlo_samples())
+        .build()
+        .expect("valid Monte-Carlo scenario");
+    let sscm1_scenario = base("fig7-sscm-order1")
+        .sscm(1)
+        .build()
+        .expect("valid SSCM-1 scenario");
+    let sscm2_scenario = base("fig7-sscm-order2")
+        .sscm(2)
+        .build()
+        .expect("valid SSCM-2 scenario");
 
-    println!("Fig. 7 — CDF of Pr/Ps at 5 GHz, sigma = eta = 1 um ({fidelity:?}, {modes} KL modes)");
-    let mc = run_monte_carlo(
-        modes,
-        &MonteCarloConfig {
-            samples: fidelity.monte_carlo_samples(),
-            seed: 42,
-        },
-        model,
-    );
-    let sscm1 = run_sscm(modes, &SscmConfig { order: 1, ..Default::default() }, model);
-    let sscm2 = run_sscm(modes, &SscmConfig { order: 2, ..Default::default() }, model);
+    let engine = Engine::new();
+    let mc = engine.run(&mc_scenario).expect("Monte-Carlo campaign");
+    let sscm1 = engine.run(&sscm1_scenario).expect("SSCM-1 campaign");
+    let sscm2 = engine.run(&sscm2_scenario).expect("SSCM-2 campaign");
 
+    let modes = mc.cases[0].kl_modes;
     println!(
-        "  MC   : mean {:.4}  std {:.4}  ({} solves)",
-        mc.mean(),
-        mc.std_dev(),
-        mc.evaluations()
+        "Fig. 7 — CDF of Pr/Ps at 5 GHz, sigma = eta = 1 um ({fidelity:?}, {modes} KL modes, {} threads)",
+        engine.threads()
     );
-    println!(
-        "  SSCM1: mean {:.4}  std {:.4}  ({} solves)",
-        sscm1.mean(),
-        sscm1.std_dev(),
-        sscm1.evaluations()
-    );
-    println!(
-        "  SSCM2: mean {:.4}  std {:.4}  ({} solves)",
-        sscm2.mean(),
-        sscm2.std_dev(),
-        sscm2.evaluations()
-    );
+    let describe = |label: &str, report: &CampaignReport| {
+        let case = &report.cases[0];
+        println!(
+            "  {label:<5}: mean {:.4}  std {:.4}  ({} solves, {:.1} ms, cache {}h/{}m)",
+            case.mean,
+            case.std_dev,
+            case.solves,
+            report.wall_time.as_secs_f64() * 1e3,
+            report.cache.hits,
+            report.cache.misses,
+        );
+    };
+    describe("MC", &mc);
+    describe("SSCM1", &sscm1);
+    describe("SSCM2", &sscm2);
+
+    let mc_cdf = mc.cases[0].outcome.cdf().expect("MC ensembles have a CDF");
+    let sscm1_cdf = sscm1.cases[0].outcome.cdf().expect("SSCM has a CDF");
+    let sscm2_cdf = sscm2.cases[0].outcome.cdf().expect("SSCM has a CDF");
     println!(
         "  KS distance SSCM2 vs MC: {:.4}",
-        sscm2.cdf().ks_distance(mc.cdf())
+        sscm2_cdf.ks_distance(mc_cdf)
     );
 
     let mut rows = Vec::new();
-    let lo = mc.cdf().quantile(0.0) - 0.05;
-    let hi = mc.cdf().quantile(1.0) + 0.05;
+    let lo = mc_cdf.quantile(0.0) - 0.05;
+    let hi = mc_cdf.quantile(1.0) + 0.05;
     let points = 60;
     for i in 0..=points {
         let x = lo + (hi - lo) * i as f64 / points as f64;
         rows.push(format!(
             "{x:.5},{:.5},{:.5},{:.5}",
-            mc.cdf().evaluate(x),
-            sscm1.cdf().evaluate(x),
-            sscm2.cdf().evaluate(x)
+            mc_cdf.evaluate(x),
+            sscm1_cdf.evaluate(x),
+            sscm2_cdf.evaluate(x)
         ));
     }
     let path = write_csv("fig7_cdf.csv", "pr_ps,cdf_mc,cdf_sscm1,cdf_sscm2", &rows);

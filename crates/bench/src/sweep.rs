@@ -1,13 +1,13 @@
 //! Glue between the deterministic SWM solver and the stochastic drivers: the
 //! "mean loss-enhancement factor by SSCM" computation every frequency-sweep
-//! figure of the paper uses.
+//! figure of the paper uses — now a thin [`Scenario`] definition executed by
+//! the `rough-engine` batch scheduler instead of a hand-rolled serial loop.
 
-use rough_core::{RoughnessSpec, SwmProblem};
 use rough_em::material::Stackup;
 use rough_em::units::Frequency;
-use rough_stochastic::collocation::{run_sscm, SscmConfig, SscmResult};
+use rough_engine::{CaseOutcome, Engine, Scenario};
+use rough_stochastic::collocation::SscmResult;
 use rough_surface::correlation::CorrelationFunction;
-use rough_surface::generation::kl::KarhunenLoeve;
 
 /// Configuration of one SSCM-over-SWM evaluation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -33,6 +33,33 @@ impl Default for SscmSweepConfig {
     }
 }
 
+impl SscmSweepConfig {
+    /// Expresses this configuration as an engine [`Scenario`] over a roughness
+    /// grid and a frequency sweep — the preferred entry point for the figure
+    /// drivers, which batch a whole sweep into one campaign.
+    pub fn scenario(
+        &self,
+        stack: Stackup,
+        correlations: impl IntoIterator<Item = CorrelationFunction>,
+        frequencies: impl IntoIterator<Item = Frequency>,
+    ) -> Scenario {
+        Scenario::builder(stack)
+            .name("sscm-sweep")
+            .roughness_grid(
+                correlations
+                    .into_iter()
+                    .map(rough_core::RoughnessSpec::from_correlation),
+            )
+            .frequencies(frequencies)
+            .cells_per_side(self.cells_per_side)
+            .max_kl_modes(self.max_kl_modes)
+            .energy_fraction(self.energy_fraction)
+            .sscm(self.order)
+            .build()
+            .expect("valid SSCM sweep scenario")
+    }
+}
+
 /// Outcome of one SSCM-over-SWM evaluation at a single frequency.
 #[derive(Debug, Clone)]
 pub struct SweepOutcome {
@@ -49,71 +76,53 @@ pub struct SweepOutcome {
 }
 
 /// Computes the SSCM mean of the loss-enhancement factor for a stochastic
-/// surface at one frequency.
-///
-/// The deterministic model evaluated at each collocation node is: synthesize
-/// the surface from the KL germs, solve the SWM problem, normalize by the flat
-/// reference (computed once).
+/// surface at one frequency, on a caller-supplied engine (so repeated calls
+/// share the engine's kernel cache).
 ///
 /// # Panics
 ///
-/// Panics if the problem configuration is invalid (propagated from the SWM
-/// builder) or a linear solve fails — experiment drivers treat both as fatal.
+/// Panics if the configuration is invalid or a linear solve fails —
+/// experiment drivers treat both as fatal.
+pub fn sscm_mean_enhancement_on(
+    engine: &Engine,
+    stack: Stackup,
+    cf: CorrelationFunction,
+    frequency: Frequency,
+    config: &SscmSweepConfig,
+) -> SweepOutcome {
+    let scenario = config.scenario(stack, [cf], [frequency]);
+    let report = engine.run(&scenario).expect("SSCM campaign");
+    let case = &report.cases[0];
+    let sscm = match &case.outcome {
+        CaseOutcome::Sscm(sscm) => sscm.clone(),
+        other => unreachable!("SSCM scenario produced {other:?}"),
+    };
+    SweepOutcome {
+        mean_enhancement: case.mean,
+        std_dev: case.std_dev,
+        solves: report.total_solves,
+        kl_modes: case.kl_modes,
+        sscm,
+    }
+}
+
+/// Computes the SSCM mean of the loss-enhancement factor for a stochastic
+/// surface at one frequency.
+///
+/// Prefer [`sscm_mean_enhancement_on`] (or a whole-sweep
+/// [`SscmSweepConfig::scenario`]) when evaluating several points: it reuses
+/// the engine's kernel cache across calls.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid or a linear solve fails.
 pub fn sscm_mean_enhancement(
     stack: Stackup,
     cf: CorrelationFunction,
     frequency: Frequency,
     config: &SscmSweepConfig,
 ) -> SweepOutcome {
-    let spec = RoughnessSpec::from_correlation(cf);
-    let problem = SwmProblem::builder(stack, spec)
-        .frequency(frequency)
-        .cells_per_side(config.cells_per_side)
-        .build()
-        .expect("valid SWM configuration");
-
-    let kl = KarhunenLoeve::new(
-        cf,
-        config.cells_per_side,
-        problem.patch_length(),
-        config.energy_fraction,
-    )
-    .expect("valid KL grid");
-    let capped_modes = kl.modes().min(config.max_kl_modes);
-    let kl = kl.with_modes(capped_modes);
-    let modes = kl.modes();
-
-    let flat_reference = problem
-        .flat_reference_power()
-        .expect("flat reference solve");
-
-    let sscm_config = SscmConfig {
-        order: config.order,
-        ..Default::default()
-    };
-    // The truncated KL basis carries only `captured_energy` of the height
-    // variance; rescale the synthesized realizations so the simulated surface
-    // keeps the specification's σ (the correlation shape is preserved to the
-    // truncation order). Documented in DESIGN.md / EXPERIMENTS.md.
-    let variance_restore = (1.0 / kl.captured_energy().max(1e-12)).sqrt();
-    let mut solves = 0usize;
-    let sscm = run_sscm(modes, &sscm_config, |xi| {
-        solves += 1;
-        let mut surface = kl.synthesize(xi);
-        surface.scale_heights(variance_restore);
-        problem
-            .solve_with_reference(&surface, flat_reference)
-            .expect("SWM solve at collocation node")
-            .enhancement_factor()
-    });
-
-    SweepOutcome {
-        mean_enhancement: sscm.mean(),
-        std_dev: sscm.std_dev(),
-        solves: solves + 1, // + the flat reference
-        kl_modes: modes,
-        sscm,
-    }
+    sscm_mean_enhancement_on(&Engine::new(), stack, cf, frequency, config)
 }
 
 #[cfg(test)]
@@ -145,5 +154,25 @@ mod tests {
             outcome.mean_enhancement
         );
         assert!(outcome.std_dev >= 0.0);
+    }
+
+    #[test]
+    fn whole_sweep_scenarios_share_contexts_per_case() {
+        let config = SscmSweepConfig {
+            cells_per_side: 6,
+            max_kl_modes: 2,
+            energy_fraction: 0.9,
+            order: 1,
+        };
+        let scenario = config.scenario(
+            Stackup::paper_baseline(),
+            [CorrelationFunction::gaussian(1.0e-6, 1.0e-6)],
+            [GigaHertz::new(1.0).into(), GigaHertz::new(5.0).into()],
+        );
+        let plan = scenario.plan().expect("plan");
+        assert_eq!(plan.cases().len(), 2);
+        // Level-1 grid over 2 germs: 5 nodes per case.
+        assert_eq!(plan.units().len(), 10);
+        assert_eq!(plan.distinct_contexts(), 2);
     }
 }

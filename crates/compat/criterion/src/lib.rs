@@ -1,0 +1,181 @@
+//! Vendored, minimal API-compatible subset of `criterion`.
+//!
+//! The workspace builds hermetically (no registry access), so the benchmark
+//! harness API its `benches/` targets use is implemented here: benchmark
+//! groups, `bench_function` / `bench_with_input`, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros. Each benchmark is timed by
+//! wall clock over an adaptively chosen iteration count and the mean time per
+//! iteration is printed; there is no warm-up modeling, outlier analysis or
+//! HTML report. Swapping in the real crate is a one-line `Cargo.toml` change.
+
+#![deny(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measurement time per benchmark.
+const TARGET_MEASUREMENT: Duration = Duration::from_millis(300);
+
+/// Entry point of a benchmark binary; mirrors `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("group: {name}");
+        BenchmarkGroup {}
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_benchmark(name, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks; mirrors `criterion::BenchmarkGroup`.
+#[derive(Debug)]
+pub struct BenchmarkGroup {}
+
+impl BenchmarkGroup {
+    /// Accepted for API compatibility; the vendored harness sizes runs by
+    /// wall-clock budget instead of sample counts.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `name`.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_benchmark(name, f);
+        self
+    }
+
+    /// Benchmarks `f` with an input value, labeled by `id`.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_benchmark(&id.label, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// A parameterized benchmark label; mirrors `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Label of the form `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// Label consisting of the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing loop handle; mirrors `criterion::Bencher`.
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over this measurement's iteration budget.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Runs one benchmark: calibrates an iteration count against the wall-clock
+/// budget, measures, and prints the mean time per iteration.
+fn run_benchmark(name: &str, mut f: impl FnMut(&mut Bencher)) {
+    // Calibration pass: one iteration, to size the measurement run.
+    let mut calibration = Bencher {
+        iterations: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut calibration);
+    let per_iteration = calibration.elapsed.max(Duration::from_nanos(1));
+    let iterations =
+        (TARGET_MEASUREMENT.as_nanos() / per_iteration.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut measurement = Bencher {
+        iterations,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut measurement);
+    let mean = measurement.elapsed / iterations.max(1) as u32;
+    println!("  {name:<48} {mean:>12.2?}/iter  ({iterations} iterations)");
+}
+
+/// Declares a benchmark group function; mirrors `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`; mirrors `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmarks_run_and_report() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("unit");
+        group.sample_size(10);
+        let mut calls = 0u64;
+        group.bench_function("counting", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("with_input", 3), &3u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+        assert!(calls >= 2, "calibration + measurement must both run");
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("assembly", 8).label, "assembly/8");
+        assert_eq!(BenchmarkId::from_parameter(12).label, "12");
+    }
+}

@@ -1,0 +1,298 @@
+//! Vendored, minimal API-compatible subset of `rayon`.
+//!
+//! The workspace builds hermetically (no registry access), so the slice of
+//! `rayon` the batch engine needs is implemented here on top of
+//! `std::thread::scope`: order-preserving parallel map over slices, driven by
+//! an atomic work queue (so unevenly sized work units load-balance), plus
+//! sized thread pools with an `install` scope. Swapping in the real crate is a
+//! one-line `Cargo.toml` change; the API names match.
+//!
+//! Implemented surface:
+//!
+//! * [`prelude`] with `par_iter()` / `into_par_iter()` on slices and vectors,
+//!   `.map(...)` and `.collect::<Vec<_>>()` / `.for_each(...)`,
+//! * [`ThreadPoolBuilder::num_threads`] / [`ThreadPool::install`],
+//! * [`current_num_threads`].
+//!
+//! Unlike real rayon there is no work stealing between nested scopes; nested
+//! parallel calls inside a worker run sequentially. The batch engine only
+//! parallelizes at the outermost (work-unit) level, where that is exactly the
+//! desired behavior.
+
+#![deny(missing_docs)]
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+thread_local! {
+    /// Thread count installed by the innermost `ThreadPool::install`.
+    static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+    /// True inside a worker thread of an active parallel call.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Number of threads parallel operations on this thread will use.
+pub fn current_num_threads() -> usize {
+    INSTALLED_THREADS.with(|t| t.get()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Error building a thread pool (kept for API compatibility; the vendored
+/// builder cannot fail).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool construction failed")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a sized [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings (one thread per hardware core).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of worker threads (0 means one per hardware core).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Builds the pool.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in the vendored implementation; the `Result` mirrors rayon.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            }),
+        })
+    }
+}
+
+/// A sized scope for parallel operations.
+///
+/// The vendored pool spawns scoped threads per parallel call instead of
+/// keeping persistent workers; for the coarse work units of this workspace
+/// (each a full MOM assembly + dense solve) the per-call spawn cost is noise.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count governing parallel calls made
+    /// inside it.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        INSTALLED_THREADS.with(|t| {
+            let previous = t.get();
+            t.set(Some(self.num_threads));
+            let result = op();
+            t.set(previous);
+            result
+        })
+    }
+
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Order-preserving parallel map used by all iterator adaptors.
+///
+/// Work items are handed out through an atomic counter so uneven work units
+/// load-balance across workers; results are reassembled in input order, making
+/// the output independent of scheduling.
+fn parallel_map_indexed<'a, T, R, F>(items: &'a [T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    let workers = threads.min(items.len()).max(1);
+    let nested = IN_WORKER.with(|w| w.get());
+    if workers <= 1 || nested {
+        // Nested parallelism runs sequentially (see module docs).
+        return items.iter().map(&f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                IN_WORKER.with(|w| w.set(true));
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    if index >= items.len() {
+                        break;
+                    }
+                    local.push((index, f(&items[index])));
+                }
+                collected
+                    .lock()
+                    .expect("worker panicked while holding results lock")
+                    .extend(local);
+                IN_WORKER.with(|w| w.set(false));
+            });
+        }
+    });
+    let mut pairs = collected.into_inner().expect("results lock poisoned");
+    pairs.sort_by_key(|&(index, _)| index);
+    debug_assert_eq!(pairs.len(), items.len());
+    pairs.into_iter().map(|(_, value)| value).collect()
+}
+
+/// Parallel iterator types and conversion traits.
+pub mod iter {
+    use super::{current_num_threads, parallel_map_indexed};
+
+    /// Borrowing conversion into a parallel iterator (`.par_iter()`).
+    pub trait IntoParallelRefIterator<'a> {
+        /// Item type yielded by the iterator.
+        type Item: Sync + 'a;
+        /// Concrete iterator type.
+        type Iter;
+        /// Creates the parallel iterator.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = &'a T;
+        type Iter = ParIter<'a, T>;
+        fn par_iter(&'a self) -> ParIter<'a, T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+        type Iter = ParIter<'a, T>;
+        fn par_iter(&'a self) -> ParIter<'a, T> {
+            ParIter { items: self }
+        }
+    }
+
+    /// Parallel iterator over a borrowed slice.
+    #[derive(Debug)]
+    pub struct ParIter<'a, T> {
+        items: &'a [T],
+    }
+
+    impl<'a, T: Sync> ParIter<'a, T> {
+        /// Maps each element through `f` in parallel.
+        pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+        where
+            R: Send,
+            F: Fn(&'a T) -> R + Sync,
+        {
+            ParMap {
+                items: self.items,
+                f,
+            }
+        }
+
+        /// Runs `f` on each element in parallel.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(&'a T) + Sync,
+        {
+            let _: Vec<()> = parallel_map_indexed(self.items, current_num_threads(), f);
+        }
+    }
+
+    /// Mapped parallel iterator; terminal operations execute the map.
+    #[derive(Debug)]
+    pub struct ParMap<'a, T, F> {
+        items: &'a [T],
+        f: F,
+    }
+
+    impl<'a, T: Sync, F> ParMap<'a, T, F> {
+        /// Executes the parallel map, preserving input order.
+        pub fn collect<C, R>(self) -> C
+        where
+            R: Send,
+            F: Fn(&'a T) -> R + Sync,
+            C: FromIterator<R>,
+        {
+            parallel_map_indexed(self.items, current_num_threads(), self.f)
+                .into_iter()
+                .collect()
+        }
+    }
+}
+
+/// Commonly used traits, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::iter::IntoParallelRefIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let input: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn result_is_independent_of_thread_count() {
+        let input: Vec<u64> = (0..257).collect();
+        let mut outputs = Vec::new();
+        for threads in [1usize, 2, 5, 8] {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let out: Vec<u64> =
+                pool.install(|| input.par_iter().map(|&x| x.wrapping_mul(x)).collect());
+            outputs.push(out);
+        }
+        assert!(outputs.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn install_scopes_nest_and_restore() {
+        let p2 = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let p7 = ThreadPoolBuilder::new().num_threads(7).build().unwrap();
+        let outside = current_num_threads();
+        p2.install(|| {
+            assert_eq!(current_num_threads(), 2);
+            p7.install(|| assert_eq!(current_num_threads(), 7));
+            assert_eq!(current_num_threads(), 2);
+        });
+        assert_eq!(current_num_threads(), outside);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+}

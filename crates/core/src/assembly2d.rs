@@ -198,7 +198,9 @@ mod tests {
         let g = PeriodicGreen2d::new(c64::new(1.0e6, 1.0e6), 5e-6);
         let blocks = assemble_medium_2d(&mesh, &g);
         for i in 0..8 {
-            assert!(blocks.single_layer[(i, i)].abs() > blocks.single_layer[(i, (i + 1) % 8)].abs());
+            assert!(
+                blocks.single_layer[(i, i)].abs() > blocks.single_layer[(i, (i + 1) % 8)].abs()
+            );
         }
     }
 

@@ -76,8 +76,7 @@ pub fn assemble_medium(mesh: &PatchMesh, green: &PeriodicGreen3d) -> MediumBlock
         let stretch = cells[i].jacobian;
         let static_part = inverse_r_integral_over_rectangle(delta, delta * stretch)
             / (4.0 * std::f64::consts::PI * stretch);
-        single[(i, i)] =
-            c64::from_real(static_part) + (smooth_at_zero + regular_at_zero) * area;
+        single[(i, i)] = c64::from_real(static_part) + (smooth_at_zero + regular_at_zero) * area;
         // The principal value of the double layer over the (locally flat) self
         // cell vanishes, as does the gradient of the regularized kernel at the
         // origin, so D_ii = 0.
@@ -222,8 +221,9 @@ mod tests {
 
     fn small_mesh() -> PatchMesh {
         PatchMesh::from_surface(&RoughSurface::from_fn(4, 5e-6, |x, y| {
-            0.2e-6 * ((2.0 * std::f64::consts::PI * x / 5e-6).sin()
-                + (2.0 * std::f64::consts::PI * y / 5e-6).cos())
+            0.2e-6
+                * ((2.0 * std::f64::consts::PI * x / 5e-6).sin()
+                    + (2.0 * std::f64::consts::PI * y / 5e-6).cos())
         }))
     }
 
@@ -277,14 +277,8 @@ mod tests {
     fn self_term_scales_roughly_linearly_with_cell_size() {
         // The dominant static self integral is proportional to Δ (not Δ²).
         let g = PeriodicGreen3d::new(c64::new(1.0e6, 1.0e6), 5e-6);
-        let coarse = assemble_medium(
-            &PatchMesh::from_surface(&RoughSurface::flat(4, 5e-6)),
-            &g,
-        );
-        let fine = assemble_medium(
-            &PatchMesh::from_surface(&RoughSurface::flat(8, 5e-6)),
-            &g,
-        );
+        let coarse = assemble_medium(&PatchMesh::from_surface(&RoughSurface::flat(4, 5e-6)), &g);
+        let fine = assemble_medium(&PatchMesh::from_surface(&RoughSurface::flat(8, 5e-6)), &g);
         let ratio = coarse.single_layer[(0, 0)].abs() / fine.single_layer[(0, 0)].abs();
         assert!(ratio > 1.7 && ratio < 2.4, "ratio = {ratio}");
     }

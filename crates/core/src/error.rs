@@ -26,7 +26,10 @@ impl fmt::Display for SwmError {
         match self {
             SwmError::InvalidConfiguration(msg) => write!(f, "invalid SWM configuration: {msg}"),
             SwmError::SurfaceMismatch { expected, found } => {
-                write!(f, "surface does not match the problem grid: expected {expected}, found {found}")
+                write!(
+                    f,
+                    "surface does not match the problem grid: expected {expected}, found {found}"
+                )
             }
             SwmError::Surface(e) => write!(f, "surface error: {e}"),
             SwmError::LinearSolver(msg) => write!(f, "linear solver failure: {msg}"),

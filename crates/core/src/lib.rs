@@ -40,6 +40,10 @@
 //! .build()?;
 //! let surface = problem.sample_surface(42);
 //! let loss = problem.solve(&surface)?;
+//! // On the coarse 6×6 demo grid the enhancement carries a small low bias,
+//! // so individual realizations are only guaranteed to clear 0.9 (finer
+//! // grids recover Pr/Ps ≥ 1; see the swm3d tests).
+//! assert!(loss.enhancement_factor() > 0.9);
 //! println!("Pr/Ps = {:.3}", loss.enhancement_factor());
 //! # Ok(())
 //! # }
@@ -62,4 +66,4 @@ pub mod swm3d;
 pub use error::SwmError;
 pub use solver::SolverKind;
 pub use spec::RoughnessSpec;
-pub use swm3d::{SwmProblem, SwmProblemBuilder};
+pub use swm3d::{SwmOperator, SwmProblem, SwmProblemBuilder};

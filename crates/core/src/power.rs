@@ -73,7 +73,10 @@ mod tests {
         let u = vec![c64::new(0.0, -1.0) * k2 * t; n];
         let pr = absorbed_power_3d(&mesh, &psi, &u);
         let expected = smooth_surface_power(mesh.patch_area(), delta_skin, t.abs());
-        assert!((pr - expected).abs() < 1e-9 * expected, "{pr} vs {expected}");
+        assert!(
+            (pr - expected).abs() < 1e-9 * expected,
+            "{pr} vs {expected}"
+        );
         assert!(pr > 0.0);
     }
 

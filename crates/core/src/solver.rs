@@ -13,9 +13,10 @@ use rough_numerics::iterative::{bicgstab, gmres, IterativeConfig, IterativeError
 use rough_numerics::linalg::CMatrix;
 
 /// Strategy used to solve the assembled `2N × 2N` system.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum SolverKind {
     /// Dense LU factorization with partial pivoting (default).
+    #[default]
     DirectLu,
     /// BiCGSTAB Krylov iteration.
     Bicgstab {
@@ -29,12 +30,6 @@ pub enum SolverKind {
         /// Restart length.
         restart: usize,
     },
-}
-
-impl Default for SolverKind {
-    fn default() -> Self {
-        SolverKind::DirectLu
-    }
 }
 
 /// Diagnostics of one linear solve.
@@ -135,7 +130,9 @@ mod tests {
                 c64::new(0.2 / (1.0 + (i as f64 - j as f64).abs()), -0.05)
             }
         });
-        let b: Vec<c64> = (0..n).map(|i| c64::new(1.0 + i as f64 * 0.1, -0.3)).collect();
+        let b: Vec<c64> = (0..n)
+            .map(|i| c64::new(1.0 + i as f64 * 0.1, -0.3))
+            .collect();
         (a, b)
     }
 
@@ -143,8 +140,7 @@ mod tests {
     fn all_solvers_agree() {
         let (a, b) = test_system(30);
         let (x_lu, s_lu) = solve_system(&a, &b, SolverKind::DirectLu).unwrap();
-        let (x_bi, s_bi) =
-            solve_system(&a, &b, SolverKind::Bicgstab { tolerance: 1e-11 }).unwrap();
+        let (x_bi, s_bi) = solve_system(&a, &b, SolverKind::Bicgstab { tolerance: 1e-11 }).unwrap();
         let (x_gm, s_gm) = solve_system(
             &a,
             &b,

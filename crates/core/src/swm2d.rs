@@ -136,19 +136,27 @@ mod tests {
 
     #[test]
     fn flat_profile_matches_analytic_power() {
-        let problem = Swm2dProblem::new(Stackup::paper_baseline(), GigaHertz::new(5.0).into()).unwrap();
+        let problem =
+            Swm2dProblem::new(Stackup::paper_baseline(), GigaHertz::new(5.0).into()).unwrap();
         let flat = Profile1d::flat(24, 5e-6);
         let numeric = problem.absorbed_power(&flat).unwrap();
         let sol = flat_interface(&Stackup::paper_baseline(), GigaHertz::new(5.0).into());
         let analytic = sol.transmission.norm_sqr() * 5e-6
-            / (2.0 * Stackup::paper_baseline().skin_depth(GigaHertz::new(5.0).into()).value());
+            / (2.0
+                * Stackup::paper_baseline()
+                    .skin_depth(GigaHertz::new(5.0).into())
+                    .value());
         let rel = (numeric - analytic).abs() / analytic;
-        assert!(rel < 0.08, "numeric {numeric:.4e} vs analytic {analytic:.4e}");
+        assert!(
+            rel < 0.08,
+            "numeric {numeric:.4e} vs analytic {analytic:.4e}"
+        );
     }
 
     #[test]
     fn rough_profile_enhancement_exceeds_unity_and_grows_with_amplitude() {
-        let problem = Swm2dProblem::new(Stackup::paper_baseline(), GigaHertz::new(5.0).into()).unwrap();
+        let problem =
+            Swm2dProblem::new(Stackup::paper_baseline(), GigaHertz::new(5.0).into()).unwrap();
         let small = problem.solve(&sine_profile(24, 5e-6, 0.3e-6)).unwrap();
         let large = problem.solve(&sine_profile(24, 5e-6, 0.8e-6)).unwrap();
         assert!(small.enhancement_factor() > 1.0);

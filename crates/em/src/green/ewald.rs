@@ -102,7 +102,8 @@ impl PeriodicGreen3d {
         let cutoff = 4.8;
         let spatial_range = ((cutoff / (splitting * period)).ceil() as i32 + 1).max(2);
         // Spectral terms decay like erfc(c/2E) with c ≈ 2π√(m²+n²)/L.
-        let spectral_range = ((cutoff * 2.0 * splitting * period / (2.0 * PI)).ceil() as i32 + 1).max(2);
+        let spectral_range =
+            ((cutoff * 2.0 * splitting * period / (2.0 * PI)).ceil() as i32 + 1).max(2);
         Self {
             k,
             period,
@@ -262,8 +263,7 @@ impl PeriodicGreen3d {
 
                 // d/dR of the bracketed sum: jk(plus − minus) − (4E/√π)·e^{−R²E² + k²/4E²}
                 let gauss = (c64::from_real(-re * re) + k * k / (4.0 * e * e)).exp();
-                let dbracket =
-                    c64::i() * k * (plus - minus) - gauss.scale(4.0 * e / PI.sqrt());
+                let dbracket = c64::i() * k * (plus - minus) - gauss.scale(4.0 * e / PI.sqrt());
                 let dterm_dr = dbracket / (8.0 * PI * r) - term / r;
                 grad[0] += dterm_dr * (rx / r);
                 grad[1] += dterm_dr * (ry / r);
@@ -323,7 +323,9 @@ impl PeriodicGreen3d {
         let jk_2e = c64::i() * k / (2.0 * e);
         let erf_term = c64::one() - erfc_complex(jk_2e);
         let first = -(c64::i() * k / (4.0 * PI)) * (c64::one() + erf_term);
-        let second = (k * k / (4.0 * e * e)).exp().scale(e / (2.0 * PI.powf(1.5)));
+        let second = (k * k / (4.0 * e * e))
+            .exp()
+            .scale(e / (2.0 * PI.powf(1.5)));
         first - second
     }
 }
@@ -407,12 +409,12 @@ mod tests {
             (g.value(dx, dy + h, dz) - g.value(dx, dy - h, dz)) / (2.0 * h),
             (g.value(dx, dy, dz + h) - g.value(dx, dy, dz - h)) / (2.0 * h),
         ];
-        for i in 0..3 {
+        for (i, expected) in num.iter().enumerate() {
             assert!(
-                (sample.gradient[i] - num[i]).abs() < 1e-5 * (1.0 + num[i].abs()),
+                (sample.gradient[i] - *expected).abs() < 1e-5 * (1.0 + expected.abs()),
                 "component {i}: {} vs {}",
                 sample.gradient[i],
-                num[i]
+                expected
             );
         }
     }
@@ -463,7 +465,10 @@ mod tests {
             let b = PeriodicGreen3d::with_splitting(k, 5.0, 1.5 * PI.sqrt() / 5.0)
                 .regularized(0.0, 0.0, 0.0)
                 .value;
-            assert!((a - b).abs() < 1e-8 * (1.0 + a.abs()), "k = {k}: {a} vs {b}");
+            assert!(
+                (a - b).abs() < 1e-8 * (1.0 + a.abs()),
+                "k = {k}: {a} vs {b}"
+            );
         }
     }
 

@@ -33,11 +33,7 @@ pub fn scalar_green_3d_gradient(k: c64, dx: f64, dy: f64, dz: f64) -> (c64, [c64
     let g = (c64::i() * k * r).exp() / (4.0 * PI * r);
     // dG/dR = G (jk - 1/R)
     let dg_dr = g * (c64::i() * k - c64::from_real(1.0 / r));
-    let grad = [
-        dg_dr * (dx / r),
-        dg_dr * (dy / r),
-        dg_dr * (dz / r),
-    ];
+    let grad = [dg_dr * (dx / r), dg_dr * (dy / r), dg_dr * (dz / r)];
     (g, grad)
 }
 

@@ -18,5 +18,7 @@ pub mod free_space;
 pub mod periodic2d;
 
 pub use ewald::PeriodicGreen3d;
-pub use free_space::{inverse_r_integral_over_rectangle, scalar_green_3d, scalar_green_3d_gradient};
+pub use free_space::{
+    inverse_r_integral_over_rectangle, scalar_green_3d, scalar_green_3d_gradient,
+};
 pub use periodic2d::PeriodicGreen2d;

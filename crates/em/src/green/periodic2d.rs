@@ -94,7 +94,8 @@ impl PeriodicGreen2d {
     /// Panics if the separation coincides with a lattice point.
     pub fn sample(&self, dx: f64, dz: f64) -> Green2dSample {
         let on_axis = dz.abs() < 1e-12 * self.period;
-        let near_lattice = on_axis && ((dx / self.period) - (dx / self.period).round()).abs() < 1e-12;
+        let near_lattice =
+            on_axis && ((dx / self.period) - (dx / self.period).round()).abs() < 1e-12;
         assert!(
             !near_lattice,
             "periodic 2D Green's function evaluated at a lattice point; use regularized()"
@@ -272,7 +273,7 @@ mod tests {
         assert!(reg0.is_finite());
         // G_p(r) + ln(r)/(2π) should approach the regularized value as r → 0.
         for &r in &[1e-3, 1e-4, 1e-5] {
-            let approx = g.value(r, 0.0) + c64::from_real((r as f64).ln() / (2.0 * PI));
+            let approx = g.value(r, 0.0) + c64::from_real(r.ln() / (2.0 * PI));
             assert!(
                 (approx - reg0).abs() < 5e-3 * (1.0 + reg0.abs()),
                 "r = {r}: {approx} vs {reg0}"

@@ -55,7 +55,9 @@ impl Conductor {
     /// Panics if the frequency is not positive.
     pub fn skin_depth(&self, frequency: Frequency) -> Length {
         assert!(frequency.value() > 0.0, "frequency must be positive");
-        Length::new((self.resistivity.value() / (std::f64::consts::PI * frequency.value() * MU_0)).sqrt())
+        Length::new(
+            (self.resistivity.value() / (std::f64::consts::PI * frequency.value() * MU_0)).sqrt(),
+        )
     }
 
     /// Complex wavenumber inside the conductor, `k₂ = (1 + j)/δ` (in rad/m).

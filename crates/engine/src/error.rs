@@ -1,0 +1,50 @@
+//! Engine error type.
+
+use rough_core::SwmError;
+use std::fmt;
+
+/// Errors raised while planning or executing a campaign.
+#[derive(Debug)]
+pub enum EngineError {
+    /// The scenario definition is inconsistent (empty grids, missing mode,
+    /// deterministic mode without a surface, …).
+    InvalidScenario(String),
+    /// A deterministic SWM solve failed inside the campaign.
+    Solve(SwmError),
+    /// A result sink could not be written.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::InvalidScenario(reason) => {
+                write!(f, "invalid scenario: {reason}")
+            }
+            EngineError::Solve(error) => write!(f, "SWM solve failed: {error}"),
+            EngineError::Io(error) => write!(f, "result sink failed: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Solve(error) => Some(error),
+            EngineError::Io(error) => Some(error),
+            EngineError::InvalidScenario(_) => None,
+        }
+    }
+}
+
+impl From<SwmError> for EngineError {
+    fn from(error: SwmError) -> Self {
+        EngineError::Solve(error)
+    }
+}
+
+impl From<std::io::Error> for EngineError {
+    fn from(error: std::io::Error) -> Self {
+        EngineError::Io(error)
+    }
+}

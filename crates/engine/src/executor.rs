@@ -1,0 +1,365 @@
+//! Execution layer: a thread-pool executor over planned work units.
+//!
+//! The executor walks the plan's two-stage DAG: stage 0 builds every distinct
+//! shared context (Ewald kernels + smooth-surface reference solve) in
+//! parallel and publishes them through the [`KernelCache`]; stage 1 evaluates
+//! the realization/collocation units in parallel against the cached contexts.
+//! All randomness was fixed at plan time, and results are reassembled in plan
+//! order, so a campaign's statistics are bit-identical for a fixed master
+//! seed no matter how many worker threads execute it.
+
+use crate::cache::{CacheStats, CaseContext, KernelCache};
+use crate::error::EngineError;
+use crate::plan::{Plan, PlannedCase, UnitTask, WorkUnit};
+use crate::report::{CampaignReport, CaseOutcome, CaseReport, UnitRecord};
+use crate::rng::derive_stream;
+use crate::scenario::{EnsembleMode, Scenario};
+use rayon::prelude::*;
+use rough_stochastic::collocation::{run_sscm_on_grid, SscmConfig};
+use rough_stochastic::monte_carlo::MonteCarloResult;
+use rough_surface::RoughSurface;
+use std::time::Instant;
+
+/// Stream-index offset separating SSCM surrogate-sampling seeds from the
+/// Monte-Carlo germ seeds derived for the same cases.
+const SURROGATE_STREAM_OFFSET: u64 = 1 << 32;
+
+/// The batch simulation engine: a sized thread pool plus a kernel cache that
+/// persists across runs (a frequency sweep re-run with more realizations hits
+/// the cache for every context it has already prepared).
+#[derive(Debug)]
+pub struct Engine {
+    pool: rayon::ThreadPool,
+    threads: usize,
+    cache: KernelCache,
+}
+
+/// Builder for [`Engine`].
+#[derive(Debug, Default)]
+pub struct EngineBuilder {
+    threads: Option<usize>,
+}
+
+impl EngineBuilder {
+    /// Sets the worker-thread count (defaults to one per hardware core).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = if threads == 0 { None } else { Some(threads) };
+        self
+    }
+
+    /// Builds the engine.
+    pub fn build(self) -> Engine {
+        let threads = self.threads.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("thread pool construction cannot fail");
+        Engine {
+            pool,
+            threads,
+            cache: KernelCache::new(),
+        }
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Engine {
+    /// An engine with one worker per hardware core.
+    pub fn new() -> Self {
+        Self::builder().build()
+    }
+
+    /// Starts building an engine.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
+    /// Worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The engine's kernel cache (shared across runs).
+    pub fn cache(&self) -> &KernelCache {
+        &self.cache
+    }
+
+    /// Plans and executes a scenario.
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning failures and solver errors.
+    pub fn run(&self, scenario: &Scenario) -> Result<CampaignReport, EngineError> {
+        // Snapshot before planning so KL-cache activity during expansion is
+        // attributed to this run.
+        let stats_before = self.cache.stats();
+        let plan = Plan::new_with_cache(scenario, Some(&self.cache))?;
+        self.execute(&plan, stats_before)
+    }
+
+    /// Executes an already expanded plan.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors from any work unit.
+    pub fn run_plan(&self, plan: &Plan) -> Result<CampaignReport, EngineError> {
+        let stats_before = self.cache.stats();
+        self.execute(plan, stats_before)
+    }
+
+    /// Executes a plan, attributing cache activity since `stats_before` to
+    /// the returned report.
+    fn execute(
+        &self,
+        plan: &Plan,
+        stats_before: CacheStats,
+    ) -> Result<CampaignReport, EngineError> {
+        let start = Instant::now();
+        let scenario = plan.scenario();
+
+        // Stage 0: build every distinct context not already cached, in
+        // parallel, then publish them. Building through a representative case
+        // keeps `get_or_build` the only cache write path.
+        let mut pending: Vec<&PlannedCase> = Vec::new();
+        for case in plan.cases() {
+            if !self.cache.contains(case.context_key)
+                && !pending.iter().any(|c| c.context_key == case.context_key)
+            {
+                pending.push(case);
+            }
+        }
+        let built: Vec<Result<(usize, CaseContext), EngineError>> = self.pool.install(|| {
+            pending
+                .par_iter()
+                .map(|case| Ok((case.id.roughness, build_context(scenario, case)?)))
+                .collect()
+        });
+        for (case, result) in pending.iter().zip(built) {
+            let (_, context) = result?;
+            self.cache.get_or_build(case.context_key, || Ok(context))?;
+        }
+
+        // Stage 1: evaluate every unit in parallel; order is restored by the
+        // parallel map, so `records[i]` belongs to `plan.units()[i]`.
+        let results: Vec<Result<UnitRecord, EngineError>> = self.pool.install(|| {
+            plan.units()
+                .par_iter()
+                .map(|unit| self.evaluate_unit(plan, unit))
+                .collect()
+        });
+        let mut records = Vec::with_capacity(results.len());
+        for result in results {
+            records.push(result?);
+        }
+
+        // Aggregate per case.
+        let mut cases = Vec::with_capacity(plan.cases().len());
+        for (case_index, case) in plan.cases().iter().enumerate() {
+            let values: Vec<f64> = records[case.unit_range.clone()]
+                .iter()
+                .map(|r| r.value)
+                .collect();
+            let outcome = match scenario.mode() {
+                EnsembleMode::MonteCarlo { .. } => {
+                    CaseOutcome::MonteCarlo(MonteCarloResult::from_samples(&values))
+                }
+                EnsembleMode::Sscm { order } => {
+                    let grid = case
+                        .sparse_grid
+                        .as_ref()
+                        .expect("SSCM cases carry their sparse grid");
+                    let config = SscmConfig {
+                        order: *order,
+                        surrogate_samples: scenario.surrogate_samples,
+                        seed: derive_stream(
+                            scenario.master_seed(),
+                            SURROGATE_STREAM_OFFSET + case_index as u64,
+                        ),
+                    };
+                    CaseOutcome::Sscm(run_sscm_on_grid(grid, &config, &values))
+                }
+                EnsembleMode::Deterministic => CaseOutcome::Deterministic(values[0]),
+            };
+            let (mean, std_dev) = match &outcome {
+                CaseOutcome::MonteCarlo(mc) => (mc.mean(), mc.std_dev()),
+                CaseOutcome::Sscm(sscm) => (sscm.mean(), sscm.std_dev()),
+                CaseOutcome::Deterministic(value) => (*value, 0.0),
+            };
+            let spec = &scenario.roughness_grid()[case.id.roughness];
+            cases.push(CaseReport {
+                id: case.id,
+                frequency_ghz: scenario.frequencies()[case.id.frequency].as_gigahertz(),
+                sigma: spec.sigma(),
+                correlation_length: spec.correlation().map(|cf| cf.correlation_length()),
+                kl_modes: case.kl_modes(),
+                solves: case.solves(),
+                mean,
+                std_dev,
+                outcome,
+            });
+        }
+
+        let stats_after = self.cache.stats();
+        Ok(CampaignReport {
+            scenario: scenario.name().to_string(),
+            cases,
+            records,
+            cache: CacheStats {
+                hits: stats_after.hits - stats_before.hits,
+                misses: stats_after.misses - stats_before.misses,
+                entries: stats_after.entries,
+                kl_hits: stats_after.kl_hits - stats_before.kl_hits,
+                kl_misses: stats_after.kl_misses - stats_before.kl_misses,
+            },
+            distinct_contexts: plan.distinct_contexts(),
+            total_solves: plan.total_solves(),
+            wall_time: start.elapsed(),
+            threads: self.threads,
+        })
+    }
+
+    /// Evaluates one work unit against its (cached) shared context.
+    fn evaluate_unit(&self, plan: &Plan, unit: &WorkUnit) -> Result<UnitRecord, EngineError> {
+        let scenario = plan.scenario();
+        let case = &plan.cases()[unit.case_index];
+        let context = self
+            .cache
+            .get_or_build(case.context_key, || build_context(scenario, case))?;
+        let surface = match unit.task {
+            UnitTask::Realization { germ_index } => self.synthesize(case, &case.germs[germ_index]),
+            UnitTask::CollocationNode { node_index } => {
+                self.synthesize(case, &case.germs[node_index])
+            }
+            UnitTask::ExplicitSurface => scenario
+                .surface
+                .clone()
+                .expect("deterministic scenarios carry a surface"),
+        };
+        let loss = context.problem.solve_with_reference_using(
+            &surface,
+            context.flat_reference,
+            &context.operator,
+        )?;
+        Ok(UnitRecord {
+            unit: unit.id,
+            case_index: unit.case_index,
+            value: loss.enhancement_factor(),
+            relative_residual: loss.relative_residual(),
+        })
+    }
+
+    /// Synthesizes the KL realization for one germ vector.
+    fn synthesize(&self, case: &PlannedCase, germ: &[f64]) -> RoughSurface {
+        let kl = case.kl.as_ref().expect("stochastic cases carry a KL basis");
+        let mut surface = kl.synthesize(germ);
+        surface.scale_heights(case.variance_restore);
+        surface
+    }
+}
+
+/// Builds the shared context of one case: configured problem, Ewald kernels,
+/// and the smooth-surface reference solve.
+fn build_context(scenario: &Scenario, case: &PlannedCase) -> Result<CaseContext, EngineError> {
+    let spec = scenario.roughness_grid()[case.id.roughness].clone();
+    let frequency = scenario.frequencies()[case.id.frequency];
+    let problem = rough_core::SwmProblem::builder(*scenario.stack(), spec)
+        .frequency(frequency)
+        .cells_per_side(scenario.cells_per_side())
+        .solver(scenario.solver)
+        .build()?;
+    let operator = problem.operator();
+    let flat = RoughSurface::flat(scenario.cells_per_side(), problem.patch_length());
+    let (flat_reference, _) = problem.absorbed_power_with(&flat, &operator)?;
+    Ok(CaseContext {
+        problem,
+        operator,
+        flat_reference,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rough_core::RoughnessSpec;
+    use rough_em::material::Stackup;
+    use rough_em::units::{GigaHertz, Micrometers};
+
+    fn small_scenario(realizations: usize) -> Scenario {
+        Scenario::builder(Stackup::paper_baseline())
+            .name("executor-unit")
+            .roughness(RoughnessSpec::gaussian(
+                Micrometers::new(1.0),
+                Micrometers::new(1.0),
+            ))
+            .frequencies([GigaHertz::new(5.0).into()])
+            .cells_per_side(6)
+            .max_kl_modes(3)
+            .monte_carlo(realizations)
+            .master_seed(11)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn monte_carlo_campaign_produces_physical_statistics() {
+        let engine = Engine::builder().threads(2).build();
+        let report = engine.run(&small_scenario(5)).unwrap();
+        assert_eq!(report.cases.len(), 1);
+        assert_eq!(report.records.len(), 5);
+        let case = &report.cases[0];
+        assert_eq!(case.solves, 5);
+        assert!(case.mean > 0.8 && case.mean < 3.0, "mean = {}", case.mean);
+        assert!(case.std_dev >= 0.0);
+        assert!(report.cache.misses >= 1);
+        assert!(report.cache.hits >= 4, "hits = {}", report.cache.hits);
+    }
+
+    #[test]
+    fn rerunning_hits_the_persistent_cache() {
+        let engine = Engine::builder().threads(1).build();
+        let scenario = small_scenario(3);
+        let first = engine.run(&scenario).unwrap();
+        let second = engine.run(&scenario).unwrap();
+        assert!(first.cache.misses >= 1);
+        assert_eq!(second.cache.misses, 0, "second run must be fully cached");
+        assert_eq!(first.cases[0].mean, second.cases[0].mean);
+    }
+
+    #[test]
+    fn deterministic_sweep_solves_each_frequency_once() {
+        let cells = 6;
+        let spec = RoughnessSpec::deterministic(Micrometers::new(5.0));
+        let l = spec.patch_length();
+        let surface = RoughSurface::from_fn(cells, l, |x, y| {
+            0.2e-6
+                * ((2.0 * std::f64::consts::PI * x / l).cos()
+                    + (2.0 * std::f64::consts::PI * y / l).sin())
+        });
+        let scenario = Scenario::builder(Stackup::paper_baseline())
+            .roughness(spec)
+            .frequencies([GigaHertz::new(2.0).into(), GigaHertz::new(8.0).into()])
+            .cells_per_side(cells)
+            .deterministic(surface)
+            .build()
+            .unwrap();
+        let engine = Engine::builder().threads(2).build();
+        let report = engine.run(&scenario).unwrap();
+        assert_eq!(report.cases.len(), 2);
+        for case in &report.cases {
+            assert_eq!(case.solves, 1);
+            assert!(case.mean > 0.9, "enhancement {}", case.mean);
+            assert!(matches!(case.outcome, CaseOutcome::Deterministic(_)));
+        }
+        // Loss grows with frequency for the same surface.
+        assert!(report.cases[1].mean > report.cases[0].mean);
+    }
+}

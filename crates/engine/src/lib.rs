@@ -1,0 +1,68 @@
+//! # rough-engine
+//!
+//! A parallel, cache-aware batch simulation engine for SWM sweeps.
+//!
+//! Every headline result of Chen & Wong (DATE 2009) — the frequency-sweep
+//! figures, the Fig. 7 CDFs and the Table I sampling-point comparison — is an
+//! *ensemble*: thousands of Monte-Carlo realizations or sparse-grid
+//! collocation nodes, swept over frequency and roughness parameters. This
+//! crate turns "one SWM solve" into "a planned, parallel, cache-aware
+//! campaign" with three layers:
+//!
+//! 1. **Scenario / plan** ([`scenario`], [`plan`]) — a declarative
+//!    [`Scenario`] (stackup × roughness grid × frequency sweep × ensemble
+//!    budget) expands into a deduplicated two-stage DAG of [`plan::WorkUnit`]s:
+//!    first the shared per-(grid, frequency, stackup) contexts, then the
+//!    realization/collocation evaluations that depend on them.
+//! 2. **Execution** ([`executor`], [`cache`]) — a thread-pool executor whose
+//!    work-unit seeds and germ draws are fixed at plan time from a master
+//!    seed, so results are **bit-identical regardless of thread count**, and a
+//!    keyed [`cache::KernelCache`] that shares the Ewald-summed periodic
+//!    kernels, the Karhunen–Loève basis and the smooth-surface reference solve
+//!    across all realizations of a case — the dominant redundant cost of the
+//!    serial drivers.
+//! 3. **Results** ([`report`]) — structured per-unit records aggregated into
+//!    mean/variance/CDF case reports with CSV and JSON sinks.
+//!
+//! # Example
+//!
+//! ```
+//! use rough_core::RoughnessSpec;
+//! use rough_em::material::Stackup;
+//! use rough_em::units::{GigaHertz, Micrometers};
+//! use rough_engine::{Engine, Scenario};
+//!
+//! # fn main() -> Result<(), rough_engine::EngineError> {
+//! let scenario = Scenario::builder(Stackup::paper_baseline())
+//!     .name("quick-ensemble")
+//!     .roughness(RoughnessSpec::gaussian(Micrometers::new(1.0), Micrometers::new(1.0)))
+//!     .frequencies([GigaHertz::new(5.0).into()])
+//!     .cells_per_side(8)
+//!     .monte_carlo(4)
+//!     .master_seed(2009)
+//!     .build()?;
+//! let engine = Engine::builder().threads(2).build();
+//! let report = engine.run(&scenario)?;
+//! assert_eq!(report.cases.len(), 1);
+//! assert!(report.cases[0].mean > 0.9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod cache;
+mod error;
+pub mod executor;
+pub mod plan;
+pub mod report;
+pub mod rng;
+pub mod scenario;
+
+pub use cache::{CacheStats, KernelCache};
+pub use error::EngineError;
+pub use executor::{Engine, EngineBuilder};
+pub use plan::Plan;
+pub use report::{CampaignReport, CaseOutcome, CaseReport, UnitRecord};
+pub use scenario::{CaseId, EnsembleMode, Scenario, ScenarioBuilder};

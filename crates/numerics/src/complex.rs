@@ -540,11 +540,19 @@ mod tests {
 
     #[test]
     fn sum_and_product_impls() {
-        let v = vec![c64::new(1.0, 1.0), c64::new(2.0, -1.0), c64::new(-0.5, 0.25)];
+        let v = vec![
+            c64::new(1.0, 1.0),
+            c64::new(2.0, -1.0),
+            c64::new(-0.5, 0.25),
+        ];
         let s: c64 = v.iter().sum();
         assert!(close(s, c64::new(2.5, 0.25), 1e-15));
         let p: c64 = v.clone().into_iter().product();
-        assert!(close(p, c64::new(1.0, 1.0) * c64::new(2.0, -1.0) * c64::new(-0.5, 0.25), 1e-15));
+        assert!(close(
+            p,
+            c64::new(1.0, 1.0) * c64::new(2.0, -1.0) * c64::new(-0.5, 0.25),
+            1e-15
+        ));
     }
 
     #[test]

@@ -50,7 +50,10 @@ impl SymmetricEigen {
     ///
     /// Panics if `fraction` is not within `(0, 1]`.
     pub fn modes_for_energy_fraction(&self, fraction: f64) -> usize {
-        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "fraction must be in (0, 1]"
+        );
         let total: f64 = self.eigenvalues.iter().filter(|&&l| l > 0.0).sum();
         if total <= 0.0 {
             return 0;
@@ -177,7 +180,11 @@ pub fn tridiagonal_eigen(diag: &[f64], off: &[f64]) -> Vec<(f64, f64)> {
     if n == 0 {
         return Vec::new();
     }
-    assert_eq!(off.len(), n.saturating_sub(1), "off-diagonal length mismatch");
+    assert_eq!(
+        off.len(),
+        n.saturating_sub(1),
+        "off-diagonal length mismatch"
+    );
 
     let mut d = diag.to_vec();
     // e is padded so e[i] couples i and i+1; e[n-1] unused.
@@ -330,7 +337,11 @@ mod tests {
 
     #[test]
     fn energy_fraction_truncation() {
-        let a = RMatrix::from_fn(4, 4, |i, j| if i == j { [8.0, 1.0, 0.5, 0.5][i] } else { 0.0 });
+        let a = RMatrix::from_fn(
+            4,
+            4,
+            |i, j| if i == j { [8.0, 1.0, 0.5, 0.5][i] } else { 0.0 },
+        );
         let e = symmetric_eigen(&a);
         assert_eq!(e.modes_for_energy_fraction(0.79), 1);
         assert_eq!(e.modes_for_energy_fraction(0.9), 2);

@@ -57,7 +57,7 @@ pub fn fft_in_place(data: &mut [c64], direction: Direction) -> Result<(), FftErr
     // Bit-reversal permutation.
     let bits = n.trailing_zeros();
     for i in 0..n {
-        let j = (i.reverse_bits() >> (usize::BITS - bits)) as usize;
+        let j = i.reverse_bits() >> (usize::BITS - bits);
         if j > i {
             data.swap(i, j);
         }
@@ -230,12 +230,12 @@ mod tests {
             .map(|i| c64::new((i as f64).sin(), (i as f64 * 0.5).cos()))
             .collect();
         let fast = fft(&x).unwrap();
-        for k in 0..n {
+        for (k, bin) in fast.iter().enumerate() {
             let mut acc = c64::zero();
             for (i, xi) in x.iter().enumerate() {
                 acc += *xi * c64::from_polar(1.0, -2.0 * PI * (k * i) as f64 / n as f64);
             }
-            assert!(close(fast[k], acc, 1e-10), "bin {k}");
+            assert!(close(*bin, acc, 1e-10), "bin {k}");
         }
     }
 
@@ -272,7 +272,11 @@ mod tests {
         let cols = 8;
         let mut data = vec![c64::from_real(2.5); rows * cols];
         fft2_in_place(&mut data, rows, cols, Direction::Forward).unwrap();
-        assert!(close(data[0], c64::from_real(2.5 * (rows * cols) as f64), 1e-10));
+        assert!(close(
+            data[0],
+            c64::from_real(2.5 * (rows * cols) as f64),
+            1e-10
+        ));
         for (i, z) in data.iter().enumerate().skip(1) {
             assert!(z.abs() < 1e-10, "bin {i}");
         }

@@ -30,7 +30,10 @@ impl std::fmt::Display for InterpError {
         match self {
             InterpError::TooFewPoints => write!(f, "need at least two points"),
             InterpError::NotStrictlyIncreasing { index } => {
-                write!(f, "abscissae must be strictly increasing (violated at index {index})")
+                write!(
+                    f,
+                    "abscissae must be strictly increasing (violated at index {index})"
+                )
             }
             InterpError::LengthMismatch => write!(f, "x and y slices have different lengths"),
         }

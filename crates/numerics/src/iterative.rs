@@ -332,7 +332,9 @@ pub fn gmres(
                 acc -= h[i][j] * y[j];
             }
             if h[i][i].abs() < 1e-300 {
-                return Err(IterativeError::Breakdown { iteration: total_iters });
+                return Err(IterativeError::Breakdown {
+                    iteration: total_iters,
+                });
             }
             y[i] = acc / h[i][i];
         }
@@ -391,7 +393,9 @@ mod tests {
     }
 
     fn rhs(n: usize) -> Vec<c64> {
-        (0..n).map(|i| c64::new((i % 4) as f64 - 1.5, (i % 3) as f64)).collect()
+        (0..n)
+            .map(|i| c64::new((i % 4) as f64 - 1.5, (i % 3) as f64))
+            .collect()
     }
 
     #[test]
@@ -440,7 +444,11 @@ mod tests {
         let sol = gmres(&a, &b, &cfg).unwrap();
         assert!(sol.converged);
         let r = a.matvec(&sol.x);
-        let resid: f64 = r.iter().zip(&b).map(|(u, v)| (*u - *v).abs()).fold(0.0, f64::max);
+        let resid: f64 = r
+            .iter()
+            .zip(&b)
+            .map(|(u, v)| (*u - *v).abs())
+            .fold(0.0, f64::max);
         assert!(resid < 1e-8);
     }
 

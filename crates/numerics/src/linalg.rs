@@ -92,7 +92,11 @@ impl CMatrix {
         for row in rows {
             data.extend_from_slice(row);
         }
-        Self { rows: r, cols: c, data }
+        Self {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Builds a matrix by evaluating `f(i, j)` for every entry.
@@ -150,13 +154,13 @@ impl CMatrix {
     pub fn matvec(&self, x: &[c64]) -> Vec<c64> {
         assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
         let mut y = vec![c64::zero(); self.rows];
-        for i in 0..self.rows {
+        for (i, yi) in y.iter_mut().enumerate() {
             let row = self.row(i);
             let mut acc = c64::zero();
             for (a, b) in row.iter().zip(x.iter()) {
                 acc += *a * *b;
             }
-            y[i] = acc;
+            *yi = acc;
         }
         y
     }
@@ -347,6 +351,7 @@ impl CLuFactor {
             }
         }
         // Forward-substitute L (unit diagonal).
+        #[allow(clippy::needless_range_loop)]
         for k in 0..n {
             let xk = x[k];
             for i in (k + 1)..n {
@@ -355,6 +360,7 @@ impl CLuFactor {
             }
         }
         // Back-substitute U.
+        #[allow(clippy::needless_range_loop)]
         for k in (0..n).rev() {
             let mut acc = x[k];
             for j in (k + 1)..n {
@@ -539,7 +545,9 @@ mod tests {
     fn lu_solves_random_systems() {
         for n in [1, 2, 3, 5, 8, 17, 40] {
             let a = rand_matrix(n, n as u64 + 3);
-            let x_true: Vec<c64> = (0..n).map(|i| c64::new(1.0 + i as f64, 0.5 * i as f64)).collect();
+            let x_true: Vec<c64> = (0..n)
+                .map(|i| c64::new(1.0 + i as f64, 0.5 * i as f64))
+                .collect();
             let b = a.matvec(&x_true);
             let x = a.solve(&b).unwrap();
             let err: f64 = x
@@ -566,10 +574,7 @@ mod tests {
     #[test]
     fn non_square_lu_rejected() {
         let a = CMatrix::zeros(2, 3);
-        assert!(matches!(
-            a.lu(),
-            Err(LinalgError::DimensionMismatch { .. })
-        ));
+        assert!(matches!(a.lu(), Err(LinalgError::DimensionMismatch { .. })));
     }
 
     #[test]
@@ -584,10 +589,7 @@ mod tests {
 
     #[test]
     fn determinant_changes_sign_with_row_swap() {
-        let a = CMatrix::from_rows(&[
-            vec![c64::zero(), c64::one()],
-            vec![c64::one(), c64::zero()],
-        ]);
+        let a = CMatrix::from_rows(&[vec![c64::zero(), c64::one()], vec![c64::one(), c64::zero()]]);
         let det = a.lu().unwrap().determinant();
         assert!((det - c64::from_real(-1.0)).abs() < 1e-14);
     }
@@ -597,7 +599,7 @@ mod tests {
         let a = rand_matrix(5, 9);
         let i = CMatrix::identity(5);
         let prod = a.matmul(&i);
-        assert!((&prod.frobenius_norm() - &a.frobenius_norm()).abs() < 1e-12);
+        assert!((prod.frobenius_norm() - a.frobenius_norm()).abs() < 1e-12);
         for r in 0..5 {
             for c in 0..5 {
                 assert!((prod[(r, c)] - a[(r, c)]).abs() < 1e-13);
@@ -670,4 +672,3 @@ mod tests {
         }
     }
 }
-

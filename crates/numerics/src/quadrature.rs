@@ -286,7 +286,11 @@ mod tests {
         // Exact up to degree 11.
         for p in 0..=11u32 {
             let integral = r.integrate(|x| x.powi(p as i32));
-            let exact = if p % 2 == 1 { 0.0 } else { 2.0 / (p as f64 + 1.0) };
+            let exact = if p % 2 == 1 {
+                0.0
+            } else {
+                2.0 / (p as f64 + 1.0)
+            };
             assert!((integral - exact).abs() < 1e-12, "degree {p}");
         }
     }

@@ -6,12 +6,22 @@ fn high_order_rules_integrate_polynomials_exactly() {
         let r = gauss_legendre(n);
         for p in [0u32, 2, 5, 9, 13] {
             let integral = r.integrate(|x| x.powi(p as i32));
-            let exact = if p % 2 == 1 { 0.0 } else { 2.0 / (p as f64 + 1.0) };
-            assert!((integral - exact).abs() < 1e-12, "n = {n}, degree {p}: {integral} vs {exact}");
+            let exact = if p % 2 == 1 {
+                0.0
+            } else {
+                2.0 / (p as f64 + 1.0)
+            };
+            assert!(
+                (integral - exact).abs() < 1e-12,
+                "n = {n}, degree {p}: {integral} vs {exact}"
+            );
         }
         let integral = r.integrate(|x| (3.0 * x).cos());
         let exact = 2.0 * (3.0f64).sin() / 3.0;
-        assert!((integral - exact).abs() < 1e-9, "n = {n} cos: {integral} vs {exact}");
+        assert!(
+            (integral - exact).abs() < 1e-9,
+            "n = {n} cos: {integral} vs {exact}"
+        );
     }
 }
 

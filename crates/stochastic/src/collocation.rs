@@ -110,14 +110,40 @@ pub fn run_sscm(
 ) -> SscmResult {
     assert!(dimension > 0, "germ dimension must be positive");
     assert!(config.order > 0, "chaos order must be positive");
+    let grid = SparseGrid::new(dimension, config.order);
+    // Evaluate the model once per node.
+    let values: Vec<f64> = grid.nodes().iter().map(|n| model(&n.point)).collect();
+    run_sscm_on_grid(&grid, config, &values)
+}
+
+/// Batch variant of [`run_sscm`]: projects externally evaluated node values
+/// onto the Hermite chaos. This is the engine-backed entry point —
+/// `rough-engine` plans the sparse grid, evaluates the deterministic model at
+/// every node in parallel, and hands the ordered values back for projection.
+///
+/// `node_values[i]` must be the model value at `grid.nodes()[i].point`.
+///
+/// # Panics
+///
+/// Panics if `config.order` differs from the grid level, the value count does
+/// not match the node count, or `config.surrogate_samples == 0`.
+pub fn run_sscm_on_grid(grid: &SparseGrid, config: &SscmConfig, node_values: &[f64]) -> SscmResult {
+    assert_eq!(
+        config.order,
+        grid.level(),
+        "chaos order must match the sparse-grid level"
+    );
+    assert_eq!(
+        node_values.len(),
+        grid.len(),
+        "one model value per sparse-grid node is required"
+    );
     assert!(
         config.surrogate_samples > 0,
         "surrogate sample count must be positive"
     );
-
-    let grid = SparseGrid::new(dimension, config.order);
-    // Evaluate the model once per node.
-    let values: Vec<f64> = grid.nodes().iter().map(|n| model(&n.point)).collect();
+    let dimension = grid.dimension();
+    let values = node_values;
 
     // Galerkin projection by discrete quadrature:
     // c_α = E[Q Ψ_α] / E[Ψ_α²] ≈ Σ_k w_k Q(ξ_k) Ψ_α(ξ_k) / E[Ψ_α²].
@@ -125,7 +151,7 @@ pub fn run_sscm(
     let mut coefficients = Vec::with_capacity(basis.len());
     for alpha in &basis {
         let mut projection = 0.0;
-        for (node, &q) in grid.nodes().iter().zip(&values) {
+        for (node, &q) in grid.nodes().iter().zip(values) {
             projection += node.weight * q * alpha.evaluate(&node.point);
         }
         coefficients.push(projection / alpha.norm_squared());
@@ -174,7 +200,11 @@ mod tests {
             seed: 1,
         };
         let result = run_sscm(3, &config, quadratic_model);
-        assert!((result.mean() - 1.1).abs() < 1e-10, "mean = {}", result.mean());
+        assert!(
+            (result.mean() - 1.1).abs() < 1e-10,
+            "mean = {}",
+            result.mean()
+        );
         assert!(
             (result.variance() - 0.245).abs() < 1e-10,
             "variance = {}",
@@ -225,7 +255,11 @@ mod tests {
             |x| (0.3 * x[0] + 0.2 * x[1] - 0.1 * x[3]).exp(),
         );
         let exact_mean = (0.5f64 * (0.09 + 0.04 + 0.01)).exp();
-        assert!((sscm.mean() - exact_mean).abs() < 5e-3, "sscm {}", sscm.mean());
+        assert!(
+            (sscm.mean() - exact_mean).abs() < 5e-3,
+            "sscm {}",
+            sscm.mean()
+        );
         assert!((mc.mean() - exact_mean).abs() < 1e-2, "mc {}", mc.mean());
         assert!(sscm.evaluations() * 100 < mc.evaluations());
         // The two CDFs describe the same distribution.

@@ -38,6 +38,22 @@ pub struct MonteCarloResult {
 }
 
 impl MonteCarloResult {
+    /// Builds the result directly from externally evaluated sample values —
+    /// the batch entry point used by `rough-engine`, whose executor evaluates
+    /// the realizations in parallel and hands the ordered values back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn from_samples(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "at least one sample is required");
+        Self {
+            summary: summarize(values),
+            cdf: EmpiricalCdf::from_samples(values),
+            evaluations: values.len(),
+        }
+    }
+
     /// Summary statistics of the sampled quantity of interest.
     pub fn summary(&self) -> Summary {
         self.summary
@@ -79,22 +95,52 @@ pub fn run_monte_carlo(
     config: &MonteCarloConfig,
     mut model: impl FnMut(&[f64]) -> f64,
 ) -> MonteCarloResult {
-    assert!(config.samples > 0, "at least one sample is required");
+    run_monte_carlo_with(dimension, config, |germs| {
+        germs.iter().map(|xi| model(xi)).collect()
+    })
+}
+
+/// Batch variant of [`run_monte_carlo`]: the germ matrix is drawn up front and
+/// handed to `evaluate_all`, which returns one value per germ vector (in
+/// order). This is the engine-backed entry point — `rough-engine` supplies an
+/// `evaluate_all` that fans the evaluations out over a thread pool, which
+/// keeps the statistics bit-identical to the serial path for a fixed seed.
+///
+/// # Panics
+///
+/// Panics if `config.samples == 0`, `dimension == 0`, or `evaluate_all`
+/// returns a wrong number of values.
+pub fn run_monte_carlo_with(
+    dimension: usize,
+    config: &MonteCarloConfig,
+    evaluate_all: impl FnOnce(&[Vec<f64>]) -> Vec<f64>,
+) -> MonteCarloResult {
+    let germs = draw_germ_matrix(dimension, config.samples, config.seed);
+    let values = evaluate_all(&germs);
+    assert_eq!(
+        values.len(),
+        config.samples,
+        "evaluate_all must return one value per sample"
+    );
+    MonteCarloResult::from_samples(&values)
+}
+
+/// Draws the `samples × dimension` matrix of independent standard-normal
+/// germ vectors that [`run_monte_carlo`] evaluates, in evaluation order.
+///
+/// Exposed so batch executors can plan the exact same realizations the serial
+/// driver would visit and distribute them across workers.
+///
+/// # Panics
+///
+/// Panics if `samples == 0` or `dimension == 0`.
+pub fn draw_germ_matrix(dimension: usize, samples: usize, seed: u64) -> Vec<Vec<f64>> {
+    assert!(samples > 0, "at least one sample is required");
     assert!(dimension > 0, "germ dimension must be positive");
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut values = Vec::with_capacity(config.samples);
-    let mut xi = vec![0.0; dimension];
-    for _ in 0..config.samples {
-        for x in xi.iter_mut() {
-            *x = standard_normal(&mut rng);
-        }
-        values.push(model(&xi));
-    }
-    MonteCarloResult {
-        summary: summarize(&values),
-        cdf: EmpiricalCdf::from_samples(&values),
-        evaluations: config.samples,
-    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..samples)
+        .map(|_| (0..dimension).map(|_| standard_normal(&mut rng)).collect())
+        .collect()
 }
 
 /// Draws one standard-normal variate via Box–Muller.
@@ -128,7 +174,11 @@ mod tests {
             seed: 11,
         };
         let result = run_monte_carlo(2, &config, |x| 2.0 + 3.0 * x[0] - x[1]);
-        assert!((result.mean() - 2.0).abs() < 0.05, "mean = {}", result.mean());
+        assert!(
+            (result.mean() - 2.0).abs() < 0.05,
+            "mean = {}",
+            result.mean()
+        );
         assert!(
             (result.summary().variance - 10.0).abs() < 0.4,
             "var = {}",

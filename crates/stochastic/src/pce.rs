@@ -75,14 +75,13 @@ fn factorial(n: usize) -> f64 {
 pub fn multi_indices(dim: usize, order: usize) -> Vec<MultiIndex> {
     let mut out = Vec::new();
     let mut current = vec![0usize; dim];
-    collect_indices(dim, order, 0, order, &mut current, &mut out);
+    collect_indices(dim, 0, order, &mut current, &mut out);
     out.sort_by_key(|a| a.total_order());
     out
 }
 
 fn collect_indices(
     dim: usize,
-    order: usize,
     position: usize,
     remaining: usize,
     current: &mut Vec<usize>,
@@ -94,7 +93,7 @@ fn collect_indices(
     }
     for value in 0..=remaining {
         current[position] = value;
-        collect_indices(dim, order, position + 1, remaining - value, current, out);
+        collect_indices(dim, position + 1, remaining - value, current, out);
     }
     current[position] = 0;
 }
@@ -123,8 +122,15 @@ impl PceSurrogate {
     ///
     /// Panics if the lengths differ or the basis is empty.
     pub fn new(indices: Vec<MultiIndex>, coefficients: Vec<f64>) -> Self {
-        assert_eq!(indices.len(), coefficients.len(), "basis/coefficient mismatch");
-        assert!(!indices.is_empty(), "surrogate needs at least the constant term");
+        assert_eq!(
+            indices.len(),
+            coefficients.len(),
+            "basis/coefficient mismatch"
+        );
+        assert!(
+            !indices.is_empty(),
+            "surrogate needs at least the constant term"
+        );
         Self {
             indices,
             coefficients,
@@ -210,7 +216,9 @@ mod tests {
         // Sorted by total order, constant first.
         let idx = multi_indices(2, 2);
         assert_eq!(idx[0].total_order(), 0);
-        assert!(idx.windows(2).all(|w| w[0].total_order() <= w[1].total_order()));
+        assert!(idx
+            .windows(2)
+            .all(|w| w[0].total_order() <= w[1].total_order()));
     }
 
     #[test]

@@ -66,7 +66,7 @@ impl SparseGrid {
         let mut index = vec![1usize; d];
         loop {
             let total: usize = index.iter().sum();
-            if total >= q.saturating_sub(d) + 1 && total <= q {
+            if total > q.saturating_sub(d) && total <= q {
                 let excess = q - total;
                 let coeff = smolyak_coefficient(d, excess);
                 if coeff != 0.0 {
@@ -158,7 +158,7 @@ fn smolyak_coefficient(d: usize, excess: usize) -> f64 {
     if excess > d - 1 {
         return 0.0;
     }
-    let sign = if excess % 2 == 0 { 1.0 } else { -1.0 };
+    let sign = if excess.is_multiple_of(2) { 1.0 } else { -1.0 };
     sign * binomial(d - 1, excess)
 }
 
@@ -222,7 +222,11 @@ mod tests {
         // 5-point rules only share the origin, giving 2M² + 4M + 1 nodes.
         for m in [2usize, 5, 8, 12] {
             let grid = SparseGrid::new(m, 2);
-            assert_eq!(grid.len(), 2 * m * m + 4 * m + 1, "level-2 count for M = {m}");
+            assert_eq!(
+                grid.len(),
+                2 * m * m + 4 * m + 1,
+                "level-2 count for M = {m}"
+            );
         }
     }
 
@@ -270,9 +274,11 @@ mod tests {
         // E[exp(0.3 Σ ξ_i)] = exp(0.045 M) for M germs.
         let m = 4;
         let exact = (0.045f64 * m as f64).exp();
-        let err1 = (SparseGrid::new(m, 1).integrate(|x| (0.3 * x.iter().sum::<f64>()).exp()) - exact)
+        let err1 = (SparseGrid::new(m, 1).integrate(|x| (0.3 * x.iter().sum::<f64>()).exp())
+            - exact)
             .abs();
-        let err2 = (SparseGrid::new(m, 2).integrate(|x| (0.3 * x.iter().sum::<f64>()).exp()) - exact)
+        let err2 = (SparseGrid::new(m, 2).integrate(|x| (0.3 * x.iter().sum::<f64>()).exp())
+            - exact)
             .abs();
         assert!(err2 < err1, "err1 = {err1}, err2 = {err2}");
         assert!(err2 < 1e-3);

@@ -72,7 +72,7 @@ impl KarhunenLoeve {
                 reason: "grid must contain at least one sample per side".into(),
             });
         }
-        if !(length > 0.0) {
+        if length.is_nan() || length <= 0.0 {
             return Err(SurfaceError::InvalidGrid {
                 reason: "patch length must be positive".into(),
             });
@@ -156,7 +156,11 @@ impl KarhunenLoeve {
     ///
     /// Panics if `xi.len() != self.modes()`.
     pub fn synthesize(&self, xi: &[f64]) -> RoughSurface {
-        assert_eq!(xi.len(), self.modes, "germ vector length must equal modes()");
+        assert_eq!(
+            xi.len(),
+            self.modes,
+            "germ vector length must equal modes()"
+        );
         let total = self.n * self.n;
         let mut heights = vec![0.0; total];
         for (k, &g) in xi.iter().enumerate() {
@@ -165,15 +169,23 @@ impl KarhunenLoeve {
             if scale == 0.0 {
                 continue;
             }
-            for i in 0..total {
-                heights[i] += scale * self.eigen.eigenvectors[(i, k)];
+            for (i, height) in heights.iter_mut().enumerate() {
+                *height += scale * self.eigen.eigenvectors[(i, k)];
             }
         }
         // Eigenvectors are normalized to unit Euclidean norm; rescale so the
         // *pointwise* variance matches: Var[f_i] = Σ λ_k φ_k(i)², which is the
         // diagonal of the truncated covariance. No global rescaling is applied
         // here — truncation loss is reported via `captured_energy` instead.
-        RoughSurface::new(self.n, self.length, heights).expect("validated dimensions")
+        //
+        // The mean plane is fixed to zero, like the spectral synthesis path
+        // and the SWM mesh convention: the periodic covariance has a constant
+        // (DC) eigenvector whose germ only shifts the whole interface
+        // vertically — a null direction for the transmission problem.
+        let mut surface =
+            RoughSurface::new(self.n, self.length, heights).expect("validated dimensions");
+        surface.remove_mean();
+        surface
     }
 
     /// Draws the germs from `rng` and synthesizes one realization.
@@ -217,7 +229,10 @@ mod tests {
         let trace: f64 = kl.eigenvalues().iter().sum();
         // Trace of the covariance = N² σ².
         let expected = 64.0 * 1e-12;
-        assert!((trace - expected).abs() < 1e-3 * expected, "trace = {trace}");
+        assert!(
+            (trace - expected).abs() < 1e-3 * expected,
+            "trace = {trace}"
+        );
     }
 
     #[test]
@@ -277,10 +292,15 @@ mod tests {
             acc += h.iter().map(|v| v * v).sum::<f64>() / h.len() as f64;
         }
         let variance = acc / samples as f64;
-        // 98% of σ² = 1e-12 retained, with Monte-Carlo noise on top.
+        // 98% of σ² = 1e-12 retained, minus the energy of the constant (DC)
+        // eigenmode that mean removal projects out, with Monte-Carlo noise on
+        // top. The DC mode is mode 0 of the periodic covariance.
+        let trace: f64 = kl.eigenvalues().iter().sum();
+        let dc_fraction = kl.eigenvalues()[0] / trace;
+        let expected = (0.98 - dc_fraction) * 1e-12;
         assert!(
-            (variance - 0.98e-12).abs() < 0.12e-12,
-            "ensemble variance = {variance}"
+            (variance - expected).abs() < 0.12e-12,
+            "ensemble variance = {variance}, expected ≈ {expected}"
         );
     }
 
@@ -307,7 +327,9 @@ mod tests {
 
     #[test]
     fn invalid_inputs_rejected() {
-        assert!(KarhunenLoeve::new(CorrelationFunction::gaussian(1e-6, 1e-6), 0, 5e-6, 0.9).is_err());
+        assert!(
+            KarhunenLoeve::new(CorrelationFunction::gaussian(1e-6, 1e-6), 0, 5e-6, 0.9).is_err()
+        );
         assert!(
             KarhunenLoeve::new(CorrelationFunction::gaussian(1e-6, 1e-6), 4, -5e-6, 0.9).is_err()
         );

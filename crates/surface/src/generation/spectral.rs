@@ -86,7 +86,7 @@ impl SpectralSurfaceGenerator {
                 reason: format!("grid size {n} must be a power of two ≥ 4"),
             });
         }
-        if !(length > 0.0) {
+        if length.is_nan() || length <= 0.0 {
             return Err(SurfaceError::InvalidGrid {
                 reason: "patch length must be positive".into(),
             });
@@ -123,8 +123,16 @@ impl SpectralSurfaceGenerator {
         for iy in 0..n {
             for ix in 0..n {
                 // Map FFT bins to signed wavenumbers.
-                let mx = if ix <= n / 2 { ix as isize } else { ix as isize - n as isize };
-                let my = if iy <= n / 2 { iy as isize } else { iy as isize - n as isize };
+                let mx = if ix <= n / 2 {
+                    ix as isize
+                } else {
+                    ix as isize - n as isize
+                };
+                let my = if iy <= n / 2 {
+                    iy as isize
+                } else {
+                    iy as isize - n as isize
+                };
                 let kx = mx as f64 * dk;
                 let ky = my as f64 * dk;
                 let k = (kx * kx + ky * ky).sqrt();

@@ -136,7 +136,10 @@ mod tests {
         // Moment 1 recovers the analytic mean-square slope 4 sigma^2/eta^2.
         let mss = spec.mean_square_slope();
         let expected = spec.correlation().mean_square_slope().unwrap();
-        assert!((mss - expected).abs() < 1e-3 * expected, "{mss} vs {expected}");
+        assert!(
+            (mss - expected).abs() < 1e-3 * expected,
+            "{mss} vs {expected}"
+        );
     }
 
     #[test]

@@ -197,7 +197,10 @@ mod tests {
         let expected_eta =
             l * (2.0 / std::f64::consts::E - 1.0f64).acos() / (2.0 * std::f64::consts::PI);
         let eta = est.correlation_length.expect("crossing exists");
-        assert!((eta - expected_eta).abs() < 0.05 * expected_eta, "eta = {eta}");
+        assert!(
+            (eta - expected_eta).abs() < 0.05 * expected_eta,
+            "eta = {eta}"
+        );
     }
 
     #[test]

@@ -52,7 +52,7 @@ impl RoughSurface {
                 reason: "grid must contain at least one sample per side".into(),
             });
         }
-        if !(length > 0.0) {
+        if length.is_nan() || length <= 0.0 {
             return Err(SurfaceError::InvalidGrid {
                 reason: "patch length must be positive".into(),
             });
@@ -215,7 +215,7 @@ impl Profile1d {
                 reason: "a profile needs at least two samples".into(),
             });
         }
-        if !(length > 0.0) {
+        if length.is_nan() || length <= 0.0 {
             return Err(SurfaceError::InvalidGrid {
                 reason: "profile length must be positive".into(),
             });
@@ -334,12 +334,17 @@ mod tests {
         let aprime = 2.0 * std::f64::consts::PI * a / l;
         // small-slope expansion: 1 + a'^2/4
         let expected = 1.0 + aprime * aprime / 4.0;
-        assert!((s.area_ratio() - expected).abs() < 1e-3, "{}", s.area_ratio());
+        assert!(
+            (s.area_ratio() - expected).abs() < 1e-3,
+            "{}",
+            s.area_ratio()
+        );
     }
 
     #[test]
     fn mean_removal_and_scaling() {
-        let mut s = RoughSurface::from_fn(16, 1.0, |x, y| 3.0 + x * 0.0 + y * 0.0 + (x * 7.0).sin());
+        let mut s =
+            RoughSurface::from_fn(16, 1.0, |x, y| 3.0 + x * 0.0 + y * 0.0 + (x * 7.0).sin());
         assert!(s.mean() > 2.5);
         s.remove_mean();
         assert!(s.mean().abs() < 1e-12);

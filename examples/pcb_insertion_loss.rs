@@ -22,7 +22,9 @@ use roughsim::surface::correlation::CorrelationFunction;
 /// characteristic impedance `z0` — the textbook `α_c = R_s/(Z₀·w)` estimate
 /// with both conductors counted.
 fn smooth_conductor_loss_db_per_m(stack: &Stackup, frequency: Hertz, width: f64, z0: f64) -> f64 {
-    let rs = stack.conductor().surface_resistance(Hertz::new(frequency.0).into());
+    let rs = stack
+        .conductor()
+        .surface_resistance(Hertz::new(frequency.0).into());
     let alpha_np = rs / (z0 * width);
     8.686 * alpha_np
 }

@@ -29,11 +29,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let result = problem.solve(&surface)?;
 
     println!("SWM quickstart (σ = η = 1 µm, f = {} GHz)", frequency.0);
-    println!("  surface RMS height    : {:.3} µm", surface.rms_height() * 1e6);
+    println!(
+        "  surface RMS height    : {:.3} µm",
+        surface.rms_height() * 1e6
+    );
     println!("  surface area ratio    : {:.3}", surface.area_ratio());
-    println!("  absorbed power  Pr    : {:.4e} (arb. units)", result.absorbed_power());
-    println!("  smooth power    Ps    : {:.4e}", result.flat_absorbed_power());
-    println!("  loss enhancement Pr/Ps: {:.4}", result.enhancement_factor());
+    println!(
+        "  absorbed power  Pr    : {:.4e} (arb. units)",
+        result.absorbed_power()
+    );
+    println!(
+        "  smooth power    Ps    : {:.4e}",
+        result.flat_absorbed_power()
+    );
+    println!(
+        "  loss enhancement Pr/Ps: {:.4}",
+        result.enhancement_factor()
+    );
 
     // 5. Analytic baselines for context.
     let hammerstad = HammerstadModel::new(Micrometers::new(1.0).into(), Conductor::copper_foil());
@@ -41,8 +53,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         CorrelationFunction::gaussian(1.0e-6, 1.0e-6),
         Conductor::copper_foil(),
     );
-    println!("  Hammerstad (σ only)   : {:.4}", hammerstad.enhancement_factor(frequency.into()));
-    println!("  SPM2 (spectral)       : {:.4}", spm2.enhancement_factor(frequency.into()));
+    println!(
+        "  Hammerstad (σ only)   : {:.4}",
+        hammerstad.enhancement_factor(frequency.into())
+    );
+    println!(
+        "  SPM2 (spectral)       : {:.4}",
+        spm2.enhancement_factor(frequency.into())
+    );
     println!();
     println!("Note: one realization of a random surface — the paper's figures report");
     println!("the SSCM ensemble mean (see crates/bench/src/bin/fig3_gaussian_cf.rs).");

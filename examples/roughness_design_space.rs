@@ -21,7 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sigmas_um = [0.2, 0.4, 0.6, 0.8, 1.0, 1.2];
     let etas_um = [0.5, 1.0, 1.5, 2.0, 3.0];
 
-    println!("Roughness design space at {} GHz (budget Pr/Ps <= {budget})", nyquist.0);
+    println!(
+        "Roughness design space at {} GHz (budget Pr/Ps <= {budget})",
+        nyquist.0
+    );
     print!("{:>10}", "σ\\η (µm)");
     for eta in etas_um {
         print!("{eta:>8.1}");

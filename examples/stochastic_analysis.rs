@@ -1,94 +1,77 @@
 //! Stochastic analysis: Monte-Carlo versus SSCM for the loss-enhancement
-//! factor of a random surface (a miniature of paper Fig. 7 / Table I).
+//! factor of a random surface (a miniature of paper Fig. 7 / Table I), driven
+//! through the `rough-engine` batch scheduler.
+//!
+//! The three ensembles are declarative scenarios executed on one engine: the
+//! Ewald kernels, the KL basis and the flat-reference solve are built once,
+//! cached, and shared by every realization and collocation node; the work
+//! units run in parallel with bit-identical statistics for the fixed master
+//! seed regardless of thread count.
 //!
 //! Run with `cargo run --release --example stochastic_analysis`.
 
+use roughsim::engine::CaseOutcome;
 use roughsim::prelude::*;
-use roughsim::stochastic::collocation::run_sscm;
-use roughsim::stochastic::monte_carlo::run_monte_carlo;
-use roughsim::surface::correlation::CorrelationFunction;
-use roughsim::surface::generation::kl::KarhunenLoeve;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let stack = Stackup::new(Conductor::copper_foil(), Dielectric::silicon_dioxide());
-    let cf = CorrelationFunction::gaussian(1.0e-6, 1.0e-6);
+    let roughness = RoughnessSpec::gaussian(Micrometers::new(1.0), Micrometers::new(1.0));
     let cells = 8;
 
-    let problem = SwmProblem::builder(
-        stack,
-        RoughnessSpec::gaussian(Micrometers::new(1.0), Micrometers::new(1.0)),
-    )
-    .frequency(GigaHertz::new(5.0).into())
-    .cells_per_side(cells)
-    .build()?;
-
-    // Karhunen–Loève reduction of the surface to a handful of Gaussian germs.
-    let kl = KarhunenLoeve::new(cf, cells, problem.patch_length(), 0.9)?;
-    let capped = kl.modes().min(5);
-    let kl = kl.with_modes(capped);
-    println!(
-        "KL expansion: {} modes capture {:.1}% of the height variance",
-        kl.modes(),
-        kl.captured_energy() * 100.0
-    );
-
-    let reference = problem.flat_reference_power()?;
-    let model = |xi: &[f64]| {
-        problem
-            .solve_with_reference(&kl.synthesize(xi), reference)
-            .expect("SWM solve")
-            .enhancement_factor()
+    let base = |name: &str| {
+        Scenario::builder(stack)
+            .name(name)
+            .roughness(roughness.clone())
+            .frequencies([GigaHertz::new(5.0).into()])
+            .cells_per_side(cells)
+            .max_kl_modes(5)
+            .energy_fraction(0.9)
+            .master_seed(5)
     };
+    let engine = Engine::new();
+    let mc = engine.run(&base("mc").monte_carlo(24).build()?)?;
+    let sscm1 = engine.run(&base("sscm1").sscm(1).build()?)?;
+    let sscm2 = engine.run(&base("sscm2").sscm(2).build()?)?;
 
-    // A small Monte-Carlo ensemble and both SSCM orders.
-    let mc = run_monte_carlo(
-        kl.modes(),
-        &MonteCarloConfig {
-            samples: 24,
-            seed: 5,
-        },
-        model,
+    println!(
+        "KL expansion: {} modes (engine deduplicated {} shared context(s))",
+        mc.cases[0].kl_modes, mc.distinct_contexts
     );
-    let sscm1 = run_sscm(
-        kl.modes(),
-        &SscmConfig {
-            order: 1,
-            ..Default::default()
-        },
-        model,
-    );
-    let sscm2 = run_sscm(
-        kl.modes(),
-        &SscmConfig {
-            order: 2,
-            ..Default::default()
-        },
-        model,
-    );
-
     println!();
     println!("Mean loss-enhancement factor at 5 GHz (σ = η = 1 µm):");
+    // Standard error of the MC mean, not the sample spread.
+    let mc_std_error = mc.cases[0].std_dev / (mc.cases[0].solves as f64).sqrt();
     println!(
-        "  Monte-Carlo : {:.4} ± {:.4}   ({} SWM solves)",
-        mc.mean(),
-        mc.summary().std_error(),
-        mc.evaluations()
+        "  Monte-Carlo : {:.4} ± {:.4}   ({} SWM solves, {:.0} ms)",
+        mc.cases[0].mean,
+        mc_std_error,
+        mc.cases[0].solves,
+        mc.wall_time.as_secs_f64() * 1e3
     );
     println!(
-        "  1st-SSCM    : {:.4}            ({} SWM solves)",
-        sscm1.mean(),
-        sscm1.evaluations()
+        "  1st-SSCM    : {:.4}            ({} SWM solves, {:.0} ms)",
+        sscm1.cases[0].mean,
+        sscm1.cases[0].solves,
+        sscm1.wall_time.as_secs_f64() * 1e3
     );
     println!(
-        "  2nd-SSCM    : {:.4}            ({} SWM solves)",
-        sscm2.mean(),
-        sscm2.evaluations()
+        "  2nd-SSCM    : {:.4}            ({} SWM solves, {:.0} ms)",
+        sscm2.cases[0].mean,
+        sscm2.cases[0].solves,
+        sscm2.wall_time.as_secs_f64() * 1e3
     );
     println!();
     println!(
-        "90th-percentile Pr/Ps from the 2nd-order surrogate: {:.4}",
-        sscm2.cdf().quantile(0.9)
+        "Kernel-cache reuse across the three campaigns: {} hits / {} misses",
+        mc.cache.hits + sscm1.cache.hits + sscm2.cache.hits,
+        mc.cache.misses + sscm1.cache.misses + sscm2.cache.misses
     );
+    if let CaseOutcome::Sscm(surrogate) = &sscm2.cases[0].outcome {
+        println!(
+            "90th-percentile Pr/Ps from the 2nd-order surrogate: {:.4}",
+            surrogate.cdf().quantile(0.9)
+        );
+    }
     println!("The SSCM reaches the Monte-Carlo mean with an order of magnitude fewer");
     println!("deterministic solves — the claim of the paper's Table I.");
     Ok(())

@@ -12,10 +12,22 @@ use roughsim::surface::statistics::estimate;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cases = [
-        ("Gaussian (σ=1µm, η=1µm)", CorrelationFunction::gaussian(1.0e-6, 1.0e-6)),
-        ("Gaussian (σ=1µm, η=3µm)", CorrelationFunction::gaussian(1.0e-6, 3.0e-6)),
-        ("Exponential (σ=1µm, η=1µm)", CorrelationFunction::exponential(1.0e-6, 1.0e-6)),
-        ("Extracted CF eq.(12)", CorrelationFunction::paper_extracted()),
+        (
+            "Gaussian (σ=1µm, η=1µm)",
+            CorrelationFunction::gaussian(1.0e-6, 1.0e-6),
+        ),
+        (
+            "Gaussian (σ=1µm, η=3µm)",
+            CorrelationFunction::gaussian(1.0e-6, 3.0e-6),
+        ),
+        (
+            "Exponential (σ=1µm, η=1µm)",
+            CorrelationFunction::exponential(1.0e-6, 1.0e-6),
+        ),
+        (
+            "Extracted CF eq.(12)",
+            CorrelationFunction::paper_extracted(),
+        ),
     ];
 
     println!(

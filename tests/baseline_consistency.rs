@@ -31,7 +31,11 @@ fn all_models_approach_unity_at_low_frequency() {
     ];
     for model in models {
         let k = model.enhancement_factor(f.into());
-        assert!((k - 1.0).abs() < 0.02, "{} gives {k} at 1 MHz", model.name());
+        assert!(
+            (k - 1.0).abs() < 0.02,
+            "{} gives {k} at 1 MHz",
+            model.name()
+        );
     }
 }
 
