@@ -10,16 +10,24 @@
 //! [ ½I + D₂   −S₂   ] [U] = [  0  ]
 //! ```
 //!
-//! with `S_ij ≈ Δ·G_p(x_i − x_j, z_i − z_j)` and
-//! `D_ij ≈ Δ·J_j·n̂_j·∇'G_p`. The self term integrates the logarithmic
-//! singularity `−ln R/(2π)` analytically over the segment.
+//! with `S_ij ≈ Δ·G_p(x_i − x_j, z_i − z_j)` and `D_ij ≈ Δ·J_j·n̂_j·∇'G_p`.
+//! Like the 3D path, the singular/near-singular entries follow the selected
+//! [`AssemblyScheme`]: the legacy fixed rules of the seed, or the locally
+//! corrected scheme — the `−ln R/(2π)` static singularity integrated
+//! analytically along the exact tangent-line segment (log integral for `S`,
+//! subtended angle for `D`) plus adaptive Gauss–Legendre quadrature of the
+//! smooth remainder, with periodic wrap-around in the near test.
 
 use crate::mesh::{ContourMesh, Segment2d};
-use rough_em::green::free_space::ln_integral_over_segment;
+use crate::nearfield::{AssemblyScheme, NearFieldPolicy};
+use rough_em::green::free_space::{
+    ln_integral_over_segment, ln_r_integral_over_segment, subtended_angle_of_segment,
+};
 use rough_em::green::PeriodicGreen2d;
 use rough_numerics::complex::c64;
 use rough_numerics::linalg::CMatrix;
 use rough_numerics::quadrature::gauss_legendre_on;
+use rough_numerics::quadrature2d::AdaptiveLineGauss;
 use std::f64::consts::PI;
 
 /// Assembled single-layer and double-layer blocks for one medium (2D).
@@ -36,11 +44,25 @@ pub struct MediumBlocks2d {
 /// # Panics
 ///
 /// Panics if the kernel period does not match the contour period.
-pub fn assemble_medium_2d(mesh: &ContourMesh, green: &PeriodicGreen2d) -> MediumBlocks2d {
+pub fn assemble_medium_2d(
+    mesh: &ContourMesh,
+    green: &PeriodicGreen2d,
+    scheme: AssemblyScheme,
+) -> MediumBlocks2d {
     assert!(
         (green.period() - mesh.period()).abs() < 1e-9 * mesh.period(),
         "Green's function period must match the contour period"
     );
+    match scheme {
+        AssemblyScheme::Legacy => assemble_medium_2d_legacy(mesh, green),
+        AssemblyScheme::LocallyCorrected(policy) => {
+            assemble_medium_2d_corrected(mesh, green, policy)
+        }
+    }
+}
+
+/// The seed near-field treatment, kept bit-for-bit as the comparison baseline.
+fn assemble_medium_2d_legacy(mesh: &ContourMesh, green: &PeriodicGreen2d) -> MediumBlocks2d {
     let n = mesh.len();
     let segments = mesh.segments();
     let width = mesh.segment_width();
@@ -89,8 +111,120 @@ pub fn assemble_medium_2d(mesh: &ContourMesh, green: &PeriodicGreen2d) -> Medium
     }
 }
 
+/// Locally corrected 2D assembly: analytic `ln R` extraction plus adaptive
+/// quadrature of the smooth remainder on every near (minimum-image) pair.
+fn assemble_medium_2d_corrected(
+    mesh: &ContourMesh,
+    green: &PeriodicGreen2d,
+    policy: NearFieldPolicy,
+) -> MediumBlocks2d {
+    let n = mesh.len();
+    let segments = mesh.segments();
+    let width = mesh.segment_width();
+    let length = mesh.period();
+    let near_radius_sq = (policy.radius * width) * (policy.radius * width);
+    let rule = AdaptiveLineGauss::new(
+        policy.order,
+        NearFieldPolicy::REMAINDER_TOLERANCE,
+        NearFieldPolicy::MAX_DEPTH,
+    );
+    let mut single = CMatrix::zeros(n, n);
+    let mut double = CMatrix::zeros(n, n);
+
+    for i in 0..n {
+        let si = segments[i];
+        for j in 0..n {
+            let sj = segments[j];
+            if i == j {
+                let (s, d) = corrected_entry_2d(green, &si, &sj, sj.x, width, &rule);
+                single[(i, i)] = s;
+                // The principal value of the double layer over the straight
+                // tangent segment vanishes; keep only the smooth remainder.
+                double[(i, i)] = d;
+                continue;
+            }
+            let dx = si.x - sj.x;
+            let dz = si.z - sj.z;
+            let wrap = (dx / length).round() * length;
+            let dxw = dx - wrap;
+            if dxw * dxw + dz * dz < near_radius_sq {
+                let (s, d) = corrected_entry_2d(green, &si, &sj, sj.x + wrap, width, &rule);
+                single[(i, j)] = s;
+                double[(i, j)] = d;
+                continue;
+            }
+
+            let sample = green.sample(dx, dz);
+            single[(i, j)] = sample.value * width;
+            let dij = -(sample.gradient[0] * sj.normal[0] + sample.gradient[1] * sj.normal[1])
+                * (sj.jacobian * width);
+            double[(i, j)] = dij;
+        }
+    }
+
+    MediumBlocks2d {
+        single_layer: single,
+        double_layer: double,
+    }
+}
+
+/// One locally corrected 2D matrix-entry pair `(S_ij, D_ij)`.
+///
+/// The source segment is its tangent line at the (possibly periodically
+/// shifted) centre `(src_x, source.z)`:
+///
+/// * the `−ln R/(2π)` static part of `S` is the analytic segment log integral
+///   divided by the segment Jacobian (projected measure);
+/// * the static part of `D` is the signed subtended angle over `2π`;
+/// * the remainders are integrated with the shared adaptive line rule.
+fn corrected_entry_2d(
+    green: &PeriodicGreen2d,
+    observation: &Segment2d,
+    source: &Segment2d,
+    src_x: f64,
+    width: f64,
+    rule: &AdaptiveLineGauss,
+) -> (c64, c64) {
+    let h = 0.5 * width;
+    let a = [src_x - h, source.z - source.fx * h];
+    let b = [src_x + h, source.z + source.fx * h];
+    let p = [observation.x, observation.z];
+    let static_single = -ln_r_integral_over_segment(p, a, b) / (2.0 * PI * source.jacobian);
+    let static_double = subtended_angle_of_segment(p, a, b) / (2.0 * PI);
+
+    let normal = source.normal;
+    let jacobian = source.jacobian;
+    let outcome = rule.integrate_pair(
+        (src_x - h, src_x + h),
+        static_single.abs().max(width / (2.0 * PI)),
+        |xs| {
+            let zs = source.z + source.fx * (xs - src_x);
+            let dx = p[0] - xs;
+            let dz = p[1] - zs;
+            let r = (dx * dx + dz * dz).sqrt();
+            if r < 1e-12 * width {
+                return (green.regularized_at_origin(), c64::zero());
+            }
+            // The log cancellation is benign (both terms are O(ln R)), so the
+            // remainder can be formed directly from the full kernel.
+            let sample = green.sample(dx, dz);
+            let s = sample.value + c64::from_real(r.ln() / (2.0 * PI));
+            // Remainder gradient: ∇_Δ(G + ln R/(2π)) = ∇_Δ G + Δ̂/(2πR).
+            let gx = sample.gradient[0] + c64::from_real(dx / (2.0 * PI * r * r));
+            let gz = sample.gradient[1] + c64::from_real(dz / (2.0 * PI * r * r));
+            let d = -(gx * normal[0] + gz * normal[1]) * jacobian;
+            (s, d)
+        },
+    );
+    (
+        c64::from_real(static_single) + outcome.values.0,
+        c64::from_real(static_double) + outcome.values.1,
+    )
+}
+
 /// Integrates the single- and double-layer kernels over one *near* source
 /// segment with a 4-point Gauss rule (tangent-line surface representation).
+/// Legacy scheme only.
 fn integrate_source_segment(
     green: &PeriodicGreen2d,
     observation: &Segment2d,
@@ -131,10 +265,11 @@ pub fn assemble_system_2d(
     g2: &PeriodicGreen2d,
     beta: c64,
     k1: c64,
+    scheme: AssemblyScheme,
 ) -> SwmSystem2d {
     let n = mesh.len();
-    let m1 = assemble_medium_2d(mesh, g1);
-    let m2 = assemble_medium_2d(mesh, g2);
+    let m1 = assemble_medium_2d(mesh, g1, scheme);
+    let m2 = assemble_medium_2d(mesh, g2, scheme);
 
     let mut matrix = CMatrix::zeros(2 * n, 2 * n);
     let half = c64::from_real(0.5);
@@ -165,22 +300,28 @@ mod tests {
     use super::*;
     use rough_surface::Profile1d;
 
+    fn both_schemes() -> [AssemblyScheme; 2] {
+        [AssemblyScheme::Legacy, AssemblyScheme::default()]
+    }
+
     #[test]
     fn flat_contour_double_layer_vanishes() {
         let mesh = ContourMesh::from_profile(&Profile1d::flat(8, 5e-6));
         let g = PeriodicGreen2d::new(c64::new(1.0e6, 1.0e6), 5e-6);
-        let blocks = assemble_medium_2d(&mesh, &g);
-        // The exact double layer vanishes on a flat contour; the truncated
-        // Kummer series leaves a residue far below anything that could compete
-        // with the ½ free term of the integral equation.
-        let scale = blocks.single_layer[(0, 0)].abs();
-        for i in 0..8 {
-            for j in 0..8 {
-                assert!(
-                    blocks.double_layer[(i, j)].abs() < 1e-5 * scale,
-                    "D[{i}][{j}] = {}",
-                    blocks.double_layer[(i, j)]
-                );
+        for scheme in both_schemes() {
+            let blocks = assemble_medium_2d(&mesh, &g, scheme);
+            // The exact double layer vanishes on a flat contour; the truncated
+            // Kummer series leaves a residue far below anything that could
+            // compete with the ½ free term of the integral equation.
+            let scale = blocks.single_layer[(0, 0)].abs();
+            for i in 0..8 {
+                for j in 0..8 {
+                    assert!(
+                        blocks.double_layer[(i, j)].abs() < 1e-5 * scale,
+                        "{scheme:?}: D[{i}][{j}] = {}",
+                        blocks.double_layer[(i, j)]
+                    );
+                }
             }
         }
     }
@@ -196,12 +337,29 @@ mod tests {
         .unwrap();
         let mesh = ContourMesh::from_profile(&profile);
         let g = PeriodicGreen2d::new(c64::new(1.0e6, 1.0e6), 5e-6);
-        let blocks = assemble_medium_2d(&mesh, &g);
-        for i in 0..8 {
-            assert!(
-                blocks.single_layer[(i, i)].abs() > blocks.single_layer[(i, (i + 1) % 8)].abs()
-            );
+        for scheme in both_schemes() {
+            let blocks = assemble_medium_2d(&mesh, &g, scheme);
+            for i in 0..8 {
+                assert!(
+                    blocks.single_layer[(i, i)].abs() > blocks.single_layer[(i, (i + 1) % 8)].abs(),
+                    "{scheme:?}: row {i}"
+                );
+            }
         }
+    }
+
+    #[test]
+    fn corrected_scheme_treats_the_seam_like_a_direct_neighbour() {
+        let mesh = ContourMesh::from_profile(&Profile1d::flat(8, 5e-6));
+        let g = PeriodicGreen2d::new(c64::new(1.0e6, 1.0e6), 5e-6);
+        let blocks = assemble_medium_2d(&mesh, &g, AssemblyScheme::default());
+        // Segment 0's +x neighbour is 1; its seam neighbour is 7.
+        let direct = blocks.single_layer[(0, 1)];
+        let seam = blocks.single_layer[(0, 7)];
+        assert!(
+            (direct - seam).abs() < 1e-9 * direct.abs(),
+            "direct {direct} vs seam {seam}"
+        );
     }
 
     #[test]
@@ -209,7 +367,14 @@ mod tests {
         let mesh = ContourMesh::from_profile(&Profile1d::flat(6, 5e-6));
         let g1 = PeriodicGreen2d::new(c64::new(200.0, 0.0), 5e-6);
         let g2 = PeriodicGreen2d::new(c64::new(1.0e6, 1.0e6), 5e-6);
-        let sys = assemble_system_2d(&mesh, &g1, &g2, c64::new(0.0, -1e-8), c64::new(200.0, 0.0));
+        let sys = assemble_system_2d(
+            &mesh,
+            &g1,
+            &g2,
+            c64::new(0.0, -1e-8),
+            c64::new(200.0, 0.0),
+            AssemblyScheme::Legacy,
+        );
         assert_eq!(sys.matrix.rows(), 12);
         assert_eq!(sys.rhs.len(), 12);
         assert_eq!(sys.surface_unknowns, 6);

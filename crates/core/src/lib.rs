@@ -57,6 +57,7 @@ pub mod assembly3d;
 mod error;
 pub mod loss;
 pub mod mesh;
+pub mod nearfield;
 pub mod power;
 pub mod solver;
 mod spec;
@@ -64,6 +65,7 @@ pub mod swm2d;
 pub mod swm3d;
 
 pub use error::SwmError;
+pub use nearfield::{AssemblyScheme, NearFieldPolicy};
 pub use solver::SolverKind;
 pub use spec::RoughnessSpec;
 pub use swm3d::{SwmOperator, SwmProblem, SwmProblemBuilder};

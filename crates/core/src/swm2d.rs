@@ -9,6 +9,7 @@ use crate::assembly2d::assemble_system_2d;
 use crate::error::SwmError;
 use crate::loss::LossResult;
 use crate::mesh::ContourMesh;
+use crate::nearfield::AssemblyScheme;
 use crate::power::absorbed_power_2d;
 use crate::solver::{solve_system, SolverKind};
 use rough_em::fresnel::flat_interface;
@@ -40,6 +41,7 @@ pub struct Swm2dProblem {
     stack: Stackup,
     frequency: Frequency,
     solver: SolverKind,
+    assembly: AssemblyScheme,
 }
 
 impl Swm2dProblem {
@@ -58,12 +60,20 @@ impl Swm2dProblem {
             stack,
             frequency,
             solver: SolverKind::DirectLu,
+            assembly: AssemblyScheme::default(),
         })
     }
 
     /// Selects the linear solver.
     pub fn with_solver(mut self, solver: SolverKind) -> Self {
         self.solver = solver;
+        self
+    }
+
+    /// Selects the near-field assembly scheme (defaults to the locally
+    /// corrected scheme).
+    pub fn with_assembly(mut self, assembly: AssemblyScheme) -> Self {
+        self.assembly = assembly;
         self
     }
 
@@ -87,6 +97,7 @@ impl Swm2dProblem {
             &g2,
             self.stack.beta(self.frequency),
             self.stack.k1(self.frequency),
+            self.assembly,
         );
         let (solution, _) = solve_system(&system.matrix, &system.rhs, self.solver)?;
         let n = system.surface_unknowns;

@@ -10,6 +10,7 @@ use crate::assembly3d::assemble_system;
 use crate::error::SwmError;
 use crate::loss::LossResult;
 use crate::mesh::PatchMesh;
+use crate::nearfield::AssemblyScheme;
 use crate::power::{absorbed_power_3d, smooth_surface_power};
 use crate::solver::{solve_system, SolveStats, SolverKind};
 use crate::spec::RoughnessSpec;
@@ -56,6 +57,7 @@ pub struct SwmProblem {
     frequency: Frequency,
     cells_per_side: usize,
     solver: SolverKind,
+    assembly: AssemblyScheme,
 }
 
 /// Frequency-level operator state of a [`SwmProblem`]: the two Ewald-summed
@@ -71,6 +73,7 @@ pub struct SwmOperator {
     g2: PeriodicGreen3d,
     beta: c64,
     k1: c64,
+    assembly: AssemblyScheme,
 }
 
 impl SwmOperator {
@@ -83,6 +86,11 @@ impl SwmOperator {
     pub fn green_conductor(&self) -> &PeriodicGreen3d {
         &self.g2
     }
+
+    /// The assembly scheme every solve through this operator uses.
+    pub fn assembly(&self) -> AssemblyScheme {
+        self.assembly
+    }
 }
 
 /// Builder for [`SwmProblem`].
@@ -93,6 +101,7 @@ pub struct SwmProblemBuilder {
     frequency: Option<Frequency>,
     cells_per_side: usize,
     solver: SolverKind,
+    assembly: AssemblyScheme,
 }
 
 impl SwmProblem {
@@ -105,6 +114,7 @@ impl SwmProblem {
             frequency: None,
             cells_per_side: 16,
             solver: SolverKind::DirectLu,
+            assembly: AssemblyScheme::default(),
         }
     }
 
@@ -126,6 +136,11 @@ impl SwmProblem {
     /// Cells per side of the periodic patch.
     pub fn cells_per_side(&self) -> usize {
         self.cells_per_side
+    }
+
+    /// Near-field assembly scheme.
+    pub fn assembly(&self) -> AssemblyScheme {
+        self.assembly
     }
 
     /// Side length of the periodic patch (m).
@@ -199,6 +214,7 @@ impl SwmProblem {
             g2: PeriodicGreen3d::new(self.stack.k2(self.frequency), self.patch_length()),
             beta: self.stack.beta(self.frequency),
             k1: self.stack.k1(self.frequency),
+            assembly: self.assembly,
         }
     }
 
@@ -233,6 +249,7 @@ impl SwmProblem {
             &operator.g2,
             operator.beta,
             operator.k1,
+            operator.assembly,
         );
         let (solution, stats) = solve_system(&system.matrix, &system.rhs, self.solver)?;
         let n = system.surface_unknowns;
@@ -364,6 +381,13 @@ impl SwmProblemBuilder {
         self
     }
 
+    /// Selects the near-field assembly scheme (defaults to the locally
+    /// corrected scheme with [`crate::NearFieldPolicy::default`]).
+    pub fn assembly(mut self, assembly: AssemblyScheme) -> Self {
+        self.assembly = assembly;
+        self
+    }
+
     /// Finalizes the problem.
     ///
     /// # Errors
@@ -398,6 +422,7 @@ impl SwmProblemBuilder {
             frequency,
             cells_per_side: self.cells_per_side,
             solver: self.solver,
+            assembly: self.assembly,
         })
     }
 }

@@ -73,16 +73,26 @@ pub struct PeriodicGreen3d {
 }
 
 impl PeriodicGreen3d {
-    /// Creates the kernel for wavenumber `k` and period `L`, using the default
-    /// splitting parameter `E = √π/L` and ranges giving ≈ 1e-11 absolute
-    /// accuracy.
+    /// Creates the kernel for wavenumber `k` and period `L`, using the
+    /// balanced splitting parameter `E = √π/L` — widened to `|k|/(2H)` with
+    /// `H = 3.5` when `|k|L` is large, the standard guard against the Ewald
+    /// *high-frequency breakdown* (every erfc argument carries a factor
+    /// `e^{k²/4E²}`; with the balanced splitting and `|k|L ≳ 20` that factor
+    /// amplifies the erfc evaluation error by many orders of magnitude and the
+    /// kernel picks up a spatially near-constant absolute offset, which is
+    /// exactly what a conductor-side kernel sees once the skin depth drops
+    /// well below the period). Keeping `|k/2E| ≤ H` bounds the amplification
+    /// at `e^{H²} ≈ 2·10⁵` while the term ranges (computed from the splitting)
+    /// grow only linearly.
     ///
     /// # Panics
     ///
     /// Panics if `period` is not positive or if `Im(k) < 0` (gain media are not
     /// supported).
     pub fn new(k: c64, period: f64) -> Self {
-        Self::with_splitting(k, period, PI.sqrt() / period)
+        let balanced = PI.sqrt() / period;
+        let breakdown_guard = k.abs() / (2.0 * 3.5);
+        Self::with_splitting(k, period, balanced.max(breakdown_guard))
     }
 
     /// Creates the kernel with an explicit Ewald splitting parameter.
@@ -396,6 +406,36 @@ mod tests {
                 assert!((a - c).abs() < 1e-8 * (1.0 + a.abs()), "k={k} wide");
             }
         }
+    }
+
+    #[test]
+    fn high_loss_kernel_has_no_constant_offset() {
+        // |k|L ≈ 33, the conductor side of the Fig. 5 benchmark at 16 GHz in
+        // scaled units. With the balanced splitting E = √π/L the erfc
+        // arguments carry a factor e^{k²/4E²} ≈ e^{|kL|²/4π} that amplifies
+        // evaluation error into a spatially near-constant absolute kernel
+        // offset (the Ewald high-frequency breakdown); the widened default
+        // splitting must keep the kernel on the direct lattice sum.
+        let l = 12.0;
+        let k = c64::new(1.95, 1.95);
+        let g = PeriodicGreen3d::new(k, l);
+        for &(dx, dy, dz) in &[
+            (0.4, 0.0, 0.0),
+            (0.75, 0.0, 0.1),
+            (1.5, 1.5, 0.0),
+            (6.0, 3.0, 0.0),
+        ] {
+            let ewald = g.value(dx, dy, dz);
+            let direct = g.direct_spatial_sum(dx, dy, dz, 10);
+            assert!(
+                (ewald - direct).abs() < 1e-9 * (1.0 + direct.abs()),
+                "Δ = ({dx},{dy},{dz}): {ewald} vs {direct}"
+            );
+        }
+        // The regularized value at the origin is the sum of the (tiny)
+        // non-primary images — it must not carry the breakdown offset.
+        let reg0 = g.regularized(0.0, 0.0, 0.0).value;
+        assert!(reg0.abs() < 1e-6, "regularized(0) = {reg0}");
     }
 
     #[test]

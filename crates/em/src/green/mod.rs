@@ -19,6 +19,8 @@ pub mod periodic2d;
 
 pub use ewald::PeriodicGreen3d;
 pub use free_space::{
-    inverse_r_integral_over_rectangle, scalar_green_3d, scalar_green_3d_gradient,
+    inverse_r_integral_over_planar_polygon, inverse_r_integral_over_rectangle,
+    ln_r_integral_over_segment, scalar_green_3d, scalar_green_3d_gradient, smooth_kernel_3d,
+    smooth_kernel_3d_radial_derivative, solid_angle_of_planar_polygon, subtended_angle_of_segment,
 };
 pub use periodic2d::PeriodicGreen2d;

@@ -171,6 +171,7 @@ mod tests {
             frequency_bits: bits,
             stack_fingerprint: 0,
             solver_fingerprint: 0,
+            assembly_fingerprint: 0,
         }
     }
 

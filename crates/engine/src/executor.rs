@@ -275,6 +275,7 @@ fn build_context(scenario: &Scenario, case: &PlannedCase) -> Result<CaseContext,
         .frequency(frequency)
         .cells_per_side(scenario.cells_per_side())
         .solver(scenario.solver)
+        .assembly(scenario.assembly)
         .build()?;
     let operator = problem.operator();
     let flat = RoughSurface::flat(scenario.cells_per_side(), problem.patch_length());

@@ -30,12 +30,14 @@ use std::sync::Arc;
 /// Identity of the shared solver context a work unit needs.
 ///
 /// Two cases share a context exactly when they agree on the discretization
-/// (cells per side), the patch length, the frequency, the material stack and
-/// the solver. The last two matter because the engine's kernel cache outlives
-/// a single scenario: campaigns over different stacks must never share
-/// contexts. Frequencies and lengths are compared by bit pattern, and the
-/// stack/solver by a fingerprint of their exact parameter values: scenario
-/// axes are finite lists of exact values, not computed quantities.
+/// (cells per side), the patch length, the frequency, the material stack, the
+/// solver and the near-field assembly scheme. The last three matter because
+/// the engine's kernel cache outlives a single scenario: campaigns over
+/// different stacks — or over legacy vs locally corrected assembly — must
+/// never share contexts (the cached flat-reference solve bakes the assembly
+/// scheme in). Frequencies and lengths are compared by bit pattern, and the
+/// stack/solver/assembly by a fingerprint of their exact parameter values:
+/// scenario axes are finite lists of exact values, not computed quantities.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ContextKey {
     /// MOM cells per patch side.
@@ -48,6 +50,8 @@ pub struct ContextKey {
     pub stack_fingerprint: u64,
     /// Fingerprint of the solver selection (kind and exact parameters).
     pub solver_fingerprint: u64,
+    /// Fingerprint of the near-field assembly scheme (kind and exact policy).
+    pub assembly_fingerprint: u64,
 }
 
 /// FNV-1a fingerprint of a value's exact debug representation. Rust's `f64`
@@ -206,6 +210,7 @@ impl Plan {
 
         let stack_fingerprint = debug_fingerprint(&scenario.stack);
         let solver_fingerprint = debug_fingerprint(&scenario.solver);
+        let assembly_fingerprint = debug_fingerprint(&scenario.assembly);
         let mut cases = Vec::with_capacity(scenario.case_count());
         let mut units = Vec::new();
         let mut context_keys: HashMap<ContextKey, ()> = HashMap::new();
@@ -218,6 +223,7 @@ impl Plan {
                 frequency_bits: frequency.value().to_bits(),
                 stack_fingerprint,
                 solver_fingerprint,
+                assembly_fingerprint,
             };
             context_keys.insert(context_key, ());
 

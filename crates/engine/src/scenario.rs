@@ -8,7 +8,7 @@
 //! them is the job of [`crate::executor::Engine`].
 
 use crate::error::EngineError;
-use rough_core::{RoughnessSpec, SolverKind};
+use rough_core::{AssemblyScheme, RoughnessSpec, SolverKind};
 use rough_em::material::Stackup;
 use rough_em::units::Frequency;
 use rough_surface::RoughSurface;
@@ -50,6 +50,7 @@ pub struct Scenario {
     pub(crate) frequencies: Vec<Frequency>,
     pub(crate) cells_per_side: usize,
     pub(crate) solver: SolverKind,
+    pub(crate) assembly: AssemblyScheme,
     pub(crate) mode: EnsembleMode,
     pub(crate) master_seed: u64,
     pub(crate) max_kl_modes: usize,
@@ -68,6 +69,7 @@ impl Scenario {
             frequencies: Vec::new(),
             cells_per_side: 8,
             solver: SolverKind::default(),
+            assembly: AssemblyScheme::default(),
             mode: None,
             master_seed: 0x2009,
             max_kl_modes: 8,
@@ -113,6 +115,11 @@ impl Scenario {
         self.cells_per_side
     }
 
+    /// Near-field assembly scheme every work unit uses.
+    pub fn assembly(&self) -> AssemblyScheme {
+        self.assembly
+    }
+
     /// Ensemble mode of every case.
     pub fn mode(&self) -> &EnsembleMode {
         &self.mode
@@ -147,6 +154,7 @@ pub struct ScenarioBuilder {
     frequencies: Vec<Frequency>,
     cells_per_side: usize,
     solver: SolverKind,
+    assembly: AssemblyScheme,
     mode: Option<EnsembleMode>,
     master_seed: u64,
     max_kl_modes: usize,
@@ -189,6 +197,13 @@ impl ScenarioBuilder {
     /// Selects the linear solver used by every work unit.
     pub fn solver(mut self, solver: SolverKind) -> Self {
         self.solver = solver;
+        self
+    }
+
+    /// Selects the near-field assembly scheme used by every work unit
+    /// (defaults to the locally corrected scheme).
+    pub fn assembly(mut self, assembly: AssemblyScheme) -> Self {
+        self.assembly = assembly;
         self
     }
 
@@ -308,6 +323,7 @@ impl ScenarioBuilder {
             frequencies: self.frequencies,
             cells_per_side: self.cells_per_side,
             solver: self.solver,
+            assembly: self.assembly,
             mode,
             master_seed: self.master_seed,
             max_kl_modes: self.max_kl_modes,

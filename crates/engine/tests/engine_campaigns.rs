@@ -1,7 +1,7 @@
 //! Integration tests of the batch engine: thread-count invariance of the
 //! statistics, kernel-cache effectiveness, and plan/solve budgets.
 
-use rough_core::RoughnessSpec;
+use rough_core::{AssemblyScheme, RoughnessSpec};
 use rough_em::material::Stackup;
 use rough_em::units::{GigaHertz, Micrometers};
 use rough_engine::{CaseOutcome, Engine, Scenario};
@@ -120,6 +120,56 @@ fn different_stackups_never_share_cached_contexts() {
     // The KL basis is stack-independent and is reused across the campaigns.
     assert_eq!(annealed.cache.kl_misses, 0);
     assert!(annealed.cache.kl_hits >= 1);
+}
+
+#[test]
+fn legacy_and_corrected_assemblies_never_share_cached_contexts() {
+    // Same stack, grid and frequency, different near-field assembly scheme:
+    // the cached flat-reference solve bakes the assembly in, so sharing a
+    // context across schemes would silently corrupt one of the campaigns.
+    let scenario_for = |assembly: AssemblyScheme| {
+        Scenario::builder(Stackup::paper_baseline())
+            .roughness(RoughnessSpec::gaussian(
+                Micrometers::new(1.0),
+                Micrometers::new(1.0),
+            ))
+            .frequencies([GigaHertz::new(5.0).into()])
+            .cells_per_side(6)
+            .max_kl_modes(3)
+            .assembly(assembly)
+            .monte_carlo(3)
+            .master_seed(5)
+            .build()
+            .expect("valid scenario")
+    };
+    let engine = Engine::builder().threads(1).build();
+    let corrected = engine
+        .run(&scenario_for(AssemblyScheme::default()))
+        .expect("corrected campaign");
+    let legacy = engine
+        .run(&scenario_for(AssemblyScheme::Legacy))
+        .expect("legacy campaign");
+    assert_eq!(
+        legacy.cache.misses, 1,
+        "a different assembly scheme must build its own context"
+    );
+    assert_ne!(
+        corrected.cases[0].mean.to_bits(),
+        legacy.cases[0].mean.to_bits(),
+        "the two schemes integrate near fields differently"
+    );
+    // The KL basis does not depend on the assembly scheme and is reused.
+    assert_eq!(legacy.cache.kl_misses, 0);
+    assert!(legacy.cache.kl_hits >= 1);
+    // Re-running either scenario hits its own cached context.
+    let again = engine
+        .run(&scenario_for(AssemblyScheme::default()))
+        .expect("corrected rerun");
+    assert_eq!(again.cache.misses, 0);
+    assert_eq!(
+        again.cases[0].mean.to_bits(),
+        corrected.cases[0].mean.to_bits()
+    );
 }
 
 #[test]

@@ -22,6 +22,9 @@
 //!   function needed by the Ewald-summed periodic Green's function).
 //! * [`quadrature`] — Gauss–Legendre and Gauss–Hermite rules plus tensor-product
 //!   helpers.
+//! * [`quadrature2d`] — adaptive (embedded-error, panel-subdividing)
+//!   Gauss–Legendre rules on intervals and rectangles for the locally
+//!   corrected near-field MOM integrals.
 //! * [`stats`] — descriptive statistics, empirical CDFs and histograms used by
 //!   the Monte-Carlo / SSCM comparison experiments.
 //! * [`interp`] — piecewise-linear interpolation of sampled curves.
@@ -56,6 +59,7 @@ pub mod interp;
 pub mod iterative;
 pub mod linalg;
 pub mod quadrature;
+pub mod quadrature2d;
 pub mod special;
 pub mod stats;
 

@@ -61,13 +61,29 @@ pub use rough_stochastic as stochastic;
 pub use rough_surface as surface;
 
 /// Commonly used items, re-exported for convenient glob import.
+///
+/// # Near-field assembly defaults
+///
+/// Every solver entry point ([`SwmProblem`](rough_core::SwmProblem),
+/// [`Swm2dProblem`](rough_core::swm2d::Swm2dProblem), engine
+/// [`Scenario`](rough_engine::Scenario)s) defaults to the **locally
+/// corrected** near-field assembly,
+/// `AssemblyScheme::LocallyCorrected(NearFieldPolicy { radius: 2.5, order: 4 })`:
+/// the `1/R` (3D) / `ln R` (2D) static singularity is integrated analytically
+/// over the exact tangent-plane cell geometry and the smooth remainder with
+/// adaptive Gauss–Legendre quadrature, for every source cell within
+/// `radius` cell sizes (minimum-image distance). Select
+/// `AssemblyScheme::Legacy` via the respective `assembly(..)` builder methods
+/// to reproduce the seed behaviour, e.g. for convergence comparisons; raise
+/// `radius`/`order` for high-accuracy reference runs.
 pub mod prelude {
     pub use rough_baselines::{
         hammerstad::HammerstadModel, hbm::HemisphericalBossModel, huray::HurayModel,
         spm2::Spm2Model, RoughnessLossModel,
     };
     pub use rough_core::{
-        loss::LossResult, swm2d::Swm2dProblem, RoughnessSpec, SwmError, SwmProblem,
+        loss::LossResult, swm2d::Swm2dProblem, AssemblyScheme, NearFieldPolicy, RoughnessSpec,
+        SwmError, SwmProblem,
     };
     pub use rough_em::{
         material::{Conductor, Dielectric, Stackup},
