@@ -1,0 +1,170 @@
+//! Engine throughput benchmark: units/second per executor plus cache
+//! effectiveness, emitted as machine-readable `BENCH_engine.json` for CI
+//! trend tracking.
+//!
+//! Runs the same small Monte-Carlo campaign under the serial, thread-pool and
+//! subprocess executors (each on a fresh cache, then once more on a warm
+//! cache) and cross-checks that every executor produced bit-identical
+//! records — the engine's core determinism guarantee, enforced on every
+//! benchmark run.
+//!
+//! `--full` raises the workload to a laptop-minutes campaign; the default
+//! finishes in seconds.
+
+use rough_core::RoughnessSpec;
+use rough_em::material::Stackup;
+use rough_em::units::{GigaHertz, Micrometers};
+use rough_engine::{
+    CampaignReport, KernelCache, Run, RunConfig, Scenario, SerialExecutor, SubprocessExecutor,
+    ThreadPoolExecutor, UnitExecutor,
+};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+fn scenario(realizations: usize, cells: usize) -> Scenario {
+    Scenario::builder(Stackup::paper_baseline())
+        .name("bench-engine")
+        .roughness(RoughnessSpec::gaussian(
+            Micrometers::new(1.0),
+            Micrometers::new(1.0),
+        ))
+        .frequencies([GigaHertz::new(2.0).into(), GigaHertz::new(8.0).into()])
+        .cells_per_side(cells)
+        .max_kl_modes(3)
+        .monte_carlo(realizations)
+        .master_seed(0xBE7C)
+        .build()
+        .expect("valid benchmark scenario")
+}
+
+struct Measurement {
+    name: &'static str,
+    workers: usize,
+    cold_wall_s: f64,
+    warm_wall_s: f64,
+    units: usize,
+    cache_hits: usize,
+    cache_misses: usize,
+    report: CampaignReport,
+}
+
+fn measure(
+    name: &'static str,
+    executor: Arc<dyn UnitExecutor>,
+    scenario: &Scenario,
+) -> Measurement {
+    let cache = Arc::new(KernelCache::new());
+    let run = |label: &str| -> CampaignReport {
+        let config = RunConfig::new()
+            .executor_arc(Arc::clone(&executor))
+            .cache(Arc::clone(&cache));
+        Run::new(scenario, config)
+            .and_then(Run::execute)
+            .unwrap_or_else(|e| panic!("{name} {label} run failed: {e}"))
+    };
+    let cold = run("cold");
+    let warm = run("warm");
+    Measurement {
+        name,
+        workers: executor.parallelism(),
+        cold_wall_s: cold.wall_time.as_secs_f64(),
+        warm_wall_s: warm.wall_time.as_secs_f64(),
+        units: cold.records.len(),
+        cache_hits: cold.cache.hits + warm.cache.hits,
+        cache_misses: cold.cache.misses + warm.cache.misses,
+        report: cold,
+    }
+}
+
+fn main() {
+    rough_engine::subprocess::maybe_serve_worker();
+    let full = rough_bench::full_fidelity_requested();
+    let (realizations, cells) = if full { (16, 10) } else { (4, 6) };
+    let scenario = scenario(realizations, cells);
+    let units = scenario.plan().expect("plan").units().len();
+    println!("engine benchmark: {units} units ({realizations} realizations x 2 frequencies, {cells}x{cells} cells)");
+
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(4);
+    let executors: Vec<(&'static str, Arc<dyn UnitExecutor>)> = vec![
+        ("serial", Arc::new(SerialExecutor)),
+        ("thread-pool", Arc::new(ThreadPoolExecutor::new(threads))),
+        ("subprocess", Arc::new(SubprocessExecutor::new(2))),
+    ];
+    let measurements: Vec<Measurement> = executors
+        .into_iter()
+        .map(|(name, executor)| {
+            println!("  running {name} ...");
+            measure(name, executor, &scenario)
+        })
+        .collect();
+
+    // Determinism cross-check: every executor must agree bit for bit.
+    let reference: Vec<u64> = measurements[0]
+        .report
+        .records
+        .iter()
+        .map(|r| r.value.to_bits())
+        .collect();
+    for m in &measurements[1..] {
+        let bits: Vec<u64> = m.report.records.iter().map(|r| r.value.to_bits()).collect();
+        assert_eq!(
+            reference, bits,
+            "{} diverged from {}",
+            m.name, measurements[0].name
+        );
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"benchmark\": \"engine-executors\",");
+    let _ = writeln!(json, "  \"units\": {units},");
+    let _ = writeln!(json, "  \"cells_per_side\": {cells},");
+    let _ = writeln!(json, "  \"bit_identical\": true,");
+    let _ = writeln!(json, "  \"executors\": [");
+    for (index, m) in measurements.iter().enumerate() {
+        let lookups = m.cache_hits + m.cache_misses;
+        let hit_rate = if lookups == 0 {
+            0.0
+        } else {
+            m.cache_hits as f64 / lookups as f64
+        };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"workers\": {}, \"units\": {}, \
+             \"cold_wall_s\": {:.4}, \"warm_wall_s\": {:.4}, \
+             \"cold_units_per_sec\": {:.3}, \"warm_units_per_sec\": {:.3}, \
+             \"cache_hits\": {}, \"cache_misses\": {}, \"cache_hit_rate\": {:.4}}}{}",
+            m.name,
+            m.workers,
+            m.units,
+            m.cold_wall_s,
+            m.warm_wall_s,
+            m.units as f64 / m.cold_wall_s.max(1e-9),
+            m.units as f64 / m.warm_wall_s.max(1e-9),
+            m.cache_hits,
+            m.cache_misses,
+            hit_rate,
+            if index + 1 < measurements.len() {
+                ","
+            } else {
+                ""
+            }
+        );
+        println!(
+            "  {:<12} {} workers: cold {:.2} s ({:.2} units/s), warm {:.2} s, cache hit rate {:.1}%",
+            m.name,
+            m.workers,
+            m.cold_wall_s,
+            m.units as f64 / m.cold_wall_s.max(1e-9),
+            m.warm_wall_s,
+            hit_rate * 100.0
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    json.push_str("}\n");
+
+    std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
+    println!("wrote BENCH_engine.json (all executors bit-identical)");
+}

@@ -11,11 +11,14 @@ use rough_bench::{write_csv, Fidelity, FrequencySweep};
 use rough_core::RoughnessSpec;
 use rough_em::material::{Conductor, Stackup};
 use rough_em::units::Micrometers;
-use rough_engine::{Engine, Scenario};
+use rough_engine::{Run, RunConfig, Scenario};
 use rough_surface::correlation::CorrelationFunction;
 use rough_surface::RoughSurface;
 
 fn main() {
+    // Worker mode for ROUGHSIM_EXECUTOR=subprocess: serves sharded units and
+    // exits; a no-op in normal driver runs.
+    rough_engine::subprocess::maybe_serve_worker();
     let fidelity = Fidelity::from_args();
     let max_ghz = if fidelity == Fidelity::Paper {
         20.0
@@ -64,8 +67,14 @@ fn main() {
         .deterministic(surface)
         .build()
         .expect("valid Fig. 5 scenario");
-    let engine = Engine::new();
-    let report = engine.run(&scenario).expect("Fig. 5 campaign");
+    // Session-oriented run: executor selected via ROUGHSIM_EXECUTOR
+    // (threads[:N] | serial | subprocess[:N]), progress streamed to stderr.
+    let config = RunConfig::new()
+        .executor_arc(rough_bench::executor_from_env())
+        .observer(rough_bench::progress_observer(sweep.points().len()));
+    let report = Run::new(&scenario, config)
+        .and_then(Run::execute)
+        .expect("Fig. 5 campaign");
 
     println!(
         "Fig. 5 — SWM vs HBM, conducting half-spheroid ({fidelity:?}, {cells}x{cells} cells, {} solves in {:.1} s)",

@@ -1,19 +1,23 @@
 //! Fig. 7 — CDF of Pr/Ps at 5 GHz for σ = η = 1 µm: Monte-Carlo versus the
 //! 1st- and 2nd-order SSCM surrogates.
 //!
-//! All three ensembles are thin [`Scenario`] definitions executed by one
-//! `rough-engine` instance, so the Ewald kernels, the KL basis and the flat
-//! reference solve are computed once and shared across every realization and
-//! every collocation node of all three campaigns.
+//! All three ensembles are thin [`Scenario`] definitions executed as
+//! [`rough_engine::Run`] sessions over one shared [`KernelCache`], so the
+//! Ewald kernels, the KL basis and the flat reference solve are computed once
+//! and shared across every realization and every collocation node of all
+//! three campaigns — under whichever executor `ROUGHSIM_EXECUTOR` selects.
 
 use rough_bench::{write_csv, Fidelity};
 use rough_core::RoughnessSpec;
 use rough_em::material::Stackup;
 use rough_em::units::GigaHertz;
-use rough_engine::{CampaignReport, Engine, Scenario, ScenarioBuilder};
+use rough_engine::{CampaignReport, KernelCache, Run, RunConfig, Scenario, ScenarioBuilder};
 use rough_surface::correlation::CorrelationFunction;
+use std::sync::Arc;
 
 fn main() {
+    // Worker mode for ROUGHSIM_EXECUTOR=subprocess runs (no-op otherwise).
+    rough_engine::subprocess::maybe_serve_worker();
     let fidelity = Fidelity::from_args();
     let cf = CorrelationFunction::gaussian(1.0e-6, 1.0e-6);
     let cells = fidelity.cells_per_side();
@@ -39,15 +43,24 @@ fn main() {
         .build()
         .expect("valid SSCM-2 scenario");
 
-    let engine = Engine::new();
-    let mc = engine.run(&mc_scenario).expect("Monte-Carlo campaign");
-    let sscm1 = engine.run(&sscm1_scenario).expect("SSCM-1 campaign");
-    let sscm2 = engine.run(&sscm2_scenario).expect("SSCM-2 campaign");
+    let executor = rough_bench::executor_from_env();
+    let cache = Arc::new(KernelCache::new());
+    let run = |scenario: &Scenario, label: &str| -> CampaignReport {
+        let config = RunConfig::new()
+            .executor_arc(Arc::clone(&executor))
+            .cache(Arc::clone(&cache));
+        Run::new(scenario, config)
+            .and_then(Run::execute)
+            .unwrap_or_else(|e| panic!("{label} campaign failed: {e}"))
+    };
+    let mc = run(&mc_scenario, "Monte-Carlo");
+    let sscm1 = run(&sscm1_scenario, "SSCM-1");
+    let sscm2 = run(&sscm2_scenario, "SSCM-2");
 
     let modes = mc.cases[0].kl_modes;
     println!(
-        "Fig. 7 — CDF of Pr/Ps at 5 GHz, sigma = eta = 1 um ({fidelity:?}, {modes} KL modes, {} threads)",
-        engine.threads()
+        "Fig. 7 — CDF of Pr/Ps at 5 GHz, sigma = eta = 1 um ({fidelity:?}, {modes} KL modes, {} workers)",
+        mc.threads
     );
     let describe = |label: &str, report: &CampaignReport| {
         let case = &report.cases[0];

@@ -49,6 +49,66 @@ pub fn full_fidelity_requested() -> bool {
     std::env::args().any(|a| a == "--full")
 }
 
+/// Selects a [`rough_engine::UnitExecutor`] from the `ROUGHSIM_EXECUTOR`
+/// environment variable, so every figure driver can switch between in-process
+/// and multi-process execution without code changes:
+///
+/// * unset or `threads` — hardware-sized thread pool (the default);
+/// * `threads:N` — N-thread pool;
+/// * `serial` — single-threaded reference executor;
+/// * `subprocess` / `subprocess:N` — N worker processes (the binary must call
+///   [`rough_engine::subprocess::maybe_serve_worker`] first thing in `main`).
+///
+/// # Panics
+///
+/// Panics on an unrecognized value — drivers treat a bad configuration as
+/// fatal.
+pub fn executor_from_env() -> std::sync::Arc<dyn rough_engine::UnitExecutor> {
+    use rough_engine::{SerialExecutor, SubprocessExecutor, ThreadPoolExecutor};
+    let value = std::env::var("ROUGHSIM_EXECUTOR").unwrap_or_default();
+    let (kind, workers) = match value.split_once(':') {
+        Some((kind, n)) => (
+            kind,
+            n.parse::<usize>()
+                .unwrap_or_else(|_| panic!("ROUGHSIM_EXECUTOR: bad worker count `{n}`")),
+        ),
+        None => (value.as_str(), 0),
+    };
+    match kind {
+        "" | "threads" => std::sync::Arc::new(ThreadPoolExecutor::new(workers)),
+        "serial" => std::sync::Arc::new(SerialExecutor),
+        "subprocess" => std::sync::Arc::new(SubprocessExecutor::new(workers)),
+        other => panic!("ROUGHSIM_EXECUTOR: unknown executor `{other}`"),
+    }
+}
+
+/// A [`rough_engine::RunObserver`] that prints unit/case progress to stderr —
+/// the figure drivers' default way of watching long campaigns.
+pub fn progress_observer(total_units: usize) -> impl rough_engine::RunObserver {
+    use rough_engine::{FnObserver, RunEvent};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let completed = AtomicUsize::new(0);
+    FnObserver(move |event: &RunEvent| match event {
+        RunEvent::UnitCompleted { .. } => {
+            let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+            if done == total_units || done.is_multiple_of(8) {
+                eprintln!("  [{done}/{total_units}] units complete");
+            }
+        }
+        RunEvent::RunFinished {
+            cache, wall_time, ..
+        } => {
+            eprintln!(
+                "  run finished in {:.1} s (cache: {} hits / {} misses)",
+                wall_time.as_secs_f64(),
+                cache.hits,
+                cache.misses
+            );
+        }
+        _ => {}
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -13,6 +13,19 @@ pub enum EngineError {
     Solve(SwmError),
     /// A result sink could not be written.
     Io(std::io::Error),
+    /// The run was cancelled before every unit completed. Completed units are
+    /// preserved in the checkpoint (when one was configured) and the run can
+    /// be continued with [`crate::run::Run::resume`].
+    Interrupted {
+        /// Units whose records were committed before the cancellation.
+        completed: usize,
+        /// Total units the plan schedules.
+        total: usize,
+    },
+    /// A checkpoint file could not be written, read or validated.
+    Checkpoint(String),
+    /// A worker process failed or spoke an unexpected protocol.
+    Subprocess(String),
 }
 
 impl fmt::Display for EngineError {
@@ -23,6 +36,11 @@ impl fmt::Display for EngineError {
             }
             EngineError::Solve(error) => write!(f, "SWM solve failed: {error}"),
             EngineError::Io(error) => write!(f, "result sink failed: {error}"),
+            EngineError::Interrupted { completed, total } => {
+                write!(f, "run interrupted after {completed} of {total} units")
+            }
+            EngineError::Checkpoint(reason) => write!(f, "checkpoint failed: {reason}"),
+            EngineError::Subprocess(reason) => write!(f, "worker process failed: {reason}"),
         }
     }
 }
@@ -32,7 +50,10 @@ impl std::error::Error for EngineError {
         match self {
             EngineError::Solve(error) => Some(error),
             EngineError::Io(error) => Some(error),
-            EngineError::InvalidScenario(_) => None,
+            EngineError::InvalidScenario(_)
+            | EngineError::Interrupted { .. }
+            | EngineError::Checkpoint(_)
+            | EngineError::Subprocess(_) => None,
         }
     }
 }

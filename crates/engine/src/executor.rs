@@ -1,37 +1,271 @@
-//! Execution layer: a thread-pool executor over planned work units.
+//! Execution layer: pluggable [`UnitExecutor`]s over planned work units.
 //!
-//! The executor walks the plan's two-stage DAG: stage 0 builds every distinct
-//! shared context (Ewald kernels + smooth-surface reference solve) in
-//! parallel and publishes them through the [`KernelCache`]; stage 1 evaluates
-//! the realization/collocation units in parallel against the cached contexts.
-//! All randomness was fixed at plan time, and results are reassembled in plan
-//! order, so a campaign's statistics are bit-identical for a fixed master
-//! seed no matter how many worker threads execute it.
+//! Executors walk the plan's two-stage DAG: stage 0 builds every distinct
+//! shared context (Ewald kernels + smooth-surface reference solve) and
+//! publishes it through the [`KernelCache`]; stage 1 evaluates the
+//! realization/collocation units against the cached contexts, in whatever
+//! order the [`crate::schedule::Scheduler`] chose. All randomness was fixed
+//! at plan time and records are keyed by unit id, so a campaign's statistics
+//! are bit-identical for a fixed master seed no matter which executor runs it
+//! or how many workers it uses.
+//!
+//! Three executors ship with the engine:
+//!
+//! * [`SerialExecutor`] — one unit at a time on the calling thread; the
+//!   reference implementation and the workhorse of worker processes.
+//! * [`ThreadPoolExecutor`] — a sized thread pool (the engine's default).
+//! * [`crate::subprocess::SubprocessExecutor`] — shards units across worker
+//!   *processes* for isolation and multi-process scale-out.
+//!
+//! [`Engine`] remains the convenient facade: it owns a thread-pool executor
+//! plus a persistent [`KernelCache`] and `Engine::run` is now a thin wrapper
+//! over the session-oriented [`crate::run::Run`] API.
 
-use crate::cache::{CacheStats, CaseContext, KernelCache};
+use crate::cache::{CaseContext, KernelCache};
 use crate::error::EngineError;
 use crate::plan::{Plan, PlannedCase, UnitTask, WorkUnit};
-use crate::report::{CampaignReport, CaseOutcome, CaseReport, UnitRecord};
-use crate::rng::derive_stream;
-use crate::scenario::{EnsembleMode, Scenario};
+use crate::report::{CampaignReport, UnitRecord};
+use crate::run::{Run, RunConfig, UnitSink};
 use rayon::prelude::*;
-use rough_stochastic::collocation::{run_sscm_on_grid, SscmConfig};
-use rough_stochastic::monte_carlo::MonteCarloResult;
 use rough_surface::RoughSurface;
-use std::time::Instant;
+use std::sync::Arc;
 
-/// Stream-index offset separating SSCM surrogate-sampling seeds from the
-/// Monte-Carlo germ seeds derived for the same cases.
-const SURROGATE_STREAM_OFFSET: u64 = 1 << 32;
+/// Executes scheduled work units, committing each completed record through
+/// the [`UnitSink`].
+///
+/// Contract:
+///
+/// * units must be taken from `order` (a subset of plan unit ids chosen by
+///   the scheduler — on resume, already-checkpointed units are absent);
+/// * every completed unit must be committed via [`UnitSink::complete`];
+/// * executors should stop picking up new units once
+///   [`UnitSink::is_cancelled`] returns `true` and then return `Ok(())` —
+///   the run layer turns the shortfall into [`EngineError::Interrupted`];
+/// * determinism: a unit's record must depend only on the plan, never on
+///   scheduling, worker identity or timing.
+pub trait UnitExecutor: Send + Sync + std::fmt::Debug {
+    /// Short executor label (reports, logs, benchmarks).
+    fn name(&self) -> &'static str;
 
-/// The batch simulation engine: a sized thread pool plus a kernel cache that
-/// persists across runs (a frequency sweep re-run with more realizations hits
-/// the cache for every context it has already prepared).
+    /// Worker parallelism (reported as [`CampaignReport::threads`]).
+    fn parallelism(&self) -> usize;
+
+    /// Executes `order` against `plan`, committing records into `sink`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures and sink (checkpoint I/O) failures.
+    fn execute(
+        &self,
+        plan: &Plan,
+        order: &[usize],
+        cache: &KernelCache,
+        sink: &UnitSink<'_>,
+    ) -> Result<(), EngineError>;
+}
+
+/// Evaluates every unit on the calling thread, in schedule order.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SerialExecutor;
+
+impl UnitExecutor for SerialExecutor {
+    fn name(&self) -> &'static str {
+        "serial"
+    }
+
+    fn parallelism(&self) -> usize {
+        1
+    }
+
+    fn execute(
+        &self,
+        plan: &Plan,
+        order: &[usize],
+        cache: &KernelCache,
+        sink: &UnitSink<'_>,
+    ) -> Result<(), EngineError> {
+        for &unit_id in order {
+            if sink.is_cancelled() {
+                return Ok(());
+            }
+            let unit = &plan.units()[unit_id];
+            sink.unit_started(unit);
+            let record = evaluate_unit(plan, unit, cache)?;
+            sink.complete(record)?;
+        }
+        Ok(())
+    }
+}
+
+/// Evaluates units on a sized thread pool, prebuilding the distinct shared
+/// contexts in parallel first so concurrent units never race to build the
+/// same context.
 #[derive(Debug)]
-pub struct Engine {
+pub struct ThreadPoolExecutor {
     pool: rayon::ThreadPool,
     threads: usize,
-    cache: KernelCache,
+}
+
+impl ThreadPoolExecutor {
+    /// Creates a pool executor with `threads` workers (0 means one per
+    /// hardware core).
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            threads
+        };
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("thread pool construction cannot fail");
+        Self { pool, threads }
+    }
+}
+
+impl Default for ThreadPoolExecutor {
+    /// One worker per hardware core.
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+impl UnitExecutor for ThreadPoolExecutor {
+    fn name(&self) -> &'static str {
+        "thread-pool"
+    }
+
+    fn parallelism(&self) -> usize {
+        self.threads
+    }
+
+    fn execute(
+        &self,
+        plan: &Plan,
+        order: &[usize],
+        cache: &KernelCache,
+        sink: &UnitSink<'_>,
+    ) -> Result<(), EngineError> {
+        // Stage 0: build every distinct context the scheduled units need and
+        // that is not already cached, in parallel, then publish. Building
+        // through a representative case keeps `get_or_build` the only cache
+        // write path.
+        let mut pending: Vec<&PlannedCase> = Vec::new();
+        for &unit_id in order {
+            let case = &plan.cases()[plan.units()[unit_id].case_index];
+            if !cache.contains(case.context_key)
+                && !pending.iter().any(|c| c.context_key == case.context_key)
+            {
+                pending.push(case);
+            }
+        }
+        let built: Vec<Result<CaseContext, EngineError>> = self.pool.install(|| {
+            pending
+                .par_iter()
+                .map(|case| build_context(plan, case))
+                .collect()
+        });
+        for (case, result) in pending.iter().zip(built) {
+            let context = result?;
+            cache.get_or_build(case.context_key, || Ok(context))?;
+        }
+
+        // Stage 1: evaluate the scheduled units in parallel. Records are
+        // committed through the sink as they complete; the run layer
+        // reassembles plan order by unit id.
+        let results: Vec<Result<(), EngineError>> = self.pool.install(|| {
+            order
+                .par_iter()
+                .map(|&unit_id| {
+                    if sink.is_cancelled() {
+                        return Ok(());
+                    }
+                    let unit = &plan.units()[unit_id];
+                    sink.unit_started(unit);
+                    let record = evaluate_unit(plan, unit, cache)?;
+                    sink.complete(record)
+                })
+                .collect()
+        });
+        results.into_iter().collect()
+    }
+}
+
+/// Evaluates one work unit against its (cached) shared context.
+pub(crate) fn evaluate_unit(
+    plan: &Plan,
+    unit: &WorkUnit,
+    cache: &KernelCache,
+) -> Result<UnitRecord, EngineError> {
+    let scenario = plan.scenario();
+    let case = &plan.cases()[unit.case_index];
+    let context = cache.get_or_build(case.context_key, || build_context(plan, case))?;
+    let surface = match unit.task {
+        UnitTask::Realization { germ_index } => synthesize(case, &case.germs[germ_index]),
+        UnitTask::CollocationNode { node_index } => synthesize(case, &case.germs[node_index]),
+        UnitTask::ExplicitSurface => scenario
+            .surface
+            .clone()
+            .expect("deterministic scenarios carry a surface"),
+    };
+    let loss = context.problem.solve_with_reference_using(
+        &surface,
+        context.flat_reference,
+        &context.operator,
+    )?;
+    Ok(UnitRecord {
+        unit: unit.id,
+        case_index: unit.case_index,
+        value: loss.enhancement_factor(),
+        relative_residual: loss.relative_residual(),
+    })
+}
+
+/// Synthesizes the KL realization for one germ vector.
+fn synthesize(case: &PlannedCase, germ: &[f64]) -> RoughSurface {
+    let kl = case.kl.as_ref().expect("stochastic cases carry a KL basis");
+    let mut surface = kl.synthesize(germ);
+    surface.scale_heights(case.variance_restore);
+    surface
+}
+
+/// Builds the shared context of one case: configured problem, Ewald kernels,
+/// and the smooth-surface reference solve.
+pub(crate) fn build_context(plan: &Plan, case: &PlannedCase) -> Result<CaseContext, EngineError> {
+    let scenario = plan.scenario();
+    let spec = scenario.roughness_grid()[case.id.roughness].clone();
+    let frequency = scenario.frequencies()[case.id.frequency];
+    let problem = rough_core::SwmProblem::builder(*scenario.stack(), spec)
+        .frequency(frequency)
+        .cells_per_side(scenario.cells_per_side())
+        .solver(scenario.solver)
+        .assembly(scenario.assembly)
+        .build()?;
+    let operator = problem.operator();
+    let flat = RoughSurface::flat(scenario.cells_per_side(), problem.patch_length());
+    let (flat_reference, _) = problem.absorbed_power_with(&flat, &operator)?;
+    Ok(CaseContext {
+        problem,
+        operator,
+        flat_reference,
+    })
+}
+
+/// The batch simulation engine: a thread-pool executor plus a kernel cache
+/// that persists across runs (a frequency sweep re-run with more realizations
+/// hits the cache for every context it has already prepared).
+///
+/// `Engine` is the compatible facade over the session-oriented
+/// [`crate::run::Run`] API: `engine.run(&scenario)` is exactly
+/// `Run::new(&scenario, engine.run_config())?.execute()`. Use [`Run`]
+/// directly for streaming events, checkpointing, alternative executors or
+/// cost-ordered scheduling.
+#[derive(Debug)]
+pub struct Engine {
+    executor: Arc<ThreadPoolExecutor>,
+    cache: Arc<KernelCache>,
 }
 
 /// Builder for [`Engine`].
@@ -49,19 +283,9 @@ impl EngineBuilder {
 
     /// Builds the engine.
     pub fn build(self) -> Engine {
-        let threads = self.threads.unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        });
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(threads)
-            .build()
-            .expect("thread pool construction cannot fail");
         Engine {
-            pool,
-            threads,
-            cache: KernelCache::new(),
+            executor: Arc::new(ThreadPoolExecutor::new(self.threads.unwrap_or(0))),
+            cache: Arc::new(KernelCache::new()),
         }
     }
 }
@@ -85,7 +309,7 @@ impl Engine {
 
     /// Worker-thread count.
     pub fn threads(&self) -> usize {
-        self.threads
+        self.executor.parallelism()
     }
 
     /// The engine's kernel cache (shared across runs).
@@ -93,17 +317,22 @@ impl Engine {
         &self.cache
     }
 
+    /// A [`RunConfig`] wired to this engine's thread pool and persistent
+    /// cache — the starting point for customized runs (checkpoints,
+    /// observers, schedulers) that still share the engine's cached kernels.
+    pub fn run_config(&self) -> RunConfig {
+        RunConfig::new()
+            .executor_arc(Arc::clone(&self.executor) as Arc<dyn UnitExecutor>)
+            .cache(Arc::clone(&self.cache))
+    }
+
     /// Plans and executes a scenario.
     ///
     /// # Errors
     ///
     /// Propagates planning failures and solver errors.
-    pub fn run(&self, scenario: &Scenario) -> Result<CampaignReport, EngineError> {
-        // Snapshot before planning so KL-cache activity during expansion is
-        // attributed to this run.
-        let stats_before = self.cache.stats();
-        let plan = Plan::new_with_cache(scenario, Some(&self.cache))?;
-        self.execute(&plan, stats_before)
+    pub fn run(&self, scenario: &crate::scenario::Scenario) -> Result<CampaignReport, EngineError> {
+        Run::new(scenario, self.run_config())?.execute()
     }
 
     /// Executes an already expanded plan.
@@ -112,184 +341,15 @@ impl Engine {
     ///
     /// Propagates solver errors from any work unit.
     pub fn run_plan(&self, plan: &Plan) -> Result<CampaignReport, EngineError> {
-        let stats_before = self.cache.stats();
-        self.execute(plan, stats_before)
+        Run::with_plan(plan.clone(), self.run_config()).execute()
     }
-
-    /// Executes a plan, attributing cache activity since `stats_before` to
-    /// the returned report.
-    fn execute(
-        &self,
-        plan: &Plan,
-        stats_before: CacheStats,
-    ) -> Result<CampaignReport, EngineError> {
-        let start = Instant::now();
-        let scenario = plan.scenario();
-
-        // Stage 0: build every distinct context not already cached, in
-        // parallel, then publish them. Building through a representative case
-        // keeps `get_or_build` the only cache write path.
-        let mut pending: Vec<&PlannedCase> = Vec::new();
-        for case in plan.cases() {
-            if !self.cache.contains(case.context_key)
-                && !pending.iter().any(|c| c.context_key == case.context_key)
-            {
-                pending.push(case);
-            }
-        }
-        let built: Vec<Result<(usize, CaseContext), EngineError>> = self.pool.install(|| {
-            pending
-                .par_iter()
-                .map(|case| Ok((case.id.roughness, build_context(scenario, case)?)))
-                .collect()
-        });
-        for (case, result) in pending.iter().zip(built) {
-            let (_, context) = result?;
-            self.cache.get_or_build(case.context_key, || Ok(context))?;
-        }
-
-        // Stage 1: evaluate every unit in parallel; order is restored by the
-        // parallel map, so `records[i]` belongs to `plan.units()[i]`.
-        let results: Vec<Result<UnitRecord, EngineError>> = self.pool.install(|| {
-            plan.units()
-                .par_iter()
-                .map(|unit| self.evaluate_unit(plan, unit))
-                .collect()
-        });
-        let mut records = Vec::with_capacity(results.len());
-        for result in results {
-            records.push(result?);
-        }
-
-        // Aggregate per case.
-        let mut cases = Vec::with_capacity(plan.cases().len());
-        for (case_index, case) in plan.cases().iter().enumerate() {
-            let values: Vec<f64> = records[case.unit_range.clone()]
-                .iter()
-                .map(|r| r.value)
-                .collect();
-            let outcome = match scenario.mode() {
-                EnsembleMode::MonteCarlo { .. } => {
-                    CaseOutcome::MonteCarlo(MonteCarloResult::from_samples(&values))
-                }
-                EnsembleMode::Sscm { order } => {
-                    let grid = case
-                        .sparse_grid
-                        .as_ref()
-                        .expect("SSCM cases carry their sparse grid");
-                    let config = SscmConfig {
-                        order: *order,
-                        surrogate_samples: scenario.surrogate_samples,
-                        seed: derive_stream(
-                            scenario.master_seed(),
-                            SURROGATE_STREAM_OFFSET + case_index as u64,
-                        ),
-                    };
-                    CaseOutcome::Sscm(run_sscm_on_grid(grid, &config, &values))
-                }
-                EnsembleMode::Deterministic => CaseOutcome::Deterministic(values[0]),
-            };
-            let (mean, std_dev) = match &outcome {
-                CaseOutcome::MonteCarlo(mc) => (mc.mean(), mc.std_dev()),
-                CaseOutcome::Sscm(sscm) => (sscm.mean(), sscm.std_dev()),
-                CaseOutcome::Deterministic(value) => (*value, 0.0),
-            };
-            let spec = &scenario.roughness_grid()[case.id.roughness];
-            cases.push(CaseReport {
-                id: case.id,
-                frequency_ghz: scenario.frequencies()[case.id.frequency].as_gigahertz(),
-                sigma: spec.sigma(),
-                correlation_length: spec.correlation().map(|cf| cf.correlation_length()),
-                kl_modes: case.kl_modes(),
-                solves: case.solves(),
-                mean,
-                std_dev,
-                outcome,
-            });
-        }
-
-        let stats_after = self.cache.stats();
-        Ok(CampaignReport {
-            scenario: scenario.name().to_string(),
-            cases,
-            records,
-            cache: CacheStats {
-                hits: stats_after.hits - stats_before.hits,
-                misses: stats_after.misses - stats_before.misses,
-                entries: stats_after.entries,
-                kl_hits: stats_after.kl_hits - stats_before.kl_hits,
-                kl_misses: stats_after.kl_misses - stats_before.kl_misses,
-            },
-            distinct_contexts: plan.distinct_contexts(),
-            total_solves: plan.total_solves(),
-            wall_time: start.elapsed(),
-            threads: self.threads,
-        })
-    }
-
-    /// Evaluates one work unit against its (cached) shared context.
-    fn evaluate_unit(&self, plan: &Plan, unit: &WorkUnit) -> Result<UnitRecord, EngineError> {
-        let scenario = plan.scenario();
-        let case = &plan.cases()[unit.case_index];
-        let context = self
-            .cache
-            .get_or_build(case.context_key, || build_context(scenario, case))?;
-        let surface = match unit.task {
-            UnitTask::Realization { germ_index } => self.synthesize(case, &case.germs[germ_index]),
-            UnitTask::CollocationNode { node_index } => {
-                self.synthesize(case, &case.germs[node_index])
-            }
-            UnitTask::ExplicitSurface => scenario
-                .surface
-                .clone()
-                .expect("deterministic scenarios carry a surface"),
-        };
-        let loss = context.problem.solve_with_reference_using(
-            &surface,
-            context.flat_reference,
-            &context.operator,
-        )?;
-        Ok(UnitRecord {
-            unit: unit.id,
-            case_index: unit.case_index,
-            value: loss.enhancement_factor(),
-            relative_residual: loss.relative_residual(),
-        })
-    }
-
-    /// Synthesizes the KL realization for one germ vector.
-    fn synthesize(&self, case: &PlannedCase, germ: &[f64]) -> RoughSurface {
-        let kl = case.kl.as_ref().expect("stochastic cases carry a KL basis");
-        let mut surface = kl.synthesize(germ);
-        surface.scale_heights(case.variance_restore);
-        surface
-    }
-}
-
-/// Builds the shared context of one case: configured problem, Ewald kernels,
-/// and the smooth-surface reference solve.
-fn build_context(scenario: &Scenario, case: &PlannedCase) -> Result<CaseContext, EngineError> {
-    let spec = scenario.roughness_grid()[case.id.roughness].clone();
-    let frequency = scenario.frequencies()[case.id.frequency];
-    let problem = rough_core::SwmProblem::builder(*scenario.stack(), spec)
-        .frequency(frequency)
-        .cells_per_side(scenario.cells_per_side())
-        .solver(scenario.solver)
-        .assembly(scenario.assembly)
-        .build()?;
-    let operator = problem.operator();
-    let flat = RoughSurface::flat(scenario.cells_per_side(), problem.patch_length());
-    let (flat_reference, _) = problem.absorbed_power_with(&flat, &operator)?;
-    Ok(CaseContext {
-        problem,
-        operator,
-        flat_reference,
-    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::report::CaseOutcome;
+    use crate::scenario::Scenario;
     use rough_core::RoughnessSpec;
     use rough_em::material::Stackup;
     use rough_em::units::{GigaHertz, Micrometers};
@@ -362,5 +422,30 @@ mod tests {
         }
         // Loss grows with frequency for the same surface.
         assert!(report.cases[1].mean > report.cases[0].mean);
+    }
+
+    #[test]
+    fn serial_and_thread_pool_executors_agree_bitwise() {
+        let scenario = small_scenario(4);
+        let serial = Run::new(&scenario, RunConfig::new().executor(SerialExecutor))
+            .unwrap()
+            .execute()
+            .unwrap();
+        let pooled = Run::new(
+            &scenario,
+            RunConfig::new().executor(ThreadPoolExecutor::new(3)),
+        )
+        .unwrap()
+        .execute()
+        .unwrap();
+        assert_eq!(serial.threads, 1);
+        assert_eq!(pooled.threads, 3);
+        let serial_bits: Vec<u64> = serial.records.iter().map(|r| r.value.to_bits()).collect();
+        let pooled_bits: Vec<u64> = pooled.records.iter().map(|r| r.value.to_bits()).collect();
+        assert_eq!(serial_bits, pooled_bits);
+        assert_eq!(
+            serial.cases[0].mean.to_bits(),
+            pooled.cases[0].mean.to_bits()
+        );
     }
 }

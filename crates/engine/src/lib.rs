@@ -14,15 +14,28 @@
 //!    budget) expands into a deduplicated two-stage DAG of [`plan::WorkUnit`]s:
 //!    first the shared per-(grid, frequency, stackup) contexts, then the
 //!    realization/collocation evaluations that depend on them.
-//! 2. **Execution** ([`executor`], [`cache`]) — a thread-pool executor whose
-//!    work-unit seeds and germ draws are fixed at plan time from a master
-//!    seed, so results are **bit-identical regardless of thread count**, and a
-//!    keyed [`cache::KernelCache`] that shares the Ewald-summed periodic
-//!    kernels, the Karhunen–Loève basis and the smooth-surface reference solve
-//!    across all realizations of a case — the dominant redundant cost of the
-//!    serial drivers.
-//! 3. **Results** ([`report`]) — structured per-unit records aggregated into
-//!    mean/variance/CDF case reports with CSV and JSON sinks.
+//! 2. **Execution** ([`run`], [`executor`], [`schedule`], [`cache`]) — a
+//!    session-oriented [`run::Run`] API: a [`run::RunConfig`] picks one of
+//!    three [`executor::UnitExecutor`]s ([`executor::SerialExecutor`],
+//!    [`executor::ThreadPoolExecutor`], or the multi-process
+//!    [`subprocess::SubprocessExecutor`]) and a [`schedule::Scheduler`]
+//!    ([`schedule::PlanOrder`] or longest-first [`schedule::CostOrdered`]).
+//!    Work-unit seeds and germ draws are fixed at plan time from a master
+//!    seed, so results are **bit-identical regardless of executor, worker
+//!    count or schedule**, and a keyed [`cache::KernelCache`] shares the
+//!    Ewald-summed periodic kernels, the Karhunen–Loève basis and the
+//!    smooth-surface reference solve across all realizations of a case — the
+//!    dominant redundant cost of the serial drivers.
+//! 3. **Observability & durability** ([`events`], [`checkpoint`]) — runs
+//!    stream typed [`events::RunEvent`]s (unit started/completed, case
+//!    completed, checkpoint written, run finished with cache statistics) to a
+//!    registered observer or channel while work executes, and optionally
+//!    append every completed record to a JSONL checkpoint;
+//!    [`run::Run::resume`] rebuilds the plan from the checkpoint alone, skips
+//!    finished units and produces a report bit-identical to an uninterrupted
+//!    run.
+//! 4. **Results** ([`report`]) — structured per-unit records aggregated into
+//!    mean/variance/CDF case reports with RFC 4180 CSV and JSON sinks.
 //!
 //! # Example
 //!
@@ -53,16 +66,26 @@
 #![warn(clippy::all)]
 
 pub mod cache;
+pub mod checkpoint;
 mod error;
+pub mod events;
 pub mod executor;
 pub mod plan;
 pub mod report;
 pub mod rng;
+pub mod run;
 pub mod scenario;
+pub mod schedule;
+pub mod subprocess;
+pub mod wire;
 
 pub use cache::{CacheStats, KernelCache};
 pub use error::EngineError;
-pub use executor::{Engine, EngineBuilder};
+pub use events::{ChannelObserver, FnObserver, RunEvent, RunObserver};
+pub use executor::{Engine, EngineBuilder, SerialExecutor, ThreadPoolExecutor, UnitExecutor};
 pub use plan::Plan;
 pub use report::{CampaignReport, CaseOutcome, CaseReport, UnitRecord};
+pub use run::{CancelToken, Run, RunConfig, UnitSink};
 pub use scenario::{CaseId, EnsembleMode, Scenario, ScenarioBuilder};
+pub use schedule::{CostOrdered, PlanOrder, Scheduler};
+pub use subprocess::{maybe_serve_worker, SubprocessExecutor};

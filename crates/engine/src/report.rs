@@ -100,16 +100,19 @@ impl CampaignReport {
 
     /// CSV header matching [`CampaignReport::csv_rows`].
     pub fn csv_header() -> &'static str {
-        "roughness_case,frequency_case,f_ghz,sigma_um,eta_um,kl_modes,solves,mean_pr_ps,std_pr_ps"
+        "scenario,roughness_case,frequency_case,f_ghz,sigma_um,eta_um,kl_modes,solves,mean_pr_ps,std_pr_ps"
     }
 
-    /// One CSV row per case.
+    /// One CSV row per case. Free-form fields (the scenario name) are quoted
+    /// per RFC 4180, so names containing commas, quotes or newlines survive
+    /// a round trip through any conforming CSV reader.
     pub fn csv_rows(&self) -> Vec<String> {
         self.cases
             .iter()
             .map(|case| {
                 format!(
-                    "{},{},{:.6},{},{},{},{},{:.6},{:.6}",
+                    "{},{},{},{:.6},{},{},{},{},{:.6},{:.6}",
+                    csv_escape(&self.scenario),
                     case.id.roughness,
                     case.id.frequency,
                     case.frequency_ghz,
@@ -161,8 +164,13 @@ impl CampaignReport {
         ));
         out.push_str(&format!("  \"total_solves\": {},\n", self.total_solves));
         out.push_str(&format!(
-            "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}}},\n",
-            self.cache.hits, self.cache.misses, self.cache.entries
+            "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}, \
+             \"kl_hits\": {}, \"kl_misses\": {}}},\n",
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.entries,
+            self.cache.kl_hits,
+            self.cache.kl_misses
         ));
         out.push_str("  \"cases\": [\n");
         for (index, case) in self.cases.iter().enumerate() {
@@ -207,6 +215,17 @@ impl CampaignReport {
     /// Propagates I/O failures.
     pub fn write_json(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
         std::fs::write(path, self.to_json())
+    }
+}
+
+/// Quotes one CSV field per RFC 4180: fields containing the separator, a
+/// double quote or a line break are wrapped in double quotes with embedded
+/// quotes doubled; everything else passes through unchanged.
+pub fn csv_escape(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
     }
 }
 
@@ -264,8 +283,60 @@ mod tests {
         let report = sample_report();
         let rows = report.csv_rows();
         assert_eq!(rows.len(), 1);
-        assert!(rows[0].starts_with("0,0,5.0"));
+        // The quoted scenario name leads, then the grid indices.
+        assert!(
+            rows[0].starts_with("\"unit \"\"quoted\"\"\",0,0,5.0"),
+            "row = {}",
+            rows[0]
+        );
         assert!(rows[0].contains("1.0000"), "sigma in um: {}", rows[0]);
+    }
+
+    #[test]
+    fn csv_fields_are_rfc4180_escaped() {
+        assert_eq!(csv_escape("plain-name"), "plain-name");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(csv_escape("two\nlines"), "\"two\nlines\"");
+
+        // Regression: a scenario name with commas and quotes must not change
+        // the parsed column count or corrupt neighbouring fields.
+        let mut report = sample_report();
+        report.scenario = "sweep, \"fast\" preset".into();
+        let row = &report.csv_rows()[0];
+        let parsed = parse_rfc4180(row);
+        assert_eq!(
+            parsed.len(),
+            CampaignReport::csv_header().split(',').count(),
+            "row = {row}"
+        );
+        assert_eq!(parsed[0], "sweep, \"fast\" preset");
+        assert_eq!(parsed[1], "0");
+    }
+
+    /// Minimal RFC 4180 single-line parser (tests only).
+    fn parse_rfc4180(line: &str) -> Vec<String> {
+        let mut fields = Vec::new();
+        let mut field = String::new();
+        let mut chars = line.chars().peekable();
+        let mut quoted = false;
+        while let Some(c) = chars.next() {
+            match c {
+                '"' if quoted => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        quoted = false;
+                    }
+                }
+                '"' => quoted = true,
+                ',' if !quoted => fields.push(std::mem::take(&mut field)),
+                c => field.push(c),
+            }
+        }
+        fields.push(field);
+        fields
     }
 
     #[test]
@@ -273,7 +344,9 @@ mod tests {
         let report = sample_report();
         let json = report.to_json();
         assert!(json.contains("\"scenario\": \"unit \\\"quoted\\\"\""));
-        assert!(json.contains("\"cache\": {\"hits\": 3, \"misses\": 1, \"entries\": 1}"));
+        assert!(json.contains(
+            "\"cache\": {\"hits\": 3, \"misses\": 1, \"entries\": 1, \"kl_hits\": 0, \"kl_misses\": 1}"
+        ));
         assert!(json.contains("\"median\""));
         assert_eq!(
             json.matches('{').count(),

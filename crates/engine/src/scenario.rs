@@ -278,6 +278,11 @@ impl ScenarioBuilder {
                 "frequencies must be positive".into(),
             ));
         }
+        if self.cells_per_side == 0 {
+            return Err(EngineError::InvalidScenario(
+                "the MOM grid needs at least one cell per side (cells_per_side = 0)".into(),
+            ));
+        }
         match mode {
             EnsembleMode::MonteCarlo { realizations: 0 } => {
                 return Err(EngineError::InvalidScenario(
@@ -401,6 +406,23 @@ mod tests {
             .build()
             .unwrap_err();
         assert!(matches!(err, EngineError::InvalidScenario(_)));
+    }
+
+    #[test]
+    fn zero_cells_are_rejected_at_build_time() {
+        let err = Scenario::builder(Stackup::paper_baseline())
+            .roughness(spec())
+            .frequencies([GigaHertz::new(1.0).into()])
+            .cells_per_side(0)
+            .monte_carlo(2)
+            .build()
+            .unwrap_err();
+        match err {
+            EngineError::InvalidScenario(reason) => {
+                assert!(reason.contains("cells_per_side"), "reason = {reason}")
+            }
+            other => panic!("expected InvalidScenario, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,398 @@
+//! Multi-process execution: shard work units across worker processes.
+//!
+//! [`SubprocessExecutor`] re-spawns the **current executable** in worker mode
+//! (signalled by the [`WORKER_ENV`] environment variable), ships each worker
+//! the wire-encoded scenario plus its shard of unit ids over stdin, and
+//! streams completed records back over stdout — one prefixed line per record,
+//! flushed as it completes, so checkpointing and progress events work exactly
+//! as they do in-process. Workers re-expand the plan themselves; plan-time
+//! seeding makes the re-expansion bit-identical, so a subprocess campaign
+//! produces the same [`crate::CampaignReport`] as a serial one.
+//!
+//! Binaries opt in by calling [`maybe_serve_worker`] first thing in `main`:
+//!
+//! ```no_run
+//! // first statement of the driver's `main`:
+//! rough_engine::subprocess::maybe_serve_worker();
+//! // ... normal driver logic ...
+//! ```
+//!
+//! Integration tests opt in with a dedicated `#[test]` entry (a no-op unless
+//! the worker variable is set) and point the executor at it:
+//!
+//! ```ignore
+//! #[test]
+//! fn worker_entry() {
+//!     rough_engine::subprocess::maybe_serve_worker();
+//! }
+//! // parent side:
+//! let executor = SubprocessExecutor::new(2)
+//!     .with_args(["worker_entry", "--exact", "--nocapture"]);
+//! ```
+//!
+//! The protocol ignores stdout lines without the `RSENG-` prefix, so libtest
+//! banners (or a driver's own prints before `maybe_serve_worker`) are
+//! harmless.
+
+use crate::cache::KernelCache;
+use crate::error::EngineError;
+use crate::executor::{evaluate_unit, UnitExecutor};
+use crate::plan::Plan;
+use crate::report::UnitRecord;
+use crate::run::UnitSink;
+use crate::wire;
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+/// Environment variable that switches a spawned process into worker mode.
+pub const WORKER_ENV: &str = "ROUGH_ENGINE_WORKER";
+
+const RECORD_PREFIX: &str = "RSENG-REC ";
+const DONE_PREFIX: &str = "RSENG-DONE";
+const ERR_PREFIX: &str = "RSENG-ERR ";
+
+fn subprocess_error(reason: impl Into<String>) -> EngineError {
+    EngineError::Subprocess(reason.into())
+}
+
+/// Shards work units across worker processes spawned from the current binary.
+#[derive(Debug, Clone)]
+pub struct SubprocessExecutor {
+    workers: usize,
+    program: Option<PathBuf>,
+    args: Vec<String>,
+}
+
+impl SubprocessExecutor {
+    /// Creates an executor with `workers` worker processes (0 means one per
+    /// hardware core).
+    pub fn new(workers: usize) -> Self {
+        let workers = if workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            workers
+        };
+        Self {
+            workers,
+            program: None,
+            args: Vec::new(),
+        }
+    }
+
+    /// Overrides the spawned program (defaults to
+    /// [`std::env::current_exe`]).
+    pub fn with_program(mut self, program: impl Into<PathBuf>) -> Self {
+        self.program = Some(program.into());
+        self
+    }
+
+    /// Sets extra arguments for the spawned program (e.g. a libtest filter
+    /// pointing at a worker-entry `#[test]`).
+    pub fn with_args(mut self, args: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        self.args = args.into_iter().map(Into::into).collect();
+        self
+    }
+
+    fn spawn_worker(&self) -> Result<Child, EngineError> {
+        let program = match &self.program {
+            Some(program) => program.clone(),
+            None => std::env::current_exe()
+                .map_err(|e| subprocess_error(format!("cannot locate current executable: {e}")))?,
+        };
+        Command::new(&program)
+            .args(&self.args)
+            .env(WORKER_ENV, "1")
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .map_err(|e| subprocess_error(format!("cannot spawn {}: {e}", program.display())))
+    }
+
+    /// Drives one worker over one shard of unit ids.
+    fn run_shard(
+        &self,
+        wire_text: &str,
+        shard: &[usize],
+        plan: &Plan,
+        sink: &UnitSink<'_>,
+    ) -> Result<(), EngineError> {
+        let mut child = self.spawn_worker()?;
+        {
+            let mut stdin = child.stdin.take().expect("piped stdin");
+            let ids: Vec<String> = shard.iter().map(|id| id.to_string()).collect();
+            let payload = format!("{wire_text}units {}\n", ids.join(" "));
+            // A worker that dies early closes the pipe; the read loop below
+            // reports the real failure, so a broken pipe here is not fatal.
+            let _ = stdin.write_all(payload.as_bytes());
+        }
+        let stdout = child.stdout.take().expect("piped stdout");
+        let reader = BufReader::new(stdout);
+        let mut received = 0usize;
+        let mut done = false;
+        for line in reader.lines() {
+            let line = line.map_err(|e| {
+                let _ = child.kill();
+                subprocess_error(format!("worker stdout read failed: {e}"))
+            })?;
+            if sink.is_cancelled() {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Ok(());
+            }
+            // Markers are matched anywhere in the line, not just at the
+            // start: harness banners (libtest prints `test name ... ` with no
+            // newline before running a test) can prepend text to the worker's
+            // first output line.
+            if let Some(rest) = find_marker(&line, RECORD_PREFIX) {
+                let record = parse_record_line(rest).ok_or_else(|| {
+                    let _ = child.kill();
+                    subprocess_error(format!("malformed worker record `{line}`"))
+                })?;
+                if record.unit >= plan.units().len() {
+                    let _ = child.kill();
+                    return Err(subprocess_error(format!(
+                        "worker reported out-of-range unit {}",
+                        record.unit
+                    )));
+                }
+                sink.unit_started(&plan.units()[record.unit]);
+                sink.complete(record)?;
+                received += 1;
+            } else if let Some(rest) = find_marker(&line, ERR_PREFIX) {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err(subprocess_error(format!("worker error: {rest}")));
+            } else if find_marker(&line, DONE_PREFIX).is_some() {
+                done = true;
+            }
+            // Anything else (libtest banners, driver prints) is ignored.
+        }
+        let status = child
+            .wait()
+            .map_err(|e| subprocess_error(format!("worker wait failed: {e}")))?;
+        if !done || received != shard.len() {
+            return Err(subprocess_error(format!(
+                "worker exited ({status}) after {received} of {} records{}",
+                shard.len(),
+                if done { "" } else { " without completing" }
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl UnitExecutor for SubprocessExecutor {
+    fn name(&self) -> &'static str {
+        "subprocess"
+    }
+
+    fn parallelism(&self) -> usize {
+        self.workers
+    }
+
+    fn execute(
+        &self,
+        plan: &Plan,
+        order: &[usize],
+        _cache: &KernelCache,
+        sink: &UnitSink<'_>,
+    ) -> Result<(), EngineError> {
+        if order.is_empty() || sink.is_cancelled() {
+            return Ok(());
+        }
+        let wire_text = wire::encode_scenario(plan.scenario());
+        // Contiguous slices of the *scheduled* order: both shipped schedulers
+        // keep a case's units adjacent (plan order by construction,
+        // cost-ordered by stable per-case sort), so contiguous shards confine
+        // each case's context build — Ewald kernels, flat-reference solve,
+        // KL basis, all rebuilt per worker process — to as few workers as
+        // possible while still balancing unit counts to within one.
+        let workers = self.workers.min(order.len()).max(1);
+        let base = order.len() / workers;
+        let extra = order.len() % workers;
+        let mut shards: Vec<Vec<usize>> = Vec::with_capacity(workers);
+        let mut cursor = 0usize;
+        for index in 0..workers {
+            let len = base + usize::from(index < extra);
+            shards.push(order[cursor..cursor + len].to_vec());
+            cursor += len;
+        }
+
+        let results: Vec<Result<(), EngineError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .iter()
+                .map(|shard| scope.spawn(|| self.run_shard(&wire_text, shard, plan, sink)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker driver thread panicked"))
+                .collect()
+        });
+        results.into_iter().collect()
+    }
+}
+
+/// Returns the text after `marker` when the line contains it (markers are
+/// unique enough that harness noise cannot produce them by accident).
+fn find_marker<'a>(line: &'a str, marker: &str) -> Option<&'a str> {
+    line.find(marker).map(|start| &line[start + marker.len()..])
+}
+
+fn record_wire_line(record: &UnitRecord) -> String {
+    format!(
+        "{RECORD_PREFIX}{} {} {:016x} {:016x}",
+        record.unit,
+        record.case_index,
+        record.value.to_bits(),
+        record.relative_residual.to_bits()
+    )
+}
+
+fn parse_record_line(rest: &str) -> Option<UnitRecord> {
+    let mut tokens = rest.split_ascii_whitespace();
+    let unit = tokens.next()?.parse().ok()?;
+    let case_index = tokens.next()?.parse().ok()?;
+    let value = f64::from_bits(u64::from_str_radix(tokens.next()?, 16).ok()?);
+    let relative_residual = f64::from_bits(u64::from_str_radix(tokens.next()?, 16).ok()?);
+    Some(UnitRecord {
+        unit,
+        case_index,
+        value,
+        relative_residual,
+    })
+}
+
+/// Serves the worker protocol and exits the process — **when** [`WORKER_ENV`]
+/// is set; a no-op otherwise. Call it first thing in every binary that may
+/// host a [`SubprocessExecutor`].
+pub fn maybe_serve_worker() {
+    if std::env::var_os(WORKER_ENV).is_none() {
+        return;
+    }
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let code = match serve(stdin.lock(), stdout.lock()) {
+        Ok(()) => 0,
+        Err(error) => {
+            // Report through the protocol so the parent sees the cause even
+            // when stderr is swallowed.
+            let stdout = std::io::stdout();
+            let mut out = stdout.lock();
+            let _ = writeln!(out, "{ERR_PREFIX}{error}");
+            let _ = out.flush();
+            1
+        }
+    };
+    std::process::exit(code);
+}
+
+/// The worker side of the protocol: reads the scenario and a unit-id list
+/// from `input`, evaluates each unit serially, and streams prefixed record
+/// lines to `output`.
+fn serve(input: impl BufRead, mut output: impl Write) -> Result<(), EngineError> {
+    let mut scenario_text = String::new();
+    let mut unit_ids: Vec<usize> = Vec::new();
+    for line in input.lines() {
+        let line = line.map_err(|e| subprocess_error(format!("worker stdin read failed: {e}")))?;
+        if let Some(rest) = line.strip_prefix("units ") {
+            for token in rest.split_ascii_whitespace() {
+                unit_ids.push(
+                    token
+                        .parse()
+                        .map_err(|_| subprocess_error(format!("malformed unit id `{token}`")))?,
+                );
+            }
+            break;
+        }
+        scenario_text.push_str(&line);
+        scenario_text.push('\n');
+    }
+    let scenario = wire::decode_scenario(&scenario_text)?;
+    let plan = Plan::new(&scenario)?;
+    let cache = KernelCache::new();
+    // Detach the protocol stream from any partial line the host harness may
+    // have left on stdout (libtest prints `test name ... ` with no newline).
+    writeln!(output).map_err(|e| subprocess_error(format!("worker stdout write failed: {e}")))?;
+    for unit_id in &unit_ids {
+        let unit = plan.units().get(*unit_id).ok_or_else(|| {
+            subprocess_error(format!("unit id {unit_id} out of range for this plan"))
+        })?;
+        let record = evaluate_unit(&plan, unit, &cache)?;
+        writeln!(output, "{}", record_wire_line(&record))
+            .and_then(|()| output.flush())
+            .map_err(|e| subprocess_error(format!("worker stdout write failed: {e}")))?;
+    }
+    writeln!(output, "{DONE_PREFIX} {}", unit_ids.len())
+        .and_then(|()| output.flush())
+        .map_err(|e| subprocess_error(format!("worker stdout write failed: {e}")))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+    use rough_core::RoughnessSpec;
+    use rough_em::material::Stackup;
+    use rough_em::units::{GigaHertz, Micrometers};
+
+    #[test]
+    fn record_lines_roundtrip_bitwise() {
+        let record = UnitRecord {
+            unit: 17,
+            case_index: 3,
+            value: 0.1 + 0.2,
+            relative_residual: 4.9e-324, // smallest subnormal
+        };
+        let line = record_wire_line(&record);
+        let parsed = parse_record_line(line.strip_prefix(RECORD_PREFIX).unwrap()).unwrap();
+        assert_eq!(parsed, record);
+    }
+
+    #[test]
+    fn serve_evaluates_requested_units_and_reports_done() {
+        let scenario = Scenario::builder(Stackup::paper_baseline())
+            .name("worker-serve-unit")
+            .roughness(RoughnessSpec::gaussian(
+                Micrometers::new(1.0),
+                Micrometers::new(1.0),
+            ))
+            .frequencies([GigaHertz::new(5.0).into()])
+            .cells_per_side(6)
+            .max_kl_modes(2)
+            .monte_carlo(3)
+            .master_seed(5)
+            .build()
+            .unwrap();
+        let input = format!("{}units 2 0\n", wire::encode_scenario(&scenario));
+        let mut output = Vec::new();
+        serve(input.as_bytes(), &mut output).unwrap();
+        let text = String::from_utf8(output).unwrap();
+        let records: Vec<UnitRecord> = text
+            .lines()
+            .filter_map(|l| l.strip_prefix(RECORD_PREFIX))
+            .filter_map(parse_record_line)
+            .collect();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].unit, 2);
+        assert_eq!(records[1].unit, 0);
+        assert!(text.lines().any(|l| l == format!("{DONE_PREFIX} 2")));
+
+        // Determinism: the worker's record for unit 0 matches an in-process
+        // evaluation bit for bit.
+        let plan = Plan::new(&scenario).unwrap();
+        let cache = KernelCache::new();
+        let local = evaluate_unit(&plan, &plan.units()[0], &cache).unwrap();
+        assert_eq!(records[1].value.to_bits(), local.value.to_bits());
+    }
+
+    #[test]
+    fn serve_rejects_bad_input() {
+        let mut out = Vec::new();
+        assert!(serve("garbage\nunits 0\n".as_bytes(), &mut out).is_err());
+    }
+}

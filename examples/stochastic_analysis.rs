@@ -8,6 +8,12 @@
 //! units run in parallel with bit-identical statistics for the fixed master
 //! seed regardless of thread count.
 //!
+//! The Monte-Carlo campaign additionally demonstrates the session-oriented
+//! `Run` API: it streams typed `RunEvent`s through a channel while the units
+//! execute, appends every completed record to a JSONL checkpoint, and then
+//! shows that `Run::resume` on that checkpoint reproduces the report bit for
+//! bit without re-running a single solve.
+//!
 //! Run with `cargo run --release --example stochastic_analysis`.
 
 use roughsim::engine::CaseOutcome;
@@ -29,7 +35,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .master_seed(5)
     };
     let engine = Engine::new();
-    let mc = engine.run(&base("mc").monte_carlo(24).build()?)?;
+
+    // Monte-Carlo through the session API: streamed events + JSONL checkpoint
+    // (engine.run_config() shares the engine's persistent kernel cache).
+    let checkpoint = std::env::temp_dir().join("roughsim_stochastic_analysis.jsonl");
+    let (config, events) = engine
+        .run_config()
+        .checkpoint(&checkpoint)
+        .observer_channel();
+    let mc = Run::new(&base("mc").monte_carlo(24).build()?, config)?.execute()?;
+    let completed_events = events
+        .try_iter()
+        .filter(|e| matches!(e, RunEvent::UnitCompleted { .. }))
+        .count();
+    println!(
+        "streamed {completed_events} unit-completion events; checkpoint at {}",
+        checkpoint.display()
+    );
+
+    // Resuming a finished checkpoint re-runs nothing and rebuilds the same
+    // report bit for bit — the same path an interrupted campaign takes.
+    let resumed = Run::resume(&checkpoint, engine.run_config())?;
+    assert_eq!(resumed.remaining_units(), 0);
+    let replayed = resumed.execute()?;
+    assert_eq!(
+        replayed.cases[0].mean.to_bits(),
+        mc.cases[0].mean.to_bits(),
+        "resume must be bit-identical"
+    );
+    println!("checkpoint resume rebuilt the report bit-identically (0 units re-run)");
+    std::fs::remove_file(&checkpoint).ok();
+
     let sscm1 = engine.run(&base("sscm1").sscm(1).build()?)?;
     let sscm2 = engine.run(&base("sscm2").sscm(2).build()?)?;
 

@@ -24,8 +24,11 @@
 //! * [`stochastic`] — Monte-Carlo and sparse-grid stochastic collocation (SSCM).
 //! * [`engine`] — the parallel, cache-aware batch engine: declarative
 //!   [`Scenario`](engine::Scenario)s (stackup × roughness grid × frequency
-//!   sweep × ensemble) planned into deduplicated work units and executed on a
-//!   thread pool with deterministic seeding.
+//!   sweep × ensemble) planned into deduplicated work units and executed
+//!   through the session-oriented [`Run`](engine::Run) API — pluggable
+//!   executors (serial / thread pool / worker subprocesses), plan-order or
+//!   cost-ordered scheduling, streamed [`RunEvent`](engine::RunEvent)s, and
+//!   JSONL unit checkpoints that resume bit-identically.
 //!
 //! # Quickstart
 //!
@@ -62,6 +65,33 @@ pub use rough_surface as surface;
 
 /// Commonly used items, re-exported for convenient glob import.
 ///
+/// # Engine entry points
+///
+/// Two levels of engine API are exported:
+///
+/// * [`Engine`](rough_engine::Engine) — the one-call facade:
+///   `Engine::new().run(&scenario)` plans and executes on a hardware-sized
+///   thread pool with a persistent kernel cache.
+/// * [`Run`](rough_engine::Run) + [`RunConfig`](rough_engine::RunConfig) —
+///   the session-oriented service API. A `RunConfig` picks the executor
+///   ([`SerialExecutor`](rough_engine::SerialExecutor),
+///   [`ThreadPoolExecutor`](rough_engine::ThreadPoolExecutor) or the
+///   multi-process [`SubprocessExecutor`](rough_engine::SubprocessExecutor)),
+///   the schedule ([`PlanOrder`](rough_engine::PlanOrder) or longest-first
+///   [`CostOrdered`](rough_engine::CostOrdered)), an optional JSONL
+///   checkpoint path, and an observer that receives typed
+///   [`RunEvent`](rough_engine::RunEvent)s (`UnitStarted`, `UnitCompleted`,
+///   `CaseCompleted`, `CheckpointWritten`, `RunFinished` with cache
+///   statistics) while the campaign executes.
+///   [`Run::resume`](rough_engine::Run::resume) continues an interrupted
+///   campaign from its checkpoint and — because all randomness is fixed at
+///   plan time — produces a report bit-identical to an uninterrupted run,
+///   under any executor or thread count.
+///
+/// Binaries that want multi-process execution must call
+/// [`maybe_serve_worker`](rough_engine::subprocess::maybe_serve_worker)
+/// first thing in `main`.
+///
 /// # Near-field assembly defaults
 ///
 /// Every solver entry point ([`SwmProblem`](rough_core::SwmProblem),
@@ -89,7 +119,10 @@ pub mod prelude {
         material::{Conductor, Dielectric, Stackup},
         units::{GigaHertz, Hertz, Meters, Micrometers, OhmMeters},
     };
-    pub use rough_engine::{Engine, Scenario};
+    pub use rough_engine::{
+        CancelToken, CostOrdered, Engine, PlanOrder, Run, RunConfig, RunEvent, Scenario,
+        SerialExecutor, SubprocessExecutor, ThreadPoolExecutor,
+    };
     pub use rough_numerics::complex::c64;
     pub use rough_stochastic::{
         collocation::{SscmConfig, SscmResult},
