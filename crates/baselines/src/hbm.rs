@@ -1,6 +1,6 @@
 //! Hemispherical-boss model (HBM) of rough-surface loss.
 //!
-//! Hall et al. (paper ref. [5]) model surface protrusions as conducting
+//! Hall et al. (paper ref. \[5\]) model surface protrusions as conducting
 //! hemispherical bosses sitting on a flat plane and use the analytic
 //! eddy-current absorption of a conducting sphere in the quasi-uniform magnetic
 //! field of the quasi-TEM wave. The paper uses this model as the *large

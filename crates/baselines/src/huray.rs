@@ -1,7 +1,7 @@
 //! The Huray "snowball" roughness model.
 //!
 //! The modern descendant of the hemispherical-boss idea (Huray et al., and the
-//! causal transmission-line methodology of paper ref. [5]): the treated foil
+//! causal transmission-line methodology of paper ref. \[5\]): the treated foil
 //! surface is modelled as clusters of conducting spheres ("snowballs") sitting
 //! on square tiles, and the extra loss is the sum of the spheres' scattering /
 //! absorption cross-sections relative to the tile's flat Joule loss:

@@ -1,12 +1,12 @@
 //! Second-order small-perturbation (SPM2-style) roughness-loss model.
 //!
 //! The paper compares SWM against the closed-form SPM2 result of Gu, Tsang &
-//! Braunisch (ref. [8]), which is accurate for *small* roughness (gentle RMS
+//! Braunisch (ref. \[8\]), which is accurate for *small* roughness (gentle RMS
 //! slope, skin depth not much smaller than the roughness height) and — unlike
 //! the Hammerstad formula — is sensitive to the full roughness spectrum, not
 //! just σ.
 //!
-//! The exact closed form of ref. [8] is not reprinted in the paper, so this
+//! The exact closed form of ref. \[8\] is not reprinted in the paper, so this
 //! module re-derives a second-order spectral model with the same structure and
 //! the same documented limits (see `DESIGN.md`, substitution table):
 //!

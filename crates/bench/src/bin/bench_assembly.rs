@@ -1,0 +1,188 @@
+//! Assembly throughput benchmark: scalar vs batched Ewald kernel evaluation,
+//! emitted as machine-readable `BENCH_assembly.json` for CI trend tracking.
+//!
+//! Assembles the Fig. 5 half-spheroid scenario (12 µm tile, 16 GHz — the
+//! `|k|L ≈ 33` high-frequency regime where the conductor-side spectral series
+//! is widest) at 8/12/16 cells per side under both [`KernelEval`] strategies,
+//! recording kernel-bearing matrix entries per second and the end-to-end
+//! solve time (assembly + dense factorization + power integral). Every run
+//! also cross-checks that the batched and scalar system matrices agree to
+//! ≤ 1e-12 relative — the benchmark enforces the equivalence guarantee it
+//! advertises.
+//!
+//! `--full` has no effect here; the grid sizes are fixed so the emitted
+//! numbers are comparable across runs.
+
+use rough_core::assembly3d::assemble_system_with;
+use rough_core::mesh::PatchMesh;
+use rough_core::solver::{solve_system, SolverKind};
+use rough_core::{AssemblyScheme, KernelEval};
+use rough_em::material::Stackup;
+use rough_em::units::GigaHertz;
+use rough_numerics::linalg::CMatrix;
+use rough_surface::RoughSurface;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// The Fig. 5 conducting half-spheroid: h = 5.8 µm, base radius 4.7 µm, on a
+/// 12 µm periodic tile.
+fn fig5_surface(cells: usize) -> RoughSurface {
+    let tile = 12.0e-6;
+    let (height, base_radius) = (5.8e-6, 4.7e-6);
+    RoughSurface::from_fn(cells, tile, |x, y| {
+        let dx = x - 0.5 * tile;
+        let dy = y - 0.5 * tile;
+        let r2 = (dx * dx + dy * dy) / (base_radius * base_radius);
+        if r2 < 1.0 {
+            height * (1.0 - r2).sqrt()
+        } else {
+            0.0
+        }
+    })
+}
+
+struct Timing {
+    assembly_s: f64,
+    solve_s: f64,
+    matrix: CMatrix,
+}
+
+fn run_once(surface: &RoughSurface, eval: KernelEval) -> Timing {
+    let stack = Stackup::paper_baseline();
+    let frequency = GigaHertz::new(16.0).into();
+    let mesh = PatchMesh::from_surface(surface);
+    let length = surface.patch_length();
+    let g1 = rough_em::green::PeriodicGreen3d::new(stack.k1(frequency), length);
+    let g2 = rough_em::green::PeriodicGreen3d::new(stack.k2(frequency), length);
+
+    let start = Instant::now();
+    let system = assemble_system_with(
+        &mesh,
+        &g1,
+        &g2,
+        stack.beta(frequency),
+        stack.k1(frequency),
+        AssemblyScheme::default(),
+        eval,
+    );
+    let assembly_s = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let (_solution, stats) = solve_system(&system.matrix, &system.rhs, SolverKind::DirectLu)
+        .expect("dense solve of the benchmark system");
+    let solve_s = start.elapsed().as_secs_f64();
+    assert!(
+        stats.relative_residual < 1e-8,
+        "benchmark solve did not converge: residual {}",
+        stats.relative_residual
+    );
+
+    Timing {
+        assembly_s,
+        solve_s,
+        matrix: system.matrix,
+    }
+}
+
+/// Largest entry-wise difference between the two system matrices, relative to
+/// the largest scalar-path entry magnitude.
+fn max_relative_difference(a: &CMatrix, b: &CMatrix) -> f64 {
+    let mut scale = 0.0f64;
+    for i in 0..a.rows() {
+        for j in 0..a.cols() {
+            scale = scale.max(a[(i, j)].abs());
+        }
+    }
+    let mut max = 0.0f64;
+    for i in 0..a.rows() {
+        for j in 0..a.cols() {
+            max = max.max((a[(i, j)] - b[(i, j)]).abs());
+        }
+    }
+    max / scale
+}
+
+fn main() {
+    let grids = [8usize, 12, 16];
+    println!("assembly benchmark: Fig. 5 half-spheroid, 16 GHz, scalar vs batched kernel path");
+    println!(
+        "{:>6} {:>10} {:>14} {:>14} {:>9} {:>14} {:>14} {:>9} {:>12}",
+        "cells",
+        "unknowns",
+        "scalar asm",
+        "batched asm",
+        "speedup",
+        "scalar e2e",
+        "batched e2e",
+        "speedup",
+        "max rel diff"
+    );
+
+    let mut rows = Vec::new();
+    for &cells in &grids {
+        let surface = fig5_surface(cells);
+        let n = cells * cells;
+        // Kernel-bearing interaction entries: two media × N² (S, D) pairs.
+        let entries = 2 * n * n;
+
+        let scalar = run_once(&surface, KernelEval::Scalar);
+        let batched = run_once(&surface, KernelEval::Batched);
+        let diff = max_relative_difference(&scalar.matrix, &batched.matrix);
+        assert!(
+            diff <= 1e-12,
+            "cells={cells}: batched assembly diverged from the scalar oracle ({diff:.3e})"
+        );
+
+        let scalar_e2e = scalar.assembly_s + scalar.solve_s;
+        let batched_e2e = batched.assembly_s + batched.solve_s;
+        let assembly_speedup = scalar.assembly_s / batched.assembly_s;
+        let solve_speedup = scalar_e2e / batched_e2e;
+        println!(
+            "{:>6} {:>10} {:>12.2} s {:>12.2} s {:>8.2}x {:>12.2} s {:>12.2} s {:>8.2}x {:>12.2e}",
+            cells,
+            2 * n,
+            scalar.assembly_s,
+            batched.assembly_s,
+            assembly_speedup,
+            scalar_e2e,
+            batched_e2e,
+            solve_speedup,
+            diff
+        );
+
+        rows.push(format!(
+            "    {{\"cells\": {cells}, \"unknowns\": {unknowns}, \"entries\": {entries}, \
+             \"scalar_assembly_s\": {sa:.4}, \"batched_assembly_s\": {ba:.4}, \
+             \"scalar_entries_per_sec\": {se:.1}, \"batched_entries_per_sec\": {be:.1}, \
+             \"assembly_speedup\": {asp:.3}, \
+             \"scalar_solve_s\": {ss:.4}, \"batched_solve_s\": {bs:.4}, \
+             \"scalar_end_to_end_s\": {see:.4}, \"batched_end_to_end_s\": {bee:.4}, \
+             \"end_to_end_speedup\": {esp:.3}, \"max_rel_diff\": {diff:.3e}}}",
+            unknowns = 2 * n,
+            sa = scalar.assembly_s,
+            ba = batched.assembly_s,
+            se = entries as f64 / scalar.assembly_s.max(1e-9),
+            be = entries as f64 / batched.assembly_s.max(1e-9),
+            asp = assembly_speedup,
+            ss = scalar.solve_s,
+            bs = batched.solve_s,
+            see = scalar_e2e,
+            bee = batched_e2e,
+            esp = solve_speedup,
+        ));
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"benchmark\": \"assembly-kernel-eval\",");
+    let _ = writeln!(json, "  \"scenario\": \"fig5-half-spheroid\",");
+    let _ = writeln!(json, "  \"frequency_ghz\": 16.0,");
+    let _ = writeln!(json, "  \"assembly_scheme\": \"locally-corrected\",");
+    let _ = writeln!(json, "  \"equivalence_bound\": 1e-12,");
+    let _ = writeln!(json, "  \"cases\": [");
+    let _ = writeln!(json, "{}", rows.join(",\n"));
+    let _ = writeln!(json, "  ]");
+    json.push_str("}\n");
+
+    std::fs::write("BENCH_assembly.json", &json).expect("write BENCH_assembly.json");
+    println!("wrote BENCH_assembly.json (batched matrices verified against the scalar oracle)");
+}

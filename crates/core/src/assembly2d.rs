@@ -19,16 +19,36 @@
 //! smooth remainder, with periodic wrap-around in the near test.
 
 use crate::mesh::{ContourMesh, Segment2d};
-use crate::nearfield::{AssemblyScheme, NearFieldPolicy};
+use crate::nearfield::{AssemblyScheme, KernelEval, NearFieldPolicy};
 use rough_em::green::free_space::{
     ln_integral_over_segment, ln_r_integral_over_segment, subtended_angle_of_segment,
 };
-use rough_em::green::PeriodicGreen2d;
+use rough_em::green::{Green2dSample, PeriodicGreen2d, Separation2d};
 use rough_numerics::complex::c64;
 use rough_numerics::linalg::CMatrix;
 use rough_numerics::quadrature::gauss_legendre_on;
 use rough_numerics::quadrature2d::AdaptiveLineGauss;
 use std::f64::consts::PI;
+
+/// Evaluates gathered far-field separations either through the batched 2D
+/// kernel API or — the oracle path — one scalar sample call per entry.
+fn eval_gathered_2d(
+    green: &PeriodicGreen2d,
+    eval: KernelEval,
+    seps: &[Separation2d],
+    out: &mut Vec<Green2dSample>,
+) {
+    out.clear();
+    out.resize(seps.len(), Green2dSample::default());
+    match eval {
+        KernelEval::Batched => green.eval_batch_samples(seps, out),
+        KernelEval::Scalar => {
+            for (sep, slot) in seps.iter().zip(out.iter_mut()) {
+                *slot = green.sample(sep.dx, sep.dz);
+            }
+        }
+    }
+}
 
 /// Assembled single-layer and double-layer blocks for one medium (2D).
 #[derive(Debug, Clone)]
@@ -49,20 +69,46 @@ pub fn assemble_medium_2d(
     green: &PeriodicGreen2d,
     scheme: AssemblyScheme,
 ) -> MediumBlocks2d {
+    assemble_medium_2d_with(mesh, green, scheme, KernelEval::default())
+}
+
+/// Assembles the 2D blocks with an explicit kernel evaluation strategy.
+///
+/// [`KernelEval::Batched`] (the [`assemble_medium_2d`] default) gathers the
+/// far-field separations of every matrix row into one blocked
+/// [`PeriodicGreen2d::eval_batch_samples`] call; [`KernelEval::Scalar`]
+/// evaluates the same points per entry and is the equivalence oracle. Near
+/// entries (fixed-rule legacy quadrature and the corrected scheme's adaptive
+/// remainder) keep their existing per-point evaluation in both modes.
+///
+/// # Panics
+///
+/// Panics if the kernel period does not match the contour period.
+pub fn assemble_medium_2d_with(
+    mesh: &ContourMesh,
+    green: &PeriodicGreen2d,
+    scheme: AssemblyScheme,
+    eval: KernelEval,
+) -> MediumBlocks2d {
     assert!(
         (green.period() - mesh.period()).abs() < 1e-9 * mesh.period(),
         "Green's function period must match the contour period"
     );
     match scheme {
-        AssemblyScheme::Legacy => assemble_medium_2d_legacy(mesh, green),
+        AssemblyScheme::Legacy => assemble_medium_2d_legacy(mesh, green, eval),
         AssemblyScheme::LocallyCorrected(policy) => {
-            assemble_medium_2d_corrected(mesh, green, policy)
+            assemble_medium_2d_corrected(mesh, green, policy, eval)
         }
     }
 }
 
-/// The seed near-field treatment, kept bit-for-bit as the comparison baseline.
-fn assemble_medium_2d_legacy(mesh: &ContourMesh, green: &PeriodicGreen2d) -> MediumBlocks2d {
+/// The seed near-field treatment, kept as the comparison baseline (the far
+/// field is gathered into row panels; near quadrature is unchanged).
+fn assemble_medium_2d_legacy(
+    mesh: &ContourMesh,
+    green: &PeriodicGreen2d,
+    eval: KernelEval,
+) -> MediumBlocks2d {
     let n = mesh.len();
     let segments = mesh.segments();
     let width = mesh.segment_width();
@@ -74,13 +120,19 @@ fn assemble_medium_2d_legacy(mesh: &ContourMesh, green: &PeriodicGreen2d) -> Med
     let log_part = -ln_integral_over_segment(width) / (2.0 * PI);
     let self_single = c64::from_real(log_part) + green.regularized_at_origin() * width;
 
+    let mut far_js: Vec<usize> = Vec::with_capacity(n);
+    let mut far_seps: Vec<Separation2d> = Vec::with_capacity(n);
+    let mut far_out: Vec<Green2dSample> = Vec::with_capacity(n);
+
     for i in 0..n {
         single[(i, i)] = self_single;
+        let si = segments[i];
+        far_js.clear();
+        far_seps.clear();
         for j in 0..n {
             if i == j {
                 continue;
             }
-            let si = segments[i];
             let sj = segments[j];
             let dx = si.x - sj.x;
             let dz = si.z - sj.z;
@@ -95,8 +147,13 @@ fn assemble_medium_2d_legacy(mesh: &ContourMesh, green: &PeriodicGreen2d) -> Med
                 double[(i, j)] = dij;
                 continue;
             }
+            far_js.push(j);
+            far_seps.push(Separation2d::new(dx, dz));
+        }
 
-            let sample = green.sample(dx, dz);
+        eval_gathered_2d(green, eval, &far_seps, &mut far_out);
+        for (sample, &j) in far_out.iter().zip(&far_js) {
+            let sj = segments[j];
             single[(i, j)] = sample.value * width;
             // ∇'G = −∇_Δ G
             let dij = -(sample.gradient[0] * sj.normal[0] + sample.gradient[1] * sj.normal[1])
@@ -112,11 +169,13 @@ fn assemble_medium_2d_legacy(mesh: &ContourMesh, green: &PeriodicGreen2d) -> Med
 }
 
 /// Locally corrected 2D assembly: analytic `ln R` extraction plus adaptive
-/// quadrature of the smooth remainder on every near (minimum-image) pair.
+/// quadrature of the smooth remainder on every near (minimum-image) pair,
+/// with the far-field midpoint samples gathered into blocked row panels.
 fn assemble_medium_2d_corrected(
     mesh: &ContourMesh,
     green: &PeriodicGreen2d,
     policy: NearFieldPolicy,
+    eval: KernelEval,
 ) -> MediumBlocks2d {
     let n = mesh.len();
     let segments = mesh.segments();
@@ -131,8 +190,14 @@ fn assemble_medium_2d_corrected(
     let mut single = CMatrix::zeros(n, n);
     let mut double = CMatrix::zeros(n, n);
 
+    let mut far_js: Vec<usize> = Vec::with_capacity(n);
+    let mut far_seps: Vec<Separation2d> = Vec::with_capacity(n);
+    let mut far_out: Vec<Green2dSample> = Vec::with_capacity(n);
+
     for i in 0..n {
         let si = segments[i];
+        far_js.clear();
+        far_seps.clear();
         for j in 0..n {
             let sj = segments[j];
             if i == j {
@@ -153,8 +218,13 @@ fn assemble_medium_2d_corrected(
                 double[(i, j)] = d;
                 continue;
             }
+            far_js.push(j);
+            far_seps.push(Separation2d::new(dx, dz));
+        }
 
-            let sample = green.sample(dx, dz);
+        eval_gathered_2d(green, eval, &far_seps, &mut far_out);
+        for (sample, &j) in far_out.iter().zip(&far_js) {
+            let sj = segments[j];
             single[(i, j)] = sample.value * width;
             let dij = -(sample.gradient[0] * sj.normal[0] + sample.gradient[1] * sj.normal[1])
                 * (sj.jacobian * width);
@@ -267,9 +337,23 @@ pub fn assemble_system_2d(
     k1: c64,
     scheme: AssemblyScheme,
 ) -> SwmSystem2d {
+    assemble_system_2d_with(mesh, g1, g2, beta, k1, scheme, KernelEval::default())
+}
+
+/// Assembles the full coupled 2D system with an explicit kernel evaluation
+/// strategy (see [`assemble_medium_2d_with`]).
+pub fn assemble_system_2d_with(
+    mesh: &ContourMesh,
+    g1: &PeriodicGreen2d,
+    g2: &PeriodicGreen2d,
+    beta: c64,
+    k1: c64,
+    scheme: AssemblyScheme,
+    eval: KernelEval,
+) -> SwmSystem2d {
     let n = mesh.len();
-    let m1 = assemble_medium_2d(mesh, g1, scheme);
-    let m2 = assemble_medium_2d(mesh, g2, scheme);
+    let m1 = assemble_medium_2d_with(mesh, g1, scheme, eval);
+    let m2 = assemble_medium_2d_with(mesh, g2, scheme, eval);
 
     let mut matrix = CMatrix::zeros(2 * n, 2 * n);
     let half = c64::from_real(0.5);
@@ -360,6 +444,47 @@ mod tests {
             (direct - seam).abs() < 1e-9 * direct.abs(),
             "direct {direct} vs seam {seam}"
         );
+    }
+
+    #[test]
+    fn batched_and_scalar_assembly_agree_for_both_schemes() {
+        let profile = Profile1d::new(
+            5e-6,
+            (0..10)
+                .map(|i| 0.3e-6 * (2.0 * std::f64::consts::PI * i as f64 / 10.0).sin())
+                .collect(),
+        )
+        .unwrap();
+        let mesh = ContourMesh::from_profile(&profile);
+        for &k in &[c64::new(1.0e6, 1.0e6), c64::new(2.0e5, 0.0)] {
+            let g = PeriodicGreen2d::new(k, 5e-6);
+            for scheme in both_schemes() {
+                let scalar = assemble_medium_2d_with(&mesh, &g, scheme, KernelEval::Scalar);
+                let batched = assemble_medium_2d_with(&mesh, &g, scheme, KernelEval::Batched);
+                let mut scale = 0.0f64;
+                for i in 0..mesh.len() {
+                    for j in 0..mesh.len() {
+                        scale = scale
+                            .max(scalar.single_layer[(i, j)].abs())
+                            .max(scalar.double_layer[(i, j)].abs());
+                    }
+                }
+                for i in 0..mesh.len() {
+                    for j in 0..mesh.len() {
+                        let (a, b) = (scalar.single_layer[(i, j)], batched.single_layer[(i, j)]);
+                        assert!(
+                            (a - b).abs() <= 1e-12 * (scale + a.abs()),
+                            "{scheme:?} S[{i}][{j}]: {a} vs {b}"
+                        );
+                        let (a, b) = (scalar.double_layer[(i, j)], batched.double_layer[(i, j)]);
+                        assert!(
+                            (a - b).abs() <= 1e-12 * (scale + a.abs()),
+                            "{scheme:?} D[{i}][{j}]: {a} vs {b}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

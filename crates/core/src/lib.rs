@@ -65,7 +65,7 @@ pub mod swm2d;
 pub mod swm3d;
 
 pub use error::SwmError;
-pub use nearfield::{AssemblyScheme, NearFieldPolicy};
+pub use nearfield::{AssemblyScheme, KernelEval, NearFieldPolicy};
 pub use solver::SolverKind;
 pub use spec::RoughnessSpec;
 pub use swm3d::{SwmOperator, SwmProblem, SwmProblemBuilder};

@@ -18,6 +18,32 @@
 //! observation point — with periodic wrap-around, so cells adjacent across the
 //! patch seam are corrected too.
 
+/// How the periodic-kernel evaluations of an assembly are executed.
+///
+/// Orthogonal to [`AssemblyScheme`] (which decides *what* is integrated where,
+/// i.e. the numerics), this knob decides *how* the Ewald-summed kernel is
+/// evaluated — it changes floating-point results only at the summation-
+/// reassociation level (≤ 1e-12 relative, pinned by the equivalence tests):
+///
+/// * [`KernelEval::Scalar`] — one kernel evaluation per matrix entry, exactly
+///   the historical code path. Kept as the oracle for equivalence tests and
+///   as the baseline of the assembly benchmark.
+/// * [`KernelEval::Batched`] (default) — blocked row-panel assembly: all
+///   far-field observation–source separations of a matrix row (and the
+///   fixed-rule periodic-image quadrature points of its corrected near
+///   entries) are gathered into contiguous slices and evaluated through the
+///   batched kernel API (`eval_batch_samples` / `eval_batch_regularized`),
+///   which hoists the Ewald setup out of the inner loop and shares the
+///   expensive `erfc`/`exp` factors across Floquet-mode classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelEval {
+    /// Per-entry kernel evaluation (reference/oracle path).
+    Scalar,
+    /// Blocked row-panel gathering with batched kernel evaluation.
+    #[default]
+    Batched,
+}
+
 /// Parameters of the locally corrected near-field integration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NearFieldPolicy {

@@ -5,11 +5,11 @@
 //! uses it to demonstrate that genuinely 3D roughness produces a markedly
 //! larger loss enhancement than a 2D (ridged) roughness of the same σ and η.
 
-use crate::assembly2d::assemble_system_2d;
+use crate::assembly2d::assemble_system_2d_with;
 use crate::error::SwmError;
 use crate::loss::LossResult;
 use crate::mesh::ContourMesh;
-use crate::nearfield::AssemblyScheme;
+use crate::nearfield::{AssemblyScheme, KernelEval};
 use crate::power::absorbed_power_2d;
 use crate::solver::{solve_system, SolverKind};
 use rough_em::fresnel::flat_interface;
@@ -42,6 +42,7 @@ pub struct Swm2dProblem {
     frequency: Frequency,
     solver: SolverKind,
     assembly: AssemblyScheme,
+    kernel_eval: KernelEval,
 }
 
 impl Swm2dProblem {
@@ -61,6 +62,7 @@ impl Swm2dProblem {
             frequency,
             solver: SolverKind::DirectLu,
             assembly: AssemblyScheme::default(),
+            kernel_eval: KernelEval::default(),
         })
     }
 
@@ -74,6 +76,14 @@ impl Swm2dProblem {
     /// corrected scheme).
     pub fn with_assembly(mut self, assembly: AssemblyScheme) -> Self {
         self.assembly = assembly;
+        self
+    }
+
+    /// Selects the kernel evaluation strategy (defaults to
+    /// [`KernelEval::Batched`]; [`KernelEval::Scalar`] is the per-entry
+    /// oracle used by equivalence tests and benchmarks).
+    pub fn with_kernel_eval(mut self, kernel_eval: KernelEval) -> Self {
+        self.kernel_eval = kernel_eval;
         self
     }
 
@@ -91,13 +101,14 @@ impl Swm2dProblem {
         let mesh = ContourMesh::from_profile(profile);
         let g1 = PeriodicGreen2d::new(self.stack.k1(self.frequency), mesh.period());
         let g2 = PeriodicGreen2d::new(self.stack.k2(self.frequency), mesh.period());
-        let system = assemble_system_2d(
+        let system = assemble_system_2d_with(
             &mesh,
             &g1,
             &g2,
             self.stack.beta(self.frequency),
             self.stack.k1(self.frequency),
             self.assembly,
+            self.kernel_eval,
         );
         let (solution, _) = solve_system(&system.matrix, &system.rhs, self.solver)?;
         let n = system.surface_unknowns;

@@ -6,11 +6,11 @@
 //! (Monte-Carlo, SSCM) call [`SwmProblem::solve_with_reference`] repeatedly
 //! with surfaces synthesized from the same specification.
 
-use crate::assembly3d::assemble_system;
+use crate::assembly3d::assemble_system_with;
 use crate::error::SwmError;
 use crate::loss::LossResult;
 use crate::mesh::PatchMesh;
-use crate::nearfield::AssemblyScheme;
+use crate::nearfield::{AssemblyScheme, KernelEval};
 use crate::power::{absorbed_power_3d, smooth_surface_power};
 use crate::solver::{solve_system, SolveStats, SolverKind};
 use crate::spec::RoughnessSpec;
@@ -58,6 +58,7 @@ pub struct SwmProblem {
     cells_per_side: usize,
     solver: SolverKind,
     assembly: AssemblyScheme,
+    kernel_eval: KernelEval,
 }
 
 /// Frequency-level operator state of a [`SwmProblem`]: the two Ewald-summed
@@ -74,6 +75,7 @@ pub struct SwmOperator {
     beta: c64,
     k1: c64,
     assembly: AssemblyScheme,
+    kernel_eval: KernelEval,
 }
 
 impl SwmOperator {
@@ -91,6 +93,11 @@ impl SwmOperator {
     pub fn assembly(&self) -> AssemblyScheme {
         self.assembly
     }
+
+    /// The kernel evaluation strategy every solve through this operator uses.
+    pub fn kernel_eval(&self) -> KernelEval {
+        self.kernel_eval
+    }
 }
 
 /// Builder for [`SwmProblem`].
@@ -102,6 +109,7 @@ pub struct SwmProblemBuilder {
     cells_per_side: usize,
     solver: SolverKind,
     assembly: AssemblyScheme,
+    kernel_eval: KernelEval,
 }
 
 impl SwmProblem {
@@ -115,6 +123,7 @@ impl SwmProblem {
             cells_per_side: 16,
             solver: SolverKind::DirectLu,
             assembly: AssemblyScheme::default(),
+            kernel_eval: KernelEval::default(),
         }
     }
 
@@ -141,6 +150,11 @@ impl SwmProblem {
     /// Near-field assembly scheme.
     pub fn assembly(&self) -> AssemblyScheme {
         self.assembly
+    }
+
+    /// Kernel evaluation strategy (batched row panels by default).
+    pub fn kernel_eval(&self) -> KernelEval {
+        self.kernel_eval
     }
 
     /// Side length of the periodic patch (m).
@@ -215,6 +229,7 @@ impl SwmProblem {
             beta: self.stack.beta(self.frequency),
             k1: self.stack.k1(self.frequency),
             assembly: self.assembly,
+            kernel_eval: self.kernel_eval,
         }
     }
 
@@ -243,13 +258,14 @@ impl SwmProblem {
     ) -> Result<(f64, SolveStats), SwmError> {
         self.check_surface(surface)?;
         let mesh = PatchMesh::from_surface(surface);
-        let system = assemble_system(
+        let system = assemble_system_with(
             &mesh,
             &operator.g1,
             &operator.g2,
             operator.beta,
             operator.k1,
             operator.assembly,
+            operator.kernel_eval,
         );
         let (solution, stats) = solve_system(&system.matrix, &system.rhs, self.solver)?;
         let n = system.surface_unknowns;
@@ -388,6 +404,15 @@ impl SwmProblemBuilder {
         self
     }
 
+    /// Selects the kernel evaluation strategy (defaults to
+    /// [`KernelEval::Batched`], the blocked row-panel fast path;
+    /// [`KernelEval::Scalar`] is the per-entry oracle used by equivalence
+    /// tests and benchmarks).
+    pub fn kernel_eval(mut self, kernel_eval: KernelEval) -> Self {
+        self.kernel_eval = kernel_eval;
+        self
+    }
+
     /// Finalizes the problem.
     ///
     /// # Errors
@@ -423,6 +448,7 @@ impl SwmProblemBuilder {
             cells_per_side: self.cells_per_side,
             solver: self.solver,
             assembly: self.assembly,
+            kernel_eval: self.kernel_eval,
         })
     }
 }

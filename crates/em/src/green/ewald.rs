@@ -12,7 +12,7 @@
 //! nearly real wavenumber. The Ewald method splits it into a *spatial* part
 //! whose terms decay like a Gaussian in `R` and a *spectral* (Floquet) part
 //! whose terms decay like a Gaussian in the transverse mode index — "very few
-//! terms" of each are needed (paper §III-B, ref. [16]).
+//! terms" of each are needed (paper §III-B, ref. \[16\]).
 //!
 //! Derivation sketch (see `DESIGN.md` §6 for the validation anchors): starting
 //! from the identity
@@ -44,6 +44,184 @@ pub struct GreenSample {
     pub gradient: [c64; 3],
 }
 
+impl Default for GreenSample {
+    /// The zero sample — what batch output buffers are sized with.
+    fn default() -> Self {
+        Self {
+            value: c64::zero(),
+            gradient: [c64::zero(); 3],
+        }
+    }
+}
+
+/// One observation−source separation `Δ = r − r'` of a batched kernel
+/// evaluation ([`PeriodicGreen3d::eval_batch`] and friends).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeparationVector {
+    /// `Δx` component.
+    pub dx: f64,
+    /// `Δy` component.
+    pub dy: f64,
+    /// `Δz` component.
+    pub dz: f64,
+}
+
+impl SeparationVector {
+    /// Creates a separation from its components.
+    pub fn new(dx: f64, dy: f64, dz: f64) -> Self {
+        Self { dx, dy, dz }
+    }
+}
+
+/// One member mode `(±m, ±n)` orientation of a spectral class: the transverse
+/// wavenumbers and the cosine-table indices of its folded phase factor.
+#[derive(Debug, Clone)]
+struct SpectralMember {
+    ktx: f64,
+    kty: f64,
+    m: usize,
+    n: usize,
+    /// Sign multiplicity: 1, 2 or 4 depending on how many of `m`, `n` are
+    /// nonzero (the four `(±m, ±n)` phases fold into `w·cos(mθ_x)·cos(nθ_y)`).
+    weight: f64,
+}
+
+/// A class of Floquet modes sharing `|k_t|²` — and therefore `k_z`, `c` and
+/// both erfc factors of the Ewald spectral series. Grouping the `(±m, ±n)`
+/// and `(±n, ±m)` variants of each `(|m| ≤ |n|)` pair into one class cuts the
+/// number of `erfc` evaluations per separation by ~6–8× relative to the
+/// scalar per-mode loop; only the (cheap, real) phase factors differ inside a
+/// class.
+#[derive(Debug, Clone)]
+struct SpectralClass {
+    /// `c = −j·k_z` of the class.
+    c: c64,
+    /// `c / 2E`, the separation-independent half of both erfc arguments.
+    c_2e: c64,
+    /// `c · 4L²`, the denominator of the per-mode profile `h`.
+    c4l2: c64,
+    members: Vec<SpectralMember>,
+}
+
+/// Everything about the Ewald sums that does not depend on the separation,
+/// hoisted out of the per-pair loops once at kernel construction: the lattice
+/// image offsets, the grouped spectral classes, and the per-`k` constants of
+/// the spatial series.
+#[derive(Debug, Clone)]
+struct BatchTables {
+    /// Lattice image offsets `(pL, qL)` for `|p|, |q| ≤ spatial_range`.
+    images: Vec<(f64, f64)>,
+    /// Floquet mode classes grouped by `(|m|, |n|)`.
+    classes: Vec<SpectralClass>,
+    /// `j·k`, the exponent factor of the spatial phase `e^{jkR}`.
+    jk: c64,
+    /// `j·k/2E`, the constant half of both spatial erfc arguments.
+    jk_2e: c64,
+    /// `e^{k²/4E²}`, the image-independent factor of the spatial Gaussian.
+    exp_k2_4e2: c64,
+    /// Largest harmonic index the cosine recurrence tables must reach.
+    axis: usize,
+}
+
+impl BatchTables {
+    fn build(k: c64, period: f64, splitting: f64, spatial_range: i32, spectral_range: i32) -> Self {
+        let e = splitting;
+        let side = (2 * spatial_range + 1) as usize;
+        let mut images = Vec::with_capacity(side * side);
+        for p in -spatial_range..=spatial_range {
+            for q in -spatial_range..=spatial_range {
+                images.push((p as f64 * period, q as f64 * period));
+            }
+        }
+
+        let weight_of = |index: i32| if index == 0 { 1.0 } else { 2.0 };
+        let mut classes = Vec::new();
+        for a in 0..=spectral_range {
+            for b in a..=spectral_range {
+                let ktx = 2.0 * PI * a as f64 / period;
+                let kty = 2.0 * PI * b as f64 / period;
+                let kt2 = ktx * ktx + kty * kty;
+                let kz = (k * k - c64::from_real(kt2)).sqrt();
+                let c = c64::new(0.0, -1.0) * kz;
+                // Same negligible-mode cutoff as the scalar spectral loop.
+                if c.re / (2.0 * e) > 6.0 {
+                    continue;
+                }
+                let mut members = vec![SpectralMember {
+                    ktx,
+                    kty,
+                    m: a as usize,
+                    n: b as usize,
+                    weight: weight_of(a) * weight_of(b),
+                }];
+                if a != b {
+                    members.push(SpectralMember {
+                        ktx: kty,
+                        kty: ktx,
+                        m: b as usize,
+                        n: a as usize,
+                        weight: weight_of(b) * weight_of(a),
+                    });
+                }
+                classes.push(SpectralClass {
+                    c,
+                    c_2e: c / (2.0 * e),
+                    c4l2: c * (4.0 * period * period),
+                    members,
+                });
+            }
+        }
+
+        BatchTables {
+            images,
+            classes,
+            jk: c64::i() * k,
+            jk_2e: c64::i() * k / (2.0 * e),
+            exp_k2_4e2: (k * k / (4.0 * e * e)).exp(),
+            axis: spectral_range as usize,
+        }
+    }
+}
+
+/// Reusable cosine/sine recurrence tables of one batched evaluation
+/// (allocated once per [`PeriodicGreen3d::eval_batch`] call, refilled per
+/// separation).
+struct HarmonicScratch {
+    cos_x: Vec<f64>,
+    sin_x: Vec<f64>,
+    cos_y: Vec<f64>,
+    sin_y: Vec<f64>,
+}
+
+impl HarmonicScratch {
+    fn new(axis: usize) -> Self {
+        let len = axis + 1;
+        Self {
+            cos_x: vec![0.0; len],
+            sin_x: vec![0.0; len],
+            cos_y: vec![0.0; len],
+            sin_y: vec![0.0; len],
+        }
+    }
+}
+
+/// Fills `cos_t[m] = cos(mθ)`, `sin_t[m] = sin(mθ)` by the Chebyshev-style
+/// angle-addition recurrence — one `sin_cos` call instead of one per harmonic.
+fn fill_harmonics(theta: f64, cos_t: &mut [f64], sin_t: &mut [f64]) {
+    cos_t[0] = 1.0;
+    sin_t[0] = 0.0;
+    if cos_t.len() == 1 {
+        return;
+    }
+    let (s1, c1) = theta.sin_cos();
+    cos_t[1] = c1;
+    sin_t[1] = s1;
+    for m in 2..cos_t.len() {
+        cos_t[m] = cos_t[m - 1] * c1 - sin_t[m - 1] * s1;
+        sin_t[m] = sin_t[m - 1] * c1 + cos_t[m - 1] * s1;
+    }
+}
+
 /// Doubly-periodic (period `L` along x and y) scalar Green's function of the
 /// 3D Helmholtz operator, evaluated by Ewald summation.
 ///
@@ -70,6 +248,8 @@ pub struct PeriodicGreen3d {
     spatial_range: i32,
     /// Floquet modes with `|m|, |n| ≤ spectral_range` are considered.
     spectral_range: i32,
+    /// Separation-independent state of the batched evaluation paths.
+    tables: BatchTables,
 }
 
 impl PeriodicGreen3d {
@@ -114,12 +294,14 @@ impl PeriodicGreen3d {
         // Spectral terms decay like erfc(c/2E) with c ≈ 2π√(m²+n²)/L.
         let spectral_range =
             ((cutoff * 2.0 * splitting * period / (2.0 * PI)).ceil() as i32 + 1).max(2);
+        let tables = BatchTables::build(k, period, splitting, spatial_range, spectral_range);
         Self {
             k,
             period,
             splitting,
             spatial_range,
             spectral_range,
+            tables,
         }
     }
 
@@ -179,24 +361,220 @@ impl PeriodicGreen3d {
         if r < 1e-9 * self.period {
             let (spatial, _) = self.spatial_sum(0.0, 0.0, 0.0, true);
             let (spectral, _) = self.spectral_sum_internal(0.0, 0.0, 0.0);
-            let value = spatial + spectral + self.primary_image_self_limit();
-            GreenSample {
-                value,
-                gradient: [c64::zero(); 3],
-            }
+            self.regularized_at_origin_limit(spatial, spectral)
         } else {
             let full = self.sample(dx, dy, dz);
-            let free = scalar_green_3d(self.k, r);
-            let dfree_dr = free * (c64::i() * self.k - c64::from_real(1.0 / r));
-            GreenSample {
-                value: full.value - free,
-                gradient: [
-                    full.gradient[0] - dfree_dr * (dx / r),
-                    full.gradient[1] - dfree_dr * (dy / r),
-                    full.gradient[2] - dfree_dr * (dz / r),
-                ],
+            self.subtract_primary_image(full, dx, dy, dz, r)
+        }
+    }
+
+    /// The regularized origin limit assembled from the primary-skipped
+    /// spatial sum and the spectral sum (gradient vanishes by symmetry).
+    fn regularized_at_origin_limit(&self, spatial: c64, spectral: c64) -> GreenSample {
+        GreenSample {
+            value: spatial + spectral + self.primary_image_self_limit(),
+            gradient: [c64::zero(); 3],
+        }
+    }
+
+    /// Subtracts the primary free-space image (value and gradient) from a
+    /// full kernel sample at separation `(dx, dy, dz)` with `r = |Δ| > 0` —
+    /// the shared tail of the scalar and batched regularized paths.
+    fn subtract_primary_image(
+        &self,
+        full: GreenSample,
+        dx: f64,
+        dy: f64,
+        dz: f64,
+        r: f64,
+    ) -> GreenSample {
+        let free = scalar_green_3d(self.k, r);
+        let dfree_dr = free * (c64::i() * self.k - c64::from_real(1.0 / r));
+        GreenSample {
+            value: full.value - free,
+            gradient: [
+                full.gradient[0] - dfree_dr * (dx / r),
+                full.gradient[1] - dfree_dr * (dy / r),
+                full.gradient[2] - dfree_dr * (dz / r),
+            ],
+        }
+    }
+
+    /// Batched kernel values: `out[i] = G_p(pairs[i])`.
+    ///
+    /// Equivalent to calling [`PeriodicGreen3d::value`] per pair but with the
+    /// Ewald setup — splitting-parameter constants, lattice-sum loop bounds,
+    /// per-`k_t` Floquet factors — hoisted out of the inner loops, the
+    /// spectral series evaluated per `|k_t|²` *class* (the `(±m, ±n)` and
+    /// `(±n, ±m)` variants share their `erfc`/`exp` factors and fold into
+    /// real cosine products), and the `e^{jk_t·ρ}` phase factors amortized
+    /// through one cosine recurrence per separation. Agrees with the scalar
+    /// path to well below 1e-12 relative (the only difference is summation
+    /// order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths differ, or if a separation coincides with
+    /// a lattice point (use [`PeriodicGreen3d::eval_batch_regularized`] for
+    /// self terms).
+    pub fn eval_batch(&self, pairs: &[SeparationVector], out: &mut [c64]) {
+        assert_eq!(
+            pairs.len(),
+            out.len(),
+            "eval_batch output slice must match the number of separations"
+        );
+        let mut scratch = HarmonicScratch::new(self.tables.axis);
+        for (pair, slot) in pairs.iter().zip(out.iter_mut()) {
+            *slot = self.batch_sample(pair, &mut scratch).value;
+        }
+    }
+
+    /// Batched kernel values **and gradients** — the gradient variant of
+    /// [`PeriodicGreen3d::eval_batch`], used for the double-layer entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths differ or a separation coincides with a
+    /// lattice point.
+    pub fn eval_batch_samples(&self, pairs: &[SeparationVector], out: &mut [GreenSample]) {
+        assert_eq!(
+            pairs.len(),
+            out.len(),
+            "eval_batch_samples output slice must match the number of separations"
+        );
+        let mut scratch = HarmonicScratch::new(self.tables.axis);
+        for (pair, slot) in pairs.iter().zip(out.iter_mut()) {
+            *slot = self.batch_sample(pair, &mut scratch);
+        }
+    }
+
+    /// Batched **regularized** samples (`G_p − e^{jkR}/(4πR)`, primary image
+    /// removed): the batch variant of [`PeriodicGreen3d::regularized`], used
+    /// for the fixed-rule periodic-image quadrature of the locally corrected
+    /// near field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths differ.
+    pub fn eval_batch_regularized(&self, pairs: &[SeparationVector], out: &mut [GreenSample]) {
+        assert_eq!(
+            pairs.len(),
+            out.len(),
+            "eval_batch_regularized output slice must match the number of separations"
+        );
+        let mut scratch = HarmonicScratch::new(self.tables.axis);
+        for (pair, slot) in pairs.iter().zip(out.iter_mut()) {
+            let r = (pair.dx * pair.dx + pair.dy * pair.dy + pair.dz * pair.dz).sqrt();
+            if r < 1e-9 * self.period {
+                let (spatial, _) = self.batch_spatial(0.0, 0.0, 0.0, true);
+                let (spectral, _) = self.batch_spectral(0.0, 0.0, 0.0, &mut scratch);
+                *slot = self.regularized_at_origin_limit(spatial, spectral);
+            } else {
+                let full = self.batch_sample(pair, &mut scratch);
+                *slot = self.subtract_primary_image(full, pair.dx, pair.dy, pair.dz, r);
             }
         }
+    }
+
+    /// One full (spatial + spectral) sample through the batched tables.
+    fn batch_sample(&self, pair: &SeparationVector, scratch: &mut HarmonicScratch) -> GreenSample {
+        let (spatial, spatial_grad) = self.batch_spatial(pair.dx, pair.dy, pair.dz, false);
+        let (spectral, spectral_grad) = self.batch_spectral(pair.dx, pair.dy, pair.dz, scratch);
+        GreenSample {
+            value: spatial + spectral,
+            gradient: [
+                spatial_grad[0] + spectral_grad[0],
+                spatial_grad[1] + spectral_grad[1],
+                spatial_grad[2] + spectral_grad[2],
+            ],
+        }
+    }
+
+    /// Ewald spatial sum over the precomputed image offsets, with the
+    /// per-`k` constants (`jk`, `jk/2E`, `e^{k²/4E²}`) read from the tables
+    /// instead of being recomputed per image.
+    fn batch_spatial(&self, dx: f64, dy: f64, dz: f64, skip_primary: bool) -> (c64, [c64; 3]) {
+        let e = self.splitting;
+        let t = &self.tables;
+        let mut sum = c64::zero();
+        let mut grad = [c64::zero(); 3];
+        let cutoff = 5.5 / e; // beyond this distance erfc(RE) < 1e-13
+
+        for &(px, py) in &t.images {
+            if skip_primary && px == 0.0 && py == 0.0 {
+                continue;
+            }
+            let rx = dx - px;
+            let ry = dy - py;
+            let r = (rx * rx + ry * ry + dz * dz).sqrt();
+            if r > cutoff {
+                continue;
+            }
+            assert!(
+                r > 0.0,
+                "periodic Green's function evaluated at a lattice point; use eval_batch_regularized()"
+            );
+            let re = r * e;
+            let plus = (t.jk * r).exp() * erfc_complex(c64::from_real(re) + t.jk_2e);
+            let minus = (-(t.jk * r)).exp() * erfc_complex(c64::from_real(re) - t.jk_2e);
+            let term = (plus + minus) / (8.0 * PI * r);
+            sum += term;
+
+            // d/dR of the bracketed sum: jk(plus − minus) − (4E/√π)·e^{−R²E² + k²/4E²}
+            let gauss = t.exp_k2_4e2.scale((-re * re).exp());
+            let dbracket = t.jk * (plus - minus) - gauss.scale(4.0 * e / PI.sqrt());
+            let dterm_dr = dbracket / (8.0 * PI * r) - term / r;
+            grad[0] += dterm_dr * (rx / r);
+            grad[1] += dterm_dr * (ry / r);
+            grad[2] += dterm_dr * (dz / r);
+        }
+        (sum, grad)
+    }
+
+    /// Ewald spectral sum over the grouped mode classes: per class, the two
+    /// `erfc`/`exp` factors are evaluated once and distributed over the
+    /// member orientations through real cosine products
+    /// (`Σ_{±m,±n} e^{jk_t·ρ} = w·cos(mθ_x)·cos(nθ_y)`).
+    fn batch_spectral(
+        &self,
+        dx: f64,
+        dy: f64,
+        dz: f64,
+        scratch: &mut HarmonicScratch,
+    ) -> (c64, [c64; 3]) {
+        let l = self.period;
+        let t = &self.tables;
+        let s = dz.abs();
+        let sign_z = if dz >= 0.0 { 1.0 } else { -1.0 };
+        fill_harmonics(2.0 * PI * dx / l, &mut scratch.cos_x, &mut scratch.sin_x);
+        fill_harmonics(2.0 * PI * dy / l, &mut scratch.cos_y, &mut scratch.sin_y);
+        let se = c64::from_real(s * self.splitting);
+
+        let mut sum = c64::zero();
+        let mut grad = [c64::zero(); 3];
+        for class in &t.classes {
+            let term_plus = (class.c * s).exp() * erfc_complex(class.c_2e + se);
+            let term_minus = (-(class.c * s)).exp() * erfc_complex(class.c_2e - se);
+            let h = (term_plus + term_minus) / class.c4l2;
+            let dh_ds = (term_plus - term_minus) / (4.0 * l * l);
+
+            let mut phase = 0.0;
+            let mut phase_x = 0.0;
+            let mut phase_y = 0.0;
+            for member in &class.members {
+                let cos_m = scratch.cos_x[member.m];
+                let cos_n = scratch.cos_y[member.n];
+                phase += member.weight * cos_m * cos_n;
+                phase_x -= member.weight * member.ktx * scratch.sin_x[member.m] * cos_n;
+                phase_y -= member.weight * member.kty * cos_m * scratch.sin_y[member.n];
+            }
+            sum += h.scale(phase);
+            grad[0] += h.scale(phase_x);
+            grad[1] += h.scale(phase_y);
+            grad[2] += dh_ds.scale(phase);
+        }
+        grad[2] = grad[2].scale(sign_z);
+        (sum, grad)
     }
 
     /// Brute-force spatial lattice sum (no Ewald splitting) over images with
@@ -510,6 +888,109 @@ mod tests {
                 "k = {k}: {a} vs {b}"
             );
         }
+    }
+
+    #[test]
+    fn batched_evaluation_matches_scalar_in_every_wavenumber_regime() {
+        // Quasi-static dielectric, lossy conductor, and the |k|L ≈ 33
+        // high-frequency guard case: the batched path must agree with the
+        // scalar oracle to reassociation-level accuracy in all of them.
+        for &(k, l) in &[
+            (quasi_static_k(), 5.0),
+            (lossy_k(), 5.0),
+            (c64::new(0.5, 0.2), 5.0),
+            (c64::new(1.95, 1.95), 12.0),
+        ] {
+            let g = PeriodicGreen3d::new(k, l);
+            let pairs: Vec<SeparationVector> = [
+                (0.08, 0.01, 0.02),
+                (0.5, 0.0, 0.1),
+                (1.0, 2.0, -0.4),
+                (0.37 * l, 0.49 * l, 0.11 * l),
+                (-1.7, 0.8, 0.6),
+                (0.45 * l, -0.28 * l, 0.0),
+            ]
+            .iter()
+            .map(|&(dx, dy, dz)| SeparationVector::new(dx, dy, dz))
+            .collect();
+
+            let mut values = vec![c64::zero(); pairs.len()];
+            let mut samples = vec![GreenSample::default(); pairs.len()];
+            g.eval_batch(&pairs, &mut values);
+            g.eval_batch_samples(&pairs, &mut samples);
+            for (pair, (value, sample)) in pairs.iter().zip(values.iter().zip(&samples)) {
+                let scalar = g.sample(pair.dx, pair.dy, pair.dz);
+                let scale = 1.0 + scalar.value.abs();
+                assert!(
+                    (*value - scalar.value).abs() < 1e-13 * scale,
+                    "k={k} L={l} Δ=({},{},{}): batch {value} vs scalar {}",
+                    pair.dx,
+                    pair.dy,
+                    pair.dz,
+                    scalar.value
+                );
+                assert_eq!(sample.value, *value);
+                for axis in 0..3 {
+                    let gscale = 1.0 + scalar.gradient[axis].abs();
+                    assert!(
+                        (sample.gradient[axis] - scalar.gradient[axis]).abs() < 1e-12 * gscale,
+                        "k={k} gradient[{axis}]: {} vs {}",
+                        sample.gradient[axis],
+                        scalar.gradient[axis]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_regularized_matches_scalar_including_the_origin() {
+        for &(k, l) in &[(lossy_k(), 5.0), (c64::new(1.95, 1.95), 12.0)] {
+            let g = PeriodicGreen3d::new(k, l);
+            let pairs = [
+                SeparationVector::new(0.0, 0.0, 0.0),
+                SeparationVector::new(1e-12 * l, 0.0, 0.0),
+                SeparationVector::new(0.04 * l, -0.03 * l, 0.02 * l),
+                SeparationVector::new(0.3 * l, 0.2 * l, -0.1 * l),
+            ];
+            let mut out = vec![GreenSample::default(); pairs.len()];
+            g.eval_batch_regularized(&pairs, &mut out);
+            for (pair, got) in pairs.iter().zip(&out) {
+                let want = g.regularized(pair.dx, pair.dy, pair.dz);
+                let scale = 1.0 + want.value.abs();
+                assert!(
+                    (got.value - want.value).abs() < 1e-13 * scale,
+                    "k={k} Δ=({},{},{}): {} vs {}",
+                    pair.dx,
+                    pair.dy,
+                    pair.dz,
+                    got.value,
+                    want.value
+                );
+                for axis in 0..3 {
+                    let gscale = 1.0 + want.gradient[axis].abs();
+                    assert!((got.gradient[axis] - want.gradient[axis]).abs() < 1e-12 * gscale);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "output slice must match")]
+    fn batch_length_mismatch_panics() {
+        let g = PeriodicGreen3d::new(lossy_k(), 5.0);
+        let pairs = [SeparationVector::new(0.5, 0.0, 0.1)];
+        let mut out = vec![c64::zero(); 2];
+        g.eval_batch(&pairs, &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "lattice point")]
+    fn batched_evaluation_at_lattice_point_panics() {
+        let g = PeriodicGreen3d::new(lossy_k(), 5.0);
+        let pairs = [SeparationVector::new(5.0, 0.0, 0.0)];
+        let mut out = vec![c64::zero(); 1];
+        g.eval_batch(&pairs, &mut out);
     }
 
     #[test]

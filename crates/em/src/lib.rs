@@ -13,7 +13,7 @@
 //!   `β = ε₁/ε₂ = −jωε₁ρ` of paper eq. (6).
 //! * [`green`] — scalar Green's functions: the free-space 3D kernel
 //!   `e^{jkR}/(4πR)`, the **doubly-periodic kernel accelerated with the Ewald
-//!   method** (paper §III-B, ref. [16]), and the singly-periodic 2D kernel used
+//!   method** (paper §III-B, ref. \[16\]), and the singly-periodic 2D kernel used
 //!   by the 2D SWM comparison (Fig. 6).
 //! * [`fresnel`] — the analytic flat-interface transmission solution used to
 //!   normalize the absorbed power and to validate the MOM machinery.

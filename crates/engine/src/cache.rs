@@ -7,7 +7,10 @@
 //! — the smooth-surface reference solve `Ps`, itself a full MOM assembly +
 //! dense factorization. The cache builds each context once and shares it via
 //! `Arc` across every realization, every ensemble, and every
-//! [`crate::Engine::run`] call on the same engine. Karhunen–Loève bases — the
+//! [`crate::Engine::run`] call on the same engine. Context problems inherit
+//! the default `rough_core::KernelEval::Batched` blocked row-panel assembly,
+//! so both the cached flat-reference solve and every per-realization solve
+//! executed against a context go through the batched Ewald kernel path. Karhunen–Loève bases — the
 //! frequency-independent eigendecompositions of the surface covariance — are
 //! cached alongside under their own keys, so re-planning a roughness case at
 //! new frequencies (or new ensemble budgets) never repeats the eigen solve.

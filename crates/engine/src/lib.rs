@@ -25,7 +25,11 @@
 //!    count or schedule**, and a keyed [`cache::KernelCache`] shares the
 //!    Ewald-summed periodic kernels, the Karhunen–Loève basis and the
 //!    smooth-surface reference solve across all realizations of a case — the
-//!    dominant redundant cost of the serial drivers.
+//!    dominant redundant cost of the serial drivers. Every solve through a
+//!    cached context (the flat reference included) uses `rough-core`'s
+//!    default batched blocked row-panel assembly
+//!    (`rough_core::KernelEval::Batched`), which evaluates the Ewald kernel
+//!    over whole row panels at once.
 //! 3. **Observability & durability** ([`events`], [`checkpoint`]) — runs
 //!    stream typed [`events::RunEvent`]s (unit started/completed, case
 //!    completed, checkpoint written, run finished with cache statistics) to a

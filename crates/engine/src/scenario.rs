@@ -273,9 +273,16 @@ impl ScenarioBuilder {
                 "at least one frequency point is required".into(),
             ));
         }
-        if self.frequencies.iter().any(|f| f.value() <= 0.0) {
+        // NaN fails the `> 0.0` comparison too, so non-finite values cannot
+        // sneak into kernel construction (where they would surface as panics
+        // deep inside the Ewald machinery at plan or solve time).
+        if self
+            .frequencies
+            .iter()
+            .any(|f| !(f.value() > 0.0 && f.value().is_finite()))
+        {
             return Err(EngineError::InvalidScenario(
-                "frequencies must be positive".into(),
+                "frequencies must be finite and positive".into(),
             ));
         }
         if self.cells_per_side == 0 {
@@ -406,6 +413,25 @@ mod tests {
             .build()
             .unwrap_err();
         assert!(matches!(err, EngineError::InvalidScenario(_)));
+    }
+
+    #[test]
+    fn non_finite_or_non_positive_frequencies_are_rejected_at_build_time() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0, -3.0e9] {
+            let err = Scenario::builder(Stackup::paper_baseline())
+                .roughness(spec())
+                .frequencies([Frequency::new(bad)])
+                .monte_carlo(2)
+                .build()
+                .unwrap_err();
+            match err {
+                EngineError::InvalidScenario(reason) => assert!(
+                    reason.contains("finite and positive"),
+                    "frequency {bad}: reason = {reason}"
+                ),
+                other => panic!("frequency {bad}: expected InvalidScenario, got {other:?}"),
+            }
+        }
     }
 
     #[test]

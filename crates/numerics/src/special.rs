@@ -3,7 +3,7 @@
 //!
 //! The complex complementary error function is the work-horse of the Ewald
 //! representation of the doubly-periodic Green's function (paper §III-B,
-//! ref. [16]): both the spatial and the spectral Ewald sums are expressed in
+//! ref. \[16\]): both the spatial and the spectral Ewald sums are expressed in
 //! terms of `erfc` of complex arguments.
 //!
 //! The implementation combines a Maclaurin series (small `|z|`) with the

@@ -9,7 +9,7 @@
 //! * **Exponential** `C(d) = σ² exp(−d/η)` — a common alternative for etched
 //!   foils (not differentiable at the origin, so its RMS slope diverges);
 //! * **Measured** `C(d) = σ² exp{−(d/η₁)[1 − exp(−d/η₂)]}` — paper eq. (12),
-//!   extracted from the measurements of ref. [4] and used in Fig. 4.
+//!   extracted from the measurements of ref. \[4\] and used in Fig. 4.
 //!
 //! All lengths are SI metres.
 

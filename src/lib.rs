@@ -106,14 +106,22 @@ pub use rough_surface as surface;
 /// `AssemblyScheme::Legacy` via the respective `assembly(..)` builder methods
 /// to reproduce the seed behaviour, e.g. for convergence comparisons; raise
 /// `radius`/`order` for high-accuracy reference runs.
+///
+/// Orthogonally, [`KernelEval`](rough_core::KernelEval) selects how the
+/// Ewald-summed periodic kernel is evaluated: the default
+/// `KernelEval::Batched` assembles the MOM matrix in blocked row panels
+/// through the batched kernel API (several times faster; see
+/// `docs/ARCHITECTURE.md` and `BENCH_assembly.json`), while
+/// `KernelEval::Scalar` is the per-entry oracle the batched path is pinned
+/// against (≤ 1e-12 relative agreement).
 pub mod prelude {
     pub use rough_baselines::{
         hammerstad::HammerstadModel, hbm::HemisphericalBossModel, huray::HurayModel,
         spm2::Spm2Model, RoughnessLossModel,
     };
     pub use rough_core::{
-        loss::LossResult, swm2d::Swm2dProblem, AssemblyScheme, NearFieldPolicy, RoughnessSpec,
-        SwmError, SwmProblem,
+        loss::LossResult, swm2d::Swm2dProblem, AssemblyScheme, KernelEval, NearFieldPolicy,
+        RoughnessSpec, SwmError, SwmProblem,
     };
     pub use rough_em::{
         material::{Conductor, Dielectric, Stackup},
