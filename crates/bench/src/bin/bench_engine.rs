@@ -45,6 +45,11 @@ struct Measurement {
     units: usize,
     cache_hits: usize,
     cache_misses: usize,
+    /// Whether this executor's workers rebuild every context in their own
+    /// process instead of using the parent's kernel cache (the subprocess
+    /// executor). The parent-side hit rate is meaningless there and is
+    /// reported as `null` rather than a misleading 0.0.
+    workers_rebuild_context: bool,
     report: CampaignReport,
 }
 
@@ -72,6 +77,7 @@ fn measure(
         units: cold.records.len(),
         cache_hits: cold.cache.hits + warm.cache.hits,
         cache_misses: cold.cache.misses + warm.cache.misses,
+        workers_rebuild_context: name == "subprocess",
         report: cold,
     }
 }
@@ -124,18 +130,36 @@ fn main() {
     let _ = writeln!(json, "  \"bit_identical\": true,");
     let _ = writeln!(json, "  \"executors\": [");
     for (index, m) in measurements.iter().enumerate() {
+        // The parent-side cache hit rate only describes executors that
+        // actually evaluate against the parent's cache. Subprocess workers
+        // rebuild every context in their own process (per shard, per run),
+        // so their parent-side counters would read as a misleading 0.0 —
+        // report null plus an explicit flag instead. The rebuilds are also
+        // why a *warm* subprocess run is not faster than a cold one (and can
+        // be slower under machine noise): the warm parent cache is never
+        // consulted by the workers.
         let lookups = m.cache_hits + m.cache_misses;
-        let hit_rate = if lookups == 0 {
-            0.0
+        let hit_rate = if m.workers_rebuild_context || lookups == 0 {
+            None
         } else {
-            m.cache_hits as f64 / lookups as f64
+            Some(m.cache_hits as f64 / lookups as f64)
+        };
+        let hit_rate_json = hit_rate
+            .map(|rate| format!("{rate:.4}"))
+            .unwrap_or_else(|| "null".to_string());
+        let note = if m.workers_rebuild_context {
+            ", \"note\": \"workers rebuild contexts per process; warm runs do not benefit \
+             from the parent cache and can be slower than cold under machine noise\""
+        } else {
+            ""
         };
         let _ = writeln!(
             json,
             "    {{\"name\": \"{}\", \"workers\": {}, \"units\": {}, \
              \"cold_wall_s\": {:.4}, \"warm_wall_s\": {:.4}, \
              \"cold_units_per_sec\": {:.3}, \"warm_units_per_sec\": {:.3}, \
-             \"cache_hits\": {}, \"cache_misses\": {}, \"cache_hit_rate\": {:.4}}}{}",
+             \"cache_hits\": {}, \"cache_misses\": {}, \"cache_hit_rate\": {}, \
+             \"workers_rebuild_context\": {}{}}}{}",
             m.name,
             m.workers,
             m.units,
@@ -145,21 +169,26 @@ fn main() {
             m.units as f64 / m.warm_wall_s.max(1e-9),
             m.cache_hits,
             m.cache_misses,
-            hit_rate,
+            hit_rate_json,
+            m.workers_rebuild_context,
+            note,
             if index + 1 < measurements.len() {
                 ","
             } else {
                 ""
             }
         );
+        let hit_rate_text = hit_rate
+            .map(|rate| format!("cache hit rate {:.1}%", rate * 100.0))
+            .unwrap_or_else(|| "cache n/a (workers rebuild contexts per process)".to_string());
         println!(
-            "  {:<12} {} workers: cold {:.2} s ({:.2} units/s), warm {:.2} s, cache hit rate {:.1}%",
+            "  {:<12} {} workers: cold {:.2} s ({:.2} units/s), warm {:.2} s, {}",
             m.name,
             m.workers,
             m.cold_wall_s,
             m.units as f64 / m.cold_wall_s.max(1e-9),
             m.warm_wall_s,
-            hit_rate * 100.0
+            hit_rate_text
         );
     }
     let _ = writeln!(json, "  ]");

@@ -59,6 +59,11 @@ pub fn full_fidelity_requested() -> bool {
 /// * `subprocess` / `subprocess:N` — N worker processes (the binary must call
 ///   [`rough_engine::subprocess::maybe_serve_worker`] first thing in `main`).
 ///
+/// Each executor additionally gives every solve its fair share of the core
+/// budget as *intra-solve assembly threads* (`units × threads ≤ cores`); the
+/// mirroring `ROUGHSIM_ASSEMBLY_THREADS` variable (`serial` or a count)
+/// overrides that share — results are bit-identical either way.
+///
 /// # Panics
 ///
 /// Panics on an unrecognized value — drivers treat a bad configuration as

@@ -17,9 +17,19 @@
 //! analytically along the exact tangent-line segment (log integral for `S`,
 //! subtended angle for `D`) plus adaptive Gauss–Legendre quadrature of the
 //! smooth remainder, with periodic wrap-around in the near test.
+//!
+//! Like the 3D assembly, rows are independent work items:
+//! [`AssemblyParallelism`] spreads them over worker threads with per-worker
+//! scratch and a serial row-ordered scatter, so parallel and serial
+//! assemblies are bit-identical. Under [`KernelEval::Batched`] the corrected
+//! scheme's adaptive remainder also evaluates its kernel samples in node
+//! blocks ([`AdaptiveLineGauss::integrate_pair_batched`] feeding
+//! [`PeriodicGreen2d::eval_batch_samples`]) instead of one scalar kernel call
+//! per quadrature node.
 
 use crate::mesh::{ContourMesh, Segment2d};
-use crate::nearfield::{AssemblyScheme, KernelEval, NearFieldPolicy};
+use crate::nearfield::{AssemblyScheme, AssemblyStats, KernelEval, NearFieldPolicy};
+use crate::parallel::{map_rows, AssemblyParallelism};
 use rough_em::green::free_space::{
     ln_integral_over_segment, ln_r_integral_over_segment, subtended_angle_of_segment,
 };
@@ -27,7 +37,7 @@ use rough_em::green::{Green2dSample, PeriodicGreen2d, Separation2d};
 use rough_numerics::complex::c64;
 use rough_numerics::linalg::CMatrix;
 use rough_numerics::quadrature::gauss_legendre_on;
-use rough_numerics::quadrature2d::AdaptiveLineGauss;
+use rough_numerics::quadrature2d::{AdaptiveLineGauss, QuadScratch};
 use std::f64::consts::PI;
 
 /// Evaluates gathered far-field separations either through the batched 2D
@@ -57,6 +67,8 @@ pub struct MediumBlocks2d {
     pub single_layer: CMatrix,
     /// Double-layer matrix `D` (N × N).
     pub double_layer: CMatrix,
+    /// Integration diagnostics (all zero for the legacy scheme).
+    pub stats: AssemblyStats,
 }
 
 /// Assembles the 2D blocks for one medium.
@@ -69,17 +81,25 @@ pub fn assemble_medium_2d(
     green: &PeriodicGreen2d,
     scheme: AssemblyScheme,
 ) -> MediumBlocks2d {
-    assemble_medium_2d_with(mesh, green, scheme, KernelEval::default())
+    assemble_medium_2d_with(
+        mesh,
+        green,
+        scheme,
+        KernelEval::default(),
+        AssemblyParallelism::default(),
+    )
 }
 
-/// Assembles the 2D blocks with an explicit kernel evaluation strategy.
+/// Assembles the 2D blocks with explicit kernel evaluation and parallelism
+/// strategies.
 ///
 /// [`KernelEval::Batched`] (the [`assemble_medium_2d`] default) gathers the
-/// far-field separations of every matrix row into one blocked
-/// [`PeriodicGreen2d::eval_batch_samples`] call; [`KernelEval::Scalar`]
-/// evaluates the same points per entry and is the equivalence oracle. Near
-/// entries (fixed-rule legacy quadrature and the corrected scheme's adaptive
-/// remainder) keep their existing per-point evaluation in both modes.
+/// far-field separations of every matrix row — and, for the corrected
+/// scheme, the node blocks of the adaptive near-field remainder — into
+/// blocked [`PeriodicGreen2d::eval_batch_samples`] calls;
+/// [`KernelEval::Scalar`] evaluates the same points per entry and is the
+/// equivalence oracle. `parallelism` spreads the rows over worker threads
+/// with a bit-identical-to-serial guarantee.
 ///
 /// # Panics
 ///
@@ -89,17 +109,36 @@ pub fn assemble_medium_2d_with(
     green: &PeriodicGreen2d,
     scheme: AssemblyScheme,
     eval: KernelEval,
+    parallelism: AssemblyParallelism,
 ) -> MediumBlocks2d {
     assert!(
         (green.period() - mesh.period()).abs() < 1e-9 * mesh.period(),
         "Green's function period must match the contour period"
     );
     match scheme {
-        AssemblyScheme::Legacy => assemble_medium_2d_legacy(mesh, green, eval),
+        AssemblyScheme::Legacy => assemble_medium_2d_legacy(mesh, green, eval, parallelism),
         AssemblyScheme::LocallyCorrected(policy) => {
-            assemble_medium_2d_corrected(mesh, green, policy, eval)
+            assemble_medium_2d_corrected(mesh, green, policy, eval, parallelism)
         }
     }
+}
+
+/// Row-local buffers of the 2D assemblies, one per worker.
+#[derive(Default)]
+struct Scratch2d {
+    far_js: Vec<usize>,
+    far_seps: Vec<Separation2d>,
+    far_out: Vec<Green2dSample>,
+    quad: QuadScratch,
+    node_seps: Vec<Separation2d>,
+    node_out: Vec<Green2dSample>,
+}
+
+/// The computed entries of one 2D row panel (each row owns its matrix row).
+struct Row2d {
+    /// `(j, S_ij, D_ij)` in classification order.
+    entries: Vec<(usize, c64, c64)>,
+    stats: AssemblyStats,
 }
 
 /// The seed near-field treatment, kept as the comparison baseline (the far
@@ -108,64 +147,64 @@ fn assemble_medium_2d_legacy(
     mesh: &ContourMesh,
     green: &PeriodicGreen2d,
     eval: KernelEval,
+    parallelism: AssemblyParallelism,
 ) -> MediumBlocks2d {
     let n = mesh.len();
     let segments = mesh.segments();
     let width = mesh.segment_width();
-    let mut single = CMatrix::zeros(n, n);
-    let mut double = CMatrix::zeros(n, n);
 
     // Self term: ∫_seg −ln|x'|/(2π) dx' analytically plus the regular
     // (constant-at-the-origin) part of the periodic kernel times the width.
     let log_part = -ln_integral_over_segment(width) / (2.0 * PI);
     let self_single = c64::from_real(log_part) + green.regularized_at_origin() * width;
 
-    let mut far_js: Vec<usize> = Vec::with_capacity(n);
-    let mut far_seps: Vec<Separation2d> = Vec::with_capacity(n);
-    let mut far_out: Vec<Green2dSample> = Vec::with_capacity(n);
+    let rows = map_rows(
+        n,
+        parallelism.worker_count(),
+        Scratch2d::default,
+        |i, scratch| {
+            let si = segments[i];
+            scratch.far_js.clear();
+            scratch.far_seps.clear();
+            let mut entries: Vec<(usize, c64, c64)> = Vec::with_capacity(n);
+            for (j, sj) in segments.iter().enumerate() {
+                if i == j {
+                    entries.push((i, self_single, c64::zero()));
+                    continue;
+                }
+                let dx = si.x - sj.x;
+                let dz = si.z - sj.z;
 
-    for i in 0..n {
-        single[(i, i)] = self_single;
-        let si = segments[i];
-        far_js.clear();
-        far_seps.clear();
-        for j in 0..n {
-            if i == j {
-                continue;
+                // Near interactions get a proper quadrature over the source
+                // segment (tangent-line surface representation) instead of a
+                // single midpoint sample.
+                let near_radius = 2.2 * width;
+                if dx * dx + dz * dz < near_radius * near_radius {
+                    let (sij, dij) = integrate_source_segment(green, &si, sj, width);
+                    entries.push((j, sij, dij));
+                    continue;
+                }
+                scratch.far_js.push(j);
+                scratch.far_seps.push(Separation2d::new(dx, dz));
             }
-            let sj = segments[j];
-            let dx = si.x - sj.x;
-            let dz = si.z - sj.z;
 
-            // Near interactions get a proper quadrature over the source
-            // segment (tangent-line surface representation) instead of a
-            // single midpoint sample.
-            let near_radius = 2.2 * width;
-            if dx * dx + dz * dz < near_radius * near_radius {
-                let (sij, dij) = integrate_source_segment(green, &si, &sj, width);
-                single[(i, j)] = sij;
-                double[(i, j)] = dij;
-                continue;
+            eval_gathered_2d(green, eval, &scratch.far_seps, &mut scratch.far_out);
+            for (sample, &j) in scratch.far_out.iter().zip(&scratch.far_js) {
+                let sj = segments[j];
+                let s = sample.value * width;
+                // ∇'G = −∇_Δ G
+                let d = -(sample.gradient[0] * sj.normal[0] + sample.gradient[1] * sj.normal[1])
+                    * (sj.jacobian * width);
+                entries.push((j, s, d));
             }
-            far_js.push(j);
-            far_seps.push(Separation2d::new(dx, dz));
-        }
+            Row2d {
+                entries,
+                stats: AssemblyStats::default(),
+            }
+        },
+    );
 
-        eval_gathered_2d(green, eval, &far_seps, &mut far_out);
-        for (sample, &j) in far_out.iter().zip(&far_js) {
-            let sj = segments[j];
-            single[(i, j)] = sample.value * width;
-            // ∇'G = −∇_Δ G
-            let dij = -(sample.gradient[0] * sj.normal[0] + sample.gradient[1] * sj.normal[1])
-                * (sj.jacobian * width);
-            double[(i, j)] = dij;
-        }
-    }
-
-    MediumBlocks2d {
-        single_layer: single,
-        double_layer: double,
-    }
+    scatter_rows_2d(n, rows)
 }
 
 /// Locally corrected 2D assembly: analytic `ln R` extraction plus adaptive
@@ -176,6 +215,7 @@ fn assemble_medium_2d_corrected(
     green: &PeriodicGreen2d,
     policy: NearFieldPolicy,
     eval: KernelEval,
+    parallelism: AssemblyParallelism,
 ) -> MediumBlocks2d {
     let n = mesh.len();
     let segments = mesh.segments();
@@ -187,54 +227,83 @@ fn assemble_medium_2d_corrected(
         NearFieldPolicy::REMAINDER_TOLERANCE,
         NearFieldPolicy::MAX_DEPTH,
     );
+
+    let rows = map_rows(
+        n,
+        parallelism.worker_count(),
+        Scratch2d::default,
+        |i, scratch| {
+            let si = segments[i];
+            scratch.far_js.clear();
+            scratch.far_seps.clear();
+            let mut entries: Vec<(usize, c64, c64)> = Vec::with_capacity(n);
+            let mut stats = AssemblyStats::default();
+            for (j, sj) in segments.iter().enumerate() {
+                if i == j {
+                    let (s, d) = corrected_entry_2d(
+                        green, &si, sj, sj.x, width, &rule, eval, scratch, &mut stats,
+                    );
+                    // The principal value of the double layer over the straight
+                    // tangent segment vanishes; keep only the smooth remainder.
+                    entries.push((i, s, d));
+                    continue;
+                }
+                let dx = si.x - sj.x;
+                let dz = si.z - sj.z;
+                let wrap = (dx / length).round() * length;
+                let dxw = dx - wrap;
+                if dxw * dxw + dz * dz < near_radius_sq {
+                    let (s, d) = corrected_entry_2d(
+                        green,
+                        &si,
+                        sj,
+                        sj.x + wrap,
+                        width,
+                        &rule,
+                        eval,
+                        scratch,
+                        &mut stats,
+                    );
+                    entries.push((j, s, d));
+                    continue;
+                }
+                scratch.far_js.push(j);
+                scratch.far_seps.push(Separation2d::new(dx, dz));
+            }
+
+            eval_gathered_2d(green, eval, &scratch.far_seps, &mut scratch.far_out);
+            for (sample, &j) in scratch.far_out.iter().zip(&scratch.far_js) {
+                let sj = segments[j];
+                let s = sample.value * width;
+                let d = -(sample.gradient[0] * sj.normal[0] + sample.gradient[1] * sj.normal[1])
+                    * (sj.jacobian * width);
+                entries.push((j, s, d));
+            }
+            Row2d { entries, stats }
+        },
+    );
+
+    scatter_rows_2d(n, rows)
+}
+
+/// Serial, row-ordered scatter of computed row panels into the matrices —
+/// deterministic and race-free, so parallel assemblies are bit-identical to
+/// serial ones.
+fn scatter_rows_2d(n: usize, rows: Vec<Row2d>) -> MediumBlocks2d {
     let mut single = CMatrix::zeros(n, n);
     let mut double = CMatrix::zeros(n, n);
-
-    let mut far_js: Vec<usize> = Vec::with_capacity(n);
-    let mut far_seps: Vec<Separation2d> = Vec::with_capacity(n);
-    let mut far_out: Vec<Green2dSample> = Vec::with_capacity(n);
-
-    for i in 0..n {
-        let si = segments[i];
-        far_js.clear();
-        far_seps.clear();
-        for j in 0..n {
-            let sj = segments[j];
-            if i == j {
-                let (s, d) = corrected_entry_2d(green, &si, &sj, sj.x, width, &rule);
-                single[(i, i)] = s;
-                // The principal value of the double layer over the straight
-                // tangent segment vanishes; keep only the smooth remainder.
-                double[(i, i)] = d;
-                continue;
-            }
-            let dx = si.x - sj.x;
-            let dz = si.z - sj.z;
-            let wrap = (dx / length).round() * length;
-            let dxw = dx - wrap;
-            if dxw * dxw + dz * dz < near_radius_sq {
-                let (s, d) = corrected_entry_2d(green, &si, &sj, sj.x + wrap, width, &rule);
-                single[(i, j)] = s;
-                double[(i, j)] = d;
-                continue;
-            }
-            far_js.push(j);
-            far_seps.push(Separation2d::new(dx, dz));
+    let mut stats = AssemblyStats::default();
+    for (i, row) in rows.iter().enumerate() {
+        for &(j, s, d) in &row.entries {
+            single[(i, j)] = s;
+            double[(i, j)] = d;
         }
-
-        eval_gathered_2d(green, eval, &far_seps, &mut far_out);
-        for (sample, &j) in far_out.iter().zip(&far_js) {
-            let sj = segments[j];
-            single[(i, j)] = sample.value * width;
-            let dij = -(sample.gradient[0] * sj.normal[0] + sample.gradient[1] * sj.normal[1])
-                * (sj.jacobian * width);
-            double[(i, j)] = dij;
-        }
+        stats.merge(&row.stats);
     }
-
     MediumBlocks2d {
         single_layer: single,
         double_layer: double,
+        stats,
     }
 }
 
@@ -246,7 +315,13 @@ fn assemble_medium_2d_corrected(
 /// * the `−ln R/(2π)` static part of `S` is the analytic segment log integral
 ///   divided by the segment Jacobian (projected measure);
 /// * the static part of `D` is the signed subtended angle over `2π`;
-/// * the remainders are integrated with the shared adaptive line rule.
+/// * the remainders are integrated with the shared adaptive line rule, node
+///   blocks at a time: under [`KernelEval::Batched`] each block's kernel
+///   samples come from one [`PeriodicGreen2d::eval_batch_samples`] call
+///   (the 2D kernel *is* the expensive part of this integrand), under
+///   [`KernelEval::Scalar`] from per-node [`PeriodicGreen2d::sample`] calls —
+///   the oracle path, bit-identical to the historical per-point recursion.
+#[allow(clippy::too_many_arguments)]
 fn corrected_entry_2d(
     green: &PeriodicGreen2d,
     observation: &Segment2d,
@@ -254,6 +329,9 @@ fn corrected_entry_2d(
     src_x: f64,
     width: f64,
     rule: &AdaptiveLineGauss,
+    eval: KernelEval,
+    scratch: &mut Scratch2d,
+    stats: &mut AssemblyStats,
 ) -> (c64, c64) {
     let h = 0.5 * width;
     let a = [src_x - h, source.z - source.fx * h];
@@ -264,28 +342,71 @@ fn corrected_entry_2d(
 
     let normal = source.normal;
     let jacobian = source.jacobian;
-    let outcome = rule.integrate_pair(
+    let origin_tiny = 1e-12 * width;
+    // Split borrows: the quadrature arena and the kernel node buffers are
+    // disjoint fields of the worker scratch.
+    let Scratch2d {
+        quad,
+        node_seps,
+        node_out,
+        ..
+    } = scratch;
+    let outcome = rule.integrate_pair_batched(
         (src_x - h, src_x + h),
         static_single.abs().max(width / (2.0 * PI)),
-        |xs| {
-            let zs = source.z + source.fx * (xs - src_x);
-            let dx = p[0] - xs;
-            let dz = p[1] - zs;
-            let r = (dx * dx + dz * dz).sqrt();
-            if r < 1e-12 * width {
-                return (green.regularized_at_origin(), c64::zero());
+        quad,
+        |xs, out| {
+            node_seps.clear();
+            for &x in xs {
+                let zs = source.z + source.fx * (x - src_x);
+                node_seps.push(Separation2d::new(p[0] - x, p[1] - zs));
             }
-            // The log cancellation is benign (both terms are O(ln R)), so the
-            // remainder can be formed directly from the full kernel.
-            let sample = green.sample(dx, dz);
-            let s = sample.value + c64::from_real(r.ln() / (2.0 * PI));
-            // Remainder gradient: ∇_Δ(G + ln R/(2π)) = ∇_Δ G + Δ̂/(2πR).
-            let gx = sample.gradient[0] + c64::from_real(dx / (2.0 * PI * r * r));
-            let gz = sample.gradient[1] + c64::from_real(dz / (2.0 * PI * r * r));
-            let d = -(gx * normal[0] + gz * normal[1]) * jacobian;
-            (s, d)
+            node_out.clear();
+            node_out.resize(node_seps.len(), Green2dSample::default());
+            match eval {
+                KernelEval::Batched => {
+                    // A node on top of the source centre would be a lattice
+                    // point for the batch evaluator; integrate it as the
+                    // regularized origin value below instead.
+                    let safe = node_seps
+                        .iter()
+                        .all(|sep| sep.dx.hypot(sep.dz) >= origin_tiny);
+                    if safe {
+                        green.eval_batch_samples(node_seps, node_out);
+                    } else {
+                        for (sep, slot) in node_seps.iter().zip(node_out.iter_mut()) {
+                            if sep.dx.hypot(sep.dz) >= origin_tiny {
+                                *slot = green.sample(sep.dx, sep.dz);
+                            }
+                        }
+                    }
+                }
+                KernelEval::Scalar => {
+                    for (sep, slot) in node_seps.iter().zip(node_out.iter_mut()) {
+                        if sep.dx.hypot(sep.dz) >= origin_tiny {
+                            *slot = green.sample(sep.dx, sep.dz);
+                        }
+                    }
+                }
+            }
+            for ((sep, sample), slot) in node_seps.iter().zip(node_out.iter()).zip(out.iter_mut()) {
+                let r = sep.dx.hypot(sep.dz);
+                if r < origin_tiny {
+                    *slot = (green.regularized_at_origin(), c64::zero());
+                    continue;
+                }
+                // The log cancellation is benign (both terms are O(ln R)), so
+                // the remainder can be formed directly from the full kernel.
+                let s = sample.value + c64::from_real(r.ln() / (2.0 * PI));
+                // Remainder gradient: ∇_Δ(G + ln R/(2π)) = ∇_Δ G + Δ̂/(2πR).
+                let gx = sample.gradient[0] + c64::from_real(sep.dx / (2.0 * PI * r * r));
+                let gz = sample.gradient[1] + c64::from_real(sep.dz / (2.0 * PI * r * r));
+                let d = -(gx * normal[0] + gz * normal[1]) * jacobian;
+                *slot = (s, d);
+            }
         },
     );
+    stats.absorb(&outcome);
     (
         c64::from_real(static_single) + outcome.values.0,
         c64::from_real(static_double) + outcome.values.1,
@@ -326,6 +447,8 @@ pub struct SwmSystem2d {
     pub rhs: Vec<c64>,
     /// Number of surface unknowns N.
     pub surface_unknowns: usize,
+    /// Merged integration diagnostics of both media assemblies.
+    pub stats: AssemblyStats,
 }
 
 /// Assembles the full coupled 2D system.
@@ -337,11 +460,21 @@ pub fn assemble_system_2d(
     k1: c64,
     scheme: AssemblyScheme,
 ) -> SwmSystem2d {
-    assemble_system_2d_with(mesh, g1, g2, beta, k1, scheme, KernelEval::default())
+    assemble_system_2d_with(
+        mesh,
+        g1,
+        g2,
+        beta,
+        k1,
+        scheme,
+        KernelEval::default(),
+        AssemblyParallelism::default(),
+    )
 }
 
-/// Assembles the full coupled 2D system with an explicit kernel evaluation
-/// strategy (see [`assemble_medium_2d_with`]).
+/// Assembles the full coupled 2D system with explicit kernel evaluation and
+/// parallelism strategies (see [`assemble_medium_2d_with`]).
+#[allow(clippy::too_many_arguments)]
 pub fn assemble_system_2d_with(
     mesh: &ContourMesh,
     g1: &PeriodicGreen2d,
@@ -350,10 +483,11 @@ pub fn assemble_system_2d_with(
     k1: c64,
     scheme: AssemblyScheme,
     eval: KernelEval,
+    parallelism: AssemblyParallelism,
 ) -> SwmSystem2d {
     let n = mesh.len();
-    let m1 = assemble_medium_2d_with(mesh, g1, scheme, eval);
-    let m2 = assemble_medium_2d_with(mesh, g2, scheme, eval);
+    let m1 = assemble_medium_2d_with(mesh, g1, scheme, eval, parallelism);
+    let m2 = assemble_medium_2d_with(mesh, g2, scheme, eval, parallelism);
 
     let mut matrix = CMatrix::zeros(2 * n, 2 * n);
     let half = c64::from_real(0.5);
@@ -372,10 +506,13 @@ pub fn assemble_system_2d_with(
         rhs[i] = (c64::new(0.0, -1.0) * k1 * seg.z).exp();
     }
 
+    let mut stats = m1.stats;
+    stats.merge(&m2.stats);
     SwmSystem2d {
         matrix,
         rhs,
         surface_unknowns: n,
+        stats,
     }
 }
 
@@ -459,8 +596,20 @@ mod tests {
         for &k in &[c64::new(1.0e6, 1.0e6), c64::new(2.0e5, 0.0)] {
             let g = PeriodicGreen2d::new(k, 5e-6);
             for scheme in both_schemes() {
-                let scalar = assemble_medium_2d_with(&mesh, &g, scheme, KernelEval::Scalar);
-                let batched = assemble_medium_2d_with(&mesh, &g, scheme, KernelEval::Batched);
+                let scalar = assemble_medium_2d_with(
+                    &mesh,
+                    &g,
+                    scheme,
+                    KernelEval::Scalar,
+                    AssemblyParallelism::Serial,
+                );
+                let batched = assemble_medium_2d_with(
+                    &mesh,
+                    &g,
+                    scheme,
+                    KernelEval::Batched,
+                    AssemblyParallelism::Serial,
+                );
                 let mut scale = 0.0f64;
                 for i in 0..mesh.len() {
                     for j in 0..mesh.len() {
@@ -485,6 +634,64 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn parallel_assembly_is_bit_identical_across_thread_counts() {
+        let profile = Profile1d::new(
+            5e-6,
+            (0..10)
+                .map(|i| 0.3e-6 * (2.0 * std::f64::consts::PI * i as f64 / 10.0).sin())
+                .collect(),
+        )
+        .unwrap();
+        let mesh = ContourMesh::from_profile(&profile);
+        let g = PeriodicGreen2d::new(c64::new(1.0e6, 1.0e6), 5e-6);
+        for scheme in both_schemes() {
+            for eval in [KernelEval::Batched, KernelEval::Scalar] {
+                let serial =
+                    assemble_medium_2d_with(&mesh, &g, scheme, eval, AssemblyParallelism::Serial);
+                for threads in [1usize, 2, 4, 8] {
+                    let parallel = assemble_medium_2d_with(
+                        &mesh,
+                        &g,
+                        scheme,
+                        eval,
+                        AssemblyParallelism::workers(threads),
+                    );
+                    for i in 0..mesh.len() {
+                        for j in 0..mesh.len() {
+                            let (a, b) =
+                                (serial.single_layer[(i, j)], parallel.single_layer[(i, j)]);
+                            assert_eq!(
+                                (a.re.to_bits(), a.im.to_bits()),
+                                (b.re.to_bits(), b.im.to_bits()),
+                                "{scheme:?}/{eval:?} S[{i}][{j}] at {threads} threads"
+                            );
+                            let (a, b) =
+                                (serial.double_layer[(i, j)], parallel.double_layer[(i, j)]);
+                            assert_eq!(
+                                (a.re.to_bits(), a.im.to_bits()),
+                                (b.re.to_bits(), b.im.to_bits()),
+                                "{scheme:?}/{eval:?} D[{i}][{j}] at {threads} threads"
+                            );
+                        }
+                    }
+                    assert_eq!(parallel.stats, serial.stats);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corrected_assembly_reports_adaptive_statistics() {
+        let mesh = ContourMesh::from_profile(&Profile1d::flat(8, 5e-6));
+        let g = PeriodicGreen2d::new(c64::new(1.0e6, 1.0e6), 5e-6);
+        let blocks = assemble_medium_2d(&mesh, &g, AssemblyScheme::default());
+        assert!(blocks.stats.corrected_entries >= mesh.len());
+        assert!(blocks.stats.all_converged(), "{:?}", blocks.stats);
+        let legacy = assemble_medium_2d(&mesh, &g, AssemblyScheme::Legacy);
+        assert_eq!(legacy.stats, AssemblyStats::default());
     }
 
     #[test]

@@ -46,18 +46,26 @@
 //! quadrature are untouched. [`KernelEval::Scalar`] evaluates the identical
 //! points one kernel call at a time and serves as the equivalence oracle
 //! (agreement ≤ 1e-12 relative) and the benchmark baseline.
+//!
+//! Orthogonal to *both*, [`AssemblyParallelism`] spreads the row panels over
+//! worker threads: rows are independent work items (each gathers, evaluates
+//! and combines only its own kernel samples), computed with per-worker scratch
+//! through [`crate::parallel::map_rows`] and scattered serially in row order —
+//! so a parallel assembly is **bit-identical** to the serial one at any
+//! thread count (pinned by tests at 1/2/4/8 threads for both schemes).
 
 use crate::mesh::{Cell3d, PatchMesh};
-use crate::nearfield::{AssemblyScheme, KernelEval, NearFieldPolicy};
+use crate::nearfield::{AssemblyScheme, AssemblyStats, KernelEval, NearFieldPolicy};
+use crate::parallel::{map_rows, AssemblyParallelism};
 use rough_em::green::free_space::{
-    inverse_r_integral_over_planar_polygon, inverse_r_integral_over_rectangle, smooth_kernel_3d,
-    smooth_kernel_3d_radial_derivative, smooth_part_at_origin, solid_angle_of_planar_polygon,
+    inverse_r_integral_over_planar_polygon, inverse_r_integral_over_rectangle,
+    smooth_kernel_3d_with_derivative, smooth_part_at_origin, solid_angle_of_planar_polygon,
 };
 use rough_em::green::{GreenSample, PeriodicGreen3d, SeparationVector};
 use rough_numerics::complex::c64;
 use rough_numerics::linalg::CMatrix;
 use rough_numerics::quadrature::{gauss_legendre_on, QuadratureRule};
-use rough_numerics::quadrature2d::AdaptiveTensorGauss;
+use rough_numerics::quadrature2d::{AdaptiveTensorGauss, QuadScratch};
 use std::f64::consts::PI;
 
 /// Evaluates gathered separations either through the batched kernel API or —
@@ -107,6 +115,10 @@ pub struct MediumBlocks {
     pub single_layer: CMatrix,
     /// Double-layer interaction matrix `D` (N × N).
     pub double_layer: CMatrix,
+    /// Integration diagnostics of this assembly (adaptive-quadrature panel
+    /// counts and depth-cap hits; all zero for the legacy scheme, which uses
+    /// fixed rules only).
+    pub stats: AssemblyStats,
 }
 
 /// Assembles the single- and double-layer blocks for one medium.
@@ -122,17 +134,27 @@ pub fn assemble_medium(
     green: &PeriodicGreen3d,
     scheme: AssemblyScheme,
 ) -> MediumBlocks {
-    assemble_medium_with(mesh, green, scheme, KernelEval::default())
+    assemble_medium_with(
+        mesh,
+        green,
+        scheme,
+        KernelEval::default(),
+        AssemblyParallelism::default(),
+    )
 }
 
-/// Assembles the single- and double-layer blocks with an explicit kernel
-/// evaluation strategy.
+/// Assembles the single- and double-layer blocks with explicit kernel
+/// evaluation and parallelism strategies.
 ///
 /// [`KernelEval::Batched`] (what [`assemble_medium`] uses) gathers the
 /// far-field separations of every matrix row into one blocked kernel call;
 /// [`KernelEval::Scalar`] evaluates the same points one scalar kernel call at
 /// a time and is kept as the equivalence oracle and benchmark baseline. The
 /// two agree to ≤ 1e-12 relative on every entry.
+///
+/// `parallelism` spreads the row panels over worker threads; the result is
+/// bit-identical at any thread count (rows are independent and the scatter is
+/// serial in row order).
 ///
 /// # Panics
 ///
@@ -142,17 +164,39 @@ pub fn assemble_medium_with(
     green: &PeriodicGreen3d,
     scheme: AssemblyScheme,
     eval: KernelEval,
+    parallelism: AssemblyParallelism,
 ) -> MediumBlocks {
     assert!(
         (green.period() - mesh.patch_length()).abs() < 1e-9 * mesh.patch_length(),
         "Green's function period must match the mesh patch length"
     );
     match scheme {
-        AssemblyScheme::Legacy => assemble_medium_legacy(mesh, green, eval),
+        AssemblyScheme::Legacy => assemble_medium_legacy(mesh, green, eval, parallelism),
         AssemblyScheme::LocallyCorrected(policy) => {
-            assemble_medium_corrected(mesh, green, policy, eval)
+            assemble_medium_corrected(mesh, green, policy, eval, parallelism)
         }
     }
+}
+
+/// Row-local gather/evaluate buffers of the legacy scheme, one per worker.
+#[derive(Default)]
+struct LegacyScratch {
+    far_js: Vec<usize>,
+    far_seps: Vec<SeparationVector>,
+    far_out: Vec<GreenSample>,
+    near_js: Vec<usize>,
+    near_seps: Vec<SeparationVector>,
+    near_out: Vec<GreenSample>,
+}
+
+/// The computed entries of one legacy row panel (row `i` owns every pair
+/// `(i, j)` with `j > i`; the scatter writes both triangle halves).
+struct LegacyRow {
+    self_single: c64,
+    /// `(j, S_ij = S_ji, D_ij, D_ji)` of the far pairs.
+    far: Vec<(usize, c64, c64, c64)>,
+    /// `(j, S_ij, S_ji, D_ij, D_ji)` of the near pairs.
+    near: Vec<(usize, c64, c64, c64, c64)>,
 }
 
 /// The seed near-field treatment, kept as the comparison baseline. With
@@ -164,13 +208,12 @@ fn assemble_medium_legacy(
     mesh: &PatchMesh,
     green: &PeriodicGreen3d,
     eval: KernelEval,
+    parallelism: AssemblyParallelism,
 ) -> MediumBlocks {
     let n = mesh.len();
     let cells = mesh.cells();
     let area = mesh.cell_area();
     let delta = mesh.cell_size();
-    let mut single = CMatrix::zeros(n, n);
-    let mut double = CMatrix::zeros(n, n);
 
     // Self term: ∫_cell 1/(4πR) dx'dy' handled analytically, the smooth
     // remainder (e^{jkR}−1)/(4πR) with its midpoint value jk/4π, and the
@@ -182,83 +225,109 @@ fn assemble_medium_legacy(
     let near_rule = gauss_legendre_on(3, -0.5 * delta, 0.5 * delta);
     let points_per_cell = near_rule.len() * near_rule.len();
 
-    // Row-panel gather/scatter buffers, reused across rows.
-    let mut far_js: Vec<usize> = Vec::with_capacity(n);
-    let mut far_seps: Vec<SeparationVector> = Vec::with_capacity(n);
-    let mut far_out: Vec<GreenSample> = Vec::with_capacity(n);
-    let mut near_js: Vec<usize> = Vec::new();
-    let mut near_seps: Vec<SeparationVector> = Vec::new();
-    let mut near_out: Vec<GreenSample> = Vec::new();
+    let rows = map_rows(
+        n,
+        parallelism.worker_count(),
+        LegacyScratch::default,
+        |i, scratch| {
+            // The distance between two points of the same *tilted* cell is
+            // larger than their projected separation: R² = ρᵀ(I + ∇f ∇fᵀ)ρ.
+            // Diagonalizing the metric stretches the cell by the Jacobian
+            // J = √(1+|∇f|²) along the gradient direction, so the analytic
+            // static integral becomes the one over a Δ × JΔ rectangle divided
+            // by J. Neglecting this tilt makes the self term too large by
+            // O(|∇f|²), which would systematically bias the loss-enhancement
+            // factor low.
+            let stretch = cells[i].jacobian;
+            let static_part =
+                inverse_r_integral_over_rectangle(delta, delta * stretch) / (4.0 * PI * stretch);
+            let self_single =
+                c64::from_real(static_part) + (smooth_at_zero + regular_at_zero) * area;
+            // The principal value of the double layer over the (locally flat)
+            // self cell vanishes, as does the gradient of the regularized
+            // kernel at the origin, so D_ii = 0.
 
-    for i in 0..n {
-        // The distance between two points of the same *tilted* cell is larger
-        // than their projected separation: R² = ρᵀ(I + ∇f ∇fᵀ)ρ. Diagonalizing
-        // the metric stretches the cell by the Jacobian J = √(1+|∇f|²) along
-        // the gradient direction, so the analytic static integral becomes the
-        // one over a Δ × JΔ rectangle divided by J. Neglecting this tilt makes
-        // the self term too large by O(|∇f|²), which would systematically bias
-        // the loss-enhancement factor low.
-        let stretch = cells[i].jacobian;
-        let static_part =
-            inverse_r_integral_over_rectangle(delta, delta * stretch) / (4.0 * PI * stretch);
-        single[(i, i)] = c64::from_real(static_part) + (smooth_at_zero + regular_at_zero) * area;
-        // The principal value of the double layer over the (locally flat) self
-        // cell vanishes, as does the gradient of the regularized kernel at the
-        // origin, so D_ii = 0.
+            // Gather pass: classify each pair of the row panel as near (fixed
+            // tensor-rule quadrature over the source cell, both directions) or
+            // far (one midpoint kernel sample shared by (i, j) and (j, i)).
+            let ci = cells[i];
+            scratch.far_js.clear();
+            scratch.far_seps.clear();
+            scratch.near_js.clear();
+            scratch.near_seps.clear();
+            for (j, cj) in cells.iter().enumerate().skip(i + 1) {
+                let dx = ci.x - cj.x;
+                let dy = ci.y - cj.y;
+                let dz = ci.z - cj.z;
+                let r2 = dx * dx + dy * dy + dz * dz;
 
-        // Gather pass: classify each pair of the row panel as near (fixed
-        // tensor-rule quadrature over the source cell, both directions) or far
-        // (one midpoint kernel sample shared by (i, j) and (j, i)).
-        let ci = cells[i];
-        far_js.clear();
-        far_seps.clear();
-        near_js.clear();
-        near_seps.clear();
-        for (j, cj) in cells.iter().enumerate().skip(i + 1) {
-            let dx = ci.x - cj.x;
-            let dy = ci.y - cj.y;
-            let dz = ci.z - cj.z;
-            let r2 = dx * dx + dy * dy + dz * dz;
-
-            // Near interactions: the 1/R kernel varies strongly across the
-            // source cell, so a single midpoint sample biases the absorbed
-            // power low on rough surfaces. Integrate over the source cell with
-            // a tensor Gauss rule (tangent-plane surface representation).
-            let near_radius = 2.5 * delta;
-            if r2 < near_radius * near_radius {
-                near_js.push(j);
-                gather_source_cell_points(&near_rule, &ci, cj, &mut near_seps);
-                gather_source_cell_points(&near_rule, cj, &ci, &mut near_seps);
-            } else {
-                far_js.push(j);
-                far_seps.push(SeparationVector::new(dx, dy, dz));
+                // Near interactions: the 1/R kernel varies strongly across the
+                // source cell, so a single midpoint sample biases the absorbed
+                // power low on rough surfaces. Integrate over the source cell
+                // with a tensor Gauss rule (tangent-plane surface
+                // representation).
+                let near_radius = 2.5 * delta;
+                if r2 < near_radius * near_radius {
+                    scratch.near_js.push(j);
+                    gather_source_cell_points(&near_rule, &ci, cj, &mut scratch.near_seps);
+                    gather_source_cell_points(&near_rule, cj, &ci, &mut scratch.near_seps);
+                } else {
+                    scratch.far_js.push(j);
+                    scratch.far_seps.push(SeparationVector::new(dx, dy, dz));
+                }
             }
-        }
 
-        eval_gathered(green, eval, &far_seps, &mut far_out);
-        eval_gathered(green, eval, &near_seps, &mut near_out);
+            eval_gathered(green, eval, &scratch.far_seps, &mut scratch.far_out);
+            eval_gathered(green, eval, &scratch.near_seps, &mut scratch.near_out);
 
-        // Scatter pass.
-        for (sample, &j) in far_out.iter().zip(&far_js) {
-            let cj = cells[j];
-            let s = sample.value * area;
+            // Combine pass: fold the evaluated samples into this row's entry
+            // values (the scatter into the matrix happens serially outside).
+            let mut far = Vec::with_capacity(scratch.far_js.len());
+            for (sample, &j) in scratch.far_out.iter().zip(&scratch.far_js) {
+                let cj = cells[j];
+                let s = sample.value * area;
+
+                // ∇'G = −∇_Δ G. D_ij tests the source-cell normal n̂_j; D_ji
+                // the normal n̂_i with the opposite separation (∇_Δ G is odd).
+                let grad = sample.gradient;
+                let dij =
+                    -(grad[0] * cj.normal[0] + grad[1] * cj.normal[1] + grad[2] * cj.normal[2])
+                        * (cj.jacobian * area);
+                let dji =
+                    (grad[0] * ci.normal[0] + grad[1] * ci.normal[1] + grad[2] * ci.normal[2])
+                        * (ci.jacobian * area);
+                far.push((j, s, dij, dji));
+            }
+            let mut near = Vec::with_capacity(scratch.near_js.len());
+            for (index, &j) in scratch.near_js.iter().enumerate() {
+                let block = &scratch.near_out
+                    [2 * points_per_cell * index..2 * points_per_cell * (index + 1)];
+                let (sij, dij) =
+                    combine_source_cell(&near_rule, &cells[j], &block[..points_per_cell]);
+                let (sji, dji) = combine_source_cell(&near_rule, &ci, &block[points_per_cell..]);
+                near.push((j, sij, sji, dij, dji));
+            }
+            LegacyRow {
+                self_single,
+                far,
+                near,
+            }
+        },
+    );
+
+    // Serial scatter in row order: deterministic and race-free by
+    // construction, so the matrices are bit-identical at any thread count.
+    let mut single = CMatrix::zeros(n, n);
+    let mut double = CMatrix::zeros(n, n);
+    for (i, row) in rows.iter().enumerate() {
+        single[(i, i)] = row.self_single;
+        for &(j, s, dij, dji) in &row.far {
             single[(i, j)] = s;
             single[(j, i)] = s;
-
-            // ∇'G = −∇_Δ G. D_ij tests the source-cell normal n̂_j; D_ji the
-            // normal n̂_i with the opposite separation (∇_Δ G is odd).
-            let grad = sample.gradient;
-            let dij = -(grad[0] * cj.normal[0] + grad[1] * cj.normal[1] + grad[2] * cj.normal[2])
-                * (cj.jacobian * area);
-            let dji = (grad[0] * ci.normal[0] + grad[1] * ci.normal[1] + grad[2] * ci.normal[2])
-                * (ci.jacobian * area);
             double[(i, j)] = dij;
             double[(j, i)] = dji;
         }
-        for (index, &j) in near_js.iter().enumerate() {
-            let block = &near_out[2 * points_per_cell * index..2 * points_per_cell * (index + 1)];
-            let (sij, dij) = combine_source_cell(&near_rule, &cells[j], &block[..points_per_cell]);
-            let (sji, dji) = combine_source_cell(&near_rule, &ci, &block[points_per_cell..]);
+        for &(j, sij, sji, dij, dji) in &row.near {
             single[(i, j)] = sij;
             single[(j, i)] = sji;
             double[(i, j)] = dij;
@@ -269,6 +338,7 @@ fn assemble_medium_legacy(
     MediumBlocks {
         single_layer: single,
         double_layer: double,
+        stats: AssemblyStats::default(),
     }
 }
 
@@ -278,6 +348,28 @@ struct NearEntry {
     j: usize,
     src_x: f64,
     src_y: f64,
+}
+
+/// Row-local buffers of the corrected scheme, one per worker: kernel
+/// gather/evaluate slices plus the adaptive-quadrature node arena.
+#[derive(Default)]
+struct CorrectedScratch {
+    far_js: Vec<usize>,
+    far_seps: Vec<SeparationVector>,
+    far_out: Vec<GreenSample>,
+    near_entries: Vec<NearEntry>,
+    image_seps: Vec<SeparationVector>,
+    image_out: Vec<GreenSample>,
+    quad: QuadScratch,
+}
+
+/// The computed entries of one corrected row panel (`(j, S_ij, D_ij)`; the
+/// corrected scheme integrates each direction from its own side, so a row
+/// owns exactly its own matrix row).
+struct CorrectedRow {
+    far: Vec<(usize, c64, c64)>,
+    near: Vec<(usize, c64, c64)>,
+    stats: AssemblyStats,
 }
 
 /// Locally corrected assembly: analytic static extraction plus adaptive
@@ -294,6 +386,7 @@ fn assemble_medium_corrected(
     green: &PeriodicGreen3d,
     policy: NearFieldPolicy,
     eval: KernelEval,
+    parallelism: AssemblyParallelism,
 ) -> MediumBlocks {
     let n = mesh.len();
     let cells = mesh.cells();
@@ -310,85 +403,119 @@ fn assemble_medium_corrected(
         image: gauss_legendre_on(3, -0.5, 0.5),
     };
     let image_points = rule.image.len() * rule.image.len();
+
+    let rows = map_rows(
+        n,
+        parallelism.worker_count(),
+        CorrectedScratch::default,
+        |i, scratch| {
+            let ci = cells[i];
+            scratch.far_js.clear();
+            scratch.far_seps.clear();
+            scratch.near_entries.clear();
+            scratch.image_seps.clear();
+            for (j, cj) in cells.iter().enumerate() {
+                if i == j {
+                    gather_image_points(
+                        &rule.image,
+                        &ci,
+                        cj,
+                        cj.x,
+                        cj.y,
+                        delta,
+                        &mut scratch.image_seps,
+                    );
+                    scratch.near_entries.push(NearEntry {
+                        j,
+                        src_x: cj.x,
+                        src_y: cj.y,
+                    });
+                    continue;
+                }
+                let dx = ci.x - cj.x;
+                let dy = ci.y - cj.y;
+                let dz = ci.z - cj.z;
+                // Minimum-image separation: cells adjacent across the periodic
+                // seam are genuine near neighbours of the kernel's nearest
+                // image.
+                let wrap_x = (dx / length).round() * length;
+                let wrap_y = (dy / length).round() * length;
+                let dxw = dx - wrap_x;
+                let dyw = dy - wrap_y;
+                let r2 = dxw * dxw + dyw * dyw + dz * dz;
+
+                if r2 < near_radius_sq {
+                    let (src_x, src_y) = (cj.x + wrap_x, cj.y + wrap_y);
+                    gather_image_points(
+                        &rule.image,
+                        &ci,
+                        cj,
+                        src_x,
+                        src_y,
+                        delta,
+                        &mut scratch.image_seps,
+                    );
+                    scratch.near_entries.push(NearEntry { j, src_x, src_y });
+                } else {
+                    scratch.far_js.push(j);
+                    scratch.far_seps.push(SeparationVector::new(dx, dy, dz));
+                }
+            }
+
+            eval_gathered(green, eval, &scratch.far_seps, &mut scratch.far_out);
+            eval_gathered_regularized(green, eval, &scratch.image_seps, &mut scratch.image_out);
+
+            let mut far = Vec::with_capacity(scratch.far_js.len());
+            for (sample, &j) in scratch.far_out.iter().zip(&scratch.far_js) {
+                let cj = cells[j];
+                let s = sample.value * area;
+                let grad = sample.gradient;
+                let d = -(grad[0] * cj.normal[0] + grad[1] * cj.normal[1] + grad[2] * cj.normal[2])
+                    * (cj.jacobian * area);
+                far.push((j, s, d));
+            }
+            let mut near = Vec::with_capacity(scratch.near_entries.len());
+            let mut stats = AssemblyStats::default();
+            for (index, entry) in scratch.near_entries.iter().enumerate() {
+                let images = &scratch.image_out[image_points * index..image_points * (index + 1)];
+                let (s, d) = corrected_entry(
+                    green,
+                    &ci,
+                    &cells[entry.j],
+                    entry.src_x,
+                    entry.src_y,
+                    delta,
+                    &rule,
+                    images,
+                    &mut scratch.quad,
+                    &mut stats,
+                );
+                near.push((entry.j, s, d));
+            }
+            CorrectedRow { far, near, stats }
+        },
+    );
+
+    // Serial scatter in row order; each row owns exactly its own matrix row.
     let mut single = CMatrix::zeros(n, n);
     let mut double = CMatrix::zeros(n, n);
-
-    // Row-panel gather/scatter buffers, reused across rows.
-    let mut far_js: Vec<usize> = Vec::with_capacity(n);
-    let mut far_seps: Vec<SeparationVector> = Vec::with_capacity(n);
-    let mut far_out: Vec<GreenSample> = Vec::with_capacity(n);
-    let mut near_entries: Vec<NearEntry> = Vec::new();
-    let mut image_seps: Vec<SeparationVector> = Vec::new();
-    let mut image_out: Vec<GreenSample> = Vec::new();
-
-    for i in 0..n {
-        let ci = cells[i];
-        far_js.clear();
-        far_seps.clear();
-        near_entries.clear();
-        image_seps.clear();
-        for (j, cj) in cells.iter().enumerate() {
-            if i == j {
-                gather_image_points(&rule.image, &ci, cj, cj.x, cj.y, delta, &mut image_seps);
-                near_entries.push(NearEntry {
-                    j,
-                    src_x: cj.x,
-                    src_y: cj.y,
-                });
-                continue;
-            }
-            let dx = ci.x - cj.x;
-            let dy = ci.y - cj.y;
-            let dz = ci.z - cj.z;
-            // Minimum-image separation: cells adjacent across the periodic
-            // seam are genuine near neighbours of the kernel's nearest image.
-            let wrap_x = (dx / length).round() * length;
-            let wrap_y = (dy / length).round() * length;
-            let dxw = dx - wrap_x;
-            let dyw = dy - wrap_y;
-            let r2 = dxw * dxw + dyw * dyw + dz * dz;
-
-            if r2 < near_radius_sq {
-                let (src_x, src_y) = (cj.x + wrap_x, cj.y + wrap_y);
-                gather_image_points(&rule.image, &ci, cj, src_x, src_y, delta, &mut image_seps);
-                near_entries.push(NearEntry { j, src_x, src_y });
-            } else {
-                far_js.push(j);
-                far_seps.push(SeparationVector::new(dx, dy, dz));
-            }
+    let mut stats = AssemblyStats::default();
+    for (i, row) in rows.iter().enumerate() {
+        for &(j, s, d) in &row.far {
+            single[(i, j)] = s;
+            double[(i, j)] = d;
         }
-
-        eval_gathered(green, eval, &far_seps, &mut far_out);
-        eval_gathered_regularized(green, eval, &image_seps, &mut image_out);
-
-        for (sample, &j) in far_out.iter().zip(&far_js) {
-            let cj = cells[j];
-            single[(i, j)] = sample.value * area;
-            let grad = sample.gradient;
-            double[(i, j)] =
-                -(grad[0] * cj.normal[0] + grad[1] * cj.normal[1] + grad[2] * cj.normal[2])
-                    * (cj.jacobian * area);
+        for &(j, s, d) in &row.near {
+            single[(i, j)] = s;
+            double[(i, j)] = d;
         }
-        for (index, entry) in near_entries.iter().enumerate() {
-            let images = &image_out[image_points * index..image_points * (index + 1)];
-            let (s, d) = corrected_entry(
-                green,
-                &ci,
-                &cells[entry.j],
-                entry.src_x,
-                entry.src_y,
-                delta,
-                &rule,
-                images,
-            );
-            single[(i, entry.j)] = s;
-            double[(i, entry.j)] = d;
-        }
+        stats.merge(&row.stats);
     }
 
     MediumBlocks {
         single_layer: single,
         double_layer: double,
+        stats,
     }
 }
 
@@ -435,12 +562,18 @@ fn gather_image_points(
 ///   part of `D` is the signed solid angle of the parallelogram over `4π`;
 /// * the free-space smooth part still varies strongly across near cells once
 ///   `|k|Δ ≳ 1` (the conductor side below skin depth) but costs one complex
-///   exponential per point — it gets the adaptive rule;
+///   exponential per point — it gets the adaptive rule, evaluated over whole
+///   node blocks ([`AdaptiveTensorGauss::integrate_pair_batched`]) with the
+///   fused value/derivative kernel so the `exp` work is shared;
 /// * the periodic-image (`regularized`) part is analytic on the scale of the
 ///   patch period, so a fixed 3 × 3 rule integrates it to far below the
 ///   remainder tolerance; its kernel samples arrive pre-evaluated in
 ///   `image_samples` ([`gather_image_points`] order), so the row panel can
 ///   batch them together with the far field.
+///
+/// The adaptive outcome (panel count, depth-cap hits, achieved error) is
+/// absorbed into `stats` so callers can see when the depth cap truncated the
+/// refinement instead of silently accepting the result.
 #[allow(clippy::too_many_arguments)]
 fn corrected_entry(
     green: &PeriodicGreen3d,
@@ -451,6 +584,8 @@ fn corrected_entry(
     delta: f64,
     rule: &NearRules,
     image_samples: &[GreenSample],
+    quad: &mut QuadScratch,
+    stats: &mut AssemblyStats,
 ) -> (c64, c64) {
     let h = 0.5 * delta;
     let vertices = [
@@ -503,27 +638,32 @@ fn corrected_entry(
         }
     }
 
-    // Free-space smooth part on the adaptive rule (cheap evaluations).
-    let outcome = rule.adaptive.integrate_pair(
+    // Free-space smooth part on the adaptive rule, whole node blocks at a
+    // time (cheap per-point evaluations, call overhead amortized).
+    let outcome = rule.adaptive.integrate_pair_batched(
         (src_x - h, src_x + h),
         (src_y - h, src_y + h),
         static_single,
-        |xs, ys| {
-            let zs = source.z + source.fx * (xs - src_x) + source.fy * (ys - src_y);
-            let dx = p[0] - xs;
-            let dy = p[1] - ys;
-            let dz = p[2] - zs;
-            let r = (dx * dx + dy * dy + dz * dz).sqrt();
-            if r < origin_tiny {
-                return (smooth_kernel_3d(k, 0.0), c64::zero());
+        quad,
+        |xs, ys, out| {
+            for ((&x, &y), slot) in xs.iter().zip(ys.iter()).zip(out.iter_mut()) {
+                let zs = source.z + source.fx * (x - src_x) + source.fy * (y - src_y);
+                let dx = p[0] - x;
+                let dy = p[1] - y;
+                let dz = p[2] - zs;
+                let r = (dx * dx + dy * dy + dz * dz).sqrt();
+                if r < origin_tiny {
+                    *slot = (smooth_kernel_3d_with_derivative(k, 0.0).0, c64::zero());
+                    continue;
+                }
+                let (s, smooth_radial) = smooth_kernel_3d_with_derivative(k, r);
+                let along_normal = (dx * normal[0] + dy * normal[1] + dz * normal[2]) / r;
+                let d = -smooth_radial * (along_normal * jacobian);
+                *slot = (s, d);
             }
-            let s = smooth_kernel_3d(k, r);
-            let smooth_radial = smooth_kernel_3d_radial_derivative(k, r);
-            let along_normal = (dx * normal[0] + dy * normal[1] + dz * normal[2]) / r;
-            let d = -smooth_radial * (along_normal * jacobian);
-            (s, d)
         },
     );
+    stats.absorb(&outcome);
     (
         c64::from_real(static_single) + image_single + outcome.values.0,
         c64::from_real(static_double) + image_double + outcome.values.1,
@@ -589,6 +729,8 @@ pub struct SwmSystem {
     pub rhs: Vec<c64>,
     /// Number of surface unknowns N (the system order is 2N).
     pub surface_unknowns: usize,
+    /// Merged integration diagnostics of both media assemblies.
+    pub stats: AssemblyStats,
 }
 
 /// Assembles the full coupled system.
@@ -607,11 +749,21 @@ pub fn assemble_system(
     k1: c64,
     scheme: AssemblyScheme,
 ) -> SwmSystem {
-    assemble_system_with(mesh, g1, g2, beta, k1, scheme, KernelEval::default())
+    assemble_system_with(
+        mesh,
+        g1,
+        g2,
+        beta,
+        k1,
+        scheme,
+        KernelEval::default(),
+        AssemblyParallelism::default(),
+    )
 }
 
-/// Assembles the full coupled system with an explicit kernel evaluation
-/// strategy (see [`assemble_medium_with`]).
+/// Assembles the full coupled system with explicit kernel evaluation and
+/// parallelism strategies (see [`assemble_medium_with`]).
+#[allow(clippy::too_many_arguments)]
 pub fn assemble_system_with(
     mesh: &PatchMesh,
     g1: &PeriodicGreen3d,
@@ -620,10 +772,11 @@ pub fn assemble_system_with(
     k1: c64,
     scheme: AssemblyScheme,
     eval: KernelEval,
+    parallelism: AssemblyParallelism,
 ) -> SwmSystem {
     let n = mesh.len();
-    let m1 = assemble_medium_with(mesh, g1, scheme, eval);
-    let m2 = assemble_medium_with(mesh, g2, scheme, eval);
+    let m1 = assemble_medium_with(mesh, g1, scheme, eval, parallelism);
+    let m2 = assemble_medium_with(mesh, g2, scheme, eval, parallelism);
 
     let mut matrix = CMatrix::zeros(2 * n, 2 * n);
     let half = c64::from_real(0.5);
@@ -644,10 +797,13 @@ pub fn assemble_system_with(
         rhs[i] = (c64::new(0.0, -1.0) * k1 * cell.z).exp();
     }
 
+    let mut stats = m1.stats;
+    stats.merge(&m2.stats);
     SwmSystem {
         matrix,
         rhs,
         surface_unknowns: n,
+        stats,
     }
 }
 
@@ -784,8 +940,20 @@ mod tests {
         for &k in &[c64::new(1.0e6, 1.0e6), c64::new(2.0e5, 0.0)] {
             let g = PeriodicGreen3d::new(k, 5e-6);
             for scheme in both_schemes() {
-                let scalar = assemble_medium_with(&mesh, &g, scheme, KernelEval::Scalar);
-                let batched = assemble_medium_with(&mesh, &g, scheme, KernelEval::Batched);
+                let scalar = assemble_medium_with(
+                    &mesh,
+                    &g,
+                    scheme,
+                    KernelEval::Scalar,
+                    AssemblyParallelism::Serial,
+                );
+                let batched = assemble_medium_with(
+                    &mesh,
+                    &g,
+                    scheme,
+                    KernelEval::Batched,
+                    AssemblyParallelism::Serial,
+                );
                 // Entries that nearly cancel (e.g. far double-layer entries on
                 // almost-coplanar pairs) carry rounding noise proportional to
                 // the *largest* entry of their block, so that is the scale the
@@ -817,6 +985,97 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn parallel_assembly_is_bit_identical_across_thread_counts() {
+        // Rows are independent work items scattered serially, so the
+        // assembled matrices must match the serial result bit for bit at any
+        // thread count — for both schemes and both kernel evaluation paths.
+        let mesh = small_mesh();
+        let g = PeriodicGreen3d::new(c64::new(1.0e6, 1.0e6), 5e-6);
+        for scheme in both_schemes() {
+            for eval in [KernelEval::Batched, KernelEval::Scalar] {
+                let serial =
+                    assemble_medium_with(&mesh, &g, scheme, eval, AssemblyParallelism::Serial);
+                for threads in [1usize, 2, 4, 8] {
+                    let parallel = assemble_medium_with(
+                        &mesh,
+                        &g,
+                        scheme,
+                        eval,
+                        AssemblyParallelism::workers(threads),
+                    );
+                    for i in 0..mesh.len() {
+                        for j in 0..mesh.len() {
+                            let (a, b) =
+                                (serial.single_layer[(i, j)], parallel.single_layer[(i, j)]);
+                            assert_eq!(
+                                (a.re.to_bits(), a.im.to_bits()),
+                                (b.re.to_bits(), b.im.to_bits()),
+                                "{scheme:?}/{eval:?} S[{i}][{j}] at {threads} threads"
+                            );
+                            let (a, b) =
+                                (serial.double_layer[(i, j)], parallel.double_layer[(i, j)]);
+                            assert_eq!(
+                                (a.re.to_bits(), a.im.to_bits()),
+                                (b.re.to_bits(), b.im.to_bits()),
+                                "{scheme:?}/{eval:?} D[{i}][{j}] at {threads} threads"
+                            );
+                        }
+                    }
+                    assert_eq!(
+                        parallel.stats, serial.stats,
+                        "{scheme:?}/{eval:?} stats at {threads} threads"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corrected_assembly_reports_adaptive_statistics() {
+        let mesh = small_mesh();
+        let g = PeriodicGreen3d::new(c64::new(1.0e6, 1.0e6), 5e-6);
+        let corrected = assemble_medium(&mesh, &g, AssemblyScheme::default());
+        // Every row corrects its self cell plus its near neighbours.
+        assert!(corrected.stats.corrected_entries >= mesh.len());
+        assert!(corrected.stats.adaptive_panels >= corrected.stats.corrected_entries);
+        // On this rough conductor-side mesh a handful of entries hit the
+        // depth cap with a (tiny, ~1e-10 absolute) residual error — which is
+        // exactly what the stats exist to surface instead of silently
+        // accepting. The achieved error must still be well below the
+        // self-term scale.
+        let self_scale = corrected.single_layer[(0, 0)].abs();
+        assert!(
+            corrected.stats.max_entry_error < 1e-2 * self_scale,
+            "{:?} vs self scale {self_scale}",
+            corrected.stats
+        );
+        // The legacy scheme uses fixed rules only: no adaptive statistics.
+        let legacy = assemble_medium(&mesh, &g, AssemblyScheme::Legacy);
+        assert_eq!(legacy.stats, AssemblyStats::default());
+    }
+
+    #[test]
+    fn depth_capped_assembly_surfaces_the_truncation() {
+        // An order-1 embedded rule cannot meet the default tolerance within
+        // the depth budget on a lossy kernel; the stats must say so instead
+        // of pretending convergence.
+        let mesh = small_mesh();
+        let g = PeriodicGreen3d::new(c64::new(1.0e6, 1.0e6), 5e-6);
+        let starved = AssemblyScheme::LocallyCorrected(NearFieldPolicy::new(2.5, 1));
+        let blocks = assemble_medium(&mesh, &g, starved);
+        assert!(
+            !blocks.stats.all_converged(),
+            "an order-1 rule at the default tolerance must hit the depth cap: {:?}",
+            blocks.stats
+        );
+        assert!(blocks.stats.depth_cap_hits > 0);
+        assert!(blocks.stats.max_entry_error > 0.0);
+        // A starved rule must report *more* truncation than the default one.
+        let healthy = assemble_medium(&mesh, &g, AssemblyScheme::default());
+        assert!(blocks.stats.unconverged_entries >= healthy.stats.unconverged_entries);
     }
 
     #[test]

@@ -58,6 +58,7 @@ mod error;
 pub mod loss;
 pub mod mesh;
 pub mod nearfield;
+pub mod parallel;
 pub mod power;
 pub mod solver;
 mod spec;
@@ -65,7 +66,8 @@ pub mod swm2d;
 pub mod swm3d;
 
 pub use error::SwmError;
-pub use nearfield::{AssemblyScheme, KernelEval, NearFieldPolicy};
+pub use nearfield::{AssemblyScheme, AssemblyStats, KernelEval, NearFieldPolicy};
+pub use parallel::{AssemblyParallelism, ASSEMBLY_THREADS_ENV};
 pub use solver::SolverKind;
 pub use spec::RoughnessSpec;
 pub use swm3d::{SwmOperator, SwmProblem, SwmProblemBuilder};

@@ -18,6 +18,62 @@
 //! observation point — with periodic wrap-around, so cells adjacent across the
 //! patch seam are corrected too.
 
+use rough_numerics::quadrature2d::AdaptiveOutcome;
+
+/// Integration diagnostics of one assembly: how hard the adaptive
+/// smooth-remainder quadrature worked and — crucially — whether it was ever
+/// truncated by its subdivision depth cap instead of reaching the tolerance.
+///
+/// A depth-capped entry is *not* an error (the returned value is still the
+/// best available estimate, with the achieved error recorded), but silently
+/// accepting it would hide a resolution problem; campaigns can assert
+/// [`AssemblyStats::all_converged`] or log the worst achieved error.
+///
+/// Stats merge associatively and are accumulated in row order, so they are
+/// identical for serial and parallel assemblies.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AssemblyStats {
+    /// Locally corrected (self + near) entries integrated adaptively.
+    pub corrected_entries: usize,
+    /// Total adaptive panels evaluated across those entries.
+    pub adaptive_panels: usize,
+    /// Leaf panels accepted *only* because the depth cap was hit.
+    pub depth_cap_hits: usize,
+    /// Entries whose adaptive remainder did not meet the tolerance.
+    pub unconverged_entries: usize,
+    /// Largest per-entry achieved absolute error estimate (the embedded
+    /// `|coarse − fine|` sum over the entry's accepted leaves).
+    pub max_entry_error: f64,
+}
+
+impl AssemblyStats {
+    /// Books one adaptive integration outcome.
+    pub fn absorb(&mut self, outcome: &AdaptiveOutcome) {
+        self.corrected_entries += 1;
+        self.adaptive_panels += outcome.panels;
+        self.depth_cap_hits += outcome.depth_cap_hits;
+        if !outcome.converged {
+            self.unconverged_entries += 1;
+        }
+        self.max_entry_error = self.max_entry_error.max(outcome.error_estimate);
+    }
+
+    /// Merges another assembly's statistics into this one.
+    pub fn merge(&mut self, other: &Self) {
+        self.corrected_entries += other.corrected_entries;
+        self.adaptive_panels += other.adaptive_panels;
+        self.depth_cap_hits += other.depth_cap_hits;
+        self.unconverged_entries += other.unconverged_entries;
+        self.max_entry_error = self.max_entry_error.max(other.max_entry_error);
+    }
+
+    /// `true` when every adaptive entry met the tolerance before the depth
+    /// cap (vacuously true for the legacy scheme's fixed rules).
+    pub fn all_converged(&self) -> bool {
+        self.unconverged_entries == 0
+    }
+}
+
 /// How the periodic-kernel evaluations of an assembly are executed.
 ///
 /// Orthogonal to [`AssemblyScheme`] (which decides *what* is integrated where,

@@ -1,0 +1,224 @@
+//! Intra-solve assembly parallelism: the worker-count knob and the
+//! deterministic row mapper the assemblies are built on.
+//!
+//! The MOM system matrix is embarrassingly parallel across observation rows:
+//! every row panel gathers, evaluates and combines its own kernel samples
+//! without reading any other row's state. [`map_rows`] exploits that by
+//! farming row indices to a sized set of scoped worker threads and collecting
+//! the per-row results *in row order*, so the caller's scatter loop — and
+//! therefore the assembled matrix — is **bit-identical** at any thread count:
+//! each row's values are computed by exactly one worker with row-local
+//! scratch, and the scatter happens serially in a fixed order.
+//!
+//! [`AssemblyParallelism`] is the user-facing knob, threaded through
+//! [`crate::SwmProblemBuilder::assembly_parallelism`] and
+//! [`crate::swm2d::Swm2dProblem::with_assembly_parallelism`]. The
+//! `ROUGHSIM_ASSEMBLY_THREADS` environment variable (mirroring the engine's
+//! `ROUGHSIM_EXECUTOR`) overrides whatever a driver configured — see
+//! [`AssemblyParallelism::from_env`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable overriding the intra-solve assembly worker count
+/// (`serial`, or a thread count; `0` means one per hardware core).
+pub const ASSEMBLY_THREADS_ENV: &str = "ROUGHSIM_ASSEMBLY_THREADS";
+
+/// How many threads one assembly call spreads its row panels over.
+///
+/// Orthogonal to [`crate::AssemblyScheme`] and [`crate::KernelEval`]: the
+/// knob changes wall-clock time only — parallel and serial assemblies are
+/// bit-identical, because every row is computed independently and scattered
+/// in a fixed order (pinned by tests at 1/2/4/8 threads for both schemes).
+///
+/// The default is [`AssemblyParallelism::Serial`] so standalone solves keep
+/// their historical behaviour; the batch engine picks a worker count from its
+/// core budget (executor units × assembly threads ≤ cores).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AssemblyParallelism {
+    /// Single-threaded assembly (the historical behaviour).
+    #[default]
+    Serial,
+    /// Row panels spread over this many worker threads (≥ 2; a count of 1 is
+    /// normalized to [`AssemblyParallelism::Serial`] by the constructors).
+    Threads(usize),
+}
+
+impl AssemblyParallelism {
+    /// A parallelism of `workers` threads: `0` means one per hardware core,
+    /// `1` is [`AssemblyParallelism::Serial`].
+    pub fn workers(workers: usize) -> Self {
+        let workers = if workers == 0 {
+            available_cores()
+        } else {
+            workers
+        };
+        if workers <= 1 {
+            Self::Serial
+        } else {
+            Self::Threads(workers)
+        }
+    }
+
+    /// The worker-thread count this knob resolves to (≥ 1).
+    pub fn worker_count(&self) -> usize {
+        match self {
+            Self::Serial => 1,
+            Self::Threads(n) => (*n).max(1),
+        }
+    }
+
+    /// Parses an override value: `serial`, or a worker count (`0` = one per
+    /// hardware core). Returns `None` for anything unrecognizable.
+    pub fn parse(value: &str) -> Option<Self> {
+        match value.trim() {
+            "" => None,
+            "serial" => Some(Self::Serial),
+            n => n.parse::<usize>().ok().map(Self::workers),
+        }
+    }
+
+    /// The `ROUGHSIM_ASSEMBLY_THREADS` override, when set and well-formed.
+    ///
+    /// Drivers and the batch engine consult this *after* computing their own
+    /// default, so the variable wins everywhere — mirroring how
+    /// `ROUGHSIM_EXECUTOR` selects the unit executor.
+    pub fn from_env() -> Option<Self> {
+        std::env::var(ASSEMBLY_THREADS_ENV)
+            .ok()
+            .as_deref()
+            .and_then(Self::parse)
+    }
+}
+
+/// Hardware core count (1 when it cannot be determined).
+pub fn available_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Maps `row_fn` over `0..rows` on `threads` scoped worker threads, returning
+/// the results in row order.
+///
+/// Each worker owns one `make_scratch()` value for its whole lifetime, so
+/// gather buffers and quadrature arenas are allocated once per worker instead
+/// of once per row. Rows are handed out through an atomic cursor
+/// (load-balancing uneven rows) and results are reassembled by row index, so
+/// the output is independent of scheduling — the keystone of the
+/// parallel-assembly determinism guarantee.
+pub fn map_rows<R, S>(
+    rows: usize,
+    threads: usize,
+    make_scratch: impl Fn() -> S + Sync,
+    row_fn: impl Fn(usize, &mut S) -> R + Sync,
+) -> Vec<R>
+where
+    R: Send,
+{
+    let workers = threads.min(rows).max(1);
+    if workers <= 1 {
+        let mut scratch = make_scratch();
+        return (0..rows).map(|i| row_fn(i, &mut scratch)).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(rows));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut scratch = make_scratch();
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let row = cursor.fetch_add(1, Ordering::Relaxed);
+                    if row >= rows {
+                        break;
+                    }
+                    local.push((row, row_fn(row, &mut scratch)));
+                }
+                collected
+                    .lock()
+                    .expect("assembly worker panicked while holding the results lock")
+                    .extend(local);
+            });
+        }
+    });
+    let mut pairs = collected
+        .into_inner()
+        .expect("assembly results lock poisoned");
+    pairs.sort_by_key(|&(row, _)| row);
+    debug_assert_eq!(pairs.len(), rows);
+    pairs.into_iter().map(|(_, value)| value).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_rows_preserves_order_at_any_thread_count() {
+        let reference: Vec<usize> = (0..97).map(|i| i * i).collect();
+        for threads in [1, 2, 4, 8] {
+            let out = map_rows(97, threads, || 0usize, |i, _| i * i);
+            assert_eq!(out, reference, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn scratch_is_per_worker_and_reused() {
+        // With a serial run the single scratch counter climbs monotonically —
+        // it is created once and handed back to every row.
+        let serial = map_rows(
+            5,
+            1,
+            || 0usize,
+            |_, seen| {
+                *seen += 1;
+                *seen
+            },
+        );
+        assert_eq!(serial, vec![1, 2, 3, 4, 5]);
+        // In a parallel run every row sees *some* worker's counter: each row
+        // is processed exactly once, so the counters over all workers sum to
+        // the row count.
+        let parallel = map_rows(
+            50,
+            4,
+            || 0usize,
+            |_, seen| {
+                *seen += 1;
+                1usize
+            },
+        );
+        assert_eq!(parallel.iter().sum::<usize>(), 50);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs_are_fine() {
+        assert!(map_rows(0, 4, || (), |i, ()| i).is_empty());
+        assert_eq!(map_rows(1, 8, || (), |i, ()| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn knob_normalizes_and_parses() {
+        assert_eq!(AssemblyParallelism::workers(1), AssemblyParallelism::Serial);
+        assert_eq!(
+            AssemblyParallelism::workers(6),
+            AssemblyParallelism::Threads(6)
+        );
+        assert_eq!(AssemblyParallelism::Serial.worker_count(), 1);
+        assert_eq!(AssemblyParallelism::Threads(4).worker_count(), 4);
+        assert_eq!(
+            AssemblyParallelism::parse("serial"),
+            Some(AssemblyParallelism::Serial)
+        );
+        assert_eq!(
+            AssemblyParallelism::parse("4"),
+            Some(AssemblyParallelism::Threads(4))
+        );
+        // 0 resolves to the hardware count (≥ 1), never panics.
+        assert!(AssemblyParallelism::parse("0").is_some());
+        assert_eq!(AssemblyParallelism::parse("bogus"), None);
+        assert_eq!(AssemblyParallelism::parse(""), None);
+    }
+}

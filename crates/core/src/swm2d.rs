@@ -10,6 +10,7 @@ use crate::error::SwmError;
 use crate::loss::LossResult;
 use crate::mesh::ContourMesh;
 use crate::nearfield::{AssemblyScheme, KernelEval};
+use crate::parallel::AssemblyParallelism;
 use crate::power::absorbed_power_2d;
 use crate::solver::{solve_system, SolverKind};
 use rough_em::fresnel::flat_interface;
@@ -43,6 +44,7 @@ pub struct Swm2dProblem {
     solver: SolverKind,
     assembly: AssemblyScheme,
     kernel_eval: KernelEval,
+    assembly_parallelism: AssemblyParallelism,
 }
 
 impl Swm2dProblem {
@@ -63,6 +65,7 @@ impl Swm2dProblem {
             solver: SolverKind::DirectLu,
             assembly: AssemblyScheme::default(),
             kernel_eval: KernelEval::default(),
+            assembly_parallelism: AssemblyParallelism::default(),
         })
     }
 
@@ -84,6 +87,14 @@ impl Swm2dProblem {
     /// oracle used by equivalence tests and benchmarks).
     pub fn with_kernel_eval(mut self, kernel_eval: KernelEval) -> Self {
         self.kernel_eval = kernel_eval;
+        self
+    }
+
+    /// Selects the intra-solve assembly parallelism (defaults to
+    /// [`AssemblyParallelism::Serial`]); any worker count produces
+    /// bit-identical matrices.
+    pub fn with_assembly_parallelism(mut self, parallelism: AssemblyParallelism) -> Self {
+        self.assembly_parallelism = parallelism;
         self
     }
 
@@ -109,6 +120,7 @@ impl Swm2dProblem {
             self.stack.k1(self.frequency),
             self.assembly,
             self.kernel_eval,
+            self.assembly_parallelism,
         );
         let (solution, _) = solve_system(&system.matrix, &system.rhs, self.solver)?;
         let n = system.surface_unknowns;

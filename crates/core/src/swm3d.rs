@@ -11,6 +11,7 @@ use crate::error::SwmError;
 use crate::loss::LossResult;
 use crate::mesh::PatchMesh;
 use crate::nearfield::{AssemblyScheme, KernelEval};
+use crate::parallel::AssemblyParallelism;
 use crate::power::{absorbed_power_3d, smooth_surface_power};
 use crate::solver::{solve_system, SolveStats, SolverKind};
 use crate::spec::RoughnessSpec;
@@ -59,6 +60,7 @@ pub struct SwmProblem {
     solver: SolverKind,
     assembly: AssemblyScheme,
     kernel_eval: KernelEval,
+    assembly_parallelism: AssemblyParallelism,
 }
 
 /// Frequency-level operator state of a [`SwmProblem`]: the two Ewald-summed
@@ -110,6 +112,7 @@ pub struct SwmProblemBuilder {
     solver: SolverKind,
     assembly: AssemblyScheme,
     kernel_eval: KernelEval,
+    assembly_parallelism: AssemblyParallelism,
 }
 
 impl SwmProblem {
@@ -124,6 +127,7 @@ impl SwmProblem {
             solver: SolverKind::DirectLu,
             assembly: AssemblyScheme::default(),
             kernel_eval: KernelEval::default(),
+            assembly_parallelism: AssemblyParallelism::default(),
         }
     }
 
@@ -155,6 +159,21 @@ impl SwmProblem {
     /// Kernel evaluation strategy (batched row panels by default).
     pub fn kernel_eval(&self) -> KernelEval {
         self.kernel_eval
+    }
+
+    /// Intra-solve assembly parallelism (serial by default).
+    pub fn assembly_parallelism(&self) -> AssemblyParallelism {
+        self.assembly_parallelism
+    }
+
+    /// Returns a problem identical to this one with a different intra-solve
+    /// assembly parallelism. Results are bit-identical at any worker count;
+    /// the batch engine uses this to fit each solve into its core budget
+    /// without invalidating cached operators.
+    pub fn with_assembly_parallelism(&self, parallelism: AssemblyParallelism) -> Self {
+        let mut p = self.clone();
+        p.assembly_parallelism = parallelism;
+        p
     }
 
     /// Side length of the periodic patch (m).
@@ -266,6 +285,7 @@ impl SwmProblem {
             operator.k1,
             operator.assembly,
             operator.kernel_eval,
+            self.assembly_parallelism,
         );
         let (solution, stats) = solve_system(&system.matrix, &system.rhs, self.solver)?;
         let n = system.surface_unknowns;
@@ -413,6 +433,16 @@ impl SwmProblemBuilder {
         self
     }
 
+    /// Selects the intra-solve assembly parallelism (defaults to
+    /// [`AssemblyParallelism::Serial`]). Row panels are independent work
+    /// items, so any worker count produces bit-identical matrices; the
+    /// `ROUGHSIM_ASSEMBLY_THREADS` environment variable overrides this in
+    /// the engine and the figure drivers.
+    pub fn assembly_parallelism(mut self, parallelism: AssemblyParallelism) -> Self {
+        self.assembly_parallelism = parallelism;
+        self
+    }
+
     /// Finalizes the problem.
     ///
     /// # Errors
@@ -449,6 +479,7 @@ impl SwmProblemBuilder {
             solver: self.solver,
             assembly: self.assembly,
             kernel_eval: self.kernel_eval,
+            assembly_parallelism: self.assembly_parallelism,
         })
     }
 }

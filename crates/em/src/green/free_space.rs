@@ -85,6 +85,41 @@ pub fn smooth_kernel_3d_radial_derivative(k: c64, r: f64) -> c64 {
     }
 }
 
+/// [`smooth_kernel_3d`] and [`smooth_kernel_3d_radial_derivative`] evaluated
+/// together, sharing the one complex exponential both need.
+///
+/// The locally corrected assembly integrates the pair at every adaptive
+/// quadrature node; fusing the two halves the `exp`/`sin`/`cos` work of that
+/// hot loop. Each component follows the exact branch thresholds and
+/// arithmetic of its standalone function, so the fused values are
+/// bit-identical to separate calls.
+///
+/// # Panics
+///
+/// Panics if `r` is negative.
+pub fn smooth_kernel_3d_with_derivative(k: c64, r: f64) -> (c64, c64) {
+    assert!(r >= 0.0, "separation must be non-negative");
+    let z = c64::i() * k * r;
+    let z_abs = z.abs();
+    // One exp serves both branches that need it (|z| ≥ 1e-4 for the value,
+    // |z| ≥ 1e-3 for the derivative; the value's threshold is the smaller).
+    let ez = if z_abs < 1e-4 { c64::zero() } else { z.exp() };
+    let value = if z_abs < 1e-4 {
+        let series = c64::one() + z.scale(0.5) + (z * z).scale(1.0 / 6.0);
+        (c64::i() * k / (4.0 * PI)) * series
+    } else {
+        (ez - c64::one()) / (4.0 * PI * r)
+    };
+    let derivative = if z_abs < 1e-3 {
+        let series = c64::from_real(0.5) + z.scale(1.0 / 3.0) + (z * z).scale(0.125);
+        let jk = c64::i() * k;
+        jk * jk * series / (4.0 * PI)
+    } else {
+        (ez * (z - c64::one()) + c64::one()) / (4.0 * PI * r * r)
+    };
+    (value, derivative)
+}
+
 /// Analytic integral `∫_P dA'/|p − r'|` of the static kernel over a *planar*
 /// polygon `P` with vertices in order (either orientation), observed from an
 /// arbitrary point `p` — the Wilton et al. closed form built from per-edge
@@ -454,6 +489,30 @@ mod tests {
         let at_zero = smooth_kernel_3d_radial_derivative(k, 0.0);
         let expected = (c64::i() * k) * (c64::i() * k) / (8.0 * PI);
         assert!((at_zero - expected).abs() < 1e-12 * expected.abs());
+    }
+
+    #[test]
+    fn fused_smooth_kernel_pair_is_bit_identical_to_separate_calls() {
+        let k = c64::new(1.5e6, 1.2e6);
+        // Radii straddling both branch thresholds (|kR| around 1e-4 and 1e-3)
+        // and the origin itself.
+        for &r in &[0.0, 1e-12, 4e-11, 6e-11, 4e-10, 6e-10, 1e-8, 1e-6] {
+            let (value, derivative) = smooth_kernel_3d_with_derivative(k, r);
+            let sep_value = smooth_kernel_3d(k, r);
+            let sep_derivative = smooth_kernel_3d_radial_derivative(k, r);
+            assert_eq!(value.re.to_bits(), sep_value.re.to_bits(), "r = {r}");
+            assert_eq!(value.im.to_bits(), sep_value.im.to_bits(), "r = {r}");
+            assert_eq!(
+                derivative.re.to_bits(),
+                sep_derivative.re.to_bits(),
+                "r = {r}"
+            );
+            assert_eq!(
+                derivative.im.to_bits(),
+                sep_derivative.im.to_bits(),
+                "r = {r}"
+            );
+        }
     }
 
     /// `(x, y, weight)` Gauss points along a straight 2D segment (arclength

@@ -27,8 +27,31 @@ use crate::plan::{Plan, PlannedCase, UnitTask, WorkUnit};
 use crate::report::{CampaignReport, UnitRecord};
 use crate::run::{Run, RunConfig, UnitSink};
 use rayon::prelude::*;
+use rough_core::AssemblyParallelism;
 use rough_surface::RoughSurface;
 use std::sync::Arc;
+
+/// The machine's core budget: executors size `units × intra-solve assembly
+/// threads` so their product never exceeds this.
+pub fn core_budget() -> usize {
+    rough_core::parallel::available_cores()
+}
+
+/// The fair budget share of one solve when `workers` units run concurrently:
+/// `⌊budget / workers⌋` assembly threads, at least 1 — so
+/// `workers × threads ≤ budget` and a fully-sized thread pool keeps assembly
+/// serial instead of oversubscribing.
+fn budget_share(workers: usize) -> AssemblyParallelism {
+    AssemblyParallelism::workers((core_budget() / workers.max(1)).max(1))
+}
+
+/// The intra-solve assembly parallelism an executor running `workers`
+/// concurrent units should give each solve: the `ROUGHSIM_ASSEMBLY_THREADS`
+/// override when set, otherwise the executor's fair share of the core budget
+/// ([`budget_share`]).
+pub fn shared_budget_assembly(workers: usize) -> AssemblyParallelism {
+    AssemblyParallelism::from_env().unwrap_or_else(|| budget_share(workers))
+}
 
 /// Executes scheduled work units, committing each completed record through
 /// the [`UnitSink`].
@@ -65,6 +88,13 @@ pub trait UnitExecutor: Send + Sync + std::fmt::Debug {
 }
 
 /// Evaluates every unit on the calling thread, in schedule order.
+///
+/// One unit at a time means the whole core budget is available *inside* each
+/// solve: the serial executor gives every unit
+/// [`shared_budget_assembly`]`(1)` worth of intra-solve assembly threads
+/// (still bit-identical to single-threaded assembly). Worker processes spawned
+/// by [`crate::subprocess::SubprocessExecutor`] inherit their share through
+/// the `ROUGHSIM_ASSEMBLY_THREADS` environment override instead.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SerialExecutor;
 
@@ -84,13 +114,14 @@ impl UnitExecutor for SerialExecutor {
         cache: &KernelCache,
         sink: &UnitSink<'_>,
     ) -> Result<(), EngineError> {
+        let assembly = shared_budget_assembly(1);
         for &unit_id in order {
             if sink.is_cancelled() {
                 return Ok(());
             }
             let unit = &plan.units()[unit_id];
             sink.unit_started(unit);
-            let record = evaluate_unit(plan, unit, cache)?;
+            let record = evaluate_unit(plan, unit, cache, assembly)?;
             sink.complete(record)?;
         }
         Ok(())
@@ -104,24 +135,41 @@ impl UnitExecutor for SerialExecutor {
 pub struct ThreadPoolExecutor {
     pool: rayon::ThreadPool,
     threads: usize,
+    assembly: AssemblyParallelism,
 }
 
 impl ThreadPoolExecutor {
     /// Creates a pool executor with `threads` workers (0 means one per
-    /// hardware core).
+    /// hardware core). Each worker's solves get the executor's fair share of
+    /// the core budget as intra-solve assembly threads
+    /// ([`shared_budget_assembly`]), so `units × assembly threads` never
+    /// oversubscribes the machine; `ROUGHSIM_ASSEMBLY_THREADS` overrides the
+    /// share.
     pub fn new(threads: usize) -> Self {
-        let threads = if threads == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        } else {
-            threads
-        };
+        let threads = if threads == 0 { core_budget() } else { threads };
+        Self::with_assembly(threads, shared_budget_assembly(threads))
+    }
+
+    /// Creates a pool executor with an explicit intra-solve assembly
+    /// parallelism (bypassing the core-budget split — for tests and for
+    /// callers that manage their own budget).
+    pub fn with_assembly(threads: usize, assembly: AssemblyParallelism) -> Self {
+        let threads = if threads == 0 { core_budget() } else { threads };
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(threads)
             .build()
             .expect("thread pool construction cannot fail");
-        Self { pool, threads }
+        Self {
+            pool,
+            threads,
+            assembly,
+        }
+    }
+
+    /// The intra-solve assembly parallelism each of this executor's solves
+    /// runs with.
+    pub fn assembly_parallelism(&self) -> AssemblyParallelism {
+        self.assembly
     }
 }
 
@@ -164,7 +212,7 @@ impl UnitExecutor for ThreadPoolExecutor {
         let built: Vec<Result<CaseContext, EngineError>> = self.pool.install(|| {
             pending
                 .par_iter()
-                .map(|case| build_context(plan, case))
+                .map(|case| build_context(plan, case, self.assembly))
                 .collect()
         });
         for (case, result) in pending.iter().zip(built) {
@@ -184,7 +232,7 @@ impl UnitExecutor for ThreadPoolExecutor {
                     }
                     let unit = &plan.units()[unit_id];
                     sink.unit_started(unit);
-                    let record = evaluate_unit(plan, unit, cache)?;
+                    let record = evaluate_unit(plan, unit, cache, self.assembly)?;
                     sink.complete(record)
                 })
                 .collect()
@@ -194,14 +242,19 @@ impl UnitExecutor for ThreadPoolExecutor {
 }
 
 /// Evaluates one work unit against its (cached) shared context.
+///
+/// `assembly` is applied per call (cached contexts are shared between
+/// executors with different budgets, so the stored problem's parallelism is
+/// never trusted here); results are bit-identical at any worker count.
 pub(crate) fn evaluate_unit(
     plan: &Plan,
     unit: &WorkUnit,
     cache: &KernelCache,
+    assembly: AssemblyParallelism,
 ) -> Result<UnitRecord, EngineError> {
     let scenario = plan.scenario();
     let case = &plan.cases()[unit.case_index];
-    let context = cache.get_or_build(case.context_key, || build_context(plan, case))?;
+    let context = cache.get_or_build(case.context_key, || build_context(plan, case, assembly))?;
     let surface = match unit.task {
         UnitTask::Realization { germ_index } => synthesize(case, &case.germs[germ_index]),
         UnitTask::CollocationNode { node_index } => synthesize(case, &case.germs[node_index]),
@@ -210,11 +263,9 @@ pub(crate) fn evaluate_unit(
             .clone()
             .expect("deterministic scenarios carry a surface"),
     };
-    let loss = context.problem.solve_with_reference_using(
-        &surface,
-        context.flat_reference,
-        &context.operator,
-    )?;
+    let problem = context.problem.with_assembly_parallelism(assembly);
+    let loss =
+        problem.solve_with_reference_using(&surface, context.flat_reference, &context.operator)?;
     Ok(UnitRecord {
         unit: unit.id,
         case_index: unit.case_index,
@@ -233,7 +284,15 @@ fn synthesize(case: &PlannedCase, germ: &[f64]) -> RoughSurface {
 
 /// Builds the shared context of one case: configured problem, Ewald kernels,
 /// and the smooth-surface reference solve.
-pub(crate) fn build_context(plan: &Plan, case: &PlannedCase) -> Result<CaseContext, EngineError> {
+///
+/// `assembly` governs only the flat-reference solve performed here; unit
+/// evaluations re-apply their own executor's parallelism on every solve, so a
+/// context cached by one executor never leaks its thread budget into another.
+pub(crate) fn build_context(
+    plan: &Plan,
+    case: &PlannedCase,
+    assembly: AssemblyParallelism,
+) -> Result<CaseContext, EngineError> {
     let scenario = plan.scenario();
     let spec = scenario.roughness_grid()[case.id.roughness].clone();
     let frequency = scenario.frequencies()[case.id.frequency];
@@ -242,6 +301,7 @@ pub(crate) fn build_context(plan: &Plan, case: &PlannedCase) -> Result<CaseConte
         .cells_per_side(scenario.cells_per_side())
         .solver(scenario.solver)
         .assembly(scenario.assembly)
+        .assembly_parallelism(assembly)
         .build()?;
     let operator = problem.operator();
     let flat = RoughSurface::flat(scenario.cells_per_side(), problem.patch_length());
@@ -422,6 +482,79 @@ mod tests {
         }
         // Loss grows with frequency for the same surface.
         assert!(report.cases[1].mean > report.cases[0].mean);
+    }
+
+    #[test]
+    fn budget_split_never_oversubscribes() {
+        // units × per-solve assembly threads must stay within the core
+        // budget whenever the worker count itself fits the machine; beyond
+        // that each solve degrades to serial assembly. Tested through the
+        // pure split (budget_share) so an exported ROUGHSIM_ASSEMBLY_THREADS
+        // in the test environment — which legitimately overrides the split —
+        // cannot fail it.
+        let budget = core_budget();
+        for workers in [1usize, 2, 4, 8, 16, 64] {
+            let assembly = budget_share(workers).worker_count();
+            if workers <= budget {
+                assert!(
+                    workers * assembly <= budget,
+                    "{workers} workers x {assembly} assembly threads exceeds budget {budget}"
+                );
+            } else {
+                assert_eq!(assembly, 1, "oversized pools must keep assembly serial");
+            }
+        }
+        // A solo unit gets the whole budget.
+        assert_eq!(budget_share(1).worker_count(), budget);
+    }
+
+    #[test]
+    fn intra_solve_parallelism_is_bit_identical_across_executors() {
+        // A multi-unit campaign with intra-solve assembly threads enabled
+        // must reproduce the fully serial run bit for bit — the combined
+        // guarantee of deterministic row panels and plan-time seeding.
+        let scenario = small_scenario(4);
+        let serial = Run::new(
+            &scenario,
+            RunConfig::new().executor(ThreadPoolExecutor::with_assembly(
+                1,
+                rough_core::AssemblyParallelism::Serial,
+            )),
+        )
+        .unwrap()
+        .execute()
+        .unwrap();
+        let nested = Run::new(
+            &scenario,
+            RunConfig::new().executor(ThreadPoolExecutor::with_assembly(
+                2,
+                rough_core::AssemblyParallelism::Threads(4),
+            )),
+        )
+        .unwrap()
+        .execute()
+        .unwrap();
+        let serial_bits: Vec<u64> = serial.records.iter().map(|r| r.value.to_bits()).collect();
+        let nested_bits: Vec<u64> = nested.records.iter().map(|r| r.value.to_bits()).collect();
+        assert_eq!(serial_bits, nested_bits);
+        assert_eq!(
+            serial.cases[0].mean.to_bits(),
+            nested.cases[0].mean.to_bits()
+        );
+    }
+
+    #[test]
+    fn unit_times_are_recorded_for_in_process_executors() {
+        let engine = Engine::builder().threads(2).build();
+        let report = engine.run(&small_scenario(3)).unwrap();
+        assert_eq!(report.unit_times.len(), report.records.len());
+        assert!(
+            report.unit_times.iter().all(|t| t.is_some()),
+            "every in-process unit must carry a measured wall time"
+        );
+        // The calibration hook exposes a per-case mean.
+        assert!(report.measured_mean_unit_seconds(0).unwrap() > 0.0);
+        assert!(report.measured_mean_unit_seconds(99).is_none());
     }
 
     #[test]

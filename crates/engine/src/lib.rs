@@ -86,7 +86,10 @@ pub mod wire;
 pub use cache::{CacheStats, KernelCache};
 pub use error::EngineError;
 pub use events::{ChannelObserver, FnObserver, RunEvent, RunObserver};
-pub use executor::{Engine, EngineBuilder, SerialExecutor, ThreadPoolExecutor, UnitExecutor};
+pub use executor::{
+    core_budget, shared_budget_assembly, Engine, EngineBuilder, SerialExecutor, ThreadPoolExecutor,
+    UnitExecutor,
+};
 pub use plan::Plan;
 pub use report::{CampaignReport, CaseOutcome, CaseReport, UnitRecord};
 pub use run::{CancelToken, Run, RunConfig, UnitSink};

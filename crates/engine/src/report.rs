@@ -88,6 +88,12 @@ pub struct CampaignReport {
     pub wall_time: Duration,
     /// Worker threads used.
     pub threads: usize,
+    /// Measured per-unit wall times in plan order (`None` for units restored
+    /// from a checkpoint or executed by subprocess workers, whose start
+    /// timestamps the parent does not observe). Recorded so cost models —
+    /// [`crate::schedule::CostOrdered`] today, calibrated schedulers
+    /// tomorrow — can be fitted from real data.
+    pub unit_times: Vec<Option<Duration>>,
 }
 
 impl CampaignReport {
@@ -96,6 +102,24 @@ impl CampaignReport {
         self.cases
             .iter()
             .find(|c| c.id.roughness == roughness && c.id.frequency == frequency)
+    }
+
+    /// Mean measured unit wall time of one case (by case index), when at
+    /// least one of its units was timed this run — the calibration input for
+    /// cost-ordered scheduling.
+    pub fn measured_mean_unit_seconds(&self, case_index: usize) -> Option<f64> {
+        let timed: Vec<f64> = self
+            .records
+            .iter()
+            .zip(&self.unit_times)
+            .filter(|(record, _)| record.case_index == case_index)
+            .filter_map(|(_, time)| time.map(|t| t.as_secs_f64()))
+            .collect();
+        if timed.is_empty() {
+            None
+        } else {
+            Some(timed.iter().sum::<f64>() / timed.len() as f64)
+        }
     }
 
     /// CSV header matching [`CampaignReport::csv_rows`].
@@ -186,9 +210,13 @@ impl CampaignReport {
                     )
                 })
                 .unwrap_or_default();
+            let unit_cost = self
+                .measured_mean_unit_seconds(index)
+                .map(|mean| format!(", \"measured_mean_unit_s\": {mean:.6}"))
+                .unwrap_or_default();
             out.push_str(&format!(
                 "    {{\"roughness_case\": {}, \"frequency_case\": {}, \"f_ghz\": {:.6}, \
-                 \"kl_modes\": {}, \"solves\": {}, \"mean\": {:.6}, \"std_dev\": {:.6}{}}}{}\n",
+                 \"kl_modes\": {}, \"solves\": {}, \"mean\": {:.6}, \"std_dev\": {:.6}{}{}}}{}\n",
                 case.id.roughness,
                 case.id.frequency,
                 case.frequency_ghz,
@@ -197,6 +225,7 @@ impl CampaignReport {
                 case.mean,
                 case.std_dev,
                 quantiles,
+                unit_cost,
                 if index + 1 < self.cases.len() {
                     ","
                 } else {
@@ -275,6 +304,7 @@ mod tests {
             total_solves: 5,
             wall_time: Duration::from_millis(12),
             threads: 2,
+            unit_times: vec![],
         }
     }
 

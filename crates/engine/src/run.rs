@@ -49,11 +49,12 @@ use crate::scenario::{EnsembleMode, Scenario};
 use crate::schedule::{PlanOrder, Scheduler};
 use rough_stochastic::collocation::{run_sscm_on_grid, SscmConfig};
 use rough_stochastic::monte_carlo::MonteCarloResult;
+use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::Receiver;
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Stream-index offset separating SSCM surrogate-sampling seeds from the
 /// Monte-Carlo germ seeds derived for the same cases.
@@ -193,6 +194,11 @@ pub struct UnitSink<'a> {
     case_remaining: Mutex<Vec<usize>>,
     resumed: usize,
     cancel: &'a CancelToken,
+    /// Start timestamps of in-flight units, for the per-unit wall times the
+    /// cost-model calibration hook records into the report.
+    started_at: Mutex<HashMap<usize, Instant>>,
+    /// Measured `(unit, wall)` pairs of this run's completed units.
+    timings: Mutex<Vec<(usize, Duration)>>,
 }
 
 impl UnitSink<'_> {
@@ -204,6 +210,10 @@ impl UnitSink<'_> {
 
     /// Announces that an executor picked up a unit.
     pub fn unit_started(&self, unit: &WorkUnit) {
+        self.started_at
+            .lock()
+            .expect("unit timer lock poisoned")
+            .insert(unit.id, Instant::now());
         self.emit(&RunEvent::UnitStarted {
             unit: unit.id,
             case_index: unit.case_index,
@@ -229,7 +239,23 @@ impl UnitSink<'_> {
             records.push(record);
             self.resumed + records.len()
         };
-        self.emit(&RunEvent::UnitCompleted { record });
+        // Per-unit wall time: only meaningful when the same process observed
+        // the start (subprocess workers report start and completion together,
+        // so their elapsed time would be noise — skip those).
+        let wall = self
+            .started_at
+            .lock()
+            .expect("unit timer lock poisoned")
+            .remove(&record.unit)
+            .map(|started| started.elapsed())
+            .filter(|elapsed| !elapsed.is_zero());
+        if let Some(elapsed) = wall {
+            self.timings
+                .lock()
+                .expect("unit timing lock poisoned")
+                .push((record.unit, elapsed));
+        }
+        self.emit(&RunEvent::UnitCompleted { record, wall });
         if self.checkpoint.is_some() {
             self.emit(&RunEvent::CheckpointWritten {
                 units_recorded: recorded,
@@ -247,6 +273,17 @@ impl UnitSink<'_> {
             });
         }
         Ok(())
+    }
+
+    /// Commits a record whose start this process did not meaningfully
+    /// observe (subprocess workers report start and completion in the same
+    /// protocol line), so no wall time is attributed to it.
+    pub fn complete_untimed(&self, record: UnitRecord) -> Result<(), EngineError> {
+        self.started_at
+            .lock()
+            .expect("unit timer lock poisoned")
+            .remove(&record.unit);
+        self.complete(record)
     }
 
     fn emit(&self, event: &RunEvent) {
@@ -428,6 +465,8 @@ impl Run {
             case_remaining: Mutex::new(case_remaining),
             resumed: self.resumed.len(),
             cancel: &self.cancel,
+            started_at: Mutex::new(HashMap::new()),
+            timings: Mutex::new(Vec::new()),
         };
 
         self.config
@@ -435,6 +474,7 @@ impl Run {
             .execute(plan, &order, &self.config.cache, &sink)?;
 
         // Merge resumed + fresh records back into plan order.
+        let timings = sink.timings.into_inner().expect("unit timing poisoned");
         let fresh = sink.records.into_inner().expect("record sink poisoned");
         let mut slots: Vec<Option<UnitRecord>> = vec![None; total_units];
         for record in self.resumed.iter().chain(&fresh) {
@@ -448,6 +488,10 @@ impl Run {
             });
         }
         let records: Vec<UnitRecord> = slots.into_iter().map(|s| s.expect("complete")).collect();
+        let mut unit_times: Vec<Option<Duration>> = vec![None; total_units];
+        for (unit, wall) in timings {
+            unit_times[unit] = Some(wall);
+        }
 
         let stats_after = self.config.cache.stats();
         let cache = CacheStats {
@@ -471,6 +515,7 @@ impl Run {
             cache,
             wall_time,
             self.config.executor.parallelism(),
+            unit_times,
         ))
     }
 }
@@ -484,6 +529,7 @@ fn aggregate_report(
     cache: CacheStats,
     wall_time: std::time::Duration,
     threads: usize,
+    unit_times: Vec<Option<Duration>>,
 ) -> CampaignReport {
     let scenario = plan.scenario();
     let mut cases = Vec::with_capacity(plan.cases().len());
@@ -540,6 +586,7 @@ fn aggregate_report(
         total_solves: plan.total_solves(),
         wall_time,
         threads,
+        unit_times,
     }
 }
 

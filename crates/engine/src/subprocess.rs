@@ -36,11 +36,12 @@
 
 use crate::cache::KernelCache;
 use crate::error::EngineError;
-use crate::executor::{evaluate_unit, UnitExecutor};
+use crate::executor::{core_budget, evaluate_unit, UnitExecutor};
 use crate::plan::Plan;
 use crate::report::UnitRecord;
 use crate::run::UnitSink;
 use crate::wire;
+use rough_core::{AssemblyParallelism, ASSEMBLY_THREADS_ENV};
 use std::io::{BufRead, BufReader, Write};
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
@@ -102,7 +103,17 @@ impl SubprocessExecutor {
             None => std::env::current_exe()
                 .map_err(|e| subprocess_error(format!("cannot locate current executable: {e}")))?,
         };
-        Command::new(&program)
+        // Workers get their fair share of the machine's core budget as
+        // intra-solve assembly threads (the process-level analogue of the
+        // thread-pool executor's budget split); an explicit
+        // ROUGHSIM_ASSEMBLY_THREADS in the parent's environment passes
+        // through untouched via the inherited environment.
+        let assembly_share = (core_budget() / self.workers.max(1)).max(1);
+        let mut command = Command::new(&program);
+        if std::env::var_os(ASSEMBLY_THREADS_ENV).is_none() {
+            command.env(ASSEMBLY_THREADS_ENV, assembly_share.to_string());
+        }
+        command
             .args(&self.args)
             .env(WORKER_ENV, "1")
             .stdin(Stdio::piped())
@@ -160,7 +171,7 @@ impl SubprocessExecutor {
                     )));
                 }
                 sink.unit_started(&plan.units()[record.unit]);
-                sink.complete(record)?;
+                sink.complete_untimed(record)?;
                 received += 1;
             } else if let Some(rest) = find_marker(&line, ERR_PREFIX) {
                 let _ = child.kill();
@@ -314,6 +325,9 @@ fn serve(input: impl BufRead, mut output: impl Write) -> Result<(), EngineError>
     let scenario = wire::decode_scenario(&scenario_text)?;
     let plan = Plan::new(&scenario)?;
     let cache = KernelCache::new();
+    // The parent sized our assembly share into the environment; a worker
+    // launched by hand without it stays serial (the safe default).
+    let assembly = AssemblyParallelism::from_env().unwrap_or(AssemblyParallelism::Serial);
     // Detach the protocol stream from any partial line the host harness may
     // have left on stdout (libtest prints `test name ... ` with no newline).
     writeln!(output).map_err(|e| subprocess_error(format!("worker stdout write failed: {e}")))?;
@@ -321,7 +335,7 @@ fn serve(input: impl BufRead, mut output: impl Write) -> Result<(), EngineError>
         let unit = plan.units().get(*unit_id).ok_or_else(|| {
             subprocess_error(format!("unit id {unit_id} out of range for this plan"))
         })?;
-        let record = evaluate_unit(&plan, unit, &cache)?;
+        let record = evaluate_unit(&plan, unit, &cache, assembly)?;
         writeln!(output, "{}", record_wire_line(&record))
             .and_then(|()| output.flush())
             .map_err(|e| subprocess_error(format!("worker stdout write failed: {e}")))?;
@@ -386,7 +400,8 @@ mod tests {
         // evaluation bit for bit.
         let plan = Plan::new(&scenario).unwrap();
         let cache = KernelCache::new();
-        let local = evaluate_unit(&plan, &plan.units()[0], &cache).unwrap();
+        let local =
+            evaluate_unit(&plan, &plan.units()[0], &cache, AssemblyParallelism::Serial).unwrap();
         assert_eq!(records[1].value.to_bits(), local.value.to_bits());
     }
 

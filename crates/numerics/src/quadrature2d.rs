@@ -33,6 +33,37 @@ pub struct AdaptiveOutcome {
     pub panels: usize,
     /// `true` when every leaf panel met the tolerance before the depth cap.
     pub converged: bool,
+    /// Leaf panels that were accepted *only* because the depth cap was hit
+    /// (their embedded error still exceeded the tolerance).
+    pub depth_cap_hits: usize,
+    /// Achieved absolute error estimate: the sum of the embedded
+    /// `|coarse − fine|` errors over every accepted leaf panel. When
+    /// [`AdaptiveOutcome::converged`] is `false` this is the honest accuracy
+    /// of the returned values, not the requested tolerance.
+    pub error_estimate: f64,
+}
+
+impl AdaptiveOutcome {
+    fn fresh() -> Self {
+        Self {
+            values: (c64::zero(), c64::zero()),
+            panels: 0,
+            converged: true,
+            depth_cap_hits: 0,
+            error_estimate: 0.0,
+        }
+    }
+
+    /// Books one accepted leaf panel into the outcome.
+    fn accept_leaf(&mut self, values: (c64, c64), error: f64, hit_depth_cap: bool) {
+        self.values.0 += values.0;
+        self.values.1 += values.1;
+        self.error_estimate += error;
+        if hit_depth_cap {
+            self.converged = false;
+            self.depth_cap_hits += 1;
+        }
+    }
 }
 
 /// Adaptive tensor-product Gauss–Legendre rule on axis-aligned rectangles.
@@ -90,12 +121,113 @@ impl AdaptiveTensorGauss {
     ) -> AdaptiveOutcome {
         assert!(bx > ax && by > ay, "integration rectangle must be proper");
         assert!(floor >= 0.0, "floor must be non-negative");
-        let mut outcome = AdaptiveOutcome {
-            values: (c64::zero(), c64::zero()),
-            panels: 0,
-            converged: true,
-        };
+        let mut outcome = AdaptiveOutcome::fresh();
         self.refine((ax, bx), (ay, by), floor, 0, &mut f, &mut outcome);
+        outcome
+    }
+
+    /// Integrates a complex pair over `[ax, bx] × [ay, by]` with a
+    /// *panel-batched* integrand: instead of one `f(x, y)` call per node,
+    /// `f(xs, ys, out)` receives every node of one adaptive panel (the
+    /// embedded coarse block followed by the fine block) and fills `out` in
+    /// node order.
+    ///
+    /// Batching lets kernel-heavy integrands amortize their per-point call
+    /// overhead — gather the whole block, evaluate `exp`/`erfc` over
+    /// contiguous slices, scatter once. The subdivision, the per-node
+    /// arithmetic and the accumulation order are *identical* to
+    /// [`AdaptiveTensorGauss::integrate_pair`]: for an integrand computing the
+    /// same per-node values the two paths return bit-identical outcomes
+    /// (pinned by tests).
+    ///
+    /// `scratch` is the reusable node/value arena; one arena per worker
+    /// thread eliminates the allocation churn of the adaptive refinement
+    /// across matrix entries.
+    pub fn integrate_pair_batched(
+        &self,
+        (ax, bx): (f64, f64),
+        (ay, by): (f64, f64),
+        floor: f64,
+        scratch: &mut QuadScratch,
+        mut f: impl FnMut(&[f64], &[f64], &mut [(c64, c64)]),
+    ) -> AdaptiveOutcome {
+        assert!(bx > ax && by > ay, "integration rectangle must be proper");
+        assert!(floor >= 0.0, "floor must be non-negative");
+        let mut outcome = AdaptiveOutcome::fresh();
+        let coarse_nodes = self.coarse.len() * self.coarse.len();
+        scratch.stack.clear();
+        scratch.stack.push(PanelTask {
+            ax,
+            bx,
+            ay,
+            by,
+            floor,
+            depth: 0,
+        });
+        // Depth-first with children pushed in reverse, so leaves accumulate
+        // in exactly the recursion order of the per-point path.
+        while let Some(panel) = scratch.stack.pop() {
+            outcome.panels += 1;
+            scratch.xs.clear();
+            scratch.ys.clear();
+            push_tensor_nodes(
+                &self.coarse,
+                (panel.ax, panel.bx),
+                (panel.ay, panel.by),
+                scratch,
+            );
+            push_tensor_nodes(
+                &self.fine,
+                (panel.ax, panel.bx),
+                (panel.ay, panel.by),
+                scratch,
+            );
+            scratch.values.clear();
+            scratch
+                .values
+                .resize(scratch.xs.len(), (c64::zero(), c64::zero()));
+            f(&scratch.xs, &scratch.ys, &mut scratch.values);
+            let coarse = reduce_tensor_block(
+                &self.coarse,
+                (panel.ax, panel.bx),
+                (panel.ay, panel.by),
+                &scratch.values[..coarse_nodes],
+            );
+            let fine = reduce_tensor_block(
+                &self.fine,
+                (panel.ax, panel.bx),
+                (panel.ay, panel.by),
+                &scratch.values[coarse_nodes..],
+            );
+            let error = (coarse.0 - fine.0).abs() + (coarse.1 - fine.1).abs();
+            let scale = fine.0.abs() + fine.1.abs() + panel.floor;
+            let within_tolerance = error <= self.tolerance * scale;
+            if within_tolerance || panel.depth >= self.max_depth {
+                outcome.accept_leaf(fine, error, !within_tolerance);
+                continue;
+            }
+            let mx = 0.5 * (panel.ax + panel.bx);
+            let my = 0.5 * (panel.ay + panel.by);
+            let child_floor = 0.25 * panel.floor;
+            for &((cax, cbx), (cay, cby)) in [
+                ((panel.ax, mx), (panel.ay, my)),
+                ((mx, panel.bx), (panel.ay, my)),
+                ((panel.ax, mx), (my, panel.by)),
+                ((mx, panel.bx), (my, panel.by)),
+            ]
+            .iter()
+            .rev()
+            {
+                scratch.stack.push(PanelTask {
+                    ax: cax,
+                    bx: cbx,
+                    ay: cay,
+                    by: cby,
+                    floor: child_floor,
+                    depth: panel.depth + 1,
+                });
+            }
+        }
         outcome
     }
 
@@ -124,12 +256,9 @@ impl AdaptiveTensorGauss {
         outcome.panels += 1;
         let error = (coarse.0 - fine.0).abs() + (coarse.1 - fine.1).abs();
         let scale = fine.0.abs() + fine.1.abs() + floor;
-        if error <= self.tolerance * scale || depth >= self.max_depth {
-            if error > self.tolerance * scale {
-                outcome.converged = false;
-            }
-            outcome.values.0 += fine.0;
-            outcome.values.1 += fine.1;
+        let within_tolerance = error <= self.tolerance * scale;
+        if within_tolerance || depth >= self.max_depth {
+            outcome.accept_leaf(fine, error, !within_tolerance);
             return;
         }
         let mx = 0.5 * (ax + bx);
@@ -184,12 +313,78 @@ impl AdaptiveLineGauss {
     ) -> AdaptiveOutcome {
         assert!(b > a, "integration interval must be proper");
         assert!(floor >= 0.0, "floor must be non-negative");
-        let mut outcome = AdaptiveOutcome {
-            values: (c64::zero(), c64::zero()),
-            panels: 0,
-            converged: true,
-        };
+        let mut outcome = AdaptiveOutcome::fresh();
         self.refine((a, b), floor, 0, &mut f, &mut outcome);
+        outcome
+    }
+
+    /// Integrates a complex pair over `[a, b]` with a *node-batched*
+    /// integrand: `f(xs, out)` receives every node of one adaptive panel (the
+    /// embedded coarse block followed by the fine block) and fills `out` in
+    /// node order — the 1D counterpart of
+    /// [`AdaptiveTensorGauss::integrate_pair_batched`], with the same
+    /// bit-identical-to-recursive guarantee for per-node-equivalent
+    /// integrands.
+    pub fn integrate_pair_batched(
+        &self,
+        (a, b): (f64, f64),
+        floor: f64,
+        scratch: &mut QuadScratch,
+        mut f: impl FnMut(&[f64], &mut [(c64, c64)]),
+    ) -> AdaptiveOutcome {
+        assert!(b > a, "integration interval must be proper");
+        assert!(floor >= 0.0, "floor must be non-negative");
+        let mut outcome = AdaptiveOutcome::fresh();
+        let coarse_nodes = self.coarse.len();
+        scratch.stack.clear();
+        scratch.stack.push(PanelTask {
+            ax: a,
+            bx: b,
+            ay: 0.0,
+            by: 0.0,
+            floor,
+            depth: 0,
+        });
+        while let Some(panel) = scratch.stack.pop() {
+            outcome.panels += 1;
+            scratch.xs.clear();
+            push_line_nodes(&self.coarse, (panel.ax, panel.bx), scratch);
+            push_line_nodes(&self.fine, (panel.ax, panel.bx), scratch);
+            scratch.values.clear();
+            scratch
+                .values
+                .resize(scratch.xs.len(), (c64::zero(), c64::zero()));
+            f(&scratch.xs, &mut scratch.values);
+            let coarse = reduce_line_block(
+                &self.coarse,
+                (panel.ax, panel.bx),
+                &scratch.values[..coarse_nodes],
+            );
+            let fine = reduce_line_block(
+                &self.fine,
+                (panel.ax, panel.bx),
+                &scratch.values[coarse_nodes..],
+            );
+            let error = (coarse.0 - fine.0).abs() + (coarse.1 - fine.1).abs();
+            let scale = fine.0.abs() + fine.1.abs() + panel.floor;
+            let within_tolerance = error <= self.tolerance * scale;
+            if within_tolerance || panel.depth >= self.max_depth {
+                outcome.accept_leaf(fine, error, !within_tolerance);
+                continue;
+            }
+            let m = 0.5 * (panel.ax + panel.bx);
+            let child_floor = 0.5 * panel.floor;
+            for &(ca, cb) in [(panel.ax, m), (m, panel.bx)].iter().rev() {
+                scratch.stack.push(PanelTask {
+                    ax: ca,
+                    bx: cb,
+                    ay: 0.0,
+                    by: 0.0,
+                    floor: child_floor,
+                    depth: panel.depth + 1,
+                });
+            }
+        }
         outcome
     }
 
@@ -206,18 +401,119 @@ impl AdaptiveLineGauss {
         outcome.panels += 1;
         let error = (coarse.0 - fine.0).abs() + (coarse.1 - fine.1).abs();
         let scale = fine.0.abs() + fine.1.abs() + floor;
-        if error <= self.tolerance * scale || depth >= self.max_depth {
-            if error > self.tolerance * scale {
-                outcome.converged = false;
-            }
-            outcome.values.0 += fine.0;
-            outcome.values.1 += fine.1;
+        let within_tolerance = error <= self.tolerance * scale;
+        if within_tolerance || depth >= self.max_depth {
+            outcome.accept_leaf(fine, error, !within_tolerance);
             return;
         }
         let m = 0.5 * (a + b);
         self.refine((a, m), 0.5 * floor, depth + 1, f, outcome);
         self.refine((m, b), 0.5 * floor, depth + 1, f, outcome);
     }
+}
+
+/// One pending panel of a batched adaptive integration.
+#[derive(Debug, Clone, Copy)]
+struct PanelTask {
+    ax: f64,
+    bx: f64,
+    ay: f64,
+    by: f64,
+    floor: f64,
+    depth: usize,
+}
+
+/// Reusable node/value arena of the batched adaptive rules.
+///
+/// One arena per worker thread amortizes every allocation of the adaptive
+/// refinement — node coordinates, integrand values and the panel work stack —
+/// across all matrix entries that thread assembles.
+#[derive(Debug, Default)]
+pub struct QuadScratch {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    values: Vec<(c64, c64)>,
+    stack: Vec<PanelTask>,
+}
+
+impl QuadScratch {
+    /// An empty arena (buffers grow on first use and are then reused).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Appends the tensor nodes of `rule` on a rectangle to the scratch arrays,
+/// in the same nested `(xi, yj)` order [`panel_pair`] visits them.
+fn push_tensor_nodes(
+    rule: &QuadratureRule,
+    (ax, bx): (f64, f64),
+    (ay, by): (f64, f64),
+    scratch: &mut QuadScratch,
+) {
+    let half_x = 0.5 * (bx - ax);
+    let mid_x = 0.5 * (ax + bx);
+    let half_y = 0.5 * (by - ay);
+    let mid_y = 0.5 * (ay + by);
+    for (xi, _) in rule.iter() {
+        let x = mid_x + half_x * xi;
+        for (yj, _) in rule.iter() {
+            scratch.xs.push(x);
+            scratch.ys.push(mid_y + half_y * yj);
+        }
+    }
+}
+
+/// Reduces one pre-evaluated tensor block with the weights of `rule`, in the
+/// exact accumulation order of [`panel_pair`].
+fn reduce_tensor_block(
+    rule: &QuadratureRule,
+    (ax, bx): (f64, f64),
+    (ay, by): (f64, f64),
+    values: &[(c64, c64)],
+) -> (c64, c64) {
+    let half_x = 0.5 * (bx - ax);
+    let half_y = 0.5 * (by - ay);
+    let mut first = c64::zero();
+    let mut second = c64::zero();
+    let mut index = 0;
+    for (_, wi) in rule.iter() {
+        for (_, wj) in rule.iter() {
+            let w = wi * wj * half_x * half_y;
+            let (a, b) = values[index];
+            index += 1;
+            first += a * w;
+            second += b * w;
+        }
+    }
+    (first, second)
+}
+
+/// Appends the line nodes of `rule` on an interval to the scratch arrays, in
+/// [`line_pair`] order.
+fn push_line_nodes(rule: &QuadratureRule, (a, b): (f64, f64), scratch: &mut QuadScratch) {
+    let half = 0.5 * (b - a);
+    let mid = 0.5 * (a + b);
+    for (xi, _) in rule.iter() {
+        scratch.xs.push(mid + half * xi);
+    }
+}
+
+/// Reduces one pre-evaluated line block with the weights of `rule`, in the
+/// exact accumulation order of [`line_pair`].
+fn reduce_line_block(
+    rule: &QuadratureRule,
+    (a, b): (f64, f64),
+    values: &[(c64, c64)],
+) -> (c64, c64) {
+    let half = 0.5 * (b - a);
+    let mut first = c64::zero();
+    let mut second = c64::zero();
+    for ((_, wi), &(u, v)) in rule.iter().zip(values) {
+        first += u * (wi * half);
+        second += v * (wi * half);
+    }
+    (first, second)
 }
 
 /// One fixed-order tensor evaluation of a complex pair on a rectangle.
@@ -325,6 +621,99 @@ mod tests {
         });
         assert_eq!(outcome.panels, 1);
         assert!(!outcome.converged);
+        // The depth-cap hit is surfaced, together with the honest achieved
+        // error (which a converged run would have kept below tolerance).
+        assert_eq!(outcome.depth_cap_hits, 1);
+        assert!(outcome.error_estimate > 0.0);
+    }
+
+    #[test]
+    fn converged_outcome_reports_no_depth_cap_hits() {
+        let rule = AdaptiveTensorGauss::new(4, 1e-10, 8);
+        let outcome = rule.integrate((0.0, 1.0), (0.0, 1.0), 0.0, |x, y| c64::from_real(x + y));
+        assert!(outcome.converged);
+        assert_eq!(outcome.depth_cap_hits, 0);
+        assert!(outcome.error_estimate <= 1e-10);
+    }
+
+    #[test]
+    fn batched_tensor_path_is_bit_identical_to_recursive() {
+        // Same per-node values ⇒ same subdivision, same accumulation order,
+        // bit-identical outcome — on both a refining and a depth-capped case.
+        let f = |x: f64, y: f64| {
+            let dx = x - 1.02;
+            let dy = y - 1.02;
+            (
+                c64::from_real(1.0 / (dx * dx + dy * dy)),
+                c64::new(0.0, x * y),
+            )
+        };
+        for (tol, depth) in [(1e-9, 10), (1e-14, 2)] {
+            let rule = AdaptiveTensorGauss::new(4, tol, depth);
+            let recursive = rule.integrate_pair((0.0, 1.0), (0.0, 1.0), 0.0, f);
+            let mut scratch = QuadScratch::new();
+            let batched = rule.integrate_pair_batched(
+                (0.0, 1.0),
+                (0.0, 1.0),
+                0.0,
+                &mut scratch,
+                |xs, ys, out| {
+                    for ((x, y), slot) in xs.iter().zip(ys).zip(out.iter_mut()) {
+                        *slot = f(*x, *y);
+                    }
+                },
+            );
+            assert_eq!(batched.panels, recursive.panels);
+            assert_eq!(batched.converged, recursive.converged);
+            assert_eq!(batched.depth_cap_hits, recursive.depth_cap_hits);
+            assert_eq!(
+                batched.values.0.re.to_bits(),
+                recursive.values.0.re.to_bits()
+            );
+            assert_eq!(
+                batched.values.0.im.to_bits(),
+                recursive.values.0.im.to_bits()
+            );
+            assert_eq!(
+                batched.values.1.im.to_bits(),
+                recursive.values.1.im.to_bits()
+            );
+            assert_eq!(
+                batched.error_estimate.to_bits(),
+                recursive.error_estimate.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn batched_line_path_is_bit_identical_to_recursive() {
+        let a = 1e-2;
+        let f = |x: f64| (c64::from_real(1.0 / (x + a)), c64::new(0.0, x));
+        let rule = AdaptiveLineGauss::new(4, 1e-10, 12);
+        let recursive = rule.integrate_pair((0.0, 1.0), 0.0, f);
+        let mut scratch = QuadScratch::new();
+        let batched = rule.integrate_pair_batched((0.0, 1.0), 0.0, &mut scratch, |xs, out| {
+            for (x, slot) in xs.iter().zip(out.iter_mut()) {
+                *slot = f(*x);
+            }
+        });
+        assert_eq!(batched.panels, recursive.panels);
+        assert_eq!(batched.converged, recursive.converged);
+        assert_eq!(
+            batched.values.0.re.to_bits(),
+            recursive.values.0.re.to_bits()
+        );
+        assert_eq!(
+            batched.values.1.im.to_bits(),
+            recursive.values.1.im.to_bits()
+        );
+        // The arena is reusable: a second integration must agree too.
+        let again = rule.integrate_pair_batched((0.0, 1.0), 0.0, &mut scratch, |xs, out| {
+            for (x, slot) in xs.iter().zip(out.iter_mut()) {
+                *slot = f(*x);
+            }
+        });
+        assert_eq!(again.values.0.re.to_bits(), batched.values.0.re.to_bits());
     }
 
     #[test]

@@ -120,8 +120,8 @@ pub mod prelude {
         spm2::Spm2Model, RoughnessLossModel,
     };
     pub use rough_core::{
-        loss::LossResult, swm2d::Swm2dProblem, AssemblyScheme, KernelEval, NearFieldPolicy,
-        RoughnessSpec, SwmError, SwmProblem,
+        loss::LossResult, swm2d::Swm2dProblem, AssemblyParallelism, AssemblyScheme, AssemblyStats,
+        KernelEval, NearFieldPolicy, RoughnessSpec, SwmError, SwmProblem,
     };
     pub use rough_em::{
         material::{Conductor, Dielectric, Stackup},

@@ -80,6 +80,27 @@ fn golden_path(name: &str) -> PathBuf {
 fn check_against_golden(scenario: &Scenario, name: &str) {
     let engine = Engine::builder().threads(2).build();
     let report = engine.run(scenario).expect("campaign");
+    compare_with_golden(report, name);
+}
+
+/// Runs the scenario with 4 intra-solve assembly threads per unit — the
+/// configuration `ROUGHSIM_ASSEMBLY_THREADS=4` selects (the env override is
+/// parsed into exactly this `AssemblyParallelism::Threads(4)` value; see
+/// `rough_core::parallel`) — and diffs against the *same* snapshot the serial
+/// run is pinned to: campaign outputs must be unchanged by parallelism.
+fn check_against_golden_with_parallel_assembly(scenario: &Scenario, name: &str) {
+    let config = RunConfig::new().executor(ThreadPoolExecutor::with_assembly(
+        2,
+        AssemblyParallelism::Threads(4),
+    ));
+    let report = Run::new(scenario, config)
+        .expect("plan")
+        .execute()
+        .expect("campaign");
+    compare_with_golden(report, name);
+}
+
+fn compare_with_golden(report: CampaignReport, name: &str) {
     let mut actual = vec![CampaignReport::csv_header().to_string()];
     actual.extend(report.csv_rows());
 
@@ -166,5 +187,24 @@ fn fig6_reduced_matches_golden_legacy() {
     check_against_golden(
         &fig6_reduced(AssemblyScheme::Legacy),
         "fig6_reduced_legacy.csv",
+    );
+}
+
+#[test]
+fn fig5_reduced_matches_golden_with_parallel_assembly() {
+    // 4 assembly threads per solve (the ROUGHSIM_ASSEMBLY_THREADS=4
+    // configuration) against the serial-run snapshot: campaign outputs are
+    // unchanged by intra-solve parallelism.
+    check_against_golden_with_parallel_assembly(
+        &fig5_reduced(AssemblyScheme::default()),
+        "fig5_reduced_corrected.csv",
+    );
+}
+
+#[test]
+fn fig6_reduced_matches_golden_with_parallel_assembly() {
+    check_against_golden_with_parallel_assembly(
+        &fig6_reduced(AssemblyScheme::default()),
+        "fig6_reduced_corrected.csv",
     );
 }
