@@ -2,11 +2,13 @@
 //! effectiveness, emitted as machine-readable `BENCH_engine.json` for CI
 //! trend tracking.
 //!
-//! Runs the same small Monte-Carlo campaign under the serial, thread-pool and
-//! subprocess executors (each on a fresh cache, then once more on a warm
-//! cache) and cross-checks that every executor produced bit-identical
+//! Runs the same small Monte-Carlo campaign under the serial, thread-pool,
+//! subprocess and socket executors (each on a fresh cache, then once more on
+//! a warm cache) and cross-checks that every executor produced bit-identical
 //! records — the engine's core determinism guarantee, enforced on every
-//! benchmark run.
+//! benchmark run. The socket executor keeps its worker processes alive
+//! between the cold and warm runs, so the warm row measures genuinely warm
+//! distributed workers (their kernel caches survive the first run).
 //!
 //! `--full` raises the workload to a laptop-minutes campaign; the default
 //! finishes in seconds.
@@ -15,8 +17,8 @@ use rough_core::RoughnessSpec;
 use rough_em::material::Stackup;
 use rough_em::units::{GigaHertz, Micrometers};
 use rough_engine::{
-    CampaignReport, KernelCache, Run, RunConfig, Scenario, SerialExecutor, SubprocessExecutor,
-    ThreadPoolExecutor, UnitExecutor,
+    CampaignReport, KernelCache, Run, RunConfig, Scenario, SerialExecutor, SocketExecutor,
+    SubprocessExecutor, ThreadPoolExecutor, UnitExecutor,
 };
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -46,9 +48,11 @@ struct Measurement {
     cache_hits: usize,
     cache_misses: usize,
     /// Whether this executor's workers rebuild every context in their own
-    /// process instead of using the parent's kernel cache (the subprocess
-    /// executor). The parent-side hit rate is meaningless there and is
-    /// reported as `null` rather than a misleading 0.0.
+    /// process instead of using a kernel cache that survives across runs
+    /// (the subprocess executor, whose shard processes die after each run).
+    /// The hit rate is meaningless there and is reported as `null` rather
+    /// than a misleading 0.0. Socket workers persist across runs and report
+    /// their cache deltas back to the dispatcher, so their rate is real.
     workers_rebuild_context: bool,
     report: CampaignReport,
 }
@@ -68,15 +72,20 @@ fn measure(
             .unwrap_or_else(|e| panic!("{name} {label} run failed: {e}"))
     };
     let cold = run("cold");
+    // Warm throughput is a steady-state property: repeat it and keep the
+    // fastest wall so scheduler noise on a busy (1-core CI) host doesn't
+    // decide which executor "won" the warm comparison.
     let warm = run("warm");
+    let warm_again = run("warm");
+    let warm_wall_s = warm.wall_time.min(warm_again.wall_time).as_secs_f64();
     Measurement {
         name,
         workers: executor.parallelism(),
         cold_wall_s: cold.wall_time.as_secs_f64(),
-        warm_wall_s: warm.wall_time.as_secs_f64(),
+        warm_wall_s,
         units: cold.records.len(),
-        cache_hits: cold.cache.hits + warm.cache.hits,
-        cache_misses: cold.cache.misses + warm.cache.misses,
+        cache_hits: cold.cache.hits + warm.cache.hits + warm_again.cache.hits,
+        cache_misses: cold.cache.misses + warm.cache.misses + warm_again.cache.misses,
         workers_rebuild_context: name == "subprocess",
         report: cold,
     }
@@ -98,6 +107,11 @@ fn main() {
         ("serial", Arc::new(SerialExecutor)),
         ("thread-pool", Arc::new(ThreadPoolExecutor::new(threads))),
         ("subprocess", Arc::new(SubprocessExecutor::new(2))),
+        // Same worker count as the thread pool: the socket rows then compare
+        // transport overhead and cache placement, not parallelism. On a
+        // multi-core host both rows use the same fleet size; on a 1-core CI
+        // box neither gets to pretend 2 contending processes are a speedup.
+        ("socket", Arc::new(SocketExecutor::new(threads))),
     ];
     let measurements: Vec<Measurement> = executors
         .into_iter()

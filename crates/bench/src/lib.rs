@@ -50,14 +50,10 @@ pub fn full_fidelity_requested() -> bool {
 }
 
 /// Selects a [`rough_engine::UnitExecutor`] from the `ROUGHSIM_EXECUTOR`
-/// environment variable, so every figure driver can switch between in-process
-/// and multi-process execution without code changes:
-///
-/// * unset or `threads` — hardware-sized thread pool (the default);
-/// * `threads:N` — N-thread pool;
-/// * `serial` — single-threaded reference executor;
-/// * `subprocess` / `subprocess:N` — N worker processes (the binary must call
-///   [`rough_engine::subprocess::maybe_serve_worker`] first thing in `main`).
+/// environment variable, so every figure driver can switch between
+/// in-process, multi-process and socket execution without code changes.
+/// Thin wrapper over [`rough_engine::executor_from_env`] — see it for the
+/// accepted values (`serial`, `threads[:N]`, `subprocess[:N]`, `socket[:N]`).
 ///
 /// Each executor additionally gives every solve its fair share of the core
 /// budget as *intra-solve assembly threads* (`units × threads ≤ cores`); the
@@ -69,22 +65,7 @@ pub fn full_fidelity_requested() -> bool {
 /// Panics on an unrecognized value — drivers treat a bad configuration as
 /// fatal.
 pub fn executor_from_env() -> std::sync::Arc<dyn rough_engine::UnitExecutor> {
-    use rough_engine::{SerialExecutor, SubprocessExecutor, ThreadPoolExecutor};
-    let value = std::env::var("ROUGHSIM_EXECUTOR").unwrap_or_default();
-    let (kind, workers) = match value.split_once(':') {
-        Some((kind, n)) => (
-            kind,
-            n.parse::<usize>()
-                .unwrap_or_else(|_| panic!("ROUGHSIM_EXECUTOR: bad worker count `{n}`")),
-        ),
-        None => (value.as_str(), 0),
-    };
-    match kind {
-        "" | "threads" => std::sync::Arc::new(ThreadPoolExecutor::new(workers)),
-        "serial" => std::sync::Arc::new(SerialExecutor),
-        "subprocess" => std::sync::Arc::new(SubprocessExecutor::new(workers)),
-        other => panic!("ROUGHSIM_EXECUTOR: unknown executor `{other}`"),
-    }
+    rough_engine::executor_from_env().unwrap_or_else(|e| panic!("ROUGHSIM_EXECUTOR: {e}"))
 }
 
 /// A [`rough_engine::RunObserver`] that prints unit/case progress to stderr —

@@ -117,6 +117,17 @@ impl KernelCache {
         Ok(Arc::clone(entry))
     }
 
+    /// Credits context lookups that happened in an *external* cache — a
+    /// socket worker's process-local `KernelCache` — into this cache's
+    /// counters. Distributed executors call this so a run's
+    /// [`CacheStats`] delta (and every hit-rate derived from it) reflects
+    /// worker-side reuse, which is where the kernels actually live in a
+    /// multi-process campaign. Only the counters move; no entries transfer.
+    pub fn credit_external(&self, hits: usize, misses: usize) {
+        self.hits.fetch_add(hits, Ordering::Relaxed);
+        self.misses.fetch_add(misses, Ordering::Relaxed);
+    }
+
     /// Returns `true` when `key` is resident (does not touch the counters).
     pub fn contains(&self, key: ContextKey) -> bool {
         self.map

@@ -115,6 +115,17 @@ pub fn read(path: impl AsRef<Path>) -> Result<Checkpoint, EngineError> {
     let path = path.as_ref();
     let text = std::fs::read_to_string(path)
         .map_err(|e| checkpoint_error(format!("cannot read {}: {e}", path.display())))?;
+    parse(&text)
+}
+
+/// Parses checkpoint JSONL text with the same tolerant rules as [`read`] —
+/// the entry point for checkpoints that arrive over the wire (the service
+/// daemon serves cached reports as checkpoint text) rather than from disk.
+///
+/// # Errors
+///
+/// Returns [`EngineError::Checkpoint`] when the header is missing or corrupt.
+pub fn parse(text: &str) -> Result<Checkpoint, EngineError> {
     let mut lines = text.lines();
     let header_line = lines
         .next()
@@ -144,6 +155,79 @@ pub fn read(path: impl AsRef<Path>) -> Result<Checkpoint, EngineError> {
         }
     }
     Ok(Checkpoint { header, records })
+}
+
+/// Outcome of a [`compact`] pass over a checkpoint file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionStats {
+    /// Intact, deduplicated records surviving the rewrite.
+    pub records_kept: usize,
+    /// Non-header lines dropped: torn fragments, duplicates, blanks and
+    /// out-of-range units.
+    pub lines_dropped: usize,
+    /// File size before compaction, in bytes.
+    pub bytes_before: u64,
+    /// File size after compaction, in bytes.
+    pub bytes_after: u64,
+}
+
+/// Rewrites a checkpoint in place, dropping torn fragments and duplicates.
+///
+/// Long-lived queues re-append on every retry, and a kill mid-write leaves a
+/// torn tail; both accumulate garbage that [`read`] tolerates but never
+/// reclaims. Compaction rewrites the file as the **verbatim original header
+/// line** (the fingerprint survives byte for byte) followed by one line per
+/// surviving record, first occurrence winning — exactly the records [`read`]
+/// would have returned. The rewrite goes to a temporary file in the same
+/// directory and replaces the original with an atomic rename, so a crash
+/// mid-compaction leaves either the old or the new file, never a mix.
+///
+/// # Errors
+///
+/// Returns [`EngineError::Checkpoint`] when the file cannot be read, its
+/// header is missing/corrupt, or the rewrite fails.
+pub fn compact(path: impl AsRef<Path>) -> Result<CompactionStats, EngineError> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| checkpoint_error(format!("cannot read {}: {e}", path.display())))?;
+    let bytes_before = text.len() as u64;
+
+    // Validate the header and collect the surviving records with the same
+    // tolerant rules as `read`, but keep the raw header line for the rewrite.
+    let checkpoint = parse(&text)?;
+    let header_line = text
+        .lines()
+        .next()
+        .ok_or_else(|| checkpoint_error("empty checkpoint file"))?;
+    let body_lines = text.lines().count() - 1;
+
+    let mut out = String::with_capacity(text.len());
+    out.push_str(header_line);
+    out.push('\n');
+    for record in &checkpoint.records {
+        out.push_str(&record_line(record));
+        out.push('\n');
+    }
+
+    let tmp = path.with_file_name(format!(
+        "{}.compact-tmp",
+        path.file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "checkpoint".to_owned())
+    ));
+    std::fs::write(&tmp, &out)
+        .map_err(|e| checkpoint_error(format!("cannot write {}: {e}", tmp.display())))?;
+    std::fs::rename(&tmp, path).map_err(|e| {
+        std::fs::remove_file(&tmp).ok();
+        checkpoint_error(format!("cannot replace {}: {e}", path.display()))
+    })?;
+
+    Ok(CompactionStats {
+        records_kept: checkpoint.records.len(),
+        lines_dropped: body_lines - checkpoint.records.len(),
+        bytes_before,
+        bytes_after: out.len() as u64,
+    })
 }
 
 /// Append-mode writer that flushes every record to disk immediately.
@@ -335,6 +419,90 @@ mod tests {
         assert_eq!(checkpoint.records.len(), 1);
         assert_eq!(checkpoint.records[0].value, 1.0);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compaction_drops_torn_tails_and_duplicates() {
+        let dir = std::env::temp_dir().join("rough_engine_ckpt_compact");
+        let path = dir.join("run.jsonl");
+        {
+            let mut writer = CheckpointWriter::create(&path, &scenario(), 4).unwrap();
+            writer.append(&record(0, 1.0 + f64::EPSILON)).unwrap();
+            writer.append(&record(1, 0.1 + 0.2)).unwrap();
+            writer.append(&record(0, 9.0)).unwrap(); // duplicate: first wins
+        }
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"kind\":\"unit\",\"unit\":3,\"case\":0,\"val"); // torn tail
+        std::fs::write(&path, &text).unwrap();
+
+        let before = read(&path).unwrap();
+        let stats = compact(&path).unwrap();
+        assert_eq!(stats.records_kept, 2);
+        assert_eq!(stats.lines_dropped, 2); // duplicate + torn fragment
+        assert!(stats.bytes_after < stats.bytes_before);
+
+        let after = read(&path).unwrap();
+        assert_eq!(after.header, before.header);
+        assert_eq!(after.records.len(), before.records.len());
+        for (a, b) in after.records.iter().zip(&before.records) {
+            assert_eq!(a.unit, b.unit);
+            assert_eq!(a.value.to_bits(), b.value.to_bits());
+            assert_eq!(a.relative_residual.to_bits(), b.relative_residual.to_bits());
+        }
+        // The rewritten file is exactly header + surviving records.
+        let lines = std::fs::read_to_string(&path).unwrap().lines().count();
+        assert_eq!(lines, 1 + stats.records_kept);
+
+        // Idempotent: a second pass finds nothing to drop.
+        let again = compact(&path).unwrap();
+        assert_eq!(again.lines_dropped, 0);
+        assert_eq!(again.bytes_after, again.bytes_before);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    // A kill can truncate the JSONL tail at any byte. Whatever the cut
+    // point, compaction must keep the header line byte-for-byte (the
+    // fingerprint pins resume identity) and exactly the records a tolerant
+    // `read` of the torn file recovers, bit-identically.
+    proptest::proptest! {
+        #[test]
+        fn prop_compaction_of_torn_tails_preserves_header_and_records(cut in 0usize..1 << 14) {
+            let dir = std::env::temp_dir().join("rough_engine_ckpt_compact_prop");
+            let path = dir.join("torn.jsonl");
+            {
+                let mut writer = CheckpointWriter::create(&path, &scenario(), 12).unwrap();
+                for unit in 0..10usize {
+                    writer
+                        .append(&record(unit, (0.1 + 0.2) * (unit as f64 + f64::EPSILON)))
+                        .unwrap();
+                }
+                writer.append(&record(4, 99.0)).unwrap(); // duplicate
+            }
+            let full = std::fs::read(&path).unwrap();
+            let header_end = full.iter().position(|&b| b == b'\n').unwrap() + 1;
+            let offset = header_end + cut % (full.len() - header_end + 1);
+            std::fs::write(&path, &full[..offset]).unwrap();
+
+            let torn = read(&path).unwrap();
+            let stats = compact(&path).unwrap();
+            let compacted = read(&path).unwrap();
+
+            proptest::prop_assert_eq!(&compacted.header, &torn.header);
+            proptest::prop_assert_eq!(compacted.records.len(), torn.records.len());
+            proptest::prop_assert_eq!(stats.records_kept, torn.records.len());
+            for (a, b) in compacted.records.iter().zip(&torn.records) {
+                proptest::prop_assert_eq!(a.unit, b.unit);
+                proptest::prop_assert_eq!(a.value.to_bits(), b.value.to_bits());
+                proptest::prop_assert_eq!(
+                    a.relative_residual.to_bits(),
+                    b.relative_residual.to_bits()
+                );
+            }
+            // The header line survives verbatim.
+            let rewritten = std::fs::read(&path).unwrap();
+            proptest::prop_assert_eq!(&rewritten[..header_end], &full[..header_end]);
+            std::fs::remove_dir_all(&dir).ok();
+        }
     }
 
     #[test]

@@ -26,6 +26,9 @@ pub enum EngineError {
     Checkpoint(String),
     /// A worker process failed or spoke an unexpected protocol.
     Subprocess(String),
+    /// A socket transport failed: framing violation, connection loss that no
+    /// surviving worker could absorb, or a daemon protocol error.
+    Socket(String),
 }
 
 impl fmt::Display for EngineError {
@@ -41,6 +44,7 @@ impl fmt::Display for EngineError {
             }
             EngineError::Checkpoint(reason) => write!(f, "checkpoint failed: {reason}"),
             EngineError::Subprocess(reason) => write!(f, "worker process failed: {reason}"),
+            EngineError::Socket(reason) => write!(f, "socket transport failed: {reason}"),
         }
     }
 }
@@ -53,7 +57,8 @@ impl std::error::Error for EngineError {
             EngineError::InvalidScenario(_)
             | EngineError::Interrupted { .. }
             | EngineError::Checkpoint(_)
-            | EngineError::Subprocess(_) => None,
+            | EngineError::Subprocess(_)
+            | EngineError::Socket(_) => None,
         }
     }
 }

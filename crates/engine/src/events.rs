@@ -41,6 +41,16 @@ pub enum RunEvent {
         /// Units the case scheduled.
         units: usize,
     },
+    /// A distributed worker died or stopped heartbeating; its in-flight
+    /// units were re-queued for surviving workers. Because every unit's
+    /// randomness is fixed at plan time, re-dispatch never changes the
+    /// report — this event exists so operators can see the fleet shrink.
+    WorkerLost {
+        /// Index of the lost worker within its executor.
+        worker: usize,
+        /// In-flight units returned to the dispatch queue.
+        requeued: usize,
+    },
     /// A record was durably appended to the checkpoint file.
     CheckpointWritten {
         /// Records now resident in the checkpoint (including resumed ones).

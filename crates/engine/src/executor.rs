@@ -48,9 +48,61 @@ fn budget_share(workers: usize) -> AssemblyParallelism {
 /// The intra-solve assembly parallelism an executor running `workers`
 /// concurrent units should give each solve: the `ROUGHSIM_ASSEMBLY_THREADS`
 /// override when set, otherwise the executor's fair share of the core budget
-/// ([`budget_share`]).
+/// (`budget_share`).
 pub fn shared_budget_assembly(workers: usize) -> AssemblyParallelism {
     AssemblyParallelism::from_env().unwrap_or_else(|| budget_share(workers))
+}
+
+/// Environment variable naming the executor every driver should use — see
+/// [`executor_from_env`].
+pub const EXECUTOR_ENV: &str = "ROUGHSIM_EXECUTOR";
+
+/// Parses an executor spec string into a boxed [`UnitExecutor`]:
+///
+/// * `""` or `threads` — hardware-sized thread pool (the default);
+/// * `threads:N` — N-thread pool;
+/// * `serial` — single-threaded reference executor;
+/// * `subprocess` / `subprocess:N` — N worker subprocesses (the binary must
+///   call [`crate::subprocess::maybe_serve_worker`] first thing in `main`);
+/// * `socket` / `socket:N` — N persistent socket workers over loopback TCP
+///   (same `maybe_serve_worker` requirement).
+///
+/// Results are bit-identical across all of them; only wall time and process
+/// layout change.
+///
+/// # Errors
+///
+/// Returns [`EngineError::InvalidScenario`] on an unknown kind or a malformed
+/// worker count.
+pub fn parse_executor_spec(spec: &str) -> Result<Arc<dyn UnitExecutor>, EngineError> {
+    let bad = |reason: String| EngineError::InvalidScenario(reason);
+    let (kind, workers) = match spec.split_once(':') {
+        Some((kind, n)) => (
+            kind,
+            n.parse::<usize>()
+                .map_err(|_| bad(format!("executor spec `{spec}`: bad worker count `{n}`")))?,
+        ),
+        None => (spec, 0),
+    };
+    Ok(match kind {
+        "" | "threads" => Arc::new(ThreadPoolExecutor::new(workers)),
+        "serial" => Arc::new(SerialExecutor),
+        "subprocess" => Arc::new(crate::subprocess::SubprocessExecutor::new(workers)),
+        "socket" => Arc::new(crate::socket::SocketExecutor::new(workers)),
+        other => return Err(bad(format!("unknown executor `{other}`"))),
+    })
+}
+
+/// Selects a [`UnitExecutor`] from the `ROUGHSIM_EXECUTOR` environment
+/// variable (see [`parse_executor_spec`] for the accepted values), so every
+/// driver can switch between in-process, multi-process and socket execution
+/// without code changes.
+///
+/// # Errors
+///
+/// Propagates [`parse_executor_spec`] failures.
+pub fn executor_from_env() -> Result<Arc<dyn UnitExecutor>, EngineError> {
+    parse_executor_spec(&std::env::var(EXECUTOR_ENV).unwrap_or_default())
 }
 
 /// Executes scheduled work units, committing each completed record through

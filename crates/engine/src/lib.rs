@@ -74,12 +74,14 @@ pub mod checkpoint;
 mod error;
 pub mod events;
 pub mod executor;
+pub mod frame;
 pub mod plan;
 pub mod report;
 pub mod rng;
 pub mod run;
 pub mod scenario;
 pub mod schedule;
+pub mod socket;
 pub mod subprocess;
 pub mod wire;
 
@@ -87,12 +89,13 @@ pub use cache::{CacheStats, KernelCache};
 pub use error::EngineError;
 pub use events::{ChannelObserver, FnObserver, RunEvent, RunObserver};
 pub use executor::{
-    core_budget, shared_budget_assembly, Engine, EngineBuilder, SerialExecutor, ThreadPoolExecutor,
-    UnitExecutor,
+    core_budget, executor_from_env, parse_executor_spec, shared_budget_assembly, Engine,
+    EngineBuilder, SerialExecutor, ThreadPoolExecutor, UnitExecutor, EXECUTOR_ENV,
 };
 pub use plan::Plan;
 pub use report::{CampaignReport, CaseOutcome, CaseReport, UnitRecord};
-pub use run::{CancelToken, Run, RunConfig, UnitSink};
+pub use run::{report_from_records, CancelToken, Run, RunConfig, UnitSink};
 pub use scenario::{CaseId, EnsembleMode, Scenario, ScenarioBuilder};
-pub use schedule::{CostOrdered, PlanOrder, Scheduler};
+pub use schedule::{unit_class, CostOrdered, CostTable, PlanOrder, Scheduler};
+pub use socket::{SocketExecutor, Transport, SOCKET_WORKER_ENV};
 pub use subprocess::{maybe_serve_worker, SubprocessExecutor};

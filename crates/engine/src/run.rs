@@ -221,13 +221,49 @@ impl UnitSink<'_> {
     }
 
     /// Commits one completed record: checkpoint append (durable before the
-    /// event fires), completion events, case tracking.
+    /// event fires), completion events, case tracking. The wall time is
+    /// measured locally between this unit's [`UnitSink::unit_started`] call
+    /// and now.
     ///
     /// # Errors
     ///
     /// Returns [`EngineError::Checkpoint`] when the checkpoint append fails —
     /// executors must treat that as fatal and unwind.
     pub fn complete(&self, record: UnitRecord) -> Result<(), EngineError> {
+        // Per-unit wall time as observed by this process (meaningful because
+        // the same process saw the start).
+        let wall = self
+            .started_at
+            .lock()
+            .expect("unit timer lock poisoned")
+            .remove(&record.unit)
+            .map(|started| started.elapsed());
+        self.commit(record, wall.filter(|elapsed| !elapsed.is_zero()))
+    }
+
+    /// Commits a record computed remotely, with the wall time the *worker*
+    /// measured around its own solve. Remote units carry real timings this
+    /// way instead of the parent guessing from protocol round-trips —
+    /// [`crate::CampaignReport::unit_times`] is populated for every executor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Checkpoint`] when the checkpoint append fails.
+    pub fn complete_timed(&self, record: UnitRecord, wall: Duration) -> Result<(), EngineError> {
+        self.started_at
+            .lock()
+            .expect("unit timer lock poisoned")
+            .remove(&record.unit);
+        self.commit(record, Some(wall).filter(|elapsed| !elapsed.is_zero()))
+    }
+
+    /// Announces that a distributed worker died and its in-flight units were
+    /// returned to the dispatch queue (streamed as [`RunEvent::WorkerLost`]).
+    pub fn worker_lost(&self, worker: usize, requeued: usize) {
+        self.emit(&RunEvent::WorkerLost { worker, requeued });
+    }
+
+    fn commit(&self, record: UnitRecord, wall: Option<Duration>) -> Result<(), EngineError> {
         if let Some(writer) = &self.checkpoint {
             writer
                 .lock()
@@ -239,16 +275,6 @@ impl UnitSink<'_> {
             records.push(record);
             self.resumed + records.len()
         };
-        // Per-unit wall time: only meaningful when the same process observed
-        // the start (subprocess workers report start and completion together,
-        // so their elapsed time would be noise — skip those).
-        let wall = self
-            .started_at
-            .lock()
-            .expect("unit timer lock poisoned")
-            .remove(&record.unit)
-            .map(|started| started.elapsed())
-            .filter(|elapsed| !elapsed.is_zero());
         if let Some(elapsed) = wall {
             self.timings
                 .lock()
@@ -275,15 +301,17 @@ impl UnitSink<'_> {
         Ok(())
     }
 
-    /// Commits a record whose start this process did not meaningfully
-    /// observe (subprocess workers report start and completion in the same
-    /// protocol line), so no wall time is attributed to it.
+    /// Commits a record with no wall time at all — the legacy path for
+    /// remote records whose worker did not measure its solve. Prefer
+    /// [`UnitSink::complete_timed`]; this remains for protocol
+    /// backwards-compatibility (a v1 stdio worker line without the wall
+    /// token).
     pub fn complete_untimed(&self, record: UnitRecord) -> Result<(), EngineError> {
         self.started_at
             .lock()
             .expect("unit timer lock poisoned")
             .remove(&record.unit);
-        self.complete(record)
+        self.commit(record, None)
     }
 
     fn emit(&self, event: &RunEvent) {
@@ -590,6 +618,49 @@ fn aggregate_report(
     }
 }
 
+/// Rebuilds a full [`CampaignReport`] from a complete plan-order record set.
+///
+/// This is the deterministic half of a report — case statistics, CDFs and
+/// SSCM surrogates are pure functions of the plan and the records, so a
+/// daemon can serve a cached report as records-over-the-wire and the client
+/// reconstitutes the typed report locally, bit-identical to the original.
+/// Execution metadata that only the original run knew (wall time, cache
+/// activity, thread count) is zeroed.
+///
+/// # Errors
+///
+/// Returns [`EngineError::Checkpoint`] when `records` is not exactly the
+/// plan's unit set in plan order.
+pub fn report_from_records(
+    plan: &Plan,
+    records: Vec<UnitRecord>,
+) -> Result<CampaignReport, EngineError> {
+    if records.len() != plan.units().len() {
+        return Err(EngineError::Checkpoint(format!(
+            "record set has {} records but the plan schedules {} units",
+            records.len(),
+            plan.units().len()
+        )));
+    }
+    for (slot, record) in records.iter().enumerate() {
+        if record.unit != slot || plan.units()[slot].case_index != record.case_index {
+            return Err(EngineError::Checkpoint(format!(
+                "record at slot {slot} (unit {}, case {}) does not match the plan",
+                record.unit, record.case_index
+            )));
+        }
+    }
+    let unit_times = vec![None; records.len()];
+    Ok(aggregate_report(
+        plan,
+        records,
+        CacheStats::default(),
+        Duration::ZERO,
+        0,
+        unit_times,
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -655,7 +726,7 @@ mod tests {
             &scenario,
             RunConfig::new()
                 .executor(SerialExecutor)
-                .scheduler(CostOrdered),
+                .scheduler(CostOrdered::new()),
         )
         .unwrap()
         .execute()

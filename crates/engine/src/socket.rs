@@ -1,0 +1,1182 @@
+//! Distributed execution over sockets: persistent warm workers.
+//!
+//! [`SocketExecutor`] is the distributed successor of
+//! [`crate::subprocess::SubprocessExecutor`]. Instead of piping one shard to a
+//! short-lived process per run, it keeps a fleet of **long-lived worker
+//! processes** connected over TCP or Unix-domain sockets, speaking the
+//! length-prefixed framing of [`crate::frame`] around the bit-exact
+//! [`crate::wire`] scenario encoding. The design goals, in order:
+//!
+//! 1. **Warm caches where the work is.** Each worker owns a process-local
+//!    [`KernelCache`] that survives across runs: re-running a campaign (or
+//!    running the next shard of the same scenario fingerprint) hits the
+//!    worker's cached Ewald kernels, flat-reference solves and KL bases
+//!    instead of rebuilding them — the flaw that kept warm subprocess runs
+//!    from ever beating the thread pool. Worker cache activity is credited
+//!    back into the dispatcher's cache counters ([`KernelCache::credit_external`])
+//!    so reports carry real hit rates.
+//! 2. **Fault tolerance without changing a single bit.** Units are dispatched
+//!    in small case-contiguous batches; workers heartbeat while computing; a
+//!    dead or silent worker's in-flight units are re-queued to survivors and a
+//!    typed [`RunEvent::WorkerLost`] is streamed. Plan-time seeding makes the
+//!    final report bit-identical no matter which worker computed which unit.
+//! 3. **Honest timing.** Workers measure each solve's wall time themselves
+//!    and ship it inside the result frame, so remote units populate
+//!    [`crate::CampaignReport::unit_times`] like local ones.
+//!
+//! Binaries opt in through the same entry point as the stdio protocol —
+//! [`crate::subprocess::maybe_serve_worker`] checks [`SOCKET_WORKER_ENV`]
+//! too, so existing drivers and test worker entries serve both protocols.
+//!
+//! [`RunEvent::WorkerLost`]: crate::events::RunEvent::WorkerLost
+
+use crate::cache::{CacheStats, KernelCache};
+use crate::error::EngineError;
+use crate::executor::{core_budget, evaluate_unit, UnitExecutor};
+use crate::frame::{kind, read_frame, write_frame, Frame, PayloadWriter};
+use crate::plan::Plan;
+use crate::report::UnitRecord;
+use crate::run::UnitSink;
+use crate::wire;
+use rough_core::{AssemblyParallelism, ASSEMBLY_THREADS_ENV};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io;
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Environment variable that switches a spawned process into socket-worker
+/// mode; its value is the dispatcher's address spec (`tcp:host:port` or
+/// `unix:/path`).
+pub const SOCKET_WORKER_ENV: &str = "ROUGH_ENGINE_SOCKET_WORKER";
+
+/// Interval between worker heartbeats while a batch is being computed.
+const HEARTBEAT_PERIOD: Duration = Duration::from_millis(200);
+
+/// Default dispatcher-side silence tolerance before a worker is declared
+/// lost. Generous relative to [`HEARTBEAT_PERIOD`]; tests shrink it.
+const DEFAULT_HEARTBEAT_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// How long the dispatcher waits for freshly spawned workers to connect.
+const ACCEPT_DEADLINE: Duration = Duration::from_secs(20);
+
+/// Reconnect attempts a disconnected worker makes before giving up.
+const MAX_RECONNECT_ATTEMPTS: u32 = 8;
+
+fn socket_error(reason: impl Into<String>) -> EngineError {
+    EngineError::Socket(reason.into())
+}
+
+/// The transport a [`SocketExecutor`] binds and its workers dial.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Transport {
+    /// TCP on the given bind address (e.g. `127.0.0.1:0` for an ephemeral
+    /// loopback port — the default).
+    Tcp(String),
+    /// A Unix-domain socket at the given path (removed on bind and on drop).
+    #[cfg(unix)]
+    Unix(PathBuf),
+}
+
+impl Default for Transport {
+    fn default() -> Self {
+        Transport::Tcp("127.0.0.1:0".to_string())
+    }
+}
+
+/// Either flavour of bound listener, polled non-blockingly.
+#[derive(Debug)]
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener, PathBuf),
+}
+
+impl Listener {
+    fn bind(transport: &Transport) -> Result<Self, EngineError> {
+        match transport {
+            Transport::Tcp(addr) => {
+                let listener = TcpListener::bind(addr)
+                    .map_err(|e| socket_error(format!("cannot bind tcp {addr}: {e}")))?;
+                listener
+                    .set_nonblocking(true)
+                    .map_err(|e| socket_error(format!("cannot configure listener: {e}")))?;
+                Ok(Listener::Tcp(listener))
+            }
+            #[cfg(unix)]
+            Transport::Unix(path) => {
+                // A stale socket file from a previous process blocks bind.
+                let _ = std::fs::remove_file(path);
+                let listener = UnixListener::bind(path).map_err(|e| {
+                    socket_error(format!("cannot bind unix {}: {e}", path.display()))
+                })?;
+                listener
+                    .set_nonblocking(true)
+                    .map_err(|e| socket_error(format!("cannot configure listener: {e}")))?;
+                Ok(Listener::Unix(listener, path.clone()))
+            }
+        }
+    }
+
+    /// The spec workers dial to reach this listener.
+    fn addr_spec(&self) -> Result<String, EngineError> {
+        match self {
+            Listener::Tcp(listener) => listener
+                .local_addr()
+                .map(|addr| format!("tcp:{addr}"))
+                .map_err(|e| socket_error(format!("cannot read listener address: {e}"))),
+            #[cfg(unix)]
+            Listener::Unix(_, path) => Ok(format!("unix:{}", path.display())),
+        }
+    }
+
+    fn accept(&self) -> io::Result<Conn> {
+        match self {
+            Listener::Tcp(listener) => listener.accept().map(|(stream, _)| {
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_nonblocking(false);
+                Conn::Tcp(stream)
+            }),
+            #[cfg(unix)]
+            Listener::Unix(listener, _) => listener.accept().map(|(stream, _)| {
+                let _ = stream.set_nonblocking(false);
+                Conn::Unix(stream)
+            }),
+        }
+    }
+}
+
+impl Drop for Listener {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Listener::Unix(_, path) = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// Either flavour of connected stream.
+#[derive(Debug)]
+enum Conn {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Conn {
+    /// Dials an address spec (`tcp:host:port` / `unix:/path`).
+    fn connect(spec: &str) -> io::Result<Conn> {
+        if let Some(addr) = spec.strip_prefix("tcp:") {
+            let stream = TcpStream::connect(addr)?;
+            let _ = stream.set_nodelay(true);
+            return Ok(Conn::Tcp(stream));
+        }
+        #[cfg(unix)]
+        if let Some(path) = spec.strip_prefix("unix:") {
+            return UnixStream::connect(path).map(Conn::Unix);
+        }
+        Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("unsupported address spec `{spec}`"),
+        ))
+    }
+
+    fn try_clone(&self) -> io::Result<Conn> {
+        match self {
+            Conn::Tcp(stream) => stream.try_clone().map(Conn::Tcp),
+            #[cfg(unix)]
+            Conn::Unix(stream) => stream.try_clone().map(Conn::Unix),
+        }
+    }
+
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        match self {
+            Conn::Tcp(stream) => stream.set_read_timeout(timeout),
+            #[cfg(unix)]
+            Conn::Unix(stream) => stream.set_read_timeout(timeout),
+        }
+    }
+
+    fn shutdown(&self) {
+        match self {
+            Conn::Tcp(stream) => {
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+            }
+            #[cfg(unix)]
+            Conn::Unix(stream) => {
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+}
+
+impl io::Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(stream) => stream.read(buf),
+            #[cfg(unix)]
+            Conn::Unix(stream) => stream.read(buf),
+        }
+    }
+}
+
+impl io::Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(stream) => stream.write(buf),
+            #[cfg(unix)]
+            Conn::Unix(stream) => stream.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(stream) => stream.flush(),
+            #[cfg(unix)]
+            Conn::Unix(stream) => stream.flush(),
+        }
+    }
+}
+
+/// One connected, ready worker as the dispatcher sees it.
+#[derive(Debug)]
+struct WorkerConn {
+    /// Stable worker index (assigned at accept, reported in events).
+    index: usize,
+    conn: Conn,
+}
+
+#[derive(Debug, Default)]
+struct SocketState {
+    listener: Option<Listener>,
+    idle: Vec<WorkerConn>,
+    children: Vec<Child>,
+    next_index: usize,
+}
+
+/// Shards work units across persistent worker processes connected over
+/// sockets. See the [module docs](crate::socket) for the protocol and the
+/// fault-tolerance contract.
+#[derive(Debug)]
+pub struct SocketExecutor {
+    workers: usize,
+    transport: Transport,
+    program: Option<PathBuf>,
+    args: Vec<String>,
+    heartbeat_timeout: Duration,
+    state: Mutex<SocketState>,
+    run_counter: AtomicU64,
+}
+
+impl SocketExecutor {
+    /// Creates an executor with `workers` persistent worker processes (0
+    /// means one per hardware core) on a loopback TCP transport with an
+    /// ephemeral port. Workers are spawned lazily on the first
+    /// [`UnitExecutor::execute`] call and stay warm until the executor drops.
+    pub fn new(workers: usize) -> Self {
+        let workers = if workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            workers
+        };
+        Self {
+            workers,
+            transport: Transport::default(),
+            program: None,
+            args: Vec::new(),
+            heartbeat_timeout: DEFAULT_HEARTBEAT_TIMEOUT,
+            state: Mutex::new(SocketState::default()),
+            run_counter: AtomicU64::new(1),
+        }
+    }
+
+    /// Selects the transport (default: loopback TCP, ephemeral port).
+    pub fn with_transport(mut self, transport: Transport) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// Overrides the spawned program (defaults to
+    /// [`std::env::current_exe`]).
+    pub fn with_program(mut self, program: impl Into<PathBuf>) -> Self {
+        self.program = Some(program.into());
+        self
+    }
+
+    /// Sets extra arguments for the spawned program (e.g. a libtest filter
+    /// pointing at a worker-entry `#[test]`).
+    pub fn with_args(mut self, args: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        self.args = args.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Sets how long the dispatcher tolerates silence from a computing
+    /// worker before declaring it lost and re-queuing its units.
+    pub fn with_heartbeat_timeout(mut self, timeout: Duration) -> Self {
+        self.heartbeat_timeout = timeout;
+        self
+    }
+
+    /// Fault-injection hook: kills one live worker *process* (the first one
+    /// still running), simulating a crash mid-run. Returns `false` when no
+    /// live child exists. The dispatcher notices through the dead socket and
+    /// re-dispatches — exercised by the fault-tolerance tests.
+    pub fn kill_one_worker(&self) -> bool {
+        let mut state = self.state.lock().expect("socket state poisoned");
+        for child in &mut state.children {
+            if matches!(child.try_wait(), Ok(None)) {
+                let _ = child.kill();
+                let _ = child.wait();
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Workers currently connected and idle (primarily for tests and
+    /// diagnostics; workers mid-run are not counted).
+    pub fn connected_workers(&self) -> usize {
+        self.state.lock().expect("socket state poisoned").idle.len()
+    }
+
+    fn spawn_worker(&self, addr_spec: &str) -> Result<Child, EngineError> {
+        let program = match &self.program {
+            Some(program) => program.clone(),
+            None => std::env::current_exe()
+                .map_err(|e| socket_error(format!("cannot locate current executable: {e}")))?,
+        };
+        // Same budget split as the other multi-worker executors: each worker
+        // gets its fair share of the core budget as intra-solve assembly
+        // threads, unless the parent environment pins an explicit value.
+        let assembly_share = (core_budget() / self.workers.max(1)).max(1);
+        let mut command = Command::new(&program);
+        if std::env::var_os(ASSEMBLY_THREADS_ENV).is_none() {
+            command.env(ASSEMBLY_THREADS_ENV, assembly_share.to_string());
+        }
+        command
+            .args(&self.args)
+            .env(SOCKET_WORKER_ENV, addr_spec)
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .map_err(|e| socket_error(format!("cannot spawn {}: {e}", program.display())))
+    }
+
+    /// Ensures the listener is bound and `self.workers` workers are
+    /// connected, spawning and accepting as needed. Returns the ready
+    /// connections (removed from the idle pool for the duration of a run).
+    fn checkout_workers(&self) -> Result<Vec<WorkerConn>, EngineError> {
+        let mut state = self.state.lock().expect("socket state poisoned");
+        if state.listener.is_none() {
+            state.listener = Some(Listener::bind(&self.transport)?);
+        }
+        let addr_spec = state
+            .listener
+            .as_ref()
+            .expect("listener just bound")
+            .addr_spec()?;
+
+        // Reap exited children so the fleet top-up below is sized right.
+        state
+            .children
+            .retain_mut(|c| matches!(c.try_wait(), Ok(None)));
+
+        // Drop idle connections whose process died while parked (a parked
+        // worker cannot be mid-frame, so a dead peer surfaces on first use;
+        // probing here keeps the common path simple).
+        let missing = self.workers.saturating_sub(state.idle.len());
+        let to_spawn = missing.saturating_sub(state.children.len().saturating_sub(
+            // children currently backing idle connections
+            state.idle.len(),
+        ));
+        for _ in 0..to_spawn {
+            let child = self.spawn_worker(&addr_spec)?;
+            state.children.push(child);
+        }
+
+        let deadline = Instant::now() + ACCEPT_DEADLINE;
+        while state.idle.len() < self.workers {
+            let accepted = state.listener.as_ref().expect("listener bound").accept();
+            match accepted {
+                Ok(mut conn) => {
+                    // The worker leads with HELLO; consume and validate it.
+                    conn.set_read_timeout(Some(Duration::from_secs(5)))
+                        .map_err(|e| socket_error(format!("cannot configure worker: {e}")))?;
+                    let hello = read_frame(&mut conn)?;
+                    if hello.kind != kind::HELLO {
+                        return Err(socket_error(format!(
+                            "worker led with frame kind {} instead of HELLO",
+                            hello.kind
+                        )));
+                    }
+                    let index = state.next_index;
+                    state.next_index += 1;
+                    state.idle.push(WorkerConn { index, conn });
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(socket_error(format!("accept failed: {e}"))),
+            }
+        }
+        if state.idle.is_empty() {
+            return Err(socket_error(format!(
+                "no workers connected within {ACCEPT_DEADLINE:?}"
+            )));
+        }
+        Ok(state.idle.drain(..).collect())
+    }
+
+    fn checkin_workers(&self, survivors: Vec<WorkerConn>) {
+        let mut state = self.state.lock().expect("socket state poisoned");
+        state.idle.extend(survivors);
+    }
+}
+
+impl Drop for SocketExecutor {
+    fn drop(&mut self) {
+        let mut state = self.state.lock().expect("socket state poisoned");
+        for worker in &mut state.idle {
+            let _ = write_frame(&mut worker.conn, &Frame::empty(kind::SHUTDOWN));
+            worker.conn.shutdown();
+        }
+        for child in &mut state.children {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// Splits the scheduled order into case-contiguous dispatch batches.
+///
+/// Batches never straddle a case boundary, so a worker's shard confines each
+/// context build to as few workers as possible (the same locality argument as
+/// the stdio executor's contiguous shards) — and they are small enough that a
+/// lost worker forfeits little work and survivors rebalance naturally.
+fn dispatch_batches(plan: &Plan, order: &[usize], workers: usize) -> VecDeque<Vec<usize>> {
+    let batch_size = (order.len() / (workers.max(1) * 4)).clamp(1, 16);
+    let mut batches = VecDeque::new();
+    let mut current: Vec<usize> = Vec::new();
+    let mut current_case = usize::MAX;
+    for &unit_id in order {
+        let case = plan.units()[unit_id].case_index;
+        if !current.is_empty() && (case != current_case || current.len() >= batch_size) {
+            batches.push_back(std::mem::take(&mut current));
+        }
+        current_case = case;
+        current.push(unit_id);
+    }
+    if !current.is_empty() {
+        batches.push_back(current);
+    }
+    batches
+}
+
+/// Outcome of driving one worker through one run.
+enum WorkerOutcome {
+    /// Worker alive and consistent; return it to the idle pool with the
+    /// cache activity it reported for this run.
+    Alive(WorkerConn, CacheStats),
+    /// Worker died or went silent; its pending units were re-queued.
+    Lost,
+}
+
+impl UnitExecutor for SocketExecutor {
+    fn name(&self) -> &'static str {
+        "socket"
+    }
+
+    fn parallelism(&self) -> usize {
+        self.workers
+    }
+
+    fn execute(
+        &self,
+        plan: &Plan,
+        order: &[usize],
+        cache: &KernelCache,
+        sink: &UnitSink<'_>,
+    ) -> Result<(), EngineError> {
+        if order.is_empty() || sink.is_cancelled() {
+            return Ok(());
+        }
+        let workers = self.checkout_workers()?;
+        let run_id = self.run_counter.fetch_add(1, Ordering::Relaxed);
+        let wire_text = wire::encode_scenario(plan.scenario());
+        let queue = Mutex::new(dispatch_batches(plan, order, workers.len()));
+        let remaining = AtomicUsize::new(order.len());
+        let failed = AtomicBool::new(false);
+
+        let outcomes: Vec<Result<WorkerOutcome, EngineError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = workers
+                .into_iter()
+                .map(|worker| {
+                    let queue = &queue;
+                    let remaining = &remaining;
+                    let failed = &failed;
+                    let wire_text = wire_text.as_str();
+                    scope.spawn(move || {
+                        drive_worker(
+                            worker,
+                            run_id,
+                            wire_text,
+                            plan,
+                            sink,
+                            queue,
+                            remaining,
+                            failed,
+                            self.heartbeat_timeout,
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker driver thread panicked"))
+                .collect()
+        });
+
+        let mut survivors = Vec::new();
+        let mut first_error = None;
+        for outcome in outcomes {
+            match outcome {
+                Ok(WorkerOutcome::Alive(worker, stats)) => {
+                    cache.credit_external(stats.hits, stats.misses);
+                    survivors.push(worker);
+                }
+                Ok(WorkerOutcome::Lost) => {}
+                Err(error) => first_error = first_error.or(Some(error)),
+            }
+        }
+        self.checkin_workers(survivors);
+        if let Some(error) = first_error {
+            return Err(error);
+        }
+        if remaining.load(Ordering::SeqCst) > 0 && !sink.is_cancelled() {
+            return Err(socket_error(format!(
+                "every worker was lost with {} units outstanding",
+                remaining.load(Ordering::SeqCst)
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Drives one worker through one run: RUN handshake, then a dispatch loop
+/// pulling batches from the shared queue until no units remain anywhere.
+#[allow(clippy::too_many_arguments)]
+fn drive_worker(
+    mut worker: WorkerConn,
+    run_id: u64,
+    wire_text: &str,
+    plan: &Plan,
+    sink: &UnitSink<'_>,
+    queue: &Mutex<VecDeque<Vec<usize>>>,
+    remaining: &AtomicUsize,
+    failed: &AtomicBool,
+    heartbeat_timeout: Duration,
+) -> Result<WorkerOutcome, EngineError> {
+    let lost = |worker: &WorkerConn, pending: Vec<usize>, sink: &UnitSink<'_>| {
+        let requeued = pending.len();
+        if requeued > 0 {
+            queue
+                .lock()
+                .expect("dispatch queue poisoned")
+                .push_front(pending);
+        }
+        sink.worker_lost(worker.index, requeued);
+        WorkerOutcome::Lost
+    };
+
+    if worker
+        .conn
+        .set_read_timeout(Some(heartbeat_timeout))
+        .is_err()
+    {
+        return Ok(lost(&worker, Vec::new(), sink));
+    }
+    let run = PayloadWriter::new()
+        .u64(run_id)
+        .str(wire_text)
+        .frame(kind::RUN);
+    if write_frame(&mut worker.conn, &run).is_err() {
+        // A worker that died while parked fails here; nothing dispatched yet.
+        return Ok(lost(&worker, Vec::new(), sink));
+    }
+
+    let mut stats = CacheStats::default();
+    loop {
+        if failed.load(Ordering::SeqCst) {
+            return Ok(WorkerOutcome::Alive(worker, stats));
+        }
+        if sink.is_cancelled() {
+            return Ok(WorkerOutcome::Alive(worker, stats));
+        }
+        if remaining.load(Ordering::SeqCst) == 0 {
+            return Ok(WorkerOutcome::Alive(worker, stats));
+        }
+        let Some(batch) = queue.lock().expect("dispatch queue poisoned").pop_front() else {
+            // Other workers hold the remaining units in flight; wait for
+            // either completion or a re-queue from a lost worker.
+            std::thread::sleep(Duration::from_millis(2));
+            continue;
+        };
+
+        let mut message = PayloadWriter::new().u64(run_id).u64(batch.len() as u64);
+        for &unit in &batch {
+            message = message.u64(unit as u64);
+        }
+        if write_frame(&mut worker.conn, &message.frame(kind::DISPATCH)).is_err() {
+            return Ok(lost(&worker, batch, sink));
+        }
+
+        let mut pending: HashSet<usize> = batch.iter().copied().collect();
+        while !pending.is_empty() {
+            let frame = match read_frame(&mut worker.conn) {
+                Ok(frame) => frame,
+                Err(_) => {
+                    // Connection error, EOF, or heartbeat-timeout silence.
+                    return Ok(lost(&worker, pending.into_iter().collect(), sink));
+                }
+            };
+            match frame.kind {
+                kind::HEARTBEAT => {}
+                kind::RESULT => {
+                    let mut reader = frame.reader();
+                    let parsed = (|| -> Result<(u64, UnitRecord, f64), EngineError> {
+                        let id = reader.u64()?;
+                        let unit = reader.u64()? as usize;
+                        let case_index = reader.u64()? as usize;
+                        let value = reader.f64_bits()?;
+                        let relative_residual = reader.f64_bits()?;
+                        let wall = reader.f64_bits()?;
+                        Ok((
+                            id,
+                            UnitRecord {
+                                unit,
+                                case_index,
+                                value,
+                                relative_residual,
+                            },
+                            wall,
+                        ))
+                    })();
+                    let Ok((id, record, wall_seconds)) = parsed else {
+                        return Ok(lost(&worker, pending.into_iter().collect(), sink));
+                    };
+                    if id != run_id {
+                        continue; // stale frame from a previous run; skip
+                    }
+                    if !pending.remove(&record.unit) {
+                        failed.store(true, Ordering::SeqCst);
+                        return Err(socket_error(format!(
+                            "worker {} reported unassigned unit {}",
+                            worker.index, record.unit
+                        )));
+                    }
+                    sink.unit_started(&plan.units()[record.unit]);
+                    sink.complete_timed(record, Duration::from_secs_f64(wall_seconds.max(0.0)))?;
+                    remaining.fetch_sub(1, Ordering::SeqCst);
+                }
+                kind::STATS => {
+                    let mut reader = frame.reader();
+                    if let (Ok(id), Ok(hits), Ok(misses)) =
+                        (reader.u64(), reader.u64(), reader.u64())
+                    {
+                        if id == run_id {
+                            stats.hits = hits as usize;
+                            stats.misses = misses as usize;
+                        }
+                    }
+                }
+                kind::ERR => {
+                    // A solve error is deterministic: re-dispatching the unit
+                    // reproduces it, so fail the run.
+                    failed.store(true, Ordering::SeqCst);
+                    let message = frame.reader().str().unwrap_or_default();
+                    return Err(socket_error(format!(
+                        "worker {} failed: {message}",
+                        worker.index
+                    )));
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------------
+
+/// Serves the socket-worker protocol and exits the process — **when**
+/// [`SOCKET_WORKER_ENV`] is set; a no-op otherwise. Callers normally reach
+/// this through [`crate::subprocess::maybe_serve_worker`], which multiplexes
+/// both worker protocols.
+pub fn maybe_serve_socket_worker() {
+    let Ok(spec) = std::env::var(SOCKET_WORKER_ENV) else {
+        return;
+    };
+    std::process::exit(worker_main(&spec));
+}
+
+/// Persistent per-process worker state: the warm kernel cache and the plans
+/// it has already expanded, keyed by scenario fingerprint. This is what makes
+/// the socket executor's warm runs fast — the cache lives as long as the
+/// worker process, across every run and every reconnect.
+struct WorkerState {
+    cache: Arc<KernelCache>,
+    plans: HashMap<u64, Plan>,
+    assembly: AssemblyParallelism,
+    /// `(run_id, fingerprint, cache stats at run start)` of the current run.
+    current: Option<(u64, u64, CacheStats)>,
+}
+
+impl WorkerState {
+    fn new() -> Self {
+        Self {
+            cache: Arc::new(KernelCache::new()),
+            plans: HashMap::new(),
+            // The dispatcher sized our assembly share into the environment; a
+            // worker launched by hand without it stays serial.
+            assembly: AssemblyParallelism::from_env().unwrap_or(AssemblyParallelism::Serial),
+            current: None,
+        }
+    }
+}
+
+fn worker_main(spec: &str) -> i32 {
+    let mut state = WorkerState::new();
+    let mut attempt: u32 = 0;
+    loop {
+        if let Ok(conn) = Conn::connect(spec) {
+            attempt = 0;
+            // Ok(true) is an orderly SHUTDOWN; Ok(false) / Err mean the
+            // connection dropped and we should reconnect with backoff.
+            if let Ok(true) = serve_connection(conn, &mut state) {
+                return 0;
+            }
+        }
+        attempt += 1;
+        if attempt > MAX_RECONNECT_ATTEMPTS {
+            return 1;
+        }
+        // Exponential backoff: 25ms, 50ms, ... capped at 1.6s.
+        let backoff = Duration::from_millis(25u64 << attempt.min(6));
+        std::thread::sleep(backoff);
+    }
+}
+
+/// Serves one connection until SHUTDOWN (`Ok(true)`), peer disconnect
+/// (`Ok(false)`), or a transport error. Solve errors are reported in-band
+/// (ERR frame) and do not tear down the connection.
+fn serve_connection(conn: Conn, state: &mut WorkerState) -> Result<bool, EngineError> {
+    let writer =
+        Arc::new(Mutex::new(conn.try_clone().map_err(|e| {
+            socket_error(format!("cannot clone connection: {e}"))
+        })?));
+    let mut reader = conn;
+    {
+        let hello = PayloadWriter::new()
+            .u64(u64::from(crate::frame::VERSION))
+            .u64(u64::from(std::process::id()))
+            .frame(kind::HELLO);
+        write_frame(&mut *writer.lock().expect("writer lock poisoned"), &hello)?;
+    }
+
+    // Heartbeat thread: beacons only while a batch is being computed, so an
+    // idle worker never fills the socket buffer of a dispatcher that is not
+    // reading. A solve can take arbitrarily long; the beacons are what keep
+    // the dispatcher's read timeout from declaring us dead mid-solve.
+    let active = Arc::new(AtomicBool::new(false));
+    let stop = Arc::new(AtomicBool::new(false));
+    let heartbeat = {
+        let writer = Arc::clone(&writer);
+        let active = Arc::clone(&active);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::SeqCst) {
+                if active.load(Ordering::SeqCst) {
+                    let frame = Frame::empty(kind::HEARTBEAT);
+                    let mut writer = writer.lock().expect("writer lock poisoned");
+                    if write_frame(&mut *writer, &frame).is_err() {
+                        break;
+                    }
+                }
+                std::thread::sleep(HEARTBEAT_PERIOD);
+            }
+        })
+    };
+
+    let result = serve_frames(&mut reader, &writer, &active, state);
+    stop.store(true, Ordering::SeqCst);
+    active.store(false, Ordering::SeqCst);
+    let _ = heartbeat.join();
+    result
+}
+
+fn serve_frames(
+    reader: &mut Conn,
+    writer: &Arc<Mutex<Conn>>,
+    active: &AtomicBool,
+    state: &mut WorkerState,
+) -> Result<bool, EngineError> {
+    loop {
+        let frame = match read_frame(reader) {
+            Ok(frame) => frame,
+            Err(_) => return Ok(false), // peer gone; caller decides on reconnect
+        };
+        match frame.kind {
+            kind::RUN => {
+                let mut payload = frame.reader();
+                let run_id = payload.u64()?;
+                let wire_text = payload.str()?;
+                let scenario = wire::decode_scenario(&wire_text)?;
+                let fingerprint = wire::scenario_fingerprint(&scenario);
+                if !state.plans.contains_key(&fingerprint) {
+                    let plan = Plan::new_with_cache(&scenario, Some(&state.cache))?;
+                    state.plans.insert(fingerprint, plan);
+                }
+                state.current = Some((run_id, fingerprint, state.cache.stats()));
+            }
+            kind::DISPATCH => {
+                let mut payload = frame.reader();
+                let run_id = payload.u64()?;
+                let count = payload.u64()? as usize;
+                let mut units = Vec::with_capacity(count);
+                for _ in 0..count {
+                    units.push(payload.u64()? as usize);
+                }
+                let Some((current_run, fingerprint, stats_at_start)) = state.current else {
+                    send_err(writer, "DISPATCH before RUN");
+                    continue;
+                };
+                if run_id != current_run {
+                    send_err(writer, "DISPATCH for an unknown run");
+                    continue;
+                }
+                let plan = &state.plans[&fingerprint];
+                active.store(true, Ordering::SeqCst);
+                let outcome =
+                    evaluate_batch(plan, &units, state.assembly, &state.cache, run_id, writer);
+                active.store(false, Ordering::SeqCst);
+                if let Err(error) = outcome {
+                    send_err(writer, &error.to_string());
+                    continue;
+                }
+                // Cumulative per-run cache delta, so the dispatcher's report
+                // reflects worker-side kernel reuse.
+                let now = state.cache.stats();
+                let stats = PayloadWriter::new()
+                    .u64(run_id)
+                    .u64((now.hits - stats_at_start.hits) as u64)
+                    .u64((now.misses - stats_at_start.misses) as u64)
+                    .frame(kind::STATS);
+                let mut writer = writer.lock().expect("writer lock poisoned");
+                if write_frame(&mut *writer, &stats).is_err() {
+                    return Ok(false);
+                }
+            }
+            kind::SHUTDOWN => return Ok(true),
+            _ => {}
+        }
+    }
+}
+
+fn evaluate_batch(
+    plan: &Plan,
+    units: &[usize],
+    assembly: AssemblyParallelism,
+    cache: &KernelCache,
+    run_id: u64,
+    writer: &Arc<Mutex<Conn>>,
+) -> Result<(), EngineError> {
+    for &unit_id in units {
+        let unit = plan
+            .units()
+            .get(unit_id)
+            .ok_or_else(|| socket_error(format!("unit id {unit_id} out of range")))?;
+        let started = Instant::now();
+        let record = evaluate_unit(plan, unit, cache, assembly)?;
+        let wall = started.elapsed();
+        let frame = PayloadWriter::new()
+            .u64(run_id)
+            .u64(record.unit as u64)
+            .u64(record.case_index as u64)
+            .f64_bits(record.value)
+            .f64_bits(record.relative_residual)
+            .f64_bits(wall.as_secs_f64())
+            .frame(kind::RESULT);
+        let mut writer = writer.lock().expect("writer lock poisoned");
+        write_frame(&mut *writer, &frame)?;
+    }
+    Ok(())
+}
+
+fn send_err(writer: &Arc<Mutex<Conn>>, message: &str) {
+    let frame = PayloadWriter::new().str(message).frame(kind::ERR);
+    let mut writer = writer.lock().expect("writer lock poisoned");
+    let _ = write_frame(&mut *writer, &frame);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+    use rough_core::RoughnessSpec;
+    use rough_em::material::Stackup;
+    use rough_em::units::{GigaHertz, Micrometers};
+
+    fn scenario() -> Scenario {
+        Scenario::builder(Stackup::paper_baseline())
+            .name("socket-batch-unit")
+            .roughness(RoughnessSpec::gaussian(
+                Micrometers::new(1.0),
+                Micrometers::new(1.0),
+            ))
+            .frequencies([GigaHertz::new(2.0).into(), GigaHertz::new(6.0).into()])
+            .cells_per_side(6)
+            .max_kl_modes(2)
+            .monte_carlo(3)
+            .build()
+            .unwrap()
+    }
+
+    fn plan() -> Plan {
+        Plan::new(&scenario()).unwrap()
+    }
+
+    #[test]
+    fn dispatch_batches_respect_case_boundaries() {
+        let plan = plan();
+        let order: Vec<usize> = (0..plan.units().len()).collect();
+        let batches = dispatch_batches(&plan, &order, 2);
+        let mut seen = Vec::new();
+        for batch in &batches {
+            assert!(!batch.is_empty());
+            let case = plan.units()[batch[0]].case_index;
+            assert!(
+                batch.iter().all(|&u| plan.units()[u].case_index == case),
+                "batch {batch:?} straddles a case boundary"
+            );
+            seen.extend_from_slice(batch);
+        }
+        assert_eq!(seen, order, "batches must cover the order exactly");
+    }
+
+    #[test]
+    fn transport_specs_roundtrip() {
+        let listener = Listener::bind(&Transport::default()).unwrap();
+        let spec = listener.addr_spec().unwrap();
+        assert!(spec.starts_with("tcp:127.0.0.1:"));
+        // Dial it and complete a frame exchange.
+        let mut client = Conn::connect(&spec).unwrap();
+        let accepted = loop {
+            match listener.accept() {
+                Ok(conn) => break conn,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) => panic!("accept failed: {e}"),
+            }
+        };
+        let mut accepted = accepted;
+        write_frame(&mut client, &Frame::empty(kind::HEARTBEAT)).unwrap();
+        let frame = read_frame(&mut accepted).unwrap();
+        assert_eq!(frame.kind, kind::HEARTBEAT);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unix_transport_binds_and_cleans_up() {
+        let path = std::env::temp_dir().join(format!("roughsim-uds-{}.sock", std::process::id()));
+        {
+            let listener = Listener::bind(&Transport::Unix(path.clone())).unwrap();
+            assert_eq!(
+                listener.addr_spec().unwrap(),
+                format!("unix:{}", path.display())
+            );
+            assert!(path.exists());
+            let mut client = Conn::connect(&format!("unix:{}", path.display())).unwrap();
+            write_frame(&mut client, &Frame::empty(kind::HEARTBEAT)).unwrap();
+        }
+        assert!(!path.exists(), "socket file must be removed on drop");
+    }
+
+    #[test]
+    fn connect_rejects_unknown_specs() {
+        assert!(Conn::connect("smoke-signal:hill-7").is_err());
+    }
+
+    #[test]
+    fn worker_reconnects_with_backoff_when_the_listener_arrives_late() {
+        // Bind a listener, learn the port, drop it, then re-bind it from a
+        // thread after a delay: a connecting worker must retry through the
+        // refused window and succeed once the listener exists.
+        let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = probe.local_addr().unwrap();
+        drop(probe);
+        let spec = format!("tcp:{addr}");
+        let binder = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(150));
+            let listener = TcpListener::bind(addr).unwrap();
+            let (conn, _) = listener.accept().unwrap();
+            read_frame(&mut Conn::Tcp(conn.try_clone().unwrap())).unwrap();
+            let _ = conn;
+        });
+        // Mirror worker_main's dial-with-backoff loop.
+        let mut attempt = 0u32;
+        let conn = loop {
+            match Conn::connect(&spec) {
+                Ok(conn) => break conn,
+                Err(_) => {
+                    attempt += 1;
+                    assert!(attempt <= MAX_RECONNECT_ATTEMPTS, "never connected");
+                    std::thread::sleep(Duration::from_millis(25u64 << attempt.min(6)));
+                }
+            }
+        };
+        assert!(attempt >= 1, "first dial must have been refused");
+        let mut conn = conn;
+        write_frame(&mut conn, &Frame::empty(kind::HEARTBEAT)).unwrap();
+        binder.join().unwrap();
+    }
+
+    fn accept_blocking(listener: &Listener) -> Conn {
+        loop {
+            match listener.accept() {
+                Ok(conn) => return conn,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) => panic!("accept failed: {e}"),
+            }
+        }
+    }
+
+    /// Fault injection at the *frame* level: a worker whose connection dies
+    /// halfway through writing a RESULT frame. The dispatcher must treat the
+    /// torn frame as a lost worker (never committing the partial record),
+    /// re-queue the batch to the survivor, and finish bit-identically.
+    #[test]
+    fn a_connection_dropped_mid_frame_requeues_to_survivors_bit_identically() {
+        use crate::events::{FnObserver, RunEvent};
+        use crate::executor::SerialExecutor;
+        use crate::run::{Run, RunConfig};
+
+        let scenario = scenario();
+        let reference = Run::new(&scenario, RunConfig::new().executor(SerialExecutor))
+            .unwrap()
+            .execute()
+            .unwrap();
+
+        let listener = Listener::bind(&Transport::default()).unwrap();
+        let spec = listener.addr_spec().unwrap();
+
+        // Worker 1: honest, served in-process by the real worker loop.
+        let honest_spec = spec.clone();
+        let honest = std::thread::spawn(move || {
+            let conn = Conn::connect(&honest_spec).unwrap();
+            let mut state = WorkerState::new();
+            let _ = serve_connection(conn, &mut state);
+        });
+        // Worker 2: rogue — handshakes, accepts a dispatch, then drops the
+        // connection halfway through a RESULT frame.
+        let rogue_spec = spec.clone();
+        let rogue = std::thread::spawn(move || {
+            let mut conn = Conn::connect(&rogue_spec).unwrap();
+            let hello = PayloadWriter::new()
+                .u64(u64::from(crate::frame::VERSION))
+                .u64(u64::from(std::process::id()))
+                .frame(kind::HELLO);
+            write_frame(&mut conn, &hello).unwrap();
+            assert_eq!(read_frame(&mut conn).unwrap().kind, kind::RUN);
+            let dispatch = read_frame(&mut conn).unwrap();
+            assert_eq!(dispatch.kind, kind::DISPATCH);
+            let result = PayloadWriter::new()
+                .u64(1)
+                .u64(0)
+                .u64(0)
+                .f64_bits(1.0)
+                .f64_bits(0.0)
+                .f64_bits(0.0)
+                .frame(kind::RESULT);
+            let mut bytes = Vec::new();
+            write_frame(&mut bytes, &result).unwrap();
+            // Full header, half the payload, then a hard shutdown.
+            io::Write::write_all(&mut conn, &bytes[..bytes.len() / 2]).unwrap();
+            io::Write::flush(&mut conn).unwrap();
+            conn.shutdown();
+        });
+
+        // Hand the executor the two pre-connected workers directly (its
+        // accept loop normally consumes the HELLO; do the same here).
+        let mut idle = Vec::new();
+        for index in 0..2 {
+            let mut conn = accept_blocking(&listener);
+            assert_eq!(read_frame(&mut conn).unwrap().kind, kind::HELLO);
+            idle.push(WorkerConn { index, conn });
+        }
+        let executor = Arc::new(SocketExecutor {
+            workers: 2,
+            transport: Transport::default(),
+            program: None,
+            args: Vec::new(),
+            heartbeat_timeout: DEFAULT_HEARTBEAT_TIMEOUT,
+            state: Mutex::new(SocketState {
+                listener: Some(listener),
+                idle,
+                children: Vec::new(),
+                next_index: 2,
+            }),
+            run_counter: AtomicU64::new(1),
+        });
+
+        let lost = Arc::new(AtomicBool::new(false));
+        let lost_flag = Arc::clone(&lost);
+        let report = Run::new(
+            &scenario,
+            RunConfig::new()
+                .executor_arc(Arc::clone(&executor) as Arc<dyn crate::executor::UnitExecutor>)
+                .observer(FnObserver(move |event: &RunEvent| {
+                    if let RunEvent::WorkerLost { requeued, .. } = event {
+                        assert!(*requeued > 0, "the torn batch must be re-queued");
+                        lost_flag.store(true, Ordering::SeqCst);
+                    }
+                })),
+        )
+        .unwrap()
+        .execute()
+        .unwrap();
+
+        assert!(
+            lost.load(Ordering::SeqCst),
+            "the mid-frame drop must surface as WorkerLost"
+        );
+        assert_eq!(report.records.len(), reference.records.len());
+        for (got, want) in report.records.iter().zip(&reference.records) {
+            assert_eq!(got.unit, want.unit);
+            assert_eq!(
+                got.value.to_bits(),
+                want.value.to_bits(),
+                "unit {} must be bit-identical despite the torn frame",
+                want.unit
+            );
+        }
+
+        rogue.join().unwrap();
+        drop(executor); // SHUTDOWN frame releases the honest worker loop
+        honest.join().unwrap();
+    }
+}

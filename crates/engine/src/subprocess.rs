@@ -45,6 +45,7 @@ use rough_core::{AssemblyParallelism, ASSEMBLY_THREADS_ENV};
 use std::io::{BufRead, BufReader, Write};
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
 
 /// Environment variable that switches a spawned process into worker mode.
 pub const WORKER_ENV: &str = "ROUGH_ENGINE_WORKER";
@@ -159,7 +160,7 @@ impl SubprocessExecutor {
             // newline before running a test) can prepend text to the worker's
             // first output line.
             if let Some(rest) = find_marker(&line, RECORD_PREFIX) {
-                let record = parse_record_line(rest).ok_or_else(|| {
+                let (record, wall) = parse_record_line(rest).ok_or_else(|| {
                     let _ = child.kill();
                     subprocess_error(format!("malformed worker record `{line}`"))
                 })?;
@@ -171,7 +172,12 @@ impl SubprocessExecutor {
                     )));
                 }
                 sink.unit_started(&plan.units()[record.unit]);
-                sink.complete_untimed(record)?;
+                match wall {
+                    // Workers measure their own solves; commit the remote
+                    // timing so subprocess units populate `unit_times` too.
+                    Some(wall) => sink.complete_timed(record, wall)?,
+                    None => sink.complete_untimed(record)?,
+                }
                 received += 1;
             } else if let Some(rest) = find_marker(&line, ERR_PREFIX) {
                 let _ = child.kill();
@@ -253,34 +259,52 @@ fn find_marker<'a>(line: &'a str, marker: &str) -> Option<&'a str> {
     line.find(marker).map(|start| &line[start + marker.len()..])
 }
 
-fn record_wire_line(record: &UnitRecord) -> String {
+fn record_wire_line(record: &UnitRecord, wall: Duration) -> String {
     format!(
-        "{RECORD_PREFIX}{} {} {:016x} {:016x}",
+        "{RECORD_PREFIX}{} {} {:016x} {:016x} {:016x}",
         record.unit,
         record.case_index,
         record.value.to_bits(),
-        record.relative_residual.to_bits()
+        record.relative_residual.to_bits(),
+        wall.as_secs_f64().to_bits()
     )
 }
 
-fn parse_record_line(rest: &str) -> Option<UnitRecord> {
+/// Parses a record line. The fifth token — the worker-measured wall seconds
+/// of the solve, as f64 bits — is optional so v1 lines (no timing) from older
+/// workers still parse; they commit untimed.
+fn parse_record_line(rest: &str) -> Option<(UnitRecord, Option<Duration>)> {
     let mut tokens = rest.split_ascii_whitespace();
     let unit = tokens.next()?.parse().ok()?;
     let case_index = tokens.next()?.parse().ok()?;
     let value = f64::from_bits(u64::from_str_radix(tokens.next()?, 16).ok()?);
     let relative_residual = f64::from_bits(u64::from_str_radix(tokens.next()?, 16).ok()?);
-    Some(UnitRecord {
-        unit,
-        case_index,
-        value,
-        relative_residual,
-    })
+    let wall = tokens
+        .next()
+        .and_then(|token| u64::from_str_radix(token, 16).ok())
+        .map(f64::from_bits)
+        .filter(|seconds| seconds.is_finite() && *seconds >= 0.0)
+        .map(Duration::from_secs_f64);
+    Some((
+        UnitRecord {
+            unit,
+            case_index,
+            value,
+            relative_residual,
+        },
+        wall,
+    ))
 }
 
-/// Serves the worker protocol and exits the process — **when** [`WORKER_ENV`]
-/// is set; a no-op otherwise. Call it first thing in every binary that may
-/// host a [`SubprocessExecutor`].
+/// Serves a worker protocol and exits the process — **when** [`WORKER_ENV`]
+/// (stdio shards) or [`crate::socket::SOCKET_WORKER_ENV`] (persistent socket
+/// workers) is set; a no-op otherwise. Call it first thing in every binary
+/// that may host a [`SubprocessExecutor`] or a
+/// [`crate::socket::SocketExecutor`] — one entry point covers both.
 pub fn maybe_serve_worker() {
+    // Socket mode takes precedence: it never returns when its variable is
+    // set, and a process is only ever one kind of worker.
+    crate::socket::maybe_serve_socket_worker();
     if std::env::var_os(WORKER_ENV).is_none() {
         return;
     }
@@ -335,8 +359,9 @@ fn serve(input: impl BufRead, mut output: impl Write) -> Result<(), EngineError>
         let unit = plan.units().get(*unit_id).ok_or_else(|| {
             subprocess_error(format!("unit id {unit_id} out of range for this plan"))
         })?;
+        let started = Instant::now();
         let record = evaluate_unit(&plan, unit, &cache, assembly)?;
-        writeln!(output, "{}", record_wire_line(&record))
+        writeln!(output, "{}", record_wire_line(&record, started.elapsed()))
             .and_then(|()| output.flush())
             .map_err(|e| subprocess_error(format!("worker stdout write failed: {e}")))?;
     }
@@ -362,9 +387,20 @@ mod tests {
             value: 0.1 + 0.2,
             relative_residual: 4.9e-324, // smallest subnormal
         };
-        let line = record_wire_line(&record);
-        let parsed = parse_record_line(line.strip_prefix(RECORD_PREFIX).unwrap()).unwrap();
+        let wall = Duration::from_micros(123_456);
+        let line = record_wire_line(&record, wall);
+        let (parsed, parsed_wall) =
+            parse_record_line(line.strip_prefix(RECORD_PREFIX).unwrap()).unwrap();
         assert_eq!(parsed, record);
+        assert_eq!(parsed_wall, Some(wall));
+    }
+
+    #[test]
+    fn legacy_record_lines_without_wall_token_still_parse() {
+        let rest = format!("4 1 {:016x} {:016x}", 1.5f64.to_bits(), 1e-12f64.to_bits());
+        let (record, wall) = parse_record_line(&rest).unwrap();
+        assert_eq!(record.unit, 4);
+        assert_eq!(wall, None);
     }
 
     #[test]
@@ -390,6 +426,10 @@ mod tests {
             .lines()
             .filter_map(|l| l.strip_prefix(RECORD_PREFIX))
             .filter_map(parse_record_line)
+            .map(|(record, wall)| {
+                assert!(wall.is_some(), "served records must carry wall times");
+                record
+            })
             .collect();
         assert_eq!(records.len(), 2);
         assert_eq!(records[0].unit, 2);

@@ -44,8 +44,9 @@ fn bad(reason: impl Into<String>) -> EngineError {
 }
 
 /// Percent-encodes a free-form string into one whitespace-free token (also
-/// used by the checkpoint header to embed the wire block in JSON).
-pub(crate) fn encode_token(s: &str) -> String {
+/// used by the checkpoint header and the service daemon's job journal to
+/// embed free-form payloads in single-line JSON).
+pub fn encode_token(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for byte in s.bytes() {
         match byte {
@@ -58,7 +59,12 @@ pub(crate) fn encode_token(s: &str) -> String {
     out
 }
 
-pub(crate) fn decode_token(s: &str) -> Result<String, EngineError> {
+/// Decodes an [`encode_token`] token back into the original string.
+///
+/// # Errors
+///
+/// Returns [`EngineError::Checkpoint`] on truncated or malformed `%`-escapes.
+pub fn decode_token(s: &str) -> Result<String, EngineError> {
     let mut out = Vec::with_capacity(s.len());
     let mut chars = s.bytes();
     while let Some(byte) = chars.next() {

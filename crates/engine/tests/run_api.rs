@@ -11,9 +11,9 @@ use rough_em::material::Stackup;
 use rough_em::units::{GigaHertz, Micrometers};
 use rough_engine::{
     CampaignReport, CancelToken, CostOrdered, EngineError, FnObserver, Run, RunConfig, RunEvent,
-    Scenario, SerialExecutor, SubprocessExecutor, ThreadPoolExecutor, UnitExecutor,
+    Scenario, SerialExecutor, SocketExecutor, SubprocessExecutor, ThreadPoolExecutor, UnitExecutor,
 };
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Worker-mode entry point for the subprocess executor (see module docs).
@@ -24,6 +24,10 @@ fn engine_worker_entry() {
 
 fn subprocess_executor(workers: usize) -> SubprocessExecutor {
     SubprocessExecutor::new(workers).with_args(["engine_worker_entry", "--exact", "--nocapture"])
+}
+
+fn socket_executor(workers: usize) -> SocketExecutor {
+    SocketExecutor::new(workers).with_args(["engine_worker_entry", "--exact", "--nocapture"])
 }
 
 fn scenario() -> Scenario {
@@ -175,7 +179,7 @@ fn resume_after_cost_ordered_interruption_matches_plan_order_runs() {
     let completed = AtomicUsize::new(0);
     let config = RunConfig::new()
         .executor(subprocess_executor(2))
-        .scheduler(CostOrdered)
+        .scheduler(CostOrdered::new())
         .checkpoint(&path)
         .cancel_token(token)
         .observer(FnObserver(move |event: &RunEvent| {
@@ -240,6 +244,83 @@ fn events_stream_through_shared_engine_cache_runs() {
         }
         other => panic!("expected RunFinished, got {other:?}"),
     }
+}
+
+#[test]
+fn socket_executor_agrees_bitwise_and_stays_warm_across_runs() {
+    let reference = run_with(SerialExecutor);
+
+    // One persistent worker, two runs on the same executor: the second run
+    // must hit the *worker-side* cache for every unit (the fix over the
+    // subprocess executor, whose workers rebuild contexts every run) and
+    // every unit must carry a worker-measured wall time.
+    let executor: Arc<SocketExecutor> = Arc::new(socket_executor(1));
+    let first = Run::new(
+        &scenario(),
+        RunConfig::new().executor_arc(executor.clone() as Arc<dyn UnitExecutor>),
+    )
+    .expect("plan")
+    .execute()
+    .expect("first socket campaign");
+    assert_reports_bit_identical(&reference, &first, "serial vs socket (cold)");
+    assert!(
+        first.cache.misses > 0,
+        "cold run populates the worker cache"
+    );
+    assert!(
+        first.unit_times.iter().all(Option::is_some),
+        "every remote unit carries a worker-measured wall time"
+    );
+
+    let second = Run::new(
+        &scenario(),
+        RunConfig::new().executor_arc(executor.clone() as Arc<dyn UnitExecutor>),
+    )
+    .expect("plan")
+    .execute()
+    .expect("second socket campaign");
+    assert_reports_bit_identical(&reference, &second, "serial vs socket (warm)");
+    assert_eq!(
+        second.cache.misses, 0,
+        "warm worker reuses every cached context"
+    );
+    assert!(
+        second.cache.hits > 0,
+        "warm hits are credited to the report"
+    );
+}
+
+#[test]
+fn socket_run_survives_a_worker_killed_mid_run_bit_identically() {
+    let reference = run_with(SerialExecutor);
+
+    let executor: Arc<SocketExecutor> = Arc::new(socket_executor(2));
+    let killer = executor.clone();
+    let killed = AtomicBool::new(false);
+    let worker_lost_seen = Arc::new(AtomicBool::new(false));
+    let lost_flag = worker_lost_seen.clone();
+    let config = RunConfig::new()
+        .executor_arc(executor.clone() as Arc<dyn UnitExecutor>)
+        .observer(FnObserver(move |event: &RunEvent| match event {
+            // Kill a live worker process right after the first result lands:
+            // its in-flight units must be re-dispatched to the survivor.
+            RunEvent::UnitCompleted { .. } if !killed.swap(true, Ordering::SeqCst) => {
+                assert!(killer.kill_one_worker(), "a worker child is live");
+            }
+            RunEvent::WorkerLost { .. } => {
+                lost_flag.store(true, Ordering::SeqCst);
+            }
+            _ => {}
+        }));
+    let report = Run::new(&scenario(), config)
+        .expect("plan")
+        .execute()
+        .expect("campaign survives worker loss");
+    assert!(
+        worker_lost_seen.load(Ordering::SeqCst),
+        "the dispatcher reports the lost worker"
+    );
+    assert_reports_bit_identical(&reference, &report, "serial vs socket (worker killed)");
 }
 
 #[test]

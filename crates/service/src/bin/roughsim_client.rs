@@ -1,0 +1,156 @@
+//! `roughsim-client` — CLI client of the campaign daemon.
+//!
+//! ```text
+//! roughsim-client submit --preset NAME [--watch] [--csv PATH] [--addr HOST:PORT]
+//! roughsim-client fetch --fingerprint HEX --csv PATH [--addr HOST:PORT]
+//! roughsim-client status [--addr HOST:PORT]
+//! roughsim-client shutdown [--addr HOST:PORT]
+//! ```
+//!
+//! `submit --watch` streams the daemon's typed run events to stderr and, when
+//! `--csv` is given, fetches the finished report and writes its CSV rows.
+//! `fetch` retrieves a previously cached report by scenario fingerprint (the
+//! hex value `submit` prints). The daemon address defaults to
+//! `127.0.0.1:7171` or `ROUGHSIMD_ADDR`.
+
+use rough_engine::CampaignReport;
+use rough_service::{presets, Client, ServiceEvent};
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn usage() -> ! {
+    eprintln!("usage: roughsim-client <submit|fetch|status|shutdown> [options]");
+    eprintln!("  submit --preset NAME [--watch] [--csv PATH] [--addr HOST:PORT]");
+    eprintln!("  fetch --fingerprint HEX --csv PATH [--addr HOST:PORT]");
+    eprintln!("  status | shutdown [--addr HOST:PORT]");
+    std::process::exit(2);
+}
+
+fn fail(message: impl std::fmt::Display) -> ! {
+    eprintln!("roughsim-client: {message}");
+    std::process::exit(1);
+}
+
+fn write_csv(report: &CampaignReport, path: &str) {
+    let mut text = CampaignReport::csv_header().to_owned();
+    for row in report.csv_rows() {
+        text.push('\n');
+        text.push_str(&row);
+    }
+    text.push('\n');
+    if let Err(e) = std::fs::write(path, text) {
+        fail(format!("cannot write {path}: {e}"));
+    }
+    eprintln!("wrote {path}");
+}
+
+fn print_event(event: &ServiceEvent) {
+    match event {
+        ServiceEvent::UnitStarted { unit, case } => {
+            eprintln!("  unit {unit} started (case {case})");
+        }
+        ServiceEvent::UnitCompleted { unit, value, .. } => {
+            eprintln!("  unit {unit} completed: {value:.6}");
+        }
+        ServiceEvent::CaseCompleted { case, units } => {
+            eprintln!("  case {case} completed ({units} units)");
+        }
+        ServiceEvent::WorkerLost { worker, requeued } => {
+            eprintln!("  worker {worker} lost; {requeued} units re-queued");
+        }
+        ServiceEvent::CheckpointWritten { units_recorded } => {
+            eprintln!("  checkpoint: {units_recorded} records");
+        }
+        ServiceEvent::Finished {
+            units,
+            wall_seconds,
+        } => {
+            eprintln!("  finished: {units} units in {wall_seconds:.1} s");
+        }
+    }
+}
+
+fn main() {
+    // Keep worker-mode symmetry with roughsimd: if this binary is ever used
+    // as an executor worker target, serve and exit before CLI parsing.
+    rough_engine::maybe_serve_worker();
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().cloned() else {
+        usage();
+    };
+    let addr = arg_value(&args, "--addr")
+        .or_else(|| std::env::var("ROUGHSIMD_ADDR").ok())
+        .unwrap_or_else(|| "127.0.0.1:7171".to_owned());
+    let client = Client::new(&addr);
+
+    match command.as_str() {
+        "submit" => {
+            let Some(preset) = arg_value(&args, "--preset") else {
+                usage();
+            };
+            let scenario = presets::by_name(&preset).unwrap_or_else(|e| fail(e));
+            let watch = args.iter().any(|a| a == "--watch");
+            let csv = arg_value(&args, "--csv");
+            if watch {
+                let (submission, outcome) = client
+                    .submit_watch(&scenario, print_event)
+                    .unwrap_or_else(|e| fail(e));
+                eprintln!(
+                    "job {} fingerprint {:016x} (cached: {})",
+                    submission.job, submission.fingerprint, submission.cached
+                );
+                if let Err(message) = outcome {
+                    fail(format!("job failed: {message}"));
+                }
+                if let Some(path) = csv {
+                    match client.fetch_report(submission.fingerprint) {
+                        Ok(Some(report)) => write_csv(&report, &path),
+                        Ok(None) => fail("job finished but no report is cached"),
+                        Err(e) => fail(e),
+                    }
+                }
+            } else {
+                let submission = client.submit(&scenario).unwrap_or_else(|e| fail(e));
+                println!("{:016x}", submission.fingerprint);
+                eprintln!(
+                    "job {} fingerprint {:016x} (cached: {})",
+                    submission.job, submission.fingerprint, submission.cached
+                );
+                if csv.is_some() {
+                    fail("--csv requires --watch (the report exists only after the job runs)");
+                }
+            }
+        }
+        "fetch" => {
+            let (Some(fingerprint), Some(path)) =
+                (arg_value(&args, "--fingerprint"), arg_value(&args, "--csv"))
+            else {
+                usage();
+            };
+            let fingerprint = u64::from_str_radix(fingerprint.trim_start_matches("0x"), 16)
+                .unwrap_or_else(|_| fail(format!("bad fingerprint `{fingerprint}`")));
+            match client.fetch_report(fingerprint) {
+                Ok(Some(report)) => write_csv(&report, &path),
+                Ok(None) => fail(format!("no cached report for {fingerprint:016x}")),
+                Err(e) => fail(e),
+            }
+        }
+        "status" => {
+            let status = client.status().unwrap_or_else(|e| fail(e));
+            println!(
+                "queued {} running {} done {} failed {}",
+                status.queued, status.running, status.done, status.failed
+            );
+        }
+        "shutdown" => {
+            client.shutdown().unwrap_or_else(|e| fail(e));
+            eprintln!("daemon acknowledged shutdown");
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,58 @@
+//! `roughsimd` — the campaign daemon.
+//!
+//! ```text
+//! roughsimd [--addr HOST:PORT] [--state-dir DIR]
+//! ```
+//!
+//! Binds the service address (default `127.0.0.1:7171`, or `ROUGHSIMD_ADDR`),
+//! keeps durable queue/checkpoint/report state under the state directory
+//! (default `roughsimd-state`, or `ROUGHSIMD_STATE`), and executes campaigns
+//! with the executor named by `ROUGHSIM_EXECUTOR` (`threads[:N]`, `serial`,
+//! `subprocess[:N]`, `socket[:N]`; default: hardware-sized thread pool).
+//!
+//! With `ROUGHSIM_EXECUTOR=socket:N` the daemon re-executes *itself* as its
+//! persistent workers — which is why `main` consults
+//! [`rough_engine::maybe_serve_worker`] before doing anything else.
+
+use rough_service::{Daemon, DaemonConfig};
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    // Worker mode: when the engine spawned this process as a socket or
+    // subprocess worker, serve units and exit without touching the daemon
+    // path. Must run before anything else.
+    rough_engine::maybe_serve_worker();
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: roughsimd [--addr HOST:PORT] [--state-dir DIR]");
+        eprintln!("  env: ROUGHSIMD_ADDR, ROUGHSIMD_STATE, ROUGHSIM_EXECUTOR");
+        return;
+    }
+    let addr = arg_value(&args, "--addr")
+        .or_else(|| std::env::var("ROUGHSIMD_ADDR").ok())
+        .unwrap_or_else(|| "127.0.0.1:7171".to_owned());
+    let state_dir = arg_value(&args, "--state-dir")
+        .or_else(|| std::env::var("ROUGHSIMD_STATE").ok())
+        .unwrap_or_else(|| "roughsimd-state".to_owned());
+
+    match Daemon::start(DaemonConfig::new(&addr, &state_dir)) {
+        Ok(daemon) => {
+            eprintln!(
+                "roughsimd listening on {} (state: {state_dir})",
+                daemon.addr()
+            );
+            daemon.join();
+            eprintln!("roughsimd stopped");
+        }
+        Err(e) => {
+            eprintln!("roughsimd: {e}");
+            std::process::exit(1);
+        }
+    }
+}

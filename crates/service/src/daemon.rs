@@ -1,0 +1,395 @@
+//! The campaign daemon.
+//!
+//! A [`Daemon`] binds a TCP listener and serves the [`crate::protocol`]
+//! conversations: an accept loop hands each connection to a handler thread,
+//! while a single runner thread drains the persistent [`JobQueue`] one
+//! campaign at a time (campaigns are internally parallel — the executor owns
+//! the core budget, so running two at once would only fight over cores).
+//!
+//! Durability: every job transition is journaled before it takes effect, and
+//! each campaign checkpoints per-unit under the state directory. A daemon
+//! killed mid-campaign restarts with the job re-queued and resumes it via
+//! [`Run::resume`] — completed units are not recomputed, and the final report
+//! is bit-identical to an uninterrupted run. Completed campaigns are
+//! compacted ([`rough_engine::checkpoint::compact`]) and published to the
+//! content-addressed report cache, from which repeat submissions and
+//! [`crate::protocol::kind::FETCH`] requests are served without recomputing.
+
+use crate::protocol::{self, kind, ServiceEvent};
+use crate::queue::{JobQueue, JobState};
+use rough_engine::frame::{self, read_frame, write_frame, Frame, PayloadWriter};
+use rough_engine::{checkpoint, wire, EngineError, FnObserver, Run, RunConfig, UnitExecutor};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+fn daemon_error(reason: impl Into<String>) -> EngineError {
+    EngineError::Socket(format!("daemon: {}", reason.into()))
+}
+
+/// Configuration of a [`Daemon`].
+pub struct DaemonConfig {
+    addr: String,
+    state_dir: PathBuf,
+    executor: Option<Arc<dyn UnitExecutor>>,
+}
+
+impl DaemonConfig {
+    /// Creates a configuration serving `addr` (e.g. `127.0.0.1:7171`; port 0
+    /// picks an ephemeral port) with durable state under `state_dir`.
+    pub fn new(addr: impl Into<String>, state_dir: impl Into<PathBuf>) -> Self {
+        Self {
+            addr: addr.into(),
+            state_dir: state_dir.into(),
+            executor: None,
+        }
+    }
+
+    /// Overrides the campaign executor. The default consults the
+    /// `ROUGHSIM_EXECUTOR` environment variable
+    /// ([`rough_engine::executor_from_env`]).
+    pub fn executor(mut self, executor: Arc<dyn UnitExecutor>) -> Self {
+        self.executor = Some(executor);
+        self
+    }
+}
+
+struct Watcher {
+    job: u64,
+    stream: Mutex<TcpStream>,
+}
+
+struct Shared {
+    queue: Mutex<JobQueue>,
+    work: Condvar,
+    watchers: Mutex<Vec<Arc<Watcher>>>,
+    stop: AtomicBool,
+    executor: Arc<dyn UnitExecutor>,
+}
+
+impl Shared {
+    /// Sends `frame` to every watcher of `job`, dropping watchers whose
+    /// connection has gone away.
+    fn broadcast(&self, job: u64, frame: &Frame) {
+        let mut watchers = self.watchers.lock().expect("watchers poisoned");
+        watchers.retain(|w| {
+            if w.job != job {
+                return true;
+            }
+            let mut stream = w.stream.lock().expect("watcher stream poisoned");
+            write_frame(&mut *stream, frame).is_ok()
+        });
+    }
+
+    /// Sends the terminal frame to `job`'s watchers and deregisters them.
+    fn finish_watchers(&self, job: u64, outcome: Result<(), &str>) {
+        let frame = protocol::encode_job_done(job, outcome);
+        let mut watchers = self.watchers.lock().expect("watchers poisoned");
+        watchers.retain(|w| {
+            if w.job != job {
+                return true;
+            }
+            let mut stream = w.stream.lock().expect("watcher stream poisoned");
+            write_frame(&mut *stream, &frame).ok();
+            false
+        });
+    }
+}
+
+/// A running campaign daemon; dropping it does **not** stop the threads —
+/// call [`Daemon::stop`] (or send [`kind::SHUTDOWN`] via a client) and then
+/// [`Daemon::join`].
+pub struct Daemon {
+    addr: String,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    runner: Option<JoinHandle<()>>,
+}
+
+impl Daemon {
+    /// Binds the listener, opens (and compacts) the job queue, re-queues any
+    /// job the previous daemon died running, and starts the accept and
+    /// runner threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Socket`] when the address cannot be bound and
+    /// [`EngineError::Checkpoint`] when the state directory is unusable.
+    pub fn start(config: DaemonConfig) -> Result<Self, EngineError> {
+        let executor = match config.executor {
+            Some(executor) => executor,
+            None => rough_engine::executor_from_env()?,
+        };
+        let queue = JobQueue::open(&config.state_dir)?;
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| daemon_error(format!("cannot bind {}: {e}", config.addr)))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| daemon_error(format!("no local addr: {e}")))?
+            .to_string();
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| daemon_error(format!("cannot poll listener: {e}")))?;
+
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(queue),
+            work: Condvar::new(),
+            watchers: Mutex::new(Vec::new()),
+            stop: AtomicBool::new(false),
+            executor,
+        });
+
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::spawn(move || accept_loop(&accept_shared, &listener));
+        let runner_shared = Arc::clone(&shared);
+        let runner = std::thread::spawn(move || runner_loop(&runner_shared));
+
+        Ok(Self {
+            addr,
+            shared,
+            accept: Some(accept),
+            runner: Some(runner),
+        })
+    }
+
+    /// The bound address, `host:port` (useful with an ephemeral port).
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Requests shutdown: the runner finishes (at most) the job in flight,
+    /// the accept loop stops taking connections.
+    pub fn stop(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.work.notify_all();
+    }
+
+    /// Blocks until the accept and runner threads exit (after [`Daemon::stop`]
+    /// or a client-initiated [`kind::SHUTDOWN`]).
+    pub fn join(mut self) {
+        if let Some(handle) = self.accept.take() {
+            handle.join().ok();
+        }
+        if let Some(handle) = self.runner.take() {
+            handle.join().ok();
+        }
+    }
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nodelay(true).ok();
+                stream.set_nonblocking(false).ok();
+                let conn_shared = Arc::clone(shared);
+                std::thread::spawn(move || handle_connection(&conn_shared, stream));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn send_err(stream: &mut TcpStream, message: &str) {
+    let frame = PayloadWriter::new().str(message).frame(frame::kind::ERR);
+    write_frame(stream, &frame).ok();
+}
+
+fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
+    loop {
+        let frame = match read_frame(&mut stream) {
+            Ok(frame) => frame,
+            Err(_) => return, // disconnect or torn frame: drop the connection
+        };
+        match frame.kind {
+            kind::SUBMIT => {
+                if let Err(e) = handle_submit(shared, &mut stream, &frame) {
+                    send_err(&mut stream, &e.to_string());
+                }
+            }
+            kind::FETCH => {
+                let reply = match protocol::decode_fetch(&frame) {
+                    Ok(fingerprint) => {
+                        let path = {
+                            let queue = shared.queue.lock().expect("queue poisoned");
+                            queue.report_path(fingerprint)
+                        };
+                        match std::fs::read_to_string(&path) {
+                            Ok(text) => protocol::encode_report(fingerprint, &text),
+                            Err(_) => PayloadWriter::new().u64(fingerprint).frame(kind::NOT_FOUND),
+                        }
+                    }
+                    Err(e) => {
+                        send_err(&mut stream, &e.to_string());
+                        continue;
+                    }
+                };
+                if write_frame(&mut stream, &reply).is_err() {
+                    return;
+                }
+            }
+            kind::STATUS => {
+                let status = {
+                    let queue = shared.queue.lock().expect("queue poisoned");
+                    queue.status()
+                };
+                if write_frame(&mut stream, &protocol::encode_status_report(status)).is_err() {
+                    return;
+                }
+            }
+            kind::SHUTDOWN => {
+                write_frame(&mut stream, &Frame::empty(kind::BYE)).ok();
+                shared.stop.store(true, Ordering::SeqCst);
+                shared.work.notify_all();
+                return;
+            }
+            other => send_err(&mut stream, &format!("unexpected frame kind {other}")),
+        }
+    }
+}
+
+fn handle_submit(
+    shared: &Arc<Shared>,
+    stream: &mut TcpStream,
+    frame: &Frame,
+) -> Result<(), EngineError> {
+    let (scenario_wire, watch) = protocol::decode_submit(frame)?;
+    let scenario = wire::decode_scenario(&scenario_wire)?;
+    let fingerprint = wire::scenario_fingerprint(&scenario);
+
+    // Submission, terminal-state inspection and watcher registration happen
+    // under the queue lock: the runner also needs it to settle a job, so a
+    // watcher can never slip in *after* its job's terminal broadcast.
+    let mut queue = shared.queue.lock().expect("queue poisoned");
+    let (job, cached) = queue.submit(&scenario_wire, fingerprint)?;
+    write_frame(stream, &protocol::encode_accepted(job, fingerprint, cached))?;
+    if watch {
+        let terminal: Option<Result<(), String>> = match queue.job(job).map(|j| &j.state) {
+            _ if cached => Some(Ok(())),
+            Some(JobState::Done) => Some(Ok(())),
+            Some(JobState::Failed(error)) => Some(Err(error.clone())),
+            _ => None,
+        };
+        match terminal {
+            Some(outcome) => {
+                let outcome = outcome.as_ref().map(|_| ()).map_err(String::as_str);
+                write_frame(stream, &protocol::encode_job_done(job, outcome))?;
+            }
+            None => {
+                let watcher =
+                    Arc::new(Watcher {
+                        job,
+                        stream: Mutex::new(stream.try_clone().map_err(|e| {
+                            daemon_error(format!("cannot clone watcher stream: {e}"))
+                        })?),
+                    });
+                shared
+                    .watchers
+                    .lock()
+                    .expect("watchers poisoned")
+                    .push(watcher);
+            }
+        }
+    }
+    drop(queue);
+    shared.work.notify_all();
+    Ok(())
+}
+
+fn runner_loop(shared: &Arc<Shared>) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("queue poisoned");
+            loop {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(id) = queue.next_queued() {
+                    break id;
+                }
+                let (guard, _) = shared
+                    .work
+                    .wait_timeout(queue, Duration::from_millis(200))
+                    .expect("queue poisoned");
+                queue = guard;
+            }
+        };
+        run_job(shared, job);
+    }
+}
+
+/// Executes one job end to end; every failure path settles the job as
+/// `Failed` so the queue never wedges.
+fn run_job(shared: &Arc<Shared>, job: u64) {
+    let (scenario_wire, fingerprint, checkpoint_path) = {
+        let mut queue = shared.queue.lock().expect("queue poisoned");
+        let Some(entry) = queue.job(job) else { return };
+        let info = (
+            entry.scenario_wire.clone(),
+            entry.fingerprint,
+            queue.checkpoint_path(job),
+        );
+        queue.mark(job, JobState::Running).ok();
+        info
+    };
+
+    let result = execute_job(shared, job, &scenario_wire, fingerprint, &checkpoint_path);
+
+    let mut queue = shared.queue.lock().expect("queue poisoned");
+    match result {
+        Ok(()) => {
+            queue.mark(job, JobState::Done).ok();
+            shared.finish_watchers(job, Ok(()));
+        }
+        Err(e) => {
+            let message = e.to_string();
+            queue.mark(job, JobState::Failed(message.clone())).ok();
+            shared.finish_watchers(job, Err(&message));
+        }
+    }
+}
+
+fn execute_job(
+    shared: &Arc<Shared>,
+    job: u64,
+    scenario_wire: &str,
+    fingerprint: u64,
+    checkpoint_path: &std::path::Path,
+) -> Result<(), EngineError> {
+    let scenario = wire::decode_scenario(scenario_wire)?;
+
+    let build_config = || {
+        let event_shared = Arc::clone(shared);
+        RunConfig::new()
+            .executor_arc(Arc::clone(&shared.executor))
+            .checkpoint(checkpoint_path)
+            .observer(FnObserver(move |event: &rough_engine::RunEvent| {
+                let frame = ServiceEvent::from_run_event(event).encode(job);
+                event_shared.broadcast(job, &frame);
+            }))
+    };
+
+    // A partial checkpoint from a previous daemon life resumes instead of
+    // recomputing — but only when it actually belongs to this scenario.
+    let resumable = checkpoint::read(checkpoint_path)
+        .map(|ckpt| ckpt.header.fingerprint == fingerprint)
+        .unwrap_or(false);
+    let run = if resumable {
+        Run::resume(checkpoint_path, build_config())?
+    } else {
+        Run::new(&scenario, build_config())?
+    };
+    run.execute()?;
+
+    // Settle the artifact: scrub checkpoint churn, then publish it as the
+    // content-addressed cached report.
+    checkpoint::compact(checkpoint_path)?;
+    let queue = shared.queue.lock().expect("queue poisoned");
+    queue.publish_report(job, fingerprint)
+}

@@ -1,0 +1,42 @@
+//! # rough-service
+//!
+//! The campaign service layer: a long-running daemon (`roughsimd`) that
+//! accepts [`rough_engine::Scenario`] submissions over the engine's socket
+//! framing, queues them durably, executes them one at a time with any
+//! configured executor (including the distributed
+//! [`rough_engine::SocketExecutor`]), streams typed run events to watching
+//! clients, and serves finished [`rough_engine::CampaignReport`]s from a
+//! content-addressed cache keyed by scenario fingerprint — plus the matching
+//! blocking [`Client`] (`roughsim-client`).
+//!
+//! Module map:
+//!
+//! * [`protocol`] — service frame kinds (32+) and payload codecs over
+//!   [`rough_engine::frame`].
+//! * [`queue`] — the persistent JSONL job journal with open-time compaction,
+//!   per-job engine checkpoints and the published report cache.
+//! * [`daemon`] — accept loop, connection handlers, the single-campaign
+//!   runner with restart-resume, and event broadcast to watchers.
+//! * [`client`] — blocking submit / watch / fetch / status / shutdown.
+//! * [`presets`] — named scenarios shared by the client CLI and CI smoke
+//!   tests.
+//!
+//! Durability story: submissions are journaled before they are acknowledged;
+//! campaigns checkpoint per unit; a daemon killed at any point restarts with
+//! unfinished jobs re-queued and resumes them via [`rough_engine::Run::resume`]
+//! — reports come out bit-identical to an uninterrupted run, which the
+//! service integration tests pin.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod client;
+pub mod daemon;
+pub mod presets;
+pub mod protocol;
+pub mod queue;
+
+pub use client::{Client, Submission};
+pub use daemon::{Daemon, DaemonConfig};
+pub use protocol::{QueueStatus, ServiceEvent};
+pub use queue::{Job, JobQueue, JobState};

@@ -1,0 +1,103 @@
+//! Named scenario presets for the client binary.
+//!
+//! `roughsim-client submit --preset <name>` needs scenarios both ends agree
+//! on; these constructors are the single source of truth. `fig5-reduced`
+//! deliberately matches the repo's golden-report regression scenario
+//! (`tests/golden_reports.rs`) so a daemon-computed report can be diffed
+//! against `tests/golden/fig5_reduced_corrected.csv` — the CI smoke test does
+//! exactly that.
+
+use rough_core::RoughnessSpec;
+use rough_em::material::{Conductor, Dielectric, Stackup};
+use rough_em::units::{GigaHertz, Micrometers};
+use rough_engine::{EngineError, Scenario};
+use rough_surface::RoughSurface;
+
+fn paper_stack() -> Stackup {
+    Stackup::new(Conductor::copper_foil(), Dielectric::silicon_dioxide())
+}
+
+/// Reduced Fig. 5: the deterministic half-spheroid protrusion swept over
+/// three frequencies on a coarse 8-cell grid — identical to the golden-report
+/// scenario, so its report diffs cleanly against the checked-in snapshot.
+pub fn fig5_reduced() -> Scenario {
+    let tile = 12.0e-6;
+    let (height, base_radius) = (5.8e-6, 4.7e-6);
+    let cells = 8;
+    let surface = RoughSurface::from_fn(cells, tile, |x, y| {
+        let dx = x - 0.5 * tile;
+        let dy = y - 0.5 * tile;
+        let r2 = (dx * dx + dy * dy) / (base_radius * base_radius);
+        if r2 < 1.0 {
+            height * (1.0 - r2).sqrt()
+        } else {
+            0.0
+        }
+    });
+    Scenario::builder(paper_stack())
+        .name("fig5-golden-reduced")
+        .roughness(RoughnessSpec::deterministic(Micrometers::new(12.0)))
+        .frequencies([
+            GigaHertz::new(2.0).into(),
+            GigaHertz::new(6.0).into(),
+            GigaHertz::new(10.0).into(),
+        ])
+        .cells_per_side(cells)
+        .deterministic(surface)
+        .build()
+        .expect("valid reduced Fig. 5 scenario")
+}
+
+/// Reduced Fig. 6-style ensemble: a tiny Monte-Carlo campaign over two
+/// frequencies with plan-time-seeded realizations.
+pub fn fig6_reduced() -> Scenario {
+    Scenario::builder(paper_stack())
+        .name("fig6-golden-reduced")
+        .roughness(RoughnessSpec::gaussian(
+            Micrometers::new(1.0),
+            Micrometers::new(1.0),
+        ))
+        .frequencies([GigaHertz::new(2.0).into(), GigaHertz::new(8.0).into()])
+        .cells_per_side(6)
+        .max_kl_modes(3)
+        .monte_carlo(3)
+        .master_seed(0x2009)
+        .build()
+        .expect("valid reduced Fig. 6 scenario")
+}
+
+/// Resolves a preset by its CLI name.
+///
+/// # Errors
+///
+/// Returns [`EngineError::InvalidScenario`] for an unknown name.
+pub fn by_name(name: &str) -> Result<Scenario, EngineError> {
+    match name {
+        "fig5-reduced" => Ok(fig5_reduced()),
+        "fig6-reduced" => Ok(fig6_reduced()),
+        other => Err(EngineError::InvalidScenario(format!(
+            "unknown preset `{other}` (available: fig5-reduced, fig6-reduced)"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rough_engine::wire;
+
+    #[test]
+    fn presets_resolve_and_roundtrip_the_wire_format() {
+        for name in ["fig5-reduced", "fig6-reduced"] {
+            let scenario = by_name(name).unwrap();
+            let encoded = wire::encode_scenario(&scenario);
+            let decoded = wire::decode_scenario(&encoded).unwrap();
+            assert_eq!(
+                wire::scenario_fingerprint(&scenario),
+                wire::scenario_fingerprint(&decoded),
+                "{name}: fingerprint must be stable across the wire"
+            );
+        }
+        assert!(by_name("fig9-imaginary").is_err());
+    }
+}

@@ -1,0 +1,408 @@
+//! Wire protocol of the campaign service.
+//!
+//! The daemon speaks the engine's length-prefixed frame format
+//! ([`rough_engine::frame`]) on the same socket transports the distributed
+//! executor uses; service frames claim the kind space from 32 upward so a
+//! service endpoint can never be confused with an executor worker.
+//!
+//! Conversation shapes:
+//!
+//! * **Submit**: client sends [`kind::SUBMIT`] (wire-encoded scenario + watch
+//!   flag), daemon replies [`kind::ACCEPTED`] (job id, scenario fingerprint,
+//!   cached flag). When watching, the daemon then streams [`kind::EVENT`]
+//!   frames (typed [`ServiceEvent`]s) until a terminal [`kind::JOB_DONE`].
+//! * **Fetch**: client sends [`kind::FETCH`] (fingerprint), daemon replies
+//!   [`kind::REPORT`] carrying the cached campaign checkpoint text, or
+//!   [`kind::NOT_FOUND`].
+//! * **Status**: [`kind::STATUS`] → [`kind::STATUS_REPORT`] (queue depths).
+//! * **Shutdown**: [`kind::SHUTDOWN`] → [`kind::BYE`], then the daemon drains
+//!   and exits.
+
+use rough_engine::frame::{Frame, PayloadWriter};
+use rough_engine::{EngineError, RunEvent};
+
+/// Service frame kinds (executor kinds occupy 1..=8; service starts at 32).
+pub mod kind {
+    /// Client → daemon: submit a scenario (`scenario wire text`, `watch`).
+    pub const SUBMIT: u8 = 32;
+    /// Daemon → client: submission accepted (`job`, `fingerprint`, `cached`).
+    pub const ACCEPTED: u8 = 33;
+    /// Daemon → client: one typed run event of a watched job.
+    pub const EVENT: u8 = 34;
+    /// Daemon → client: terminal job outcome (`job`, `ok`, `error`).
+    pub const JOB_DONE: u8 = 35;
+    /// Client → daemon: fetch a cached report by scenario fingerprint.
+    pub const FETCH: u8 = 36;
+    /// Daemon → client: cached report (`fingerprint`, checkpoint JSONL text).
+    pub const REPORT: u8 = 37;
+    /// Daemon → client: no cached report under that fingerprint.
+    pub const NOT_FOUND: u8 = 38;
+    /// Client → daemon: request queue counters.
+    pub const STATUS: u8 = 39;
+    /// Daemon → client: queue counters (`queued`, `running`, `done`, `failed`).
+    pub const STATUS_REPORT: u8 = 40;
+    /// Client → daemon: stop accepting work and exit after the current job.
+    pub const SHUTDOWN: u8 = 41;
+    /// Daemon → client: shutdown acknowledged.
+    pub const BYE: u8 = 42;
+}
+
+fn protocol_error(reason: impl Into<String>) -> EngineError {
+    EngineError::Socket(format!("service protocol: {}", reason.into()))
+}
+
+/// The subset of [`RunEvent`] the daemon streams to watching clients,
+/// flattened into wire-friendly scalars.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceEvent {
+    /// An executor picked up a unit.
+    UnitStarted {
+        /// Unit id (position in the plan).
+        unit: u64,
+        /// Index of the owning case.
+        case: u64,
+    },
+    /// A unit finished; its value survives bit-exactly.
+    UnitCompleted {
+        /// Unit id.
+        unit: u64,
+        /// Index of the owning case.
+        case: u64,
+        /// The committed enhancement-factor value.
+        value: f64,
+    },
+    /// Every unit of one case completed.
+    CaseCompleted {
+        /// Case index.
+        case: u64,
+        /// Units the case scheduled.
+        units: u64,
+    },
+    /// A distributed worker died; its units were re-queued.
+    WorkerLost {
+        /// Worker index within its executor.
+        worker: u64,
+        /// Units returned to the dispatch queue.
+        requeued: u64,
+    },
+    /// A record was durably appended to the job checkpoint.
+    CheckpointWritten {
+        /// Records now resident in the checkpoint.
+        units_recorded: u64,
+    },
+    /// The run finished.
+    Finished {
+        /// Units evaluated.
+        units: u64,
+        /// Wall-clock seconds of the run.
+        wall_seconds: f64,
+    },
+}
+
+impl ServiceEvent {
+    /// Maps an engine [`RunEvent`] onto its wire form.
+    pub fn from_run_event(event: &RunEvent) -> Self {
+        match event {
+            RunEvent::UnitStarted { unit, case_index } => ServiceEvent::UnitStarted {
+                unit: *unit as u64,
+                case: *case_index as u64,
+            },
+            RunEvent::UnitCompleted { record, .. } => ServiceEvent::UnitCompleted {
+                unit: record.unit as u64,
+                case: record.case_index as u64,
+                value: record.value,
+            },
+            RunEvent::CaseCompleted { case_index, units } => ServiceEvent::CaseCompleted {
+                case: *case_index as u64,
+                units: *units as u64,
+            },
+            RunEvent::WorkerLost { worker, requeued } => ServiceEvent::WorkerLost {
+                worker: *worker as u64,
+                requeued: *requeued as u64,
+            },
+            RunEvent::CheckpointWritten { units_recorded } => ServiceEvent::CheckpointWritten {
+                units_recorded: *units_recorded as u64,
+            },
+            RunEvent::RunFinished {
+                units, wall_time, ..
+            } => ServiceEvent::Finished {
+                units: *units as u64,
+                wall_seconds: wall_time.as_secs_f64(),
+            },
+        }
+    }
+
+    /// Encodes the event as an [`kind::EVENT`] frame for `job`.
+    pub fn encode(&self, job: u64) -> Frame {
+        let (tag, a, b, value) = match *self {
+            ServiceEvent::UnitStarted { unit, case } => (1, unit, case, 0.0),
+            ServiceEvent::UnitCompleted { unit, case, value } => (2, unit, case, value),
+            ServiceEvent::CaseCompleted { case, units } => (3, case, units, 0.0),
+            ServiceEvent::WorkerLost { worker, requeued } => (4, worker, requeued, 0.0),
+            ServiceEvent::CheckpointWritten { units_recorded } => (5, units_recorded, 0, 0.0),
+            ServiceEvent::Finished {
+                units,
+                wall_seconds,
+            } => (6, units, 0, wall_seconds),
+        };
+        PayloadWriter::new()
+            .u64(job)
+            .u64(tag)
+            .u64(a)
+            .u64(b)
+            .f64_bits(value)
+            .frame(kind::EVENT)
+    }
+
+    /// Decodes an [`kind::EVENT`] frame into `(job, event)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Socket`] on a truncated payload or unknown tag.
+    pub fn decode(frame: &Frame) -> Result<(u64, Self), EngineError> {
+        let mut reader = frame.reader();
+        let job = reader.u64()?;
+        let tag = reader.u64()?;
+        let a = reader.u64()?;
+        let b = reader.u64()?;
+        let value = reader.f64_bits()?;
+        let event = match tag {
+            1 => ServiceEvent::UnitStarted { unit: a, case: b },
+            2 => ServiceEvent::UnitCompleted {
+                unit: a,
+                case: b,
+                value,
+            },
+            3 => ServiceEvent::CaseCompleted { case: a, units: b },
+            4 => ServiceEvent::WorkerLost {
+                worker: a,
+                requeued: b,
+            },
+            5 => ServiceEvent::CheckpointWritten { units_recorded: a },
+            6 => ServiceEvent::Finished {
+                units: a,
+                wall_seconds: value,
+            },
+            other => return Err(protocol_error(format!("unknown event tag {other}"))),
+        };
+        Ok((job, event))
+    }
+}
+
+/// Encodes a [`kind::SUBMIT`] frame.
+pub fn encode_submit(scenario_wire: &str, watch: bool) -> Frame {
+    PayloadWriter::new()
+        .str(scenario_wire)
+        .u64(u64::from(watch))
+        .frame(kind::SUBMIT)
+}
+
+/// Decodes a [`kind::SUBMIT`] frame into `(scenario wire text, watch)`.
+///
+/// # Errors
+///
+/// Returns [`EngineError::Socket`] on a truncated payload.
+pub fn decode_submit(frame: &Frame) -> Result<(String, bool), EngineError> {
+    let mut reader = frame.reader();
+    let wire = reader.str()?;
+    let watch = reader.u64()? != 0;
+    Ok((wire, watch))
+}
+
+/// Encodes a [`kind::ACCEPTED`] frame.
+pub fn encode_accepted(job: u64, fingerprint: u64, cached: bool) -> Frame {
+    PayloadWriter::new()
+        .u64(job)
+        .u64(fingerprint)
+        .u64(u64::from(cached))
+        .frame(kind::ACCEPTED)
+}
+
+/// Decodes a [`kind::ACCEPTED`] frame into `(job, fingerprint, cached)`.
+///
+/// # Errors
+///
+/// Returns [`EngineError::Socket`] on a truncated payload.
+pub fn decode_accepted(frame: &Frame) -> Result<(u64, u64, bool), EngineError> {
+    let mut reader = frame.reader();
+    Ok((reader.u64()?, reader.u64()?, reader.u64()? != 0))
+}
+
+/// Encodes a [`kind::JOB_DONE`] frame (`error` is empty on success).
+pub fn encode_job_done(job: u64, result: Result<(), &str>) -> Frame {
+    PayloadWriter::new()
+        .u64(job)
+        .u64(u64::from(result.is_ok()))
+        .str(result.err().unwrap_or(""))
+        .frame(kind::JOB_DONE)
+}
+
+/// Decodes a [`kind::JOB_DONE`] frame into `(job, outcome)`.
+///
+/// # Errors
+///
+/// Returns [`EngineError::Socket`] on a truncated payload.
+pub fn decode_job_done(frame: &Frame) -> Result<(u64, Result<(), String>), EngineError> {
+    let mut reader = frame.reader();
+    let job = reader.u64()?;
+    let ok = reader.u64()? != 0;
+    let error = reader.str()?;
+    Ok((job, if ok { Ok(()) } else { Err(error) }))
+}
+
+/// Encodes a [`kind::FETCH`] frame.
+pub fn encode_fetch(fingerprint: u64) -> Frame {
+    PayloadWriter::new().u64(fingerprint).frame(kind::FETCH)
+}
+
+/// Decodes a [`kind::FETCH`] frame into the requested fingerprint.
+///
+/// # Errors
+///
+/// Returns [`EngineError::Socket`] on a truncated payload.
+pub fn decode_fetch(frame: &Frame) -> Result<u64, EngineError> {
+    frame.reader().u64()
+}
+
+/// Encodes a [`kind::REPORT`] frame carrying cached checkpoint text.
+pub fn encode_report(fingerprint: u64, checkpoint_text: &str) -> Frame {
+    PayloadWriter::new()
+        .u64(fingerprint)
+        .str(checkpoint_text)
+        .frame(kind::REPORT)
+}
+
+/// Decodes a [`kind::REPORT`] frame into `(fingerprint, checkpoint text)`.
+///
+/// # Errors
+///
+/// Returns [`EngineError::Socket`] on a truncated payload.
+pub fn decode_report(frame: &Frame) -> Result<(u64, String), EngineError> {
+    let mut reader = frame.reader();
+    Ok((reader.u64()?, reader.str()?))
+}
+
+/// Queue depth counters returned by [`kind::STATUS_REPORT`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStatus {
+    /// Jobs waiting to run.
+    pub queued: u64,
+    /// Jobs currently executing (0 or 1: the runner is single-threaded).
+    pub running: u64,
+    /// Jobs completed with a cached report.
+    pub done: u64,
+    /// Jobs that failed.
+    pub failed: u64,
+}
+
+/// Encodes a [`kind::STATUS_REPORT`] frame.
+pub fn encode_status_report(status: QueueStatus) -> Frame {
+    PayloadWriter::new()
+        .u64(status.queued)
+        .u64(status.running)
+        .u64(status.done)
+        .u64(status.failed)
+        .frame(kind::STATUS_REPORT)
+}
+
+/// Decodes a [`kind::STATUS_REPORT`] frame.
+///
+/// # Errors
+///
+/// Returns [`EngineError::Socket`] on a truncated payload.
+pub fn decode_status_report(frame: &Frame) -> Result<QueueStatus, EngineError> {
+    let mut reader = frame.reader();
+    Ok(QueueStatus {
+        queued: reader.u64()?,
+        running: reader.u64()?,
+        done: reader.u64()?,
+        failed: reader.u64()?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_and_accepted_roundtrip() {
+        let frame = encode_submit("scenario wire\nblock", true);
+        assert_eq!(frame.kind, kind::SUBMIT);
+        let (wire, watch) = decode_submit(&frame).unwrap();
+        assert_eq!(wire, "scenario wire\nblock");
+        assert!(watch);
+
+        let frame = encode_accepted(7, 0xDEAD_BEEF, false);
+        assert_eq!(decode_accepted(&frame).unwrap(), (7, 0xDEAD_BEEF, false));
+    }
+
+    #[test]
+    fn events_roundtrip_with_bit_exact_values() {
+        let value = 0.1f64 + 0.2;
+        let events = [
+            ServiceEvent::UnitStarted { unit: 3, case: 1 },
+            ServiceEvent::UnitCompleted {
+                unit: 3,
+                case: 1,
+                value,
+            },
+            ServiceEvent::CaseCompleted { case: 1, units: 4 },
+            ServiceEvent::WorkerLost {
+                worker: 0,
+                requeued: 2,
+            },
+            ServiceEvent::CheckpointWritten { units_recorded: 5 },
+            ServiceEvent::Finished {
+                units: 6,
+                wall_seconds: 1.25,
+            },
+        ];
+        for event in events {
+            let frame = event.encode(42);
+            let (job, decoded) = ServiceEvent::decode(&frame).unwrap();
+            assert_eq!(job, 42);
+            assert_eq!(decoded, event);
+        }
+        // Bit-exactness of the completed value specifically.
+        let frame = ServiceEvent::UnitCompleted {
+            unit: 0,
+            case: 0,
+            value,
+        }
+        .encode(1);
+        match ServiceEvent::decode(&frame).unwrap().1 {
+            ServiceEvent::UnitCompleted { value: decoded, .. } => {
+                assert_eq!(decoded.to_bits(), value.to_bits());
+            }
+            other => panic!("wrong event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn job_done_carries_errors() {
+        let (job, outcome) = decode_job_done(&encode_job_done(9, Ok(()))).unwrap();
+        assert_eq!(job, 9);
+        assert!(outcome.is_ok());
+        let (_, outcome) = decode_job_done(&encode_job_done(9, Err("solve failed"))).unwrap();
+        assert_eq!(outcome.unwrap_err(), "solve failed");
+    }
+
+    #[test]
+    fn reports_and_status_roundtrip() {
+        let (fp, text) = decode_report(&encode_report(0xF00D, "header\nrecord\n")).unwrap();
+        assert_eq!(fp, 0xF00D);
+        assert_eq!(text, "header\nrecord\n");
+        assert_eq!(decode_fetch(&encode_fetch(0xF00D)).unwrap(), 0xF00D);
+
+        let status = QueueStatus {
+            queued: 1,
+            running: 1,
+            done: 3,
+            failed: 0,
+        };
+        assert_eq!(
+            decode_status_report(&encode_status_report(status)).unwrap(),
+            status
+        );
+    }
+}

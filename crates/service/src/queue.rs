@@ -1,0 +1,423 @@
+//! Persistent job queue.
+//!
+//! The daemon journals every job transition to `queue.jsonl` under its state
+//! directory — the same single-line-JSON discipline as the engine's
+//! checkpoint format, and with the same tolerance: torn tails and malformed
+//! lines are skipped on replay, and opening the queue compacts the journal
+//! (rewrite via temp file + atomic rename) so retries never accumulate
+//! garbage. Each job's campaign progress lives in its own engine checkpoint
+//! under `jobs/<id>.jsonl`, and completed campaigns are published to
+//! `reports/<fingerprint>.jsonl` — the content-addressed report cache.
+//!
+//! Replay restores daemon state across restarts: `done`/`failed` jobs keep
+//! their terminal state, while jobs that were `running` when the daemon died
+//! are re-queued — their partial checkpoints let [`rough_engine::Run::resume`]
+//! continue from the last completed unit.
+
+use rough_engine::{wire, EngineError};
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write as _};
+use std::path::{Path, PathBuf};
+
+use crate::protocol::QueueStatus;
+
+/// Lifecycle of one submitted job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobState {
+    /// Waiting for the runner.
+    Queued,
+    /// Executing now.
+    Running,
+    /// Finished; the report is cached under the job's fingerprint.
+    Done,
+    /// Failed with an error message.
+    Failed(String),
+}
+
+impl JobState {
+    fn label(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed(_) => "failed",
+        }
+    }
+}
+
+/// One submitted campaign.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Monotonic id assigned at submission.
+    pub id: u64,
+    /// Fingerprint of the wire-encoded scenario (the report cache key).
+    pub fingerprint: u64,
+    /// Wire-encoded scenario text.
+    pub scenario_wire: String,
+    /// Current lifecycle state.
+    pub state: JobState,
+}
+
+fn queue_error(reason: impl Into<String>) -> EngineError {
+    EngineError::Checkpoint(format!("job queue: {}", reason.into()))
+}
+
+/// Extracts `"key":<u64>` from one of our own JSON lines.
+fn extract_u64(line: &str, key: &str) -> Option<u64> {
+    let pattern = format!("\"{key}\":");
+    let start = line.find(&pattern)? + pattern.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts `"key":"<token>"` (tokens never contain quotes or escapes).
+fn extract_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pattern = format!("\"{key}\":\"");
+    let start = line.find(&pattern)? + pattern.len();
+    rest_until_quote(&line[start..])
+}
+
+fn rest_until_quote(rest: &str) -> Option<&str> {
+    rest.split('"').next()
+}
+
+fn job_line(job: &Job) -> String {
+    format!(
+        "{{\"kind\":\"job\",\"id\":{},\"fingerprint\":\"{:016x}\",\"scenario\":\"{}\"}}",
+        job.id,
+        job.fingerprint,
+        wire::encode_token(&job.scenario_wire)
+    )
+}
+
+fn state_line(id: u64, state: &JobState) -> String {
+    match state {
+        JobState::Failed(error) => format!(
+            "{{\"kind\":\"state\",\"id\":{id},\"state\":\"failed\",\"error\":\"{}\"}}",
+            wire::encode_token(error)
+        ),
+        other => format!(
+            "{{\"kind\":\"state\",\"id\":{id},\"state\":\"{}\"}}",
+            other.label()
+        ),
+    }
+}
+
+/// The daemon's durable job table.
+#[derive(Debug)]
+pub struct JobQueue {
+    root: PathBuf,
+    journal: BufWriter<File>,
+    jobs: BTreeMap<u64, Job>,
+    next_id: u64,
+}
+
+impl JobQueue {
+    /// Opens (creating when absent) the queue under `root`, replaying and
+    /// compacting the journal. Jobs that were `running` when the previous
+    /// daemon died come back `queued`; their partial checkpoints survive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Checkpoint`] on I/O failure.
+    pub fn open(root: impl AsRef<Path>) -> Result<Self, EngineError> {
+        let root = root.as_ref().to_path_buf();
+        for dir in [root.clone(), root.join("jobs"), root.join("reports")] {
+            std::fs::create_dir_all(&dir)
+                .map_err(|e| queue_error(format!("cannot create {}: {e}", dir.display())))?;
+        }
+        let journal_path = root.join("queue.jsonl");
+        let mut jobs: BTreeMap<u64, Job> = BTreeMap::new();
+        if let Ok(text) = std::fs::read_to_string(&journal_path) {
+            for line in text.lines() {
+                if line.contains("\"kind\":\"job\"") {
+                    let parsed = (|| {
+                        let id = extract_u64(line, "id")?;
+                        let fingerprint = extract_str(line, "fingerprint")
+                            .and_then(|s| u64::from_str_radix(s, 16).ok())?;
+                        let scenario_wire =
+                            wire::decode_token(extract_str(line, "scenario")?).ok()?;
+                        Some(Job {
+                            id,
+                            fingerprint,
+                            scenario_wire,
+                            state: JobState::Queued,
+                        })
+                    })();
+                    if let Some(job) = parsed {
+                        jobs.entry(job.id).or_insert(job);
+                    }
+                } else if line.contains("\"kind\":\"state\"") {
+                    let parsed = (|| {
+                        let id = extract_u64(line, "id")?;
+                        let state = match extract_str(line, "state")? {
+                            "queued" => JobState::Queued,
+                            "running" => JobState::Running,
+                            "done" => JobState::Done,
+                            "failed" => JobState::Failed(
+                                extract_str(line, "error")
+                                    .and_then(|e| wire::decode_token(e).ok())
+                                    .unwrap_or_default(),
+                            ),
+                            _ => return None,
+                        };
+                        Some((id, state))
+                    })();
+                    if let Some((id, state)) = parsed {
+                        if let Some(job) = jobs.get_mut(&id) {
+                            job.state = state;
+                        }
+                    }
+                }
+            }
+        }
+        // A `running` job means the previous daemon died mid-campaign:
+        // re-queue it so the runner resumes from its partial checkpoint.
+        for job in jobs.values_mut() {
+            if job.state == JobState::Running {
+                job.state = JobState::Queued;
+            }
+        }
+        let next_id = jobs.keys().next_back().map_or(1, |id| id + 1);
+
+        // Compact: rewrite the journal as one job line plus (for settled
+        // jobs) one state line, dropping duplicates, torn tails and the
+        // queued/running churn of past runs.
+        let mut out = String::new();
+        for job in jobs.values() {
+            out.push_str(&job_line(job));
+            out.push('\n');
+            if job.state != JobState::Queued {
+                out.push_str(&state_line(job.id, &job.state));
+                out.push('\n');
+            }
+        }
+        let tmp = root.join("queue.jsonl.compact-tmp");
+        std::fs::write(&tmp, &out)
+            .map_err(|e| queue_error(format!("cannot write {}: {e}", tmp.display())))?;
+        std::fs::rename(&tmp, &journal_path)
+            .map_err(|e| queue_error(format!("cannot replace journal: {e}")))?;
+
+        let journal = OpenOptions::new()
+            .append(true)
+            .open(&journal_path)
+            .map_err(|e| queue_error(format!("cannot append to journal: {e}")))?;
+        Ok(Self {
+            root,
+            journal: BufWriter::new(journal),
+            jobs,
+            next_id,
+        })
+    }
+
+    fn write_line(&mut self, line: &str) -> Result<(), EngineError> {
+        writeln!(self.journal, "{line}")
+            .and_then(|()| self.journal.flush())
+            .map_err(|e| queue_error(format!("journal write failed: {e}")))
+    }
+
+    /// Submits a scenario, deduplicating by fingerprint: an unfinished job
+    /// with the same fingerprint is shared, and a fingerprint whose report is
+    /// already cached completes instantly. Returns `(job id, cached)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Checkpoint`] when the journal cannot be written.
+    pub fn submit(
+        &mut self,
+        scenario_wire: &str,
+        fingerprint: u64,
+    ) -> Result<(u64, bool), EngineError> {
+        if let Some(job) = self
+            .jobs
+            .values()
+            .find(|j| j.fingerprint == fingerprint && !matches!(j.state, JobState::Failed(_)))
+        {
+            let cached = job.state == JobState::Done && self.report_path(fingerprint).exists();
+            if cached || job.state != JobState::Done {
+                return Ok((job.id, cached));
+            }
+        }
+        let job = Job {
+            id: self.next_id,
+            fingerprint,
+            scenario_wire: scenario_wire.to_owned(),
+            state: JobState::Queued,
+        };
+        self.next_id += 1;
+        self.write_line(&job_line(&job))?;
+        let id = job.id;
+        self.jobs.insert(id, job);
+        Ok((id, false))
+    }
+
+    /// Returns the lowest-id queued job, if any.
+    pub fn next_queued(&self) -> Option<u64> {
+        self.jobs
+            .values()
+            .find(|j| j.state == JobState::Queued)
+            .map(|j| j.id)
+    }
+
+    /// Transitions a job to `state`, journaling the change durably.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Checkpoint`] on an unknown job or journal
+    /// failure.
+    pub fn mark(&mut self, id: u64, state: JobState) -> Result<(), EngineError> {
+        if !self.jobs.contains_key(&id) {
+            return Err(queue_error(format!("unknown job {id}")));
+        }
+        self.write_line(&state_line(id, &state))?;
+        if let Some(job) = self.jobs.get_mut(&id) {
+            job.state = state;
+        }
+        Ok(())
+    }
+
+    /// Looks up a job.
+    pub fn job(&self, id: u64) -> Option<&Job> {
+        self.jobs.get(&id)
+    }
+
+    /// Current queue depths.
+    pub fn status(&self) -> QueueStatus {
+        let mut status = QueueStatus::default();
+        for job in self.jobs.values() {
+            match job.state {
+                JobState::Queued => status.queued += 1,
+                JobState::Running => status.running += 1,
+                JobState::Done => status.done += 1,
+                JobState::Failed(_) => status.failed += 1,
+            }
+        }
+        status
+    }
+
+    /// Path of a job's engine checkpoint.
+    pub fn checkpoint_path(&self, id: u64) -> PathBuf {
+        self.root.join("jobs").join(format!("{id}.jsonl"))
+    }
+
+    /// Path of the content-addressed cached report for `fingerprint`.
+    pub fn report_path(&self, fingerprint: u64) -> PathBuf {
+        self.root
+            .join("reports")
+            .join(format!("{fingerprint:016x}.jsonl"))
+    }
+
+    /// Publishes a completed job's compacted checkpoint into the report
+    /// cache (copy to a temp name, then atomic rename).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Checkpoint`] on I/O failure.
+    pub fn publish_report(&self, id: u64, fingerprint: u64) -> Result<(), EngineError> {
+        let source = self.checkpoint_path(id);
+        let target = self.report_path(fingerprint);
+        let tmp = target.with_extension("jsonl.publish-tmp");
+        std::fs::copy(&source, &tmp)
+            .map_err(|e| queue_error(format!("cannot stage report: {e}")))?;
+        std::fs::rename(&tmp, &target)
+            .map_err(|e| queue_error(format!("cannot publish report: {e}")))?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_root(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("rough_service_queue")
+            .join(format!("{name}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn submissions_survive_reopen_and_running_jobs_requeue() {
+        let root = temp_root("reopen");
+        {
+            let mut queue = JobQueue::open(&root).unwrap();
+            let (a, cached) = queue.submit("scenario-a", 0xA).unwrap();
+            assert!(!cached);
+            let (b, _) = queue.submit("scenario-b", 0xB).unwrap();
+            queue.mark(a, JobState::Running).unwrap();
+            assert_eq!(queue.next_queued(), Some(b));
+        }
+        let queue = JobQueue::open(&root).unwrap();
+        // The running job came back queued (resume path), order preserved.
+        assert_eq!(queue.next_queued(), Some(1));
+        assert_eq!(queue.status().queued, 2);
+        assert_eq!(queue.job(1).unwrap().scenario_wire, "scenario-a");
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn duplicate_fingerprints_share_one_job() {
+        let root = temp_root("dedupe");
+        let mut queue = JobQueue::open(&root).unwrap();
+        let (a, _) = queue.submit("scenario-a", 0xA).unwrap();
+        let (same, cached) = queue.submit("scenario-a", 0xA).unwrap();
+        assert_eq!(a, same);
+        assert!(!cached);
+        // A done job with a published report is served from cache.
+        queue.mark(a, JobState::Done).unwrap();
+        std::fs::write(queue.report_path(0xA), "header\n").unwrap();
+        let (id, cached) = queue.submit("scenario-a", 0xA).unwrap();
+        assert_eq!(id, a);
+        assert!(cached);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn failed_jobs_resubmit_fresh() {
+        let root = temp_root("failed");
+        let mut queue = JobQueue::open(&root).unwrap();
+        let (a, _) = queue.submit("scenario-a", 0xA).unwrap();
+        queue.mark(a, JobState::Running).unwrap();
+        queue
+            .mark(a, JobState::Failed("solver blew up".into()))
+            .unwrap();
+        let (b, cached) = queue.submit("scenario-a", 0xA).unwrap();
+        assert_ne!(a, b);
+        assert!(!cached);
+        // Reopen preserves the failure message through the compacted journal.
+        drop(queue);
+        let queue = JobQueue::open(&root).unwrap();
+        assert_eq!(
+            queue.job(a).unwrap().state,
+            JobState::Failed("solver blew up".into())
+        );
+        assert_eq!(queue.status().failed, 1);
+        assert_eq!(queue.status().queued, 1);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn journals_tolerate_torn_tails() {
+        let root = temp_root("torn");
+        {
+            let mut queue = JobQueue::open(&root).unwrap();
+            queue.submit("scenario-a", 0xA).unwrap();
+        }
+        let journal = root.join("queue.jsonl");
+        let mut text = std::fs::read_to_string(&journal).unwrap();
+        text.push_str("{\"kind\":\"job\",\"id\":2,\"finge"); // torn append
+        std::fs::write(&journal, text).unwrap();
+        let queue = JobQueue::open(&root).unwrap();
+        assert_eq!(queue.status().queued, 1);
+        // Compaction scrubbed the torn line.
+        let rewritten = std::fs::read_to_string(&journal).unwrap();
+        assert!(!rewritten.contains("finge\n"));
+        assert!(rewritten.ends_with('\n'));
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

@@ -1,0 +1,242 @@
+//! End-to-end service tests: submit → stream → fetch round trips, cached
+//! re-submission, and the restart-resume guarantee (a daemon killed mid-job
+//! comes back, resumes the partial checkpoint and publishes a report
+//! bit-identical to an uninterrupted run).
+
+use rough_core::RoughnessSpec;
+use rough_em::material::Stackup;
+use rough_em::units::{GigaHertz, Micrometers};
+use rough_engine::{
+    wire, CampaignReport, CancelToken, EngineError, FnObserver, Run, RunConfig, RunEvent, Scenario,
+    SerialExecutor,
+};
+use rough_service::{Client, Daemon, DaemonConfig, JobQueue, JobState, ServiceEvent};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn scenario(name: &str, master_seed: u64) -> Scenario {
+    Scenario::builder(Stackup::paper_baseline())
+        .name(name)
+        .roughness(RoughnessSpec::gaussian(
+            Micrometers::new(1.0),
+            Micrometers::new(1.0),
+        ))
+        .frequencies([GigaHertz::new(2.0).into()])
+        .cells_per_side(6)
+        .max_kl_modes(3)
+        .monte_carlo(3)
+        .master_seed(master_seed)
+        .build()
+        .expect("valid scenario")
+}
+
+fn serial_reference(scenario: &Scenario) -> CampaignReport {
+    Run::new(scenario, RunConfig::new().executor(SerialExecutor))
+        .expect("plan")
+        .execute()
+        .expect("reference campaign")
+}
+
+fn assert_reports_bit_identical(a: &CampaignReport, b: &CampaignReport, label: &str) {
+    assert_eq!(a.records.len(), b.records.len(), "{label}: record count");
+    for (ra, rb) in a.records.iter().zip(&b.records) {
+        assert_eq!(ra.unit, rb.unit, "{label}: unit order");
+        assert_eq!(
+            ra.value.to_bits(),
+            rb.value.to_bits(),
+            "{label}: unit {} value",
+            ra.unit
+        );
+    }
+    for (ca, cb) in a.cases.iter().zip(&b.cases) {
+        assert_eq!(ca.mean.to_bits(), cb.mean.to_bits(), "{label}: case mean");
+        assert_eq!(
+            ca.std_dev.to_bits(),
+            cb.std_dev.to_bits(),
+            "{label}: case std"
+        );
+    }
+    assert_eq!(a.csv_rows(), b.csv_rows(), "{label}: CSV rows");
+}
+
+fn temp_state(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("rough_service_tests")
+        .join(format!("{name}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn start_daemon(state: &PathBuf) -> Daemon {
+    Daemon::start(DaemonConfig::new("127.0.0.1:0", state).executor(Arc::new(SerialExecutor)))
+        .expect("daemon starts")
+}
+
+#[test]
+fn submit_watch_fetch_roundtrip_with_cached_resubmission() {
+    let state = temp_state("roundtrip");
+    let daemon = start_daemon(&state);
+    let client = Client::new(daemon.addr());
+    let scenario = scenario("service-roundtrip", 0x51);
+
+    // Nothing cached before the first submission.
+    let fingerprint = wire::scenario_fingerprint(&scenario);
+    assert!(client.fetch_checkpoint(fingerprint).unwrap().is_none());
+
+    // Submit and watch the full event stream to completion.
+    let events: Arc<std::sync::Mutex<Vec<ServiceEvent>>> = Arc::default();
+    let sink = Arc::clone(&events);
+    let (submission, outcome) = client
+        .submit_watch(&scenario, |event| {
+            sink.lock().unwrap().push(event.clone());
+        })
+        .expect("watched submission");
+    assert!(outcome.is_ok(), "job failed: {outcome:?}");
+    assert!(!submission.cached);
+    assert_eq!(submission.fingerprint, fingerprint);
+    let events = events.lock().unwrap();
+    let completed = events
+        .iter()
+        .filter(|e| matches!(e, ServiceEvent::UnitCompleted { .. }))
+        .count();
+    assert_eq!(completed, 3, "every unit streams a completion event");
+    assert!(
+        matches!(events.last(), Some(ServiceEvent::Finished { units: 3, .. })),
+        "stream ends with Finished: {:?}",
+        events.last()
+    );
+
+    // The fetched report is bit-identical to a local serial run.
+    let fetched = client
+        .fetch_report(fingerprint)
+        .expect("fetch")
+        .expect("report cached after completion");
+    assert_reports_bit_identical(
+        &serial_reference(&scenario),
+        &fetched,
+        "daemon-computed vs local serial",
+    );
+
+    // Resubmitting the same scenario is served from cache, instantly.
+    let (resubmission, outcome) = client
+        .submit_watch(&scenario, |_| {})
+        .expect("cached resubmission");
+    assert!(resubmission.cached);
+    assert_eq!(resubmission.job, submission.job);
+    assert!(outcome.is_ok());
+
+    let status = client.status().expect("status");
+    assert_eq!(status.done, 1);
+    assert_eq!(status.failed, 0);
+
+    client.shutdown().expect("shutdown");
+    daemon.join();
+    std::fs::remove_dir_all(&state).ok();
+}
+
+/// A daemon killed mid-campaign must come back, resume the partial
+/// checkpoint via `Run::resume` and publish a report bit-identical to an
+/// uninterrupted run. The "killed daemon" state is reconstructed exactly:
+/// a journaled `running` job plus its partial engine checkpoint.
+#[test]
+fn daemon_restart_resumes_partial_jobs_bit_identically() {
+    let state = temp_state("restart");
+    let scenario = scenario("service-restart", 0x52);
+    let scenario_wire = wire::encode_scenario(&scenario);
+    let fingerprint = wire::scenario_fingerprint(&scenario);
+
+    // Previous daemon life: job journaled as running…
+    let checkpoint_path = {
+        let mut queue = JobQueue::open(&state).expect("queue");
+        let (job, cached) = queue.submit(&scenario_wire, fingerprint).expect("submit");
+        assert!(!cached);
+        queue.mark(job, JobState::Running).expect("mark running");
+        queue.checkpoint_path(job)
+    };
+    // …with a partial checkpoint: interrupt a run after 1 of 3 units.
+    let token = CancelToken::default();
+    let observer_token = token.clone();
+    let completed = AtomicUsize::new(0);
+    let interrupted = Run::new(
+        &scenario,
+        RunConfig::new()
+            .executor(SerialExecutor)
+            .checkpoint(&checkpoint_path)
+            .cancel_token(token)
+            .observer(FnObserver(move |event: &RunEvent| {
+                if matches!(event, RunEvent::UnitCompleted { .. })
+                    && completed.fetch_add(1, Ordering::SeqCst) == 0
+                {
+                    observer_token.cancel();
+                }
+            })),
+    )
+    .expect("plan")
+    .execute();
+    assert!(matches!(
+        interrupted,
+        Err(EngineError::Interrupted {
+            completed: 1,
+            total: 3
+        })
+    ));
+
+    // Restart: the daemon re-queues the job, resumes it and publishes.
+    let daemon = start_daemon(&state);
+    let client = Client::new(daemon.addr());
+    // Duplicate submission attaches to the SAME restored job (fingerprint
+    // dedupe), so watching it doubles as waiting for recovery to finish.
+    let (submission, outcome) = client
+        .submit_watch(&scenario, |_| {})
+        .expect("watch restored job");
+    assert!(outcome.is_ok(), "restored job failed: {outcome:?}");
+    assert_eq!(submission.fingerprint, fingerprint);
+
+    let fetched = client
+        .fetch_report(fingerprint)
+        .expect("fetch")
+        .expect("report cached after recovery");
+    assert_reports_bit_identical(
+        &serial_reference(&scenario),
+        &fetched,
+        "resumed-across-restart vs uninterrupted serial",
+    );
+
+    let status = client.status().expect("status");
+    assert_eq!(status.done, 1);
+    assert_eq!(status.queued, 0);
+    assert_eq!(status.failed, 0);
+
+    client.shutdown().expect("shutdown");
+    daemon.join();
+    std::fs::remove_dir_all(&state).ok();
+}
+
+/// The published report cache is just compacted checkpoint text: it must
+/// parse with the engine's tolerant reader and carry the exact fingerprint.
+#[test]
+fn published_reports_are_compacted_checkpoints() {
+    let state = temp_state("published");
+    let daemon = start_daemon(&state);
+    let client = Client::new(daemon.addr());
+    let scenario = scenario("service-published", 0x53);
+    let fingerprint = wire::scenario_fingerprint(&scenario);
+
+    let (_, outcome) = client.submit_watch(&scenario, |_| {}).expect("submission");
+    assert!(outcome.is_ok());
+
+    let text = client
+        .fetch_checkpoint(fingerprint)
+        .expect("fetch")
+        .expect("cached");
+    let parsed = rough_engine::checkpoint::parse(&text).expect("parses as a checkpoint");
+    assert_eq!(parsed.header.fingerprint, fingerprint);
+    assert_eq!(parsed.records.len(), 3);
+    // Compacted: exactly header + one line per record.
+    assert_eq!(text.lines().count(), 1 + parsed.records.len());
+
+    client.shutdown().expect("shutdown");
+    daemon.join();
+    std::fs::remove_dir_all(&state).ok();
+}

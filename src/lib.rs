@@ -60,6 +60,7 @@ pub use rough_core as core;
 pub use rough_em as em;
 pub use rough_engine as engine;
 pub use rough_numerics as numerics;
+pub use rough_service as service;
 pub use rough_stochastic as stochastic;
 pub use rough_surface as surface;
 
@@ -75,14 +76,19 @@ pub use rough_surface as surface;
 /// * [`Run`](rough_engine::Run) + [`RunConfig`](rough_engine::RunConfig) —
 ///   the session-oriented service API. A `RunConfig` picks the executor
 ///   ([`SerialExecutor`](rough_engine::SerialExecutor),
-///   [`ThreadPoolExecutor`](rough_engine::ThreadPoolExecutor) or the
-///   multi-process [`SubprocessExecutor`](rough_engine::SubprocessExecutor)),
-///   the schedule ([`PlanOrder`](rough_engine::PlanOrder) or longest-first
-///   [`CostOrdered`](rough_engine::CostOrdered)), an optional JSONL
+///   [`ThreadPoolExecutor`](rough_engine::ThreadPoolExecutor), the
+///   multi-process [`SubprocessExecutor`](rough_engine::SubprocessExecutor),
+///   or [`SocketExecutor`](rough_engine::SocketExecutor) — persistent
+///   distributed workers with warm per-worker kernel caches and bit-identical
+///   re-dispatch when a worker dies), the schedule
+///   ([`PlanOrder`](rough_engine::PlanOrder) or longest-first
+///   [`CostOrdered`](rough_engine::CostOrdered), optionally calibrated with a
+///   measured [`CostTable`](rough_engine::CostTable)), an optional JSONL
 ///   checkpoint path, and an observer that receives typed
-///   [`RunEvent`](rough_engine::RunEvent)s (`UnitStarted`, `UnitCompleted`,
-///   `CaseCompleted`, `CheckpointWritten`, `RunFinished` with cache
-///   statistics) while the campaign executes.
+///   [`RunEvent`](rough_engine::RunEvent)s (`UnitStarted`, `UnitCompleted`
+///   with worker-measured wall time, `CaseCompleted`, `WorkerLost`,
+///   `CheckpointWritten`, `RunFinished` with cache statistics) while the
+///   campaign executes.
 ///   [`Run::resume`](rough_engine::Run::resume) continues an interrupted
 ///   campaign from its checkpoint and — because all randomness is fixed at
 ///   plan time — produces a report bit-identical to an uninterrupted run,
@@ -91,6 +97,12 @@ pub use rough_surface as surface;
 /// Binaries that want multi-process execution must call
 /// [`maybe_serve_worker`](rough_engine::subprocess::maybe_serve_worker)
 /// first thing in `main`.
+///
+/// Above both sits the campaign service ([`rough_service`]): the `roughsimd`
+/// daemon queues scenario submissions durably, streams run events to
+/// watching [`Client`](rough_service::Client)s, resumes interrupted jobs
+/// across daemon restarts, and serves finished reports from a cache
+/// content-addressed by scenario fingerprint.
 ///
 /// # Near-field assembly defaults
 ///
@@ -128,10 +140,11 @@ pub mod prelude {
         units::{GigaHertz, Hertz, Meters, Micrometers, OhmMeters},
     };
     pub use rough_engine::{
-        CancelToken, CostOrdered, Engine, PlanOrder, Run, RunConfig, RunEvent, Scenario,
-        SerialExecutor, SubprocessExecutor, ThreadPoolExecutor,
+        CancelToken, CostOrdered, CostTable, Engine, PlanOrder, Run, RunConfig, RunEvent, Scenario,
+        SerialExecutor, SocketExecutor, SubprocessExecutor, ThreadPoolExecutor,
     };
     pub use rough_numerics::complex::c64;
+    pub use rough_service::{Client, Daemon, DaemonConfig};
     pub use rough_stochastic::{
         collocation::{SscmConfig, SscmResult},
         monte_carlo::{MonteCarloConfig, MonteCarloResult},
