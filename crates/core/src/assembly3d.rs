@@ -70,7 +70,7 @@ use std::f64::consts::PI;
 
 /// Evaluates gathered separations either through the batched kernel API or —
 /// the oracle path — one scalar [`PeriodicGreen3d::sample`] call per entry.
-fn eval_gathered(
+pub(crate) fn eval_gathered(
     green: &PeriodicGreen3d,
     eval: KernelEval,
     seps: &[SeparationVector],
@@ -90,7 +90,7 @@ fn eval_gathered(
 
 /// Evaluates gathered separations of the regularized kernel (periodic-image
 /// part of the corrected near field), batched or per-entry.
-fn eval_gathered_regularized(
+pub(crate) fn eval_gathered_regularized(
     green: &PeriodicGreen3d,
     eval: KernelEval,
     seps: &[SeparationVector],
@@ -394,14 +394,7 @@ fn assemble_medium_corrected(
     let delta = mesh.cell_size();
     let length = mesh.patch_length();
     let near_radius_sq = (policy.radius * delta) * (policy.radius * delta);
-    let rule = NearRules {
-        adaptive: AdaptiveTensorGauss::new(
-            policy.order,
-            NearFieldPolicy::REMAINDER_TOLERANCE,
-            NearFieldPolicy::MAX_DEPTH,
-        ),
-        image: gauss_legendre_on(3, -0.5, 0.5),
-    };
+    let rule = NearRules::for_policy(policy);
     let image_points = rule.image.len() * rule.image.len();
 
     let rows = map_rows(
@@ -523,15 +516,31 @@ fn assemble_medium_corrected(
 /// assembly: the adaptive rule for the rapidly varying (but cheap) free-space
 /// remainder, and a fixed 3 × 3 rule (on `[-1/2, 1/2]`, scaled per cell) for
 /// the smooth — but Ewald-sum-expensive — periodic-image part.
-struct NearRules {
-    adaptive: AdaptiveTensorGauss,
-    image: rough_numerics::quadrature::QuadratureRule,
+pub(crate) struct NearRules {
+    pub(crate) adaptive: AdaptiveTensorGauss,
+    pub(crate) image: rough_numerics::quadrature::QuadratureRule,
+}
+
+impl NearRules {
+    /// The quadrature rules the corrected scheme uses for `policy` — shared
+    /// with the matrix-free near-field precorrection so both paths integrate
+    /// near entries identically.
+    pub(crate) fn for_policy(policy: NearFieldPolicy) -> Self {
+        Self {
+            adaptive: AdaptiveTensorGauss::new(
+                policy.order,
+                NearFieldPolicy::REMAINDER_TOLERANCE,
+                NearFieldPolicy::MAX_DEPTH,
+            ),
+            image: gauss_legendre_on(3, -0.5, 0.5),
+        }
+    }
 }
 
 /// Gathers the fixed-rule periodic-image quadrature separations of one
 /// corrected near entry, in the exact nested order
 /// [`corrected_entry`] consumes them.
-fn gather_image_points(
+pub(crate) fn gather_image_points(
     rule: &QuadratureRule,
     observation: &Cell3d,
     source: &Cell3d,
@@ -575,7 +584,7 @@ fn gather_image_points(
 /// absorbed into `stats` so callers can see when the depth cap truncated the
 /// refinement instead of silently accepting the result.
 #[allow(clippy::too_many_arguments)]
-fn corrected_entry(
+pub(crate) fn corrected_entry(
     green: &PeriodicGreen3d,
     observation: &Cell3d,
     source: &Cell3d,

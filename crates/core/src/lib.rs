@@ -56,6 +56,7 @@ pub mod assembly2d;
 pub mod assembly3d;
 mod error;
 pub mod loss;
+pub mod matrixfree;
 pub mod mesh;
 pub mod nearfield;
 pub mod parallel;
@@ -66,6 +67,9 @@ pub mod swm2d;
 pub mod swm3d;
 
 pub use error::SwmError;
+pub use matrixfree::{
+    BlockDiagonalPreconditioner, MatrixFreeOperator, MatrixFreePolicy, OperatorRepr,
+};
 pub use nearfield::{AssemblyScheme, AssemblyStats, KernelEval, NearFieldPolicy};
 pub use parallel::{AssemblyParallelism, ASSEMBLY_THREADS_ENV};
 pub use solver::SolverKind;

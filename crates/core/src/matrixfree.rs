@@ -1,0 +1,1145 @@
+//! Matrix-free (precorrected-FFT) representation of the MOM operator.
+//!
+//! The dense path assembles every `O(N²)` interaction entry explicitly; this
+//! module evaluates the same operator as
+//!
+//! ```text
+//! A·x = (grid part: block-Toeplitz convolution via 3-D FFT)
+//!     + (near part: sparse precorrections)  + (½ I free terms)
+//! ```
+//!
+//! exploiting that the mesh is a *uniform periodic grid* and the Ewald kernel
+//! is translation invariant: `G_p(r, r') = G_p(Δx, Δy, Δz)`.
+//!
+//! **Layout.** The one obstacle to a pure convolution is the height
+//! `z = f(x, y)`, which is not gridded. The operator therefore interpolates
+//! the kernel's z-dependence on an equispaced *slab* of `m` levels spacing
+//! `h` (two-sided Lagrange interpolation of order `p`,
+//! [`MatrixFreePolicy::order`]):
+//!
+//! ```text
+//! G(Δρ, z_i − z_j) ≈ Σ_{u,v} ℓ_u(z_i) ℓ_v(z_j) · C_{u−v}(Δρ),
+//! C_t(Δρ) = G(Δρ, t·h)
+//! ```
+//!
+//! so only `2m−1` distinct *generator planes* `C_t` exist (and only `m` are
+//! evaluated — the kernel is even in the separation, its gradient odd). In
+//! x and y the kernel is doubly periodic with the patch period, so the lateral
+//! convolution is **exactly circulant at n × n — no padding**. The z axis is
+//! Toeplitz and is circulant-embedded into `M = next_pow2(2m−1)` planes. One
+//! matvec is then: spread the four source sets `{Ψ, −f_x Ψ, −f_y Ψ, U}` onto
+//! the `M × n × n` cube with the Lagrange weights, four forward 3-D FFTs
+//! ([`rough_numerics::fft::fft3_in_place`]), eight pointwise transfer
+//! products (value + three gradient components × two media), four inverse
+//! FFTs, and a weighted gather.
+//!
+//! **Precorrection.** Every pair within the corrected scheme's near radius
+//! (2-D minimum-image, a superset of the dense scheme's 3-D near set) gets a
+//! sparse correction `exact − grid`: `exact` is the *identical* locally
+//! corrected integral the dense path computes
+//! ([`crate::assembly3d`]'s analytic statics + adaptive remainder), or the
+//! dense far-field midpoint formula for 2-D-near/3-D-far pairs; `grid` is the
+//! slab-interpolated value read directly from the generator tables. Near
+//! entries therefore match the dense operator *exactly* (up to FFT roundoff);
+//! far entries carry only the slab interpolation error, which the spacing
+//! rule keeps near machine precision (see [`MatrixFreePolicy::safety`]).
+//!
+//! The equivalence is pinned the way `KernelEval::Scalar` pins `Batched`:
+//! matvec agreement on random vectors ≤ 1e-10 relative across quasi-static,
+//! lossy and high-`|k|L` regimes, and end-to-end Pr/Ps agreement on the
+//! Fig. 5 golden (`tests/matrixfree_equivalence.rs`).
+
+use crate::assembly3d::{
+    corrected_entry, eval_gathered, eval_gathered_regularized, gather_image_points, NearRules,
+};
+use crate::mesh::PatchMesh;
+use crate::nearfield::{AssemblyStats, KernelEval, NearFieldPolicy};
+use crate::parallel::{map_rows, AssemblyParallelism};
+use rough_em::green::{GreenSample, PeriodicGreen3d, SeparationVector};
+use rough_numerics::complex::c64;
+use rough_numerics::fft::{fft3_in_place, Direction};
+use rough_numerics::iterative::LinearOperator;
+use rough_numerics::quadrature2d::QuadScratch;
+
+/// Per-entry relative accuracy the slab spacing rule targets for the grid
+/// (far-field) part. The default safety factor then buys several further
+/// digits of margin, so whole-matvec agreement stays ≤ 1e-10 even after
+/// `√N` accumulation.
+const SLAB_TARGET: f64 = 1e-12;
+
+/// Tuning knobs of the matrix-free operator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatrixFreePolicy {
+    /// Lagrange interpolation order `p` of the z slab (number of stencil
+    /// nodes). Even, at least 4; the default 16 keeps the level count low
+    /// while hitting ~1e-12 per-entry accuracy.
+    pub order: usize,
+    /// Multiplier `∈ (0, 1]` on the error-model level spacing; smaller is
+    /// safer and costs more levels. The default 0.5 adds ≥ 4 digits of
+    /// margin over the 1e-12 target.
+    pub safety: f64,
+}
+
+impl Default for MatrixFreePolicy {
+    fn default() -> Self {
+        Self {
+            order: 16,
+            safety: 0.5,
+        }
+    }
+}
+
+impl MatrixFreePolicy {
+    /// Validates the knobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.order < 4 || !self.order.is_multiple_of(2) {
+            return Err(format!(
+                "matrix-free interpolation order must be even and at least 4, got {}",
+                self.order
+            ));
+        }
+        if self.order > 32 {
+            return Err(format!(
+                "matrix-free interpolation order above 32 only adds rounding noise, got {}",
+                self.order
+            ));
+        }
+        if !(self.safety > 0.0 && self.safety <= 1.0) {
+            return Err(format!(
+                "matrix-free safety factor must be in (0, 1], got {}",
+                self.safety
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// How the MOM operator is represented during a solve — orthogonal to
+/// [`crate::AssemblyScheme`] (how near entries are integrated) and
+/// [`KernelEval`] (how kernel samples are evaluated).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum OperatorRepr {
+    /// Explicit dense `2N × 2N` matrix (default): every entry assembled,
+    /// solvable directly (LU) or iteratively.
+    #[default]
+    Dense,
+    /// FFT-accelerated block-Toeplitz operator with sparse near-field
+    /// precorrections: `O(N log N)` per matvec, Krylov solvers only.
+    /// Requires the locally corrected assembly scheme.
+    MatrixFree(MatrixFreePolicy),
+}
+
+impl OperatorRepr {
+    /// Whether this is the matrix-free representation.
+    pub fn is_matrix_free(&self) -> bool {
+        matches!(self, OperatorRepr::MatrixFree(_))
+    }
+}
+
+/// The equispaced z-slab shared by both media: node geometry plus the
+/// per-cell Lagrange stencil (start level and `order` weights).
+#[derive(Debug, Clone)]
+struct SlabGrid {
+    /// Number of interpolation levels `m`.
+    levels: usize,
+    /// FFT planes `M = next_pow2(2m−1)` (1 for a flat surface).
+    planes: usize,
+    /// Active stencil width (equals the policy order, or 1 when flat).
+    order: usize,
+    /// Per-cell stencil start level.
+    starts: Vec<usize>,
+    /// Per-cell Lagrange weights, `order` consecutive entries per cell.
+    weights: Vec<f64>,
+}
+
+/// Relative error of centered `p`-point equispaced Lagrange interpolation of
+/// the `1/R` kernel, whose nearest complex-z singularity for a far pair sits
+/// at `z = ±iρ` (`ρ` = minimum far-field lateral distance). From the Hermite
+/// remainder with the node polynomial `ω(z) = Π (z − z_l)` and symmetric node
+/// offsets `q_j = (2j−1)h/2`:
+///
+/// ```text
+/// err(h) ≈ |ω(0)| / |ω(iρ)| = Π_j q_j² / (ρ² + q_j²)
+/// ```
+///
+/// The naive bound `(h/2ρ)^p` is wildly optimistic here because the outer
+/// stencil nodes sit many spacings away from the evaluation point — the
+/// stencil *width* `(p−1)h` competes with `ρ`, not `h` itself.
+fn stencil_error(h: f64, rho: f64, order: usize) -> f64 {
+    let mut err = 1.0;
+    for j in 1..=order / 2 {
+        let q = ((2 * j - 1) as f64 * h / 2.0).powi(2);
+        err *= q / (rho * rho + q);
+    }
+    err
+}
+
+/// Level spacing from the two error mechanisms of slab interpolation: the
+/// `e^{jk z}` oscillation (centered equispaced Lagrange error
+/// `((p−1)!!)² (hk/2)^p / p!`) and the geometric `1/R` part
+/// ([`stencil_error`], solved for `h` by bisection — the error is monotone in
+/// `h`). Both are pinned at [`SLAB_TARGET`] and the policy's safety factor is
+/// applied on top.
+fn slab_spacing(order: usize, k_max: f64, rho_min: f64, safety: f64) -> f64 {
+    let p = order as f64;
+    let mut factorial = 1.0f64;
+    let mut double_factorial = 1.0f64;
+    for i in 1..=order {
+        factorial *= i as f64;
+        if i % 2 == 1 {
+            double_factorial *= i as f64;
+        }
+    }
+    let oscillatory =
+        (SLAB_TARGET * factorial / (double_factorial * double_factorial)).powf(1.0 / p) * 2.0
+            / k_max.max(f64::MIN_POSITIVE);
+
+    let mut lo = 0.0;
+    let mut hi = 4.0 * rho_min;
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if stencil_error(mid, rho_min, order) <= SLAB_TARGET {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let geometric = lo;
+    safety * oscillatory.min(geometric)
+}
+
+/// Builds the slab for a mesh: levels cover `[z_min, z_max]` with `p/2` ghost
+/// levels on each side so every cell gets a *centered* stencil (no
+/// end-of-interval Runge degradation), `m = ceil(H/h) + p + 1`.
+fn build_slab(mesh: &PatchMesh, k_max: f64, rho_min: f64, policy: &MatrixFreePolicy) -> SlabGrid {
+    let cells = mesh.cells();
+    let mut z_min = f64::INFINITY;
+    let mut z_max = f64::NEG_INFINITY;
+    for cell in cells {
+        z_min = z_min.min(cell.z);
+        z_max = z_max.max(cell.z);
+    }
+    let height = z_max - z_min;
+
+    // A flat surface needs no interpolation at all: one level, weight one.
+    if height <= 1e-9 * mesh.cell_size() {
+        return SlabGrid {
+            levels: 1,
+            planes: 1,
+            order: 1,
+            starts: vec![0; cells.len()],
+            weights: vec![1.0; cells.len()],
+        };
+    }
+
+    let p = policy.order;
+    let h = slab_spacing(p, k_max, rho_min, policy.safety);
+    let levels = (height / h).ceil() as usize + p + 1;
+    let z0 = z_min - (p as f64 / 2.0) * h;
+    let planes = (2 * levels - 1).next_power_of_two();
+
+    let mut starts = Vec::with_capacity(cells.len());
+    let mut weights = Vec::with_capacity(cells.len() * p);
+    for cell in cells {
+        let g = ((cell.z - z0) / h).floor() as isize;
+        let s = (g - p as isize / 2 + 1).clamp(0, (levels - p) as isize) as usize;
+        starts.push(s);
+        for l in 0..p {
+            let zl = z0 + (s + l) as f64 * h;
+            let mut w = 1.0;
+            for v in 0..p {
+                if v == l {
+                    continue;
+                }
+                let zv = z0 + (s + v) as f64 * h;
+                w *= (cell.z - zv) / (zl - zv);
+            }
+            weights.push(w);
+        }
+    }
+    SlabGrid {
+        levels,
+        planes,
+        order: p,
+        starts,
+        weights,
+        // `h`/`z0` are consumed here; the weights carry everything the
+        // matvec needs.
+    }
+}
+
+/// The four generator cubes of one medium (`M × n × n`, plane-major): kernel
+/// value and the three gradient components. Spatial while the near
+/// precorrections are computed, then forward-FFT'd in place for the matvec.
+#[derive(Debug, Clone)]
+struct MediumTables {
+    val: Vec<c64>,
+    gx: Vec<c64>,
+    gy: Vec<c64>,
+    gz: Vec<c64>,
+}
+
+/// One sparse near-field correction: column `j`, `ΔS = S_exact − S_grid`,
+/// `ΔD = D_exact − D_grid`.
+type NearCorrection = (usize, c64, c64);
+
+/// The matrix-free MOM operator of paper eq. (9): grid convolution + sparse
+/// near precorrections + the `½ I` free terms. Implements
+/// [`LinearOperator`], so it plugs straight into
+/// [`crate::solver::solve_operator`].
+#[derive(Debug, Clone)]
+pub struct MatrixFreeOperator {
+    /// Cells per side `n`.
+    side: usize,
+    /// Surface unknowns `N = n²` (operator dimension is `2N`).
+    ncells: usize,
+    area: f64,
+    beta: c64,
+    slab: SlabGrid,
+    /// Spectral generator tables, media 1 and 2.
+    tables: [MediumTables; 2],
+    /// Sparse near corrections per medium, one row of `(j, ΔS, ΔD)` per cell.
+    near: [Vec<Vec<NearCorrection>>; 2],
+    /// Exact self entries `(S₁ᵢᵢ, D₁ᵢᵢ, S₂ᵢᵢ, D₂ᵢᵢ)` per cell — the raw
+    /// material of the block-diagonal preconditioner.
+    self_entries: Vec<[c64; 4]>,
+    /// Per-cell surface slopes (source-side weights of the double layer).
+    fx: Vec<f64>,
+    fy: Vec<f64>,
+    rhs: Vec<c64>,
+    stats: AssemblyStats,
+}
+
+impl MatrixFreeOperator {
+    /// Assembles the matrix-free operator for one surface realization: slab
+    /// geometry, generator tables (one batched kernel evaluation per z
+    /// level), near-field sparse precorrections (reusing the locally
+    /// corrected integrator of the dense path, row-parallel under
+    /// `parallelism`), and the incident-field right-hand side.
+    ///
+    /// Mirrors [`crate::assembly3d::assemble_system_with`]: `g1`/`g2` are the
+    /// periodic kernels of the two media, `beta` the boundary contrast, `k1`
+    /// the incident wavenumber, `policy` the near-field radius/order of the
+    /// locally corrected scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel period does not match the mesh patch length or
+    /// the matrix-free policy is invalid (callers validate via
+    /// [`MatrixFreePolicy::validate`] first).
+    #[allow(clippy::too_many_arguments)]
+    pub fn assemble(
+        mesh: &PatchMesh,
+        g1: &PeriodicGreen3d,
+        g2: &PeriodicGreen3d,
+        beta: c64,
+        k1: c64,
+        policy: NearFieldPolicy,
+        mf: MatrixFreePolicy,
+        eval: KernelEval,
+        parallelism: AssemblyParallelism,
+    ) -> Self {
+        assert!(
+            (g1.period() - mesh.patch_length()).abs() < 1e-9 * mesh.patch_length(),
+            "Green's function period must match the mesh patch length"
+        );
+        mf.validate().expect("matrix-free policy must be valid");
+
+        let side = mesh.cells_per_side();
+        let ncells = mesh.len();
+        let cells = mesh.cells();
+        let area = mesh.cell_area();
+        let delta = mesh.cell_size();
+        let length = mesh.patch_length();
+        let near_radius_sq = (policy.radius * delta) * (policy.radius * delta);
+
+        let k_max = g1.wavenumber().abs().max(g2.wavenumber().abs());
+        let slab = build_slab(mesh, k_max, policy.radius * delta, &mf);
+
+        // Generator tables (spatial), one batched kernel call per z level.
+        let z_spacing = if slab.levels > 1 {
+            // Recover the level spacing the slab was built with.
+            slab_spacing(mf.order, k_max, policy.radius * delta, mf.safety)
+        } else {
+            0.0
+        };
+        let tables = [
+            build_tables(g1, eval, side, delta, &slab, z_spacing),
+            build_tables(g2, eval, side, delta, &slab, z_spacing),
+        ];
+
+        // Near-field sparse precorrections: every 2-D minimum-image near pair
+        // (superset of the dense 3-D near set) gets `exact − grid`.
+        let rule = NearRules::for_policy(policy);
+        let image_points = rule.image.len() * rule.image.len();
+        let greens = [g1, g2];
+        let rows = map_rows(ncells, parallelism.worker_count(), NearScratch::default, {
+            let slab = &slab;
+            let tables = &tables;
+            move |i, scratch: &mut NearScratch| {
+                let ci = cells[i];
+                scratch.entries.clear();
+                scratch.image_seps.clear();
+                scratch.far_seps.clear();
+                for (j, cj) in cells.iter().enumerate() {
+                    let dx = ci.x - cj.x;
+                    let dy = ci.y - cj.y;
+                    let dz = ci.z - cj.z;
+                    let wrap_x = (dx / length).round() * length;
+                    let wrap_y = (dy / length).round() * length;
+                    let dxw = dx - wrap_x;
+                    let dyw = dy - wrap_y;
+                    let rho2 = dxw * dxw + dyw * dyw;
+                    if rho2 >= near_radius_sq {
+                        continue; // far in-plane: the grid convolution is exact enough
+                    }
+                    let r2 = rho2 + dz * dz;
+                    if i == j || r2 < near_radius_sq {
+                        // Same near set and same integrator as the dense path.
+                        let (src_x, src_y) = (cj.x + wrap_x, cj.y + wrap_y);
+                        gather_image_points(
+                            &rule.image,
+                            &ci,
+                            cj,
+                            src_x,
+                            src_y,
+                            delta,
+                            &mut scratch.image_seps,
+                        );
+                        scratch.entries.push(NearProbe {
+                            j,
+                            src_x,
+                            src_y,
+                            corrected: true,
+                        });
+                    } else {
+                        // In-plane near but vertically far: the dense path
+                        // treats this pair with the far midpoint formula.
+                        scratch.far_seps.push(SeparationVector::new(dx, dy, dz));
+                        scratch.entries.push(NearProbe {
+                            j,
+                            src_x: 0.0,
+                            src_y: 0.0,
+                            corrected: false,
+                        });
+                    }
+                }
+
+                for (m, green) in greens.iter().enumerate() {
+                    eval_gathered_regularized(
+                        green,
+                        eval,
+                        &scratch.image_seps,
+                        &mut scratch.image_out[m],
+                    );
+                    eval_gathered(green, eval, &scratch.far_seps, &mut scratch.far_out[m]);
+                }
+
+                let mut row = NearRow::default();
+                let mut image_cursor = 0;
+                let mut far_cursor = 0;
+                for entry in &scratch.entries {
+                    let cj = &cells[entry.j];
+                    for m in 0..2 {
+                        let (s_exact, d_exact) = if entry.corrected {
+                            corrected_entry(
+                                greens[m],
+                                &ci,
+                                cj,
+                                entry.src_x,
+                                entry.src_y,
+                                delta,
+                                &rule,
+                                &scratch.image_out[m][image_points * image_cursor
+                                    ..image_points * (image_cursor + 1)],
+                                &mut scratch.quad,
+                                &mut row.stats,
+                            )
+                        } else {
+                            let sample = &scratch.far_out[m][far_cursor];
+                            let s = sample.value * area;
+                            let grad = sample.gradient;
+                            let d = -(grad[0] * cj.normal[0]
+                                + grad[1] * cj.normal[1]
+                                + grad[2] * cj.normal[2])
+                                * (cj.jacobian * area);
+                            (s, d)
+                        };
+                        let (s_grid, d_grid) =
+                            grid_entry(&tables[m], slab, side, area, i, entry.j, cj.fx, cj.fy);
+                        row.corrections[m].push((entry.j, s_exact - s_grid, d_exact - d_grid));
+                        if entry.j == i {
+                            row.selfs[2 * m] = s_exact;
+                            row.selfs[2 * m + 1] = d_exact;
+                        }
+                    }
+                    if entry.corrected {
+                        image_cursor += 1;
+                    } else {
+                        far_cursor += 1;
+                    }
+                }
+                row
+            }
+        });
+
+        let mut near = [Vec::with_capacity(ncells), Vec::with_capacity(ncells)];
+        let mut self_entries = Vec::with_capacity(ncells);
+        let mut stats = AssemblyStats::default();
+        for row in rows {
+            let [n1, n2] = row.corrections;
+            near[0].push(n1);
+            near[1].push(n2);
+            self_entries.push(row.selfs);
+            stats.merge(&row.stats);
+        }
+
+        // The near corrections are settled; switch the generator tables to
+        // the spectral domain for the matvec.
+        let mut tables = tables;
+        for table in &mut tables {
+            for cube in [&mut table.val, &mut table.gx, &mut table.gy, &mut table.gz] {
+                fft3_in_place(cube, slab.planes, side, side, Direction::Forward)
+                    .expect("any-length FFT");
+            }
+        }
+
+        let mut rhs = vec![c64::zero(); 2 * ncells];
+        for (i, cell) in cells.iter().enumerate() {
+            rhs[i] = (c64::new(0.0, -1.0) * k1 * cell.z).exp();
+        }
+
+        Self {
+            side,
+            ncells,
+            area,
+            beta,
+            slab,
+            tables,
+            near,
+            self_entries,
+            fx: cells.iter().map(|c| c.fx).collect(),
+            fy: cells.iter().map(|c| c.fy).collect(),
+            rhs,
+            stats,
+        }
+    }
+
+    /// The incident-field right-hand side of paper eq. (9) (plane wave on the
+    /// upper block, zeros below).
+    pub fn rhs(&self) -> &[c64] {
+        &self.rhs
+    }
+
+    /// Number of surface unknowns `N` (the operator dimension is `2N`).
+    pub fn surface_unknowns(&self) -> usize {
+        self.ncells
+    }
+
+    /// Merged integration diagnostics of the near-field precorrections (both
+    /// media), matching the dense assembly's reporting.
+    pub fn stats(&self) -> &AssemblyStats {
+        &self.stats
+    }
+
+    /// Number of z-interpolation levels `m` (diagnostics; 1 for a flat
+    /// surface).
+    pub fn slab_levels(&self) -> usize {
+        self.slab.levels
+    }
+
+    /// Number of FFT planes `M` of the circulant embedding (diagnostics).
+    pub fn fft_planes(&self) -> usize {
+        self.slab.planes
+    }
+
+    /// Number of stored near-field corrections (both media; diagnostics —
+    /// `O(N)`, against the dense representation's `O(N²)` entries).
+    pub fn near_corrections(&self) -> usize {
+        self.near.iter().flatten().map(Vec::len).sum()
+    }
+
+    /// Builds the per-cell 2 × 2 block-diagonal preconditioner from the
+    /// *exact* self entries: each cell's `[[½−D₁ᵢᵢ, βS₁ᵢᵢ], [½+D₂ᵢᵢ, −S₂ᵢᵢ]]`
+    /// block is inverted once; applying the preconditioner is `O(N)`.
+    pub fn preconditioner(&self) -> BlockDiagonalPreconditioner {
+        let half = c64::from_real(0.5);
+        let blocks = self
+            .self_entries
+            .iter()
+            .map(|&[s1, d1, s2, d2]| {
+                let a = half - d1;
+                let b = self.beta * s1;
+                let c = half + d2;
+                let d = -s2;
+                let det = a * d - b * c;
+                [d / det, -b / det, -c / det, a / det]
+            })
+            .collect();
+        BlockDiagonalPreconditioner {
+            ncells: self.ncells,
+            inverse_blocks: blocks,
+        }
+    }
+
+    /// Spreads per-cell source values onto the FFT cube with the slab
+    /// weights: `cube[v][iy][ix] += ℓ_v(z_j) · value_j` (each cell owns one
+    /// lateral position, so there are no write conflicts).
+    fn spread(&self, values: &[c64]) -> Vec<c64> {
+        let nn = self.ncells;
+        let p = self.slab.order;
+        let mut cube = vec![c64::zero(); self.slab.planes * nn];
+        for (j, &v) in values.iter().enumerate() {
+            let s = self.slab.starts[j];
+            for l in 0..p {
+                cube[(s + l) * nn + j] += v.scale(self.slab.weights[j * p + l]);
+            }
+        }
+        cube
+    }
+
+    /// Gathers the convolution output back to the cells with the same slab
+    /// weights, scaled by the cell area (the quadrature measure of the
+    /// midpoint far-field rule).
+    fn gather(&self, cube: &[c64], out: &mut [c64]) {
+        let nn = self.ncells;
+        let p = self.slab.order;
+        for (i, slot) in out.iter_mut().enumerate() {
+            let s = self.slab.starts[i];
+            let mut acc = c64::zero();
+            for l in 0..p {
+                acc += cube[(s + l) * nn + i].scale(self.slab.weights[i * p + l]);
+            }
+            *slot = acc.scale(self.area);
+        }
+    }
+}
+
+impl LinearOperator for MatrixFreeOperator {
+    fn dim(&self) -> usize {
+        2 * self.ncells
+    }
+
+    fn apply(&self, x: &[c64]) -> Vec<c64> {
+        let n = self.ncells;
+        let side = self.side;
+        let planes = self.slab.planes;
+        let (x1, x2) = x.split_at(n);
+
+        // Spread the four shared source sets and transform them.
+        let mut cube_u = self.spread(x2);
+        let psi = x1;
+        let mut cube_psi = self.spread(psi);
+        let scaled_fx: Vec<c64> = psi
+            .iter()
+            .zip(&self.fx)
+            .map(|(v, &f)| v.scale(-f))
+            .collect();
+        let scaled_fy: Vec<c64> = psi
+            .iter()
+            .zip(&self.fy)
+            .map(|(v, &f)| v.scale(-f))
+            .collect();
+        let mut cube_fx = self.spread(&scaled_fx);
+        let mut cube_fy = self.spread(&scaled_fy);
+        for cube in [&mut cube_u, &mut cube_psi, &mut cube_fx, &mut cube_fy] {
+            fft3_in_place(cube, planes, side, side, Direction::Forward).expect("any-length FFT");
+        }
+
+        // Pointwise transfer products per medium, then back to real space.
+        // The double-layer spread sets already carry `(−f_x, −f_y, 1)`, i.e.
+        // the source normal times its Jacobian, so the gathered result is
+        // `Σ_j (∇G · n̂_j J_j) Ψ_j` and `D·Ψ` is its negative.
+        let mut single = [vec![c64::zero(); n], vec![c64::zero(); n]];
+        let mut double = [vec![c64::zero(); n], vec![c64::zero(); n]];
+        for m in 0..2 {
+            let t = &self.tables[m];
+            let mut out_s = vec![c64::zero(); planes * n];
+            let mut out_d = vec![c64::zero(); planes * n];
+            for idx in 0..planes * n {
+                out_s[idx] = t.val[idx] * cube_u[idx];
+                out_d[idx] =
+                    t.gx[idx] * cube_fx[idx] + t.gy[idx] * cube_fy[idx] + t.gz[idx] * cube_psi[idx];
+            }
+            fft3_in_place(&mut out_s, planes, side, side, Direction::Inverse)
+                .expect("any-length FFT");
+            fft3_in_place(&mut out_d, planes, side, side, Direction::Inverse)
+                .expect("any-length FFT");
+            self.gather(&out_s, &mut single[m]);
+            self.gather(&out_d, &mut double[m]);
+            for v in &mut double[m] {
+                *v = -*v;
+            }
+            // Sparse near-field precorrections.
+            for (i, row) in self.near[m].iter().enumerate() {
+                for &(j, ds, dd) in row {
+                    single[m][i] += ds * x2[j];
+                    double[m][i] += dd * x1[j];
+                }
+            }
+        }
+
+        // Combine per paper eq. (9).
+        let half = c64::from_real(0.5);
+        let mut y = vec![c64::zero(); 2 * n];
+        for i in 0..n {
+            y[i] = half * x1[i] - double[0][i] + self.beta * single[0][i];
+            y[n + i] = half * x1[i] + double[1][i] - single[1][i];
+        }
+        y
+    }
+}
+
+/// Per-cell 2 × 2 block-diagonal (right) preconditioner built from the exact
+/// self entries of the matrix-free operator; see
+/// [`MatrixFreeOperator::preconditioner`]. Itself a [`LinearOperator`]
+/// (`y = M⁻¹ x`), composed with the system operator by
+/// [`crate::solver::solve_operator`].
+#[derive(Debug, Clone)]
+pub struct BlockDiagonalPreconditioner {
+    ncells: usize,
+    /// Inverted per-cell blocks, row-major `[a, b, c, d]`.
+    inverse_blocks: Vec<[c64; 4]>,
+}
+
+impl LinearOperator for BlockDiagonalPreconditioner {
+    fn dim(&self) -> usize {
+        2 * self.ncells
+    }
+
+    fn apply(&self, x: &[c64]) -> Vec<c64> {
+        let n = self.ncells;
+        let mut y = vec![c64::zero(); 2 * n];
+        for (i, inv) in self.inverse_blocks.iter().enumerate() {
+            y[i] = inv[0] * x[i] + inv[1] * x[n + i];
+            y[n + i] = inv[2] * x[i] + inv[3] * x[n + i];
+        }
+        y
+    }
+}
+
+/// One near-pair probe collected during row classification.
+struct NearProbe {
+    j: usize,
+    src_x: f64,
+    src_y: f64,
+    corrected: bool,
+}
+
+/// Row-local gather/evaluate buffers of the near-field precorrection pass.
+#[derive(Default)]
+struct NearScratch {
+    entries: Vec<NearProbe>,
+    image_seps: Vec<SeparationVector>,
+    image_out: [Vec<GreenSample>; 2],
+    far_seps: Vec<SeparationVector>,
+    far_out: [Vec<GreenSample>; 2],
+    quad: QuadScratch,
+}
+
+/// The computed near corrections of one observation row.
+#[derive(Default)]
+struct NearRow {
+    corrections: [Vec<NearCorrection>; 2],
+    /// `(S₁ᵢᵢ, D₁ᵢᵢ, S₂ᵢᵢ, D₂ᵢᵢ)` of this row's self entry.
+    selfs: [c64; 4],
+    stats: AssemblyStats,
+}
+
+/// Evaluates the generator planes of one medium: for `t ∈ [0, m)` the kernel
+/// (and gradient) at separations `(b·Δ, a·Δ, t·h)` — one batched call per
+/// plane — and fills `t < 0` by parity (`G` even, `∇G` odd, lateral indices
+/// reflected mod n). The singular `(0, 0, 0)` sample is pinned to zero: only
+/// self pairs read that column and their precorrection subtracts the grid
+/// part exactly, so any *finite* placeholder cancels.
+fn build_tables(
+    green: &PeriodicGreen3d,
+    eval: KernelEval,
+    side: usize,
+    delta: f64,
+    slab: &SlabGrid,
+    z_spacing: f64,
+) -> MediumTables {
+    let nn = side * side;
+    let planes = slab.planes;
+    let m = slab.levels;
+    let mut val = vec![c64::zero(); planes * nn];
+    let mut gx = vec![c64::zero(); planes * nn];
+    let mut gy = vec![c64::zero(); planes * nn];
+    let mut gz = vec![c64::zero(); planes * nn];
+
+    let mut seps = Vec::with_capacity(nn);
+    let mut out = Vec::new();
+    for t in 0..m {
+        seps.clear();
+        for a in 0..side {
+            for b in 0..side {
+                if t == 0 && a == 0 && b == 0 {
+                    // Singular sample: evaluate a benign stand-in, overwrite
+                    // below.
+                    seps.push(SeparationVector::new(delta, 0.0, 0.0));
+                } else {
+                    seps.push(SeparationVector::new(
+                        b as f64 * delta,
+                        a as f64 * delta,
+                        t as f64 * z_spacing,
+                    ));
+                }
+            }
+        }
+        eval_gathered(green, eval, &seps, &mut out);
+        if t == 0 {
+            out[0] = GreenSample::default();
+        }
+        let base = t * nn;
+        for (offset, sample) in out.iter().enumerate() {
+            val[base + offset] = sample.value;
+            gx[base + offset] = sample.gradient[0];
+            gy[base + offset] = sample.gradient[1];
+            gz[base + offset] = sample.gradient[2];
+        }
+    }
+
+    // Negative planes by parity: C₋ₜ[a][b] = Cₜ[(−a) mod n][(−b) mod n],
+    // gradient negated.
+    for t in 1..m {
+        let dst_base = (planes - t) * nn;
+        let src_base = t * nn;
+        for a in 0..side {
+            for b in 0..side {
+                let src = src_base + ((side - a) % side) * side + ((side - b) % side);
+                let dst = dst_base + a * side + b;
+                val[dst] = val[src];
+                gx[dst] = -gx[src];
+                gy[dst] = -gy[src];
+                gz[dst] = -gz[src];
+            }
+        }
+    }
+
+    MediumTables { val, gx, gy, gz }
+}
+
+/// The slab-interpolated (grid) value of one matrix-entry pair, read straight
+/// from the spatial generator tables — exactly what the FFT convolution will
+/// produce for this pair (up to FFT roundoff), and therefore what the
+/// precorrection must subtract.
+#[allow(clippy::too_many_arguments)]
+fn grid_entry(
+    tables: &MediumTables,
+    slab: &SlabGrid,
+    side: usize,
+    area: f64,
+    i: usize,
+    j: usize,
+    fx_j: f64,
+    fy_j: f64,
+) -> (c64, c64) {
+    let nn = side * side;
+    let (iy_i, ix_i) = (i / side, i % side);
+    let (iy_j, ix_j) = (j / side, j % side);
+    let pos = ((iy_i + side - iy_j) % side) * side + (ix_i + side - ix_j) % side;
+    let p = slab.order;
+    let si = slab.starts[i] as isize;
+    let sj = slab.starts[j] as isize;
+    let wi = &slab.weights[i * p..(i + 1) * p];
+    let wj = &slab.weights[j * p..(j + 1) * p];
+    let planes = slab.planes as isize;
+
+    let mut s = c64::zero();
+    let mut d = c64::zero();
+    for (u, &wu) in wi.iter().enumerate() {
+        for (v, &wv) in wj.iter().enumerate() {
+            let t = si + u as isize - sj - v as isize;
+            let idx = t.rem_euclid(planes) as usize * nn + pos;
+            let w = wu * wv;
+            s += tables.val[idx].scale(w);
+            d +=
+                (tables.gx[idx].scale(fx_j) + tables.gy[idx].scale(fy_j) - tables.gz[idx]).scale(w);
+        }
+    }
+    (s.scale(area), d.scale(area))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assembly3d::assemble_system_with;
+    use crate::nearfield::AssemblyScheme;
+    use rough_surface::RoughSurface;
+
+    fn rough_mesh(n: usize, length: f64, amplitude: f64) -> PatchMesh {
+        PatchMesh::from_surface(&RoughSurface::from_fn(n, length, |x, y| {
+            amplitude
+                * ((2.0 * std::f64::consts::PI * x / length).sin()
+                    + (2.0 * std::f64::consts::PI * y / length).cos())
+        }))
+    }
+
+    /// Deterministic pseudo-random complex vectors without a RNG dependency.
+    fn random_vector(dim: usize, seed: u64) -> Vec<c64> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        (0..dim).map(|_| c64::new(next(), next())).collect()
+    }
+
+    fn matvec_rel_diff(dense: &rough_numerics::linalg::CMatrix, mf: &MatrixFreeOperator) -> f64 {
+        let mut worst = 0.0f64;
+        for seed in 1..=3u64 {
+            let x = random_vector(mf.dim(), seed);
+            let reference = dense.matvec(&x);
+            let fast = mf.apply(&x);
+            let mut num = 0.0;
+            let mut den = 0.0;
+            for (a, b) in reference.iter().zip(&fast) {
+                num += (*a - *b).norm_sqr();
+                den += a.norm_sqr();
+            }
+            worst = worst.max((num / den).sqrt());
+        }
+        worst
+    }
+
+    fn assemble_pair(
+        mesh: &PatchMesh,
+        k1: c64,
+        k2: c64,
+        beta: c64,
+    ) -> (rough_numerics::linalg::CMatrix, MatrixFreeOperator) {
+        let length = mesh.patch_length();
+        let g1 = PeriodicGreen3d::new(k1, length);
+        let g2 = PeriodicGreen3d::new(k2, length);
+        let policy = NearFieldPolicy::default();
+        let dense = assemble_system_with(
+            mesh,
+            &g1,
+            &g2,
+            beta,
+            k1,
+            AssemblyScheme::LocallyCorrected(policy),
+            KernelEval::default(),
+            AssemblyParallelism::Serial,
+        );
+        let mf = MatrixFreeOperator::assemble(
+            mesh,
+            &g1,
+            &g2,
+            beta,
+            k1,
+            policy,
+            MatrixFreePolicy::default(),
+            KernelEval::default(),
+            AssemblyParallelism::Serial,
+        );
+        (dense.matrix, mf)
+    }
+
+    #[test]
+    fn matvec_matches_dense_in_quasi_static_regime() {
+        let mesh = rough_mesh(6, 5e-6, 0.25e-6);
+        let (dense, mf) = assemble_pair(
+            &mesh,
+            c64::new(150.0, 0.0),
+            c64::new(2.0e4, 2.0e4),
+            c64::new(0.0, -1e-6),
+        );
+        let diff = matvec_rel_diff(&dense, &mf);
+        assert!(diff <= 1e-10, "quasi-static rel diff {diff:e}");
+    }
+
+    #[test]
+    fn matvec_matches_dense_in_lossy_regime() {
+        let mesh = rough_mesh(6, 5e-6, 0.3e-6);
+        let (dense, mf) = assemble_pair(
+            &mesh,
+            c64::new(500.0, 0.0),
+            c64::new(1.5e6, 1.5e6),
+            c64::new(0.0, -1e-7),
+        );
+        let diff = matvec_rel_diff(&dense, &mf);
+        assert!(diff <= 1e-10, "lossy rel diff {diff:e}");
+    }
+
+    #[test]
+    fn matvec_matches_dense_at_high_k_times_length() {
+        // |k₂|·L ≈ 28: many oscillations across the patch, the regime the
+        // oscillatory term of the slab spacing rule exists for.
+        let mesh = rough_mesh(6, 5e-6, 0.2e-6);
+        let (dense, mf) = assemble_pair(
+            &mesh,
+            c64::new(800.0, 0.0),
+            c64::new(4.0e6, 4.0e6),
+            c64::new(0.0, -1e-7),
+        );
+        let diff = matvec_rel_diff(&dense, &mf);
+        assert!(diff <= 1e-10, "high-|k|L rel diff {diff:e}");
+    }
+
+    #[test]
+    fn flat_surface_collapses_to_a_single_level() {
+        let mesh = PatchMesh::from_surface(&RoughSurface::flat(6, 5e-6));
+        let (dense, mf) = assemble_pair(
+            &mesh,
+            c64::new(500.0, 0.0),
+            c64::new(1.5e6, 1.5e6),
+            c64::new(0.0, -1e-7),
+        );
+        assert_eq!(mf.slab_levels(), 1);
+        assert_eq!(mf.fft_planes(), 1);
+        let diff = matvec_rel_diff(&dense, &mf);
+        assert!(diff <= 1e-10, "flat rel diff {diff:e}");
+    }
+
+    #[test]
+    fn rhs_matches_dense_assembly() {
+        let mesh = rough_mesh(5, 5e-6, 0.3e-6);
+        let length = mesh.patch_length();
+        let k1 = c64::new(500.0, 0.0);
+        let g1 = PeriodicGreen3d::new(k1, length);
+        let g2 = PeriodicGreen3d::new(c64::new(1.5e6, 1.5e6), length);
+        let policy = NearFieldPolicy::default();
+        let dense = assemble_system_with(
+            &mesh,
+            &g1,
+            &g2,
+            c64::new(0.0, -1e-7),
+            k1,
+            AssemblyScheme::LocallyCorrected(policy),
+            KernelEval::default(),
+            AssemblyParallelism::Serial,
+        );
+        let mf = MatrixFreeOperator::assemble(
+            &mesh,
+            &g1,
+            &g2,
+            c64::new(0.0, -1e-7),
+            k1,
+            policy,
+            MatrixFreePolicy::default(),
+            KernelEval::default(),
+            AssemblyParallelism::Serial,
+        );
+        assert_eq!(mf.rhs().len(), dense.rhs.len());
+        for (a, b) in mf.rhs().iter().zip(&dense.rhs) {
+            assert!((*a - *b).abs() < 1e-14);
+        }
+        assert_eq!(mf.surface_unknowns(), dense.surface_unknowns);
+    }
+
+    #[test]
+    fn preconditioned_krylov_solves_the_matrix_free_system() {
+        use crate::solver::{solve_operator, solve_system, SolverKind};
+        let mesh = rough_mesh(6, 5e-6, 0.3e-6);
+        let (dense, mf) = assemble_pair(
+            &mesh,
+            c64::new(500.0, 0.0),
+            c64::new(1.5e6, 1.5e6),
+            c64::new(0.0, -1e-7),
+        );
+        let (x_lu, _) = solve_system(&dense, mf.rhs(), SolverKind::DirectLu).unwrap();
+        let precond = mf.preconditioner();
+        let (x_mf, stats) = solve_operator(
+            &mf,
+            mf.rhs(),
+            SolverKind::Bicgstab { tolerance: 1e-12 },
+            Some(&precond),
+        )
+        .unwrap();
+        assert!(stats.iterations > 0);
+        assert!(stats.relative_residual < 1e-10);
+        let scale = x_lu.iter().map(|z| z.abs()).fold(0.0, f64::max);
+        for (a, b) in x_lu.iter().zip(&x_mf) {
+            assert!((*a - *b).abs() < 1e-8 * scale);
+        }
+    }
+
+    #[test]
+    fn parallel_near_correction_is_bit_identical() {
+        let mesh = rough_mesh(6, 5e-6, 0.3e-6);
+        let length = mesh.patch_length();
+        let g1 = PeriodicGreen3d::new(c64::new(500.0, 0.0), length);
+        let g2 = PeriodicGreen3d::new(c64::new(1.5e6, 1.5e6), length);
+        let build = |parallelism| {
+            MatrixFreeOperator::assemble(
+                &mesh,
+                &g1,
+                &g2,
+                c64::new(0.0, -1e-7),
+                c64::new(500.0, 0.0),
+                NearFieldPolicy::default(),
+                MatrixFreePolicy::default(),
+                KernelEval::default(),
+                parallelism,
+            )
+        };
+        let serial = build(AssemblyParallelism::Serial);
+        let threaded = build(AssemblyParallelism::workers(4));
+        let x = random_vector(serial.dim(), 7);
+        let a = serial.apply(&x);
+        let b = threaded.apply(&x);
+        for (u, v) in a.iter().zip(&b) {
+            assert_eq!(
+                (u.re.to_bits(), u.im.to_bits()),
+                (v.re.to_bits(), v.im.to_bits())
+            );
+        }
+    }
+
+    #[test]
+    fn policy_validation() {
+        assert!(MatrixFreePolicy::default().validate().is_ok());
+        assert!(MatrixFreePolicy {
+            order: 7,
+            safety: 0.5
+        }
+        .validate()
+        .is_err());
+        assert!(MatrixFreePolicy {
+            order: 2,
+            safety: 0.5
+        }
+        .validate()
+        .is_err());
+        assert!(MatrixFreePolicy {
+            order: 16,
+            safety: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(MatrixFreePolicy {
+            order: 16,
+            safety: 1.5
+        }
+        .validate()
+        .is_err());
+        assert_eq!(OperatorRepr::default(), OperatorRepr::Dense);
+        assert!(!OperatorRepr::Dense.is_matrix_free());
+        assert!(OperatorRepr::MatrixFree(MatrixFreePolicy::default()).is_matrix_free());
+    }
+
+    #[test]
+    fn near_corrections_are_sparse() {
+        let mesh = rough_mesh(8, 5e-6, 0.3e-6);
+        let (_, mf) = assemble_pair(
+            &mesh,
+            c64::new(500.0, 0.0),
+            c64::new(1.5e6, 1.5e6),
+            c64::new(0.0, -1e-7),
+        );
+        let n = mf.surface_unknowns();
+        // Each cell corrects only the pairs within the near radius: far fewer
+        // than the dense N² per medium.
+        assert!(mf.near_corrections() < 2 * n * n / 2);
+        assert!(mf.near_corrections() >= 2 * n); // at least every self pair
+        assert!(mf.stats().corrected_entries >= n);
+    }
+}

@@ -9,7 +9,7 @@
 
 use crate::error::SwmError;
 use rough_numerics::complex::c64;
-use rough_numerics::iterative::{bicgstab, gmres, IterativeConfig, IterativeError};
+use rough_numerics::iterative::{bicgstab, gmres, IterativeConfig, IterativeError, LinearOperator};
 use rough_numerics::linalg::CMatrix;
 
 /// Strategy used to solve the assembled `2N × 2N` system.
@@ -63,40 +63,88 @@ pub fn solve_system(
             };
             Ok((x, stats))
         }
-        SolverKind::Bicgstab { tolerance } => {
-            let config = IterativeConfig {
-                tolerance,
-                ..Default::default()
-            };
-            match bicgstab(matrix, rhs, &config) {
-                Ok(sol) => Ok((
-                    sol.x,
-                    SolveStats {
-                        relative_residual: sol.residual,
-                        iterations: sol.iterations,
-                    },
-                )),
-                Err(e) => Err(map_iterative_error(e)),
-            }
-        }
-        SolverKind::Gmres { tolerance, restart } => {
-            let config = IterativeConfig {
-                tolerance,
-                restart,
-                ..Default::default()
-            };
-            match gmres(matrix, rhs, &config) {
-                Ok(sol) => Ok((
-                    sol.x,
-                    SolveStats {
-                        relative_residual: sol.residual,
-                        iterations: sol.iterations,
-                    },
-                )),
-                Err(e) => Err(map_iterative_error(e)),
-            }
+        SolverKind::Bicgstab { .. } | SolverKind::Gmres { .. } => {
+            solve_operator(matrix, rhs, kind, None)
         }
     }
+}
+
+/// Composition `A·M⁻¹` used for right preconditioning: the Krylov iteration
+/// solves `A·M⁻¹·u = b` and the caller recovers `x = M⁻¹·u`. Because the
+/// solver's residual is measured on `A·M⁻¹·u`, it equals the *true* residual
+/// of `A·x = b` — right preconditioning never distorts the reported accuracy.
+struct RightPreconditioned<'a> {
+    op: &'a dyn LinearOperator,
+    precond: &'a dyn LinearOperator,
+}
+
+impl LinearOperator for RightPreconditioned<'_> {
+    fn dim(&self) -> usize {
+        self.op.dim()
+    }
+
+    fn apply(&self, x: &[c64]) -> Vec<c64> {
+        self.op.apply(&self.precond.apply(x))
+    }
+}
+
+/// Solves `A·x = b` through *any* [`LinearOperator`] — dense or matrix-free —
+/// with an optional right preconditioner `M⁻¹` (itself just another operator;
+/// see [`crate::matrixfree::BlockDiagonalPreconditioner`]).
+///
+/// Only the Krylov strategies apply: a matrix-free operator exposes nothing a
+/// direct factorization could act on.
+///
+/// # Errors
+///
+/// Returns [`SwmError::LinearSolver`] when `kind` is [`SolverKind::DirectLu`]
+/// (which requires a dense matrix — use [`solve_system`]) or when the
+/// iteration breaks down or fails to converge.
+pub fn solve_operator(
+    op: &dyn LinearOperator,
+    rhs: &[c64],
+    kind: SolverKind,
+    precond: Option<&dyn LinearOperator>,
+) -> Result<(Vec<c64>, SolveStats), SwmError> {
+    let (tolerance, restart) = match kind {
+        SolverKind::DirectLu => {
+            return Err(SwmError::LinearSolver(
+                "DirectLu requires a dense matrix; use a Krylov SolverKind for operator solves"
+                    .into(),
+            ))
+        }
+        SolverKind::Bicgstab { tolerance } => (tolerance, None),
+        SolverKind::Gmres { tolerance, restart } => (tolerance, Some(restart)),
+    };
+    let composed;
+    let krylov_op: &dyn LinearOperator = match precond {
+        Some(precond) => {
+            composed = RightPreconditioned { op, precond };
+            &composed
+        }
+        None => op,
+    };
+    let config = IterativeConfig {
+        tolerance,
+        restart: restart.unwrap_or(IterativeConfig::default().restart),
+        ..Default::default()
+    };
+    let sol = match restart {
+        Some(_) => gmres(krylov_op, rhs, &config),
+        None => bicgstab(krylov_op, rhs, &config),
+    }
+    .map_err(map_iterative_error)?;
+    let x = match precond {
+        Some(precond) => precond.apply(&sol.x),
+        None => sol.x,
+    };
+    Ok((
+        x,
+        SolveStats {
+            relative_residual: sol.residual,
+            iterations: sol.iterations,
+        },
+    ))
 }
 
 fn map_iterative_error(e: IterativeError) -> SwmError {
@@ -156,6 +204,39 @@ mod tests {
         for i in 0..30 {
             assert!((x_lu[i] - x_bi[i]).abs() < 1e-8);
             assert!((x_lu[i] - x_gm[i]).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn operator_solve_with_jacobi_preconditioner_matches_direct() {
+        use rough_numerics::iterative::FnOperator;
+        let (a, b) = test_system(30);
+        let (x_lu, _) = solve_system(&a, &b, SolverKind::DirectLu).unwrap();
+        let diag_inv: Vec<c64> = (0..30).map(|i| a[(i, i)].recip()).collect();
+        let jacobi = FnOperator::new(30, move |x: &[c64]| {
+            x.iter().zip(&diag_inv).map(|(v, d)| *v * *d).collect()
+        });
+        for kind in [
+            SolverKind::Bicgstab { tolerance: 1e-12 },
+            SolverKind::Gmres {
+                tolerance: 1e-12,
+                restart: 25,
+            },
+        ] {
+            let (x, stats) = solve_operator(&a, &b, kind, Some(&jacobi)).unwrap();
+            assert!(stats.iterations > 0 && stats.relative_residual < 1e-10);
+            for i in 0..30 {
+                assert!((x_lu[i] - x[i]).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn operator_solve_rejects_direct_lu() {
+        let (a, b) = test_system(4);
+        match solve_operator(&a, &b, SolverKind::DirectLu, None) {
+            Err(SwmError::LinearSolver(msg)) => assert!(msg.contains("DirectLu")),
+            other => panic!("expected solver error, got {other:?}"),
         }
     }
 

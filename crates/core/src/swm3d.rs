@@ -9,11 +9,12 @@
 use crate::assembly3d::assemble_system_with;
 use crate::error::SwmError;
 use crate::loss::LossResult;
+use crate::matrixfree::{MatrixFreeOperator, OperatorRepr};
 use crate::mesh::PatchMesh;
 use crate::nearfield::{AssemblyScheme, KernelEval};
 use crate::parallel::AssemblyParallelism;
 use crate::power::{absorbed_power_3d, smooth_surface_power};
-use crate::solver::{solve_system, SolveStats, SolverKind};
+use crate::solver::{solve_operator, solve_system, SolveStats, SolverKind};
 use crate::spec::RoughnessSpec;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -60,6 +61,7 @@ pub struct SwmProblem {
     solver: SolverKind,
     assembly: AssemblyScheme,
     kernel_eval: KernelEval,
+    operator_repr: OperatorRepr,
     assembly_parallelism: AssemblyParallelism,
 }
 
@@ -78,6 +80,7 @@ pub struct SwmOperator {
     k1: c64,
     assembly: AssemblyScheme,
     kernel_eval: KernelEval,
+    operator_repr: OperatorRepr,
 }
 
 impl SwmOperator {
@@ -100,6 +103,22 @@ impl SwmOperator {
     pub fn kernel_eval(&self) -> KernelEval {
         self.kernel_eval
     }
+
+    /// The operator representation (dense or matrix-free) every solve through
+    /// this operator uses.
+    pub fn operator_repr(&self) -> OperatorRepr {
+        self.operator_repr
+    }
+
+    /// Boundary-condition contrast `β` of eq. (9).
+    pub fn beta(&self) -> c64 {
+        self.beta
+    }
+
+    /// Incident (dielectric) wavenumber `k₁`.
+    pub fn k1(&self) -> c64 {
+        self.k1
+    }
 }
 
 /// Builder for [`SwmProblem`].
@@ -112,6 +131,7 @@ pub struct SwmProblemBuilder {
     solver: SolverKind,
     assembly: AssemblyScheme,
     kernel_eval: KernelEval,
+    operator_repr: OperatorRepr,
     assembly_parallelism: AssemblyParallelism,
 }
 
@@ -127,6 +147,7 @@ impl SwmProblem {
             solver: SolverKind::DirectLu,
             assembly: AssemblyScheme::default(),
             kernel_eval: KernelEval::default(),
+            operator_repr: OperatorRepr::default(),
             assembly_parallelism: AssemblyParallelism::default(),
         }
     }
@@ -159,6 +180,11 @@ impl SwmProblem {
     /// Kernel evaluation strategy (batched row panels by default).
     pub fn kernel_eval(&self) -> KernelEval {
         self.kernel_eval
+    }
+
+    /// Operator representation used for the solve (dense by default).
+    pub fn operator_repr(&self) -> OperatorRepr {
+        self.operator_repr
     }
 
     /// Intra-solve assembly parallelism (serial by default).
@@ -249,6 +275,7 @@ impl SwmProblem {
             k1: self.stack.k1(self.frequency),
             assembly: self.assembly,
             kernel_eval: self.kernel_eval,
+            operator_repr: self.operator_repr,
         }
     }
 
@@ -277,18 +304,44 @@ impl SwmProblem {
     ) -> Result<(f64, SolveStats), SwmError> {
         self.check_surface(surface)?;
         let mesh = PatchMesh::from_surface(surface);
-        let system = assemble_system_with(
-            &mesh,
-            &operator.g1,
-            &operator.g2,
-            operator.beta,
-            operator.k1,
-            operator.assembly,
-            operator.kernel_eval,
-            self.assembly_parallelism,
-        );
-        let (solution, stats) = solve_system(&system.matrix, &system.rhs, self.solver)?;
-        let n = system.surface_unknowns;
+        let (solution, stats, n) = match operator.operator_repr {
+            OperatorRepr::Dense => {
+                let system = assemble_system_with(
+                    &mesh,
+                    &operator.g1,
+                    &operator.g2,
+                    operator.beta,
+                    operator.k1,
+                    operator.assembly,
+                    operator.kernel_eval,
+                    self.assembly_parallelism,
+                );
+                let (solution, stats) = solve_system(&system.matrix, &system.rhs, self.solver)?;
+                (solution, stats, system.surface_unknowns)
+            }
+            OperatorRepr::MatrixFree(mf_policy) => {
+                let AssemblyScheme::LocallyCorrected(policy) = operator.assembly else {
+                    return Err(SwmError::InvalidConfiguration(
+                        "the matrix-free operator requires the locally corrected assembly scheme"
+                            .into(),
+                    ));
+                };
+                let mf = MatrixFreeOperator::assemble(
+                    &mesh,
+                    &operator.g1,
+                    &operator.g2,
+                    operator.beta,
+                    operator.k1,
+                    policy,
+                    mf_policy,
+                    operator.kernel_eval,
+                    self.assembly_parallelism,
+                );
+                let precond = mf.preconditioner();
+                let (solution, stats) = solve_operator(&mf, mf.rhs(), self.solver, Some(&precond))?;
+                (solution, stats, mf.surface_unknowns())
+            }
+        };
         let power = absorbed_power_3d(&mesh, &solution[..n], &solution[n..]);
         Ok((power, stats))
     }
@@ -433,6 +486,16 @@ impl SwmProblemBuilder {
         self
     }
 
+    /// Selects the operator representation (defaults to
+    /// [`OperatorRepr::Dense`]). The matrix-free representation evaluates the
+    /// far field as an FFT convolution with sparse near-field precorrections
+    /// and requires a Krylov [`SolverKind`] plus the locally corrected
+    /// assembly scheme.
+    pub fn operator_repr(mut self, operator_repr: OperatorRepr) -> Self {
+        self.operator_repr = operator_repr;
+        self
+    }
+
     /// Selects the intra-solve assembly parallelism (defaults to
     /// [`AssemblyParallelism::Serial`]). Row panels are independent work
     /// items, so any worker count produces bit-identical matrices; the
@@ -464,6 +527,23 @@ impl SwmProblemBuilder {
                 self.cells_per_side
             )));
         }
+        if let OperatorRepr::MatrixFree(mf) = self.operator_repr {
+            mf.validate().map_err(SwmError::InvalidConfiguration)?;
+            if self.solver == SolverKind::DirectLu {
+                return Err(SwmError::InvalidConfiguration(
+                    "the matrix-free operator never forms the dense matrix DirectLu needs; \
+                     select a Krylov solver (Bicgstab or Gmres)"
+                        .into(),
+                ));
+            }
+            if matches!(self.assembly, AssemblyScheme::Legacy) {
+                return Err(SwmError::InvalidConfiguration(
+                    "the matrix-free operator precorrects near entries with the locally \
+                     corrected scheme; AssemblyScheme::Legacy is not supported"
+                        .into(),
+                ));
+            }
+        }
         if self.cells_per_side > 128 {
             return Err(SwmError::InvalidConfiguration(format!(
                 "{} cells per side would create a dense system of order {}; keep the patch below 128 cells per side",
@@ -479,6 +559,7 @@ impl SwmProblemBuilder {
             solver: self.solver,
             assembly: self.assembly,
             kernel_eval: self.kernel_eval,
+            operator_repr: self.operator_repr,
             assembly_parallelism: self.assembly_parallelism,
         })
     }
@@ -625,6 +706,67 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(p.cells_per_side(), 10);
+    }
+
+    #[test]
+    fn matrix_free_problem_matches_dense_end_to_end() {
+        let stack = Stackup::paper_baseline();
+        let spec = RoughnessSpec::gaussian(Micrometers::new(1.0), Micrometers::new(1.0));
+        let dense = SwmProblem::builder(stack, spec.clone())
+            .frequency(GigaHertz::new(5.0).into())
+            .cells_per_side(8)
+            .build()
+            .unwrap();
+        let mf = SwmProblem::builder(stack, spec)
+            .frequency(GigaHertz::new(5.0).into())
+            .cells_per_side(8)
+            .solver(SolverKind::Bicgstab { tolerance: 1e-12 })
+            .operator_repr(OperatorRepr::MatrixFree(Default::default()))
+            .build()
+            .unwrap();
+        let surface = dense.sample_surface(11);
+        let a = dense.solve(&surface).unwrap();
+        let b = mf.solve(&surface).unwrap();
+        let rel = (a.enhancement_factor() - b.enhancement_factor()).abs() / a.enhancement_factor();
+        assert!(rel <= 1e-8, "dense vs matrix-free Pr/Ps rel diff {rel:e}");
+    }
+
+    #[test]
+    fn matrix_free_builder_validation() {
+        let stack = Stackup::paper_baseline();
+        let spec = RoughnessSpec::gaussian(Micrometers::new(1.0), Micrometers::new(1.0));
+        // DirectLu cannot act on a matrix-free operator.
+        assert!(matches!(
+            SwmProblem::builder(stack, spec.clone())
+                .frequency(GigaHertz::new(5.0).into())
+                .operator_repr(OperatorRepr::MatrixFree(Default::default()))
+                .build(),
+            Err(SwmError::InvalidConfiguration(_))
+        ));
+        // The legacy scheme has no locally corrected near integrals to reuse.
+        assert!(matches!(
+            SwmProblem::builder(stack, spec.clone())
+                .frequency(GigaHertz::new(5.0).into())
+                .solver(SolverKind::Bicgstab { tolerance: 1e-10 })
+                .assembly(AssemblyScheme::Legacy)
+                .operator_repr(OperatorRepr::MatrixFree(Default::default()))
+                .build(),
+            Err(SwmError::InvalidConfiguration(_))
+        ));
+        // An invalid matrix-free policy is caught at build time.
+        assert!(matches!(
+            SwmProblem::builder(stack, spec)
+                .frequency(GigaHertz::new(5.0).into())
+                .solver(SolverKind::Bicgstab { tolerance: 1e-10 })
+                .operator_repr(OperatorRepr::MatrixFree(
+                    crate::matrixfree::MatrixFreePolicy {
+                        order: 3,
+                        safety: 0.5,
+                    },
+                ))
+                .build(),
+            Err(SwmError::InvalidConfiguration(_))
+        ));
     }
 
     #[test]

@@ -186,6 +186,7 @@ mod tests {
             stack_fingerprint: 0,
             solver_fingerprint: 0,
             assembly_fingerprint: 0,
+            operator_fingerprint: 0,
         }
     }
 

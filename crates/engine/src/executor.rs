@@ -353,6 +353,7 @@ pub(crate) fn build_context(
         .cells_per_side(scenario.cells_per_side())
         .solver(scenario.solver)
         .assembly(scenario.assembly)
+        .operator_repr(scenario.operator_repr)
         .assembly_parallelism(assembly)
         .build()?;
     let operator = problem.operator();

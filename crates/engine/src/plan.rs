@@ -52,6 +52,10 @@ pub struct ContextKey {
     pub solver_fingerprint: u64,
     /// Fingerprint of the near-field assembly scheme (kind and exact policy).
     pub assembly_fingerprint: u64,
+    /// Fingerprint of the operator representation (dense or matrix-free with
+    /// its exact policy) — dense and matrix-free contexts never share cached
+    /// solves.
+    pub operator_fingerprint: u64,
 }
 
 /// FNV-1a fingerprint of a value's exact debug representation. Rust's `f64`
@@ -211,6 +215,7 @@ impl Plan {
         let stack_fingerprint = debug_fingerprint(&scenario.stack);
         let solver_fingerprint = debug_fingerprint(&scenario.solver);
         let assembly_fingerprint = debug_fingerprint(&scenario.assembly);
+        let operator_fingerprint = debug_fingerprint(&scenario.operator_repr);
         let mut cases = Vec::with_capacity(scenario.case_count());
         let mut units = Vec::new();
         let mut context_keys: HashMap<ContextKey, ()> = HashMap::new();
@@ -224,6 +229,7 @@ impl Plan {
                 stack_fingerprint,
                 solver_fingerprint,
                 assembly_fingerprint,
+                operator_fingerprint,
             };
             context_keys.insert(context_key, ());
 

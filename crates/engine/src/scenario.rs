@@ -8,7 +8,7 @@
 //! them is the job of [`crate::executor::Engine`].
 
 use crate::error::EngineError;
-use rough_core::{AssemblyScheme, RoughnessSpec, SolverKind};
+use rough_core::{AssemblyScheme, OperatorRepr, RoughnessSpec, SolverKind};
 use rough_em::material::Stackup;
 use rough_em::units::Frequency;
 use rough_surface::RoughSurface;
@@ -51,6 +51,7 @@ pub struct Scenario {
     pub(crate) cells_per_side: usize,
     pub(crate) solver: SolverKind,
     pub(crate) assembly: AssemblyScheme,
+    pub(crate) operator_repr: OperatorRepr,
     pub(crate) mode: EnsembleMode,
     pub(crate) master_seed: u64,
     pub(crate) max_kl_modes: usize,
@@ -70,6 +71,7 @@ impl Scenario {
             cells_per_side: 8,
             solver: SolverKind::default(),
             assembly: AssemblyScheme::default(),
+            operator_repr: OperatorRepr::default(),
             mode: None,
             master_seed: 0x2009,
             max_kl_modes: 8,
@@ -120,6 +122,11 @@ impl Scenario {
         self.assembly
     }
 
+    /// Operator representation (dense or matrix-free) every work unit uses.
+    pub fn operator_repr(&self) -> OperatorRepr {
+        self.operator_repr
+    }
+
     /// Ensemble mode of every case.
     pub fn mode(&self) -> &EnsembleMode {
         &self.mode
@@ -155,6 +162,7 @@ pub struct ScenarioBuilder {
     cells_per_side: usize,
     solver: SolverKind,
     assembly: AssemblyScheme,
+    operator_repr: OperatorRepr,
     mode: Option<EnsembleMode>,
     master_seed: u64,
     max_kl_modes: usize,
@@ -204,6 +212,14 @@ impl ScenarioBuilder {
     /// (defaults to the locally corrected scheme).
     pub fn assembly(mut self, assembly: AssemblyScheme) -> Self {
         self.assembly = assembly;
+        self
+    }
+
+    /// Selects the operator representation used by every work unit (defaults
+    /// to [`OperatorRepr::Dense`]). The matrix-free representation requires a
+    /// Krylov solver and the locally corrected assembly scheme.
+    pub fn operator_repr(mut self, operator_repr: OperatorRepr) -> Self {
+        self.operator_repr = operator_repr;
         self
     }
 
@@ -315,6 +331,22 @@ impl ScenarioBuilder {
                 "stochastic ensemble modes require stochastic roughness specifications".into(),
             ));
         }
+        if let OperatorRepr::MatrixFree(mf) = self.operator_repr {
+            mf.validate().map_err(EngineError::InvalidScenario)?;
+            if self.solver == SolverKind::DirectLu {
+                return Err(EngineError::InvalidScenario(
+                    "the matrix-free operator requires a Krylov solver (bicgstab or gmres), \
+                     not DirectLu"
+                        .into(),
+                ));
+            }
+            if matches!(self.assembly, AssemblyScheme::Legacy) {
+                return Err(EngineError::InvalidScenario(
+                    "the matrix-free operator requires the locally corrected assembly scheme"
+                        .into(),
+                ));
+            }
+        }
         if self.max_kl_modes == 0 {
             return Err(EngineError::InvalidScenario(
                 "at least one KL mode is required".into(),
@@ -336,6 +368,7 @@ impl ScenarioBuilder {
             cells_per_side: self.cells_per_side,
             solver: self.solver,
             assembly: self.assembly,
+            operator_repr: self.operator_repr,
             mode,
             master_seed: self.master_seed,
             max_kl_modes: self.max_kl_modes,

@@ -13,7 +13,9 @@
 
 use crate::error::EngineError;
 use crate::scenario::{EnsembleMode, Scenario};
-use rough_core::{AssemblyScheme, NearFieldPolicy, RoughnessSpec, SolverKind};
+use rough_core::{
+    AssemblyScheme, MatrixFreePolicy, NearFieldPolicy, OperatorRepr, RoughnessSpec, SolverKind,
+};
 use rough_em::material::{Conductor, Dielectric, Stackup};
 use rough_em::units::{Frequency, Meters, Resistivity};
 use rough_surface::correlation::CorrelationFunction;
@@ -125,6 +127,14 @@ pub fn encode_scenario(scenario: &Scenario) -> String {
             );
         }
     }
+    match scenario.operator_repr {
+        // Dense is the default and is omitted, so blocks written before the
+        // operator representation existed decode unchanged.
+        OperatorRepr::Dense => {}
+        OperatorRepr::MatrixFree(mf) => {
+            let _ = writeln!(out, "operator matrixfree {} {}", mf.order, bits(mf.safety));
+        }
+    }
     match scenario.mode() {
         EnsembleMode::MonteCarlo { realizations } => {
             let _ = writeln!(out, "mode mc {realizations}");
@@ -210,6 +220,7 @@ pub fn decode_scenario(text: &str) -> Result<Scenario, EngineError> {
     let mut stack = None;
     let mut solver = None;
     let mut assembly = None;
+    let mut operator_repr = OperatorRepr::Dense;
     let mut mode = None;
     let mut freqs: Vec<Frequency> = Vec::new();
     let mut roughness: Vec<RoughnessSpec> = Vec::new();
@@ -261,6 +272,16 @@ pub fn decode_scenario(text: &str) -> Result<Scenario, EngineError> {
                     }),
                     other => return Err(bad(format!("unknown assembly `{other}`"))),
                 })
+            }
+            "operator" => {
+                operator_repr = match arg(0)? {
+                    "dense" => OperatorRepr::Dense,
+                    "matrixfree" => OperatorRepr::MatrixFree(MatrixFreePolicy {
+                        order: parse_usize(arg(1)?)?,
+                        safety: parse_bits(arg(2)?)?,
+                    }),
+                    other => return Err(bad(format!("unknown operator `{other}`"))),
+                }
             }
             "mode" => {
                 mode = Some(match arg(0)? {
@@ -328,6 +349,7 @@ pub fn decode_scenario(text: &str) -> Result<Scenario, EngineError> {
         .cells_per_side(cells.ok_or_else(|| bad("missing `cells`"))?)
         .solver(solver.ok_or_else(|| bad("missing `solver`"))?)
         .assembly(assembly.ok_or_else(|| bad("missing `assembly`"))?)
+        .operator_repr(operator_repr)
         .master_seed(seed.ok_or_else(|| bad("missing `seed`"))?)
         .surrogate_samples(surrogate.ok_or_else(|| bad("missing `surrogate`"))?);
     let (max_modes, energy_fraction) = kl.ok_or_else(|| bad("missing `kl`"))?;
@@ -422,6 +444,43 @@ mod tests {
             .build()
             .unwrap();
         roundtrip(&scenario);
+    }
+
+    #[test]
+    fn matrix_free_scenarios_roundtrip_and_default_is_omitted() {
+        let build = |repr| {
+            Scenario::builder(Stackup::paper_baseline())
+                .roughness(RoughnessSpec::gaussian(
+                    Micrometers::new(1.0),
+                    Micrometers::new(1.0),
+                ))
+                .frequencies([GigaHertz::new(5.0).into()])
+                .cells_per_side(8)
+                .solver(SolverKind::Bicgstab { tolerance: 1e-11 })
+                .operator_repr(repr)
+                .monte_carlo(2)
+                .build()
+                .unwrap()
+        };
+        let mf = build(OperatorRepr::MatrixFree(MatrixFreePolicy {
+            order: 12,
+            safety: 0.625,
+        }));
+        roundtrip(&mf);
+        let decoded = decode_scenario(&encode_scenario(&mf)).unwrap();
+        assert_eq!(
+            decoded.operator_repr(),
+            OperatorRepr::MatrixFree(MatrixFreePolicy {
+                order: 12,
+                safety: 0.625,
+            })
+        );
+        // Dense stays off the wire, so pre-operator blocks decode unchanged —
+        // and the two representations never share a fingerprint.
+        let dense = build(OperatorRepr::Dense);
+        assert!(!encode_scenario(&dense).contains("operator"));
+        roundtrip(&dense);
+        assert_ne!(scenario_fingerprint(&mf), scenario_fingerprint(&dense));
     }
 
     #[test]

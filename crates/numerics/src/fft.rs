@@ -1,17 +1,29 @@
-//! Radix-2 complex fast Fourier transforms in one and two dimensions.
+//! Complex fast Fourier transforms in one, two and three dimensions.
+//!
+//! Power-of-two lengths run through the classic in-place radix-2
+//! Cooley–Tukey kernel; every other length is handled by the Bluestein
+//! chirp-z algorithm (the transform is re-expressed as a circular
+//! convolution of length `next_power_of_two(2N-1)` and evaluated with the
+//! radix-2 kernel), so *any* length is O(N log N).
 //!
 //! The FFT is used by the spectral rough-surface synthesis (generating a
 //! stationary Gaussian surface with a prescribed power spectral density, paper
-//! §II / Fig. 2) and is available for the canonical-grid acceleration of the
-//! MOM matrix–vector product.
+//! §II / Fig. 2) and by the matrix-free block-Toeplitz matvec of
+//! `rough-core` (grids of 12 or 24 cells per side are not powers of two,
+//! which is why the Bluestein path exists).
 
 use crate::complex::c64;
 use std::f64::consts::PI;
 
 /// Error returned for transform sizes that are not supported.
+///
+/// Since the Bluestein extension every length is supported and the 1-D/2-D/3-D
+/// transforms never fail; the type is retained so existing `Result`-based call
+/// sites keep compiling unchanged.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FftError {
-    /// The input length is not a power of two.
+    /// The input length is not a power of two. No longer produced — kept for
+    /// API compatibility with pre-Bluestein callers.
     NotPowerOfTwo {
         /// Offending length.
         len: usize,
@@ -39,20 +51,10 @@ pub enum Direction {
     Inverse,
 }
 
-/// In-place 1-D FFT of a power-of-two-length complex buffer.
-///
-/// # Errors
-///
-/// Returns [`FftError::NotPowerOfTwo`] if the length is not a power of two
-/// (zero-length buffers are accepted as a no-op).
-pub fn fft_in_place(data: &mut [c64], direction: Direction) -> Result<(), FftError> {
+/// In-place radix-2 kernel; `n` must be a power of two (checked by callers).
+fn fft_radix2(data: &mut [c64], direction: Direction) {
     let n = data.len();
-    if n == 0 || n == 1 {
-        return Ok(());
-    }
-    if !n.is_power_of_two() {
-        return Err(FftError::NotPowerOfTwo { len: n });
-    }
+    debug_assert!(n.is_power_of_two());
 
     // Bit-reversal permutation.
     let bits = n.trailing_zeros();
@@ -93,6 +95,78 @@ pub fn fft_in_place(data: &mut [c64], direction: Direction) -> Result<(), FftErr
             *z = z.scale(scale);
         }
     }
+}
+
+/// The chirp phase `e^{±jπ n²/N}` with the quadratic argument reduced
+/// mod `2N` before touching floating point, so large `n²` never loses
+/// angular precision.
+fn chirp(n: usize, len: usize, sign: f64) -> c64 {
+    let reduced = ((n as u128 * n as u128) % (2 * len as u128)) as f64;
+    c64::from_polar(1.0, sign * PI * reduced / len as f64)
+}
+
+/// Bluestein chirp-z evaluation of an arbitrary-length DFT: with
+/// `nk = (n² + k² − (k−n)²)/2`, the transform becomes a circular
+/// convolution that a zero-padded radix-2 FFT evaluates exactly.
+fn fft_bluestein(data: &mut [c64], direction: Direction) {
+    let n = data.len();
+    let sign = match direction {
+        Direction::Forward => -1.0,
+        Direction::Inverse => 1.0,
+    };
+    let m = (2 * n - 1).next_power_of_two();
+
+    // a_i = x_i · e^{sign·jπ i²/N}, zero-padded to m.
+    let mut a = vec![c64::zero(); m];
+    for (i, x) in data.iter().enumerate() {
+        a[i] = *x * chirp(i, n, sign);
+    }
+    // b_i = e^{-sign·jπ i²/N}, laid out circularly (b_{-i} at m-i).
+    let mut b = vec![c64::zero(); m];
+    b[0] = c64::one();
+    for i in 1..n {
+        let w = chirp(i, n, -sign);
+        b[i] = w;
+        b[m - i] = w;
+    }
+
+    fft_radix2(&mut a, Direction::Forward);
+    fft_radix2(&mut b, Direction::Forward);
+    for (ai, bi) in a.iter_mut().zip(&b) {
+        *ai *= *bi;
+    }
+    fft_radix2(&mut a, Direction::Inverse);
+
+    for (k, out) in data.iter_mut().enumerate() {
+        *out = a[k] * chirp(k, n, sign);
+    }
+    if direction == Direction::Inverse {
+        let scale = 1.0 / n as f64;
+        for z in data.iter_mut() {
+            *z = z.scale(scale);
+        }
+    }
+}
+
+/// In-place 1-D FFT of a complex buffer of **any** length.
+///
+/// Power-of-two lengths use the radix-2 kernel directly; other lengths go
+/// through the Bluestein chirp-z algorithm. Zero- and one-length buffers are
+/// no-ops.
+///
+/// # Errors
+///
+/// Never fails; the `Result` is retained for API compatibility.
+pub fn fft_in_place(data: &mut [c64], direction: Direction) -> Result<(), FftError> {
+    let n = data.len();
+    if n <= 1 {
+        return Ok(());
+    }
+    if n.is_power_of_two() {
+        fft_radix2(data, direction);
+    } else {
+        fft_bluestein(data, direction);
+    }
     Ok(())
 }
 
@@ -118,13 +192,11 @@ pub fn ifft(input: &[c64]) -> Result<Vec<c64>, FftError> {
     Ok(data)
 }
 
-/// In-place 2-D FFT of a row-major `rows × cols` buffer.
-///
-/// Both dimensions must be powers of two.
+/// In-place 2-D FFT of a row-major `rows × cols` buffer of any dimensions.
 ///
 /// # Errors
 ///
-/// Returns [`FftError::NotPowerOfTwo`] if either dimension is unsupported.
+/// Never fails; see [`fft_in_place`].
 ///
 /// # Panics
 ///
@@ -157,6 +229,54 @@ pub fn fft2_in_place(
     Ok(())
 }
 
+/// In-place 3-D FFT of a `planes × rows × cols` buffer laid out plane-major
+/// (index `(p·rows + r)·cols + c`), any dimensions.
+///
+/// Used by the matrix-free operator of `rough-core`: each z-plane carries one
+/// [`fft2_in_place`], then every (row, col) column is transformed along the
+/// plane axis.
+///
+/// # Errors
+///
+/// Never fails; see [`fft_in_place`].
+///
+/// # Panics
+///
+/// Panics if `data.len() != planes * rows * cols`.
+pub fn fft3_in_place(
+    data: &mut [c64],
+    planes: usize,
+    rows: usize,
+    cols: usize,
+    direction: Direction,
+) -> Result<(), FftError> {
+    assert_eq!(data.len(), planes * rows * cols, "buffer size mismatch");
+    if planes == 0 || rows == 0 || cols == 0 {
+        return Ok(());
+    }
+    let plane_len = rows * cols;
+    for p in 0..planes {
+        fft2_in_place(
+            &mut data[p * plane_len..(p + 1) * plane_len],
+            rows,
+            cols,
+            direction,
+        )?;
+    }
+    // Transform along the plane axis through a scratch buffer.
+    let mut line = vec![c64::zero(); planes];
+    for rc in 0..plane_len {
+        for p in 0..planes {
+            line[p] = data[p * plane_len + rc];
+        }
+        fft_in_place(&mut line, direction)?;
+        for p in 0..planes {
+            data[p * plane_len + rc] = line[p];
+        }
+    }
+    Ok(())
+}
+
 /// Frequency-sample ordering helper: the physical frequency (in cycles per
 /// sample) corresponding to FFT bin `k` of an `n`-point transform.
 ///
@@ -177,13 +297,45 @@ mod tests {
         (a - b).abs() < tol
     }
 
+    fn naive_dft(x: &[c64]) -> Vec<c64> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = c64::zero();
+                for (i, xi) in x.iter().enumerate() {
+                    acc += *xi * c64::from_polar(1.0, -2.0 * PI * (k * i) as f64 / n as f64);
+                }
+                acc
+            })
+            .collect()
+    }
+
     #[test]
-    fn rejects_non_power_of_two() {
-        let mut d = vec![c64::zero(); 6];
-        assert!(matches!(
-            fft_in_place(&mut d, Direction::Forward),
-            Err(FftError::NotPowerOfTwo { len: 6 })
-        ));
+    fn arbitrary_lengths_match_naive_dft() {
+        for n in [2usize, 3, 5, 6, 7, 12, 24, 30, 97] {
+            let x: Vec<c64> = (0..n)
+                .map(|i| c64::new((i as f64 * 0.43).sin(), (i as f64 * 0.19).cos()))
+                .collect();
+            let fast = fft(&x).unwrap();
+            let slow = naive_dft(&x);
+            let scale = slow.iter().map(|z| z.abs()).fold(1.0, f64::max);
+            for (k, (a, b)) in fast.iter().zip(&slow).enumerate() {
+                assert!(close(*a, *b, 1e-11 * scale), "n={n} bin {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn arbitrary_length_roundtrip() {
+        for n in [3usize, 6, 12, 24, 100] {
+            let x: Vec<c64> = (0..n)
+                .map(|i| c64::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+                .collect();
+            let y = ifft(&fft(&x).unwrap()).unwrap();
+            for (a, b) in x.iter().zip(&y) {
+                assert!(close(*a, *b, 1e-12), "n={n}");
+            }
+        }
     }
 
     #[test]
@@ -230,12 +382,9 @@ mod tests {
             .map(|i| c64::new((i as f64).sin(), (i as f64 * 0.5).cos()))
             .collect();
         let fast = fft(&x).unwrap();
-        for (k, bin) in fast.iter().enumerate() {
-            let mut acc = c64::zero();
-            for (i, xi) in x.iter().enumerate() {
-                acc += *xi * c64::from_polar(1.0, -2.0 * PI * (k * i) as f64 / n as f64);
-            }
-            assert!(close(*bin, acc, 1e-10), "bin {k}");
+        let slow = naive_dft(&x);
+        for (k, (a, b)) in fast.iter().zip(&slow).enumerate() {
+            assert!(close(*a, *b, 1e-10), "bin {k}");
         }
     }
 
@@ -267,6 +416,21 @@ mod tests {
     }
 
     #[test]
+    fn fft2_non_power_of_two_roundtrip() {
+        let rows = 12;
+        let cols = 24;
+        let orig: Vec<c64> = (0..rows * cols)
+            .map(|i| c64::new((i as f64 * 0.13).sin(), (i as f64 * 0.07).cos()))
+            .collect();
+        let mut work = orig.clone();
+        fft2_in_place(&mut work, rows, cols, Direction::Forward).unwrap();
+        fft2_in_place(&mut work, rows, cols, Direction::Inverse).unwrap();
+        for (a, b) in orig.iter().zip(&work) {
+            assert!(close(*a, *b, 1e-11));
+        }
+    }
+
+    #[test]
     fn fft2_of_constant_is_dc_only() {
         let rows = 4;
         let cols = 8;
@@ -279,6 +443,45 @@ mod tests {
         ));
         for (i, z) in data.iter().enumerate().skip(1) {
             assert!(z.abs() < 1e-10, "bin {i}");
+        }
+    }
+
+    #[test]
+    fn fft3_roundtrip_and_convolution_theorem() {
+        // Roundtrip on a mixed power-of-two / arbitrary-length cube.
+        let (planes, rows, cols) = (8, 6, 5);
+        let orig: Vec<c64> = (0..planes * rows * cols)
+            .map(|i| c64::new((i as f64 * 0.29).sin(), (i as f64 * 0.17).cos()))
+            .collect();
+        let mut work = orig.clone();
+        fft3_in_place(&mut work, planes, rows, cols, Direction::Forward).unwrap();
+        fft3_in_place(&mut work, planes, rows, cols, Direction::Inverse).unwrap();
+        for (a, b) in orig.iter().zip(&work) {
+            assert!(close(*a, *b, 1e-11));
+        }
+
+        // Pointwise product in the spectral domain is circular convolution:
+        // convolving with a shifted impulse must rotate the cube.
+        let mut kernel = vec![c64::zero(); planes * rows * cols];
+        let (sp, sr, sc) = (3usize, 2usize, 4usize);
+        kernel[(sp * rows + sr) * cols + sc] = c64::one();
+        let mut khat = kernel;
+        fft3_in_place(&mut khat, planes, rows, cols, Direction::Forward).unwrap();
+        let mut xhat = orig.clone();
+        fft3_in_place(&mut xhat, planes, rows, cols, Direction::Forward).unwrap();
+        for (x, k) in xhat.iter_mut().zip(&khat) {
+            *x *= *k;
+        }
+        fft3_in_place(&mut xhat, planes, rows, cols, Direction::Inverse).unwrap();
+        for p in 0..planes {
+            for r in 0..rows {
+                for c in 0..cols {
+                    let src = ((p + planes - sp) % planes * rows + (r + rows - sr) % rows) * cols
+                        + (c + cols - sc) % cols;
+                    let dst = (p * rows + r) * cols + c;
+                    assert!(close(xhat[dst], orig[src], 1e-10));
+                }
+            }
         }
     }
 

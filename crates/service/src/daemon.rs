@@ -14,11 +14,21 @@
 //! compacted ([`rough_engine::checkpoint::compact`]) and published to the
 //! content-addressed report cache, from which repeat submissions and
 //! [`crate::protocol::kind::FETCH`] requests are served without recomputing.
+//!
+//! Scheduling: every finished report's measured per-unit wall times are
+//! absorbed into a [`CostTable`] persisted as `cost_table.json` under the
+//! state directory, and each job is scheduled with
+//! [`CostOrdered::calibrated`] — once every unit class of a plan has been
+//! measured, later campaigns run their slowest classes first (better tail
+//! latency under the executor's parallelism); until then the scheduler falls
+//! back to the static `cells⁴·frequency` model.
 
 use crate::protocol::{self, kind, ServiceEvent};
 use crate::queue::{JobQueue, JobState};
 use rough_engine::frame::{self, read_frame, write_frame, Frame, PayloadWriter};
-use rough_engine::{checkpoint, wire, EngineError, FnObserver, Run, RunConfig, UnitExecutor};
+use rough_engine::{
+    checkpoint, wire, CostOrdered, CostTable, EngineError, FnObserver, Run, RunConfig, UnitExecutor,
+};
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -68,6 +78,9 @@ struct Shared {
     watchers: Mutex<Vec<Arc<Watcher>>>,
     stop: AtomicBool,
     executor: Arc<dyn UnitExecutor>,
+    /// Persisted per-class cost measurements feeding the calibrated
+    /// scheduler of subsequent jobs.
+    cost_table_path: PathBuf,
 }
 
 impl Shared {
@@ -140,6 +153,7 @@ impl Daemon {
             watchers: Mutex::new(Vec::new()),
             stop: AtomicBool::new(false),
             executor,
+            cost_table_path: config.state_dir.join("cost_table.json"),
         });
 
         let accept_shared = Arc::clone(&shared);
@@ -364,10 +378,14 @@ fn execute_job(
 ) -> Result<(), EngineError> {
     let scenario = wire::decode_scenario(scenario_wire)?;
 
+    // Schedule with whatever cost measurements previous jobs accumulated; an
+    // unreadable or absent table degrades to the static cost model.
+    let cost_table = CostTable::load(&shared.cost_table_path).unwrap_or_default();
     let build_config = || {
         let event_shared = Arc::clone(shared);
         RunConfig::new()
             .executor_arc(Arc::clone(&shared.executor))
+            .scheduler(CostOrdered::calibrated(cost_table))
             .checkpoint(checkpoint_path)
             .observer(FnObserver(move |event: &rough_engine::RunEvent| {
                 let frame = ServiceEvent::from_run_event(event).encode(job);
@@ -385,7 +403,16 @@ fn execute_job(
     } else {
         Run::new(&scenario, build_config())?
     };
-    run.execute()?;
+    let plan = run.plan().clone();
+    let report = run.execute()?;
+
+    // Feed the calibration loop: fold this job's measured unit times into the
+    // persisted cost table (re-read to not lose samples if the file changed).
+    // Calibration is best-effort — a failed save never fails the job.
+    let mut table = CostTable::load(&shared.cost_table_path).unwrap_or_default();
+    if table.absorb(&plan, &report) > 0 {
+        table.save(&shared.cost_table_path).ok();
+    }
 
     // Settle the artifact: scrub checkpoint churn, then publish it as the
     // content-addressed cached report.

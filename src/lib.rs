@@ -133,7 +133,8 @@ pub mod prelude {
     };
     pub use rough_core::{
         loss::LossResult, swm2d::Swm2dProblem, AssemblyParallelism, AssemblyScheme, AssemblyStats,
-        KernelEval, NearFieldPolicy, RoughnessSpec, SwmError, SwmProblem,
+        KernelEval, MatrixFreePolicy, NearFieldPolicy, OperatorRepr, RoughnessSpec, SolverKind,
+        SwmError, SwmProblem,
     };
     pub use rough_em::{
         material::{Conductor, Dielectric, Stackup},
