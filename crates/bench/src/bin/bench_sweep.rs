@@ -1,0 +1,233 @@
+//! Broadband sweep benchmark: adaptive refinement vs uniform sampling,
+//! emitted as machine-readable `BENCH_sweep.json` for CI trend tracking.
+//!
+//! A dense 33-point log grid over 0.05–100 GHz is solved once as the truth
+//! curve — the band spans the whole skin-depth story of the Fig. 5
+//! half-spheroid: the low-frequency dip, the transition knee and the
+//! saturated plateau. The adaptive sweep then runs from a 5-point coarse
+//! scan, and both uniform baselines are graded against the same truth with
+//! the same interpolation the exported SPICE table gets (piecewise-linear
+//! in frequency):
+//!
+//! * **linear-uniform** — equispaced in Hz, the `.ac lin` / VNA default.
+//!   Nearly all of its points land on the flat plateau, so it needs *orders
+//!   of magnitude* more samples to resolve the dip. The benchmark asserts
+//!   the adaptive sweep beats it by at least 2x in solved points at equal
+//!   curve error — in practice the margin is ~100x.
+//! * **log-uniform** — equispaced in log f, the informed manual choice.
+//!   Honest number, honestly reported: the dip spans about half the band in
+//!   log f, so the margin here is modest (~1.2x) and is *not* asserted.
+//!
+//! Baseline grids take their values from the truth interpolant rather than
+//! fresh solves (they are graded, not run); the adaptive sweep's points are
+//! real engine solves, so its wall time and warm-cache numbers are genuine.
+//!
+//! `--full` raises the grid fidelity; the default finishes in about two
+//! laptop-minutes.
+
+use rough_core::RoughnessSpec;
+use rough_em::material::Stackup;
+use rough_em::units::{GigaHertz, Micrometers};
+use rough_engine::{Scenario, SweepScenario};
+use rough_numerics::rational::BarycentricRational;
+use rough_surface::RoughSurface;
+use rough_sweep::{EngineEvaluator, FrequencySweep, SweepEvaluator};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// The Fig. 5 half-spheroid protrusion — deterministic, so every solved
+/// frequency is exactly one engine unit and wall time measures the sweep
+/// strategy, not Monte-Carlo noise.
+fn template(cells: usize) -> Scenario {
+    let tile = 12.0e-6;
+    let (height, base_radius) = (5.8e-6, 4.7e-6);
+    let surface = RoughSurface::from_fn(cells, tile, |x, y| {
+        let dx = x - 0.5 * tile;
+        let dy = y - 0.5 * tile;
+        let r2 = (dx * dx + dy * dy) / (base_radius * base_radius);
+        if r2 < 1.0 {
+            height * (1.0 - r2).sqrt()
+        } else {
+            0.0
+        }
+    });
+    Scenario::builder(Stackup::paper_baseline())
+        .name("bench-sweep")
+        .roughness(RoughnessSpec::deterministic(Micrometers::new(12.0)))
+        .frequencies([GigaHertz::new(1.0).into()])
+        .cells_per_side(cells)
+        .deterministic(surface)
+        .build()
+        .expect("valid benchmark template")
+}
+
+/// Max relative error of the piecewise-linear-in-frequency curve through
+/// `(fs, ys)` — exactly what a SPICE `.param` table lookup computes —
+/// against the truth model over the evaluation grid.
+fn pwl_error(
+    fs: &[f64],
+    ys: &[f64],
+    eval_fs: &[f64],
+    truth: &dyn Fn(f64) -> f64,
+    scale: f64,
+) -> f64 {
+    eval_fs
+        .iter()
+        .map(|&f| {
+            let y = truth(f);
+            let k = fs.partition_point(|&g| g < f).clamp(1, fs.len() - 1);
+            let t = ((f - fs[k - 1]) / (fs[k] - fs[k - 1])).clamp(0.0, 1.0);
+            let p = ys[k - 1] * (1.0 - t) + ys[k] * t;
+            (p - y).abs() / y.abs().max(1e-3 * scale)
+        })
+        .fold(0.0, f64::max)
+}
+
+fn main() {
+    rough_engine::maybe_serve_worker();
+    let full = rough_bench::full_fidelity_requested();
+    let cells = if full { 6 } else { 5 };
+    let ref_points = 33;
+    let (f_lo, f_hi) = (GigaHertz::new(0.05), GigaHertz::new(100.0));
+    let tolerance = 3e-3;
+    let coarse = 5;
+
+    println!(
+        "sweep benchmark: {cells}x{cells} cells, 0.05-100 GHz, {ref_points}-point truth grid, tolerance {tolerance:.0e}"
+    );
+
+    // Truth: the dense log grid, solved as one round.
+    let reference = SweepScenario::builder(template(cells), f_lo.into(), f_hi.into())
+        .coarse_points(ref_points)
+        .max_points(ref_points)
+        .tolerance(tolerance)
+        .build()
+        .expect("valid reference sweep");
+    let grid = reference.coarse_grid();
+    let mut truth_evaluator = EngineEvaluator::new();
+    let started = Instant::now();
+    let truth_round = truth_evaluator
+        .solve_round(&reference, &grid)
+        .expect("truth grid solve");
+    let truth_wall_s = started.elapsed().as_secs_f64();
+    let truth_values: Vec<f64> = truth_round.points.iter().map(|p| p.value).collect();
+    let scale = truth_values.iter().fold(0.0f64, |a, &y| a.max(y.abs()));
+    let log_xs: Vec<f64> = grid.iter().map(|f| f.ln()).collect();
+    let truth_model =
+        BarycentricRational::new(&log_xs, &truth_values, 3).expect("valid truth samples");
+    let truth = move |f: f64| truth_model.evaluate(f.ln());
+    println!(
+        "  truth: {ref_points} points in {truth_wall_s:.1} s, K in [{:.4}, {:.4}]",
+        truth_values.iter().fold(f64::INFINITY, |a, &b| a.min(b)),
+        truth_values.iter().fold(0.0f64, |a, &b| a.max(b)),
+    );
+
+    // The adaptive sweep, on its own fresh cache so its warm-state numbers
+    // describe the sweep alone.
+    let sweep = SweepScenario::builder(template(cells), f_lo.into(), f_hi.into())
+        .coarse_points(coarse)
+        .max_points(ref_points)
+        .tolerance(tolerance)
+        .build()
+        .expect("valid adaptive sweep");
+    let mut evaluator = EngineEvaluator::new();
+    let started = Instant::now();
+    let outcome = FrequencySweep::new(sweep)
+        .run(&mut evaluator)
+        .expect("adaptive sweep");
+    let adaptive_wall_s = started.elapsed().as_secs_f64();
+    let adaptive_fs: Vec<f64> = outcome.points.iter().map(|p| p.frequency_hz).collect();
+    let adaptive_ys: Vec<f64> = outcome.points.iter().map(|p| p.value).collect();
+
+    let (lo, hi) = (grid[0], grid[ref_points - 1]);
+    let eval_fs: Vec<f64> = (0..257)
+        .map(|i| lo * (hi / lo).powf(i as f64 / 256.0))
+        .collect();
+    let adaptive_error = pwl_error(&adaptive_fs, &adaptive_ys, &eval_fs, &truth, scale);
+    let lookups = outcome.cache.hits + outcome.cache.misses;
+    let hit_rate = outcome.cache.hits as f64 / lookups.max(1) as f64;
+    println!(
+        "  adaptive: {} points in {} rounds ({adaptive_wall_s:.1} s), curve error {adaptive_error:.2e}, cache hit rate {:.1}%",
+        outcome.points.len(),
+        outcome.rounds,
+        hit_rate * 100.0,
+    );
+
+    // Smallest uniform grid (values read off the truth model) whose SPICE-
+    // table curve error matches the adaptive sweep's.
+    let points_needed = |log_spacing: bool| -> usize {
+        for n in 2..=65536usize {
+            let (fs, ys): (Vec<f64>, Vec<f64>) = (0..n)
+                .map(|i| {
+                    let t = i as f64 / (n - 1) as f64;
+                    let f = if log_spacing {
+                        lo * (hi / lo).powf(t)
+                    } else {
+                        lo + (hi - lo) * t
+                    };
+                    (f, truth(f))
+                })
+                .unzip();
+            if pwl_error(&fs, &ys, &eval_fs, &truth, scale) <= adaptive_error {
+                return n;
+            }
+        }
+        65536
+    };
+    let linear_points = points_needed(false);
+    let log_points = points_needed(true);
+    let linear_advantage = linear_points as f64 / outcome.points.len() as f64;
+    let log_advantage = log_points as f64 / outcome.points.len() as f64;
+    println!(
+        "  linear-uniform needs {linear_points} points ({linear_advantage:.1}x), log-uniform {log_points} ({log_advantage:.2}x)"
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"benchmark\": \"adaptive-sweep\",");
+    let _ = writeln!(json, "  \"band_ghz\": [0.05, 100.0],");
+    let _ = writeln!(json, "  \"cells_per_side\": {cells},");
+    let _ = writeln!(json, "  \"tolerance\": {tolerance:e},");
+    let _ = writeln!(json, "  \"truth_points\": {ref_points},");
+    let _ = writeln!(json, "  \"truth_wall_s\": {truth_wall_s:.4},");
+    let _ = writeln!(
+        json,
+        "  \"adaptive\": {{\"solved_points\": {}, \"rounds\": {}, \"converged\": {}, \
+         \"curve_error\": {:.6e}, \"fit\": \"{}\", \"wall_s\": {:.4}, \
+         \"cache_hits\": {}, \"cache_misses\": {}, \"cache_hit_rate\": {:.4}, \
+         \"table_hits\": {}, \"table_misses\": {}}},",
+        outcome.points.len(),
+        outcome.rounds,
+        outcome.converged,
+        adaptive_error,
+        outcome.fit.describe(),
+        adaptive_wall_s,
+        outcome.cache.hits,
+        outcome.cache.misses,
+        hit_rate,
+        outcome.cache.table_hits,
+        outcome.cache.table_misses,
+    );
+    let _ = writeln!(
+        json,
+        "  \"linear_uniform\": {{\"points_at_equal_error\": {linear_points}, \
+         \"adaptive_advantage\": {linear_advantage:.4}}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"log_uniform\": {{\"points_at_equal_error\": {log_points}, \
+         \"adaptive_advantage\": {log_advantage:.4}, \
+         \"note\": \"the dip spans half the band in log f, so the log-uniform \
+         margin is structurally modest on this curve; it is reported, not asserted\"}}"
+    );
+    json.push_str("}\n");
+    std::fs::write("BENCH_sweep.json", &json).expect("write BENCH_sweep.json");
+    println!("wrote BENCH_sweep.json");
+
+    assert!(
+        linear_advantage >= 2.0,
+        "adaptive sweep must beat linear-uniform sampling by at least 2x in \
+         solved points at equal curve error (got {linear_advantage:.2}x: {} \
+         adaptive vs {linear_points} uniform)",
+        outcome.points.len(),
+    );
+}

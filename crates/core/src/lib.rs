@@ -68,7 +68,7 @@ pub mod swm3d;
 
 pub use error::SwmError;
 pub use matrixfree::{
-    BlockDiagonalPreconditioner, MatrixFreeOperator, MatrixFreePolicy, OperatorRepr,
+    BlockDiagonalPreconditioner, MatrixFreeOperator, MatrixFreePolicy, MfTableCache, OperatorRepr,
 };
 pub use nearfield::{AssemblyScheme, AssemblyStats, KernelEval, NearFieldPolicy};
 pub use parallel::{AssemblyParallelism, ASSEMBLY_THREADS_ENV};

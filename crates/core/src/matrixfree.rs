@@ -60,6 +60,9 @@ use rough_numerics::complex::c64;
 use rough_numerics::fft::{fft3_in_place, Direction};
 use rough_numerics::iterative::LinearOperator;
 use rough_numerics::quadrature2d::QuadScratch;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Per-entry relative accuracy the slab spacing rule targets for the grid
 /// (far-field) part. The default safety factor then buys several further
@@ -283,6 +286,116 @@ struct MediumTables {
     gz: Vec<c64>,
 }
 
+/// Everything `build_tables` reads, as a hashable value: the generator
+/// tables depend only on kernel × grid × slab, not on the surface heights.
+/// Floats enter as IEEE-754 bit patterns so equality is exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct TableKey {
+    k_re_bits: u64,
+    k_im_bits: u64,
+    period_bits: u64,
+    eval: KernelEval,
+    side: usize,
+    delta_bits: u64,
+    z_spacing_bits: u64,
+    levels: usize,
+    planes: usize,
+}
+
+impl TableKey {
+    fn new(
+        green: &PeriodicGreen3d,
+        eval: KernelEval,
+        side: usize,
+        delta: f64,
+        slab: &SlabGrid,
+        z_spacing: f64,
+    ) -> Self {
+        let k = green.wavenumber();
+        Self {
+            k_re_bits: k.re.to_bits(),
+            k_im_bits: k.im.to_bits(),
+            period_bits: green.period().to_bits(),
+            eval,
+            side,
+            delta_bits: delta.to_bits(),
+            z_spacing_bits: z_spacing.to_bits(),
+            levels: slab.levels,
+            planes: slab.planes,
+        }
+    }
+}
+
+/// Shared cache of the *spatial* generator tables of the matrix-free
+/// operator, keyed by exactly the inputs `build_tables` reads (kernel ×
+/// grid × slab — never the surface heights). Dominant reuse patterns: the
+/// realizations of one ensemble case share a key pair, and so do the rough
+/// solve and its flat reference whenever the rough slab collapses (or two
+/// realizations land on the same level count, which the deterministic
+/// spacing rule makes common).
+///
+/// A hit returns the stored planes untouched — byte-identical to a fresh
+/// `build_tables` call — so results are bit-identical with and without the
+/// cache. The batch engine owns one instance per `KernelCache` and threads it
+/// through [`crate::SwmOperator::with_table_cache`]; hit/miss counters feed
+/// campaign cache statistics.
+#[derive(Debug, Default)]
+pub struct MfTableCache {
+    map: Mutex<HashMap<TableKey, Arc<MediumTables>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl MfTableCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Generator-table builds served from the cache.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Generator-table builds that had to evaluate the kernel.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Distinct table sets currently stored.
+    pub fn entries(&self) -> usize {
+        self.map.lock().expect("mf table cache poisoned").len()
+    }
+
+    /// Drops all stored tables (counters are preserved).
+    pub fn clear(&self) {
+        self.map.lock().expect("mf table cache poisoned").clear();
+    }
+
+    /// Returns the cached spatial tables for `key`, building and storing them
+    /// on a miss. Concurrent misses may build twice; the first insert wins so
+    /// every caller sees one canonical value.
+    fn get_or_build(
+        &self,
+        key: TableKey,
+        build: impl FnOnce() -> MediumTables,
+    ) -> Arc<MediumTables> {
+        if let Some(hit) = self.map.lock().expect("mf table cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        let built = Arc::new(build());
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        Arc::clone(
+            self.map
+                .lock()
+                .expect("mf table cache poisoned")
+                .entry(key)
+                .or_insert(built),
+        )
+    }
+}
+
 /// One sparse near-field correction: column `j`, `ΔS = S_exact − S_grid`,
 /// `ΔD = D_exact − D_grid`.
 type NearCorrection = (usize, c64, c64);
@@ -343,6 +456,28 @@ impl MatrixFreeOperator {
         eval: KernelEval,
         parallelism: AssemblyParallelism,
     ) -> Self {
+        Self::assemble_with_cache(mesh, g1, g2, beta, k1, policy, mf, eval, parallelism, None)
+    }
+
+    /// [`MatrixFreeOperator::assemble`] with the generator-table builds routed
+    /// through a shared [`MfTableCache`]. The cache stores spatial tables
+    /// byte-identical to a fresh build, so the assembled operator (and every
+    /// downstream solve) is bit-identical with and without it; what a hit
+    /// saves is the batched kernel evaluation over all `m × n × n` generator
+    /// samples — the dominant setup cost of a repeated-frequency solve.
+    #[allow(clippy::too_many_arguments)]
+    pub fn assemble_with_cache(
+        mesh: &PatchMesh,
+        g1: &PeriodicGreen3d,
+        g2: &PeriodicGreen3d,
+        beta: c64,
+        k1: c64,
+        policy: NearFieldPolicy,
+        mf: MatrixFreePolicy,
+        eval: KernelEval,
+        parallelism: AssemblyParallelism,
+        table_cache: Option<&MfTableCache>,
+    ) -> Self {
         assert!(
             (g1.period() - mesh.patch_length()).abs() < 1e-9 * mesh.patch_length(),
             "Green's function period must match the mesh patch length"
@@ -367,10 +502,17 @@ impl MatrixFreeOperator {
         } else {
             0.0
         };
-        let tables = [
-            build_tables(g1, eval, side, delta, &slab, z_spacing),
-            build_tables(g2, eval, side, delta, &slab, z_spacing),
-        ];
+        let fetch = |green: &PeriodicGreen3d| -> Arc<MediumTables> {
+            let build = || build_tables(green, eval, side, delta, &slab, z_spacing);
+            match table_cache {
+                Some(cache) => cache.get_or_build(
+                    TableKey::new(green, eval, side, delta, &slab, z_spacing),
+                    build,
+                ),
+                None => Arc::new(build()),
+            }
+        };
+        let tables = [fetch(g1), fetch(g2)];
 
         // Near-field sparse precorrections: every 2-D minimum-image near pair
         // (superset of the dense 3-D near set) gets `exact − grid`.
@@ -499,8 +641,12 @@ impl MatrixFreeOperator {
         }
 
         // The near corrections are settled; switch the generator tables to
-        // the spectral domain for the matvec.
-        let mut tables = tables;
+        // the spectral domain for the matvec. The cached copies stay spatial,
+        // so the FFT acts on this operator's private clones.
+        let mut tables = [
+            MediumTables::clone(&tables[0]),
+            MediumTables::clone(&tables[1]),
+        ];
         for table in &mut tables {
             for cube in [&mut table.val, &mut table.gx, &mut table.gy, &mut table.gz] {
                 fft3_in_place(cube, slab.planes, side, side, Direction::Forward)
@@ -1092,6 +1238,48 @@ mod tests {
                 (v.re.to_bits(), v.im.to_bits())
             );
         }
+    }
+
+    #[test]
+    fn table_cache_hits_and_preserves_bit_identity() {
+        let mesh = rough_mesh(6, 5e-6, 0.3e-6);
+        let length = mesh.patch_length();
+        let g1 = PeriodicGreen3d::new(c64::new(500.0, 0.0), length);
+        let g2 = PeriodicGreen3d::new(c64::new(1.5e6, 1.5e6), length);
+        let cache = MfTableCache::new();
+        let build = |cache: Option<&MfTableCache>| {
+            MatrixFreeOperator::assemble_with_cache(
+                &mesh,
+                &g1,
+                &g2,
+                c64::new(0.0, -1e-7),
+                c64::new(500.0, 0.0),
+                NearFieldPolicy::default(),
+                MatrixFreePolicy::default(),
+                KernelEval::default(),
+                AssemblyParallelism::Serial,
+                cache,
+            )
+        };
+        let cold = build(None);
+        let first = build(Some(&cache));
+        // The two media have distinct wavenumbers: one miss each, no hits.
+        assert_eq!((cache.hits(), cache.misses()), (0, 2));
+        let second = build(Some(&cache));
+        assert_eq!((cache.hits(), cache.misses()), (2, 2));
+        assert_eq!(cache.entries(), 2);
+        let x = random_vector(cold.dim(), 5);
+        let reference = cold.apply(&x);
+        for op in [&first, &second] {
+            for (a, b) in reference.iter().zip(op.apply(&x)) {
+                assert_eq!(
+                    (a.re.to_bits(), a.im.to_bits()),
+                    (b.re.to_bits(), b.im.to_bits())
+                );
+            }
+        }
+        cache.clear();
+        assert_eq!(cache.entries(), 0);
     }
 
     #[test]

@@ -91,7 +91,7 @@ impl AssemblyStats {
 ///   batched kernel API (`eval_batch_samples` / `eval_batch_regularized`),
 ///   which hoists the Ewald setup out of the inner loop and shares the
 ///   expensive `erfc`/`exp` factors across Floquet-mode classes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum KernelEval {
     /// Per-entry kernel evaluation (reference/oracle path).
     Scalar,

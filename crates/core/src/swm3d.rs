@@ -9,7 +9,7 @@
 use crate::assembly3d::assemble_system_with;
 use crate::error::SwmError;
 use crate::loss::LossResult;
-use crate::matrixfree::{MatrixFreeOperator, OperatorRepr};
+use crate::matrixfree::{MatrixFreeOperator, MfTableCache, OperatorRepr};
 use crate::mesh::PatchMesh;
 use crate::nearfield::{AssemblyScheme, KernelEval};
 use crate::parallel::AssemblyParallelism;
@@ -81,6 +81,7 @@ pub struct SwmOperator {
     assembly: AssemblyScheme,
     kernel_eval: KernelEval,
     operator_repr: OperatorRepr,
+    table_cache: Option<std::sync::Arc<MfTableCache>>,
 }
 
 impl SwmOperator {
@@ -118,6 +119,22 @@ impl SwmOperator {
     /// Incident (dielectric) wavenumber `k₁`.
     pub fn k1(&self) -> c64 {
         self.k1
+    }
+
+    /// Returns this operator with matrix-free generator-table builds routed
+    /// through a shared [`MfTableCache`]. A no-op for dense solves; for
+    /// matrix-free solves results stay bit-identical (hits return tables
+    /// byte-identical to a fresh build). The batch engine installs its
+    /// kernel cache's instance here so sweeps and repeated runs amortize the
+    /// tables.
+    pub fn with_table_cache(mut self, cache: std::sync::Arc<MfTableCache>) -> Self {
+        self.table_cache = Some(cache);
+        self
+    }
+
+    /// The shared generator-table cache, when one is installed.
+    pub fn table_cache(&self) -> Option<&std::sync::Arc<MfTableCache>> {
+        self.table_cache.as_ref()
     }
 }
 
@@ -276,6 +293,7 @@ impl SwmProblem {
             assembly: self.assembly,
             kernel_eval: self.kernel_eval,
             operator_repr: self.operator_repr,
+            table_cache: None,
         }
     }
 
@@ -326,7 +344,7 @@ impl SwmProblem {
                             .into(),
                     ));
                 };
-                let mf = MatrixFreeOperator::assemble(
+                let mf = MatrixFreeOperator::assemble_with_cache(
                     &mesh,
                     &operator.g1,
                     &operator.g2,
@@ -336,6 +354,7 @@ impl SwmProblem {
                     mf_policy,
                     operator.kernel_eval,
                     self.assembly_parallelism,
+                    operator.table_cache.as_deref(),
                 );
                 let precond = mf.preconditioner();
                 let (solution, stats) = solve_operator(&mf, mf.rhs(), self.solver, Some(&precond))?;

@@ -17,7 +17,7 @@
 
 use crate::error::EngineError;
 use crate::plan::ContextKey;
-use rough_core::{SwmOperator, SwmProblem};
+use rough_core::{MfTableCache, SwmOperator, SwmProblem};
 use rough_surface::generation::kl::KarhunenLoeve;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -48,6 +48,11 @@ pub struct CacheStats {
     pub kl_hits: usize,
     /// KL-basis lookups that had to run the eigendecomposition.
     pub kl_misses: usize,
+    /// Matrix-free generator-table builds served from the cache (0 for
+    /// dense campaigns).
+    pub table_hits: usize,
+    /// Matrix-free generator-table builds that had to evaluate the kernel.
+    pub table_misses: usize,
 }
 
 /// Concurrent keyed cache of [`CaseContext`]s and KL bases.
@@ -55,6 +60,7 @@ pub struct CacheStats {
 pub struct KernelCache {
     map: Mutex<HashMap<ContextKey, Arc<CaseContext>>>,
     kl_map: Mutex<HashMap<String, Arc<KarhunenLoeve>>>,
+    mf_tables: Arc<MfTableCache>,
     hits: AtomicUsize,
     misses: AtomicUsize,
     kl_hits: AtomicUsize,
@@ -128,6 +134,16 @@ impl KernelCache {
         self.misses.fetch_add(misses, Ordering::Relaxed);
     }
 
+    /// The shared matrix-free generator-table cache. Contexts built through
+    /// this kernel cache install it on their operators
+    /// ([`rough_core::SwmOperator::with_table_cache`]), so every matrix-free
+    /// solve of a campaign — and every frequency point of a sweep — amortizes
+    /// the kernel-evaluation cost of the tables. Results are bit-identical
+    /// with or without the cache.
+    pub fn mf_tables(&self) -> &Arc<MfTableCache> {
+        &self.mf_tables
+    }
+
     /// Returns `true` when `key` is resident (does not touch the counters).
     pub fn contains(&self, key: ContextKey) -> bool {
         self.map
@@ -144,13 +160,17 @@ impl KernelCache {
             entries: self.map.lock().expect("cache lock poisoned").len(),
             kl_hits: self.kl_hits.load(Ordering::Relaxed),
             kl_misses: self.kl_misses.load(Ordering::Relaxed),
+            table_hits: self.mf_tables.hits(),
+            table_misses: self.mf_tables.misses(),
         }
     }
 
-    /// Drops every cached context and KL basis (counters are preserved).
+    /// Drops every cached context, KL basis and generator table (counters are
+    /// preserved).
     pub fn clear(&self) {
         self.map.lock().expect("cache lock poisoned").clear();
         self.kl_map.lock().expect("cache lock poisoned").clear();
+        self.mf_tables.clear();
     }
 }
 

@@ -56,6 +56,19 @@ pub enum RunEvent {
         /// Records now resident in the checkpoint (including resumed ones).
         units_recorded: usize,
     },
+    /// An adaptive frequency sweep solved (or restored) one frequency point.
+    /// Emitted by the broadband sweep driver between its refinement rounds,
+    /// not by single-scenario runs.
+    SweepPointSolved {
+        /// The solved frequency in Hz.
+        frequency_hz: f64,
+        /// The roughness-loss enhancement factor at that frequency.
+        value: f64,
+        /// Points solved so far (including this one).
+        solved: usize,
+        /// The sweep's total point budget.
+        budget: usize,
+    },
     /// The run completed; the final [`crate::CampaignReport`] is about to be
     /// returned.
     RunFinished {

@@ -264,7 +264,7 @@ impl UnitExecutor for ThreadPoolExecutor {
         let built: Vec<Result<CaseContext, EngineError>> = self.pool.install(|| {
             pending
                 .par_iter()
-                .map(|case| build_context(plan, case, self.assembly))
+                .map(|case| build_context(plan, case, self.assembly, cache.mf_tables()))
                 .collect()
         });
         for (case, result) in pending.iter().zip(built) {
@@ -306,7 +306,9 @@ pub(crate) fn evaluate_unit(
 ) -> Result<UnitRecord, EngineError> {
     let scenario = plan.scenario();
     let case = &plan.cases()[unit.case_index];
-    let context = cache.get_or_build(case.context_key, || build_context(plan, case, assembly))?;
+    let context = cache.get_or_build(case.context_key, || {
+        build_context(plan, case, assembly, cache.mf_tables())
+    })?;
     let surface = match unit.task {
         UnitTask::Realization { germ_index } => synthesize(case, &case.germs[germ_index]),
         UnitTask::CollocationNode { node_index } => synthesize(case, &case.germs[node_index]),
@@ -344,6 +346,7 @@ pub(crate) fn build_context(
     plan: &Plan,
     case: &PlannedCase,
     assembly: AssemblyParallelism,
+    tables: &Arc<rough_core::MfTableCache>,
 ) -> Result<CaseContext, EngineError> {
     let scenario = plan.scenario();
     let spec = scenario.roughness_grid()[case.id.roughness].clone();
@@ -356,7 +359,9 @@ pub(crate) fn build_context(
         .operator_repr(scenario.operator_repr)
         .assembly_parallelism(assembly)
         .build()?;
-    let operator = problem.operator();
+    // Installing the shared generator-table cache is a no-op for dense
+    // operators and amortizes matrix-free table builds across the campaign.
+    let operator = problem.operator().with_table_cache(Arc::clone(tables));
     let flat = RoughSurface::flat(scenario.cells_per_side(), problem.patch_length());
     let (flat_reference, _) = problem.absorbed_power_with(&flat, &operator)?;
     Ok(CaseContext {

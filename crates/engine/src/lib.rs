@@ -83,6 +83,7 @@ pub mod scenario;
 pub mod schedule;
 pub mod socket;
 pub mod subprocess;
+pub mod sweep;
 pub mod wire;
 
 pub use cache::{CacheStats, KernelCache};
@@ -99,3 +100,4 @@ pub use scenario::{CaseId, EnsembleMode, Scenario, ScenarioBuilder};
 pub use schedule::{unit_class, CostOrdered, CostTable, PlanOrder, Scheduler};
 pub use socket::{SocketExecutor, Transport, SOCKET_WORKER_ENV};
 pub use subprocess::{maybe_serve_worker, SubprocessExecutor};
+pub use sweep::{SweepScenario, SweepScenarioBuilder};

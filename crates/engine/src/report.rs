@@ -189,12 +189,15 @@ impl CampaignReport {
         out.push_str(&format!("  \"total_solves\": {},\n", self.total_solves));
         out.push_str(&format!(
             "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}, \
-             \"kl_hits\": {}, \"kl_misses\": {}}},\n",
+             \"kl_hits\": {}, \"kl_misses\": {}, \
+             \"table_hits\": {}, \"table_misses\": {}}},\n",
             self.cache.hits,
             self.cache.misses,
             self.cache.entries,
             self.cache.kl_hits,
-            self.cache.kl_misses
+            self.cache.kl_misses,
+            self.cache.table_hits,
+            self.cache.table_misses
         ));
         out.push_str("  \"cases\": [\n");
         for (index, case) in self.cases.iter().enumerate() {
@@ -299,6 +302,8 @@ mod tests {
                 entries: 1,
                 kl_hits: 0,
                 kl_misses: 1,
+                table_hits: 0,
+                table_misses: 0,
             },
             distinct_contexts: 1,
             total_solves: 5,
@@ -375,7 +380,8 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"scenario\": \"unit \\\"quoted\\\"\""));
         assert!(json.contains(
-            "\"cache\": {\"hits\": 3, \"misses\": 1, \"entries\": 1, \"kl_hits\": 0, \"kl_misses\": 1}"
+            "\"cache\": {\"hits\": 3, \"misses\": 1, \"entries\": 1, \"kl_hits\": 0, \
+             \"kl_misses\": 1, \"table_hits\": 0, \"table_misses\": 0}"
         ));
         assert!(json.contains("\"median\""));
         assert_eq!(

@@ -528,6 +528,8 @@ impl Run {
             entries: stats_after.entries,
             kl_hits: stats_after.kl_hits - self.stats_before.kl_hits,
             kl_misses: stats_after.kl_misses - self.stats_before.kl_misses,
+            table_hits: stats_after.table_hits - self.stats_before.table_hits,
+            table_misses: stats_after.table_misses - self.stats_before.table_misses,
         };
         let wall_time = start.elapsed();
         if let Some(observer) = self.config.observer.as_deref() {

@@ -64,7 +64,14 @@ pub fn unit_class(plan: &Plan, unit: &WorkUnit) -> String {
     let scenario = plan.scenario();
     let case = &plan.cases()[unit.case_index];
     let ghz = scenario.frequencies()[case.id.frequency].as_gigahertz();
-    format!("c{}@{}GHz", scenario.cells_per_side(), ghz)
+    // Matrix-free units live on a different cost curve than dense units of
+    // the same grid (Krylov + FFT vs LU), so they pool separately.
+    let repr = if scenario.operator_repr().is_matrix_free() {
+        "#mf"
+    } else {
+        ""
+    };
+    format!("c{}@{}GHz{}", scenario.cells_per_side(), ghz, repr)
 }
 
 /// One class's accumulated measurement.
@@ -286,18 +293,38 @@ impl CostOrdered {
     }
 }
 
-/// Estimated relative cost of one work unit: `cells⁴ · frequency`.
+/// Grid size at which a matrix-free solve costs about the same as a dense
+/// solve — the measured crossover of the `BENCH_assembly.json` scaling sweep
+/// (cells ≈ 14). It pins the two static cost curves to one shared scale:
+/// `dense(cells) = mf(cells)` exactly at the crossover.
+const MF_CROSSOVER_CELLS: f64 = 14.0;
+
+/// Estimated relative cost of one work unit, aware of the operator
+/// representation:
+///
+/// * dense — `cells⁴ · frequency` (an `O(cells⁶)` factorization behind an
+///   `O(cells⁴)`-dominated assembly at practical sizes);
+/// * matrix-free — `14² · cells² · frequency`: per-iteration work is
+///   `O(N log N)` in `N = cells²` and setup is `O(cells²)` kernel samples per
+///   slab level, two powers of `cells` shallower than dense. The `14²`
+///   prefactor anchors both curves to equality at the measured dense/MF
+///   crossover, so a mixed dense + matrix-free batch sorts on one scale.
 ///
 /// The absolute scale is meaningless; only the ordering matters. Within one
-/// scenario every unit shares `cells_per_side`, so the policy orders by
-/// frequency — but the estimate keeps the grid term so that mixed-resolution
-/// plans (a future multi-scenario batch) order correctly too.
+/// scenario every unit shares `cells_per_side` and the operator, so the
+/// policy orders by frequency — the grid and operator terms exist so that
+/// mixed plans (multi-scenario batches, broadband sweeps mixing dense
+/// anchors with matrix-free refinement points) order correctly too.
 pub fn estimated_unit_cost(plan: &Plan, unit: &WorkUnit) -> f64 {
     let scenario = plan.scenario();
     let cells = scenario.cells_per_side() as f64;
     let case = &plan.cases()[unit.case_index];
     let frequency = scenario.frequencies()[case.id.frequency].value();
-    cells.powi(4) * frequency
+    if scenario.operator_repr().is_matrix_free() {
+        MF_CROSSOVER_CELLS * MF_CROSSOVER_CELLS * cells * cells * frequency
+    } else {
+        cells.powi(4) * frequency
+    }
 }
 
 impl Scheduler for CostOrdered {
@@ -426,6 +453,57 @@ mod tests {
         let mut sorted = order.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..plan.units().len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn static_cost_is_operator_aware_across_a_mixed_batch() {
+        use rough_core::{OperatorRepr, SolverKind};
+        use rough_surface::RoughSurface;
+        let plan_for = |cells: usize, matrix_free: bool| {
+            let mut builder = Scenario::builder(Stackup::paper_baseline())
+                .roughness(RoughnessSpec::deterministic(Micrometers::new(5.0)))
+                .deterministic(RoughSurface::flat(cells, 5.0e-6))
+                .frequencies([GigaHertz::new(2.0).into(), GigaHertz::new(8.0).into()])
+                .cells_per_side(cells);
+            if matrix_free {
+                builder = builder
+                    .solver(SolverKind::Bicgstab { tolerance: 1e-10 })
+                    .operator_repr(OperatorRepr::MatrixFree(Default::default()));
+            }
+            Plan::new(&builder.build().unwrap()).unwrap()
+        };
+        let cost = |plan: &Plan| estimated_unit_cost(plan, &plan.units()[0]);
+
+        // Below the measured crossover dense is the cheaper solve, above it
+        // matrix-free is; at the crossover the two scales agree exactly.
+        assert!(cost(&plan_for(8, false)) < cost(&plan_for(8, true)));
+        assert!(cost(&plan_for(24, false)) > cost(&plan_for(24, true)));
+        assert_eq!(cost(&plan_for(14, false)), cost(&plan_for(14, true)));
+
+        // A longest-first merge of a mixed dense + matrix-free batch: the
+        // dense cells=24 units must lead, the dense cells=8 units trail, and
+        // the matrix-free units sit between — the ordering a shared-scale
+        // static model exists to produce.
+        let batch = [
+            ("dense24", plan_for(24, false)),
+            ("mf24", plan_for(24, true)),
+            ("mf8", plan_for(8, true)),
+            ("dense8", plan_for(8, false)),
+        ];
+        let mut merged: Vec<(&str, f64)> = batch
+            .iter()
+            .map(|(label, plan)| (*label, cost(plan)))
+            .collect();
+        merged.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        let order: Vec<&str> = merged.iter().map(|(label, _)| *label).collect();
+        assert_eq!(order, vec!["dense24", "mf24", "mf8", "dense8"]);
+
+        // Measured costs pool per representation: the matrix-free class is
+        // distinct from the dense class of the same grid and frequency.
+        let dense = plan_for(8, false);
+        let mf = plan_for(8, true);
+        assert_eq!(unit_class(&dense, &dense.units()[0]), "c8@2GHz");
+        assert_eq!(unit_class(&mf, &mf.units()[0]), "c8@2GHz#mf");
     }
 
     #[test]

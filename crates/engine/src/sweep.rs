@@ -1,0 +1,440 @@
+//! Broadband sweep definitions.
+//!
+//! A [`SweepScenario`] extends a single-frequency [`Scenario`] template into a
+//! declarative *band* request: solve the template's physics over `[f_lo, f_hi]`
+//! accurately enough that the resulting roughness-loss curve can be fitted and
+//! exported for circuit tools, while spending as few expensive MOM solves as
+//! possible. The scenario only *describes* the sweep — which band, how many
+//! coarse samples, what refinement tolerance, what point budget; the adaptive
+//! refinement loop itself lives in the `rough-sweep` crate, which turns each
+//! round of new frequency points into an ordinary [`Scenario`] via
+//! [`SweepScenario::scenario_for_points`] and executes it through the engine
+//! (or ships it to the campaign daemon, where fingerprint deduplication makes
+//! re-submitted rounds free).
+//!
+//! Like scenarios, sweeps have a bit-exact wire form ([`encode_sweep`] /
+//! [`decode_sweep`]) and a stable [`sweep_fingerprint`]: every float travels
+//! as IEEE-754 bits, so equal sweeps — and only equal sweeps — share identity
+//! across checkpoints, daemons and resumed runs.
+
+use crate::error::EngineError;
+use crate::scenario::Scenario;
+use crate::wire;
+use rough_em::units::Frequency;
+use std::fmt::Write as _;
+
+/// Magic first line of the sweep wire format.
+const MAGIC: &str = "roughsim-sweep-v1";
+
+/// A broadband frequency-sweep request: a scenario template plus a band and
+/// an adaptive sampling budget.
+///
+/// The template's own frequency list is ignored — the sweep driver replaces
+/// it round by round with the points the refinement loop selects. Everything
+/// else (stack, roughness, ensemble mode, solver, operator representation,
+/// seeds) is inherited unchanged, so each solved point is exactly the
+/// single-frequency campaign a user would have run by hand.
+#[derive(Debug, Clone)]
+pub struct SweepScenario {
+    pub(crate) template: Scenario,
+    pub(crate) f_lo: f64,
+    pub(crate) f_hi: f64,
+    pub(crate) coarse_points: usize,
+    pub(crate) max_points: usize,
+    pub(crate) tolerance: f64,
+}
+
+impl SweepScenario {
+    /// Starts building a sweep over `[lo, hi]` from a scenario template.
+    pub fn builder(template: Scenario, lo: Frequency, hi: Frequency) -> SweepScenarioBuilder {
+        SweepScenarioBuilder {
+            template,
+            f_lo: lo.value(),
+            f_hi: hi.value(),
+            coarse_points: 5,
+            max_points: 17,
+            tolerance: 1e-3,
+        }
+    }
+
+    /// The scenario template each solved point instantiates.
+    pub fn template(&self) -> &Scenario {
+        &self.template
+    }
+
+    /// The swept band `(f_lo, f_hi)` in Hz.
+    pub fn band(&self) -> (f64, f64) {
+        (self.f_lo, self.f_hi)
+    }
+
+    /// Number of log-spaced points the initial coarse scan solves.
+    pub fn coarse_points(&self) -> usize {
+        self.coarse_points
+    }
+
+    /// Hard ceiling on solved frequency points (coarse scan included).
+    pub fn max_points(&self) -> usize {
+        self.max_points
+    }
+
+    /// Relative curve tolerance the refinement loop drives toward.
+    pub fn tolerance(&self) -> f64 {
+        self.tolerance
+    }
+
+    /// The initial coarse scan: `coarse_points` log-spaced frequencies across
+    /// the band, endpoints included. Deterministic — resumed sweeps recompute
+    /// the identical grid.
+    pub fn coarse_grid(&self) -> Vec<f64> {
+        log_spaced(self.f_lo, self.f_hi, self.coarse_points)
+    }
+
+    /// Instantiates the template at an explicit set of frequency points (one
+    /// refinement round). The returned scenario shares the template's name,
+    /// so its fingerprint varies only with the points — the daemon's
+    /// content-addressed report cache deduplicates re-submitted rounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InvalidScenario`] when `points` is empty or
+    /// contains non-finite/non-positive frequencies (the scenario builder's
+    /// own validation).
+    pub fn scenario_for_points(&self, points: &[f64]) -> Result<Scenario, EngineError> {
+        if points.is_empty() {
+            return Err(EngineError::InvalidScenario(
+                "a sweep round needs at least one frequency point".into(),
+            ));
+        }
+        let mut scenario = self.template.clone();
+        scenario.frequencies = points.iter().copied().map(Frequency::new).collect();
+        // Re-validate through the builder contract the cheap way: the only
+        // field that changed is the frequency list.
+        if points.iter().any(|f| !(f.is_finite() && *f > 0.0)) {
+            return Err(EngineError::InvalidScenario(
+                "sweep frequencies must be finite and positive".into(),
+            ));
+        }
+        Ok(scenario)
+    }
+}
+
+/// `n` log-spaced values over `[lo, hi]`, endpoints exact.
+pub fn log_spaced(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    if n == 1 {
+        return vec![lo];
+    }
+    let ratio = hi / lo;
+    (0..n)
+        .map(|i| {
+            if i == 0 {
+                lo
+            } else if i == n - 1 {
+                hi
+            } else {
+                lo * ratio.powf(i as f64 / (n - 1) as f64)
+            }
+        })
+        .collect()
+}
+
+/// Builder for [`SweepScenario`].
+#[derive(Debug, Clone)]
+pub struct SweepScenarioBuilder {
+    template: Scenario,
+    f_lo: f64,
+    f_hi: f64,
+    coarse_points: usize,
+    max_points: usize,
+    tolerance: f64,
+}
+
+impl SweepScenarioBuilder {
+    /// Sets the coarse-scan point count (default 5).
+    pub fn coarse_points(mut self, n: usize) -> Self {
+        self.coarse_points = n;
+        self
+    }
+
+    /// Sets the total point budget (default 17).
+    pub fn max_points(mut self, n: usize) -> Self {
+        self.max_points = n;
+        self
+    }
+
+    /// Sets the refinement tolerance (default `1e-3` relative).
+    pub fn tolerance(mut self, tolerance: f64) -> Self {
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// Finalizes the sweep definition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InvalidScenario`] for an empty/inverted band,
+    /// non-finite bounds, a coarse scan under 3 points, a budget below the
+    /// coarse scan, or a non-positive tolerance.
+    pub fn build(self) -> Result<SweepScenario, EngineError> {
+        if !(self.f_lo.is_finite() && self.f_hi.is_finite() && self.f_lo > 0.0) {
+            return Err(EngineError::InvalidScenario(
+                "sweep band bounds must be finite and positive".into(),
+            ));
+        }
+        if self.f_hi <= self.f_lo {
+            return Err(EngineError::InvalidScenario(
+                "sweep band must satisfy f_lo < f_hi".into(),
+            ));
+        }
+        if self.coarse_points < 3 {
+            return Err(EngineError::InvalidScenario(
+                "the coarse scan needs at least 3 points".into(),
+            ));
+        }
+        if self.max_points < self.coarse_points {
+            return Err(EngineError::InvalidScenario(
+                "max_points must be at least coarse_points".into(),
+            ));
+        }
+        if !(self.tolerance > 0.0 && self.tolerance.is_finite()) {
+            return Err(EngineError::InvalidScenario(
+                "the sweep tolerance must be finite and positive".into(),
+            ));
+        }
+        if self.template.roughness_grid().len() != 1 {
+            return Err(EngineError::InvalidScenario(
+                "a sweep template must carry exactly one roughness specification \
+                 (the sweep produces one curve)"
+                    .into(),
+            ));
+        }
+        Ok(SweepScenario {
+            template: self.template,
+            f_lo: self.f_lo,
+            f_hi: self.f_hi,
+            coarse_points: self.coarse_points,
+            max_points: self.max_points,
+            tolerance: self.tolerance,
+        })
+    }
+}
+
+fn bad(reason: impl Into<String>) -> EngineError {
+    EngineError::Checkpoint(format!("sweep wire: {}", reason.into()))
+}
+
+/// Serializes a sweep into its wire text block: a sweep header followed by
+/// the embedded scenario-template block.
+pub fn encode_sweep(sweep: &SweepScenario) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{MAGIC}");
+    let _ = writeln!(
+        out,
+        "band {} {}",
+        format_args!("{:016x}", sweep.f_lo.to_bits()),
+        format_args!("{:016x}", sweep.f_hi.to_bits())
+    );
+    let _ = writeln!(
+        out,
+        "budget {} {} {:016x}",
+        sweep.coarse_points,
+        sweep.max_points,
+        sweep.tolerance.to_bits()
+    );
+    out.push_str(&wire::encode_scenario(&sweep.template));
+    out
+}
+
+/// Parses a sweep wire block back into a [`SweepScenario`].
+///
+/// # Errors
+///
+/// Returns [`EngineError::Checkpoint`] on malformed input and
+/// [`EngineError::InvalidScenario`] when the decoded definition fails
+/// validation.
+pub fn decode_sweep(text: &str) -> Result<SweepScenario, EngineError> {
+    let mut lines = text.lines();
+    if lines.next().map(str::trim) != Some(MAGIC) {
+        return Err(bad(format!("missing `{MAGIC}` header")));
+    }
+    let parse_bits = |token: &str| -> Result<f64, EngineError> {
+        u64::from_str_radix(token, 16)
+            .map(f64::from_bits)
+            .map_err(|_| bad(format!("malformed float bits `{token}`")))
+    };
+    let band_line = lines.next().ok_or_else(|| bad("missing `band` line"))?;
+    let band: Vec<&str> = band_line.split_ascii_whitespace().collect();
+    if band.len() != 3 || band[0] != "band" {
+        return Err(bad("malformed `band` line"));
+    }
+    let (f_lo, f_hi) = (parse_bits(band[1])?, parse_bits(band[2])?);
+    let budget_line = lines.next().ok_or_else(|| bad("missing `budget` line"))?;
+    let budget: Vec<&str> = budget_line.split_ascii_whitespace().collect();
+    if budget.len() != 4 || budget[0] != "budget" {
+        return Err(bad("malformed `budget` line"));
+    }
+    let coarse_points: usize = budget[1]
+        .parse()
+        .map_err(|_| bad("malformed coarse point count"))?;
+    let max_points: usize = budget[2]
+        .parse()
+        .map_err(|_| bad("malformed point budget"))?;
+    let tolerance = parse_bits(budget[3])?;
+    // The scenario block starts right after the three header lines.
+    let mut offset = 0usize;
+    for (count, line) in text.split_inclusive('\n').enumerate() {
+        offset += line.len();
+        if count == 2 {
+            break;
+        }
+    }
+    let template = wire::decode_scenario(&text[offset..])?;
+    SweepScenario::builder(template, Frequency::new(f_lo), Frequency::new(f_hi))
+        .coarse_points(coarse_points)
+        .max_points(max_points)
+        .tolerance(tolerance)
+        .build()
+}
+
+/// Exact identity of a sweep (band, budgets and template all included).
+pub fn sweep_fingerprint(sweep: &SweepScenario) -> u64 {
+    crate::plan::debug_fingerprint(&encode_sweep(sweep))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rough_core::RoughnessSpec;
+    use rough_em::material::Stackup;
+    use rough_em::units::{GigaHertz, Micrometers};
+
+    fn template() -> Scenario {
+        Scenario::builder(Stackup::paper_baseline())
+            .name("sweep-template")
+            .roughness(RoughnessSpec::gaussian(
+                Micrometers::new(1.0),
+                Micrometers::new(1.0),
+            ))
+            .frequencies([GigaHertz::new(1.0).into()])
+            .cells_per_side(6)
+            .max_kl_modes(2)
+            .monte_carlo(2)
+            .build()
+            .unwrap()
+    }
+
+    fn sweep() -> SweepScenario {
+        SweepScenario::builder(
+            template(),
+            GigaHertz::new(1.0).into(),
+            GigaHertz::new(20.0).into(),
+        )
+        .coarse_points(5)
+        .max_points(11)
+        .tolerance(2.5e-3)
+        .build()
+        .unwrap()
+    }
+
+    #[test]
+    fn wire_roundtrips_bit_exactly() {
+        let sweep = sweep();
+        let text = encode_sweep(&sweep);
+        let decoded = decode_sweep(&text).unwrap();
+        assert_eq!(text, encode_sweep(&decoded));
+        assert_eq!(sweep_fingerprint(&sweep), sweep_fingerprint(&decoded));
+        assert_eq!(decoded.band(), sweep.band());
+        assert_eq!(decoded.coarse_points(), 5);
+        assert_eq!(decoded.max_points(), 11);
+        assert_eq!(decoded.tolerance().to_bits(), 2.5e-3f64.to_bits());
+        assert_eq!(decoded.template().name(), "sweep-template");
+    }
+
+    #[test]
+    fn fingerprints_distinguish_band_and_budget() {
+        let base = sweep();
+        let other_band = SweepScenario::builder(
+            template(),
+            GigaHertz::new(1.0).into(),
+            GigaHertz::new(10.0).into(),
+        )
+        .coarse_points(5)
+        .max_points(11)
+        .tolerance(2.5e-3)
+        .build()
+        .unwrap();
+        assert_ne!(sweep_fingerprint(&base), sweep_fingerprint(&other_band));
+        let other_budget = SweepScenario::builder(
+            template(),
+            GigaHertz::new(1.0).into(),
+            GigaHertz::new(20.0).into(),
+        )
+        .coarse_points(5)
+        .max_points(13)
+        .tolerance(2.5e-3)
+        .build()
+        .unwrap();
+        assert_ne!(sweep_fingerprint(&base), sweep_fingerprint(&other_budget));
+    }
+
+    #[test]
+    fn coarse_grid_is_log_spaced_with_exact_endpoints() {
+        let sweep = sweep();
+        let grid = sweep.coarse_grid();
+        assert_eq!(grid.len(), 5);
+        assert_eq!(grid[0].to_bits(), 1.0e9f64.to_bits());
+        assert_eq!(grid[4].to_bits(), 20.0e9f64.to_bits());
+        // Log spacing: constant ratio between neighbours.
+        let r0 = grid[1] / grid[0];
+        let r1 = grid[2] / grid[1];
+        assert!((r0 - r1).abs() < 1e-9 * r0);
+        assert!(grid.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn scenario_for_points_inherits_everything_but_frequencies() {
+        let sweep = sweep();
+        let scenario = sweep.scenario_for_points(&[2.0e9, 3.0e9]).unwrap();
+        assert_eq!(scenario.name(), "sweep-template");
+        assert_eq!(scenario.frequencies().len(), 2);
+        assert_eq!(
+            scenario.frequencies()[0].value().to_bits(),
+            2.0e9f64.to_bits()
+        );
+        assert_eq!(scenario.cells_per_side(), sweep.template().cells_per_side());
+        assert_eq!(scenario.master_seed(), sweep.template().master_seed());
+        // Distinct point sets get distinct fingerprints; identical sets share
+        // one — the daemon's dedupe key.
+        let again = sweep.scenario_for_points(&[2.0e9, 3.0e9]).unwrap();
+        let other = sweep.scenario_for_points(&[2.0e9, 4.0e9]).unwrap();
+        assert_eq!(
+            wire::scenario_fingerprint(&scenario),
+            wire::scenario_fingerprint(&again)
+        );
+        assert_ne!(
+            wire::scenario_fingerprint(&scenario),
+            wire::scenario_fingerprint(&other)
+        );
+    }
+
+    #[test]
+    fn invalid_definitions_are_rejected() {
+        let make = |lo: f64, hi: f64| {
+            SweepScenario::builder(template(), Frequency::new(lo), Frequency::new(hi))
+        };
+        assert!(make(2.0e9, 1.0e9).build().is_err()); // inverted
+        assert!(make(0.0, 1.0e9).build().is_err()); // zero lower bound
+        assert!(make(1.0e9, 2.0e9).coarse_points(2).build().is_err());
+        assert!(make(1.0e9, 2.0e9).max_points(3).build().is_err()); // < coarse 5
+        assert!(make(1.0e9, 2.0e9).tolerance(0.0).build().is_err());
+        let sweep = sweep();
+        assert!(sweep.scenario_for_points(&[]).is_err());
+        assert!(sweep.scenario_for_points(&[-1.0]).is_err());
+    }
+
+    #[test]
+    fn garbage_wire_is_rejected() {
+        assert!(decode_sweep("nonsense").is_err());
+        assert!(decode_sweep(MAGIC).is_err());
+        assert!(decode_sweep(&format!("{MAGIC}\nband zz zz\n")).is_err());
+    }
+}

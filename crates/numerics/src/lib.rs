@@ -28,6 +28,9 @@
 //! * [`stats`] — descriptive statistics, empirical CDFs and histograms used by
 //!   the Monte-Carlo / SSCM comparison experiments.
 //! * [`interp`] — piecewise-linear interpolation of sampled curves.
+//! * [`rational`] — Floater–Hormann barycentric rational interpolation and a
+//!   vector-fitting-style rational least-squares model with an explicit
+//!   tabular fallback (broadband sweep fitting and circuit export).
 //!
 //! The crate has no external dependencies (the dev-dependencies `proptest` and
 //! `rand` are used only by the test-suite).
@@ -60,6 +63,7 @@ pub mod iterative;
 pub mod linalg;
 pub mod quadrature;
 pub mod quadrature2d;
+pub mod rational;
 pub mod special;
 pub mod stats;
 

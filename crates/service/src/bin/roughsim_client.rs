@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! roughsim-client submit --preset NAME [--watch] [--csv PATH] [--addr HOST:PORT]
+//! roughsim-client sweep --preset NAME [--watch] [--csv PATH] [--export DIR [--base NAME]]
 //! roughsim-client fetch --fingerprint HEX --csv PATH [--addr HOST:PORT]
 //! roughsim-client status [--addr HOST:PORT]
 //! roughsim-client shutdown [--addr HOST:PORT]
@@ -9,12 +10,18 @@
 //!
 //! `submit --watch` streams the daemon's typed run events to stderr and, when
 //! `--csv` is given, fetches the finished report and writes its CSV rows.
-//! `fetch` retrieves a previously cached report by scenario fingerprint (the
-//! hex value `submit` prints). The daemon address defaults to
-//! `127.0.0.1:7171` or `ROUGHSIMD_ADDR`.
+//! `sweep` drives a broadband adaptive sweep preset through the daemon round
+//! by round (each round dedupes against the daemon's report cache), prints
+//! per-point progress, and writes the exported `Z(f)` table (`--csv`) and/or
+//! the full CSV + Touchstone + SPICE export set (`--export DIR`); its JSON
+//! summary goes to stdout. `fetch` retrieves a previously cached report by
+//! scenario fingerprint (the hex value `submit` prints). The daemon address
+//! defaults to `127.0.0.1:7171` or `ROUGHSIMD_ADDR`.
 
-use rough_engine::CampaignReport;
-use rough_service::{presets, Client, ServiceEvent};
+use rough_engine::{CampaignReport, FnObserver, RunEvent};
+use rough_service::{presets, Client, DaemonEvaluator, ServiceEvent};
+use rough_sweep::FrequencySweep;
+use std::sync::Arc;
 
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
     args.iter()
@@ -23,8 +30,9 @@ fn arg_value(args: &[String], flag: &str) -> Option<String> {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: roughsim-client <submit|fetch|status|shutdown> [options]");
+    eprintln!("usage: roughsim-client <submit|sweep|fetch|status|shutdown> [options]");
     eprintln!("  submit --preset NAME [--watch] [--csv PATH] [--addr HOST:PORT]");
+    eprintln!("  sweep --preset NAME [--watch] [--csv PATH] [--export DIR [--base NAME]]");
     eprintln!("  fetch --fingerprint HEX --csv PATH [--addr HOST:PORT]");
     eprintln!("  status | shutdown [--addr HOST:PORT]");
     std::process::exit(2);
@@ -70,6 +78,16 @@ fn print_event(event: &ServiceEvent) {
             wall_seconds,
         } => {
             eprintln!("  finished: {units} units in {wall_seconds:.1} s");
+        }
+        ServiceEvent::SweepPoint {
+            solved,
+            budget,
+            frequency_hz,
+        } => {
+            eprintln!(
+                "  sweep point {solved}/{budget}: {:.4} GHz",
+                frequency_hz * 1e-9
+            );
         }
     }
 }
@@ -125,6 +143,64 @@ fn main() {
                     fail("--csv requires --watch (the report exists only after the job runs)");
                 }
             }
+        }
+        "sweep" => {
+            let Some(preset) = arg_value(&args, "--preset") else {
+                usage();
+            };
+            let sweep = presets::sweep_by_name(&preset).unwrap_or_else(|e| fail(e));
+            let watch = args.iter().any(|a| a == "--watch");
+            let csv = arg_value(&args, "--csv");
+            let export_dir = arg_value(&args, "--export");
+            let stack = *sweep.template().stack();
+            let mut evaluator = DaemonEvaluator::new(&client, |event: &ServiceEvent| {
+                if watch {
+                    print_event(event);
+                }
+            });
+            let driver =
+                FrequencySweep::new(sweep).observer(Arc::new(FnObserver(|event: &RunEvent| {
+                    if let RunEvent::SweepPointSolved {
+                        frequency_hz,
+                        value,
+                        solved,
+                        budget,
+                    } = event
+                    {
+                        eprintln!(
+                            "sweep point {solved}/{budget}: {:.4} GHz -> K = {value:.6}",
+                            frequency_hz * 1e-9
+                        );
+                    }
+                })));
+            let outcome = driver.run(&mut evaluator).unwrap_or_else(|e| fail(e));
+            eprintln!(
+                "sweep done: {} points in {} rounds (converged {}, fit {}, daemon-cached rounds {}/{})",
+                outcome.points.len(),
+                outcome.rounds,
+                outcome.converged,
+                outcome.fit.describe(),
+                evaluator.cached_rounds(),
+                evaluator.rounds(),
+            );
+            if let Some(path) = &csv {
+                if let Err(e) = std::fs::write(path, rough_sweep::zf_csv(&outcome, &stack)) {
+                    fail(format!("cannot write {path}: {e}"));
+                }
+                eprintln!("wrote {path}");
+            }
+            if let Some(dir) = &export_dir {
+                let base = arg_value(&args, "--base").unwrap_or_else(|| preset.clone());
+                match rough_sweep::write_exports(&outcome, &stack, dir, &base) {
+                    Ok(paths) => {
+                        for path in paths {
+                            eprintln!("wrote {}", path.display());
+                        }
+                    }
+                    Err(e) => fail(format!("cannot export to {dir}: {e}")),
+                }
+            }
+            print!("{}", outcome.to_json());
         }
         "fetch" => {
             let (Some(fingerprint), Some(path)) =

@@ -230,12 +230,14 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
             kind::FETCH => {
                 let reply = match protocol::decode_fetch(&frame) {
                     Ok(fingerprint) => {
-                        let path = {
-                            let queue = shared.queue.lock().expect("queue poisoned");
-                            queue.report_path(fingerprint)
-                        };
-                        match std::fs::read_to_string(&path) {
-                            Ok(text) => protocol::encode_report(fingerprint, &text),
+                        let mut queue = shared.queue.lock().expect("queue poisoned");
+                        match std::fs::read_to_string(queue.report_path(fingerprint)) {
+                            Ok(text) => {
+                                // A served report is hot again: refresh its
+                                // LRU slot so the budget evicts around it.
+                                queue.touch_report(fingerprint).ok();
+                                protocol::encode_report(fingerprint, &text)
+                            }
                             Err(_) => PayloadWriter::new().u64(fingerprint).frame(kind::NOT_FOUND),
                         }
                     }
@@ -417,6 +419,6 @@ fn execute_job(
     // Settle the artifact: scrub checkpoint churn, then publish it as the
     // content-addressed cached report.
     checkpoint::compact(checkpoint_path)?;
-    let queue = shared.queue.lock().expect("queue poisoned");
+    let mut queue = shared.queue.lock().expect("queue poisoned");
     queue.publish_report(job, fingerprint)
 }

@@ -18,8 +18,15 @@
 //! * [`daemon`] — accept loop, connection handlers, the single-campaign
 //!   runner with restart-resume, and event broadcast to watchers.
 //! * [`client`] — blocking submit / watch / fetch / status / shutdown.
-//! * [`presets`] — named scenarios shared by the client CLI and CI smoke
-//!   tests.
+//! * [`sweep`] — [`DaemonEvaluator`], running broadband adaptive sweeps
+//!   round by round through the daemon (each round dedupes against the
+//!   report cache).
+//! * [`presets`] — named scenarios and sweeps shared by the client CLI and
+//!   CI smoke tests.
+//!
+//! The report cache is bounded by the `ROUGHSIMD_CACHE_BUDGET` environment
+//! variable (bytes; unset = unbounded): least-recently-used reports are
+//! evicted first, with recency journaled so the order survives restarts.
 //!
 //! Durability story: submissions are journaled before they are acknowledged;
 //! campaigns checkpoint per unit; a daemon killed at any point restarts with
@@ -35,8 +42,10 @@ pub mod daemon;
 pub mod presets;
 pub mod protocol;
 pub mod queue;
+pub mod sweep;
 
 pub use client::{Client, Submission};
 pub use daemon::{Daemon, DaemonConfig};
 pub use protocol::{QueueStatus, ServiceEvent};
-pub use queue::{Job, JobQueue, JobState};
+pub use queue::{Job, JobQueue, JobState, CACHE_BUDGET_ENV};
+pub use sweep::DaemonEvaluator;

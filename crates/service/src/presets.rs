@@ -10,7 +10,7 @@
 use rough_core::RoughnessSpec;
 use rough_em::material::{Conductor, Dielectric, Stackup};
 use rough_em::units::{GigaHertz, Micrometers};
-use rough_engine::{EngineError, Scenario};
+use rough_engine::{EngineError, Scenario, SweepScenario};
 use rough_surface::RoughSurface;
 
 fn paper_stack() -> Stackup {
@@ -81,6 +81,38 @@ pub fn by_name(name: &str) -> Result<Scenario, EngineError> {
     }
 }
 
+/// Reduced broadband sweep of the Fig. 5 half-spheroid: exactly three
+/// log-spaced points over 2–10 GHz (the budget equals the coarse scan, so no
+/// refinement happens) — the smallest sweep that exercises the whole
+/// sweep-through-daemon path, and the one the CI smoke diffs against its
+/// golden `Z(f)` table.
+pub fn fig5_band_reduced() -> SweepScenario {
+    SweepScenario::builder(
+        fig5_reduced(),
+        GigaHertz::new(2.0).into(),
+        GigaHertz::new(10.0).into(),
+    )
+    .coarse_points(3)
+    .max_points(3)
+    .tolerance(1e-3)
+    .build()
+    .expect("valid reduced band sweep")
+}
+
+/// Resolves a sweep preset by its CLI name.
+///
+/// # Errors
+///
+/// Returns [`EngineError::InvalidScenario`] for an unknown name.
+pub fn sweep_by_name(name: &str) -> Result<SweepScenario, EngineError> {
+    match name {
+        "fig5-band-reduced" => Ok(fig5_band_reduced()),
+        other => Err(EngineError::InvalidScenario(format!(
+            "unknown sweep preset `{other}` (available: fig5-band-reduced)"
+        ))),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,5 +131,18 @@ mod tests {
             );
         }
         assert!(by_name("fig9-imaginary").is_err());
+    }
+
+    #[test]
+    fn sweep_preset_resolves_and_roundtrips_the_wire_format() {
+        let sweep = sweep_by_name("fig5-band-reduced").unwrap();
+        assert_eq!(sweep.coarse_points(), sweep.max_points()); // no refinement
+        let encoded = rough_engine::sweep::encode_sweep(&sweep);
+        let decoded = rough_engine::sweep::decode_sweep(&encoded).unwrap();
+        assert_eq!(
+            rough_engine::sweep::sweep_fingerprint(&sweep),
+            rough_engine::sweep::sweep_fingerprint(&decoded),
+        );
+        assert!(sweep_by_name("fig9-band-imaginary").is_err());
     }
 }

@@ -97,6 +97,15 @@ pub enum ServiceEvent {
         /// Wall-clock seconds of the run.
         wall_seconds: f64,
     },
+    /// An adaptive sweep solved one frequency point.
+    SweepPoint {
+        /// Points solved so far.
+        solved: u64,
+        /// Total sweep point budget.
+        budget: u64,
+        /// The solved frequency in Hz.
+        frequency_hz: f64,
+    },
 }
 
 impl ServiceEvent {
@@ -129,6 +138,16 @@ impl ServiceEvent {
                 units: *units as u64,
                 wall_seconds: wall_time.as_secs_f64(),
             },
+            RunEvent::SweepPointSolved {
+                frequency_hz,
+                solved,
+                budget,
+                ..
+            } => ServiceEvent::SweepPoint {
+                solved: *solved as u64,
+                budget: *budget as u64,
+                frequency_hz: *frequency_hz,
+            },
         }
     }
 
@@ -144,6 +163,11 @@ impl ServiceEvent {
                 units,
                 wall_seconds,
             } => (6, units, 0, wall_seconds),
+            ServiceEvent::SweepPoint {
+                solved,
+                budget,
+                frequency_hz,
+            } => (7, solved, budget, frequency_hz),
         };
         PayloadWriter::new()
             .u64(job)
@@ -182,6 +206,11 @@ impl ServiceEvent {
             6 => ServiceEvent::Finished {
                 units: a,
                 wall_seconds: value,
+            },
+            7 => ServiceEvent::SweepPoint {
+                solved: a,
+                budget: b,
+                frequency_hz: value,
             },
             other => return Err(protocol_error(format!("unknown event tag {other}"))),
         };

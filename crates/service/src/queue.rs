@@ -13,9 +13,18 @@
 //! their terminal state, while jobs that were `running` when the daemon died
 //! are re-queued — their partial checkpoints let [`rough_engine::Run::resume`]
 //! continue from the last completed unit.
+//!
+//! The report cache is bounded: when `ROUGHSIMD_CACHE_BUDGET` (bytes) is set,
+//! publishing a report evicts the least-recently-used cached reports until
+//! the cache fits the budget. Recency is journaled as `touch` records — every
+//! publish and every served fetch refreshes its report — so the LRU order
+//! survives restarts, and the hottest entry is never evicted (the report just
+//! published or fetched always lands). An evicted fingerprint simply
+//! recomputes on its next submission; eviction never breaks correctness,
+//! only the cache hit.
 
 use rough_engine::{wire, EngineError};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Write as _};
 use std::path::{Path, PathBuf};
@@ -107,6 +116,19 @@ fn state_line(id: u64, state: &JobState) -> String {
     }
 }
 
+fn touch_line(fingerprint: u64) -> String {
+    format!("{{\"kind\":\"touch\",\"fingerprint\":\"{fingerprint:016x}\"}}")
+}
+
+/// Moves `fingerprint` to the most-recently-used end of the order.
+fn touch_in(recency: &mut Vec<u64>, fingerprint: u64) {
+    recency.retain(|&f| f != fingerprint);
+    recency.push(fingerprint);
+}
+
+/// Environment variable bounding the report cache, in bytes.
+pub const CACHE_BUDGET_ENV: &str = "ROUGHSIMD_CACHE_BUDGET";
+
 /// The daemon's durable job table.
 #[derive(Debug)]
 pub struct JobQueue {
@@ -114,6 +136,10 @@ pub struct JobQueue {
     journal: BufWriter<File>,
     jobs: BTreeMap<u64, Job>,
     next_id: u64,
+    /// Report fingerprints, least-recently-used first.
+    recency: Vec<u64>,
+    /// Size budget of the report cache in bytes (`None` = unbounded).
+    cache_budget: Option<u64>,
 }
 
 impl JobQueue {
@@ -132,6 +158,7 @@ impl JobQueue {
         }
         let journal_path = root.join("queue.jsonl");
         let mut jobs: BTreeMap<u64, Job> = BTreeMap::new();
+        let mut recency: Vec<u64> = Vec::new();
         if let Ok(text) = std::fs::read_to_string(&journal_path) {
             for line in text.lines() {
                 if line.contains("\"kind\":\"job\"") {
@@ -172,6 +199,12 @@ impl JobQueue {
                             job.state = state;
                         }
                     }
+                } else if line.contains("\"kind\":\"touch\"") {
+                    if let Some(fingerprint) = extract_str(line, "fingerprint")
+                        .and_then(|s| u64::from_str_radix(s, 16).ok())
+                    {
+                        touch_in(&mut recency, fingerprint);
+                    }
                 }
             }
         }
@@ -196,6 +229,17 @@ impl JobQueue {
                 out.push('\n');
             }
         }
+        // Keep the LRU order of still-resident reports (one touch line each,
+        // coldest first); fingerprints whose files are gone drop out here.
+        recency.retain(|&fp| {
+            root.join("reports")
+                .join(format!("{fp:016x}.jsonl"))
+                .exists()
+        });
+        for &fingerprint in &recency {
+            out.push_str(&touch_line(fingerprint));
+            out.push('\n');
+        }
         let tmp = root.join("queue.jsonl.compact-tmp");
         std::fs::write(&tmp, &out)
             .map_err(|e| queue_error(format!("cannot write {}: {e}", tmp.display())))?;
@@ -206,12 +250,20 @@ impl JobQueue {
             .append(true)
             .open(&journal_path)
             .map_err(|e| queue_error(format!("cannot append to journal: {e}")))?;
-        Ok(Self {
+        let mut queue = Self {
             root,
             journal: BufWriter::new(journal),
             jobs,
             next_id,
-        })
+            recency,
+            cache_budget: std::env::var(CACHE_BUDGET_ENV)
+                .ok()
+                .and_then(|v| v.trim().parse().ok()),
+        };
+        // Trim immediately: a budget lowered between daemon lives applies on
+        // restart, not only at the next publish.
+        queue.enforce_cache_budget()?;
+        Ok(queue)
     }
 
     fn write_line(&mut self, line: &str) -> Result<(), EngineError> {
@@ -312,12 +364,13 @@ impl JobQueue {
     }
 
     /// Publishes a completed job's compacted checkpoint into the report
-    /// cache (copy to a temp name, then atomic rename).
+    /// cache (copy to a temp name, then atomic rename), refreshes its LRU
+    /// slot and evicts over-budget cold reports.
     ///
     /// # Errors
     ///
     /// Returns [`EngineError::Checkpoint`] on I/O failure.
-    pub fn publish_report(&self, id: u64, fingerprint: u64) -> Result<(), EngineError> {
+    pub fn publish_report(&mut self, id: u64, fingerprint: u64) -> Result<(), EngineError> {
         let source = self.checkpoint_path(id);
         let target = self.report_path(fingerprint);
         let tmp = target.with_extension("jsonl.publish-tmp");
@@ -325,7 +378,92 @@ impl JobQueue {
             .map_err(|e| queue_error(format!("cannot stage report: {e}")))?;
         std::fs::rename(&tmp, &target)
             .map_err(|e| queue_error(format!("cannot publish report: {e}")))?;
+        self.touch_report(fingerprint)?;
+        self.enforce_cache_budget()?;
         Ok(())
+    }
+
+    /// Marks a cached report as just-used (publish or served fetch): it
+    /// becomes the last candidate for eviction. Journaled, so the LRU order
+    /// survives restarts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Checkpoint`] when the journal cannot be
+    /// written.
+    pub fn touch_report(&mut self, fingerprint: u64) -> Result<(), EngineError> {
+        touch_in(&mut self.recency, fingerprint);
+        self.write_line(&touch_line(fingerprint))
+    }
+
+    /// Overrides the report-cache size budget (bytes; `None` = unbounded).
+    /// The default comes from [`CACHE_BUDGET_ENV`] at open.
+    pub fn set_cache_budget(&mut self, budget: Option<u64>) {
+        self.cache_budget = budget;
+    }
+
+    /// Deletes least-recently-used cached reports until the cache fits the
+    /// budget; a no-op without one. The most-recently-touched report is never
+    /// evicted, so a just-published report always lands even when it alone
+    /// exceeds the budget. Returns the number of evicted reports.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible (deletion failures skip the entry); the
+    /// signature reserves the right to journal evictions.
+    pub fn enforce_cache_budget(&mut self) -> Result<usize, EngineError> {
+        let Some(budget) = self.cache_budget else {
+            return Ok(0);
+        };
+        let mut sizes: HashMap<u64, u64> = HashMap::new();
+        if let Ok(entries) = std::fs::read_dir(self.root.join("reports")) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let Some(hex) = name.to_str().and_then(|n| n.strip_suffix(".jsonl")) else {
+                    continue;
+                };
+                let Ok(fingerprint) = u64::from_str_radix(hex, 16) else {
+                    continue;
+                };
+                if let Ok(meta) = entry.metadata() {
+                    sizes.insert(fingerprint, meta.len());
+                }
+            }
+        }
+        let mut total: u64 = sizes.values().sum();
+        if total <= budget {
+            return Ok(0);
+        }
+        // Eviction order: reports the journal has never seen first (ascending
+        // fingerprint, for determinism), then least-recently-touched.
+        let mut order: Vec<u64> = {
+            let mut unknown: Vec<u64> = sizes
+                .keys()
+                .copied()
+                .filter(|fp| !self.recency.contains(fp))
+                .collect();
+            unknown.sort_unstable();
+            unknown
+        };
+        order.extend(
+            self.recency
+                .iter()
+                .copied()
+                .filter(|fp| sizes.contains_key(fp)),
+        );
+        let hottest = order.last().copied();
+        let mut evicted = 0;
+        for fingerprint in order {
+            if total <= budget || Some(fingerprint) == hottest {
+                break;
+            }
+            if std::fs::remove_file(self.report_path(fingerprint)).is_ok() {
+                total -= sizes[&fingerprint];
+                evicted += 1;
+                self.recency.retain(|&f| f != fingerprint);
+            }
+        }
+        Ok(evicted)
     }
 }
 
@@ -398,6 +536,78 @@ mod tests {
         );
         assert_eq!(queue.status().failed, 1);
         assert_eq!(queue.status().queued, 1);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    /// Settles a 100-byte report for `fingerprint` through the normal
+    /// publish path.
+    fn publish_small(queue: &mut JobQueue, wire: &str, fingerprint: u64) -> u64 {
+        let (id, _) = queue.submit(wire, fingerprint).unwrap();
+        queue.mark(id, JobState::Done).unwrap();
+        std::fs::write(queue.checkpoint_path(id), vec![b'x'; 100]).unwrap();
+        queue.publish_report(id, fingerprint).unwrap();
+        id
+    }
+
+    #[test]
+    fn cache_budget_evicts_cold_reports_and_keeps_hot_ones() {
+        let root = temp_root("budget");
+        let mut queue = JobQueue::open(&root).unwrap();
+        publish_small(&mut queue, "scenario-a", 0xA);
+        publish_small(&mut queue, "scenario-b", 0xB);
+        publish_small(&mut queue, "scenario-c", 0xC);
+        // Unbounded: everything stays resident.
+        for fp in [0xA, 0xB, 0xC] {
+            assert!(queue.report_path(fp).exists());
+        }
+        // A fetch hit refreshes 0xA, leaving 0xB the coldest entry.
+        queue.touch_report(0xA).unwrap();
+        queue.set_cache_budget(Some(250));
+        assert_eq!(queue.enforce_cache_budget().unwrap(), 1);
+        assert!(!queue.report_path(0xB).exists(), "coldest survived");
+        assert!(queue.report_path(0xA).exists(), "hot entry evicted");
+        assert!(queue.report_path(0xC).exists());
+        // Publishing under a full budget evicts the now-coldest 0xC; the
+        // fresh report always lands.
+        publish_small(&mut queue, "scenario-d", 0xD);
+        assert!(!queue.report_path(0xC).exists());
+        assert!(queue.report_path(0xA).exists());
+        assert!(queue.report_path(0xD).exists());
+        // An evicted fingerprint is no longer served from cache: its
+        // resubmission schedules a fresh job.
+        let (id, cached) = queue.submit("scenario-b", 0xB).unwrap();
+        assert!(!cached);
+        assert_eq!(queue.job(id).unwrap().state, JobState::Queued);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn lru_order_survives_reopen() {
+        let root = temp_root("budget-reopen");
+        {
+            let mut queue = JobQueue::open(&root).unwrap();
+            publish_small(&mut queue, "scenario-a", 0xA);
+            publish_small(&mut queue, "scenario-b", 0xB);
+            queue.touch_report(0xA).unwrap(); // 0xB is now coldest
+        }
+        let mut queue = JobQueue::open(&root).unwrap();
+        queue.set_cache_budget(Some(150));
+        assert_eq!(queue.enforce_cache_budget().unwrap(), 1);
+        assert!(!queue.report_path(0xB).exists(), "journaled LRU order lost");
+        assert!(queue.report_path(0xA).exists());
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn a_single_oversized_report_is_never_evicted() {
+        let root = temp_root("budget-oversized");
+        let mut queue = JobQueue::open(&root).unwrap();
+        queue.set_cache_budget(Some(10));
+        publish_small(&mut queue, "scenario-a", 0xA); // 100 bytes > budget
+        assert!(
+            queue.report_path(0xA).exists(),
+            "publish evicted its own report"
+        );
         std::fs::remove_dir_all(&root).ok();
     }
 

@@ -1,0 +1,96 @@
+//! Broadband sweeps through the campaign daemon.
+//!
+//! [`DaemonEvaluator`] implements [`SweepEvaluator`] over the service wire:
+//! each refinement round becomes an ordinary submitted job, watched to
+//! completion and fetched back from the content-addressed report cache. The
+//! daemon is the warm state here — its engine-wide kernel cache spans rounds
+//! of one sweep *and* unrelated campaigns, and because a round's scenario
+//! fingerprint depends only on the template and its frequency points,
+//! re-running a sweep (resumed client, nightly re-check, another user on the
+//! same band) dedupes round by round against reports already published. The
+//! evaluator counts those free rounds in [`DaemonEvaluator::cached_rounds`].
+
+use crate::client::Client;
+use crate::protocol::ServiceEvent;
+use rough_engine::{EngineError, SweepScenario};
+use rough_sweep::{RoundOutcome, SweepEvaluator, SweepPoint};
+
+/// Solves sweep rounds by submitting them to a campaign daemon.
+pub struct DaemonEvaluator<'a, F: FnMut(&ServiceEvent)> {
+    client: &'a Client,
+    on_event: F,
+    rounds: usize,
+    cached_rounds: usize,
+}
+
+impl<'a, F: FnMut(&ServiceEvent)> DaemonEvaluator<'a, F> {
+    /// Wraps a client; `on_event` receives the daemon's streamed run events
+    /// for every round (unit progress, checkpoints, …).
+    pub fn new(client: &'a Client, on_event: F) -> Self {
+        Self {
+            client,
+            on_event,
+            rounds: 0,
+            cached_rounds: 0,
+        }
+    }
+
+    /// Rounds submitted so far.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Rounds the daemon served straight from its report cache — the warm
+    /// half of the sweep's solve budget.
+    pub fn cached_rounds(&self) -> usize {
+        self.cached_rounds
+    }
+}
+
+impl<F: FnMut(&ServiceEvent)> SweepEvaluator for DaemonEvaluator<'_, F> {
+    fn solve_round(
+        &mut self,
+        sweep: &SweepScenario,
+        points: &[f64],
+    ) -> Result<RoundOutcome, EngineError> {
+        let scenario = sweep.scenario_for_points(points)?;
+        let (submission, outcome) = self
+            .client
+            .submit_watch(&scenario, |event| (self.on_event)(event))?;
+        self.rounds += 1;
+        if submission.cached {
+            self.cached_rounds += 1;
+        }
+        outcome.map_err(|message| {
+            EngineError::Socket(format!("daemon sweep round failed: {message}"))
+        })?;
+        let report = self
+            .client
+            .fetch_report(submission.fingerprint)?
+            .ok_or_else(|| {
+                EngineError::Socket("sweep round finished but its report is not cached".into())
+            })?;
+        let mut values = vec![f64::NAN; points.len()];
+        for case in &report.cases {
+            if let Some(slot) = values.get_mut(case.id.frequency) {
+                *slot = case.mean;
+            }
+        }
+        if values.iter().any(|v| !v.is_finite()) {
+            return Err(EngineError::Socket(
+                "daemon sweep round returned a non-finite or missing loss factor".into(),
+            ));
+        }
+        Ok(RoundOutcome {
+            points: points
+                .iter()
+                .zip(values)
+                .map(|(&frequency_hz, value)| SweepPoint {
+                    frequency_hz,
+                    value,
+                })
+                .collect(),
+            cache: report.cache,
+        })
+    }
+}

@@ -377,3 +377,123 @@ fn daemon_feeds_cost_table_and_second_job_reorders_by_measured_cost() {
     daemon.join();
     std::fs::remove_dir_all(&state).ok();
 }
+
+#[test]
+fn daemon_sweep_rounds_dedupe_and_export_bit_identically() {
+    use rough_engine::SweepScenario;
+    use rough_service::DaemonEvaluator;
+    use rough_sweep::{zf_csv, FrequencySweep};
+
+    let state = temp_state("sweep");
+    let daemon = start_daemon(&state);
+    let client = Client::new(daemon.addr());
+
+    // A 3-point sweep (budget == coarse scan): one daemon round, no
+    // refinement — small enough for CI, wide enough to hit every layer.
+    let sweep = || {
+        SweepScenario::builder(
+            scenario("sweep-roundtrip", 77),
+            GigaHertz::new(2.0).into(),
+            GigaHertz::new(10.0).into(),
+        )
+        .coarse_points(3)
+        .max_points(3)
+        .tolerance(1e-3)
+        .build()
+        .expect("valid sweep")
+    };
+    let stack = Stackup::paper_baseline();
+
+    let events = Arc::new(AtomicUsize::new(0));
+    let events_clone = Arc::clone(&events);
+    let mut evaluator = DaemonEvaluator::new(&client, move |_event| {
+        events_clone.fetch_add(1, Ordering::Relaxed);
+    });
+    let first = FrequencySweep::new(sweep())
+        .run(&mut evaluator)
+        .expect("first sweep");
+    assert_eq!(first.points.len(), 3);
+    assert_eq!(evaluator.rounds(), 1);
+    assert_eq!(evaluator.cached_rounds(), 0);
+    assert!(
+        events.load(Ordering::Relaxed) > 0,
+        "daemon streamed no run events"
+    );
+
+    // Re-running the identical sweep dedupes every round against the
+    // daemon's content-addressed report cache and reproduces the exported
+    // table byte for byte.
+    let mut warm = DaemonEvaluator::new(&client, |_event: &ServiceEvent| {});
+    let second = FrequencySweep::new(sweep())
+        .run(&mut warm)
+        .expect("second sweep");
+    assert_eq!(warm.cached_rounds(), 1, "round was not served from cache");
+    assert_eq!(zf_csv(&first, &stack), zf_csv(&second, &stack));
+    for (a, b) in first.points.iter().zip(&second.points) {
+        assert_eq!(a.value.to_bits(), b.value.to_bits());
+    }
+
+    client.shutdown().expect("shutdown");
+    daemon.join();
+    std::fs::remove_dir_all(&state).ok();
+}
+
+/// Numeric Z(f)-table comparison: structure exact, every value within 1e-6
+/// relative (1e-9 absolute) — the bits columns are decoded and compared as
+/// numbers so last-ulp libm differences across toolchains don't flake.
+fn assert_zf_rows_match(want: &str, got: &str) {
+    let want_lines: Vec<&str> = want.lines().collect();
+    let got_lines: Vec<&str> = got.lines().collect();
+    assert_eq!(
+        want_lines.len(),
+        got_lines.len(),
+        "row count changed (golden {} vs actual {})",
+        want_lines.len(),
+        got_lines.len()
+    );
+    assert_eq!(want_lines[0], got_lines[0], "header changed");
+    for (row, (w, g)) in want_lines.iter().zip(&got_lines).enumerate().skip(1) {
+        let wf: Vec<&str> = w.split(',').collect();
+        let gf: Vec<&str> = g.split(',').collect();
+        assert_eq!(wf.len(), gf.len(), "row {row}: column count changed");
+        for (col, (wc, gc)) in wf.iter().zip(&gf).enumerate() {
+            let decode = |t: &str| -> f64 {
+                if col >= 5 {
+                    f64::from_bits(u64::from_str_radix(t, 16).expect("bits column"))
+                } else {
+                    t.parse().expect("numeric column")
+                }
+            };
+            let (wv, gv) = (decode(wc), decode(gc));
+            let tol = 1e-6 * wv.abs().max(1e-9);
+            assert!(
+                (wv - gv).abs() <= tol,
+                "row {row} col {col}: golden {wv} vs actual {gv}"
+            );
+        }
+    }
+}
+
+/// The `fig5-band-reduced` preset's exported `Z(f)` table is pinned against
+/// a golden snapshot — the same file the CI service-smoke job diffs the
+/// daemon-computed sweep against. Regenerate with `REGEN_GOLDEN=1`.
+#[test]
+fn sweep_preset_zf_table_matches_golden() {
+    let sweep = rough_service::presets::sweep_by_name("fig5-band-reduced").unwrap();
+    let stack = *sweep.template().stack();
+    let mut evaluator = rough_sweep::EngineEvaluator::new();
+    let outcome = rough_sweep::FrequencySweep::new(sweep)
+        .run(&mut evaluator)
+        .unwrap();
+    let csv = rough_sweep::zf_csv(&outcome, &stack);
+    let golden = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/fig5_band_zf.csv");
+    if std::env::var("REGEN_GOLDEN").is_ok() {
+        std::fs::create_dir_all(golden.parent().unwrap()).unwrap();
+        std::fs::write(&golden, &csv).unwrap();
+        eprintln!("regenerated {}", golden.display());
+        return;
+    }
+    let want = std::fs::read_to_string(&golden)
+        .expect("golden fig5_band_zf.csv missing; regenerate with REGEN_GOLDEN=1");
+    assert_zf_rows_match(&want, &csv);
+}

@@ -29,6 +29,11 @@
 //!   executors (serial / thread pool / worker subprocesses), plan-order or
 //!   cost-ordered scheduling, streamed [`RunEvent`](engine::RunEvent)s, and
 //!   JSONL unit checkpoints that resume bit-identically.
+//! * [`sweep`] — broadband frequency sweeps on top of the engine: adaptive
+//!   refinement of a [`SweepScenario`](engine::SweepScenario) band with
+//!   warm-state reuse, a vector-fitting-style rational curve model with an
+//!   explicit tabular fallback, and `Z(f)` CSV / Touchstone / SPICE
+//!   effective-conductivity exports.
 //!
 //! # Quickstart
 //!
@@ -63,6 +68,7 @@ pub use rough_numerics as numerics;
 pub use rough_service as service;
 pub use rough_stochastic as stochastic;
 pub use rough_surface as surface;
+pub use rough_sweep as sweep;
 
 /// Commonly used items, re-exported for convenient glob import.
 ///
@@ -140,6 +146,7 @@ pub mod prelude {
         material::{Conductor, Dielectric, Stackup},
         units::{GigaHertz, Hertz, Meters, Micrometers, OhmMeters},
     };
+    pub use rough_engine::SweepScenario;
     pub use rough_engine::{
         CancelToken, CostOrdered, CostTable, Engine, PlanOrder, Run, RunConfig, RunEvent, Scenario,
         SerialExecutor, SocketExecutor, SubprocessExecutor, ThreadPoolExecutor,
@@ -154,4 +161,5 @@ pub mod prelude {
         correlation::CorrelationFunction, generation::spectral::SpectralSurfaceGenerator,
         RoughSurface,
     };
+    pub use rough_sweep::{EngineEvaluator, FrequencySweep, SweepOutcome};
 }
