@@ -105,6 +105,83 @@ pub fn executor_from_env() -> Result<Arc<dyn UnitExecutor>, EngineError> {
     parse_executor_spec(&std::env::var(EXECUTOR_ENV).unwrap_or_default())
 }
 
+/// The intra-solve assembly share of one worker drawing on `budget` cores:
+/// the `ROUGHSIM_ASSEMBLY_THREADS` override when set, else
+/// `⌊budget / workers⌋` (at least 1).
+fn budgeted_assembly(budget: usize, workers: usize) -> AssemblyParallelism {
+    AssemblyParallelism::from_env()
+        .unwrap_or_else(|| AssemblyParallelism::workers((budget / workers.max(1)).max(1)))
+}
+
+/// Parses an executor spec like [`parse_executor_spec`], but sizes the
+/// executor against an explicit core `budget` instead of the whole machine —
+/// the building block for running several campaigns concurrently: a daemon
+/// running `J` jobs at once hands each runner
+/// `budget = max(1, core_budget() / J)` so
+/// `jobs × workers × assembly threads` never oversubscribes the machine.
+///
+/// Sizing per kind (`workers = budget` when the spec leaves the count at 0,
+/// assembly share `⌊budget / workers⌋`, `ROUGHSIM_ASSEMBLY_THREADS` still
+/// winning everywhere):
+///
+/// * `threads[:N]` — an N-thread pool whose solves each get the budget share;
+/// * `serial` — one unit at a time with the *whole* budget inside the solve
+///   (realized as a single-worker pool, bit-identical to [`SerialExecutor`]);
+/// * `subprocess[:N]` / `socket[:N]` — N worker processes whose children
+///   derive their assembly share from the budget, not the machine.
+///
+/// # Errors
+///
+/// Returns [`EngineError::InvalidScenario`] on an unknown kind or a
+/// malformed worker count, like [`parse_executor_spec`].
+pub fn parse_executor_spec_budgeted(
+    spec: &str,
+    budget: usize,
+) -> Result<Arc<dyn UnitExecutor>, EngineError> {
+    let budget = budget.max(1);
+    let bad = |reason: String| EngineError::InvalidScenario(reason);
+    let (kind, workers) = match spec.split_once(':') {
+        Some((kind, n)) => (
+            kind,
+            n.parse::<usize>()
+                .map_err(|_| bad(format!("executor spec `{spec}`: bad worker count `{n}`")))?,
+        ),
+        None => (spec, 0),
+    };
+    let sized = |n: usize| if n == 0 { budget } else { n };
+    Ok(match kind {
+        "" | "threads" => {
+            let w = sized(workers);
+            Arc::new(ThreadPoolExecutor::with_assembly(
+                w,
+                budgeted_assembly(budget, w),
+            ))
+        }
+        "serial" => Arc::new(ThreadPoolExecutor::with_assembly(
+            1,
+            budgeted_assembly(budget, 1),
+        )),
+        "subprocess" => Arc::new(
+            crate::subprocess::SubprocessExecutor::new(sized(workers)).with_core_budget(budget),
+        ),
+        "socket" => {
+            Arc::new(crate::socket::SocketExecutor::new(sized(workers)).with_core_budget(budget))
+        }
+        other => return Err(bad(format!("unknown executor `{other}`"))),
+    })
+}
+
+/// [`parse_executor_spec_budgeted`] over the `ROUGHSIM_EXECUTOR` environment
+/// variable — what each runner of a multi-job daemon calls with its slice of
+/// the core budget.
+///
+/// # Errors
+///
+/// Propagates [`parse_executor_spec_budgeted`] failures.
+pub fn executor_from_env_budgeted(budget: usize) -> Result<Arc<dyn UnitExecutor>, EngineError> {
+    parse_executor_spec_budgeted(&std::env::var(EXECUTOR_ENV).unwrap_or_default(), budget)
+}
+
 /// Executes scheduled work units, committing each completed record through
 /// the [`UnitSink`].
 ///
@@ -564,6 +641,61 @@ mod tests {
         }
         // A solo unit gets the whole budget.
         assert_eq!(budget_share(1).worker_count(), budget);
+    }
+
+    #[test]
+    fn budgeted_specs_size_workers_and_assembly_within_the_slice() {
+        // The multi-job split: J concurrent runners each get a slice of the
+        // machine, and workers × assembly must fit the slice. Tested through
+        // budgeted_assembly (env-override-free) plus the parsed worker
+        // counts, mirroring budget_split_never_oversubscribes.
+        for budget in [1usize, 2, 4, 7] {
+            for workers in [1usize, 2, 3, 8] {
+                let assembly =
+                    AssemblyParallelism::workers((budget / workers.max(1)).max(1)).worker_count();
+                if workers <= budget {
+                    assert!(
+                        workers * assembly <= budget,
+                        "{workers}w x {assembly}a exceeds slice {budget}"
+                    );
+                } else {
+                    assert_eq!(assembly, 1);
+                }
+            }
+        }
+        // An unsized `threads` spec fills exactly its slice, one worker per
+        // budgeted core; `serial` keeps one unit in flight.
+        let pool = parse_executor_spec_budgeted("threads", 3).unwrap();
+        assert_eq!(pool.parallelism(), 3);
+        let solo = parse_executor_spec_budgeted("serial", 3).unwrap();
+        assert_eq!(solo.parallelism(), 1);
+        let explicit = parse_executor_spec_budgeted("threads:2", 8).unwrap();
+        assert_eq!(explicit.parallelism(), 2);
+        assert!(parse_executor_spec_budgeted("warp-drive", 2).is_err());
+        assert!(parse_executor_spec_budgeted("threads:x", 2).is_err());
+    }
+
+    #[test]
+    fn budgeted_serial_spec_agrees_bitwise_with_the_serial_executor() {
+        let scenario = small_scenario(3);
+        let reference = Run::new(&scenario, RunConfig::new().executor(SerialExecutor))
+            .unwrap()
+            .execute()
+            .unwrap();
+        let budgeted = Run::new(
+            &scenario,
+            RunConfig::new().executor_arc(parse_executor_spec_budgeted("serial", 2).unwrap()),
+        )
+        .unwrap()
+        .execute()
+        .unwrap();
+        let a: Vec<u64> = reference
+            .records
+            .iter()
+            .map(|r| r.value.to_bits())
+            .collect();
+        let b: Vec<u64> = budgeted.records.iter().map(|r| r.value.to_bits()).collect();
+        assert_eq!(a, b);
     }
 
     #[test]

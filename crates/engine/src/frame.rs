@@ -211,6 +211,14 @@ impl<'a> PayloadReader<'a> {
         Ok(slice)
     }
 
+    /// Bytes not yet consumed. Decoders of frames whose later protocol
+    /// revisions *append* fields use this to stay version-tolerant: a field
+    /// is read only when enough payload remains, and an older peer's shorter
+    /// frame decodes with the field's documented default instead of erroring.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.cursor
+    }
+
     /// Reads a little-endian `u64`.
     ///
     /// # Errors
@@ -301,6 +309,24 @@ mod tests {
         write_frame(&mut buffer, &Frame::empty(kind::HELLO)).unwrap();
         buffer[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(read_frame(&mut buffer.as_slice()).is_err());
+    }
+
+    #[test]
+    fn remaining_tracks_the_cursor_for_appended_field_tolerance() {
+        let payload = PayloadWriter::new().u64(1).u64(2).frame(0).payload;
+        let mut reader = PayloadReader::new(&payload);
+        assert_eq!(reader.remaining(), 16);
+        reader.u64().unwrap();
+        assert_eq!(reader.remaining(), 8);
+        // The version-tolerance idiom: an optional trailing field is read
+        // only when present.
+        let trailing = if reader.remaining() >= 8 {
+            reader.u64().unwrap()
+        } else {
+            7 // documented default
+        };
+        assert_eq!(trailing, 2);
+        assert_eq!(reader.remaining(), 0);
     }
 
     #[test]

@@ -90,8 +90,9 @@ pub use cache::{CacheStats, KernelCache};
 pub use error::EngineError;
 pub use events::{ChannelObserver, FnObserver, RunEvent, RunObserver};
 pub use executor::{
-    core_budget, executor_from_env, parse_executor_spec, shared_budget_assembly, Engine,
-    EngineBuilder, SerialExecutor, ThreadPoolExecutor, UnitExecutor, EXECUTOR_ENV,
+    core_budget, executor_from_env, executor_from_env_budgeted, parse_executor_spec,
+    parse_executor_spec_budgeted, shared_budget_assembly, Engine, EngineBuilder, SerialExecutor,
+    ThreadPoolExecutor, UnitExecutor, EXECUTOR_ENV,
 };
 pub use plan::Plan;
 pub use report::{CampaignReport, CaseOutcome, CaseReport, UnitRecord};

@@ -269,6 +269,7 @@ pub struct SocketExecutor {
     program: Option<PathBuf>,
     args: Vec<String>,
     heartbeat_timeout: Duration,
+    core_budget: Option<usize>,
     state: Mutex<SocketState>,
     run_counter: AtomicU64,
 }
@@ -292,9 +293,19 @@ impl SocketExecutor {
             program: None,
             args: Vec::new(),
             heartbeat_timeout: DEFAULT_HEARTBEAT_TIMEOUT,
+            core_budget: None,
             state: Mutex::new(SocketState::default()),
             run_counter: AtomicU64::new(1),
         }
+    }
+
+    /// Caps the core budget this executor divides among its workers' solves
+    /// (default: the whole machine). A daemon running several campaigns
+    /// concurrently hands each job's executor its slice, so spawned workers'
+    /// assembly shares stay within `budget` instead of `core_budget()`.
+    pub fn with_core_budget(mut self, budget: usize) -> Self {
+        self.core_budget = Some(budget.max(1));
+        self
     }
 
     /// Selects the transport (default: loopback TCP, ephemeral port).
@@ -355,7 +366,8 @@ impl SocketExecutor {
         // Same budget split as the other multi-worker executors: each worker
         // gets its fair share of the core budget as intra-solve assembly
         // threads, unless the parent environment pins an explicit value.
-        let assembly_share = (core_budget() / self.workers.max(1)).max(1);
+        let assembly_share =
+            (self.core_budget.unwrap_or_else(core_budget) / self.workers.max(1)).max(1);
         let mut command = Command::new(&program);
         if std::env::var_os(ASSEMBLY_THREADS_ENV).is_none() {
             command.env(ASSEMBLY_THREADS_ENV, assembly_share.to_string());
@@ -1133,6 +1145,7 @@ mod tests {
             transport: Transport::default(),
             program: None,
             args: Vec::new(),
+            core_budget: None,
             heartbeat_timeout: DEFAULT_HEARTBEAT_TIMEOUT,
             state: Mutex::new(SocketState {
                 listener: Some(listener),

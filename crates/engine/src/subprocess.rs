@@ -64,6 +64,7 @@ pub struct SubprocessExecutor {
     workers: usize,
     program: Option<PathBuf>,
     args: Vec<String>,
+    core_budget: Option<usize>,
 }
 
 impl SubprocessExecutor {
@@ -81,6 +82,7 @@ impl SubprocessExecutor {
             workers,
             program: None,
             args: Vec::new(),
+            core_budget: None,
         }
     }
 
@@ -88,6 +90,15 @@ impl SubprocessExecutor {
     /// [`std::env::current_exe`]).
     pub fn with_program(mut self, program: impl Into<PathBuf>) -> Self {
         self.program = Some(program.into());
+        self
+    }
+
+    /// Caps the core budget this executor divides among its workers' solves
+    /// (default: the whole machine). A daemon running several campaigns
+    /// concurrently hands each job's executor its slice, so children's
+    /// assembly shares stay within `budget` instead of `core_budget()`.
+    pub fn with_core_budget(mut self, budget: usize) -> Self {
+        self.core_budget = Some(budget.max(1));
         self
     }
 
@@ -109,7 +120,8 @@ impl SubprocessExecutor {
         // thread-pool executor's budget split); an explicit
         // ROUGHSIM_ASSEMBLY_THREADS in the parent's environment passes
         // through untouched via the inherited environment.
-        let assembly_share = (core_budget() / self.workers.max(1)).max(1);
+        let assembly_share =
+            (self.core_budget.unwrap_or_else(core_budget) / self.workers.max(1)).max(1);
         let mut command = Command::new(&program);
         if std::env::var_os(ASSEMBLY_THREADS_ENV).is_none() {
             command.env(ASSEMBLY_THREADS_ENV, assembly_share.to_string());

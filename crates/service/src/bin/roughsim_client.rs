@@ -1,15 +1,19 @@
 //! `roughsim-client` — CLI client of the campaign daemon.
 //!
 //! ```text
-//! roughsim-client submit --preset NAME [--watch] [--csv PATH] [--addr HOST:PORT]
+//! roughsim-client submit --preset NAME [--priority high|normal|batch] [--watch] [--csv PATH] [--addr HOST:PORT]
 //! roughsim-client sweep --preset NAME [--watch] [--csv PATH] [--export DIR [--base NAME]]
 //! roughsim-client fetch --fingerprint HEX --csv PATH [--addr HOST:PORT]
 //! roughsim-client status [--addr HOST:PORT]
 //! roughsim-client shutdown [--addr HOST:PORT]
 //! ```
 //!
-//! `submit --watch` streams the daemon's typed run events to stderr and, when
-//! `--csv` is given, fetches the finished report and writes its CSV rows.
+//! `submit --priority` picks the scheduling class (default `normal`):
+//! `high` jobs dispatch before the backlog, `batch` jobs yield until the
+//! queue's aging promotes them. `submit --watch` streams the daemon's typed
+//! run events to stderr and, when `--csv` is given, fetches the finished
+//! report and writes its CSV rows. `status` prints the queue counters
+//! followed by one `job <id> <priority> <state>` line per known job.
 //! `sweep` drives a broadband adaptive sweep preset through the daemon round
 //! by round (each round dedupes against the daemon's report cache), prints
 //! per-point progress, and writes the exported `Z(f)` table (`--csv`) and/or
@@ -19,7 +23,7 @@
 //! defaults to `127.0.0.1:7171` or `ROUGHSIMD_ADDR`.
 
 use rough_engine::{CampaignReport, FnObserver, RunEvent};
-use rough_service::{presets, Client, DaemonEvaluator, ServiceEvent};
+use rough_service::{presets, Client, DaemonEvaluator, Priority, ServiceEvent};
 use rough_sweep::FrequencySweep;
 use std::sync::Arc;
 
@@ -31,7 +35,7 @@ fn arg_value(args: &[String], flag: &str) -> Option<String> {
 
 fn usage() -> ! {
     eprintln!("usage: roughsim-client <submit|sweep|fetch|status|shutdown> [options]");
-    eprintln!("  submit --preset NAME [--watch] [--csv PATH] [--addr HOST:PORT]");
+    eprintln!("  submit --preset NAME [--priority high|normal|batch] [--watch] [--csv PATH] [--addr HOST:PORT]");
     eprintln!("  sweep --preset NAME [--watch] [--csv PATH] [--export DIR [--base NAME]]");
     eprintln!("  fetch --fingerprint HEX --csv PATH [--addr HOST:PORT]");
     eprintln!("  status | shutdown [--addr HOST:PORT]");
@@ -114,9 +118,17 @@ fn main() {
             let scenario = presets::by_name(&preset).unwrap_or_else(|e| fail(e));
             let watch = args.iter().any(|a| a == "--watch");
             let csv = arg_value(&args, "--csv");
+            let priority = match arg_value(&args, "--priority") {
+                Some(token) => Priority::parse(&token).unwrap_or_else(|| {
+                    fail(format!(
+                        "bad priority `{token}` (expected high, normal or batch)"
+                    ))
+                }),
+                None => Priority::Normal,
+            };
             if watch {
                 let (submission, outcome) = client
-                    .submit_watch(&scenario, print_event)
+                    .submit_watch_priority(&scenario, priority, print_event)
                     .unwrap_or_else(|e| fail(e));
                 eprintln!(
                     "job {} fingerprint {:016x} (cached: {})",
@@ -133,7 +145,9 @@ fn main() {
                     }
                 }
             } else {
-                let submission = client.submit(&scenario).unwrap_or_else(|e| fail(e));
+                let submission = client
+                    .submit_priority(&scenario, priority)
+                    .unwrap_or_else(|e| fail(e));
                 println!("{:016x}", submission.fingerprint);
                 eprintln!(
                     "job {} fingerprint {:016x} (cached: {})",
@@ -217,11 +231,14 @@ fn main() {
             }
         }
         "status" => {
-            let status = client.status().unwrap_or_else(|e| fail(e));
+            let (status, jobs) = client.status_detail().unwrap_or_else(|e| fail(e));
             println!(
                 "queued {} running {} done {} failed {}",
                 status.queued, status.running, status.done, status.failed
             );
+            for job in jobs {
+                println!("job {} {} {}", job.id, job.priority.label(), job.state);
+            }
         }
         "shutdown" => {
             client.shutdown().unwrap_or_else(|e| fail(e));

@@ -10,7 +10,8 @@
 //! value travels as exact f64 bit patterns end to end, the rebuilt report is
 //! bit-identical to the one the daemon computed.
 
-use crate::protocol::{self, kind, QueueStatus, ServiceEvent};
+use crate::protocol::{self, kind, JobSummary, QueueStatus, ServiceEvent};
+use crate::queue::Priority;
 use rough_engine::frame::{self, read_frame, write_frame, Frame};
 use rough_engine::{
     checkpoint, report_from_records, wire, CampaignReport, EngineError, Plan, Scenario,
@@ -67,16 +68,30 @@ impl Client {
     }
 
     /// Submits a scenario without watching; returns immediately after the
-    /// daemon accepts (or dedupes) it.
+    /// daemon accepts (or dedupes) it. Submits at [`Priority::Normal`]; see
+    /// [`Client::submit_priority`].
     ///
     /// # Errors
     ///
     /// Returns [`EngineError::Socket`] on connection or protocol failure.
     pub fn submit(&self, scenario: &Scenario) -> Result<Submission, EngineError> {
+        self.submit_priority(scenario, Priority::Normal)
+    }
+
+    /// Submits a scenario at an explicit priority class without watching.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Socket`] on connection or protocol failure.
+    pub fn submit_priority(
+        &self,
+        scenario: &Scenario,
+        priority: Priority,
+    ) -> Result<Submission, EngineError> {
         let mut stream = self.dial()?;
         write_frame(
             &mut stream,
-            &protocol::encode_submit(&wire::encode_scenario(scenario), false),
+            &protocol::encode_submit(&wire::encode_scenario(scenario), false, priority),
         )?;
         let frame = Self::expect_reply(&mut stream, kind::ACCEPTED)?;
         let (job, fingerprint, cached) = protocol::decode_accepted(&frame)?;
@@ -89,6 +104,7 @@ impl Client {
 
     /// Submits a scenario and streams its [`ServiceEvent`]s into `on_event`
     /// until the job settles; returns the submission and the job outcome.
+    /// Submits at [`Priority::Normal`]; see [`Client::submit_watch_priority`].
     ///
     /// # Errors
     ///
@@ -97,12 +113,28 @@ impl Client {
     pub fn submit_watch(
         &self,
         scenario: &Scenario,
+        on_event: impl FnMut(&ServiceEvent),
+    ) -> Result<(Submission, Result<(), String>), EngineError> {
+        self.submit_watch_priority(scenario, Priority::Normal, on_event)
+    }
+
+    /// Submits a scenario at an explicit priority class and streams its
+    /// [`ServiceEvent`]s into `on_event` until the job settles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Socket`] on connection or protocol failure (a
+    /// *job* failure is reported in the returned outcome, not as an error).
+    pub fn submit_watch_priority(
+        &self,
+        scenario: &Scenario,
+        priority: Priority,
         mut on_event: impl FnMut(&ServiceEvent),
     ) -> Result<(Submission, Result<(), String>), EngineError> {
         let mut stream = self.dial()?;
         write_frame(
             &mut stream,
-            &protocol::encode_submit(&wire::encode_scenario(scenario), true),
+            &protocol::encode_submit(&wire::encode_scenario(scenario), true, priority),
         )?;
         let frame = Self::expect_reply(&mut stream, kind::ACCEPTED)?;
         let (job, fingerprint, cached) = protocol::decode_accepted(&frame)?;
@@ -192,6 +224,20 @@ impl Client {
         write_frame(&mut stream, &Frame::empty(kind::STATUS))?;
         let frame = Self::expect_reply(&mut stream, kind::STATUS_REPORT)?;
         protocol::decode_status_report(&frame)
+    }
+
+    /// Asks the daemon for its queue depths plus the per-job
+    /// `(id, priority, state)` table. A daemon predating the table answers
+    /// with an empty one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Socket`] on connection or protocol failure.
+    pub fn status_detail(&self) -> Result<(QueueStatus, Vec<JobSummary>), EngineError> {
+        let mut stream = self.dial()?;
+        write_frame(&mut stream, &Frame::empty(kind::STATUS))?;
+        let frame = Self::expect_reply(&mut stream, kind::STATUS_REPORT)?;
+        protocol::decode_status_detail(&frame)
     }
 
     /// Requests daemon shutdown and waits for the acknowledgement.

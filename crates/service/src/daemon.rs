@@ -2,18 +2,25 @@
 //!
 //! A [`Daemon`] binds a TCP listener and serves the [`crate::protocol`]
 //! conversations: an accept loop hands each connection to a handler thread,
-//! while a single runner thread drains the persistent [`JobQueue`] one
-//! campaign at a time (campaigns are internally parallel — the executor owns
-//! the core budget, so running two at once would only fight over cores).
+//! while a pool of runner threads drains the persistent [`JobQueue`] —
+//! [`DaemonConfig::max_concurrent_jobs`] campaigns at a time (default 1, env
+//! [`JOBS_ENV`]). Campaigns are internally parallel, so each runner owns its
+//! *own* executor sized from an even split of the machine's core budget
+//! ([`rough_engine::executor_from_env_budgeted`]): J concurrent jobs never
+//! oversubscribe the cores a single job would have used. Dispatch order
+//! comes from the queue's priority/aging score ([`crate::queue::Priority`]),
+//! so high-priority submissions preempt the backlog while aged batch jobs
+//! are never starved.
 //!
 //! Durability: every job transition is journaled before it takes effect, and
 //! each campaign checkpoints per-unit under the state directory. A daemon
-//! killed mid-campaign restarts with the job re-queued and resumes it via
-//! [`Run::resume`] — completed units are not recomputed, and the final report
-//! is bit-identical to an uninterrupted run. Completed campaigns are
-//! compacted ([`rough_engine::checkpoint::compact`]) and published to the
-//! content-addressed report cache, from which repeat submissions and
-//! [`crate::protocol::kind::FETCH`] requests are served without recomputing.
+//! killed mid-campaign restarts with *every* interrupted job re-queued and
+//! resumes each via [`Run::resume`] — completed units are not recomputed,
+//! and the final reports are bit-identical to uninterrupted runs. Completed
+//! campaigns are compacted ([`rough_engine::checkpoint::compact`]) and
+//! published to the content-addressed report cache, from which repeat
+//! submissions and [`crate::protocol::kind::FETCH`] requests are served
+//! without recomputing.
 //!
 //! Scheduling: every finished report's measured per-unit wall times are
 //! absorbed into a [`CostTable`] persisted as `cost_table.json` under the
@@ -23,7 +30,7 @@
 //! latency under the executor's parallelism); until then the scheduler falls
 //! back to the static `cells⁴·frequency` model.
 
-use crate::protocol::{self, kind, ServiceEvent};
+use crate::protocol::{self, kind, JobSummary, ServiceEvent};
 use crate::queue::{JobQueue, JobState};
 use rough_engine::frame::{self, read_frame, write_frame, Frame, PayloadWriter};
 use rough_engine::{
@@ -40,11 +47,17 @@ fn daemon_error(reason: impl Into<String>) -> EngineError {
     EngineError::Socket(format!("daemon: {}", reason.into()))
 }
 
+/// Environment variable selecting how many campaigns run concurrently
+/// (default 1). [`DaemonConfig::max_concurrent_jobs`] overrides it.
+pub const JOBS_ENV: &str = "ROUGHSIMD_JOBS";
+
 /// Configuration of a [`Daemon`].
 pub struct DaemonConfig {
     addr: String,
     state_dir: PathBuf,
     executor: Option<Arc<dyn UnitExecutor>>,
+    executors: Option<Vec<Arc<dyn UnitExecutor>>>,
+    max_concurrent_jobs: Option<usize>,
 }
 
 impl DaemonConfig {
@@ -55,14 +68,37 @@ impl DaemonConfig {
             addr: addr.into(),
             state_dir: state_dir.into(),
             executor: None,
+            executors: None,
+            max_concurrent_jobs: None,
         }
     }
 
-    /// Overrides the campaign executor. The default consults the
-    /// `ROUGHSIM_EXECUTOR` environment variable
-    /// ([`rough_engine::executor_from_env`]).
+    /// Overrides the campaign executor; every runner shares this one
+    /// instance, so it must tolerate concurrent `execute` calls (the
+    /// stateless [`rough_engine::SerialExecutor`] and
+    /// [`rough_engine::ThreadPoolExecutor`] do). For stateful executors —
+    /// a socket worker pool, say — give each runner its own instance via
+    /// [`DaemonConfig::executors`]. The default builds one budgeted executor
+    /// per runner from the `ROUGHSIM_EXECUTOR` environment variable
+    /// ([`rough_engine::executor_from_env_budgeted`]).
     pub fn executor(mut self, executor: Arc<dyn UnitExecutor>) -> Self {
         self.executor = Some(executor);
+        self
+    }
+
+    /// Gives each runner its own executor instance; the pool size becomes
+    /// `executors.len()`, overriding [`DaemonConfig::max_concurrent_jobs`].
+    pub fn executors(mut self, executors: Vec<Arc<dyn UnitExecutor>>) -> Self {
+        self.executors = Some(executors);
+        self
+    }
+
+    /// Sets how many campaigns run concurrently (default 1; env
+    /// [`JOBS_ENV`]). Each runner gets `core_budget / jobs` cores, so raising
+    /// this trades single-campaign latency for queue throughput without
+    /// oversubscribing the machine.
+    pub fn max_concurrent_jobs(mut self, jobs: usize) -> Self {
+        self.max_concurrent_jobs = Some(jobs.max(1));
         self
     }
 }
@@ -77,10 +113,12 @@ struct Shared {
     work: Condvar,
     watchers: Mutex<Vec<Arc<Watcher>>>,
     stop: AtomicBool,
-    executor: Arc<dyn UnitExecutor>,
     /// Persisted per-class cost measurements feeding the calibrated
     /// scheduler of subsequent jobs.
     cost_table_path: PathBuf,
+    /// Serializes the load → absorb → save cycle on the cost table:
+    /// concurrent runners would otherwise lose each other's samples.
+    cost_lock: Mutex<()>,
 }
 
 impl Shared {
@@ -119,22 +157,41 @@ pub struct Daemon {
     addr: String,
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
-    runner: Option<JoinHandle<()>>,
+    runners: Vec<JoinHandle<()>>,
 }
 
 impl Daemon {
-    /// Binds the listener, opens (and compacts) the job queue, re-queues any
-    /// job the previous daemon died running, and starts the accept and
-    /// runner threads.
+    /// Binds the listener, opens (and compacts) the job queue, re-queues
+    /// every job the previous daemon died running, and starts the accept
+    /// thread plus one runner thread per concurrent job slot.
     ///
     /// # Errors
     ///
     /// Returns [`EngineError::Socket`] when the address cannot be bound and
     /// [`EngineError::Checkpoint`] when the state directory is unusable.
     pub fn start(config: DaemonConfig) -> Result<Self, EngineError> {
-        let executor = match config.executor {
-            Some(executor) => executor,
-            None => rough_engine::executor_from_env()?,
+        let jobs = config
+            .max_concurrent_jobs
+            .or_else(|| {
+                std::env::var(JOBS_ENV)
+                    .ok()
+                    .and_then(|v| v.trim().parse().ok())
+            })
+            .unwrap_or(1)
+            .max(1);
+        // One executor per runner. A single configured executor is shared by
+        // every runner; otherwise each runner builds its own from an even
+        // split of the core budget, so J concurrent campaigns use no more
+        // cores than one unbudgeted campaign would.
+        let executors: Vec<Arc<dyn UnitExecutor>> = match (config.executors, config.executor) {
+            (Some(list), _) if !list.is_empty() => list,
+            (_, Some(executor)) => (0..jobs).map(|_| Arc::clone(&executor)).collect(),
+            _ => {
+                let budget = (rough_engine::core_budget() / jobs).max(1);
+                (0..jobs)
+                    .map(|_| rough_engine::executor_from_env_budgeted(budget))
+                    .collect::<Result<_, _>>()?
+            }
         };
         let queue = JobQueue::open(&config.state_dir)?;
         let listener = TcpListener::bind(&config.addr)
@@ -152,20 +209,25 @@ impl Daemon {
             work: Condvar::new(),
             watchers: Mutex::new(Vec::new()),
             stop: AtomicBool::new(false),
-            executor,
             cost_table_path: config.state_dir.join("cost_table.json"),
+            cost_lock: Mutex::new(()),
         });
 
         let accept_shared = Arc::clone(&shared);
         let accept = std::thread::spawn(move || accept_loop(&accept_shared, &listener));
-        let runner_shared = Arc::clone(&shared);
-        let runner = std::thread::spawn(move || runner_loop(&runner_shared));
+        let runners = executors
+            .into_iter()
+            .map(|executor| {
+                let runner_shared = Arc::clone(&shared);
+                std::thread::spawn(move || runner_loop(&runner_shared, &executor))
+            })
+            .collect();
 
         Ok(Self {
             addr,
             shared,
             accept: Some(accept),
-            runner: Some(runner),
+            runners,
         })
     }
 
@@ -174,7 +236,7 @@ impl Daemon {
         &self.addr
     }
 
-    /// Requests shutdown: the runner finishes (at most) the job in flight,
+    /// Requests shutdown: every runner finishes (at most) its job in flight,
     /// the accept loop stops taking connections.
     pub fn stop(&self) {
         self.shared.stop.store(true, Ordering::SeqCst);
@@ -187,7 +249,7 @@ impl Daemon {
         if let Some(handle) = self.accept.take() {
             handle.join().ok();
         }
-        if let Some(handle) = self.runner.take() {
+        for handle in self.runners.drain(..) {
             handle.join().ok();
         }
     }
@@ -251,11 +313,20 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
                 }
             }
             kind::STATUS => {
-                let status = {
+                let (status, jobs) = {
                     let queue = shared.queue.lock().expect("queue poisoned");
-                    queue.status()
+                    let jobs: Vec<JobSummary> = queue
+                        .jobs()
+                        .map(|j| JobSummary {
+                            id: j.id,
+                            priority: j.priority,
+                            state: j.state.label(),
+                        })
+                        .collect();
+                    (queue.status(), jobs)
                 };
-                if write_frame(&mut stream, &protocol::encode_status_report(status)).is_err() {
+                if write_frame(&mut stream, &protocol::encode_status_report(status, &jobs)).is_err()
+                {
                     return;
                 }
             }
@@ -275,15 +346,15 @@ fn handle_submit(
     stream: &mut TcpStream,
     frame: &Frame,
 ) -> Result<(), EngineError> {
-    let (scenario_wire, watch) = protocol::decode_submit(frame)?;
+    let (scenario_wire, watch, priority) = protocol::decode_submit(frame)?;
     let scenario = wire::decode_scenario(&scenario_wire)?;
     let fingerprint = wire::scenario_fingerprint(&scenario);
 
     // Submission, terminal-state inspection and watcher registration happen
-    // under the queue lock: the runner also needs it to settle a job, so a
+    // under the queue lock: the runners also need it to settle a job, so a
     // watcher can never slip in *after* its job's terminal broadcast.
     let mut queue = shared.queue.lock().expect("queue poisoned");
-    let (job, cached) = queue.submit(&scenario_wire, fingerprint)?;
+    let (job, cached) = queue.submit(&scenario_wire, fingerprint, priority)?;
     write_frame(stream, &protocol::encode_accepted(job, fingerprint, cached))?;
     if watch {
         let terminal: Option<Result<(), String>> = match queue.job(job).map(|j| &j.state) {
@@ -318,7 +389,7 @@ fn handle_submit(
     Ok(())
 }
 
-fn runner_loop(shared: &Arc<Shared>) {
+fn runner_loop(shared: &Arc<Shared>, executor: &Arc<dyn UnitExecutor>) {
     loop {
         let job = {
             let mut queue = shared.queue.lock().expect("queue poisoned");
@@ -326,7 +397,10 @@ fn runner_loop(shared: &Arc<Shared>) {
                 if shared.stop.load(Ordering::SeqCst) {
                     return;
                 }
-                if let Some(id) = queue.next_queued() {
+                // Dispatch and mark under one lock hold: another runner
+                // scanning the queue never sees the job as still queued.
+                if let Some(id) = queue.take_next() {
+                    queue.mark(id, JobState::Running).ok();
                     break id;
                 }
                 let (guard, _) = shared
@@ -336,26 +410,31 @@ fn runner_loop(shared: &Arc<Shared>) {
                 queue = guard;
             }
         };
-        run_job(shared, job);
+        run_job(shared, executor, job);
     }
 }
 
 /// Executes one job end to end; every failure path settles the job as
 /// `Failed` so the queue never wedges.
-fn run_job(shared: &Arc<Shared>, job: u64) {
+fn run_job(shared: &Arc<Shared>, executor: &Arc<dyn UnitExecutor>, job: u64) {
     let (scenario_wire, fingerprint, checkpoint_path) = {
-        let mut queue = shared.queue.lock().expect("queue poisoned");
+        let queue = shared.queue.lock().expect("queue poisoned");
         let Some(entry) = queue.job(job) else { return };
-        let info = (
+        (
             entry.scenario_wire.clone(),
             entry.fingerprint,
             queue.checkpoint_path(job),
-        );
-        queue.mark(job, JobState::Running).ok();
-        info
+        )
     };
 
-    let result = execute_job(shared, job, &scenario_wire, fingerprint, &checkpoint_path);
+    let result = execute_job(
+        shared,
+        executor,
+        job,
+        &scenario_wire,
+        fingerprint,
+        &checkpoint_path,
+    );
 
     let mut queue = shared.queue.lock().expect("queue poisoned");
     match result {
@@ -373,6 +452,7 @@ fn run_job(shared: &Arc<Shared>, job: u64) {
 
 fn execute_job(
     shared: &Arc<Shared>,
+    executor: &Arc<dyn UnitExecutor>,
     job: u64,
     scenario_wire: &str,
     fingerprint: u64,
@@ -382,11 +462,14 @@ fn execute_job(
 
     // Schedule with whatever cost measurements previous jobs accumulated; an
     // unreadable or absent table degrades to the static cost model.
-    let cost_table = CostTable::load(&shared.cost_table_path).unwrap_or_default();
+    let cost_table = {
+        let _cost = shared.cost_lock.lock().expect("cost lock poisoned");
+        CostTable::load(&shared.cost_table_path).unwrap_or_default()
+    };
     let build_config = || {
         let event_shared = Arc::clone(shared);
         RunConfig::new()
-            .executor_arc(Arc::clone(&shared.executor))
+            .executor_arc(Arc::clone(executor))
             .scheduler(CostOrdered::calibrated(cost_table))
             .checkpoint(checkpoint_path)
             .observer(FnObserver(move |event: &rough_engine::RunEvent| {
@@ -409,11 +492,15 @@ fn execute_job(
     let report = run.execute()?;
 
     // Feed the calibration loop: fold this job's measured unit times into the
-    // persisted cost table (re-read to not lose samples if the file changed).
-    // Calibration is best-effort — a failed save never fails the job.
-    let mut table = CostTable::load(&shared.cost_table_path).unwrap_or_default();
-    if table.absorb(&plan, &report) > 0 {
-        table.save(&shared.cost_table_path).ok();
+    // persisted cost table (re-read under the cost lock so concurrent
+    // runners don't lose each other's samples). Calibration is best-effort —
+    // a failed save never fails the job.
+    {
+        let _cost = shared.cost_lock.lock().expect("cost lock poisoned");
+        let mut table = CostTable::load(&shared.cost_table_path).unwrap_or_default();
+        if table.absorb(&plan, &report) > 0 {
+            table.save(&shared.cost_table_path).ok();
+        }
     }
 
     // Settle the artifact: scrub checkpoint churn, then publish it as the

@@ -2,7 +2,9 @@
 //!
 //! The campaign service layer: a long-running daemon (`roughsimd`) that
 //! accepts [`rough_engine::Scenario`] submissions over the engine's socket
-//! framing, queues them durably, executes them one at a time with any
+//! framing, queues them durably with priority classes
+//! ([`queue::Priority`]), executes up to `ROUGHSIMD_JOBS` campaigns
+//! concurrently — each runner on its own core-budget slice — with any
 //! configured executor (including the distributed
 //! [`rough_engine::SocketExecutor`]), streams typed run events to watching
 //! clients, and serves finished [`rough_engine::CampaignReport`]s from a
@@ -12,11 +14,14 @@
 //! Module map:
 //!
 //! * [`protocol`] — service frame kinds (32+) and payload codecs over
-//!   [`rough_engine::frame`].
+//!   [`rough_engine::frame`], evolving by appended fields so old and new
+//!   peers interoperate.
 //! * [`queue`] — the persistent JSONL job journal with open-time compaction,
-//!   per-job engine checkpoints and the published report cache.
-//! * [`daemon`] — accept loop, connection handlers, the single-campaign
-//!   runner with restart-resume, and event broadcast to watchers.
+//!   priority/aging dispatch, per-job engine checkpoints and the published
+//!   report cache.
+//! * [`daemon`] — accept loop, connection handlers, the runner pool with
+//!   restart-resume of every interrupted campaign, and event broadcast to
+//!   watchers.
 //! * [`client`] — blocking submit / watch / fetch / status / shutdown.
 //! * [`sweep`] — [`DaemonEvaluator`], running broadband adaptive sweeps
 //!   round by round through the daemon (each round dedupes against the
@@ -30,9 +35,10 @@
 //!
 //! Durability story: submissions are journaled before they are acknowledged;
 //! campaigns checkpoint per unit; a daemon killed at any point restarts with
-//! unfinished jobs re-queued and resumes them via [`rough_engine::Run::resume`]
-//! — reports come out bit-identical to an uninterrupted run, which the
-//! service integration tests pin.
+//! *all* unfinished jobs re-queued — however many were running concurrently
+//! — and resumes each via [`rough_engine::Run::resume`] — reports come out
+//! bit-identical to an uninterrupted run, which the service integration
+//! tests pin.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -45,7 +51,7 @@ pub mod queue;
 pub mod sweep;
 
 pub use client::{Client, Submission};
-pub use daemon::{Daemon, DaemonConfig};
-pub use protocol::{QueueStatus, ServiceEvent};
-pub use queue::{Job, JobQueue, JobState, CACHE_BUDGET_ENV};
+pub use daemon::{Daemon, DaemonConfig, JOBS_ENV};
+pub use protocol::{JobSummary, QueueStatus, ServiceEvent};
+pub use queue::{Job, JobQueue, JobState, Priority, CACHE_BUDGET_ENV};
 pub use sweep::DaemonEvaluator;

@@ -8,16 +8,29 @@
 //! Conversation shapes:
 //!
 //! * **Submit**: client sends [`kind::SUBMIT`] (wire-encoded scenario + watch
-//!   flag), daemon replies [`kind::ACCEPTED`] (job id, scenario fingerprint,
-//!   cached flag). When watching, the daemon then streams [`kind::EVENT`]
-//!   frames (typed [`ServiceEvent`]s) until a terminal [`kind::JOB_DONE`].
+//!   flag + priority class), daemon replies [`kind::ACCEPTED`] (job id,
+//!   scenario fingerprint, cached flag). When watching, the daemon then
+//!   streams [`kind::EVENT`] frames (typed [`ServiceEvent`]s) until a
+//!   terminal [`kind::JOB_DONE`].
 //! * **Fetch**: client sends [`kind::FETCH`] (fingerprint), daemon replies
 //!   [`kind::REPORT`] carrying the cached campaign checkpoint text, or
 //!   [`kind::NOT_FOUND`].
-//! * **Status**: [`kind::STATUS`] → [`kind::STATUS_REPORT`] (queue depths).
+//! * **Status**: [`kind::STATUS`] → [`kind::STATUS_REPORT`] (queue depths
+//!   plus a per-job `(id, priority, state)` table).
 //! * **Shutdown**: [`kind::SHUTDOWN`] → [`kind::BYE`], then the daemon drains
 //!   and exits.
+//!
+//! # Version tolerance
+//!
+//! Frames evolve by *appending* fields, never by reordering or changing
+//! existing ones. Decoders read sequentially and never reject trailing
+//! bytes, so an old peer simply ignores fields it predates; a new decoder
+//! checks [`rough_engine::frame::PayloadReader::remaining`] and substitutes
+//! the historical default when an optional tail is absent. Concretely: a
+//! [`kind::SUBMIT`] without the priority word decodes as `normal`, and a
+//! [`kind::STATUS_REPORT`] without the job table decodes with an empty one.
 
+use crate::queue::Priority;
 use rough_engine::frame::{Frame, PayloadWriter};
 use rough_engine::{EngineError, RunEvent};
 
@@ -218,24 +231,37 @@ impl ServiceEvent {
     }
 }
 
-/// Encodes a [`kind::SUBMIT`] frame.
-pub fn encode_submit(scenario_wire: &str, watch: bool) -> Frame {
+/// Encodes a [`kind::SUBMIT`] frame. The priority class rides as an appended
+/// trailing word so daemons that predate priorities ignore it.
+pub fn encode_submit(scenario_wire: &str, watch: bool, priority: Priority) -> Frame {
     PayloadWriter::new()
         .str(scenario_wire)
         .u64(u64::from(watch))
+        .u64(u64::from(priority.class()))
         .frame(kind::SUBMIT)
 }
 
-/// Decodes a [`kind::SUBMIT`] frame into `(scenario wire text, watch)`.
+/// Decodes a [`kind::SUBMIT`] frame into `(scenario wire text, watch,
+/// priority)`. Frames from clients that predate priorities lack the trailing
+/// class word and decode as [`Priority::Normal`]; an unknown class (from a
+/// newer peer) also degrades to `Normal` rather than failing the submit.
 ///
 /// # Errors
 ///
 /// Returns [`EngineError::Socket`] on a truncated payload.
-pub fn decode_submit(frame: &Frame) -> Result<(String, bool), EngineError> {
+pub fn decode_submit(frame: &Frame) -> Result<(String, bool, Priority), EngineError> {
     let mut reader = frame.reader();
     let wire = reader.str()?;
     let watch = reader.u64()? != 0;
-    Ok((wire, watch))
+    let priority = if reader.remaining() >= 8 {
+        u8::try_from(reader.u64()?)
+            .ok()
+            .and_then(Priority::from_class)
+            .unwrap_or_default()
+    } else {
+        Priority::Normal
+    };
+    Ok((wire, watch, priority))
 }
 
 /// Encodes a [`kind::ACCEPTED`] frame.
@@ -316,7 +342,7 @@ pub fn decode_report(frame: &Frame) -> Result<(u64, String), EngineError> {
 pub struct QueueStatus {
     /// Jobs waiting to run.
     pub queued: u64,
-    /// Jobs currently executing (0 or 1: the runner is single-threaded).
+    /// Jobs currently executing (up to the daemon's `max_concurrent_jobs`).
     pub running: u64,
     /// Jobs completed with a cached report.
     pub done: u64,
@@ -324,17 +350,56 @@ pub struct QueueStatus {
     pub failed: u64,
 }
 
-/// Encodes a [`kind::STATUS_REPORT`] frame.
-pub fn encode_status_report(status: QueueStatus) -> Frame {
-    PayloadWriter::new()
+/// One row of the per-job table appended to [`kind::STATUS_REPORT`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobSummary {
+    /// Job id.
+    pub id: u64,
+    /// Scheduling class.
+    pub priority: Priority,
+    /// Lifecycle state label: `queued`, `running`, `done` or `failed`.
+    pub state: &'static str,
+}
+
+fn state_tag(label: &str) -> u64 {
+    match label {
+        "queued" => 0,
+        "running" => 1,
+        "done" => 2,
+        _ => 3,
+    }
+}
+
+fn state_label(tag: u64) -> &'static str {
+    match tag {
+        0 => "queued",
+        1 => "running",
+        2 => "done",
+        _ => "failed",
+    }
+}
+
+/// Encodes a [`kind::STATUS_REPORT`] frame: the four counters followed by an
+/// appended per-job table (`count`, then `(id, priority class, state tag)`
+/// triples). Clients that predate the table stop after the counters.
+pub fn encode_status_report(status: QueueStatus, jobs: &[JobSummary]) -> Frame {
+    let mut writer = PayloadWriter::new()
         .u64(status.queued)
         .u64(status.running)
         .u64(status.done)
         .u64(status.failed)
-        .frame(kind::STATUS_REPORT)
+        .u64(jobs.len() as u64);
+    for job in jobs {
+        writer = writer
+            .u64(job.id)
+            .u64(u64::from(job.priority.class()))
+            .u64(state_tag(job.state));
+    }
+    writer.frame(kind::STATUS_REPORT)
 }
 
-/// Decodes a [`kind::STATUS_REPORT`] frame.
+/// Decodes the counters of a [`kind::STATUS_REPORT`] frame, ignoring the
+/// appended job table — exactly what a client predating the table does.
 ///
 /// # Errors
 ///
@@ -349,20 +414,75 @@ pub fn decode_status_report(frame: &Frame) -> Result<QueueStatus, EngineError> {
     })
 }
 
+/// Decodes a [`kind::STATUS_REPORT`] frame including the per-job table. A
+/// frame from a daemon that predates the table yields an empty one.
+///
+/// # Errors
+///
+/// Returns [`EngineError::Socket`] on a truncated payload.
+pub fn decode_status_detail(frame: &Frame) -> Result<(QueueStatus, Vec<JobSummary>), EngineError> {
+    let mut reader = frame.reader();
+    let status = QueueStatus {
+        queued: reader.u64()?,
+        running: reader.u64()?,
+        done: reader.u64()?,
+        failed: reader.u64()?,
+    };
+    let mut jobs = Vec::new();
+    if reader.remaining() >= 8 {
+        let count = reader.u64()?;
+        for _ in 0..count {
+            let id = reader.u64()?;
+            let priority = u8::try_from(reader.u64()?)
+                .ok()
+                .and_then(Priority::from_class)
+                .unwrap_or_default();
+            let state = state_label(reader.u64()?);
+            jobs.push(JobSummary {
+                id,
+                priority,
+                state,
+            });
+        }
+    }
+    Ok((status, jobs))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn submit_and_accepted_roundtrip() {
-        let frame = encode_submit("scenario wire\nblock", true);
+        let frame = encode_submit("scenario wire\nblock", true, Priority::Batch);
         assert_eq!(frame.kind, kind::SUBMIT);
-        let (wire, watch) = decode_submit(&frame).unwrap();
+        let (wire, watch, priority) = decode_submit(&frame).unwrap();
         assert_eq!(wire, "scenario wire\nblock");
         assert!(watch);
+        assert_eq!(priority, Priority::Batch);
 
         let frame = encode_accepted(7, 0xDEAD_BEEF, false);
         assert_eq!(decode_accepted(&frame).unwrap(), (7, 0xDEAD_BEEF, false));
+    }
+
+    #[test]
+    fn submit_frames_without_priority_decode_as_normal() {
+        // A client that predates priorities: scenario + watch word only.
+        let old_frame = PayloadWriter::new()
+            .str("scenario wire")
+            .u64(1)
+            .frame(kind::SUBMIT);
+        let (wire, watch, priority) = decode_submit(&old_frame).unwrap();
+        assert_eq!(wire, "scenario wire");
+        assert!(watch);
+        assert_eq!(priority, Priority::Normal);
+        // And an unknown future class degrades to normal instead of failing.
+        let future = PayloadWriter::new()
+            .str("scenario wire")
+            .u64(0)
+            .u64(99)
+            .frame(kind::SUBMIT);
+        assert_eq!(decode_submit(&future).unwrap().2, Priority::Normal);
     }
 
     #[test]
@@ -425,13 +545,43 @@ mod tests {
 
         let status = QueueStatus {
             queued: 1,
-            running: 1,
+            running: 2,
             done: 3,
             failed: 0,
         };
-        assert_eq!(
-            decode_status_report(&encode_status_report(status)).unwrap(),
-            status
-        );
+        let jobs = [
+            JobSummary {
+                id: 1,
+                priority: Priority::High,
+                state: "running",
+            },
+            JobSummary {
+                id: 2,
+                priority: Priority::Batch,
+                state: "queued",
+            },
+        ];
+        let frame = encode_status_report(status, &jobs);
+        // Old client: counters only, appended job table ignored.
+        assert_eq!(decode_status_report(&frame).unwrap(), status);
+        // New client: counters plus the table.
+        let (decoded, table) = decode_status_detail(&frame).unwrap();
+        assert_eq!(decoded, status);
+        assert_eq!(table, jobs);
+    }
+
+    #[test]
+    fn status_frames_without_job_table_decode_with_an_empty_one() {
+        // A daemon that predates the job table sends the four counters only.
+        let old_frame = PayloadWriter::new()
+            .u64(4)
+            .u64(1)
+            .u64(0)
+            .u64(0)
+            .frame(kind::STATUS_REPORT);
+        let (status, jobs) = decode_status_detail(&old_frame).unwrap();
+        assert_eq!(status.queued, 4);
+        assert_eq!(status.running, 1);
+        assert!(jobs.is_empty());
     }
 }

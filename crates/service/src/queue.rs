@@ -12,7 +12,17 @@
 //! Replay restores daemon state across restarts: `done`/`failed` jobs keep
 //! their terminal state, while jobs that were `running` when the daemon died
 //! are re-queued — their partial checkpoints let [`rough_engine::Run::resume`]
-//! continue from the last completed unit.
+//! continue from the last completed unit. With a multi-runner daemon several
+//! jobs may be `running` at once; every one of them re-queues and resumes.
+//!
+//! Jobs carry a [`Priority`] class (`high` / `normal` / `batch`). Dispatch
+//! order is score-based: `class × AGE_STEP − age`, smallest score (then
+//! smallest id) first, and every dispatch ages the passed-over queued jobs by
+//! one. Aging preserves FIFO order among existing waiters and bounds
+//! starvation: once a batch job has waited `AGE_STEP × class` dispatches, its
+//! score ties a fresh high-priority submission and its smaller id wins the
+//! tie. Journal lines without a `priority` field (written by older daemons)
+//! replay as `normal`, so existing `queue.jsonl` files keep working.
 //!
 //! The report cache is bounded: when `ROUGHSIMD_CACHE_BUDGET` (bytes) is set,
 //! publishing a report evicts the least-recently-used cached reports until
@@ -31,6 +41,68 @@ use std::path::{Path, PathBuf};
 
 use crate::protocol::QueueStatus;
 
+/// Scheduling class of a job. Ordering is urgency: `High < Normal < Batch`,
+/// so `a < b` means "a is more urgent than b".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Priority {
+    /// Dispatched before everything else (interactive submissions).
+    High,
+    /// The default class; also what priority-less journal lines and wire
+    /// frames from older peers decode to.
+    #[default]
+    Normal,
+    /// Background work: yields to high/normal until aging promotes it.
+    Batch,
+}
+
+impl Priority {
+    /// Numeric class used by the dispatch score and the wire encoding:
+    /// 0 = high, 1 = normal, 2 = batch.
+    pub fn class(self) -> u8 {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Batch => 2,
+        }
+    }
+
+    /// Inverse of [`Priority::class`].
+    pub fn from_class(class: u8) -> Option<Self> {
+        match class {
+            0 => Some(Priority::High),
+            1 => Some(Priority::Normal),
+            2 => Some(Priority::Batch),
+            _ => None,
+        }
+    }
+
+    /// Journal / CLI token.
+    pub fn label(self) -> &'static str {
+        match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+            Priority::Batch => "batch",
+        }
+    }
+
+    /// Parses a journal / CLI token.
+    pub fn parse(token: &str) -> Option<Self> {
+        match token {
+            "high" => Some(Priority::High),
+            "normal" => Some(Priority::Normal),
+            "batch" => Some(Priority::Batch),
+            _ => None,
+        }
+    }
+}
+
+/// Dispatches a queued job ages every passed-over queued job by one; a job's
+/// score is `class × AGE_STEP − age`, so after `class × AGE_STEP` dispatches
+/// spent waiting, any job ties the score of a brand-new high submission and
+/// wins the tie on its smaller id. This is the anti-starvation bound the
+/// property tests assert.
+pub const AGE_STEP: u64 = 4;
+
 /// Lifecycle of one submitted job.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum JobState {
@@ -45,7 +117,8 @@ pub enum JobState {
 }
 
 impl JobState {
-    fn label(&self) -> &'static str {
+    /// Journal / STATUS token: `queued`, `running`, `done` or `failed`.
+    pub fn label(&self) -> &'static str {
         match self {
             JobState::Queued => "queued",
             JobState::Running => "running",
@@ -66,6 +139,19 @@ pub struct Job {
     pub scenario_wire: String,
     /// Current lifecycle state.
     pub state: JobState,
+    /// Scheduling class.
+    pub priority: Priority,
+    /// Dispatches this job has been passed over for while queued. In-memory
+    /// only — a restart resets ages, which merely restarts the (bounded)
+    /// anti-starvation clock.
+    age: u64,
+}
+
+impl Job {
+    /// Dispatch score: smaller runs sooner; ties break on smaller id.
+    fn score(&self) -> i64 {
+        i64::from(self.priority.class()) * (AGE_STEP as i64) - self.age as i64
+    }
 }
 
 fn queue_error(reason: impl Into<String>) -> EngineError {
@@ -95,11 +181,24 @@ fn rest_until_quote(rest: &str) -> Option<&str> {
 }
 
 fn job_line(job: &Job) -> String {
+    // `priority` is appended last: journals written before the field existed
+    // parse the same way (absent ⇒ `normal`), and older replay code simply
+    // never looks for the key.
     format!(
-        "{{\"kind\":\"job\",\"id\":{},\"fingerprint\":\"{:016x}\",\"scenario\":\"{}\"}}",
+        "{{\"kind\":\"job\",\"id\":{},\"fingerprint\":\"{:016x}\",\"scenario\":\"{}\",\"priority\":\"{}\"}}",
         job.id,
         job.fingerprint,
-        wire::encode_token(&job.scenario_wire)
+        wire::encode_token(&job.scenario_wire),
+        job.priority.label()
+    )
+}
+
+/// Journals a priority upgrade of an already-submitted job (dedupe
+/// resubmission at a more urgent class).
+fn priority_line(id: u64, priority: Priority) -> String {
+    format!(
+        "{{\"kind\":\"priority\",\"id\":{id},\"priority\":\"{}\"}}",
+        priority.label()
     )
 }
 
@@ -168,11 +267,18 @@ impl JobQueue {
                             .and_then(|s| u64::from_str_radix(s, 16).ok())?;
                         let scenario_wire =
                             wire::decode_token(extract_str(line, "scenario")?).ok()?;
+                        // Absent on journals written before priorities
+                        // existed: default to `normal`.
+                        let priority = extract_str(line, "priority")
+                            .and_then(Priority::parse)
+                            .unwrap_or_default();
                         Some(Job {
                             id,
                             fingerprint,
                             scenario_wire,
                             state: JobState::Queued,
+                            priority,
+                            age: 0,
                         })
                     })();
                     if let Some(job) = parsed {
@@ -197,6 +303,17 @@ impl JobQueue {
                     if let Some((id, state)) = parsed {
                         if let Some(job) = jobs.get_mut(&id) {
                             job.state = state;
+                        }
+                    }
+                } else if line.contains("\"kind\":\"priority\"") {
+                    let parsed = (|| {
+                        let id = extract_u64(line, "id")?;
+                        let priority = Priority::parse(extract_str(line, "priority")?)?;
+                        Some((id, priority))
+                    })();
+                    if let Some((id, priority)) = parsed {
+                        if let Some(job) = jobs.get_mut(&id) {
+                            job.priority = priority;
                         }
                     }
                 } else if line.contains("\"kind\":\"touch\"") {
@@ -273,8 +390,10 @@ impl JobQueue {
     }
 
     /// Submits a scenario, deduplicating by fingerprint: an unfinished job
-    /// with the same fingerprint is shared, and a fingerprint whose report is
-    /// already cached completes instantly. Returns `(job id, cached)`.
+    /// with the same fingerprint is shared (upgrading its priority when the
+    /// resubmission is more urgent — never downgrading), and a fingerprint
+    /// whose report is already cached completes instantly. Returns
+    /// `(job id, cached)`.
     ///
     /// # Errors
     ///
@@ -283,15 +402,23 @@ impl JobQueue {
         &mut self,
         scenario_wire: &str,
         fingerprint: u64,
+        priority: Priority,
     ) -> Result<(u64, bool), EngineError> {
-        if let Some(job) = self
+        let existing = self
             .jobs
             .values()
             .find(|j| j.fingerprint == fingerprint && !matches!(j.state, JobState::Failed(_)))
-        {
-            let cached = job.state == JobState::Done && self.report_path(fingerprint).exists();
-            if cached || job.state != JobState::Done {
-                return Ok((job.id, cached));
+            .map(|j| (j.id, j.state.clone(), j.priority));
+        if let Some((id, state, current)) = existing {
+            let cached = state == JobState::Done && self.report_path(fingerprint).exists();
+            if cached || state != JobState::Done {
+                if !cached && priority < current {
+                    self.write_line(&priority_line(id, priority))?;
+                    if let Some(job) = self.jobs.get_mut(&id) {
+                        job.priority = priority;
+                    }
+                }
+                return Ok((id, cached));
             }
         }
         let job = Job {
@@ -299,6 +426,8 @@ impl JobQueue {
             fingerprint,
             scenario_wire: scenario_wire.to_owned(),
             state: JobState::Queued,
+            priority,
+            age: 0,
         };
         self.next_id += 1;
         self.write_line(&job_line(&job))?;
@@ -307,11 +436,29 @@ impl JobQueue {
         Ok((id, false))
     }
 
-    /// Returns the lowest-id queued job, if any.
+    /// Returns the queued job a runner should dispatch next — smallest
+    /// dispatch score (`class × AGE_STEP − age`), ties on smallest id — and
+    /// ages every passed-over queued job by one dispatch. Aging all waiters
+    /// equally keeps FIFO order within a class and high-before-batch among
+    /// fresh submissions, while bounding how long a batch job can starve: its
+    /// score reaches a fresh high job's after `AGE_STEP × class` dispatches
+    /// and its smaller id then wins the tie.
+    pub fn take_next(&mut self) -> Option<u64> {
+        let chosen = self.next_queued()?;
+        for job in self.jobs.values_mut() {
+            if job.state == JobState::Queued && job.id != chosen {
+                job.age += 1;
+            }
+        }
+        Some(chosen)
+    }
+
+    /// Peeks at the job [`Self::take_next`] would dispatch, without aging.
     pub fn next_queued(&self) -> Option<u64> {
         self.jobs
             .values()
-            .find(|j| j.state == JobState::Queued)
+            .filter(|j| j.state == JobState::Queued)
+            .min_by_key(|j| (j.score(), j.id))
             .map(|j| j.id)
     }
 
@@ -335,6 +482,11 @@ impl JobQueue {
     /// Looks up a job.
     pub fn job(&self, id: u64) -> Option<&Job> {
         self.jobs.get(&id)
+    }
+
+    /// All jobs in id order (used by the detailed STATUS reply).
+    pub fn jobs(&self) -> impl Iterator<Item = &Job> {
+        self.jobs.values()
     }
 
     /// Current queue depths.
@@ -484,9 +636,9 @@ mod tests {
         let root = temp_root("reopen");
         {
             let mut queue = JobQueue::open(&root).unwrap();
-            let (a, cached) = queue.submit("scenario-a", 0xA).unwrap();
+            let (a, cached) = queue.submit("scenario-a", 0xA, Priority::Normal).unwrap();
             assert!(!cached);
-            let (b, _) = queue.submit("scenario-b", 0xB).unwrap();
+            let (b, _) = queue.submit("scenario-b", 0xB, Priority::Normal).unwrap();
             queue.mark(a, JobState::Running).unwrap();
             assert_eq!(queue.next_queued(), Some(b));
         }
@@ -502,14 +654,14 @@ mod tests {
     fn duplicate_fingerprints_share_one_job() {
         let root = temp_root("dedupe");
         let mut queue = JobQueue::open(&root).unwrap();
-        let (a, _) = queue.submit("scenario-a", 0xA).unwrap();
-        let (same, cached) = queue.submit("scenario-a", 0xA).unwrap();
+        let (a, _) = queue.submit("scenario-a", 0xA, Priority::Normal).unwrap();
+        let (same, cached) = queue.submit("scenario-a", 0xA, Priority::Normal).unwrap();
         assert_eq!(a, same);
         assert!(!cached);
         // A done job with a published report is served from cache.
         queue.mark(a, JobState::Done).unwrap();
         std::fs::write(queue.report_path(0xA), "header\n").unwrap();
-        let (id, cached) = queue.submit("scenario-a", 0xA).unwrap();
+        let (id, cached) = queue.submit("scenario-a", 0xA, Priority::Normal).unwrap();
         assert_eq!(id, a);
         assert!(cached);
         std::fs::remove_dir_all(&root).ok();
@@ -519,12 +671,12 @@ mod tests {
     fn failed_jobs_resubmit_fresh() {
         let root = temp_root("failed");
         let mut queue = JobQueue::open(&root).unwrap();
-        let (a, _) = queue.submit("scenario-a", 0xA).unwrap();
+        let (a, _) = queue.submit("scenario-a", 0xA, Priority::Normal).unwrap();
         queue.mark(a, JobState::Running).unwrap();
         queue
             .mark(a, JobState::Failed("solver blew up".into()))
             .unwrap();
-        let (b, cached) = queue.submit("scenario-a", 0xA).unwrap();
+        let (b, cached) = queue.submit("scenario-a", 0xA, Priority::Normal).unwrap();
         assert_ne!(a, b);
         assert!(!cached);
         // Reopen preserves the failure message through the compacted journal.
@@ -542,7 +694,7 @@ mod tests {
     /// Settles a 100-byte report for `fingerprint` through the normal
     /// publish path.
     fn publish_small(queue: &mut JobQueue, wire: &str, fingerprint: u64) -> u64 {
-        let (id, _) = queue.submit(wire, fingerprint).unwrap();
+        let (id, _) = queue.submit(wire, fingerprint, Priority::Normal).unwrap();
         queue.mark(id, JobState::Done).unwrap();
         std::fs::write(queue.checkpoint_path(id), vec![b'x'; 100]).unwrap();
         queue.publish_report(id, fingerprint).unwrap();
@@ -575,7 +727,7 @@ mod tests {
         assert!(queue.report_path(0xD).exists());
         // An evicted fingerprint is no longer served from cache: its
         // resubmission schedules a fresh job.
-        let (id, cached) = queue.submit("scenario-b", 0xB).unwrap();
+        let (id, cached) = queue.submit("scenario-b", 0xB, Priority::Normal).unwrap();
         assert!(!cached);
         assert_eq!(queue.job(id).unwrap().state, JobState::Queued);
         std::fs::remove_dir_all(&root).ok();
@@ -612,11 +764,104 @@ mod tests {
     }
 
     #[test]
+    fn dispatch_order_is_priority_then_fifo() {
+        let root = temp_root("priority-order");
+        let mut queue = JobQueue::open(&root).unwrap();
+        let (a, _) = queue.submit("scenario-a", 0xA, Priority::Batch).unwrap();
+        let (b, _) = queue.submit("scenario-b", 0xB, Priority::High).unwrap();
+        let (c, _) = queue.submit("scenario-c", 0xC, Priority::Normal).unwrap();
+        let (d, _) = queue.submit("scenario-d", 0xD, Priority::High).unwrap();
+        let mut order = Vec::new();
+        while let Some(id) = queue.take_next() {
+            queue.mark(id, JobState::Running).unwrap();
+            order.push(id);
+        }
+        assert_eq!(order, vec![b, d, c, a]);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn aged_batch_jobs_beat_fresh_high_submissions() {
+        let root = temp_root("priority-aging");
+        let mut queue = JobQueue::open(&root).unwrap();
+        let (batch, _) = queue
+            .submit("scenario-batch", 0x100, Priority::Batch)
+            .unwrap();
+        // Sustained high-priority load: each dispatch ages the waiting batch
+        // job by one. After AGE_STEP × class(batch) = 8 dispatches its score
+        // matches a fresh high job's, and its smaller id wins the tie.
+        for round in 0..(AGE_STEP * u64::from(Priority::Batch.class())) {
+            let (high, _) = queue
+                .submit(&format!("hot-{round}"), 0x200 + round, Priority::High)
+                .unwrap();
+            let took = queue.take_next().unwrap();
+            assert_eq!(took, high, "batch promoted early at round {round}");
+            queue.mark(took, JobState::Done).unwrap();
+        }
+        let (_fresh, _) = queue.submit("hot-late", 0x300, Priority::High).unwrap();
+        assert_eq!(
+            queue.take_next(),
+            Some(batch),
+            "batch job starved past the aging bound"
+        );
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn priorities_survive_reopen_and_old_journals_default_to_normal() {
+        let root = temp_root("priority-reopen");
+        {
+            let mut queue = JobQueue::open(&root).unwrap();
+            queue.submit("scenario-a", 0xA, Priority::Batch).unwrap();
+            queue.submit("scenario-b", 0xB, Priority::High).unwrap();
+        }
+        let queue = JobQueue::open(&root).unwrap();
+        assert_eq!(queue.job(1).unwrap().priority, Priority::Batch);
+        assert_eq!(queue.job(2).unwrap().priority, Priority::High);
+        assert_eq!(queue.next_queued(), Some(2));
+        drop(queue);
+
+        // A journal written before priorities existed: no `priority` key.
+        let old = temp_root("priority-oldline");
+        std::fs::create_dir_all(&old).unwrap();
+        std::fs::write(
+            old.join("queue.jsonl"),
+            "{\"kind\":\"job\",\"id\":1,\"fingerprint\":\"000000000000000a\",\"scenario\":\"scenario-a\"}\n",
+        )
+        .unwrap();
+        let queue = JobQueue::open(&old).unwrap();
+        assert_eq!(queue.job(1).unwrap().priority, Priority::Normal);
+        assert_eq!(queue.job(1).unwrap().scenario_wire, "scenario-a");
+        std::fs::remove_dir_all(&root).ok();
+        std::fs::remove_dir_all(&old).ok();
+    }
+
+    #[test]
+    fn resubmission_upgrades_priority_but_never_downgrades() {
+        let root = temp_root("priority-upgrade");
+        {
+            let mut queue = JobQueue::open(&root).unwrap();
+            let (a, _) = queue.submit("scenario-a", 0xA, Priority::Batch).unwrap();
+            let (same, cached) = queue.submit("scenario-a", 0xA, Priority::High).unwrap();
+            assert_eq!(a, same);
+            assert!(!cached);
+            assert_eq!(queue.job(a).unwrap().priority, Priority::High);
+            // A later, lazier resubmission must not demote it.
+            queue.submit("scenario-a", 0xA, Priority::Batch).unwrap();
+            assert_eq!(queue.job(a).unwrap().priority, Priority::High);
+        }
+        // The upgrade was journaled: it survives a reopen.
+        let queue = JobQueue::open(&root).unwrap();
+        assert_eq!(queue.job(1).unwrap().priority, Priority::High);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
     fn journals_tolerate_torn_tails() {
         let root = temp_root("torn");
         {
             let mut queue = JobQueue::open(&root).unwrap();
-            queue.submit("scenario-a", 0xA).unwrap();
+            queue.submit("scenario-a", 0xA, Priority::Normal).unwrap();
         }
         let journal = root.join("queue.jsonl");
         let mut text = std::fs::read_to_string(&journal).unwrap();

@@ -1,0 +1,220 @@
+//! Property tests of the job queue's priority/aging dispatch and journal
+//! durability: random submit/dispatch/mark interleavings across priority
+//! classes, checked against the scheduler's two provable invariants, plus
+//! journal roundtrip and torn-tail tolerance with priority records in play.
+//!
+//! The dispatch invariants (see `queue::take_next`):
+//!
+//! 1. **Class FIFO, never preempted from behind**: a job submitted later at
+//!    the same or a lazier class never dispatches before an earlier job —
+//!    their score gap is constant while both wait, and ties break on the
+//!    smaller id.
+//! 2. **Bounded starvation**: once a waiting job has been passed over
+//!    `AGE_STEP × class` times, its score has caught up with a brand-new
+//!    high-priority submission — so any job submitted *after* that point
+//!    dispatches after it, whatever its class.
+
+use proptest::prelude::*;
+use rough_service::{JobQueue, JobState, Priority};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const AGE_STEP: u64 = rough_service::queue::AGE_STEP;
+
+fn temp_root(name: &str) -> PathBuf {
+    static CASE: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir()
+        .join("rough_service_queue_props")
+        .join(format!(
+            "{name}-{}-{}",
+            std::process::id(),
+            CASE.fetch_add(1, Ordering::Relaxed)
+        ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn priority_from(class: u64) -> Priority {
+    Priority::from_class((class % 3) as u8).unwrap()
+}
+
+/// Bookkeeping mirror of one submitted job, tracking what the scheduler's
+/// invariants promise it.
+struct ModelJob {
+    id: u64,
+    class: u64,
+    /// Times this job has been passed over while queued.
+    age: u64,
+    queued: bool,
+    /// Queued jobs that had already aged past their starvation bound when
+    /// this job was submitted: they MUST dispatch before it (invariant 2).
+    must_follow: Vec<u64>,
+}
+
+proptest! {
+    // Random interleavings of submissions (across all three classes) and
+    // dispatches never violate the class-FIFO or bounded-starvation
+    // invariants, and every job is eventually dispatched.
+    #[test]
+    fn dispatch_respects_fifo_and_the_starvation_bound(
+        ops in proptest::collection::vec(0u64..6, 1..60),
+    ) {
+        let root = temp_root("dispatch");
+        let mut queue = JobQueue::open(&root).unwrap();
+        let mut model: Vec<ModelJob> = Vec::new();
+        let mut next_fingerprint = 1u64;
+
+        // op 0..3: submit at that class; 3..6: dispatch one job.
+        let mut step = |queue: &mut JobQueue, model: &mut Vec<ModelJob>, op: u64|
+            -> Result<(), proptest::test_runner::TestCaseError>
+        {
+            if op < 3 {
+                let priority = priority_from(op);
+                let wire = format!("scenario-{next_fingerprint}");
+                let (id, cached) = queue.submit(&wire, next_fingerprint, priority).unwrap();
+                next_fingerprint += 1;
+                prop_assert!(!cached);
+                let must_follow = model
+                    .iter()
+                    .filter(|j| j.queued && j.age >= AGE_STEP * j.class)
+                    .map(|j| j.id)
+                    .collect();
+                model.push(ModelJob { id, class: op, age: 0, queued: true, must_follow });
+            } else if let Some(id) = queue.take_next() {
+                queue.mark(id, JobState::Done).unwrap();
+                let dispatched_class = model.iter().find(|j| j.id == id).unwrap().class;
+                let still_queued: Vec<u64> = model
+                    .iter()
+                    .filter(|j| j.queued && j.id != id)
+                    .map(|j| j.id)
+                    .collect();
+                // Invariant 1: nothing older at an equal-or-more-urgent
+                // class is still waiting.
+                for j in model.iter().filter(|j| still_queued.contains(&j.id)) {
+                    prop_assert!(
+                        j.id > id || j.class > dispatched_class,
+                        "job {id} (class {dispatched_class}) preempted older job {} (class {})",
+                        j.id, j.class
+                    );
+                }
+                // Invariant 2: every job this one was obliged to follow has
+                // already dispatched.
+                let dispatched = model.iter().find(|j| j.id == id).unwrap();
+                for &elder in &dispatched.must_follow {
+                    prop_assert!(
+                        !still_queued.contains(&elder),
+                        "job {id} starved aged-out job {elder} past the bound"
+                    );
+                }
+                for j in model.iter_mut() {
+                    if j.id == id {
+                        j.queued = false;
+                    } else if j.queued {
+                        j.age += 1;
+                    }
+                }
+            }
+            Ok(())
+        };
+
+        for &op in &ops {
+            step(&mut queue, &mut model, op)?;
+        }
+        // Drain: everything submitted must come out (liveness).
+        while queue.next_queued().is_some() {
+            step(&mut queue, &mut model, 3)?;
+        }
+        prop_assert!(model.iter().all(|j| !j.queued));
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    // Any mix of priorities and lifecycle transitions survives a journal
+    // reopen: ids, priorities and terminal states are preserved, and every
+    // `running` job comes back `queued` (the restart-resume contract).
+    #[test]
+    fn journal_reopen_preserves_priorities_and_states(
+        classes in proptest::collection::vec(0u64..3, 1..12),
+        marks in proptest::collection::vec(0u64..4, 1..12),
+    ) {
+        let root = temp_root("reopen");
+        let mut expected: Vec<(u64, Priority, JobState)> = Vec::new();
+        {
+            let mut queue = JobQueue::open(&root).unwrap();
+            for (i, &class) in classes.iter().enumerate() {
+                let priority = priority_from(class);
+                let fingerprint = 1 + i as u64;
+                let (id, _) = queue
+                    .submit(&format!("scenario-{i}"), fingerprint, priority)
+                    .unwrap();
+                let state = match marks.get(i).copied().unwrap_or(0) {
+                    1 => JobState::Running,
+                    2 => JobState::Done,
+                    3 => JobState::Failed(format!("boom {i}")),
+                    _ => JobState::Queued,
+                };
+                if state != JobState::Queued {
+                    queue.mark(id, state.clone()).unwrap();
+                }
+                // Replay re-queues interrupted (running) jobs.
+                let after_reopen = if state == JobState::Running {
+                    JobState::Queued
+                } else {
+                    state
+                };
+                expected.push((id, priority, after_reopen));
+            }
+        }
+        let queue = JobQueue::open(&root).unwrap();
+        for (id, priority, state) in &expected {
+            let job = queue.job(*id).unwrap();
+            prop_assert_eq!(job.priority, *priority);
+            prop_assert_eq!(&job.state, state);
+        }
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    // A torn tail — any prefix of a trailing job/priority/state line, cut
+    // mid-byte by a crash — never breaks replay and never corrupts the jobs
+    // that were durably journaled before it.
+    #[test]
+    fn torn_tails_with_priority_lines_are_tolerated(
+        classes in proptest::collection::vec(0u64..3, 1..8),
+        cut in 1usize..120,
+    ) {
+        let root = temp_root("torn");
+        {
+            let mut queue = JobQueue::open(&root).unwrap();
+            for (i, &class) in classes.iter().enumerate() {
+                queue
+                    .submit(&format!("scenario-{i}"), 1 + i as u64, priority_from(class))
+                    .unwrap();
+            }
+        }
+        let journal = root.join("queue.jsonl");
+        let mut text = std::fs::read_to_string(&journal).unwrap();
+        // Torn tail: the prefix of a record a crash cut short — here a job
+        // line with a priority field, and a bare priority-upgrade line.
+        let torn = "{\"kind\":\"job\",\"id\":99,\"fingerprint\":\"00000000000000ff\",\
+                    \"scenario\":\"torn\",\"priority\":\"high\"}\n\
+                    {\"kind\":\"priority\",\"id\":99,\"priority\":\"batch\"}";
+        text.push_str(&torn[..cut.min(torn.len() - 1)]);
+        std::fs::write(&journal, text).unwrap();
+
+        let queue = JobQueue::open(&root).unwrap();
+        let intact = (1..=classes.len() as u64)
+            .filter(|id| {
+                queue.job(*id).is_some_and(|j| {
+                    j.state == JobState::Queued
+                        && j.priority == priority_from(classes[(*id - 1) as usize])
+                })
+            })
+            .count();
+        prop_assert!(
+            intact == classes.len(),
+            "durable submissions lost to a torn tail: {} of {}",
+            intact,
+            classes.len()
+        );
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

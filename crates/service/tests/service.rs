@@ -1,7 +1,12 @@
 //! End-to-end service tests: submit → stream → fetch round trips, cached
-//! re-submission, and the restart-resume guarantee (a daemon killed mid-job
+//! re-submission, the restart-resume guarantee (a daemon killed mid-job
 //! comes back, resumes the partial checkpoint and publishes a report
-//! bit-identical to an uninterrupted run).
+//! bit-identical to an uninterrupted run), and the concurrent-runner proofs:
+//! two jobs observably running at once, concurrent reports bit-identical to
+//! serial ones, every interrupted concurrent job resuming across a restart,
+//! distributed-worker death during concurrent jobs, batch-priority progress
+//! under sustained high-priority load, and wire compatibility with clients
+//! that predate priorities.
 
 use rough_core::RoughnessSpec;
 use rough_em::material::Stackup;
@@ -10,7 +15,7 @@ use rough_engine::{
     wire, CampaignReport, CancelToken, EngineError, FnObserver, Run, RunConfig, RunEvent, Scenario,
     SerialExecutor,
 };
-use rough_service::{Client, Daemon, DaemonConfig, JobQueue, JobState, ServiceEvent};
+use rough_service::{Client, Daemon, DaemonConfig, JobQueue, JobState, Priority, ServiceEvent};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -149,7 +154,9 @@ fn daemon_restart_resumes_partial_jobs_bit_identically() {
     // Previous daemon life: job journaled as running…
     let checkpoint_path = {
         let mut queue = JobQueue::open(&state).expect("queue");
-        let (job, cached) = queue.submit(&scenario_wire, fingerprint).expect("submit");
+        let (job, cached) = queue
+            .submit(&scenario_wire, fingerprint, Priority::Normal)
+            .expect("submit");
         assert!(!cached);
         queue.mark(job, JobState::Running).expect("mark running");
         queue.checkpoint_path(job)
@@ -431,6 +438,466 @@ fn daemon_sweep_rounds_dedupe_and_export_bit_identically() {
     assert_eq!(zf_csv(&first, &stack), zf_csv(&second, &stack));
     for (a, b) in first.points.iter().zip(&second.points) {
         assert_eq!(a.value.to_bits(), b.value.to_bits());
+    }
+
+    client.shutdown().expect("shutdown");
+    daemon.join();
+    std::fs::remove_dir_all(&state).ok();
+}
+
+/// A serial executor whose `execute` parks until the test releases it,
+/// counting how many runs are in flight — the window in which concurrent
+/// execution is *observable* from outside via STATUS.
+#[derive(Debug, Default)]
+struct Gate {
+    started: std::sync::Mutex<usize>,
+    started_cv: std::sync::Condvar,
+    release: std::sync::Mutex<bool>,
+    release_cv: std::sync::Condvar,
+}
+
+impl Gate {
+    fn wait_started(&self, want: usize) {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+        let mut started = self.started.lock().unwrap();
+        while *started < want {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "only {} of {want} runs started",
+                *started
+            );
+            let (guard, _) = self
+                .started_cv
+                .wait_timeout(started, std::time::Duration::from_millis(100))
+                .unwrap();
+            started = guard;
+        }
+    }
+
+    fn release_all(&self) {
+        *self.release.lock().unwrap() = true;
+        self.release_cv.notify_all();
+    }
+}
+
+#[derive(Debug)]
+struct GatedSerialExecutor {
+    gate: Arc<Gate>,
+}
+
+impl rough_engine::UnitExecutor for GatedSerialExecutor {
+    fn name(&self) -> &'static str {
+        "gated-serial"
+    }
+
+    fn parallelism(&self) -> usize {
+        1
+    }
+
+    fn execute(
+        &self,
+        plan: &rough_engine::Plan,
+        order: &[usize],
+        cache: &rough_engine::KernelCache,
+        sink: &rough_engine::UnitSink<'_>,
+    ) -> Result<(), EngineError> {
+        {
+            let mut started = self.gate.started.lock().unwrap();
+            *started += 1;
+            self.gate.started_cv.notify_all();
+        }
+        {
+            let mut released = self.gate.release.lock().unwrap();
+            while !*released {
+                released = self.gate.release_cv.wait(released).unwrap();
+            }
+        }
+        SerialExecutor.execute(plan, order, cache, sink)
+    }
+}
+
+fn wait_status(client: &Client, label: &str, done: u64) {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(120);
+    loop {
+        let status = client.status().expect("status");
+        if status.done >= done {
+            return;
+        }
+        assert_eq!(status.failed, 0, "{label}: a job failed");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "{label}: stuck at {status:?}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+}
+
+/// The tentpole proof: with `max_concurrent_jobs = 2`, two of three
+/// mixed-priority jobs are *observably* running at the same time (STATUS
+/// reports two `running` jobs while the third queues), and every report is
+/// bit-identical to a local serial run of the same scenario.
+#[test]
+fn concurrent_runners_overlap_and_reports_stay_bit_identical() {
+    let state = temp_state("concurrent");
+    let gate: Arc<Gate> = Arc::default();
+    let daemon = Daemon::start(
+        DaemonConfig::new("127.0.0.1:0", &state)
+            .executor(Arc::new(GatedSerialExecutor {
+                gate: Arc::clone(&gate),
+            }))
+            .max_concurrent_jobs(2),
+    )
+    .expect("daemon starts");
+    let client = Client::new(daemon.addr());
+
+    let scenarios = [
+        (scenario("concurrent-high", 0x71), Priority::High),
+        (scenario("concurrent-normal", 0x72), Priority::Normal),
+        (scenario("concurrent-batch", 0x73), Priority::Batch),
+    ];
+    let mut submitted = Vec::new();
+    for (scenario, priority) in &scenarios {
+        let submission = client
+            .submit_priority(scenario, *priority)
+            .expect("submission accepted");
+        assert!(!submission.cached);
+        submitted.push(submission);
+    }
+
+    // Two runners must pick up two different jobs and sit in execute()
+    // simultaneously — the gate holds them there so STATUS can observe it.
+    gate.wait_started(2);
+    let (status, jobs) = client.status_detail().expect("status detail");
+    assert_eq!(status.running, 2, "two jobs run concurrently: {status:?}");
+    assert_eq!(status.queued, 1);
+    let running: Vec<u64> = jobs
+        .iter()
+        .filter(|j| j.state == "running")
+        .map(|j| j.id)
+        .collect();
+    assert_eq!(running.len(), 2);
+    // The per-job table reports each submission's priority class.
+    for (submission, (_, priority)) in submitted.iter().zip(&scenarios) {
+        let row = jobs
+            .iter()
+            .find(|j| j.id == submission.job)
+            .expect("job listed in STATUS");
+        assert_eq!(row.priority, *priority);
+    }
+    // The high-priority job was dispatched (it is not the one still queued).
+    assert!(
+        running.contains(&submitted[0].job),
+        "high-priority job not among the running pair: {running:?}"
+    );
+
+    gate.release_all();
+    wait_status(&client, "concurrent", 3);
+
+    // Concurrency must not perturb a single bit of any result.
+    for (submission, (scenario, _)) in submitted.iter().zip(&scenarios) {
+        let fetched = client
+            .fetch_report(submission.fingerprint)
+            .expect("fetch")
+            .expect("report cached");
+        assert_reports_bit_identical(
+            &serial_reference(scenario),
+            &fetched,
+            "concurrent daemon run vs local serial",
+        );
+    }
+
+    client.shutdown().expect("shutdown");
+    daemon.join();
+    std::fs::remove_dir_all(&state).ok();
+}
+
+/// Restart-resume under concurrency: a daemon dies with TWO jobs mid-flight
+/// (both journaled `running`, both with partial checkpoints). The restarted
+/// daemon re-queues and resumes BOTH, and each published report is
+/// bit-identical to an uninterrupted serial run.
+#[test]
+fn restart_resumes_all_concurrently_interrupted_jobs_bit_identically() {
+    let state = temp_state("restart-concurrent");
+    let scenarios = [
+        scenario("restart-concurrent-a", 0x81),
+        scenario("restart-concurrent-b", 0x82),
+    ];
+
+    // Previous daemon life: both jobs journaled running, each with a partial
+    // checkpoint interrupted after 1 of its 3 units.
+    for (i, scenario) in scenarios.iter().enumerate() {
+        let scenario_wire = wire::encode_scenario(scenario);
+        let fingerprint = wire::scenario_fingerprint(scenario);
+        let checkpoint_path = {
+            let mut queue = JobQueue::open(&state).expect("queue");
+            let (job, cached) = queue
+                .submit(&scenario_wire, fingerprint, Priority::Normal)
+                .expect("submit");
+            assert!(!cached);
+            queue.mark(job, JobState::Running).expect("mark running");
+            queue.checkpoint_path(job)
+        };
+        let token = CancelToken::default();
+        let observer_token = token.clone();
+        let completed = AtomicUsize::new(0);
+        let interrupted = Run::new(
+            scenario,
+            RunConfig::new()
+                .executor(SerialExecutor)
+                .checkpoint(&checkpoint_path)
+                .cancel_token(token)
+                .observer(FnObserver(move |event: &RunEvent| {
+                    if matches!(event, RunEvent::UnitCompleted { .. })
+                        && completed.fetch_add(1, Ordering::SeqCst) == 0
+                    {
+                        observer_token.cancel();
+                    }
+                })),
+        )
+        .expect("plan")
+        .execute();
+        assert!(
+            matches!(
+                interrupted,
+                Err(EngineError::Interrupted {
+                    completed: 1,
+                    total: 3
+                })
+            ),
+            "job {i} interruption went wrong: {interrupted:?}"
+        );
+    }
+
+    // Restart with two runners: both restored jobs resume concurrently.
+    let daemon = Daemon::start(
+        DaemonConfig::new("127.0.0.1:0", &state)
+            .executor(Arc::new(SerialExecutor))
+            .max_concurrent_jobs(2),
+    )
+    .expect("daemon restarts");
+    let client = Client::new(daemon.addr());
+    wait_status(&client, "restart-concurrent", 2);
+
+    for scenario in &scenarios {
+        let fingerprint = wire::scenario_fingerprint(scenario);
+        let fetched = client
+            .fetch_report(fingerprint)
+            .expect("fetch")
+            .expect("report cached after recovery");
+        assert_reports_bit_identical(
+            &serial_reference(scenario),
+            &fetched,
+            "resumed-concurrently-across-restart vs uninterrupted serial",
+        );
+    }
+    let status = client.status().expect("status");
+    assert_eq!(status.done, 2);
+    assert_eq!(status.queued, 0);
+    assert_eq!(status.failed, 0);
+
+    client.shutdown().expect("shutdown");
+    daemon.join();
+    std::fs::remove_dir_all(&state).ok();
+}
+
+/// Sustained high-priority load: a batch job is submitted, then a stream of
+/// high-priority jobs is pushed through the daemon one after another. The
+/// batch job must reach `done` — the queue's aging promotes it past fresh
+/// high-priority arrivals after at most `AGE_STEP × class` dispatches.
+#[test]
+fn batch_jobs_complete_under_sustained_high_priority_load() {
+    let state = temp_state("starvation");
+    let daemon = start_daemon(&state);
+    let client = Client::new(daemon.addr());
+
+    let batch = scenario("starvation-batch", 0x91);
+    let submission = client
+        .submit_priority(&batch, Priority::Batch)
+        .expect("batch accepted");
+
+    // 2 × the aging bound of the batch class: more than enough dispatches
+    // for aging to promote the batch job whatever the interleaving.
+    let rounds = 2 * rough_service::queue::AGE_STEP * u64::from(Priority::Batch.class()) + 2;
+    for round in 0..rounds {
+        let high = scenario("starvation-high", 0xA0 + round);
+        let (_, outcome) = client
+            .submit_watch_priority(&high, Priority::High, |_| {})
+            .expect("high-priority job");
+        assert!(outcome.is_ok(), "high job {round} failed: {outcome:?}");
+    }
+
+    let (_, jobs) = client.status_detail().expect("status detail");
+    let row = jobs
+        .iter()
+        .find(|j| j.id == submission.job)
+        .expect("batch job listed");
+    assert_eq!(
+        row.state, "done",
+        "batch job starved under sustained high-priority load"
+    );
+    let fetched = client
+        .fetch_report(submission.fingerprint)
+        .expect("fetch")
+        .expect("batch report cached");
+    assert_reports_bit_identical(
+        &serial_reference(&batch),
+        &fetched,
+        "batch-under-load vs local serial",
+    );
+
+    client.shutdown().expect("shutdown");
+    daemon.join();
+    std::fs::remove_dir_all(&state).ok();
+}
+
+/// A client that predates priorities speaks the old SUBMIT layout (scenario +
+/// watch word, no priority) and reads only the four STATUS counters. Both
+/// conversations must still work against the new daemon, with the submission
+/// defaulting to `normal` priority.
+#[test]
+fn old_wire_clients_interoperate_with_the_new_daemon() {
+    use rough_engine::frame::{read_frame, write_frame, PayloadWriter};
+    use rough_service::protocol;
+
+    let state = temp_state("oldwire");
+    let daemon = start_daemon(&state);
+    let scenario = scenario("old-wire", 0xB1);
+    let scenario_wire = wire::encode_scenario(&scenario);
+
+    // Old-layout SUBMIT, watch = 1: exactly the bytes an old client sends.
+    let mut stream = std::net::TcpStream::connect(daemon.addr()).expect("connect");
+    let submit = PayloadWriter::new()
+        .str(&scenario_wire)
+        .u64(1)
+        .frame(protocol::kind::SUBMIT);
+    write_frame(&mut stream, &submit).expect("submit frame");
+    let reply = read_frame(&mut stream).expect("accepted frame");
+    assert_eq!(reply.kind, protocol::kind::ACCEPTED);
+    let mut reader = reply.reader();
+    let job = reader.u64().expect("job id");
+    // Stream events until the terminal JOB_DONE, like an old watcher would.
+    loop {
+        let frame = read_frame(&mut stream).expect("event stream");
+        if frame.kind == protocol::kind::JOB_DONE {
+            let (done_job, outcome) = protocol::decode_job_done(&frame).expect("job done");
+            assert_eq!(done_job, job);
+            assert!(outcome.is_ok(), "old-wire job failed: {outcome:?}");
+            break;
+        }
+        assert_eq!(frame.kind, protocol::kind::EVENT);
+    }
+
+    // The priority-less submission landed as `normal`.
+    let client = Client::new(daemon.addr());
+    let (_, jobs) = client.status_detail().expect("status detail");
+    let row = jobs.iter().find(|j| j.id == job).expect("job listed");
+    assert_eq!(row.priority, Priority::Normal);
+    assert_eq!(row.state, "done");
+
+    // Old-layout STATUS read: counters decode, the job table is ignored.
+    let mut stream = std::net::TcpStream::connect(daemon.addr()).expect("connect");
+    write_frame(
+        &mut stream,
+        &rough_engine::frame::Frame::empty(protocol::kind::STATUS),
+    )
+    .expect("status frame");
+    let reply = read_frame(&mut stream).expect("status report");
+    let counters = protocol::decode_status_report(&reply).expect("old-layout decode");
+    assert_eq!(counters.done, 1);
+    assert_eq!(counters.failed, 0);
+
+    client.shutdown().expect("shutdown");
+    daemon.join();
+    std::fs::remove_dir_all(&state).ok();
+}
+
+/// Worker-mode hook for the distributed fault-injection test below: the
+/// socket executors re-launch this test binary with
+/// `service_worker_entry --exact` as persistent worker processes.
+#[test]
+fn service_worker_entry() {
+    rough_engine::subprocess::maybe_serve_worker();
+}
+
+fn socket_executor(workers: usize) -> rough_engine::SocketExecutor {
+    rough_engine::SocketExecutor::new(workers).with_args([
+        "service_worker_entry",
+        "--exact",
+        "--nocapture",
+    ])
+}
+
+/// Fault injection during concurrency: two jobs run at once, each on its own
+/// two-worker socket executor; the moment the first unit result lands we kill
+/// one worker process under EACH executor. Both jobs must finish on the
+/// surviving workers with reports bit-identical to serial runs, and at least
+/// one event stream must report the loss.
+#[test]
+fn worker_death_during_concurrent_jobs_keeps_both_reports_bit_identical() {
+    use std::sync::atomic::AtomicBool;
+
+    let state = temp_state("worker-death-concurrent");
+    let executor_a = Arc::new(socket_executor(2));
+    let executor_b = Arc::new(socket_executor(2));
+    let daemon = Daemon::start(DaemonConfig::new("127.0.0.1:0", &state).executors(vec![
+        executor_a.clone() as Arc<dyn rough_engine::UnitExecutor>,
+        executor_b.clone() as Arc<dyn rough_engine::UnitExecutor>,
+    ]))
+    .expect("daemon starts");
+    let addr = daemon.addr().to_owned();
+
+    let killed = Arc::new(AtomicBool::new(false));
+    let worker_lost_seen = Arc::new(AtomicBool::new(false));
+    let scenarios = [
+        scenario("worker-death-a", 0xC1),
+        scenario("worker-death-b", 0xC2),
+    ];
+    let mut watchers = Vec::new();
+    for scenario in scenarios.clone() {
+        let addr = addr.clone();
+        let killed = Arc::clone(&killed);
+        let lost = Arc::clone(&worker_lost_seen);
+        let killer_a = Arc::clone(&executor_a);
+        let killer_b = Arc::clone(&executor_b);
+        watchers.push(std::thread::spawn(move || {
+            let client = Client::new(&addr);
+            client.submit_watch(&scenario, |event: &ServiceEvent| match event {
+                // First result from either job: kill one worker process
+                // under each executor, mid-flight for both runs.
+                ServiceEvent::UnitCompleted { .. } if !killed.swap(true, Ordering::SeqCst) => {
+                    assert!(killer_a.kill_one_worker(), "executor A has a live worker");
+                    assert!(killer_b.kill_one_worker(), "executor B has a live worker");
+                }
+                ServiceEvent::WorkerLost { .. } => {
+                    lost.store(true, Ordering::SeqCst);
+                }
+                _ => {}
+            })
+        }));
+    }
+    for watcher in watchers {
+        let (_, outcome) = watcher
+            .join()
+            .expect("watcher thread")
+            .expect("watch stream");
+        assert!(outcome.is_ok(), "job died with the worker: {outcome:?}");
+    }
+    assert!(
+        worker_lost_seen.load(Ordering::SeqCst),
+        "no stream reported the killed workers"
+    );
+
+    let client = Client::new(&addr);
+    for scenario in &scenarios {
+        let fetched = client
+            .fetch_report(wire::scenario_fingerprint(scenario))
+            .expect("fetch")
+            .expect("report cached");
+        assert_reports_bit_identical(
+            &serial_reference(scenario),
+            &fetched,
+            "concurrent-with-worker-death vs local serial",
+        );
     }
 
     client.shutdown().expect("shutdown");

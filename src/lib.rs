@@ -152,7 +152,7 @@ pub mod prelude {
         SerialExecutor, SocketExecutor, SubprocessExecutor, ThreadPoolExecutor,
     };
     pub use rough_numerics::complex::c64;
-    pub use rough_service::{Client, Daemon, DaemonConfig};
+    pub use rough_service::{Client, Daemon, DaemonConfig, Priority};
     pub use rough_stochastic::{
         collocation::{SscmConfig, SscmResult},
         monte_carlo::{MonteCarloConfig, MonteCarloResult},
