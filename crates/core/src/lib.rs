@@ -72,6 +72,6 @@ pub use matrixfree::{
 };
 pub use nearfield::{AssemblyScheme, AssemblyStats, KernelEval, NearFieldPolicy};
 pub use parallel::{AssemblyParallelism, ASSEMBLY_THREADS_ENV};
-pub use solver::SolverKind;
+pub use solver::{SolveAttempt, SolveDiagnostics, SolverKind};
 pub use spec::RoughnessSpec;
 pub use swm3d::{SwmOperator, SwmProblem, SwmProblemBuilder};

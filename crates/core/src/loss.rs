@@ -12,11 +12,13 @@ pub struct LossResult {
     analytic_smooth_power: f64,
     relative_residual: f64,
     unknowns: usize,
+    degraded: bool,
 }
 
 impl LossResult {
     /// Creates a result record (used by the solvers; not usually constructed
-    /// by downstream users).
+    /// by downstream users). The result starts non-degraded; solvers that
+    /// fell back mark it with [`LossResult::with_degraded`].
     pub fn new(
         frequency: Frequency,
         absorbed_power: f64,
@@ -32,7 +34,16 @@ impl LossResult {
             analytic_smooth_power,
             relative_residual,
             unknowns,
+            degraded: false,
         }
+    }
+
+    /// Marks whether this solve completed through a degraded path (the
+    /// configured solver failed and an escalation fallback produced the
+    /// result).
+    pub fn with_degraded(mut self, degraded: bool) -> Self {
+        self.degraded = degraded;
+        self
     }
 
     /// Frequency of the solve.
@@ -79,6 +90,12 @@ impl LossResult {
     /// Number of surface unknowns N (system order was 2N).
     pub fn unknowns(&self) -> usize {
         self.unknowns
+    }
+
+    /// Whether this result came through a degraded solver path (see
+    /// [`LossResult::with_degraded`]).
+    pub fn degraded(&self) -> bool {
+        self.degraded
     }
 }
 

@@ -41,6 +41,94 @@ pub struct SolveStats {
     pub iterations: usize,
 }
 
+/// One rung of a solver escalation ladder: which strategy ran and how it
+/// ended.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveAttempt {
+    /// Human-readable strategy label, e.g. `gmres(restart=50)` or
+    /// `direct-lu-fallback`.
+    pub strategy: String,
+    /// `ok` for a successful attempt, otherwise the failure message.
+    pub outcome: String,
+    /// Iterations the attempt used (0 for direct solves).
+    pub iterations: usize,
+    /// Relative residual the attempt reached (`NaN` when it produced none).
+    pub relative_residual: f64,
+}
+
+impl SolveAttempt {
+    fn ok(strategy: impl Into<String>, stats: SolveStats) -> Self {
+        Self {
+            strategy: strategy.into(),
+            outcome: "ok".into(),
+            iterations: stats.iterations,
+            relative_residual: stats.relative_residual,
+        }
+    }
+
+    fn failed(strategy: impl Into<String>, error: &SwmError) -> Self {
+        Self {
+            strategy: strategy.into(),
+            outcome: error.to_string(),
+            iterations: 0,
+            relative_residual: f64::NAN,
+        }
+    }
+
+    /// Whether this attempt succeeded.
+    pub fn succeeded(&self) -> bool {
+        self.outcome == "ok"
+    }
+}
+
+/// Structured record of how a solve was obtained: every attempt in order,
+/// and whether the result came from a fallback rung instead of the
+/// configured strategy. Attached to reports by the graceful-degradation
+/// ladder (`SwmProblem::absorbed_power_diagnosed`) so a degraded run is
+/// visible instead of silent.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SolveDiagnostics {
+    /// Attempts in escalation order; the last one produced the result.
+    pub attempts: Vec<SolveAttempt>,
+    /// `true` when the configured strategy failed and a fallback produced
+    /// the result.
+    pub degraded: bool,
+}
+
+impl SolveDiagnostics {
+    /// Records a successful attempt.
+    pub fn push_ok(&mut self, strategy: impl Into<String>, stats: SolveStats) {
+        self.attempts.push(SolveAttempt::ok(strategy, stats));
+    }
+
+    /// Records a failed attempt; any later success marks the solve degraded.
+    pub fn push_failed(&mut self, strategy: impl Into<String>, error: &SwmError) {
+        self.attempts.push(SolveAttempt::failed(strategy, error));
+        self.degraded = true;
+    }
+
+    /// One-line summary of the escalation chain, e.g.
+    /// `gmres(restart=50): injected Krylov breakdown -> direct-lu-fallback: ok`.
+    pub fn summary(&self) -> String {
+        self.attempts
+            .iter()
+            .map(|a| format!("{}: {}", a.strategy, a.outcome))
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    }
+}
+
+/// Human-readable label of a solver strategy (diagnostics / logs).
+pub fn strategy_label(kind: SolverKind) -> String {
+    match kind {
+        SolverKind::DirectLu => "direct-lu".into(),
+        SolverKind::Bicgstab { tolerance } => format!("bicgstab(tol={tolerance:.0e})"),
+        SolverKind::Gmres { tolerance, restart } => {
+            format!("gmres(tol={tolerance:.0e},restart={restart})")
+        }
+    }
+}
+
 /// Solves `A·x = b` with the requested strategy.
 ///
 /// # Errors
@@ -106,16 +194,69 @@ pub fn solve_operator(
     kind: SolverKind,
     precond: Option<&dyn LinearOperator>,
 ) -> Result<(Vec<c64>, SolveStats), SwmError> {
-    let (tolerance, restart) = match kind {
+    let config = krylov_config(kind)?;
+    solve_operator_configured(op, rhs, kind, precond, &config)
+}
+
+/// The [`IterativeConfig`] a Krylov [`SolverKind`] implies (default iteration
+/// budget, the kind's tolerance and restart).
+///
+/// # Errors
+///
+/// Returns [`SwmError::LinearSolver`] for [`SolverKind::DirectLu`], which has
+/// no iterative configuration.
+pub fn krylov_config(kind: SolverKind) -> Result<IterativeConfig, SwmError> {
+    match kind {
+        SolverKind::DirectLu => Err(SwmError::LinearSolver(
+            "DirectLu requires a dense matrix; use a Krylov SolverKind for operator solves".into(),
+        )),
+        SolverKind::Bicgstab { tolerance } => Ok(IterativeConfig {
+            tolerance,
+            ..Default::default()
+        }),
+        SolverKind::Gmres { tolerance, restart } => Ok(IterativeConfig {
+            tolerance,
+            restart,
+            ..Default::default()
+        }),
+    }
+}
+
+/// [`solve_operator`] with an explicit [`IterativeConfig`] — the escalation
+/// ladder retries a failed solve with a tightened config through this entry
+/// point. The config's `tolerance`/`restart` take precedence over the values
+/// embedded in `kind`; `kind` only selects the method.
+///
+/// The named fault point `solver.krylov.breakdown`
+/// ([`rough_faults::should_fire`]) injects a deterministic breakdown here,
+/// before any iteration runs — the hook chaos tests use to force the
+/// degradation ladder without constructing a pathological system.
+///
+/// # Errors
+///
+/// Same contract as [`solve_operator`].
+pub fn solve_operator_configured(
+    op: &dyn LinearOperator,
+    rhs: &[c64],
+    kind: SolverKind,
+    precond: Option<&dyn LinearOperator>,
+    config: &IterativeConfig,
+) -> Result<(Vec<c64>, SolveStats), SwmError> {
+    let use_gmres = match kind {
         SolverKind::DirectLu => {
             return Err(SwmError::LinearSolver(
                 "DirectLu requires a dense matrix; use a Krylov SolverKind for operator solves"
                     .into(),
             ))
         }
-        SolverKind::Bicgstab { tolerance } => (tolerance, None),
-        SolverKind::Gmres { tolerance, restart } => (tolerance, Some(restart)),
+        SolverKind::Bicgstab { .. } => false,
+        SolverKind::Gmres { .. } => true,
     };
+    if rough_faults::should_fire("solver.krylov.breakdown") {
+        return Err(SwmError::LinearSolver(
+            "injected Krylov breakdown (fault plan)".into(),
+        ));
+    }
     let composed;
     let krylov_op: &dyn LinearOperator = match precond {
         Some(precond) => {
@@ -124,14 +265,10 @@ pub fn solve_operator(
         }
         None => op,
     };
-    let config = IterativeConfig {
-        tolerance,
-        restart: restart.unwrap_or(IterativeConfig::default().restart),
-        ..Default::default()
-    };
-    let sol = match restart {
-        Some(_) => gmres(krylov_op, rhs, &config),
-        None => bicgstab(krylov_op, rhs, &config),
+    let sol = if use_gmres {
+        gmres(krylov_op, rhs, config)
+    } else {
+        bicgstab(krylov_op, rhs, config)
     }
     .map_err(map_iterative_error)?;
     let x = match precond {

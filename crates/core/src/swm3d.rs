@@ -14,7 +14,10 @@ use crate::mesh::PatchMesh;
 use crate::nearfield::{AssemblyScheme, KernelEval};
 use crate::parallel::AssemblyParallelism;
 use crate::power::{absorbed_power_3d, smooth_surface_power};
-use crate::solver::{solve_operator, solve_system, SolveStats, SolverKind};
+use crate::solver::{
+    krylov_config, solve_operator_configured, solve_system, strategy_label, SolveDiagnostics,
+    SolveStats, SolverKind,
+};
 use crate::spec::RoughnessSpec;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -320,22 +323,64 @@ impl SwmProblem {
         surface: &RoughSurface,
         operator: &SwmOperator,
     ) -> Result<(f64, SolveStats), SwmError> {
+        let (power, stats, _) = self.absorbed_power_diagnosed(surface, operator)?;
+        Ok((power, stats))
+    }
+
+    /// Assembles the dense system for `mesh` and solves it with `kind` — the
+    /// dense solve path, shared between the `Dense` operator representation
+    /// and the matrix-free ladder's final fallback so both produce bit-identical
+    /// solutions.
+    fn dense_solve(
+        &self,
+        mesh: &PatchMesh,
+        operator: &SwmOperator,
+        kind: SolverKind,
+    ) -> Result<(Vec<c64>, SolveStats, usize), SwmError> {
+        let system = assemble_system_with(
+            mesh,
+            &operator.g1,
+            &operator.g2,
+            operator.beta,
+            operator.k1,
+            operator.assembly,
+            operator.kernel_eval,
+            self.assembly_parallelism,
+        );
+        let (solution, stats) = solve_system(&system.matrix, &system.rhs, kind)?;
+        Ok((solution, stats, system.surface_unknowns))
+    }
+
+    /// [`SwmProblem::absorbed_power_with`] plus the structured
+    /// [`SolveDiagnostics`] of how the solution was obtained.
+    ///
+    /// For a matrix-free operator with a Krylov solver this is the graceful
+    /// degradation ladder: when the configured iteration breaks down or fails
+    /// to converge, the solve escalates to a tightened restarted GMRES
+    /// (doubled restart length and iteration budget), and finally to the
+    /// dense `DirectLu` path — bit-identical to a dense-representation solve
+    /// of the same problem — rather than failing the unit. Every rung is
+    /// recorded in the diagnostics, and any fallback marks the solve
+    /// `degraded`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwmError::SurfaceMismatch`] on a mismatched surface grid,
+    /// configuration errors, or a solver error when even the final dense
+    /// fallback fails.
+    pub fn absorbed_power_diagnosed(
+        &self,
+        surface: &RoughSurface,
+        operator: &SwmOperator,
+    ) -> Result<(f64, SolveStats, SolveDiagnostics), SwmError> {
         self.check_surface(surface)?;
         let mesh = PatchMesh::from_surface(surface);
+        let mut diagnostics = SolveDiagnostics::default();
         let (solution, stats, n) = match operator.operator_repr {
             OperatorRepr::Dense => {
-                let system = assemble_system_with(
-                    &mesh,
-                    &operator.g1,
-                    &operator.g2,
-                    operator.beta,
-                    operator.k1,
-                    operator.assembly,
-                    operator.kernel_eval,
-                    self.assembly_parallelism,
-                );
-                let (solution, stats) = solve_system(&system.matrix, &system.rhs, self.solver)?;
-                (solution, stats, system.surface_unknowns)
+                let (solution, stats, n) = self.dense_solve(&mesh, operator, self.solver)?;
+                diagnostics.push_ok(strategy_label(self.solver), stats);
+                (solution, stats, n)
             }
             OperatorRepr::MatrixFree(mf_policy) => {
                 let AssemblyScheme::LocallyCorrected(policy) = operator.assembly else {
@@ -357,12 +402,55 @@ impl SwmProblem {
                     operator.table_cache.as_deref(),
                 );
                 let precond = mf.preconditioner();
-                let (solution, stats) = solve_operator(&mf, mf.rhs(), self.solver, Some(&precond))?;
-                (solution, stats, mf.surface_unknowns())
+                let base = krylov_config(self.solver)?;
+                match solve_operator_configured(&mf, mf.rhs(), self.solver, Some(&precond), &base) {
+                    Ok((solution, stats)) => {
+                        diagnostics.push_ok(strategy_label(self.solver), stats);
+                        (solution, stats, mf.surface_unknowns())
+                    }
+                    Err(first) => {
+                        diagnostics.push_failed(strategy_label(self.solver), &first);
+                        // Rung 2: a longer GMRES recurrence with a doubled
+                        // iteration budget — same tolerance, so a success
+                        // here is as accurate as the configured solve.
+                        let tight = base.tightened();
+                        let retry = SolverKind::Gmres {
+                            tolerance: tight.tolerance,
+                            restart: tight.restart,
+                        };
+                        let label = format!(
+                            "gmres-tightened(restart={},max_iter={})",
+                            tight.restart, tight.max_iterations
+                        );
+                        match solve_operator_configured(
+                            &mf,
+                            mf.rhs(),
+                            retry,
+                            Some(&precond),
+                            &tight,
+                        ) {
+                            Ok((solution, stats)) => {
+                                diagnostics.push_ok(label, stats);
+                                (solution, stats, mf.surface_unknowns())
+                            }
+                            Err(second) => {
+                                diagnostics.push_failed(label, &second);
+                                // Rung 3: the slower-but-sure dense direct
+                                // path — exactly the Dense-representation
+                                // code, so the recovered result is
+                                // bit-identical to a clean dense solve.
+                                let (solution, stats, n) =
+                                    self.dense_solve(&mesh, operator, SolverKind::DirectLu)?;
+                                diagnostics.push_ok("direct-lu-fallback", stats);
+                                (solution, stats, n)
+                            }
+                        }
+                    }
+                }
             }
         };
         let power = absorbed_power_3d(&mesh, &solution[..n], &solution[n..]);
-        Ok((power, stats))
+        Ok((power, stats, diagnostics))
     }
 
     /// Absorbed power of the flat (smooth) patch solved with the same grid and
@@ -429,15 +517,35 @@ impl SwmProblem {
         flat_reference: f64,
         operator: &SwmOperator,
     ) -> Result<LossResult, SwmError> {
-        let (power, stats) = self.absorbed_power_with(surface, operator)?;
-        Ok(LossResult::new(
+        let (loss, _) = self.solve_with_reference_diagnosed(surface, flat_reference, operator)?;
+        Ok(loss)
+    }
+
+    /// [`SwmProblem::solve_with_reference_using`] plus the structured
+    /// [`SolveDiagnostics`] of the escalation ladder. The returned
+    /// [`LossResult`] carries [`LossResult::degraded`] when a fallback rung
+    /// produced it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates surface-mismatch and solver errors.
+    pub fn solve_with_reference_diagnosed(
+        &self,
+        surface: &RoughSurface,
+        flat_reference: f64,
+        operator: &SwmOperator,
+    ) -> Result<(LossResult, SolveDiagnostics), SwmError> {
+        let (power, stats, diagnostics) = self.absorbed_power_diagnosed(surface, operator)?;
+        let loss = LossResult::new(
             self.frequency,
             power,
             flat_reference,
             self.analytic_smooth_power(),
             stats.relative_residual,
             self.cells_per_side * self.cells_per_side,
-        ))
+        )
+        .with_degraded(diagnostics.degraded);
+        Ok((loss, diagnostics))
     }
 
     fn check_surface(&self, surface: &RoughSurface) -> Result<(), SwmError> {

@@ -75,10 +75,17 @@ fn extract_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     rest.split('"').next()
 }
 
-/// Formats one record as its JSONL line (without trailing newline).
+/// Formats one record as its JSONL line (without trailing newline). The
+/// `degraded` key is appended only when set, so checkpoints from clean runs
+/// stay byte-identical to those written before the key existed.
 pub(crate) fn record_line(record: &UnitRecord) -> String {
+    let degraded = if record.degraded {
+        ",\"degraded\":1"
+    } else {
+        ""
+    };
     format!(
-        "{{\"kind\":\"unit\",\"unit\":{},\"case\":{},\"value\":{},\"value_bits\":\"{:016x}\",\"residual_bits\":\"{:016x}\"}}",
+        "{{\"kind\":\"unit\",\"unit\":{},\"case\":{},\"value\":{},\"value_bits\":\"{:016x}\",\"residual_bits\":\"{:016x}\"{degraded}}}",
         record.unit,
         record.case_index,
         record.value,
@@ -98,6 +105,8 @@ fn parse_record(line: &str) -> Option<UnitRecord> {
         relative_residual: f64::from_bits(
             u64::from_str_radix(extract_str(line, "residual_bits")?, 16).ok()?,
         ),
+        // Absent in checkpoints written before the degradation ladder existed.
+        degraded: extract_u64(line, "degraded").unwrap_or(0) != 0,
     })
 }
 
@@ -178,8 +187,9 @@ pub struct CompactionStats {
 /// reclaims. Compaction rewrites the file as the **verbatim original header
 /// line** (the fingerprint survives byte for byte) followed by one line per
 /// surviving record, first occurrence winning — exactly the records [`read`]
-/// would have returned. The rewrite goes to a temporary file in the same
-/// directory and replaces the original with an atomic rename, so a crash
+/// would have returned. The rewrite goes through
+/// [`crate::durable::replace_file`] — temporary file, `fsync`, atomic
+/// rename, parent-directory `fsync` — so a crash or power loss
 /// mid-compaction leaves either the old or the new file, never a mix.
 ///
 /// # Errors
@@ -209,18 +219,8 @@ pub fn compact(path: impl AsRef<Path>) -> Result<CompactionStats, EngineError> {
         out.push('\n');
     }
 
-    let tmp = path.with_file_name(format!(
-        "{}.compact-tmp",
-        path.file_name()
-            .map(|n| n.to_string_lossy().into_owned())
-            .unwrap_or_else(|| "checkpoint".to_owned())
-    ));
-    std::fs::write(&tmp, &out)
-        .map_err(|e| checkpoint_error(format!("cannot write {}: {e}", tmp.display())))?;
-    std::fs::rename(&tmp, path).map_err(|e| {
-        std::fs::remove_file(&tmp).ok();
-        checkpoint_error(format!("cannot replace {}: {e}", path.display()))
-    })?;
+    crate::durable::replace_file(path, "compact-tmp", out.as_bytes())
+        .map_err(|e| checkpoint_error(format!("cannot replace {}: {e}", path.display())))?;
 
     Ok(CompactionStats {
         records_kept: checkpoint.records.len(),
@@ -303,7 +303,19 @@ impl CheckpointWriter {
     ///
     /// Returns [`EngineError::Checkpoint`] on I/O failure.
     pub fn append(&mut self, record: &UnitRecord) -> Result<(), EngineError> {
-        self.write_line(&record_line(record))
+        let line = record_line(record);
+        // Fault point: flush half the line without its newline — the torn
+        // tail a kill mid-append leaves — then report the failure.
+        if rough_faults::should_fire("checkpoint.append.torn") {
+            let torn = &line[..line.len() / 2];
+            write!(self.file, "{torn}")
+                .and_then(|()| self.file.flush())
+                .ok();
+            return Err(checkpoint_error(
+                "injected torn checkpoint append (fault plan)",
+            ));
+        }
+        self.write_line(&line)
     }
 
     fn write_line(&mut self, line: &str) -> Result<(), EngineError> {
@@ -340,6 +352,7 @@ mod tests {
             case_index: 0,
             value,
             relative_residual: 1e-13,
+            degraded: false,
         }
     }
 
@@ -419,6 +432,20 @@ mod tests {
         assert_eq!(checkpoint.records.len(), 1);
         assert_eq!(checkpoint.records[0].value, 1.0);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn degraded_flag_roundtrips_and_clean_lines_are_byte_stable() {
+        // Clean records must not mention the key at all — old-format bytes.
+        let clean = record(5, 1.5);
+        assert!(!record_line(&clean).contains("degraded"));
+        assert!(!parse_record(&record_line(&clean)).unwrap().degraded);
+
+        let mut flagged = record(5, 1.5);
+        flagged.degraded = true;
+        let line = record_line(&flagged);
+        assert!(line.ends_with(",\"degraded\":1}"));
+        assert!(parse_record(&line).unwrap().degraded);
     }
 
     #[test]

@@ -1,0 +1,85 @@
+//! Crash-durable file replacement.
+//!
+//! An atomic `rename` alone guarantees *atomicity* (readers see the old or
+//! the new file, never a mix) but not *durability*: after a power loss the
+//! filesystem may replay the rename before the data blocks of the temporary
+//! file reach disk, leaving a zero-length or torn target. The helpers here
+//! close that window with the classic sequence — write the temporary file,
+//! `fsync` it, rename it over the target, then `fsync` the parent directory
+//! so the rename itself is journaled.
+
+use std::fs::File;
+use std::io::{self, Write as _};
+use std::path::Path;
+
+/// Flushes the directory entry containing `path` to disk, so a rename that
+/// just happened inside it survives power loss. On non-Unix platforms
+/// directory handles cannot be `fsync`ed; the call is a no-op there.
+pub fn fsync_parent(path: &Path) -> io::Result<()> {
+    #[cfg(unix)]
+    {
+        let parent = match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+            _ => std::path::PathBuf::from("."),
+        };
+        File::open(parent)?.sync_all()?;
+    }
+    #[cfg(not(unix))]
+    let _ = path;
+    Ok(())
+}
+
+/// Durably replaces `path` with `contents`: writes a sibling temporary file
+/// (`<name>.<tmp_suffix>`), `fsync`s it, atomically renames it over `path`
+/// and `fsync`s the parent directory. A crash at any point leaves either the
+/// complete old file or the complete new one.
+///
+/// # Errors
+///
+/// Any I/O failure from the write, sync or rename; the temporary file is
+/// removed on a failed rename.
+pub fn replace_file(path: &Path, tmp_suffix: &str, contents: &[u8]) -> io::Result<()> {
+    let tmp = path.with_file_name(format!(
+        "{}.{tmp_suffix}",
+        path.file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "file".to_owned())
+    ));
+    {
+        let mut file = File::create(&tmp)?;
+        file.write_all(contents)?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, path).inspect_err(|_| {
+        std::fs::remove_file(&tmp).ok();
+    })?;
+    fsync_parent(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replace_file_swaps_contents_atomically() {
+        let dir = std::env::temp_dir().join("rough_engine_durable_replace");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("target.txt");
+        std::fs::write(&path, b"old").unwrap();
+        replace_file(&path, "swap-tmp", b"new contents").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"new contents");
+        // The temporary file never lingers.
+        assert!(!path.with_file_name("target.txt.swap-tmp").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replace_file_creates_missing_targets() {
+        let dir = std::env::temp_dir().join("rough_engine_durable_create");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fresh.txt");
+        replace_file(&path, "swap-tmp", b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -51,6 +51,16 @@ pub enum RunEvent {
         /// In-flight units returned to the dispatch queue.
         requeued: usize,
     },
+    /// The worker fleet permanently shrank: a worker exhausted its respawn
+    /// budget (the flapping-worker circuit breaker) and the executor degraded
+    /// to the surviving workers instead of respawning forever. Results are
+    /// unaffected — only throughput drops.
+    FleetDegraded {
+        /// Workers still serving the run.
+        active: usize,
+        /// Workers the executor was configured with.
+        configured: usize,
+    },
     /// A record was durably appended to the checkpoint file.
     CheckpointWritten {
         /// Records now resident in the checkpoint (including resumed ones).

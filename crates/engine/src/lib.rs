@@ -71,11 +71,13 @@
 
 pub mod cache;
 pub mod checkpoint;
+pub mod durable;
 mod error;
 pub mod events;
 pub mod executor;
 pub mod frame;
 pub mod plan;
+pub mod policy;
 pub mod report;
 pub mod rng;
 pub mod run;
@@ -95,10 +97,14 @@ pub use executor::{
     ThreadPoolExecutor, UnitExecutor, EXECUTOR_ENV,
 };
 pub use plan::Plan;
+pub use policy::{RetryPolicy, UNIT_DEADLINE_ENV};
 pub use report::{CampaignReport, CaseOutcome, CaseReport, UnitRecord};
 pub use run::{report_from_records, CancelToken, Run, RunConfig, UnitSink};
 pub use scenario::{CaseId, EnsembleMode, Scenario, ScenarioBuilder};
 pub use schedule::{unit_class, CostOrdered, CostTable, PlanOrder, Scheduler};
-pub use socket::{SocketExecutor, Transport, SOCKET_WORKER_ENV};
+pub use socket::{
+    SocketExecutor, Transport, SOCKET_WORKER_ENV, WORKER_RECONNECT_ATTEMPTS_ENV,
+    WORKER_RECONNECT_CAP_MS_ENV, WORKER_RESPAWN_CAP_ENV,
+};
 pub use subprocess::{maybe_serve_worker, SubprocessExecutor};
 pub use sweep::{SweepScenario, SweepScenarioBuilder};

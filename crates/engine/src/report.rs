@@ -21,6 +21,10 @@ pub struct UnitRecord {
     pub value: f64,
     /// Relative residual of the linear solve.
     pub relative_residual: f64,
+    /// Whether the solve completed through a degraded fallback path (see
+    /// [`rough_core::SolveDiagnostics`]). Degraded units are still valid
+    /// results — the flag makes the degradation visible in reports.
+    pub degraded: bool,
 }
 
 /// Mode-specific aggregate of one case.
@@ -187,6 +191,10 @@ impl CampaignReport {
             self.distinct_contexts
         ));
         out.push_str(&format!("  \"total_solves\": {},\n", self.total_solves));
+        out.push_str(&format!(
+            "  \"degraded_units\": {},\n",
+            self.records.iter().filter(|r| r.degraded).count()
+        ));
         out.push_str(&format!(
             "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}, \
              \"kl_hits\": {}, \"kl_misses\": {}, \

@@ -263,6 +263,14 @@ impl UnitSink<'_> {
         self.emit(&RunEvent::WorkerLost { worker, requeued });
     }
 
+    /// Announces that the worker fleet permanently shrank to `active` of its
+    /// `configured` workers — a worker tripped the respawn circuit breaker
+    /// and the executor degraded to the survivors (streamed as
+    /// [`RunEvent::FleetDegraded`]).
+    pub fn fleet_degraded(&self, active: usize, configured: usize) {
+        self.emit(&RunEvent::FleetDegraded { active, configured });
+    }
+
     fn commit(&self, record: UnitRecord, wall: Option<Duration>) -> Result<(), EngineError> {
         if let Some(writer) = &self.checkpoint {
             writer

@@ -65,8 +65,60 @@ const DEFAULT_HEARTBEAT_TIMEOUT: Duration = Duration::from_secs(10);
 /// How long the dispatcher waits for freshly spawned workers to connect.
 const ACCEPT_DEADLINE: Duration = Duration::from_secs(20);
 
-/// Reconnect attempts a disconnected worker makes before giving up.
+/// Reconnect attempts a disconnected worker makes before giving up, when
+/// [`WORKER_RECONNECT_ATTEMPTS_ENV`] is unset.
 const MAX_RECONNECT_ATTEMPTS: u32 = 8;
+
+/// Backoff cap of the worker dial loop (milliseconds), when
+/// [`WORKER_RECONNECT_CAP_MS_ENV`] is unset.
+const DEFAULT_RECONNECT_CAP_MS: u64 = 1_600;
+
+/// Respawns the dispatcher grants beyond the initial fleet before the
+/// flapping-worker circuit breaker opens, when [`WORKER_RESPAWN_CAP_ENV`] is
+/// unset.
+const DEFAULT_RESPAWN_CAP: u32 = 4;
+
+/// Environment variable overriding how many reconnect attempts a
+/// disconnected worker makes before exiting (default 8). The dispatcher sets
+/// it for spawned workers when [`SocketExecutor::with_reconnect`] is used;
+/// hand-launched workers read it directly.
+pub const WORKER_RECONNECT_ATTEMPTS_ENV: &str = "ROUGHSIM_WORKER_RECONNECT_ATTEMPTS";
+
+/// Environment variable capping one reconnect backoff pause in milliseconds
+/// (default 1600).
+pub const WORKER_RECONNECT_CAP_MS_ENV: &str = "ROUGHSIM_WORKER_RECONNECT_CAP_MS";
+
+/// Environment variable bounding how many replacement workers the dispatcher
+/// spawns beyond its initial fleet before it stops respawning a flapping
+/// worker and degrades to the survivors (default 4).
+pub const WORKER_RESPAWN_CAP_ENV: &str = "ROUGHSIM_WORKER_RESPAWN_CAP";
+
+/// The worker dial loop's retry budget and pacing: `(reconnect attempts,
+/// policy)`. Pure so tests can pin inputs; [`reconnect_config`] feeds it from
+/// the environment.
+fn reconnect_config_from(
+    attempts: Option<u32>,
+    cap_ms: Option<u64>,
+) -> (u32, crate::policy::RetryPolicy) {
+    let attempts = attempts.unwrap_or(MAX_RECONNECT_ATTEMPTS).max(1);
+    let policy = crate::policy::RetryPolicy {
+        max_attempts: attempts.saturating_add(1),
+        base_ms: 25,
+        cap_ms: cap_ms.unwrap_or(DEFAULT_RECONNECT_CAP_MS),
+        seed: 0,
+    };
+    (attempts, policy)
+}
+
+fn reconnect_config() -> (u32, crate::policy::RetryPolicy) {
+    fn read<T: std::str::FromStr>(name: &str) -> Option<T> {
+        std::env::var(name).ok().and_then(|v| v.trim().parse().ok())
+    }
+    reconnect_config_from(
+        read(WORKER_RECONNECT_ATTEMPTS_ENV),
+        read(WORKER_RECONNECT_CAP_MS_ENV),
+    )
+}
 
 fn socket_error(reason: impl Into<String>) -> EngineError {
     EngineError::Socket(reason.into())
@@ -257,6 +309,9 @@ struct SocketState {
     idle: Vec<WorkerConn>,
     children: Vec<Child>,
     next_index: usize,
+    /// Worker processes ever spawned by this executor; the respawn circuit
+    /// breaker compares it against `workers + respawn_cap`.
+    spawned_total: usize,
 }
 
 /// Shards work units across persistent worker processes connected over
@@ -270,6 +325,8 @@ pub struct SocketExecutor {
     args: Vec<String>,
     heartbeat_timeout: Duration,
     core_budget: Option<usize>,
+    reconnect: Option<(u32, u64)>,
+    respawn_cap: Option<u32>,
     state: Mutex<SocketState>,
     run_counter: AtomicU64,
 }
@@ -294,6 +351,8 @@ impl SocketExecutor {
             args: Vec::new(),
             heartbeat_timeout: DEFAULT_HEARTBEAT_TIMEOUT,
             core_budget: None,
+            reconnect: None,
+            respawn_cap: None,
             state: Mutex::new(SocketState::default()),
             run_counter: AtomicU64::new(1),
         }
@@ -335,6 +394,37 @@ impl SocketExecutor {
         self
     }
 
+    /// Configures the dial loop of *spawned* workers: how many reconnect
+    /// attempts a disconnected worker makes before exiting, and the backoff
+    /// cap in milliseconds. Exported to the children through
+    /// [`WORKER_RECONNECT_ATTEMPTS_ENV`] / [`WORKER_RECONNECT_CAP_MS_ENV`]
+    /// (which hand-launched workers may also set directly).
+    pub fn with_reconnect(mut self, attempts: u32, cap_ms: u64) -> Self {
+        self.reconnect = Some((attempts.max(1), cap_ms));
+        self
+    }
+
+    /// Bounds how many replacement workers this executor spawns beyond its
+    /// initial fleet. A worker that keeps dying (bad node, poisoned
+    /// environment) would otherwise be respawned at every run; past the cap
+    /// the circuit breaker opens, the executor degrades to the surviving
+    /// workers, and [`crate::RunEvent::FleetDegraded`] is streamed. Overrides
+    /// [`WORKER_RESPAWN_CAP_ENV`].
+    pub fn with_respawn_cap(mut self, cap: u32) -> Self {
+        self.respawn_cap = Some(cap);
+        self
+    }
+
+    fn respawn_cap(&self) -> u32 {
+        self.respawn_cap
+            .or_else(|| {
+                std::env::var(WORKER_RESPAWN_CAP_ENV)
+                    .ok()
+                    .and_then(|v| v.trim().parse().ok())
+            })
+            .unwrap_or(DEFAULT_RESPAWN_CAP)
+    }
+
     /// Fault-injection hook: kills one live worker *process* (the first one
     /// still running), simulating a crash mid-run. Returns `false` when no
     /// live child exists. The dispatcher notices through the dead socket and
@@ -357,7 +447,7 @@ impl SocketExecutor {
         self.state.lock().expect("socket state poisoned").idle.len()
     }
 
-    fn spawn_worker(&self, addr_spec: &str) -> Result<Child, EngineError> {
+    fn spawn_worker(&self, addr_spec: &str, ordinal: usize) -> Result<Child, EngineError> {
         let program = match &self.program {
             Some(program) => program.clone(),
             None => std::env::current_exe()
@@ -372,9 +462,16 @@ impl SocketExecutor {
         if std::env::var_os(ASSEMBLY_THREADS_ENV).is_none() {
             command.env(ASSEMBLY_THREADS_ENV, assembly_share.to_string());
         }
+        if let Some((attempts, cap_ms)) = self.reconnect {
+            command.env(WORKER_RECONNECT_ATTEMPTS_ENV, attempts.to_string());
+            command.env(WORKER_RECONNECT_CAP_MS_ENV, cap_ms.to_string());
+        }
         command
             .args(&self.args)
             .env(SOCKET_WORKER_ENV, addr_spec)
+            // Scope the inherited fault plan to this worker: `name#w<N>`
+            // entries fire only in the N-th spawned worker process.
+            .env(rough_faults::SCOPE_ENV, format!("w{ordinal}"))
             .stdin(Stdio::null())
             .stdout(Stdio::null())
             .stderr(Stdio::inherit())
@@ -384,8 +481,9 @@ impl SocketExecutor {
 
     /// Ensures the listener is bound and `self.workers` workers are
     /// connected, spawning and accepting as needed. Returns the ready
-    /// connections (removed from the idle pool for the duration of a run).
-    fn checkout_workers(&self) -> Result<Vec<WorkerConn>, EngineError> {
+    /// connections (removed from the idle pool for the duration of a run)
+    /// plus whether the respawn circuit breaker clamped the fleet top-up.
+    fn checkout_workers(&self) -> Result<(Vec<WorkerConn>, bool), EngineError> {
         let mut state = self.state.lock().expect("socket state poisoned");
         if state.listener.is_none() {
             state.listener = Some(Listener::bind(&self.transport)?);
@@ -405,17 +503,35 @@ impl SocketExecutor {
         // worker cannot be mid-frame, so a dead peer surfaces on first use;
         // probing here keeps the common path simple).
         let missing = self.workers.saturating_sub(state.idle.len());
-        let to_spawn = missing.saturating_sub(state.children.len().saturating_sub(
+        let mut to_spawn = missing.saturating_sub(state.children.len().saturating_sub(
             // children currently backing idle connections
             state.idle.len(),
         ));
+        // Flapping-worker circuit breaker: once this executor has spawned
+        // `workers + respawn_cap` processes in total, stop replacing dead
+        // ones and degrade to whatever fleet survives.
+        let spawn_budget =
+            (self.workers + self.respawn_cap() as usize).saturating_sub(state.spawned_total);
+        let breaker_tripped = to_spawn > spawn_budget;
+        to_spawn = to_spawn.min(spawn_budget);
         for _ in 0..to_spawn {
-            let child = self.spawn_worker(&addr_spec)?;
+            let child = self.spawn_worker(&addr_spec, state.spawned_total)?;
+            state.spawned_total += 1;
             state.children.push(child);
         }
 
         let deadline = Instant::now() + ACCEPT_DEADLINE;
-        while state.idle.len() < self.workers {
+        loop {
+            // Never wait for more connections than live processes can
+            // provide: with the breaker open (or a child that died right
+            // after spawning) the fleet target shrinks below `workers`.
+            state
+                .children
+                .retain_mut(|c| matches!(c.try_wait(), Ok(None)));
+            let reachable = state.children.len().max(state.idle.len());
+            if state.idle.len() >= self.workers.min(reachable) {
+                break;
+            }
             let accepted = state.listener.as_ref().expect("listener bound").accept();
             match accepted {
                 Ok(mut conn) => {
@@ -447,7 +563,7 @@ impl SocketExecutor {
                 "no workers connected within {ACCEPT_DEADLINE:?}"
             )));
         }
-        Ok(state.idle.drain(..).collect())
+        Ok((state.idle.drain(..).collect(), breaker_tripped))
     }
 
     fn checkin_workers(&self, survivors: Vec<WorkerConn>) {
@@ -523,7 +639,10 @@ impl UnitExecutor for SocketExecutor {
         if order.is_empty() || sink.is_cancelled() {
             return Ok(());
         }
-        let workers = self.checkout_workers()?;
+        let (workers, breaker_tripped) = self.checkout_workers()?;
+        if breaker_tripped && workers.len() < self.workers {
+            sink.fleet_degraded(workers.len(), self.workers);
+        }
         let run_id = self.run_counter.fetch_add(1, Ordering::Relaxed);
         let wire_text = wire::encode_scenario(plan.scenario());
         let queue = Mutex::new(dispatch_batches(plan, order, workers.len()));
@@ -673,6 +792,9 @@ fn drive_worker(
                         let value = reader.f64_bits()?;
                         let relative_residual = reader.f64_bits()?;
                         let wall = reader.f64_bits()?;
+                        // Appended by the degradation-aware protocol
+                        // revision; a shorter frame means a clean solve.
+                        let degraded = reader.remaining() >= 8 && reader.u64()? != 0;
                         Ok((
                             id,
                             UnitRecord {
@@ -680,6 +802,7 @@ fn drive_worker(
                                 case_index,
                                 value,
                                 relative_residual,
+                                degraded,
                             },
                             wall,
                         ))
@@ -770,6 +893,7 @@ impl WorkerState {
 
 fn worker_main(spec: &str) -> i32 {
     let mut state = WorkerState::new();
+    let (max_attempts, policy) = reconnect_config();
     let mut attempt: u32 = 0;
     loop {
         if let Ok(conn) = Conn::connect(spec) {
@@ -781,12 +905,12 @@ fn worker_main(spec: &str) -> i32 {
             }
         }
         attempt += 1;
-        if attempt > MAX_RECONNECT_ATTEMPTS {
+        if attempt > max_attempts {
             return 1;
         }
-        // Exponential backoff: 25ms, 50ms, ... capped at 1.6s.
-        let backoff = Duration::from_millis(25u64 << attempt.min(6));
-        std::thread::sleep(backoff);
+        // Capped exponential backoff with deterministic jitter (the shared
+        // retry policy), ~25ms doubling to the configured cap.
+        std::thread::sleep(policy.backoff(attempt - 1));
     }
 }
 
@@ -820,6 +944,11 @@ fn serve_connection(conn: Conn, state: &mut WorkerState) -> Result<bool, EngineE
         std::thread::spawn(move || {
             while !stop.load(Ordering::SeqCst) {
                 if active.load(Ordering::SeqCst) {
+                    // Fault point: go silent for ten beacon periods — long
+                    // enough to trip a tightened dispatcher timeout.
+                    if rough_faults::should_fire("worker.heartbeat.delay") {
+                        std::thread::sleep(HEARTBEAT_PERIOD * 10);
+                    }
                     let frame = Frame::empty(kind::HEARTBEAT);
                     let mut writer = writer.lock().expect("writer lock poisoned");
                     if write_frame(&mut *writer, &frame).is_err() {
@@ -878,12 +1007,23 @@ fn serve_frames(
                     send_err(writer, "DISPATCH for an unknown run");
                     continue;
                 }
+                // Fault point: the worker process dies mid-run; the
+                // dispatcher re-queues this batch to the survivors.
+                if rough_faults::should_fire("worker.exit") {
+                    std::process::exit(86);
+                }
                 let plan = &state.plans[&fingerprint];
                 active.store(true, Ordering::SeqCst);
                 let outcome =
                     evaluate_batch(plan, &units, state.assembly, &state.cache, run_id, writer);
                 active.store(false, Ordering::SeqCst);
                 if let Err(error) = outcome {
+                    // A torn result write leaves the outgoing stream
+                    // desynchronized; drop the connection instead of framing
+                    // an ERR the dispatcher could never parse.
+                    if error.to_string().contains("injected torn result frame") {
+                        return Ok(false);
+                    }
                     send_err(writer, &error.to_string());
                     continue;
                 }
@@ -929,7 +1069,19 @@ fn evaluate_batch(
             .f64_bits(record.value)
             .f64_bits(record.relative_residual)
             .f64_bits(wall.as_secs_f64())
+            // Appended field; older dispatchers simply never read it.
+            .u64(u64::from(record.degraded))
             .frame(kind::RESULT);
+        // Fault point: the connection dies halfway through this RESULT
+        // frame — the dispatcher must discard the fragment and re-queue.
+        if rough_faults::should_fire("worker.result.torn") {
+            let mut bytes = Vec::new();
+            write_frame(&mut bytes, &frame)?;
+            let mut writer = writer.lock().expect("writer lock poisoned");
+            io::Write::write_all(&mut *writer, &bytes[..bytes.len() / 2]).ok();
+            io::Write::flush(&mut *writer).ok();
+            return Err(socket_error("injected torn result frame (fault plan)"));
+        }
         let mut writer = writer.lock().expect("writer lock poisoned");
         write_frame(&mut *writer, &frame)?;
     }
@@ -1029,6 +1181,39 @@ mod tests {
     #[test]
     fn connect_rejects_unknown_specs() {
         assert!(Conn::connect("smoke-signal:hill-7").is_err());
+    }
+
+    /// The reconnect satellite: the dial loop's budget and pacing come from
+    /// the builder/environment knobs, defaulting to the historical constants.
+    #[test]
+    fn reconnect_config_honours_overrides_and_defaults() {
+        let (attempts, policy) = reconnect_config_from(None, None);
+        assert_eq!(attempts, MAX_RECONNECT_ATTEMPTS);
+        assert_eq!(policy.cap_ms, DEFAULT_RECONNECT_CAP_MS);
+        assert_eq!(policy.base_ms, 25);
+        // Every pause respects the cap, and the schedule is deterministic.
+        for attempt in 0..32 {
+            let pause = policy.backoff(attempt);
+            assert!(pause.as_millis() as u64 <= DEFAULT_RECONNECT_CAP_MS);
+            assert_eq!(pause, policy.backoff(attempt));
+        }
+
+        let (attempts, policy) = reconnect_config_from(Some(3), Some(200));
+        assert_eq!(attempts, 3);
+        assert_eq!(policy.cap_ms, 200);
+        // Zero attempts is clamped: a worker always dials at least once more.
+        let (attempts, _) = reconnect_config_from(Some(0), None);
+        assert_eq!(attempts, 1);
+
+        // The env-reading wrapper picks the values up from the variables the
+        // dispatcher exports to spawned workers.
+        std::env::set_var(WORKER_RECONNECT_ATTEMPTS_ENV, "5");
+        std::env::set_var(WORKER_RECONNECT_CAP_MS_ENV, "750");
+        let (attempts, policy) = reconnect_config();
+        std::env::remove_var(WORKER_RECONNECT_ATTEMPTS_ENV);
+        std::env::remove_var(WORKER_RECONNECT_CAP_MS_ENV);
+        assert_eq!(attempts, 5);
+        assert_eq!(policy.cap_ms, 750);
     }
 
     #[test]
@@ -1146,12 +1331,15 @@ mod tests {
             program: None,
             args: Vec::new(),
             core_budget: None,
+            reconnect: None,
+            respawn_cap: None,
             heartbeat_timeout: DEFAULT_HEARTBEAT_TIMEOUT,
             state: Mutex::new(SocketState {
                 listener: Some(listener),
                 idle,
                 children: Vec::new(),
                 next_index: 2,
+                spawned_total: 0,
             }),
             run_counter: AtomicU64::new(1),
         });

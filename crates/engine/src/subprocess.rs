@@ -272,19 +272,26 @@ fn find_marker<'a>(line: &'a str, marker: &str) -> Option<&'a str> {
 }
 
 fn record_wire_line(record: &UnitRecord, wall: Duration) -> String {
-    format!(
+    let mut line = format!(
         "{RECORD_PREFIX}{} {} {:016x} {:016x} {:016x}",
         record.unit,
         record.case_index,
         record.value.to_bits(),
         record.relative_residual.to_bits(),
         wall.as_secs_f64().to_bits()
-    )
+    );
+    // Appended only when set, so clean-run lines stay byte-identical to the
+    // pre-degradation wire format.
+    if record.degraded {
+        line.push_str(" 1");
+    }
+    line
 }
 
 /// Parses a record line. The fifth token — the worker-measured wall seconds
 /// of the solve, as f64 bits — is optional so v1 lines (no timing) from older
-/// workers still parse; they commit untimed.
+/// workers still parse; they commit untimed. A sixth `1` token marks a record
+/// produced through the solver degradation ladder; absent means clean.
 fn parse_record_line(rest: &str) -> Option<(UnitRecord, Option<Duration>)> {
     let mut tokens = rest.split_ascii_whitespace();
     let unit = tokens.next()?.parse().ok()?;
@@ -297,12 +304,14 @@ fn parse_record_line(rest: &str) -> Option<(UnitRecord, Option<Duration>)> {
         .map(f64::from_bits)
         .filter(|seconds| seconds.is_finite() && *seconds >= 0.0)
         .map(Duration::from_secs_f64);
+    let degraded = tokens.next().is_some_and(|token| token == "1");
     Some((
         UnitRecord {
             unit,
             case_index,
             value,
             relative_residual,
+            degraded,
         },
         wall,
     ))
@@ -398,6 +407,7 @@ mod tests {
             case_index: 3,
             value: 0.1 + 0.2,
             relative_residual: 4.9e-324, // smallest subnormal
+            degraded: false,
         };
         let wall = Duration::from_micros(123_456);
         let line = record_wire_line(&record, wall);
@@ -405,6 +415,18 @@ mod tests {
             parse_record_line(line.strip_prefix(RECORD_PREFIX).unwrap()).unwrap();
         assert_eq!(parsed, record);
         assert_eq!(parsed_wall, Some(wall));
+
+        // Clean lines never carry the degraded token; flagged lines do, and
+        // the flag survives the roundtrip.
+        assert_eq!(line.split_ascii_whitespace().count(), 6);
+        let flagged = UnitRecord {
+            degraded: true,
+            ..record
+        };
+        let line = record_wire_line(&flagged, wall);
+        assert!(line.ends_with(" 1"));
+        let (parsed, _) = parse_record_line(line.strip_prefix(RECORD_PREFIX).unwrap()).unwrap();
+        assert!(parsed.degraded);
     }
 
     #[test]

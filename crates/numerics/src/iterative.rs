@@ -76,6 +76,21 @@ impl Default for IterativeConfig {
     }
 }
 
+impl IterativeConfig {
+    /// A tightened variant for escalation after a failed solve: doubled
+    /// restart length (a longer Krylov recurrence before the information
+    /// loss of a restart) and doubled iteration budget, same tolerance.
+    /// Used by the graceful-degradation ladder before it gives up on the
+    /// iterative path entirely.
+    pub fn tightened(&self) -> Self {
+        Self {
+            tolerance: self.tolerance,
+            max_iterations: self.max_iterations.saturating_mul(2),
+            restart: self.restart.saturating_mul(2),
+        }
+    }
+}
+
 /// Outcome of an iterative solve.
 #[derive(Debug, Clone, PartialEq)]
 pub struct IterativeSolution {

@@ -65,14 +65,23 @@ fn print_event(event: &ServiceEvent) {
         ServiceEvent::UnitStarted { unit, case } => {
             eprintln!("  unit {unit} started (case {case})");
         }
-        ServiceEvent::UnitCompleted { unit, value, .. } => {
-            eprintln!("  unit {unit} completed: {value:.6}");
+        ServiceEvent::UnitCompleted {
+            unit,
+            value,
+            degraded,
+            ..
+        } => {
+            let marker = if *degraded { " (degraded solve)" } else { "" };
+            eprintln!("  unit {unit} completed: {value:.6}{marker}");
         }
         ServiceEvent::CaseCompleted { case, units } => {
             eprintln!("  case {case} completed ({units} units)");
         }
         ServiceEvent::WorkerLost { worker, requeued } => {
             eprintln!("  worker {worker} lost; {requeued} units re-queued");
+        }
+        ServiceEvent::FleetDegraded { active, configured } => {
+            eprintln!("  fleet degraded: {active}/{configured} workers (circuit breaker open)");
         }
         ServiceEvent::CheckpointWritten { units_recorded } => {
             eprintln!("  checkpoint: {units_recorded} records");
@@ -233,8 +242,8 @@ fn main() {
         "status" => {
             let (status, jobs) = client.status_detail().unwrap_or_else(|e| fail(e));
             println!(
-                "queued {} running {} done {} failed {}",
-                status.queued, status.running, status.done, status.failed
+                "queued {} running {} done {} failed {} quarantined {}",
+                status.queued, status.running, status.done, status.failed, status.quarantined
             );
             for job in jobs {
                 println!("job {} {} {}", job.id, job.priority.label(), job.state);

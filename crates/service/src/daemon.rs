@@ -51,6 +51,22 @@ fn daemon_error(reason: impl Into<String>) -> EngineError {
 /// (default 1). [`DaemonConfig::max_concurrent_jobs`] overrides it.
 pub const JOBS_ENV: &str = "ROUGHSIMD_JOBS";
 
+/// Environment variable granting each job this many automatic re-runs after
+/// a failure (default 0 — a failure settles the job as `failed`, exactly the
+/// pre-retry behaviour). With `N > 0`, the first `N` failures re-queue the
+/// job (its checkpoint resumes completed units), and failure `N + 1` settles
+/// it as `quarantined`: a journaled poison-job state that never re-queues
+/// and never blocks the runner pool.
+pub const JOB_RETRIES_ENV: &str = "ROUGHSIMD_JOB_RETRIES";
+
+/// Re-runs granted to a failing job, from [`JOB_RETRIES_ENV`].
+fn job_retries() -> u64 {
+    std::env::var(JOB_RETRIES_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0)
+}
+
 /// Configuration of a [`Daemon`].
 pub struct DaemonConfig {
     addr: String,
@@ -360,7 +376,9 @@ fn handle_submit(
         let terminal: Option<Result<(), String>> = match queue.job(job).map(|j| &j.state) {
             _ if cached => Some(Ok(())),
             Some(JobState::Done) => Some(Ok(())),
-            Some(JobState::Failed(error)) => Some(Err(error.clone())),
+            Some(JobState::Failed(error)) | Some(JobState::Quarantined(error)) => {
+                Some(Err(error.clone()))
+            }
             _ => None,
         };
         match terminal {
@@ -414,8 +432,9 @@ fn runner_loop(shared: &Arc<Shared>, executor: &Arc<dyn UnitExecutor>) {
     }
 }
 
-/// Executes one job end to end; every failure path settles the job as
-/// `Failed` so the queue never wedges.
+/// Executes one job end to end; every failure path settles the job — as
+/// `Failed`, or through the [`JOB_RETRIES_ENV`] retry/quarantine ladder —
+/// so the queue never wedges.
 fn run_job(shared: &Arc<Shared>, executor: &Arc<dyn UnitExecutor>, job: u64) {
     let (scenario_wire, fingerprint, checkpoint_path) = {
         let queue = shared.queue.lock().expect("queue poisoned");
@@ -444,8 +463,23 @@ fn run_job(shared: &Arc<Shared>, executor: &Arc<dyn UnitExecutor>, job: u64) {
         }
         Err(e) => {
             let message = e.to_string();
-            queue.mark(job, JobState::Failed(message.clone())).ok();
-            shared.finish_watchers(job, Err(&message));
+            let retries = job_retries();
+            let attempts = queue.record_attempt(job).unwrap_or(u64::MAX);
+            if attempts <= retries {
+                // Budget left: re-queue. The job's checkpoint survives, so
+                // the retry resumes past every completed unit. Watchers stay
+                // registered — the job is not terminal yet.
+                queue.mark(job, JobState::Queued).ok();
+                shared.work.notify_all();
+            } else if retries > 0 {
+                // Retries exhausted: poison job. Terminal like `Failed`, but
+                // counted separately so operators can spot it.
+                queue.mark(job, JobState::Quarantined(message.clone())).ok();
+                shared.finish_watchers(job, Err(&message));
+            } else {
+                queue.mark(job, JobState::Failed(message.clone())).ok();
+                shared.finish_watchers(job, Err(&message));
+            }
         }
     }
 }
@@ -458,6 +492,9 @@ fn execute_job(
     fingerprint: u64,
     checkpoint_path: &std::path::Path,
 ) -> Result<(), EngineError> {
+    if rough_faults::should_fire("job.run.fail") {
+        return Err(daemon_error("injected job failure (fault plan)"));
+    }
     let scenario = wire::decode_scenario(scenario_wire)?;
 
     // Schedule with whatever cost measurements previous jobs accumulated; an

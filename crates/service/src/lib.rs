@@ -51,7 +51,7 @@ pub mod queue;
 pub mod sweep;
 
 pub use client::{Client, Submission};
-pub use daemon::{Daemon, DaemonConfig, JOBS_ENV};
+pub use daemon::{Daemon, DaemonConfig, JOBS_ENV, JOB_RETRIES_ENV};
 pub use protocol::{JobSummary, QueueStatus, ServiceEvent};
 pub use queue::{Job, JobQueue, JobState, Priority, CACHE_BUDGET_ENV};
 pub use sweep::DaemonEvaluator;

@@ -7,20 +7,20 @@
 //! against `tests/golden/fig5_reduced_corrected.csv` — the CI smoke test does
 //! exactly that.
 
-use rough_core::RoughnessSpec;
+use rough_core::{MatrixFreePolicy, OperatorRepr, RoughnessSpec, SolverKind};
 use rough_em::material::{Conductor, Dielectric, Stackup};
 use rough_em::units::{GigaHertz, Micrometers};
-use rough_engine::{EngineError, Scenario, SweepScenario};
+use rough_engine::{EngineError, Scenario, ScenarioBuilder, SweepScenario};
 use rough_surface::RoughSurface;
 
 fn paper_stack() -> Stackup {
     Stackup::new(Conductor::copper_foil(), Dielectric::silicon_dioxide())
 }
 
-/// Reduced Fig. 5: the deterministic half-spheroid protrusion swept over
-/// three frequencies on a coarse 8-cell grid — identical to the golden-report
-/// scenario, so its report diffs cleanly against the checked-in snapshot.
-pub fn fig5_reduced() -> Scenario {
+/// The shared reduced-Fig. 5 geometry: deterministic half-spheroid
+/// protrusion, three frequencies, coarse 8-cell grid. `fig5-reduced` and
+/// `fig5-reduced-mf` differ only in solver/operator representation.
+fn fig5_reduced_base() -> ScenarioBuilder {
     let tile = 12.0e-6;
     let (height, base_radius) = (5.8e-6, 4.7e-6);
     let cells = 8;
@@ -44,8 +44,36 @@ pub fn fig5_reduced() -> Scenario {
         ])
         .cells_per_side(cells)
         .deterministic(surface)
+}
+
+/// Reduced Fig. 5: the deterministic half-spheroid protrusion swept over
+/// three frequencies on a coarse 8-cell grid — identical to the golden-report
+/// scenario, so its report diffs cleanly against the checked-in snapshot.
+pub fn fig5_reduced() -> Scenario {
+    fig5_reduced_base()
         .build()
         .expect("valid reduced Fig. 5 scenario")
+}
+
+/// The reduced Fig. 5 scenario solved through the matrix-free operator with
+/// the pinned-equivalence preconditioned GMRES settings
+/// (`tests/krylov_equivalence.rs`). Keeps the same scenario *name* as
+/// [`fig5_reduced`] on purpose: under `ROUGHSIM_FAULTS=solver.krylov.breakdown:*`
+/// every solve escalates down the degradation ladder to the dense `DirectLu`
+/// rung, whose results are bit-identical to the dense path — so the chaos
+/// CI job diffs this preset's report byte-for-byte against the same golden
+/// snapshot. The wire fingerprint still differs (solver and operator
+/// representation are hashed), so the daemon caches the two presets
+/// separately.
+pub fn fig5_reduced_matrix_free() -> Scenario {
+    fig5_reduced_base()
+        .solver(SolverKind::Gmres {
+            tolerance: 1e-12,
+            restart: 60,
+        })
+        .operator_repr(OperatorRepr::MatrixFree(MatrixFreePolicy::default()))
+        .build()
+        .expect("valid matrix-free reduced Fig. 5 scenario")
 }
 
 /// Reduced Fig. 6-style ensemble: a tiny Monte-Carlo campaign over two
@@ -74,9 +102,10 @@ pub fn fig6_reduced() -> Scenario {
 pub fn by_name(name: &str) -> Result<Scenario, EngineError> {
     match name {
         "fig5-reduced" => Ok(fig5_reduced()),
+        "fig5-reduced-mf" => Ok(fig5_reduced_matrix_free()),
         "fig6-reduced" => Ok(fig6_reduced()),
         other => Err(EngineError::InvalidScenario(format!(
-            "unknown preset `{other}` (available: fig5-reduced, fig6-reduced)"
+            "unknown preset `{other}` (available: fig5-reduced, fig5-reduced-mf, fig6-reduced)"
         ))),
     }
 }
@@ -120,7 +149,7 @@ mod tests {
 
     #[test]
     fn presets_resolve_and_roundtrip_the_wire_format() {
-        for name in ["fig5-reduced", "fig6-reduced"] {
+        for name in ["fig5-reduced", "fig5-reduced-mf", "fig6-reduced"] {
             let scenario = by_name(name).unwrap();
             let encoded = wire::encode_scenario(&scenario);
             let decoded = wire::decode_scenario(&encoded).unwrap();
@@ -131,6 +160,20 @@ mod tests {
             );
         }
         assert!(by_name("fig9-imaginary").is_err());
+    }
+
+    #[test]
+    fn matrix_free_fig5_shares_the_name_but_not_the_fingerprint() {
+        // Same scenario name (so chaos-run reports diff against the same
+        // golden CSV), different fingerprint (so the report cache never
+        // serves the dense preset's report for the matrix-free one).
+        let dense = fig5_reduced();
+        let mf = fig5_reduced_matrix_free();
+        assert_eq!(dense.name(), mf.name());
+        assert_ne!(
+            wire::scenario_fingerprint(&dense),
+            wire::scenario_fingerprint(&mf)
+        );
     }
 
     #[test]

@@ -83,6 +83,9 @@ pub enum ServiceEvent {
         case: u64,
         /// The committed enhancement-factor value.
         value: f64,
+        /// True when the unit's solve escalated off the requested solver
+        /// (e.g. a Krylov breakdown rescued by the dense fallback).
+        degraded: bool,
     },
     /// Every unit of one case completed.
     CaseCompleted {
@@ -97,6 +100,14 @@ pub enum ServiceEvent {
         worker: u64,
         /// Units returned to the dispatch queue.
         requeued: u64,
+    },
+    /// The socket executor's circuit breaker stopped respawning a flapping
+    /// worker; the run continues on the surviving fleet.
+    FleetDegraded {
+        /// Workers still serving the run.
+        active: u64,
+        /// Workers the executor was configured with.
+        configured: u64,
     },
     /// A record was durably appended to the job checkpoint.
     CheckpointWritten {
@@ -133,6 +144,7 @@ impl ServiceEvent {
                 unit: record.unit as u64,
                 case: record.case_index as u64,
                 value: record.value,
+                degraded: record.degraded,
             },
             RunEvent::CaseCompleted { case_index, units } => ServiceEvent::CaseCompleted {
                 case: *case_index as u64,
@@ -141,6 +153,10 @@ impl ServiceEvent {
             RunEvent::WorkerLost { worker, requeued } => ServiceEvent::WorkerLost {
                 worker: *worker as u64,
                 requeued: *requeued as u64,
+            },
+            RunEvent::FleetDegraded { active, configured } => ServiceEvent::FleetDegraded {
+                active: *active as u64,
+                configured: *configured as u64,
             },
             RunEvent::CheckpointWritten { units_recorded } => ServiceEvent::CheckpointWritten {
                 units_recorded: *units_recorded as u64,
@@ -164,11 +180,16 @@ impl ServiceEvent {
         }
     }
 
-    /// Encodes the event as an [`kind::EVENT`] frame for `job`.
+    /// Encodes the event as an [`kind::EVENT`] frame for `job`. The
+    /// `degraded` flag of [`ServiceEvent::UnitCompleted`] rides as an
+    /// appended trailing word, written only when set — clean-path frames are
+    /// byte-identical to the pre-degradation format.
     pub fn encode(&self, job: u64) -> Frame {
         let (tag, a, b, value) = match *self {
             ServiceEvent::UnitStarted { unit, case } => (1, unit, case, 0.0),
-            ServiceEvent::UnitCompleted { unit, case, value } => (2, unit, case, value),
+            ServiceEvent::UnitCompleted {
+                unit, case, value, ..
+            } => (2, unit, case, value),
             ServiceEvent::CaseCompleted { case, units } => (3, case, units, 0.0),
             ServiceEvent::WorkerLost { worker, requeued } => (4, worker, requeued, 0.0),
             ServiceEvent::CheckpointWritten { units_recorded } => (5, units_recorded, 0, 0.0),
@@ -181,14 +202,18 @@ impl ServiceEvent {
                 budget,
                 frequency_hz,
             } => (7, solved, budget, frequency_hz),
+            ServiceEvent::FleetDegraded { active, configured } => (8, active, configured, 0.0),
         };
-        PayloadWriter::new()
+        let mut writer = PayloadWriter::new()
             .u64(job)
             .u64(tag)
             .u64(a)
             .u64(b)
-            .f64_bits(value)
-            .frame(kind::EVENT)
+            .f64_bits(value);
+        if let ServiceEvent::UnitCompleted { degraded: true, .. } = self {
+            writer = writer.u64(1);
+        }
+        writer.frame(kind::EVENT)
     }
 
     /// Decodes an [`kind::EVENT`] frame into `(job, event)`.
@@ -209,6 +234,8 @@ impl ServiceEvent {
                 unit: a,
                 case: b,
                 value,
+                // Appended word, absent from frames older peers send.
+                degraded: reader.remaining() >= 8 && reader.u64()? != 0,
             },
             3 => ServiceEvent::CaseCompleted { case: a, units: b },
             4 => ServiceEvent::WorkerLost {
@@ -224,6 +251,10 @@ impl ServiceEvent {
                 solved: a,
                 budget: b,
                 frequency_hz: value,
+            },
+            8 => ServiceEvent::FleetDegraded {
+                active: a,
+                configured: b,
             },
             other => return Err(protocol_error(format!("unknown event tag {other}"))),
         };
@@ -348,6 +379,10 @@ pub struct QueueStatus {
     pub done: u64,
     /// Jobs that failed.
     pub failed: u64,
+    /// Poison jobs: failed every retry [`crate::daemon::JOB_RETRIES_ENV`]
+    /// allows. Appended after the job table on the wire, so frames from
+    /// older daemons decode with 0.
+    pub quarantined: u64,
 }
 
 /// One row of the per-job table appended to [`kind::STATUS_REPORT`].
@@ -357,7 +392,8 @@ pub struct JobSummary {
     pub id: u64,
     /// Scheduling class.
     pub priority: Priority,
-    /// Lifecycle state label: `queued`, `running`, `done` or `failed`.
+    /// Lifecycle state label: `queued`, `running`, `done`, `failed` or
+    /// `quarantined`.
     pub state: &'static str,
 }
 
@@ -366,6 +402,7 @@ fn state_tag(label: &str) -> u64 {
         "queued" => 0,
         "running" => 1,
         "done" => 2,
+        "quarantined" => 4,
         _ => 3,
     }
 }
@@ -375,13 +412,18 @@ fn state_label(tag: u64) -> &'static str {
         0 => "queued",
         1 => "running",
         2 => "done",
+        4 => "quarantined",
+        // Unknown future tags (and 3) render as failed — the conservative
+        // reading an old client gives a quarantined job too.
         _ => "failed",
     }
 }
 
-/// Encodes a [`kind::STATUS_REPORT`] frame: the four counters followed by an
+/// Encodes a [`kind::STATUS_REPORT`] frame: the four original counters, the
 /// appended per-job table (`count`, then `(id, priority class, state tag)`
-/// triples). Clients that predate the table stop after the counters.
+/// triples), then the appended `quarantined` counter. Clients that predate
+/// the table stop after the counters; clients that predate quarantine stop
+/// after the table.
 pub fn encode_status_report(status: QueueStatus, jobs: &[JobSummary]) -> Frame {
     let mut writer = PayloadWriter::new()
         .u64(status.queued)
@@ -395,38 +437,35 @@ pub fn encode_status_report(status: QueueStatus, jobs: &[JobSummary]) -> Frame {
             .u64(u64::from(job.priority.class()))
             .u64(state_tag(job.state));
     }
-    writer.frame(kind::STATUS_REPORT)
+    writer.u64(status.quarantined).frame(kind::STATUS_REPORT)
 }
 
 /// Decodes the counters of a [`kind::STATUS_REPORT`] frame, ignoring the
-/// appended job table — exactly what a client predating the table does.
+/// appended job table. Frames from daemons that predate quarantine decode
+/// with `quarantined == 0`.
 ///
 /// # Errors
 ///
 /// Returns [`EngineError::Socket`] on a truncated payload.
 pub fn decode_status_report(frame: &Frame) -> Result<QueueStatus, EngineError> {
-    let mut reader = frame.reader();
-    Ok(QueueStatus {
-        queued: reader.u64()?,
-        running: reader.u64()?,
-        done: reader.u64()?,
-        failed: reader.u64()?,
-    })
+    decode_status_detail(frame).map(|(status, _)| status)
 }
 
 /// Decodes a [`kind::STATUS_REPORT`] frame including the per-job table. A
-/// frame from a daemon that predates the table yields an empty one.
+/// frame from a daemon that predates the table yields an empty one; one that
+/// predates quarantine yields `quarantined == 0`.
 ///
 /// # Errors
 ///
 /// Returns [`EngineError::Socket`] on a truncated payload.
 pub fn decode_status_detail(frame: &Frame) -> Result<(QueueStatus, Vec<JobSummary>), EngineError> {
     let mut reader = frame.reader();
-    let status = QueueStatus {
+    let mut status = QueueStatus {
         queued: reader.u64()?,
         running: reader.u64()?,
         done: reader.u64()?,
         failed: reader.u64()?,
+        quarantined: 0,
     };
     let mut jobs = Vec::new();
     if reader.remaining() >= 8 {
@@ -444,6 +483,9 @@ pub fn decode_status_detail(frame: &Frame) -> Result<(QueueStatus, Vec<JobSummar
                 state,
             });
         }
+    }
+    if reader.remaining() >= 8 {
+        status.quarantined = reader.u64()?;
     }
     Ok((status, jobs))
 }
@@ -494,11 +536,22 @@ mod tests {
                 unit: 3,
                 case: 1,
                 value,
+                degraded: false,
+            },
+            ServiceEvent::UnitCompleted {
+                unit: 3,
+                case: 1,
+                value,
+                degraded: true,
             },
             ServiceEvent::CaseCompleted { case: 1, units: 4 },
             ServiceEvent::WorkerLost {
                 worker: 0,
                 requeued: 2,
+            },
+            ServiceEvent::FleetDegraded {
+                active: 2,
+                configured: 4,
             },
             ServiceEvent::CheckpointWritten { units_recorded: 5 },
             ServiceEvent::Finished {
@@ -517,6 +570,7 @@ mod tests {
             unit: 0,
             case: 0,
             value,
+            degraded: false,
         }
         .encode(1);
         match ServiceEvent::decode(&frame).unwrap().1 {
@@ -525,6 +579,37 @@ mod tests {
             }
             other => panic!("wrong event {other:?}"),
         }
+    }
+
+    #[test]
+    fn clean_unit_completed_frames_keep_the_old_byte_layout() {
+        // The degraded word is appended only when set: clean-path frames are
+        // byte-identical to pre-degradation encoders, and a frame written by
+        // one of those (no trailing word) decodes as not degraded.
+        let clean = ServiceEvent::UnitCompleted {
+            unit: 1,
+            case: 2,
+            value: 1.5,
+            degraded: false,
+        }
+        .encode(9);
+        let old_style = PayloadWriter::new()
+            .u64(9)
+            .u64(2)
+            .u64(1)
+            .u64(2)
+            .f64_bits(1.5)
+            .frame(kind::EVENT);
+        assert_eq!(clean.payload, old_style.payload);
+        assert_eq!(
+            ServiceEvent::decode(&old_style).unwrap().1,
+            ServiceEvent::UnitCompleted {
+                unit: 1,
+                case: 2,
+                value: 1.5,
+                degraded: false,
+            }
+        );
     }
 
     #[test]
@@ -548,6 +633,7 @@ mod tests {
             running: 2,
             done: 3,
             failed: 0,
+            quarantined: 1,
         };
         let jobs = [
             JobSummary {
@@ -559,6 +645,11 @@ mod tests {
                 id: 2,
                 priority: Priority::Batch,
                 state: "queued",
+            },
+            JobSummary {
+                id: 3,
+                priority: Priority::Normal,
+                state: "quarantined",
             },
         ];
         let frame = encode_status_report(status, &jobs);
@@ -582,6 +673,28 @@ mod tests {
         let (status, jobs) = decode_status_detail(&old_frame).unwrap();
         assert_eq!(status.queued, 4);
         assert_eq!(status.running, 1);
+        assert_eq!(status.quarantined, 0);
         assert!(jobs.is_empty());
+    }
+
+    #[test]
+    fn status_frames_without_quarantine_counter_decode_as_zero() {
+        // A daemon that predates quarantine: counters plus a one-row job
+        // table, no trailing quarantined word.
+        let old_frame = PayloadWriter::new()
+            .u64(1)
+            .u64(0)
+            .u64(0)
+            .u64(0)
+            .u64(1)
+            .u64(7)
+            .u64(1)
+            .u64(0)
+            .frame(kind::STATUS_REPORT);
+        let (status, jobs) = decode_status_detail(&old_frame).unwrap();
+        assert_eq!(status.quarantined, 0);
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].state, "queued");
+        assert_eq!(decode_status_report(&old_frame).unwrap(), status);
     }
 }

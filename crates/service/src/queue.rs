@@ -9,8 +9,9 @@
 //! under `jobs/<id>.jsonl`, and completed campaigns are published to
 //! `reports/<fingerprint>.jsonl` — the content-addressed report cache.
 //!
-//! Replay restores daemon state across restarts: `done`/`failed` jobs keep
-//! their terminal state, while jobs that were `running` when the daemon died
+//! Replay restores daemon state across restarts: `done`/`failed`/
+//! `quarantined` jobs keep their terminal state, while jobs that were
+//! `running` when the daemon died
 //! are re-queued — their partial checkpoints let [`rough_engine::Run::resume`]
 //! continue from the last completed unit. With a multi-runner daemon several
 //! jobs may be `running` at once; every one of them re-queues and resumes.
@@ -114,16 +115,24 @@ pub enum JobState {
     Done,
     /// Failed with an error message.
     Failed(String),
+    /// Poison job: failed on every retry the daemon allows. Quarantined jobs
+    /// are terminal like `Failed` — they never re-queue, never block a
+    /// runner, and resubmitting their fingerprint schedules a fresh job —
+    /// but they are counted separately so operators can spot jobs that
+    /// exhausted a retry budget rather than failing once.
+    Quarantined(String),
 }
 
 impl JobState {
-    /// Journal / STATUS token: `queued`, `running`, `done` or `failed`.
+    /// Journal / STATUS token: `queued`, `running`, `done`, `failed` or
+    /// `quarantined`.
     pub fn label(&self) -> &'static str {
         match self {
             JobState::Queued => "queued",
             JobState::Running => "running",
             JobState::Done => "done",
             JobState::Failed(_) => "failed",
+            JobState::Quarantined(_) => "quarantined",
         }
     }
 }
@@ -141,6 +150,9 @@ pub struct Job {
     pub state: JobState,
     /// Scheduling class.
     pub priority: Priority,
+    /// Failed runs so far. Journaled, so the daemon's quarantine threshold
+    /// (`ROUGHSIMD_JOB_RETRIES`) keeps counting across restarts.
+    pub attempts: u64,
     /// Dispatches this job has been passed over for while queued. In-memory
     /// only — a restart resets ages, which merely restarts the (bounded)
     /// anti-starvation clock.
@@ -204,8 +216,9 @@ fn priority_line(id: u64, priority: Priority) -> String {
 
 fn state_line(id: u64, state: &JobState) -> String {
     match state {
-        JobState::Failed(error) => format!(
-            "{{\"kind\":\"state\",\"id\":{id},\"state\":\"failed\",\"error\":\"{}\"}}",
+        JobState::Failed(error) | JobState::Quarantined(error) => format!(
+            "{{\"kind\":\"state\",\"id\":{id},\"state\":\"{}\",\"error\":\"{}\"}}",
+            state.label(),
             wire::encode_token(error)
         ),
         other => format!(
@@ -213,6 +226,12 @@ fn state_line(id: u64, state: &JobState) -> String {
             other.label()
         ),
     }
+}
+
+/// Journals a job's retry count so the daemon's quarantine threshold
+/// survives restarts.
+fn attempt_line(id: u64, attempts: u64) -> String {
+    format!("{{\"kind\":\"attempt\",\"id\":{id},\"attempts\":{attempts}}}")
 }
 
 fn touch_line(fingerprint: u64) -> String {
@@ -278,6 +297,7 @@ impl JobQueue {
                             scenario_wire,
                             state: JobState::Queued,
                             priority,
+                            attempts: 0,
                             age: 0,
                         })
                     })();
@@ -296,6 +316,11 @@ impl JobQueue {
                                     .and_then(|e| wire::decode_token(e).ok())
                                     .unwrap_or_default(),
                             ),
+                            "quarantined" => JobState::Quarantined(
+                                extract_str(line, "error")
+                                    .and_then(|e| wire::decode_token(e).ok())
+                                    .unwrap_or_default(),
+                            ),
                             _ => return None,
                         };
                         Some((id, state))
@@ -303,6 +328,14 @@ impl JobQueue {
                     if let Some((id, state)) = parsed {
                         if let Some(job) = jobs.get_mut(&id) {
                             job.state = state;
+                        }
+                    }
+                } else if line.contains("\"kind\":\"attempt\"") {
+                    let parsed =
+                        (|| Some((extract_u64(line, "id")?, extract_u64(line, "attempts")?)))();
+                    if let Some((id, attempts)) = parsed {
+                        if let Some(job) = jobs.get_mut(&id) {
+                            job.attempts = attempts;
                         }
                     }
                 } else if line.contains("\"kind\":\"priority\"") {
@@ -345,6 +378,12 @@ impl JobQueue {
                 out.push_str(&state_line(job.id, &job.state));
                 out.push('\n');
             }
+            // A re-queued job keeps its failure count: quarantine thresholds
+            // must not reset just because the daemon restarted.
+            if job.attempts > 0 && job.state == JobState::Queued {
+                out.push_str(&attempt_line(job.id, job.attempts));
+                out.push('\n');
+            }
         }
         // Keep the LRU order of still-resident reports (one touch line each,
         // coldest first); fingerprints whose files are gone drop out here.
@@ -357,11 +396,8 @@ impl JobQueue {
             out.push_str(&touch_line(fingerprint));
             out.push('\n');
         }
-        let tmp = root.join("queue.jsonl.compact-tmp");
-        std::fs::write(&tmp, &out)
-            .map_err(|e| queue_error(format!("cannot write {}: {e}", tmp.display())))?;
-        std::fs::rename(&tmp, &journal_path)
-            .map_err(|e| queue_error(format!("cannot replace journal: {e}")))?;
+        rough_engine::durable::replace_file(&journal_path, "compact-tmp", out.as_bytes())
+            .map_err(|e| queue_error(format!("cannot compact journal: {e}")))?;
 
         let journal = OpenOptions::new()
             .append(true)
@@ -384,6 +420,15 @@ impl JobQueue {
     }
 
     fn write_line(&mut self, line: &str) -> Result<(), EngineError> {
+        if rough_faults::should_fire("journal.append.short") {
+            // A short write: half the line, no newline — exactly the torn
+            // tail the replay path must scrub.
+            let torn = &line[..line.len() / 2];
+            write!(self.journal, "{torn}")
+                .and_then(|()| self.journal.flush())
+                .ok();
+            return Err(queue_error("injected short journal append (fault plan)"));
+        }
         writeln!(self.journal, "{line}")
             .and_then(|()| self.journal.flush())
             .map_err(|e| queue_error(format!("journal write failed: {e}")))
@@ -407,7 +452,10 @@ impl JobQueue {
         let existing = self
             .jobs
             .values()
-            .find(|j| j.fingerprint == fingerprint && !matches!(j.state, JobState::Failed(_)))
+            .find(|j| {
+                j.fingerprint == fingerprint
+                    && !matches!(j.state, JobState::Failed(_) | JobState::Quarantined(_))
+            })
             .map(|j| (j.id, j.state.clone(), j.priority));
         if let Some((id, state, current)) = existing {
             let cached = state == JobState::Done && self.report_path(fingerprint).exists();
@@ -427,6 +475,7 @@ impl JobQueue {
             scenario_wire: scenario_wire.to_owned(),
             state: JobState::Queued,
             priority,
+            attempts: 0,
             age: 0,
         };
         self.next_id += 1;
@@ -479,6 +528,28 @@ impl JobQueue {
         Ok(())
     }
 
+    /// Records one more failed run of a job and returns the new count. The
+    /// count is journaled, so quarantine thresholds keep counting across
+    /// daemon restarts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Checkpoint`] on an unknown job or journal
+    /// failure.
+    pub fn record_attempt(&mut self, id: u64) -> Result<u64, EngineError> {
+        let attempts = self
+            .jobs
+            .get(&id)
+            .ok_or_else(|| queue_error(format!("unknown job {id}")))?
+            .attempts
+            + 1;
+        self.write_line(&attempt_line(id, attempts))?;
+        if let Some(job) = self.jobs.get_mut(&id) {
+            job.attempts = attempts;
+        }
+        Ok(attempts)
+    }
+
     /// Looks up a job.
     pub fn job(&self, id: u64) -> Option<&Job> {
         self.jobs.get(&id)
@@ -498,6 +569,7 @@ impl JobQueue {
                 JobState::Running => status.running += 1,
                 JobState::Done => status.done += 1,
                 JobState::Failed(_) => status.failed += 1,
+                JobState::Quarantined(_) => status.quarantined += 1,
             }
         }
         status
@@ -516,8 +588,9 @@ impl JobQueue {
     }
 
     /// Publishes a completed job's compacted checkpoint into the report
-    /// cache (copy to a temp name, then atomic rename), refreshes its LRU
-    /// slot and evicts over-budget cold reports.
+    /// cache (write to a temp name, `fsync`, then atomic rename with the
+    /// parent directory synced), refreshes its LRU slot and evicts
+    /// over-budget cold reports.
     ///
     /// # Errors
     ///
@@ -525,10 +598,9 @@ impl JobQueue {
     pub fn publish_report(&mut self, id: u64, fingerprint: u64) -> Result<(), EngineError> {
         let source = self.checkpoint_path(id);
         let target = self.report_path(fingerprint);
-        let tmp = target.with_extension("jsonl.publish-tmp");
-        std::fs::copy(&source, &tmp)
-            .map_err(|e| queue_error(format!("cannot stage report: {e}")))?;
-        std::fs::rename(&tmp, &target)
+        let contents =
+            std::fs::read(&source).map_err(|e| queue_error(format!("cannot stage report: {e}")))?;
+        rough_engine::durable::replace_file(&target, "publish-tmp", &contents)
             .map_err(|e| queue_error(format!("cannot publish report: {e}")))?;
         self.touch_report(fingerprint)?;
         self.enforce_cache_budget()?;
@@ -688,6 +760,55 @@ mod tests {
         );
         assert_eq!(queue.status().failed, 1);
         assert_eq!(queue.status().queued, 1);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn quarantined_jobs_survive_reopen_and_never_requeue() {
+        let root = temp_root("quarantine");
+        {
+            let mut queue = JobQueue::open(&root).unwrap();
+            let (a, _) = queue.submit("scenario-a", 0xA, Priority::Normal).unwrap();
+            queue.mark(a, JobState::Running).unwrap();
+            assert_eq!(queue.record_attempt(a).unwrap(), 1);
+            assert_eq!(queue.record_attempt(a).unwrap(), 2);
+            queue
+                .mark(a, JobState::Quarantined("persistent blowup".into()))
+                .unwrap();
+            // The poison job never blocks the runner loop.
+            assert_eq!(queue.next_queued(), None);
+            // Resubmitting its fingerprint schedules a fresh job.
+            let (b, cached) = queue.submit("scenario-a", 0xA, Priority::Normal).unwrap();
+            assert_ne!(a, b);
+            assert!(!cached);
+            assert_eq!(queue.job(b).unwrap().attempts, 0);
+        }
+        // Quarantine and its error survive the compacted journal.
+        let queue = JobQueue::open(&root).unwrap();
+        assert_eq!(
+            queue.job(1).unwrap().state,
+            JobState::Quarantined("persistent blowup".into())
+        );
+        assert_eq!(queue.status().quarantined, 1);
+        assert_eq!(queue.status().queued, 1);
+        assert_eq!(queue.next_queued(), Some(2));
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn attempt_counts_survive_reopen_for_requeued_jobs() {
+        let root = temp_root("attempts");
+        {
+            let mut queue = JobQueue::open(&root).unwrap();
+            let (a, _) = queue.submit("scenario-a", 0xA, Priority::Normal).unwrap();
+            queue.mark(a, JobState::Running).unwrap();
+            assert_eq!(queue.record_attempt(a).unwrap(), 1);
+            queue.mark(a, JobState::Queued).unwrap();
+        }
+        // The retry budget keeps counting across a daemon restart.
+        let queue = JobQueue::open(&root).unwrap();
+        assert_eq!(queue.job(1).unwrap().attempts, 1);
+        assert_eq!(queue.job(1).unwrap().state, JobState::Queued);
         std::fs::remove_dir_all(&root).ok();
     }
 

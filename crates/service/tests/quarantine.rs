@@ -1,0 +1,112 @@
+//! Quarantine integration test (own file: it arms a process-global fault
+//! plan via [`rough_faults::ScopedPlan`] and sets the daemon's retry budget
+//! env, so it must not share a test binary with anything that races those).
+//!
+//! Proves the poison-job ladder end to end: with `ROUGHSIMD_JOB_RETRIES=2`
+//! and an injected `job.run.fail:3`, a job fails its first run plus both
+//! retries and lands in `Quarantined` — surfaced through STATUS and the
+//! watch stream, never blocking other queued jobs, resubmittable as a fresh
+//! job, and journaled across a daemon restart.
+
+use rough_core::RoughnessSpec;
+use rough_em::material::Stackup;
+use rough_em::units::{GigaHertz, Micrometers};
+use rough_engine::{wire, Scenario, SerialExecutor};
+use rough_service::{Client, Daemon, DaemonConfig};
+use std::sync::Arc;
+
+fn scenario(name: &str, master_seed: u64) -> Scenario {
+    Scenario::builder(Stackup::paper_baseline())
+        .name(name)
+        .roughness(RoughnessSpec::gaussian(
+            Micrometers::new(1.0),
+            Micrometers::new(1.0),
+        ))
+        .frequencies([GigaHertz::new(2.0).into()])
+        .cells_per_side(6)
+        .max_kl_modes(3)
+        .monte_carlo(3)
+        .master_seed(master_seed)
+        .build()
+        .expect("valid scenario")
+}
+
+#[test]
+fn quarantined_jobs_survive_restart_and_never_stall_the_queue() {
+    let state = std::env::temp_dir()
+        .join("rough_service_tests")
+        .join(format!("quarantine-{}", std::process::id()));
+    std::fs::remove_dir_all(&state).ok();
+    std::env::set_var(rough_service::JOB_RETRIES_ENV, "2");
+    // First run + 2 retries all fail; the 4th run of anything is clean.
+    let guard = rough_faults::ScopedPlan::parse("job.run.fail:3");
+
+    let daemon =
+        Daemon::start(DaemonConfig::new("127.0.0.1:0", &state).executor(Arc::new(SerialExecutor)))
+            .expect("daemon starts");
+    let client = Client::new(daemon.addr());
+
+    let poison = scenario("quarantine-poison", 0xD1);
+    let (submission, outcome) = client
+        .submit_watch(&poison, |_| {})
+        .expect("watch poison job");
+    let error = outcome.expect_err("job must settle as quarantined, not succeed");
+    assert!(
+        error.contains("injected job failure"),
+        "unexpected terminal error: {error}"
+    );
+    assert_eq!(rough_faults::fired_count("job.run.fail"), 3);
+
+    let (status, jobs) = client.status_detail().expect("status detail");
+    assert_eq!(status.quarantined, 1, "STATUS must count the poison job");
+    assert_eq!(status.failed, 0);
+    assert_eq!(status.queued, 0, "a quarantined job must not re-queue");
+    let row = jobs
+        .iter()
+        .find(|j| j.id == submission.job)
+        .expect("poison job listed");
+    assert_eq!(row.state, "quarantined");
+
+    // The runner pool is not stalled: an unrelated job completes normally.
+    let healthy = scenario("quarantine-healthy", 0xD2);
+    let (_, outcome) = client.submit_watch(&healthy, |_| {}).expect("healthy job");
+    assert!(outcome.is_ok(), "healthy job failed: {outcome:?}");
+
+    // Resubmitting the poisoned fingerprint schedules a FRESH job (the
+    // quarantined one is excluded from dedupe) — and with the fault budget
+    // exhausted it now completes.
+    let (resubmission, outcome) = client
+        .submit_watch(&poison, |_| {})
+        .expect("resubmitted poison scenario");
+    assert_ne!(resubmission.job, submission.job);
+    assert!(outcome.is_ok(), "fresh resubmission failed: {outcome:?}");
+    assert_eq!(
+        resubmission.fingerprint,
+        wire::scenario_fingerprint(&poison)
+    );
+
+    client.shutdown().expect("shutdown");
+    daemon.join();
+    drop(guard);
+
+    // Restart: the quarantined state survives the compacted journal and the
+    // queue drains normally.
+    let daemon =
+        Daemon::start(DaemonConfig::new("127.0.0.1:0", &state).executor(Arc::new(SerialExecutor)))
+            .expect("daemon restarts");
+    let client = Client::new(daemon.addr());
+    let (status, jobs) = client.status_detail().expect("status after restart");
+    assert_eq!(status.quarantined, 1, "quarantine lost across restart");
+    assert_eq!(status.done, 2);
+    assert_eq!(status.queued, 0);
+    let row = jobs
+        .iter()
+        .find(|j| j.id == submission.job)
+        .expect("poison job still listed");
+    assert_eq!(row.state, "quarantined");
+
+    client.shutdown().expect("shutdown");
+    daemon.join();
+    std::env::remove_var(rough_service::JOB_RETRIES_ENV);
+    std::fs::remove_dir_all(&state).ok();
+}

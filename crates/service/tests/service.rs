@@ -285,6 +285,7 @@ impl rough_engine::UnitExecutor for TimedFakeExecutor {
                 case_index: unit.case_index,
                 value: 1.0,
                 relative_residual: 1e-12,
+                degraded: false,
             })?;
             classes.push(class);
         }
